@@ -1,0 +1,50 @@
+//! Criterion bench over the SeMPE design-choice ablations: how simulator
+//! run time varies with scratchpad throughput and drain modeling. The
+//! *simulated-cycle* ablation tables (the scientific output) come from
+//! `cargo run -p sempe-bench --bin ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sempe_compile::{compile, Backend};
+use sempe_sim::{SimConfig, Simulator};
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+fn bench_spm_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_spm_throughput");
+    group.sample_size(10);
+    let p = MicroParams { scale: 16, ..MicroParams::new(WorkloadKind::Fibonacci, 4, 1) };
+    let prog = fig7_program(&p);
+    let cw = compile(&prog, Backend::Sempe).expect("compiles");
+    for tput in [16u64, 64, 256] {
+        let mut config = SimConfig::paper();
+        config.sempe.spm.throughput_bytes_per_cycle = tput;
+        group.bench_with_input(BenchmarkId::from_parameter(tput), &config, |b, config| {
+            b.iter(|| {
+                let mut sim = Simulator::new(cw.program(), *config).expect("sim");
+                sim.run(u64::MAX).expect("halts").cycles()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_drains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_drains");
+    group.sample_size(10);
+    let p = MicroParams { scale: 16, ..MicroParams::new(WorkloadKind::Ones, 4, 1) };
+    let prog = fig7_program(&p);
+    let cw = compile(&prog, Backend::Sempe).expect("compiles");
+    for (label, drains) in [("with_drains", true), ("drainless_insecure", false)] {
+        let mut config = SimConfig::paper();
+        config.sempe.drains_enabled = drains;
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| {
+                let mut sim = Simulator::new(cw.program(), *config).expect("sim");
+                sim.run(u64::MAX).expect("halts").cycles()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spm_throughput, bench_drains);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench: miniature versions of each figure's workload, one
+//! bench per table/figure, so `cargo bench` continuously exercises every
+//! experiment path end to end. The full-size sweeps live in the
+//! `fig8`/`fig9`/`fig10a`/`fig10b`/`table1` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sempe_bench::{ideal_counts, run_backend, BackendRun};
+use sempe_workloads::djpeg::{djpeg_program, DjpegParams, OutputFormat};
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+fn fig8_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_small");
+    group.sample_size(10);
+    for format in OutputFormat::ALL {
+        let prog = djpeg_program(&DjpegParams { format, blocks: 4, seed: 0xDEC0DE });
+        group.bench_with_input(BenchmarkId::from_parameter(format.name()), &prog, |b, prog| {
+            b.iter(|| {
+                let base = run_backend(prog, BackendRun::Baseline, u64::MAX);
+                let sempe = run_backend(prog, BackendRun::Sempe, u64::MAX);
+                assert!(sempe.cycles > base.cycles);
+                sempe.cycles - base.cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig9_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_small");
+    group.sample_size(10);
+    let prog = djpeg_program(&DjpegParams { format: OutputFormat::Gif, blocks: 4, seed: 1 });
+    group.bench_function("cache_stats", |b| {
+        b.iter(|| {
+            let r = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            (r.stats.il1.misses, r.stats.dl1.misses, r.stats.l2.misses)
+        });
+    });
+    group.finish();
+}
+
+fn fig10a_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_small");
+    group.sample_size(10);
+    for kind in [WorkloadKind::Fibonacci, WorkloadKind::Quicksort] {
+        let p = MicroParams { scale: 8, ..MicroParams::new(kind, 2, 1) };
+        let prog = fig7_program(&p);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &prog, |b, prog| {
+            b.iter(|| {
+                let base = run_backend(prog, BackendRun::Baseline, u64::MAX);
+                let sempe = run_backend(prog, BackendRun::Sempe, u64::MAX);
+                let cte = run_backend(prog, BackendRun::Cte, u64::MAX);
+                (sempe.cycles / base.cycles, cte.cycles / base.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig10b_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10b_small");
+    group.sample_size(10);
+    let p = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Ones, 2, 1) };
+    let prog = fig7_program(&p);
+    group.bench_function("ideal_normalized", |b| {
+        b.iter(|| {
+            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            let (one, all) = ideal_counts(&prog);
+            (sempe.cycles as f64 / base.cycles as f64) / (all as f64 / one as f64)
+        });
+    });
+    group.finish();
+}
+
+fn table1_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_small");
+    group.sample_size(10);
+    let p = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Fibonacci, 3, 1) };
+    let prog = fig7_program(&p);
+    group.bench_function("overhead_summary", |b| {
+        b.iter(|| {
+            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            let cte = run_backend(&prog, BackendRun::Cte, u64::MAX);
+            (sempe.cycles as f64 / base.cycles as f64, cte.cycles as f64 / base.cycles as f64)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig8_small, fig9_small, fig10a_small, fig10b_small, table1_small);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: wall-clock throughput of the cycle-level simulator
+//! itself, in each security mode. This tracks the *reproduction's* cost,
+//! not the paper's results (those are the fig*/table* binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sempe_compile::{compile, Backend};
+use sempe_sim::{SimConfig, Simulator};
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    let p = MicroParams { scale: 16, ..MicroParams::new(WorkloadKind::Fibonacci, 2, 2) };
+    let prog = fig7_program(&p);
+
+    for (label, backend, config) in [
+        ("baseline", Backend::Baseline, SimConfig::baseline()),
+        ("sempe", Backend::Sempe, SimConfig::paper()),
+        ("cte", Backend::Cte, SimConfig::baseline()),
+    ] {
+        let cw = compile(&prog, backend).expect("compiles");
+        // Committed instructions of one run, for ops/sec reporting.
+        let mut probe = Simulator::new(cw.program(), config).expect("sim");
+        let committed = probe.run(u64::MAX).expect("halts").committed();
+        group.throughput(Throughput::Elements(committed));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cw, |b, cw| {
+            b.iter(|| {
+                let mut sim = Simulator::new(cw.program(), config).expect("sim");
+                sim.run(u64::MAX).expect("halts").cycles()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

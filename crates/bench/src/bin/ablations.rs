@@ -1,0 +1,119 @@
+//! Ablations of the SeMPE design choices (DESIGN.md §6), reporting
+//! *simulated cycles* — the scientific measurement — for each variant.
+//!
+//! * **SPM throughput** — Table II provisions 64 B/cycle; how sensitive
+//!   is the overhead to the scratchpad port width?
+//! * **ArchRS vs PhyRS** — the paper rejected physical-register
+//!   snapshots (§IV-F) because spilling 512 physical registers per
+//!   nesting level costs too much; this quantifies the decision.
+//! * **Pipeline drains** — the three drains of Figure 6 are part of the
+//!   security argument; the drainless variant is insecure but shows what
+//!   they cost.
+//! * **Constant-time merge** — reading the scratchpad for all modified
+//!   registers regardless of the outcome costs cycles; skipping it
+//!   (insecure!) shows the price of the timing guarantee.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin ablations`
+
+use sempe_compile::{compile, Backend};
+use sempe_isa::reg::NUM_ARCH_REGS;
+use sempe_sim::{SimConfig, Simulator};
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+fn measure(cw: &sempe_compile::CompiledWorkload, config: SimConfig) -> u64 {
+    let mut sim = Simulator::new(cw.program(), config).expect("sim builds");
+    sim.run(u64::MAX).expect("halts").cycles()
+}
+
+fn main() {
+    // Alternating secret bits so both Taken and NotTaken outcomes occur
+    // (the constant-time-merge ablation only differs on Taken exits).
+    let p = MicroParams {
+        scale: 32,
+        secrets: 0b101010,
+        ..MicroParams::new(WorkloadKind::Fibonacci, 6, 2)
+    };
+    let prog = fig7_program(&p);
+    let cw_base = compile(&prog, Backend::Baseline).expect("compiles");
+    let cw = compile(&prog, Backend::Sempe).expect("compiles");
+    let baseline_cycles = measure(&cw_base, SimConfig::baseline());
+    let reference = measure(&cw, SimConfig::paper());
+    println!("Ablations on fibonacci W=6 (baseline {baseline_cycles} cycles, SeMPE reference {reference})");
+    println!();
+
+    println!("1) Scratchpad throughput sweep (Table II: 64 B/cycle)");
+    println!("{:>12} {:>12} {:>10} {:>12}", "B/cycle", "cycles", "slowdown", "vs 64B/c");
+    for tput in [8u64, 16, 32, 64, 128, 256] {
+        let mut config = SimConfig::paper();
+        config.sempe.spm.throughput_bytes_per_cycle = tput;
+        let cycles = measure(&cw, config);
+        println!(
+            "{:>12} {:>12} {:>9.2}x {:>+11.1}%",
+            tput,
+            cycles,
+            cycles as f64 / baseline_cycles as f64,
+            (cycles as f64 / reference as f64 - 1.0) * 100.0
+        );
+    }
+    println!();
+
+    println!("2) Snapshot policy: ArchRS (48 architectural) vs PhyRS (512 physical)");
+    for (label, regs) in [("ArchRS", NUM_ARCH_REGS), ("PhyRS", 512)] {
+        let mut config = SimConfig::paper();
+        // Scale the per-snapshot footprint with the register count and
+        // give PhyRS enough scratchpad for the same nesting depth (the
+        // paper's point is the *spill traffic*, not capacity).
+        let per_reg = config.sempe.spm.snapshot_bytes / NUM_ARCH_REGS;
+        config.sempe.spm.snapshot_bytes = per_reg * regs;
+        config.sempe.spm.size_bytes = config.sempe.spm.snapshot_bytes * 30;
+        let cycles = measure(&cw, config);
+        println!(
+            "{:>12} {:>12} cycles {:>9.2}x baseline ({} regs/snapshot)",
+            label,
+            cycles,
+            cycles as f64 / baseline_cycles as f64,
+            regs
+        );
+    }
+    println!();
+
+    println!("3) Pipeline drains (Figure 6) — drainless is INSECURE, shown for cost only");
+    for (label, drains) in [("3 drains (paper)", true), ("drainless", false)] {
+        let mut config = SimConfig::paper();
+        config.sempe.drains_enabled = drains;
+        let cycles = measure(&cw, config);
+        println!(
+            "{:>18} {:>12} cycles {:>9.2}x baseline",
+            label,
+            cycles,
+            cycles as f64 / baseline_cycles as f64
+        );
+    }
+    println!();
+
+    println!("4) Constant-time merge — skipping SPM reads on taken outcomes is INSECURE");
+    for (label, ct) in [("constant-time", true), ("outcome-dependent", false)] {
+        let mut config = SimConfig::paper();
+        config.sempe.constant_time_merge = ct;
+        let cycles = measure(&cw, config);
+        println!(
+            "{:>18} {:>12} cycles {:>9.2}x baseline",
+            label,
+            cycles,
+            cycles as f64 / baseline_cycles as f64
+        );
+    }
+    println!();
+
+    println!("5) jbTable depth vs deepest supported nesting (W=depth microbenchmark)");
+    println!("{:>8} {:>24}", "entries", "W=6 nest result");
+    for entries in [4usize, 6, 8, 30] {
+        let mut config = SimConfig::paper();
+        config.sempe.jbtable_entries = entries;
+        let mut sim = Simulator::new(cw.program(), config).expect("sim builds");
+        match sim.run(u64::MAX) {
+            Ok(r) => println!("{:>8} {:>20} cycles", entries, r.cycles()),
+            Err(e) => println!("{:>8} fault: {e}", entries),
+        }
+    }
+}

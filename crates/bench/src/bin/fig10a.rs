@@ -1,0 +1,73 @@
+//! Figure 10a — microbenchmark execution-time slowdown over the baseline
+//! as the secret-branch nesting depth W grows, SeMPE vs CTE (FaCT).
+//!
+//! Paper: at W=10 SeMPE slows execution by 8.4–10.6× (consistent with
+//! W+1 = 11 branch paths), while CTE ranges 12.9–187.3×; at W=1 CTE is
+//! already 3× (Fibonacci) to 32× (Queens). CTE is up to 18× slower than
+//! SeMPE.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin fig10a [--full]`
+//! (`--full` sweeps every W in 1..=10 at larger scales; the default
+//! sweep uses W ∈ {1,2,4,6,8,10} at small scales).
+
+use sempe_bench::{run_backend, BackendRun};
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+fn scale_for(kind: WorkloadKind, full: bool) -> u32 {
+    match (kind, full) {
+        (WorkloadKind::Fibonacci, false) => 96,
+        (WorkloadKind::Fibonacci, true) => 256,
+        (WorkloadKind::Ones, false) => 64,
+        (WorkloadKind::Ones, true) => 128,
+        (WorkloadKind::Quicksort, false) => 16,
+        (WorkloadKind::Quicksort, true) => 32,
+        (WorkloadKind::Queens, false) => 4,
+        (WorkloadKind::Queens, true) => 5,
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let ws: Vec<usize> = if full { (1..=10).collect() } else { vec![1, 2, 4, 6, 8, 10] };
+    let iters = 2;
+
+    println!("Figure 10a: microbenchmark slowdown vs nesting depth W (log-scale data)");
+    println!("paper reference: SeMPE 8.4-10.6x at W=10; FaCT 3-32x at W=1, 12.9-187.3x at W=10");
+    println!();
+    let mut max_ratio = 0.0f64;
+    for kind in WorkloadKind::ALL {
+        let scale = scale_for(kind, full);
+        println!(
+            "{:10} (scale {scale}, iters {iters}): {:>2} {:>12} {:>9} {:>9} {:>10}",
+            kind.name(),
+            "W",
+            "base cyc",
+            "SeMPE x",
+            "CTE x",
+            "CTE/SeMPE"
+        );
+        for &w in &ws {
+            let p = MicroParams { scale, iters, secrets: 0, ..MicroParams::new(kind, w, iters) };
+            let prog = fig7_program(&p);
+            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            let cte = run_backend(&prog, BackendRun::Cte, u64::MAX);
+            assert_eq!(base.outputs, sempe.outputs, "{} W={w} sempe mismatch", kind.name());
+            assert_eq!(base.outputs, cte.outputs, "{} W={w} cte mismatch", kind.name());
+            let sx = sempe.cycles as f64 / base.cycles as f64;
+            let cx = cte.cycles as f64 / base.cycles as f64;
+            max_ratio = max_ratio.max(cx / sx);
+            println!(
+                "{:38} {:>2} {:>12} {:>8.2}x {:>8.2}x {:>9.2}x",
+                "",
+                w,
+                base.cycles,
+                sx,
+                cx,
+                cx / sx
+            );
+        }
+        println!();
+    }
+    println!("max CTE/SeMPE ratio observed: {max_ratio:.1}x (paper: up to 18x)");
+}

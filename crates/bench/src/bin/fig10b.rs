@@ -1,0 +1,55 @@
+//! Figure 10b — SeMPE slowdown normalized to the *ideal* overhead.
+//!
+//! The ideal secure execution (paper §IV-A) runs every instruction of
+//! every branch path: its overhead is the ratio of all-paths to one-path
+//! instruction counts (obtained from the functional interpreters). The
+//! paper reports SeMPE *beating* this ideal slightly, thanks to the
+//! cross-path prefetching effect — normalized values hover at or below
+//! 1.0 once drain/spill overheads are amortized.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin fig10b [--full]`
+
+use sempe_bench::{ideal_cycles_micro, run_backend, BackendRun};
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let ws: Vec<usize> = if full { (1..=10).collect() } else { vec![1, 2, 4, 6, 8, 10] };
+    let iters = 2;
+
+    println!("Figure 10b: SeMPE slowdown normalized to the ideal (sum of all paths)");
+    println!("paper reference: near (at most slightly above) 1.0; below 1.0 where the");
+    println!("prefetching effect between paths wins");
+    println!();
+    println!(
+        "{:10} {:>2} {:>10} {:>10} {:>11}",
+        "workload", "W", "measured", "ideal", "normalized"
+    );
+    for kind in WorkloadKind::ALL {
+        let scale = match kind {
+            WorkloadKind::Quicksort => 16,
+            WorkloadKind::Queens => 4,
+            WorkloadKind::Fibonacci => 96,
+            WorkloadKind::Ones => 64,
+        };
+        for &w in &ws {
+            let p = MicroParams { scale, iters, secrets: 0, ..MicroParams::new(kind, w, iters) };
+            let prog = fig7_program(&p);
+            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            let measured = sempe.cycles as f64 / base.cycles as f64;
+            // The ideal per the paper: the sum of every path's own
+            // baseline execution time over the measured path's time.
+            let ideal = ideal_cycles_micro(&p);
+            println!(
+                "{:10} {:>2} {:>9.2}x {:>9.2}x {:>11.3}",
+                kind.name(),
+                w,
+                measured,
+                ideal,
+                measured / ideal
+            );
+        }
+        println!();
+    }
+}

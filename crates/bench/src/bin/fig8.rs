@@ -1,0 +1,46 @@
+//! Figure 8 — execution-time overhead of SeMPE on the djpeg workload,
+//! three output formats × four input sizes.
+//!
+//! Paper: overheads between 31% and 87% across formats, essentially
+//! independent of the input size (the image is decoded block by block).
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin fig8 [--large]`
+
+use sempe_bench::{run_backend, BackendRun};
+use sempe_workloads::djpeg::{djpeg_program, DjpegParams, OutputFormat};
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    // The paper's inputs are 256k–2048k JPEG files; one of our blocks
+    // models 64 coefficients (512 B of image state), so the sweep below
+    // covers 16 KB – 256 KB of secret image — past DL1 (32 KB) and up to
+    // L2 capacity, preserving the cache-pressure regime.
+    let sizes: &[usize] = if large { &[64, 128, 256, 512] } else { &[32, 64, 128, 256] };
+
+    println!("Figure 8: djpeg execution-time overhead over the unprotected baseline");
+    println!("paper reference: 31%..87% across formats; size-independent");
+    println!();
+    println!(
+        "{:6} {:>10} {:>14} {:>14} {:>10}",
+        "format", "blocks", "base cycles", "sempe cycles", "overhead"
+    );
+    for format in OutputFormat::ALL {
+        for &blocks in sizes {
+            let p = DjpegParams { format, blocks, seed: 0xDEC0DE };
+            let prog = djpeg_program(&p);
+            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            assert_eq!(base.outputs, sempe.outputs, "decode result mismatch");
+            let overhead = (sempe.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
+            println!(
+                "{:6} {:>10} {:>14} {:>14} {:>9.1}%",
+                format.name(),
+                blocks,
+                base.cycles,
+                sempe.cycles,
+                overhead
+            );
+        }
+        println!();
+    }
+}

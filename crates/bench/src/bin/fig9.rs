@@ -1,0 +1,44 @@
+//! Figure 9 — cache miss rates (IL1 / DL1 / L2) for djpeg, baseline vs
+//! SeMPE, across output formats and input sizes.
+//!
+//! Paper: IL1 misses are low and size-independent; DL1 stays low thanks
+//! to ShadowMemory locality; L2 rates are higher and more sensitive to
+//! the output format.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin fig9 [--large]`
+
+use sempe_bench::{run_backend, BackendRun};
+use sempe_workloads::djpeg::{djpeg_program, DjpegParams, OutputFormat};
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let sizes: &[usize] = if large { &[64, 128, 256, 512] } else { &[32, 64, 128, 256] };
+
+    println!("Figure 9: cache miss rates, baseline (b) vs SeMPE (s); lower is better");
+    println!();
+    println!(
+        "{:6} {:>7} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "format", "blocks", "IL1 b", "IL1 s", "DL1 b", "DL1 s", "L2 b", "L2 s"
+    );
+    for format in OutputFormat::ALL {
+        for &blocks in sizes {
+            let p = DjpegParams { format, blocks, seed: 0xDEC0DE };
+            let prog = djpeg_program(&p);
+            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            let pct = |r: f64| format!("{:.3}%", r * 100.0);
+            println!(
+                "{:6} {:>7} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+                format.name(),
+                blocks,
+                pct(base.stats.il1.miss_rate()),
+                pct(sempe.stats.il1.miss_rate()),
+                pct(base.stats.dl1.miss_rate()),
+                pct(sempe.stats.dl1.miss_rate()),
+                pct(base.stats.l2.miss_rate()),
+                pct(sempe.stats.l2.miss_rate()),
+            );
+        }
+        println!();
+    }
+}

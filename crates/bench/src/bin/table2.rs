@@ -1,0 +1,75 @@
+//! Table II — the baseline microarchitecture model.
+//!
+//! Prints the *live* simulator configuration so the reproduction's
+//! parameters can be diffed against the paper's table directly.
+
+use sempe_sim::SimConfig;
+
+fn main() {
+    let c = SimConfig::paper();
+    println!("Table II: baseline microarchitecture model (live SimConfig)");
+    println!("============================================================");
+    let rows: Vec<(&str, String)> = vec![
+        ("clock frequency", "2.0 GHz (cycles reported; frequency nominal)".into()),
+        (
+            "branch predictor",
+            format!(
+                "TAGE ({} tagged tables, hist {:?}) + ITTAGE, RAS depth {}",
+                c.bpred.tage_hist_lens.len(),
+                c.bpred.tage_hist_lens,
+                c.bpred.ras_depth
+            ),
+        ),
+        ("fetch", format!("{} instructions / cycle", c.core.fetch_width)),
+        ("decode", format!("{} uops / cycle", c.core.decode_width)),
+        ("rename", format!("{} uops / cycle", c.core.rename_width)),
+        ("issue (micro-ops)", format!("{} uops", c.core.issue_width)),
+        ("load issue", format!("{} loads / cycle", c.core.load_issue_width)),
+        ("retire", format!("{} uops / cycle", c.core.retire_width)),
+        ("reorder buffer (ROB)", format!("{} uops", c.core.rob_entries)),
+        (
+            "physical registers",
+            format!("{} INT, {} FP", c.core.int_phys_regs, c.core.fp_phys_regs),
+        ),
+        (
+            "issue buffers",
+            format!("{} INT / {} FP uops", c.core.int_iq_entries, c.core.fp_iq_entries),
+        ),
+        ("load/store queue", format!("{}+{} entries", c.core.lq_entries, c.core.sq_entries)),
+        (
+            "DL1 cache",
+            format!("{} KB, {}-way assoc.", c.mem.dl1.size_bytes / 1024, c.mem.dl1.ways),
+        ),
+        (
+            "IL1 cache",
+            format!("{} KB, {}-way assoc.", c.mem.il1.size_bytes / 1024, c.mem.il1.ways),
+        ),
+        (
+            "L2 cache",
+            format!("{} KB, {}-way assoc.", c.mem.l2.size_bytes / 1024, c.mem.l2.ways),
+        ),
+        (
+            "prefetcher",
+            format!(
+                "stride pref. (L1): {}, stream pref. (L2): {}",
+                c.mem.stride_prefetch, c.mem.stream_prefetch
+            ),
+        ),
+        (
+            "SPM size",
+            format!(
+                "{} KB (up to {} snapshots supported)",
+                c.sempe.spm.size_bytes / 1024,
+                c.sempe.spm.max_snapshots()
+            ),
+        ),
+        (
+            "SPM throughput",
+            format!("{} Bytes/cycle R/W", c.sempe.spm.throughput_bytes_per_cycle),
+        ),
+        ("jbTable", format!("{} entries (LIFO)", c.sempe.jbtable_entries)),
+    ];
+    for (k, v) in rows {
+        println!("{k:24} {v}");
+    }
+}

@@ -1,0 +1,12 @@
+//! # sempe-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's experiment
+//! index), plus criterion benches and ablations. This library hosts the
+//! shared runner utilities.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod runner;
+
+pub use runner::{ideal_counts, ideal_cycles_micro, run_backend, BackendRun, RunOutcome};

@@ -1,0 +1,134 @@
+//! Shared measurement utilities for the experiment harnesses.
+
+use sempe_compile::{compile, Backend, WirProgram};
+use sempe_isa::interp::{Interp, InterpMode};
+use sempe_sim::{SimConfig, SimStats, Simulator};
+
+/// Default cycle budget for harness runs.
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Which (backend, machine) combination to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendRun {
+    /// Baseline binary on the unprotected pipeline.
+    Baseline,
+    /// SeMPE binary on the SeMPE pipeline.
+    Sempe,
+    /// CTE binary on the unprotected pipeline (constant-time needs no
+    /// hardware support).
+    Cte,
+}
+
+impl BackendRun {
+    /// The three measured combinations.
+    pub const ALL: [BackendRun; 3] = [BackendRun::Baseline, BackendRun::Sempe, BackendRun::Cte];
+}
+
+/// Outcome of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Cycle count.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Full statistics.
+    pub stats: SimStats,
+    /// Program outputs (for cross-checking).
+    pub outputs: Vec<u64>,
+}
+
+/// Compile `prog` for `which` and run it on the cycle-level simulator.
+///
+/// # Panics
+///
+/// Panics when compilation or simulation fails — harnesses treat any
+/// failure as fatal.
+#[must_use]
+pub fn run_backend(prog: &WirProgram, which: BackendRun, max_cycles: u64) -> RunOutcome {
+    let (backend, config) = match which {
+        BackendRun::Baseline => (Backend::Baseline, SimConfig::baseline()),
+        BackendRun::Sempe => (Backend::Sempe, SimConfig::paper()),
+        BackendRun::Cte => (Backend::Cte, SimConfig::baseline()),
+    };
+    let cw = compile(prog, backend).expect("workload compiles");
+    let mut sim = Simulator::new(cw.program(), config).expect("simulator builds");
+    let res = sim.run(max_cycles).unwrap_or_else(|e| panic!("{which:?} run failed: {e}"));
+    RunOutcome {
+        cycles: res.cycles(),
+        committed: res.committed(),
+        stats: res.stats,
+        outputs: cw.read_outputs(sim.mem()),
+    }
+}
+
+/// Instruction counts from the functional interpreters: `(true path only,
+/// all paths)` — an instruction-level proxy for the paper's *ideal*
+/// overhead (§IV-A). Note that both counts include the ShadowMemory
+/// privatization code, which under-states the ideal for deeply nested
+/// programs; [`ideal_cycles_micro`] measures the paper's definition
+/// directly.
+///
+/// # Panics
+///
+/// Panics when the program fails to compile or run.
+#[must_use]
+pub fn ideal_counts(prog: &WirProgram) -> (u64, u64) {
+    let cw = compile(prog, Backend::Sempe).expect("compiles");
+    let mut legacy = Interp::new(cw.program(), InterpMode::Legacy).expect("interp");
+    let one_path = legacy.run(u64::MAX).expect("halts").committed;
+    let mut both = Interp::new(cw.program(), InterpMode::SempeFunctional).expect("interp");
+    let all_paths = both.run(u64::MAX).expect("halts").committed;
+    (one_path, all_paths)
+}
+
+/// The paper's ideal overhead (§IV-A) for the Figure 7 microbenchmark,
+/// measured the way the paper defines it: the **sum of the execution
+/// times of every branch path**, each obtained by running the baseline
+/// binary with the secrets steering execution down that path, divided by
+/// the baseline time of the measured configuration.
+///
+/// The shared prologue/loop overhead is counted once per path, which
+/// slightly over-states the ideal for small workloads; the effect shrinks
+/// with workload scale.
+///
+/// # Panics
+///
+/// Panics when compilation or simulation fails.
+#[must_use]
+pub fn ideal_cycles_micro(p: &sempe_workloads::micro::MicroParams) -> f64 {
+    use sempe_workloads::micro::fig7_program;
+    let denom = run_backend(&fig7_program(p), BackendRun::Baseline, u64::MAX).cycles;
+    let mut sum = 0u64;
+    for k in 0..=p.w {
+        // Path k (0-based): secret bit k selects workload k; all bits
+        // clear falls through to workload W+1.
+        let secrets = if k == p.w { 0 } else { 1u64 << k };
+        let sel = sempe_workloads::micro::MicroParams { secrets, ..*p };
+        sum += run_backend(&fig7_program(&sel), BackendRun::Baseline, u64::MAX).cycles;
+    }
+    sum as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+
+    #[test]
+    fn runner_executes_all_three_backends_consistently() {
+        let p = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Fibonacci, 1, 1) };
+        let prog = fig7_program(&p);
+        let outs: Vec<RunOutcome> =
+            BackendRun::ALL.iter().map(|w| run_backend(&prog, *w, 50_000_000)).collect();
+        assert_eq!(outs[0].outputs, outs[1].outputs, "sempe output mismatch");
+        assert_eq!(outs[0].outputs, outs[2].outputs, "cte output mismatch");
+        assert!(outs[1].cycles > outs[0].cycles, "sempe must cost more than baseline");
+    }
+
+    #[test]
+    fn ideal_counts_reflect_dual_path_execution() {
+        let p = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Fibonacci, 2, 1) };
+        let (one, all) = ideal_counts(&fig7_program(&p));
+        assert!(all > one, "all-paths count must exceed one-path count");
+    }
+}

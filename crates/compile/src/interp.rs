@@ -1,0 +1,283 @@
+//! A reference interpreter for WIR — the semantic oracle the three code
+//! generators are tested against.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::wir::{ArrId, BinOp, Expr, Stmt, VarId, WirProgram};
+
+/// Errors the WIR interpreter can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WirError {
+    /// An array access was out of bounds.
+    IndexOutOfBounds {
+        /// Array name.
+        array: String,
+        /// The offending index.
+        index: u64,
+        /// The array length.
+        len: usize,
+    },
+    /// A `while` exceeded its declared public bound — the program is not
+    /// constant-time compilable as written.
+    BoundExceeded {
+        /// The declared bound.
+        bound: u32,
+    },
+}
+
+impl fmt::Display for WirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WirError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for array `{array}` of length {len}")
+            }
+            WirError::BoundExceeded { bound } => {
+                write!(f, "while-loop exceeded its declared bound of {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WirError {}
+
+/// The result of interpreting a WIR program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirResult {
+    /// Final values of the declared outputs, in declaration order.
+    pub outputs: Vec<u64>,
+    /// Final values of every scalar.
+    pub vars: Vec<u64>,
+    /// Final contents of every array.
+    pub arrays: Vec<Vec<u64>>,
+    /// Statements executed (a cost proxy).
+    pub steps: u64,
+}
+
+/// Evaluate a binary operation with WIR semantics.
+#[must_use]
+pub fn eval_bin(op: BinOp, a: u64, b: u64) -> u64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Ltu => u64::from(a < b),
+        BinOp::Lt => u64::from((a as i64) < (b as i64)),
+        BinOp::Eq => u64::from(a == b),
+        BinOp::Ne => u64::from(a != b),
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+struct Machine<'a> {
+    prog: &'a WirProgram,
+    vars: Vec<u64>,
+    arrays: Vec<Vec<u64>>,
+    steps: u64,
+}
+
+impl<'a> Machine<'a> {
+    fn eval(&mut self, e: &Expr) -> Result<u64, WirError> {
+        Ok(match e {
+            Expr::Const(c) => *c,
+            Expr::Var(v) => self.vars[v.0],
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(a)?;
+                let b = self.eval(b)?;
+                eval_bin(*op, a, b)
+            }
+            Expr::Load(a, idx) => {
+                let i = self.eval(idx)?;
+                self.load(*a, i)?
+            }
+        })
+    }
+
+    fn load(&self, a: ArrId, i: u64) -> Result<u64, WirError> {
+        let arr = &self.arrays[a.0];
+        arr.get(i as usize).copied().ok_or_else(|| WirError::IndexOutOfBounds {
+            array: self.prog.arrays()[a.0].name.clone(),
+            index: i,
+            len: arr.len(),
+        })
+    }
+
+    fn run(&mut self, stmts: &[Stmt]) -> Result<(), WirError> {
+        for s in stmts {
+            self.steps += 1;
+            match s {
+                Stmt::Assign(v, e) => {
+                    let val = self.eval(e)?;
+                    self.vars[v.0] = val;
+                }
+                Stmt::Store(a, idx, val) => {
+                    let i = self.eval(idx)?;
+                    let v = self.eval(val)?;
+                    let len = self.arrays[a.0].len();
+                    if (i as usize) >= len {
+                        return Err(WirError::IndexOutOfBounds {
+                            array: self.prog.arrays()[a.0].name.clone(),
+                            index: i,
+                            len,
+                        });
+                    }
+                    self.arrays[a.0][i as usize] = v;
+                }
+                Stmt::If { cond, then_, else_, .. } => {
+                    if self.eval(cond)? != 0 {
+                        self.run(then_)?;
+                    } else {
+                        self.run(else_)?;
+                    }
+                }
+                Stmt::While { cond, bound, body } => {
+                    let mut trips = 0u32;
+                    while self.eval(cond)? != 0 {
+                        if trips >= *bound {
+                            return Err(WirError::BoundExceeded { bound: *bound });
+                        }
+                        trips += 1;
+                        self.run(body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run a WIR program, optionally overriding initial variable values
+/// (e.g. to inject secrets).
+///
+/// # Errors
+///
+/// [`WirError`] on out-of-bounds accesses or bound violations.
+pub fn run_wir(
+    prog: &WirProgram,
+    overrides: &BTreeMap<VarId, u64>,
+) -> Result<WirResult, WirError> {
+    let mut vars = prog.var_init.clone();
+    for (v, val) in overrides {
+        vars[v.0] = *val;
+    }
+    let arrays = prog
+        .arrays()
+        .iter()
+        .map(|a| {
+            let mut data = a.init.clone();
+            data.resize(a.len, 0);
+            data
+        })
+        .collect();
+    let mut m = Machine { prog, vars, arrays, steps: 0 };
+    m.run(prog.body())?;
+    Ok(WirResult {
+        outputs: prog.outputs().iter().map(|v| m.vars[v.0]).collect(),
+        vars: m.vars,
+        arrays: m.arrays,
+        steps: m.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wir::WirBuilder;
+
+    #[test]
+    fn arithmetic_and_outputs() {
+        let mut b = WirBuilder::new();
+        let x = b.var("x", 5);
+        let y = b.var("y", 0);
+        b.push(b.assign(y, Expr::bin(BinOp::Mul, Expr::Var(x), Expr::Const(3))));
+        b.output(y);
+        let r = run_wir(&b.build(), &BTreeMap::new()).unwrap();
+        assert_eq!(r.outputs, vec![15]);
+    }
+
+    #[test]
+    fn secret_if_selects_branch() {
+        for (secret, want) in [(0u64, 20u64), (7, 10)] {
+            let mut b = WirBuilder::new();
+            let s = b.var("s", 0);
+            let out = b.var("out", 0);
+            b.if_secret(
+                Expr::Var(s),
+                vec![b.assign(out, Expr::Const(10))],
+                vec![b.assign(out, Expr::Const(20))],
+            );
+            b.output(out);
+            let prog = b.build();
+            let r = run_wir(&prog, &BTreeMap::from([(s, secret)])).unwrap();
+            assert_eq!(r.outputs, vec![want], "secret={secret}");
+        }
+    }
+
+    #[test]
+    fn while_respects_condition_and_bound() {
+        let mut b = WirBuilder::new();
+        let i = b.var("i", 0);
+        let acc = b.var("acc", 0);
+        b.while_loop(
+            Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Const(5)),
+            10,
+            vec![
+                b.assign(acc, Expr::bin(BinOp::Add, Expr::Var(acc), Expr::Var(i))),
+                b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
+            ],
+        );
+        b.output(acc);
+        let r = run_wir(&b.build(), &BTreeMap::new()).unwrap();
+        assert_eq!(r.outputs, vec![1 + 2 + 3 + 4]);
+    }
+
+    #[test]
+    fn bound_violation_is_reported() {
+        let mut b = WirBuilder::new();
+        let i = b.var("i", 0);
+        b.while_loop(
+            Expr::Const(1),
+            3,
+            vec![b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1)))],
+        );
+        let err = run_wir(&b.build(), &BTreeMap::new()).unwrap_err();
+        assert_eq!(err, WirError::BoundExceeded { bound: 3 });
+    }
+
+    #[test]
+    fn array_roundtrip_and_bounds() {
+        let mut b = WirBuilder::new();
+        let arr = b.array("a", 4, vec![9, 8, 7, 6]);
+        let x = b.var("x", 0);
+        b.push(b.store(arr, Expr::Const(2), Expr::Const(55)));
+        b.push(b.assign(x, Expr::Load(arr, Box::new(Expr::Const(2)))));
+        b.output(x);
+        let r = run_wir(&b.build(), &BTreeMap::new()).unwrap();
+        assert_eq!(r.outputs, vec![55]);
+        assert_eq!(r.arrays[0], vec![9, 8, 55, 6]);
+
+        let mut b = WirBuilder::new();
+        let arr = b.array("a", 2, vec![]);
+        b.push(b.store(arr, Expr::Const(5), Expr::Const(1)));
+        let err = run_wir(&b.build(), &BTreeMap::new()).unwrap_err();
+        assert!(matches!(err, WirError::IndexOutOfBounds { index: 5, len: 2, .. }));
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        assert_eq!(eval_bin(BinOp::Lt, u64::MAX, 0), 1, "signed: -1 < 0");
+        assert_eq!(eval_bin(BinOp::Ltu, u64::MAX, 0), 0, "unsigned: MAX > 0");
+        assert_eq!(eval_bin(BinOp::Shl, 1, 65), 2, "shift masks to 63");
+    }
+}

@@ -1,0 +1,56 @@
+//! # sempe-compile — workload IR and the three code generators
+//!
+//! The SeMPE paper evaluates three compilation strategies for code with
+//! secret-dependent conditionals. This crate provides a small workload IR
+//! ([`wir`]) and lowers it to SIR machine code three ways ([`codegen`]):
+//!
+//! | backend | secret `if` becomes | corresponds to |
+//! |---|---|---|
+//! | [`Backend::Baseline`] | an ordinary predicted branch | the unprotected baseline |
+//! | [`Backend::Sempe`] | an sJMP/eosJMP secure region with ShadowMemory privatization and CMOV merges | the paper's §V methodology |
+//! | [`Backend::Cte`] | straight-line masked expressions (per-statement mask products, bounded loops) | FaCT-generated constant-time code |
+//!
+//! [`interp`] is the IR-level oracle: every backend, executed on any of
+//! the machine models, must reproduce its outputs.
+//!
+//! ```
+//! use sempe_compile::wir::{Expr, WirBuilder};
+//! use sempe_compile::{compile, Backend};
+//! use sempe_isa::interp::{Interp, InterpMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = WirBuilder::new();
+//! let secret = b.var("secret", 1);
+//! let out = b.var("out", 0);
+//! b.if_secret(
+//!     Expr::Var(secret),
+//!     vec![b.assign(out, Expr::Const(42))],
+//!     vec![b.assign(out, Expr::Const(7))],
+//! );
+//! b.output(out);
+//! let prog = b.build();
+//!
+//! let cw = compile(&prog, Backend::Sempe)?;
+//! let mut m = Interp::new(cw.program(), InterpMode::SempeFunctional)?;
+//! m.run(100_000)?;
+//! assert_eq!(cw.read_outputs(m.mem()), vec![42]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codegen;
+pub mod interp;
+pub mod opt;
+pub mod parser;
+pub mod taint;
+pub mod wir;
+
+pub use codegen::{compile, Backend, CompileError, CompiledWorkload};
+pub use interp::{run_wir, WirError, WirResult};
+pub use opt::collapse_nested_ifs;
+pub use parser::{parse_wir, ParseError, ParsedProgram};
+pub use taint::{analyze_taint, TaintReport, TaintWarning};
+pub use wir::{ArrId, BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};

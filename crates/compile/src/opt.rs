@@ -1,0 +1,217 @@
+//! WIR-to-WIR transforms.
+//!
+//! The paper notes (§IV-E) that "the compiler can reduce the nesting
+//! degree by collapsing multiple conditionals into a single one with
+//! larger expression: `if (A) { if (B) … }` can be converted into
+//! `if (A and B) {…}`" — fewer jbTable levels, fewer snapshots, fewer
+//! drains. [`collapse_nested_ifs`] implements exactly that rewrite, for
+//! secret conditionals whose inner `if` is the *entire* body of a path
+//! and whose conditions are side-effect free (always true in WIR — its
+//! expressions cannot write state).
+
+use crate::wir::{BinOp, Expr, Stmt, WirProgram};
+
+/// Normalize a WIR value to 0/1 so `&` behaves like logical AND.
+fn as_bool(e: Expr) -> Expr {
+    // (0 < e) unsigned — exactly the normalization the CTE backend uses.
+    Expr::bin(BinOp::Ltu, Expr::Const(0), e)
+}
+
+fn collapse_stmts(stmts: Vec<Stmt>) -> (Vec<Stmt>, usize) {
+    let mut collapsed = 0usize;
+    let out = stmts
+        .into_iter()
+        .map(|s| {
+            let (s, n) = collapse_stmt(s);
+            collapsed += n;
+            s
+        })
+        .collect();
+    (out, collapsed)
+}
+
+fn collapse_stmt(s: Stmt) -> (Stmt, usize) {
+    match s {
+        Stmt::If { cond, secret, then_, else_ } => {
+            // First collapse inside both arms.
+            let (then_, n1) = collapse_stmts(then_);
+            let (else_, n2) = collapse_stmts(else_);
+            let mut count = n1 + n2;
+            // Pattern: if (A) { if (B) {X} else {} } else {}
+            //       => if (A && B) {X} else {}
+            if secret && else_.is_empty() && then_.len() == 1 {
+                if let Stmt::If {
+                    cond: inner_cond,
+                    secret: true,
+                    then_: inner_then,
+                    else_: inner_else,
+                } = &then_[0]
+                {
+                    if inner_else.is_empty() {
+                        count += 1;
+                        let combined = Expr::bin(
+                            BinOp::And,
+                            as_bool(cond),
+                            as_bool(inner_cond.clone()),
+                        );
+                        return (
+                            Stmt::If {
+                                cond: combined,
+                                secret: true,
+                                then_: inner_then.clone(),
+                                else_: Vec::new(),
+                            },
+                            count,
+                        );
+                    }
+                }
+            }
+            (Stmt::If { cond, secret, then_, else_ }, count)
+        }
+        Stmt::While { cond, bound, body } => {
+            let (body, n) = collapse_stmts(body);
+            (Stmt::While { cond, bound, body }, n)
+        }
+        other => (other, 0),
+    }
+}
+
+/// Collapse directly nested secret `if`s (`if (A) { if (B) {X} }` →
+/// `if (A && B) {X}`), reducing the secure-branch nesting degree.
+/// Returns the rewritten program and the number of collapses performed.
+#[must_use]
+pub fn collapse_nested_ifs(prog: &WirProgram) -> (WirProgram, usize) {
+    let mut out = prog.clone();
+    let body = std::mem::take(&mut out.body);
+    let (body, count) = collapse_stmts(body);
+    out.body = body;
+    (out, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_wir;
+    use crate::wir::WirBuilder;
+    use std::collections::BTreeMap;
+
+    fn nested_program(a: u64, b: u64) -> WirProgram {
+        let mut wb = WirBuilder::new();
+        let va = wb.var("a", a);
+        let vb = wb.var("b", b);
+        let out = wb.var("out", 0);
+        let inner = Stmt::If {
+            cond: Expr::Var(vb),
+            secret: true,
+            then_: vec![wb.assign(out, Expr::Const(7))],
+            else_: vec![],
+        };
+        wb.if_secret(Expr::Var(va), vec![inner], vec![]);
+        wb.output(out);
+        wb.build()
+    }
+
+    #[test]
+    fn collapse_reduces_secret_depth() {
+        let prog = nested_program(1, 1);
+        assert_eq!(prog.secret_depth(), 2);
+        let (collapsed, n) = collapse_nested_ifs(&prog);
+        assert_eq!(n, 1);
+        assert_eq!(collapsed.secret_depth(), 1);
+    }
+
+    #[test]
+    fn collapse_preserves_semantics() {
+        for a in [0u64, 1, 5] {
+            for b in [0u64, 1, 9] {
+                let prog = nested_program(a, b);
+                let (collapsed, _) = collapse_nested_ifs(&prog);
+                let want = run_wir(&prog, &BTreeMap::new()).unwrap().outputs;
+                let got = run_wir(&collapsed, &BTreeMap::new()).unwrap().outputs;
+                assert_eq!(got, want, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_handles_nonboolean_conditions() {
+        // A=4, B=2: numeric & of raw values (4 & 2 == 0) would be wrong;
+        // the rewrite must normalize to booleans first.
+        let prog = nested_program(4, 2);
+        let (collapsed, _) = collapse_nested_ifs(&prog);
+        let got = run_wir(&collapsed, &BTreeMap::new()).unwrap().outputs;
+        assert_eq!(got, vec![7], "both conditions are truthy");
+    }
+
+    #[test]
+    fn ifs_with_else_paths_are_not_collapsed() {
+        let mut wb = WirBuilder::new();
+        let va = wb.var("a", 1);
+        let vb = wb.var("b", 0);
+        let out = wb.var("out", 0);
+        let inner = Stmt::If {
+            cond: Expr::Var(vb),
+            secret: true,
+            then_: vec![wb.assign(out, Expr::Const(7))],
+            else_: vec![wb.assign(out, Expr::Const(8))],
+        };
+        wb.if_secret(Expr::Var(va), vec![inner], vec![]);
+        wb.output(out);
+        let prog = wb.build();
+        let (collapsed, n) = collapse_nested_ifs(&prog);
+        assert_eq!(n, 0, "an inner else-arm blocks the rewrite");
+        assert_eq!(collapsed.secret_depth(), 2);
+    }
+
+    #[test]
+    fn public_ifs_are_not_collapsed() {
+        let mut wb = WirBuilder::new();
+        let va = wb.var("a", 1);
+        let vb = wb.var("b", 1);
+        let out = wb.var("out", 0);
+        let inner = Stmt::If {
+            cond: Expr::Var(vb),
+            secret: false,
+            then_: vec![wb.assign(out, Expr::Const(7))],
+            else_: vec![],
+        };
+        wb.if_secret(Expr::Var(va), vec![inner], vec![]);
+        wb.output(out);
+        let (collapsed, n) = collapse_nested_ifs(&wb.build());
+        assert_eq!(n, 0, "collapsing a public if into a secret cond changes semantics");
+        let _ = collapsed;
+    }
+
+    #[test]
+    fn triple_nesting_collapses_iteratively() {
+        let mut wb = WirBuilder::new();
+        let va = wb.var("a", 1);
+        let vb = wb.var("b", 1);
+        let vc = wb.var("c", 1);
+        let out = wb.var("out", 0);
+        let innermost = Stmt::If {
+            cond: Expr::Var(vc),
+            secret: true,
+            then_: vec![wb.assign(out, Expr::Const(3))],
+            else_: vec![],
+        };
+        let middle = Stmt::If {
+            cond: Expr::Var(vb),
+            secret: true,
+            then_: vec![innermost],
+            else_: vec![],
+        };
+        wb.if_secret(Expr::Var(va), vec![middle], vec![]);
+        wb.output(out);
+        let prog = wb.build();
+        assert_eq!(prog.secret_depth(), 3);
+        // One pass collapses bottom-up: inner pair first, then the outer
+        // wraps the already-collapsed inner.
+        let (once, n) = collapse_nested_ifs(&prog);
+        assert!(n >= 1);
+        let (twice, _) = collapse_nested_ifs(&once);
+        assert_eq!(twice.secret_depth(), 1);
+        let got = run_wir(&twice, &BTreeMap::new()).unwrap().outputs;
+        assert_eq!(got, vec![3]);
+    }
+}

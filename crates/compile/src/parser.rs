@@ -1,0 +1,728 @@
+//! A textual front end for WIR — the reproduction's analog of FaCT being
+//! "a DSL for timing-sensitive computation". Programs written in this
+//! little language compile through any of the three backends and can be
+//! vetted by the taint checker, e.g.:
+//!
+//! ```text
+//! secret key = 0b1011;
+//! var out = 1;
+//! var i = 0;
+//! while (i < 4) bound 5 {
+//!     if secret ((key >> i) & 1) {
+//!         out = out * 3;
+//!     } else {
+//!         out = out + 1;
+//!     }
+//!     i = i + 1;
+//! }
+//! output out;
+//! ```
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program  := item*
+//! item     := decl | stmt | "output" IDENT ";"
+//! decl     := ("var" | "secret") IDENT ("=" INT)? ";"
+//!           | "scratch"? "array" IDENT "[" INT "]" ("=" "{" INT,* "}")? ";"
+//! stmt     := IDENT "=" expr ";"
+//!           | IDENT "[" expr "]" "=" expr ";"
+//!           | "if" "secret"? "(" expr ")" block ("else" block)?
+//!           | "while" "(" expr ")" "bound" INT block
+//! expr     := precedence climbing over  * %  |  + -  |  << >>  |
+//!             < <s == !=  |  &  |  ^  |  "|"
+//! primary  := INT | IDENT | IDENT "[" expr "]" | "(" expr ")"
+//! ```
+//!
+//! `<` is unsigned (the common case in constant-time code); `<s` is the
+//! signed comparison. Comments run from `//` to end of line.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::wir::{ArrId, BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed program plus the variables declared `secret` (inputs to the
+/// taint checker).
+#[derive(Debug, Clone)]
+pub struct ParsedProgram {
+    /// The WIR program.
+    pub program: WirProgram,
+    /// Variables declared with the `secret` keyword.
+    pub secrets: Vec<VarId>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Sym(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let err = |line, col, m: String| ParseError { line, col, message: m };
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let mut s = String::new();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    s.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok((Tok::Ident(s), line, col));
+        }
+        if c.is_ascii_digit() {
+            let mut value: u64 = 0;
+            if c == b'0' && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+                self.bump();
+                self.bump();
+                let mut any = false;
+                while let Some(c) = self.peek() {
+                    let d = match c {
+                        b'0'..=b'9' => u64::from(c - b'0'),
+                        b'a'..=b'f' => u64::from(c - b'a' + 10),
+                        b'A'..=b'F' => u64::from(c - b'A' + 10),
+                        b'_' => {
+                            self.bump();
+                            continue;
+                        }
+                        _ => break,
+                    };
+                    any = true;
+                    value = value.wrapping_mul(16).wrapping_add(d);
+                    self.bump();
+                }
+                if !any {
+                    return Err(err(line, col, "hex literal needs digits".into()));
+                }
+            } else if c == b'0' && matches!(self.peek2(), Some(b'b') | Some(b'B')) {
+                self.bump();
+                self.bump();
+                let mut any = false;
+                while let Some(c) = self.peek() {
+                    match c {
+                        b'0' | b'1' => {
+                            any = true;
+                            value = value.wrapping_mul(2) + u64::from(c - b'0');
+                            self.bump();
+                        }
+                        b'_' => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+                if !any {
+                    return Err(err(line, col, "binary literal needs digits".into()));
+                }
+            } else {
+                while let Some(c) = self.peek() {
+                    match c {
+                        b'0'..=b'9' => {
+                            value = value.wrapping_mul(10) + u64::from(c - b'0');
+                            self.bump();
+                        }
+                        b'_' => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            return Ok((Tok::Int(value), line, col));
+        }
+        // Multi-char symbols first.
+        let two: &[(&[u8], &'static str)] = &[
+            (b"<<", "<<"),
+            (b">>", ">>"),
+            (b"==", "=="),
+            (b"!=", "!="),
+            (b"<s", "<s"),
+        ];
+        for (pat, sym) in two {
+            if self.src[self.pos..].starts_with(pat) {
+                self.bump();
+                self.bump();
+                return Ok((Tok::Sym(sym), line, col));
+            }
+        }
+        let one: &[(u8, &'static str)] = &[
+            (b'=', "="),
+            (b';', ";"),
+            (b'(', "("),
+            (b')', ")"),
+            (b'{', "{"),
+            (b'}', "}"),
+            (b'[', "["),
+            (b']', "]"),
+            (b',', ","),
+            (b'+', "+"),
+            (b'-', "-"),
+            (b'*', "*"),
+            (b'%', "%"),
+            (b'&', "&"),
+            (b'|', "|"),
+            (b'^', "^"),
+            (b'<', "<"),
+        ];
+        for (pat, sym) in one {
+            if c == *pat {
+                self.bump();
+                return Ok((Tok::Sym(sym), line, col));
+            }
+        }
+        Err(err(line, col, format!("unexpected character `{}`", c as char)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+    builder: WirBuilder,
+    vars: BTreeMap<String, VarId>,
+    arrays: BTreeMap<String, ArrId>,
+    secrets: Vec<VarId>,
+}
+
+impl Parser {
+    fn here(&self) -> (usize, usize) {
+        let (_, l, c) = &self.toks[self.pos.min(self.toks.len() - 1)];
+        (*l, *c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError { line, col, message: message.into() }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].0.clone();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Sym(got) if *got == s => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{s}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            other => Err(self.error(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn lookup_var(&self, name: &str) -> Result<VarId, ParseError> {
+        self.vars
+            .get(name)
+            .copied()
+            .ok_or_else(|| self.error(format!("unknown variable `{name}`")))
+    }
+
+    // --- declarations and top level ---------------------------------
+
+    fn parse_program(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) if kw == "var" || kw == "secret" => {
+                    // Lookahead: `secret` may also start `if secret`? No —
+                    // `if` starts with the `if` keyword, so bare `secret`
+                    // here is always a declaration.
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let init = if matches!(self.peek(), Tok::Sym("=")) {
+                        self.bump();
+                        self.expect_int()?
+                    } else {
+                        0
+                    };
+                    self.eat_sym(";")?;
+                    if self.vars.contains_key(&name) {
+                        return Err(self.error(format!("variable `{name}` redeclared")));
+                    }
+                    let id = self.builder.var(name.clone(), init);
+                    if kw == "secret" {
+                        self.secrets.push(id);
+                    }
+                    self.vars.insert(name, id);
+                }
+                Tok::Ident(kw) if kw == "scratch" || kw == "array" => {
+                    let scratch = kw == "scratch";
+                    self.bump();
+                    if scratch && !self.eat_kw("array") {
+                        return Err(self.error("expected `array` after `scratch`"));
+                    }
+                    let name = self.expect_ident()?;
+                    self.eat_sym("[")?;
+                    let len = self.expect_int()? as usize;
+                    self.eat_sym("]")?;
+                    let mut init = Vec::new();
+                    if matches!(self.peek(), Tok::Sym("=")) {
+                        self.bump();
+                        self.eat_sym("{")?;
+                        loop {
+                            init.push(self.expect_int()?);
+                            if matches!(self.peek(), Tok::Sym(",")) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                        self.eat_sym("}")?;
+                    }
+                    self.eat_sym(";")?;
+                    if init.len() > len {
+                        return Err(self.error("array initializer longer than the array"));
+                    }
+                    if self.arrays.contains_key(&name) {
+                        return Err(self.error(format!("array `{name}` redeclared")));
+                    }
+                    let id = if scratch {
+                        self.builder.scratch_array(name.clone(), len, init)
+                    } else {
+                        self.builder.array(name.clone(), len, init)
+                    };
+                    self.arrays.insert(name, id);
+                }
+                Tok::Ident(kw) if kw == "output" => {
+                    self.bump();
+                    let name = self.expect_ident()?;
+                    let id = self.lookup_var(&name)?;
+                    self.eat_sym(";")?;
+                    self.builder.output(id);
+                }
+                _ => {
+                    let s = self.parse_stmt()?;
+                    self.builder.push(s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- statements ---------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_sym("{")?;
+        let mut out = Vec::new();
+        while !matches!(self.peek(), Tok::Sym("}")) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.error("unclosed block"));
+            }
+            out.push(self.parse_stmt()?);
+        }
+        self.eat_sym("}")?;
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(kw) if kw == "if" => {
+                self.bump();
+                let secret = self.eat_kw("secret");
+                self.eat_sym("(")?;
+                let cond = self.parse_expr()?;
+                self.eat_sym(")")?;
+                let then_ = self.parse_block()?;
+                let else_ = if self.eat_kw("else") { self.parse_block()? } else { Vec::new() };
+                Ok(Stmt::If { cond, secret, then_, else_ })
+            }
+            Tok::Ident(kw) if kw == "while" => {
+                self.bump();
+                self.eat_sym("(")?;
+                let cond = self.parse_expr()?;
+                self.eat_sym(")")?;
+                if !self.eat_kw("bound") {
+                    return Err(self.error(
+                        "every `while` needs a public `bound N` (constant-time discipline)",
+                    ));
+                }
+                let bound = self.expect_int()? as u32;
+                let body = self.parse_block()?;
+                Ok(Stmt::While { cond, bound, body })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), Tok::Sym("[")) {
+                    // Array store.
+                    let arr = *self
+                        .arrays
+                        .get(&name)
+                        .ok_or_else(|| self.error(format!("unknown array `{name}`")))?;
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.eat_sym("]")?;
+                    self.eat_sym("=")?;
+                    let val = self.parse_expr()?;
+                    self.eat_sym(";")?;
+                    Ok(Stmt::Store(arr, idx, val))
+                } else {
+                    let var = self.lookup_var(&name)?;
+                    self.eat_sym("=")?;
+                    let e = self.parse_expr()?;
+                    self.eat_sym(";")?;
+                    Ok(Stmt::Assign(var, e))
+                }
+            }
+            other => Err(self.error(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    // --- expressions (precedence climbing) ----------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_bin(0)
+    }
+
+    fn level_of(sym: &str) -> Option<(usize, BinOp)> {
+        // Higher number binds tighter.
+        Some(match sym {
+            "|" => (0, BinOp::Or),
+            "^" => (1, BinOp::Xor),
+            "&" => (2, BinOp::And),
+            "<" => (3, BinOp::Ltu),
+            "<s" => (3, BinOp::Lt),
+            "==" => (3, BinOp::Eq),
+            "!=" => (3, BinOp::Ne),
+            "<<" => (4, BinOp::Shl),
+            ">>" => (4, BinOp::Shr),
+            "+" => (5, BinOp::Add),
+            "-" => (5, BinOp::Sub),
+            "*" => (6, BinOp::Mul),
+            "%" => (6, BinOp::Rem),
+            _ => return None,
+        })
+    }
+
+    fn parse_bin(&mut self, min_level: usize) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let (level, op) = match self.peek() {
+                Tok::Sym(s) => match Self::level_of(s) {
+                    Some((l, op)) if l >= min_level => (l, op),
+                    _ => break,
+                },
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_bin(level + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Const(v)),
+            Tok::Sym("(") => {
+                let e = self.parse_expr()?;
+                self.eat_sym(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if matches!(self.peek(), Tok::Sym("[")) {
+                    let arr = *self
+                        .arrays
+                        .get(&name)
+                        .ok_or_else(|| self.error(format!("unknown array `{name}`")))?;
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    self.eat_sym("]")?;
+                    Ok(Expr::Load(arr, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(self.lookup_var(&name)?))
+                }
+            }
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse WIR source text.
+///
+/// # Errors
+///
+/// [`ParseError`] with 1-based line/column on the first syntax or
+/// name-resolution problem.
+pub fn parse_wir(src: &str) -> Result<ParsedProgram, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let eof = matches!(t.0, Tok::Eof);
+        toks.push(t);
+        if eof {
+            break;
+        }
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        builder: WirBuilder::new(),
+        vars: BTreeMap::new(),
+        arrays: BTreeMap::new(),
+        secrets: Vec::new(),
+    };
+    p.parse_program()?;
+    Ok(ParsedProgram { program: p.builder.build(), secrets: p.secrets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_wir;
+    use crate::taint::analyze_taint;
+    use std::collections::BTreeMap as Map;
+
+    fn run(src: &str) -> Vec<u64> {
+        let parsed = parse_wir(src).expect("parses");
+        run_wir(&parsed.program, &Map::new()).expect("runs").outputs
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("var x = 0; x = 2 + 3 * 4; output x;"), vec![14]);
+        assert_eq!(run("var x = 0; x = (2 + 3) * 4; output x;"), vec![20]);
+        assert_eq!(run("var x = 0; x = 1 << 3 | 1; output x;"), vec![9]);
+        assert_eq!(run("var x = 0; x = 10 % 3; output x;"), vec![1]);
+        assert_eq!(run("var x = 0; x = 7 & 3 ^ 1; output x;"), vec![2]);
+    }
+
+    #[test]
+    fn comparisons_signed_and_unsigned() {
+        assert_eq!(run("var x = 0; x = 1 < 2; output x;"), vec![1]);
+        // 0 - 1 wraps to u64::MAX: unsigned-greater, signed-less.
+        assert_eq!(run("var x = 0; x = (0 - 1) < 1; output x;"), vec![0]);
+        assert_eq!(run("var x = 0; x = (0 - 1) <s 1; output x;"), vec![1]);
+        assert_eq!(run("var x = 0; x = 3 == 3; output x;"), vec![1]);
+        assert_eq!(run("var x = 0; x = 3 != 3; output x;"), vec![0]);
+    }
+
+    #[test]
+    fn literals_decimal_hex_binary() {
+        assert_eq!(run("var x = 0; x = 0x10 + 0b101 + 1_000; output x;"), vec![16 + 5 + 1000]);
+    }
+
+    #[test]
+    fn secret_if_and_outputs() {
+        let src = r"
+            secret s = 1;
+            var out = 0;
+            if secret (s) { out = 10; } else { out = 20; }
+            output out;
+        ";
+        assert_eq!(run(src), vec![10]);
+        let parsed = parse_wir(src).unwrap();
+        assert_eq!(parsed.secrets.len(), 1);
+        assert_eq!(parsed.program.secret_depth(), 1);
+        assert!(analyze_taint(&parsed.program, &parsed.secrets).is_clean());
+    }
+
+    #[test]
+    fn while_with_bound_and_arrays() {
+        let src = r"
+            array a[8] = { 5, 6, 7 };
+            scratch array tmp[4];
+            var i = 0;
+            var acc = 0;
+            while (i < 8) bound 9 {
+                tmp[i & 3] = a[i & 7];
+                acc = acc + tmp[i & 3];
+                i = i + 1;
+            }
+            output acc;
+        ";
+        assert_eq!(run(src), vec![5 + 6 + 7]);
+        let parsed = parse_wir(src).unwrap();
+        assert!(parsed.program.arrays()[1].scratch);
+        assert!(!parsed.program.arrays()[0].scratch);
+    }
+
+    #[test]
+    fn modexp_in_the_surface_language_compiles_on_all_backends() {
+        let src = r"
+            secret key = 0b1011;
+            var r = 1;
+            var base = 7;
+            var i = 0;
+            var bit = 0;
+            while (i < 4) bound 5 {
+                bit = (key >> i) & 1;
+                if secret (bit) { r = (r * base) % 1000003; }
+                base = (base * base) % 1000003;
+                i = i + 1;
+            }
+            output r;
+        ";
+        let parsed = parse_wir(src).unwrap();
+        let want = run_wir(&parsed.program, &Map::new()).unwrap().outputs;
+        assert_eq!(want, vec![7u64.pow(0b1011) % 1000003]);
+        assert!(analyze_taint(&parsed.program, &parsed.secrets).is_clean());
+        for backend in [crate::Backend::Baseline, crate::Backend::Sempe, crate::Backend::Cte] {
+            let cw = crate::compile(&parsed.program, backend).expect("compiles");
+            let mut m =
+                sempe_isa::Interp::new(cw.program(), sempe_isa::InterpMode::Legacy).unwrap();
+            m.run(10_000_000).unwrap();
+            assert_eq!(cw.read_outputs(m.mem()), want, "{backend}");
+        }
+    }
+
+    #[test]
+    fn taint_checker_rejects_leaky_source() {
+        let src = r"
+            secret s = 1;
+            var out = 0;
+            if (s) { out = 1; }   // public branch on a secret!
+            output out;
+        ";
+        let parsed = parse_wir(src).unwrap();
+        let report = analyze_taint(&parsed.program, &parsed.secrets);
+        assert!(!report.is_clean(), "the leak must be flagged");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_wir("var x = 0;\nx = @;").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('@'));
+
+        let err = parse_wir("x = 1;").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+
+        let err = parse_wir("var x = 0; while (x < 3) { x = x + 1; }").unwrap_err();
+        assert!(err.message.contains("bound"), "{err}");
+
+        let err = parse_wir("var x = 0; var x = 1;").unwrap_err();
+        assert!(err.message.contains("redeclared"));
+
+        let err = parse_wir("var x = 0; x = (1 + 2;").unwrap_err();
+        assert!(err.message.contains("expected `)`"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(run("// leading\nvar x = 3; // trailing\noutput x; // end"), vec![3]);
+    }
+
+    #[test]
+    fn nested_ifs_and_else() {
+        let src = r"
+            secret a = 1;
+            secret b = 0;
+            var out = 0;
+            if secret (a) {
+                if secret (b) { out = 1; } else { out = 2; }
+            } else {
+                out = 3;
+            }
+            output out;
+        ";
+        assert_eq!(run(src), vec![2]);
+        let parsed = parse_wir(src).unwrap();
+        assert_eq!(parsed.program.secret_depth(), 2);
+    }
+}

@@ -1,0 +1,431 @@
+//! Secret-taint analysis over WIR — the static check FaCT's type system
+//! performs and the SeMPE paper assumes of its compiler (§IV-G: "The
+//! compiler needs to reject any SecBlocks that have a potential hardware
+//! exception"; §II-A: programmers must not branch on secrets outside
+//! protected constructs).
+//!
+//! The analysis flow-insensitively propagates taint from declared secret
+//! variables through assignments, array stores and loop state, and
+//! reports:
+//!
+//! * **public branches on tainted conditions** — these leak regardless of
+//!   backend (the baseline branches on them; CTE would emit a real branch
+//!   for an `if` it believes is public);
+//! * **loops whose condition is tainted but whose body lies outside any
+//!   secret region** — a secret-dependent trip count observable in any
+//!   backend;
+//! * **potentially faulting operations inside secret regions** — a
+//!   division whose divisor may be zero on the wrong path (WIR's `Rem`
+//!   is hardware-guarded, so this is informational).
+
+use core::fmt;
+use std::collections::BTreeSet;
+
+use crate::wir::{ArrId, BinOp, Expr, Stmt, VarId, WirProgram};
+
+/// A finding of the taint analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaintWarning {
+    /// A non-secret `if` whose condition is influenced by secret data.
+    PublicBranchOnSecret {
+        /// Path of statement indices from the program root to the `if`.
+        location: Vec<usize>,
+    },
+    /// A `while` whose condition is influenced by secret data and which
+    /// does not sit inside any secret region (its trip count is
+    /// observable in every backend).
+    LoopBoundOnSecret {
+        /// Path of statement indices from the program root to the loop.
+        location: Vec<usize>,
+    },
+    /// A remainder whose divisor expression is secret-influenced inside a
+    /// secret region: on SeMPE both paths execute, so wrong-path values
+    /// reach the divider. WIR's lowering guards the divider (0 yields 0),
+    /// so this is informational rather than fatal.
+    GuardedDivisionOnSecret {
+        /// Path of statement indices from the program root.
+        location: Vec<usize>,
+    },
+}
+
+impl TaintWarning {
+    /// The statement path of the finding.
+    #[must_use]
+    pub fn location(&self) -> &[usize] {
+        match self {
+            TaintWarning::PublicBranchOnSecret { location }
+            | TaintWarning::LoopBoundOnSecret { location }
+            | TaintWarning::GuardedDivisionOnSecret { location } => location,
+        }
+    }
+}
+
+impl fmt::Display for TaintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaintWarning::PublicBranchOnSecret { location } => {
+                write!(f, "public branch on secret-tainted condition at {location:?}")
+            }
+            TaintWarning::LoopBoundOnSecret { location } => {
+                write!(f, "loop trip count depends on secret data at {location:?}")
+            }
+            TaintWarning::GuardedDivisionOnSecret { location } => {
+                write!(f, "secret-influenced division (hardware-guarded) at {location:?}")
+            }
+        }
+    }
+}
+
+/// Taint state: which scalars and arrays are secret-influenced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Taint {
+    vars: BTreeSet<VarId>,
+    arrays: BTreeSet<ArrId>,
+}
+
+impl Taint {
+    fn expr_tainted(&self, e: &Expr) -> bool {
+        match e {
+            Expr::Const(_) => false,
+            Expr::Var(v) => self.vars.contains(v),
+            Expr::Bin(_, a, b) => self.expr_tainted(a) || self.expr_tainted(b),
+            Expr::Load(a, idx) => self.arrays.contains(a) || self.expr_tainted(idx),
+        }
+    }
+}
+
+/// Result of the analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TaintReport {
+    /// All findings, in program order.
+    pub warnings: Vec<TaintWarning>,
+    /// Scalars that end up secret-influenced.
+    pub tainted_vars: Vec<VarId>,
+    /// Arrays that end up secret-influenced.
+    pub tainted_arrays: Vec<ArrId>,
+}
+
+impl TaintReport {
+    /// Does the program pass the FaCT-style discipline (no leaking
+    /// findings; informational ones are allowed)?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        !self.warnings.iter().any(|w| {
+            matches!(
+                w,
+                TaintWarning::PublicBranchOnSecret { .. } | TaintWarning::LoopBoundOnSecret { .. }
+            )
+        })
+    }
+}
+
+struct Analyzer {
+    taint: Taint,
+    warnings: Vec<TaintWarning>,
+}
+
+impl Analyzer {
+    /// Visit statements; `in_secret` = enclosed by a secret `if`;
+    /// `implicit` = the current statement executes under secret control
+    /// (implicit flow), so its writes are tainted.
+    fn visit(&mut self, stmts: &[Stmt], path: &mut Vec<usize>, in_secret: bool, implicit: bool) {
+        for (i, s) in stmts.iter().enumerate() {
+            path.push(i);
+            match s {
+                Stmt::Assign(v, e) => {
+                    self.check_division(e, path, in_secret);
+                    if implicit || self.taint.expr_tainted(e) {
+                        self.taint.vars.insert(*v);
+                    }
+                }
+                Stmt::Store(a, idx, val) => {
+                    self.check_division(idx, path, in_secret);
+                    self.check_division(val, path, in_secret);
+                    if implicit
+                        || self.taint.expr_tainted(idx)
+                        || self.taint.expr_tainted(val)
+                    {
+                        self.taint.arrays.insert(*a);
+                    }
+                }
+                Stmt::If { cond, secret, then_, else_ } => {
+                    self.check_division(cond, path, in_secret);
+                    let cond_tainted = self.taint.expr_tainted(cond);
+                    if cond_tainted && !*secret && !in_secret {
+                        self.warnings
+                            .push(TaintWarning::PublicBranchOnSecret { location: path.clone() });
+                    }
+                    let inner_secret = in_secret || *secret;
+                    let inner_implicit = implicit || (cond_tainted && *secret);
+                    self.visit(then_, path, inner_secret, inner_implicit);
+                    self.visit(else_, path, inner_secret, inner_implicit);
+                }
+                Stmt::While { cond, body, .. } => {
+                    self.check_division(cond, path, in_secret);
+                    // Propagate taint to a fixpoint first (values written
+                    // late in the body flow into earlier statements on
+                    // the next trip), discarding warnings raised with a
+                    // partial taint state.
+                    loop {
+                        let before = self.taint.clone();
+                        let mark = self.warnings.len();
+                        self.visit(body, path, in_secret, implicit);
+                        self.warnings.truncate(mark);
+                        if self.taint == before {
+                            break;
+                        }
+                    }
+                    // One reporting pass with the final taint state.
+                    if self.taint.expr_tainted(cond) && !in_secret {
+                        self.warnings
+                            .push(TaintWarning::LoopBoundOnSecret { location: path.clone() });
+                    }
+                    self.visit(body, path, in_secret, implicit);
+                }
+            }
+            path.pop();
+        }
+    }
+
+    fn check_division(&mut self, e: &Expr, path: &[usize], in_secret: bool) {
+        match e {
+            Expr::Bin(BinOp::Rem, a, b) => {
+                if in_secret && (self.taint.expr_tainted(b) || self.taint.expr_tainted(a)) {
+                    self.warnings.push(TaintWarning::GuardedDivisionOnSecret {
+                        location: path.to_vec(),
+                    });
+                }
+                self.check_division(a, path, in_secret);
+                self.check_division(b, path, in_secret);
+            }
+            Expr::Bin(_, a, b) => {
+                self.check_division(a, path, in_secret);
+                self.check_division(b, path, in_secret);
+            }
+            Expr::Load(_, idx) => self.check_division(idx, path, in_secret),
+            _ => {}
+        }
+    }
+}
+
+/// Run the taint analysis, treating `secrets` as the initially tainted
+/// scalars (typically the key/secret inputs).
+#[must_use]
+pub fn analyze_taint(prog: &WirProgram, secrets: &[VarId]) -> TaintReport {
+    let mut a = Analyzer {
+        taint: Taint { vars: secrets.iter().copied().collect(), arrays: BTreeSet::new() },
+        warnings: Vec::new(),
+    };
+    let mut path = Vec::new();
+    a.visit(prog.body(), &mut path, false, false);
+    // Deduplicate warnings produced by the loop fixpoint re-visits.
+    a.warnings.dedup();
+    let mut seen = BTreeSet::new();
+    a.warnings.retain(|w| seen.insert(format!("{w:?}")));
+    TaintReport {
+        warnings: a.warnings,
+        tainted_vars: a.taint.vars.into_iter().collect(),
+        tainted_arrays: a.taint.arrays.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wir::WirBuilder;
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let out = b.var("out", 0);
+        b.if_secret(
+            Expr::Var(s),
+            vec![b.assign(out, Expr::Const(1))],
+            vec![b.assign(out, Expr::Const(2))],
+        );
+        let prog = b.build();
+        let r = analyze_taint(&prog, &[s]);
+        assert!(r.is_clean(), "{:?}", r.warnings);
+        assert!(r.tainted_vars.contains(&out), "out is written under secret control");
+    }
+
+    #[test]
+    fn public_branch_on_secret_is_flagged() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let out = b.var("out", 0);
+        b.if_public(
+            Expr::Var(s),
+            vec![b.assign(out, Expr::Const(1))],
+            vec![],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_clean());
+        assert!(matches!(r.warnings[0], TaintWarning::PublicBranchOnSecret { .. }));
+    }
+
+    #[test]
+    fn indirect_flow_through_assignment_is_tracked() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let copy = b.var("copy", 0);
+        let out = b.var("out", 0);
+        b.push(b.assign(copy, Expr::bin(BinOp::Add, Expr::Var(s), Expr::Const(1))));
+        b.if_public(Expr::Var(copy), vec![b.assign(out, Expr::Const(1))], vec![]);
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_clean(), "taint must flow through the copy");
+    }
+
+    #[test]
+    fn implicit_flow_through_secret_if_taints_writes() {
+        // out is assigned constants, but WHICH constant depends on the
+        // secret: out becomes tainted (implicit flow).
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let out = b.var("out", 0);
+        let leak = b.var("leak", 0);
+        b.if_secret(
+            Expr::Var(s),
+            vec![b.assign(out, Expr::Const(1))],
+            vec![b.assign(out, Expr::Const(2))],
+        );
+        // Branching publicly on `out` afterwards leaks the secret.
+        b.if_public(Expr::Var(out), vec![b.assign(leak, Expr::Const(9))], vec![]);
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_clean(), "implicit flow must be caught");
+    }
+
+    #[test]
+    fn tainted_loop_bound_is_flagged() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 3);
+        let i = b.var("i", 0);
+        b.while_loop(
+            Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Var(s)),
+            10,
+            vec![b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1)))],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_clean());
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w, TaintWarning::LoopBoundOnSecret { .. })));
+    }
+
+    #[test]
+    fn tainted_loop_inside_secret_region_is_fine() {
+        // Inside a secret region the whole loop is protected; Sempe/Cte
+        // handle it (Cte pads to the bound).
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 3);
+        let i = b.var("i", 0);
+        let body = vec![b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1)))];
+        b.if_secret(
+            Expr::Const(1),
+            vec![Stmt::While {
+                cond: Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Var(s)),
+                bound: 10,
+                body,
+            }],
+            vec![],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(r.is_clean(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn taint_propagates_through_arrays() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let arr = b.array("a", 4, vec![]);
+        let out = b.var("out", 0);
+        b.push(b.store(arr, Expr::Const(0), Expr::Var(s)));
+        b.push(b.assign(out, Expr::Load(arr, Box::new(Expr::Const(0)))));
+        let leak = b.var("leak", 0);
+        b.if_public(Expr::Var(out), vec![b.assign(leak, Expr::Const(1))], vec![]);
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_clean(), "array-mediated flow must be caught");
+        assert!(!r.tainted_arrays.is_empty());
+    }
+
+    #[test]
+    fn loop_fixpoint_catches_late_taint() {
+        // Taint enters `x` on trip 1 and reaches the public if on trip 2.
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let x = b.var("x", 0);
+        let i = b.var("i", 0);
+        let y = b.var("y", 0);
+        b.while_loop(
+            Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Const(3)),
+            4,
+            vec![
+                Stmt::If {
+                    cond: Expr::Var(x),
+                    secret: false,
+                    then_: vec![b.assign(y, Expr::Const(1))],
+                    else_: vec![],
+                },
+                b.assign(x, Expr::Var(s)),
+                b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
+            ],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_clean(), "fixpoint iteration must catch the delayed flow");
+    }
+
+    #[test]
+    fn shipped_workloads_are_taint_clean() {
+        use crate::wir::VarId;
+        // The RSA workload: exponent is the secret.
+        // (Constructed inline to avoid a circular dev-dependency.)
+        let mut b = WirBuilder::new();
+        let r = b.var("r", 1);
+        let base = b.var("b", 7);
+        let e = b.var("e", 0xB6);
+        let i = b.var("i", 0);
+        let bit = b.var("bit", 0);
+        b.while_loop(
+            Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Const(8)),
+            9,
+            vec![
+                b.assign(
+                    bit,
+                    Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Shr, Expr::Var(e), Expr::Var(i)),
+                        Expr::Const(1),
+                    ),
+                ),
+                Stmt::If {
+                    cond: Expr::Var(bit),
+                    secret: true,
+                    then_: vec![b.assign(
+                        r,
+                        Expr::bin(
+                            BinOp::Rem,
+                            Expr::bin(BinOp::Mul, Expr::Var(r), Expr::Var(base)),
+                            Expr::Const(97),
+                        ),
+                    )],
+                    else_: vec![],
+                },
+                b.assign(
+                    base,
+                    Expr::bin(
+                        BinOp::Rem,
+                        Expr::bin(BinOp::Mul, Expr::Var(base), Expr::Var(base)),
+                        Expr::Const(97),
+                    ),
+                ),
+                b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
+            ],
+        );
+        let prog = b.build();
+        let secrets: Vec<VarId> = vec![e];
+        let report = analyze_taint(&prog, &secrets);
+        assert!(report.is_clean(), "{:?}", report.warnings);
+    }
+}

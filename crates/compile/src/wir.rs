@@ -1,0 +1,437 @@
+//! WIR — the Workload Intermediate Representation.
+//!
+//! A small structured language in which the evaluation workloads are
+//! written once and compiled three ways:
+//!
+//! * **Baseline** — ordinary conditional branches (the insecure reference
+//!   the paper normalizes against);
+//! * **Sempe** — secret `if`s become sJMP/eosJMP secure regions with
+//!   ShadowMemory privatization and CMOV merges (paper §V);
+//! * **Cte** — FaCT-style constant-time expressions: no secret branches
+//!   at all; every statement is predicated by the product of enclosing
+//!   condition masks, exactly like the paper's Figure 2b.
+//!
+//! WIR deliberately mirrors what FaCT can express: scalars and arrays of
+//! 64-bit integers, arithmetic, bounded loops. Loops carry an explicit
+//! public **bound** because constant-time lowering must pad
+//! data-dependent loops to their worst case.
+
+use core::fmt;
+
+/// A scalar variable handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+/// An array handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrId(pub(crate) usize);
+
+/// Binary operators. Comparisons yield 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 64 bits).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (amount masked to 63).
+    Shl,
+    /// Logical right shift (amount masked to 63).
+    Shr,
+    /// Unsigned less-than (0/1).
+    Ltu,
+    /// Signed less-than (0/1).
+    Lt,
+    /// Equality (0/1).
+    Eq,
+    /// Inequality (0/1).
+    Ne,
+    /// Unsigned remainder; `a % 0` is defined as `0` (the lowering guards
+    /// the hardware divider so masked-off constant-time lanes can never
+    /// fault).
+    Rem,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A 64-bit constant.
+    Const(u64),
+    /// A scalar variable.
+    Var(VarId),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// An array element (`arr[index]`), 64-bit.
+    Load(ArrId, Box<Expr>),
+}
+
+impl Expr {
+    /// `a op b` helper.
+    #[must_use]
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Nesting depth (for the register-stack lowering limit).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Bin(_, a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Load(_, i) => 1 + i.depth(),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var = expr`.
+    Assign(VarId, Expr),
+    /// `arr[index] = value`.
+    Store(ArrId, Expr, Expr),
+    /// Conditional. `secret` marks the condition as secret-dependent:
+    /// the Sempe backend emits a secure region, the Cte backend
+    /// predicates, the Baseline backend branches regardless.
+    If {
+        /// Condition (non-zero = then-branch).
+        cond: Expr,
+        /// Is the condition secret-dependent?
+        secret: bool,
+        /// Taken branch.
+        then_: Vec<Stmt>,
+        /// Fall-through branch.
+        else_: Vec<Stmt>,
+    },
+    /// `while (cond) body`, with a public worst-case trip bound used by
+    /// the constant-time backend (and enforced by the WIR interpreter).
+    While {
+        /// Continuation condition.
+        cond: Expr,
+        /// Public worst-case trip count.
+        bound: u32,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A declared array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Debug name.
+    pub name: String,
+    /// Element count (64-bit words).
+    pub len: usize,
+    /// Initial contents (zero-filled when shorter than `len`).
+    pub init: Vec<u64>,
+    /// Declared path-private scratch: the workload promises that (a) the
+    /// array is fully re-initialized before being read within any secure
+    /// path that touches it, and (b) its contents are dead after the
+    /// region. The Sempe backend then skips ShadowMemory privatization
+    /// for it — the same optimization the paper's authors applied when
+    /// manually instrumenting only live-out locals (§V).
+    pub scratch: bool,
+}
+
+/// A complete WIR program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirProgram {
+    pub(crate) var_names: Vec<String>,
+    pub(crate) var_init: Vec<u64>,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) body: Vec<Stmt>,
+    pub(crate) outputs: Vec<VarId>,
+}
+
+impl WirProgram {
+    /// Number of scalar variables.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Number of arrays.
+    #[must_use]
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Declared output variables, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[VarId] {
+        &self.outputs
+    }
+
+    /// The top-level statements.
+    #[must_use]
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Array metadata.
+    #[must_use]
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Variable name (for diagnostics).
+    #[must_use]
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0]
+    }
+
+    /// Count statements, recursively (a size metric for reports).
+    #[must_use]
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Assign(..) | Stmt::Store(..) => 1,
+                    Stmt::If { then_, else_, .. } => 1 + count(then_) + count(else_),
+                    Stmt::While { body, .. } => 1 + count(body),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+
+    /// Maximum static nesting depth of *secret* conditionals.
+    #[must_use]
+    pub fn secret_depth(&self) -> usize {
+        fn depth(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If { secret, then_, else_, .. } => {
+                        usize::from(*secret) + depth(then_).max(depth(else_))
+                    }
+                    Stmt::While { body, .. } => depth(body),
+                    _ => 0,
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth(&self.body)
+    }
+}
+
+/// Builder for [`WirProgram`].
+///
+/// # Examples
+///
+/// ```
+/// use sempe_compile::wir::{BinOp, Expr, WirBuilder};
+///
+/// let mut b = WirBuilder::new();
+/// let secret = b.var("secret", 1);
+/// let out = b.var("out", 0);
+/// b.if_secret(
+///     Expr::Var(secret),
+///     vec![b.assign(out, Expr::Const(10))],
+///     vec![b.assign(out, Expr::Const(20))],
+/// );
+/// b.output(out);
+/// let prog = b.build();
+/// assert_eq!(prog.secret_depth(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct WirBuilder {
+    var_names: Vec<String>,
+    var_init: Vec<u64>,
+    arrays: Vec<ArrayDecl>,
+    body: Vec<Stmt>,
+    outputs: Vec<VarId>,
+}
+
+impl WirBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a scalar with an initial value.
+    pub fn var(&mut self, name: impl Into<String>, init: u64) -> VarId {
+        self.var_names.push(name.into());
+        self.var_init.push(init);
+        VarId(self.var_names.len() - 1)
+    }
+
+    /// Declare an array (privatized by the Sempe backend when written
+    /// inside a secure region).
+    pub fn array(&mut self, name: impl Into<String>, len: usize, init: Vec<u64>) -> ArrId {
+        assert!(init.len() <= len, "array initializer longer than the array");
+        self.arrays.push(ArrayDecl { name: name.into(), len, init, scratch: false });
+        ArrId(self.arrays.len() - 1)
+    }
+
+    /// Declare a path-private scratch array (see [`ArrayDecl::scratch`]).
+    pub fn scratch_array(&mut self, name: impl Into<String>, len: usize, init: Vec<u64>) -> ArrId {
+        assert!(init.len() <= len, "array initializer longer than the array");
+        self.arrays.push(ArrayDecl { name: name.into(), len, init, scratch: true });
+        ArrId(self.arrays.len() - 1)
+    }
+
+    /// Mark a variable as a program output.
+    pub fn output(&mut self, v: VarId) {
+        self.outputs.push(v);
+    }
+
+    /// Append a statement to the top-level body.
+    pub fn push(&mut self, s: Stmt) {
+        self.body.push(s);
+    }
+
+    /// `var = expr` (constructor only; returns the statement).
+    #[must_use]
+    pub fn assign(&self, v: VarId, e: Expr) -> Stmt {
+        Stmt::Assign(v, e)
+    }
+
+    /// `arr[idx] = val` (constructor only).
+    #[must_use]
+    pub fn store(&self, a: ArrId, idx: Expr, val: Expr) -> Stmt {
+        Stmt::Store(a, idx, val)
+    }
+
+    /// Append a secret conditional to the body.
+    pub fn if_secret(&mut self, cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt>) {
+        self.body.push(Stmt::If { cond, secret: true, then_, else_ });
+    }
+
+    /// Append a public conditional to the body.
+    pub fn if_public(&mut self, cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt>) {
+        self.body.push(Stmt::If { cond, secret: false, then_, else_ });
+    }
+
+    /// Append a bounded while-loop to the body.
+    pub fn while_loop(&mut self, cond: Expr, bound: u32, body: Vec<Stmt>) {
+        self.body.push(Stmt::While { cond, bound, body });
+    }
+
+    /// Finalize.
+    #[must_use]
+    pub fn build(self) -> WirProgram {
+        WirProgram {
+            var_names: self.var_names,
+            var_init: self.var_init,
+            arrays: self.arrays,
+            body: self.body,
+            outputs: self.outputs,
+        }
+    }
+}
+
+impl fmt::Display for WirProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(f: &mut fmt::Formatter<'_>, p: &WirProgram, stmts: &[Stmt], ind: usize) -> fmt::Result {
+            let pad = "  ".repeat(ind);
+            for s in stmts {
+                match s {
+                    Stmt::Assign(v, e) => writeln!(f, "{pad}{} = {e:?}", p.var_name(*v))?,
+                    Stmt::Store(a, i, v) => {
+                        writeln!(f, "{pad}{}[{i:?}] = {v:?}", p.arrays[a.0].name)?
+                    }
+                    Stmt::If { cond, secret, then_, else_ } => {
+                        let kw = if *secret { "if@secret" } else { "if" };
+                        writeln!(f, "{pad}{kw} ({cond:?}) {{")?;
+                        go(f, p, then_, ind + 1)?;
+                        writeln!(f, "{pad}}} else {{")?;
+                        go(f, p, else_, ind + 1)?;
+                        writeln!(f, "{pad}}}")?;
+                    }
+                    Stmt::While { cond, bound, body } => {
+                        writeln!(f, "{pad}while[{bound}] ({cond:?}) {{")?;
+                        go(f, p, body, ind + 1)?;
+                        writeln!(f, "{pad}}}")?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        go(f, self, &self.body, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_a_program() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let x = b.var("x", 0);
+        let arr = b.array("buf", 4, vec![1, 2, 3]);
+        b.if_secret(
+            Expr::Var(s),
+            vec![b.assign(x, Expr::Const(1))],
+            vec![b.store(arr, Expr::Const(0), Expr::Const(9))],
+        );
+        b.output(x);
+        let p = b.build();
+        assert_eq!(p.var_count(), 2);
+        assert_eq!(p.array_count(), 1);
+        assert_eq!(p.outputs(), &[x]);
+        assert_eq!(p.stmt_count(), 3);
+        assert_eq!(p.secret_depth(), 1);
+    }
+
+    #[test]
+    fn secret_depth_counts_only_secret_ifs() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let x = b.var("x", 0);
+        let inner = Stmt::If {
+            cond: Expr::Var(s),
+            secret: true,
+            then_: vec![b.assign(x, Expr::Const(1))],
+            else_: vec![],
+        };
+        let public_wrapper = Stmt::If {
+            cond: Expr::Var(s),
+            secret: false,
+            then_: vec![inner],
+            else_: vec![],
+        };
+        b.push(public_wrapper);
+        let p = b.build();
+        assert_eq!(p.secret_depth(), 1, "the public if must not count");
+    }
+
+    #[test]
+    fn expr_depth() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Const(1),
+            Expr::bin(BinOp::Mul, Expr::Var(VarId(0)), Expr::Const(2)),
+        );
+        assert_eq!(e.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "array initializer longer")]
+    fn oversized_initializer_panics() {
+        let mut b = WirBuilder::new();
+        let _ = b.array("a", 1, vec![1, 2]);
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 0);
+        let x = b.var("x", 0);
+        b.if_secret(Expr::Var(s), vec![b.assign(x, Expr::Const(1))], vec![]);
+        let p = b.build();
+        let text = p.to_string();
+        assert!(text.contains("if@secret"));
+    }
+}

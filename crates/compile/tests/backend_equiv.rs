@@ -1,0 +1,291 @@
+//! The strongest correctness property in the workspace: for random WIR
+//! programs and random secrets, the WIR interpreter (semantic oracle),
+//! the three backends (Baseline / Sempe / Cte), and every execution
+//! engine (legacy interpreter, SeMPE-functional interpreter, cycle-level
+//! simulator in both modes) must all agree on the program outputs — and
+//! the protected backends must execute a secret-independent number of
+//! instructions.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use sempe_compile::wir::{BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+use sempe_compile::{compile, Backend};
+use sempe_isa::interp::{Interp, InterpMode};
+use sempe_sim::{SimConfig, Simulator};
+
+const FUEL: u64 = 20_000_000;
+const NVARS: u8 = 6;
+const ARR_LEN: u64 = 8;
+
+#[derive(Clone, Debug)]
+enum MExpr {
+    C(u8),
+    V(u8),
+    S, // the secret variable
+    Bin(u8, Box<MExpr>, Box<MExpr>),
+    Ld(Box<MExpr>),
+}
+
+#[derive(Clone, Debug)]
+enum MStmt {
+    Assign(u8, MExpr),
+    Store(MExpr, MExpr),
+    If { cond: MExpr, secret: bool, then_: Vec<MStmt>, else_: Vec<MStmt> },
+    Loop { trips: u8, body: Vec<MStmt> },
+}
+
+fn arb_expr() -> impl Strategy<Value = MExpr> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(MExpr::C),
+        any::<u8>().prop_map(MExpr::V),
+        Just(MExpr::S),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (any::<u8>(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| MExpr::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|i| MExpr::Ld(Box::new(i))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = MStmt> {
+    let simple = prop_oneof![
+        (any::<u8>(), arb_expr()).prop_map(|(v, e)| MStmt::Assign(v, e)),
+        (arb_expr(), arb_expr()).prop_map(|(i, v)| MStmt::Store(i, v)),
+    ];
+    simple.prop_recursive(2, 16, 4, |inner| {
+        prop_oneof![
+            (arb_expr(), any::<bool>(), prop::collection::vec(inner.clone(), 0..4),
+             prop::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(cond, secret, then_, else_)| MStmt::If { cond, secret, then_, else_ }),
+            (1u8..4, prop::collection::vec(inner, 1..4))
+                .prop_map(|(trips, body)| MStmt::Loop { trips, body }),
+        ]
+    })
+}
+
+struct Materializer {
+    b: WirBuilder,
+    vars: Vec<VarId>,
+    secret: VarId,
+    arr: sempe_compile::ArrId,
+}
+
+impl Materializer {
+    fn expr(&self, e: &MExpr) -> Expr {
+        match e {
+            MExpr::C(c) => Expr::Const(u64::from(*c)),
+            MExpr::V(v) => Expr::Var(self.vars[(v % NVARS) as usize]),
+            MExpr::S => Expr::Var(self.secret),
+            MExpr::Bin(op, a, b) => {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Ltu,
+                    BinOp::Eq,
+                ];
+                Expr::bin(ops[(op % 8) as usize], self.expr(a), self.expr(b))
+            }
+            MExpr::Ld(i) => {
+                // Always-in-bounds index.
+                let idx = Expr::bin(BinOp::And, self.expr(i), Expr::Const(ARR_LEN - 1));
+                Expr::Load(self.arr, Box::new(idx))
+            }
+        }
+    }
+
+    fn stmts(&mut self, ms: &[MStmt]) -> Vec<Stmt> {
+        ms.iter().map(|m| self.stmt(m)).collect()
+    }
+
+    fn stmt(&mut self, m: &MStmt) -> Stmt {
+        match m {
+            MStmt::Assign(v, e) => {
+                Stmt::Assign(self.vars[(v % NVARS) as usize], self.expr(e))
+            }
+            MStmt::Store(i, v) => {
+                let idx = Expr::bin(BinOp::And, self.expr(i), Expr::Const(ARR_LEN - 1));
+                Stmt::Store(self.arr, idx, self.expr(v))
+            }
+            MStmt::If { cond, secret, then_, else_ } => Stmt::If {
+                cond: self.expr(cond),
+                secret: *secret,
+                then_: self.stmts(then_),
+                else_: self.stmts(else_),
+            },
+            MStmt::Loop { trips, body } => {
+                // Names are diagnostics only; a fresh VarId per loop is
+                // what matters.
+                let c = self.b.var("loop_counter", 0);
+                let mut body_s = vec![Stmt::Assign(c, Expr::Var(c))]; // placeholder keeps shape simple
+                body_s.clear();
+                body_s.extend(self.stmts(body));
+                body_s.push(Stmt::Assign(
+                    c,
+                    Expr::bin(BinOp::Add, Expr::Var(c), Expr::Const(1)),
+                ));
+                // The counter must start at zero on *every* entry to the
+                // loop (it may sit inside an enclosing loop).
+                Stmt::If {
+                    cond: Expr::Const(1),
+                    secret: false,
+                    then_: vec![
+                        Stmt::Assign(c, Expr::Const(0)),
+                        Stmt::While {
+                            cond: Expr::bin(
+                                BinOp::Ltu,
+                                Expr::Var(c),
+                                Expr::Const(u64::from(*trips)),
+                            ),
+                            bound: u32::from(*trips) + 1,
+                            body: body_s,
+                        },
+                    ],
+                    else_: vec![],
+                }
+            }
+        }
+    }
+
+}
+
+fn mark_all_secret(ms: &mut [MStmt]) {
+    for m in ms {
+        match m {
+            MStmt::If { secret, then_, else_, .. } => {
+                *secret = true;
+                mark_all_secret(then_);
+                mark_all_secret(else_);
+            }
+            MStmt::Loop { body, .. } => mark_all_secret(body),
+            _ => {}
+        }
+    }
+}
+
+fn materialize(ms: &[MStmt], inits: &[u64], secret: u64) -> (WirProgram, VarId) {
+    let mut b = WirBuilder::new();
+    let secret_var = b.var("secret", secret);
+    let vars: Vec<VarId> =
+        (0..NVARS).map(|i| b.var(format!("v{i}"), inits[i as usize])).collect();
+    let arr = b.array("buf", ARR_LEN as usize, vec![3, 1, 4, 1, 5, 9, 2, 6]);
+    let mut m = Materializer { b, vars, secret: secret_var, arr };
+    let body = m.stmts(ms);
+    let mut b = m.b;
+    for s in body {
+        b.push(s);
+    }
+    for v in &m.vars {
+        b.output(*v);
+    }
+    let prog = b.build();
+    (prog, secret_var)
+}
+
+/// Run a compiled workload on the ISA interpreter; returns (outputs,
+/// committed instruction count).
+fn run_interp(
+    cw: &sempe_compile::CompiledWorkload,
+    mode: InterpMode,
+) -> (Vec<u64>, u64) {
+    let mut i = Interp::new(cw.program(), mode).expect("interp builds");
+    let summary = i.run(FUEL).expect("interp halts");
+    (cw.read_outputs(i.mem()), summary.committed)
+}
+
+fn oracle(prog: &WirProgram) -> Vec<u64> {
+    sempe_compile::run_wir(prog, &BTreeMap::new()).expect("oracle runs").outputs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Outputs agree across every backend and engine, for both secrets.
+    #[test]
+    fn all_backends_and_engines_agree(
+        ms in prop::collection::vec(arb_stmt(), 1..8),
+        inits in prop::collection::vec(any::<u64>(), NVARS as usize),
+        secret in any::<u64>(),
+    ) {
+        let (prog, _) = materialize(&ms, &inits, secret);
+        let want = oracle(&prog);
+
+        for backend in [Backend::Baseline, Backend::Sempe, Backend::Cte] {
+            let cw = compile(&prog, backend).expect("compiles");
+            let (got, _) = run_interp(&cw, InterpMode::Legacy);
+            prop_assert_eq!(&got, &want, "backend {} on legacy interp", backend);
+            if backend == Backend::Sempe {
+                let (got_s, _) = run_interp(&cw, InterpMode::SempeFunctional);
+                prop_assert_eq!(&got_s, &want, "sempe backend on functional interp");
+            }
+        }
+    }
+
+    /// Protected backends execute a secret-independent instruction count.
+    ///
+    /// Every generated `if` is forced secret here: the random generator
+    /// performs no taint analysis, so a "public" condition may in fact
+    /// depend on the secret — code FaCT's type system would reject.
+    /// Marking everything secret is the sound over-approximation.
+    #[test]
+    fn protected_backends_have_secret_independent_counts(
+        ms in prop::collection::vec(arb_stmt(), 1..8),
+        inits in prop::collection::vec(any::<u64>(), NVARS as usize),
+        s0 in any::<u64>(),
+        s1 in any::<u64>(),
+    ) {
+        let mut ms = ms;
+        mark_all_secret(&mut ms);
+        let (p0, _) = materialize(&ms, &inits, s0);
+        let (p1, _) = materialize(&ms, &inits, s1);
+
+        // CTE: straight-line for secrets, so counts match exactly.
+        let c0 = run_interp(&compile(&p0, Backend::Cte).unwrap(), InterpMode::Legacy).1;
+        let c1 = run_interp(&compile(&p1, Backend::Cte).unwrap(), InterpMode::Legacy).1;
+        prop_assert_eq!(c0, c1, "CTE counts must not depend on the secret");
+
+        // SeMPE (functional semantics): both paths always execute.
+        let m0 =
+            run_interp(&compile(&p0, Backend::Sempe).unwrap(), InterpMode::SempeFunctional).1;
+        let m1 =
+            run_interp(&compile(&p1, Backend::Sempe).unwrap(), InterpMode::SempeFunctional).1;
+        prop_assert_eq!(m0, m1, "SeMPE counts must not depend on the secret");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The cycle-level simulator agrees too (fewer cases: it is slower).
+    #[test]
+    fn cycle_simulator_agrees(
+        ms in prop::collection::vec(arb_stmt(), 1..5),
+        inits in prop::collection::vec(any::<u64>(), NVARS as usize),
+        secret in any::<u64>(),
+    ) {
+        let (prog, _) = materialize(&ms, &inits, secret);
+        let want = oracle(&prog);
+
+        let base = compile(&prog, Backend::Baseline).unwrap();
+        let mut sim = Simulator::new(base.program(), SimConfig::baseline()).unwrap();
+        sim.run(FUEL).unwrap();
+        prop_assert_eq!(base.read_outputs(sim.mem()), want.clone(), "baseline on sim");
+
+        let sempe = compile(&prog, Backend::Sempe).unwrap();
+        let mut sim = Simulator::new(sempe.program(), SimConfig::paper()).unwrap();
+        sim.run(FUEL).unwrap();
+        prop_assert_eq!(sempe.read_outputs(sim.mem()), want.clone(), "sempe on sim");
+
+        // Backward compatibility at the pipeline level: the SeMPE binary
+        // on a legacy pipeline.
+        let mut sim = Simulator::new(sempe.program(), SimConfig::baseline()).unwrap();
+        sim.run(FUEL).unwrap();
+        prop_assert_eq!(sempe.read_outputs(sim.mem()), want, "sempe binary on legacy sim");
+    }
+}

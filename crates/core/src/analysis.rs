@@ -1,0 +1,203 @@
+//! Indistinguishability analysis over observation traces.
+//!
+//! The security property SeMPE establishes (paper §IV-A claim, §IV-G):
+//! executing a program under two different secret values must produce the
+//! **same** observation trace. This module compares traces and reports the
+//! first divergence, in attacker-meaningful terms.
+
+use core::fmt;
+
+use crate::trace::{ObservationTrace, TraceEvent};
+
+/// How strictly to compare two traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strictness {
+    /// Events *and* their cycle timestamps *and* total cycles must match —
+    /// the full threat model (timing + address channels).
+    #[default]
+    Full,
+    /// Only the event sequence must match; timing is ignored. Useful to
+    /// separate "address-channel clean but timing leaks" situations when
+    /// debugging a defense.
+    EventsOnly,
+}
+
+/// The first point at which two traces differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first differing event (or the length of the shorter
+    /// trace when one is a prefix of the other).
+    pub index: usize,
+    /// `(cycle, event)` on the left side, if any.
+    pub left: Option<(u64, TraceEvent)>,
+    /// `(cycle, event)` on the right side, if any.
+    pub right: Option<(u64, TraceEvent)>,
+    /// Total cycles differ (set when the event streams match but timing
+    /// does not).
+    pub total_cycles: Option<(u64, u64)>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((a, b)) = self.total_cycles {
+            return write!(f, "total cycle counts differ: {a} vs {b}");
+        }
+        write!(
+            f,
+            "traces diverge at event {}: {:?} vs {:?}",
+            self.index, self.left, self.right
+        )
+    }
+}
+
+/// Compare two traces; `None` means indistinguishable at the requested
+/// strictness.
+#[must_use]
+pub fn first_divergence(
+    a: &ObservationTrace,
+    b: &ObservationTrace,
+    strictness: Strictness,
+) -> Option<Divergence> {
+    let mut ia = a.iter();
+    let mut ib = b.iter();
+    let mut index = 0usize;
+    loop {
+        match (ia.next(), ib.next()) {
+            (None, None) => break,
+            (x, y) => {
+                let eq = match (x, y, strictness) {
+                    (Some((ca, ea)), Some((cb, eb)), Strictness::Full) => ca == cb && ea == eb,
+                    (Some((_, ea)), Some((_, eb)), Strictness::EventsOnly) => ea == eb,
+                    _ => false,
+                };
+                if !eq {
+                    return Some(Divergence {
+                        index,
+                        left: x.copied(),
+                        right: y.copied(),
+                        total_cycles: None,
+                    });
+                }
+            }
+        }
+        index += 1;
+    }
+    if strictness == Strictness::Full && a.total_cycles != b.total_cycles {
+        return Some(Divergence {
+            index,
+            left: None,
+            right: None,
+            total_cycles: Some((a.total_cycles, b.total_cycles)),
+        });
+    }
+    None
+}
+
+/// Convenience predicate: are the traces indistinguishable under the full
+/// threat model?
+#[must_use]
+pub fn indistinguishable(a: &ObservationTrace, b: &ObservationTrace) -> bool {
+    first_divergence(a, b, Strictness::Full).is_none()
+}
+
+/// Summary statistics over a set of per-secret traces: used by the test
+/// suite and the benches to assert the security property over many secret
+/// values at once.
+///
+/// Returns `Ok(())` when all traces are mutually indistinguishable,
+/// otherwise the index of the offending pair and its divergence.
+///
+/// # Errors
+///
+/// The pair `(i, j)` of the first distinguishable traces and the
+/// divergence between them.
+pub fn all_indistinguishable(
+    traces: &[ObservationTrace],
+) -> Result<(), (usize, usize, Divergence)> {
+    // Comparing everything against the first suffices for an equivalence
+    // relation and keeps this O(n).
+    for (j, t) in traces.iter().enumerate().skip(1) {
+        if let Some(d) = first_divergence(&traces[0], t, Strictness::Full) {
+            return Err((0, j, d));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CacheLevel;
+
+    fn trace(events: &[(u64, TraceEvent)], cycles: u64) -> ObservationTrace {
+        let mut t = ObservationTrace::new();
+        for (c, e) in events {
+            t.push(*c, *e);
+        }
+        t.total_cycles = cycles;
+        t
+    }
+
+    #[test]
+    fn identical_traces_are_indistinguishable() {
+        let a = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
+        let b = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
+        assert!(indistinguishable(&a, &b));
+        assert!(all_indistinguishable(&[a, b]).is_ok());
+    }
+
+    #[test]
+    fn differing_event_is_located() {
+        let a = trace(
+            &[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::MemRead { addr: 0x10 })],
+            9,
+        );
+        let b = trace(
+            &[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::MemRead { addr: 0x20 })],
+            9,
+        );
+        let d = first_divergence(&a, &b, Strictness::Full).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, Some((2, TraceEvent::MemRead { addr: 0x10 })));
+        assert!(d.to_string().contains("event 1"));
+    }
+
+    #[test]
+    fn prefix_traces_diverge_at_the_tail() {
+        let a = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
+        let b = trace(
+            &[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::Redirect { target: 8 })],
+            9,
+        );
+        let d = first_divergence(&a, &b, Strictness::Full).expect("must diverge");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, None);
+        assert!(d.right.is_some());
+    }
+
+    #[test]
+    fn timing_only_difference_is_caught_by_full_not_events_only() {
+        let a = trace(&[(1, TraceEvent::Cache { level: CacheLevel::Dl1, hit: true })], 9);
+        let b = trace(&[(3, TraceEvent::Cache { level: CacheLevel::Dl1, hit: true })], 9);
+        assert!(first_divergence(&a, &b, Strictness::Full).is_some());
+        assert!(first_divergence(&a, &b, Strictness::EventsOnly).is_none());
+    }
+
+    #[test]
+    fn total_cycle_difference_is_a_channel() {
+        let a = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
+        let b = trace(&[(1, TraceEvent::Commit { pc: 4 })], 12);
+        let d = first_divergence(&a, &b, Strictness::Full).expect("must diverge");
+        assert_eq!(d.total_cycles, Some((9, 12)));
+        assert!(d.to_string().contains("total cycle"));
+    }
+
+    #[test]
+    fn all_indistinguishable_reports_offender() {
+        let a = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
+        let b = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
+        let c = trace(&[(1, TraceEvent::Commit { pc: 5 })], 9);
+        let err = all_indistinguishable(&[a, b, c]).unwrap_err();
+        assert_eq!((err.0, err.1), (0, 2));
+    }
+}

@@ -1,0 +1,208 @@
+//! Attack models over observation traces — the adversary of the threat
+//! model (§III) made executable.
+//!
+//! The attacker cannot read the victim's memory; it observes the trace
+//! channels (coarse timing, shared-cache behavior, predictor state) and
+//! tries to infer the secret. Two concrete attackers are provided:
+//!
+//! * [`TimingAttacker`] — the classic remote attacker: compares total
+//!   cycle counts against reference profiles (Brumley–Boneh style).
+//! * [`BranchProfileAttacker`] — the local attacker priming the branch
+//!   predictor: recovers the per-branch outcome history from predictor
+//!   update events (Acıiçmez–Koç–Seifert style).
+//!
+//! Against the unprotected baseline both recover secrets; against SeMPE
+//! both are blind — and the test suites assert precisely that.
+
+use std::collections::BTreeMap;
+
+use sempe_isa::Addr;
+
+use crate::trace::{ObservationTrace, TraceEvent};
+
+/// A timing attacker with a calibrated dictionary of reference profiles.
+///
+/// # Examples
+///
+/// ```
+/// use sempe_core::attack::TimingAttacker;
+/// use sempe_core::trace::ObservationTrace;
+///
+/// let mut profile_a = ObservationTrace::new();
+/// profile_a.total_cycles = 100;
+/// let mut profile_b = ObservationTrace::new();
+/// profile_b.total_cycles = 220;
+///
+/// let mut attacker = TimingAttacker::new();
+/// attacker.calibrate("secret=0", &profile_a);
+/// attacker.calibrate("secret=1", &profile_b);
+///
+/// let mut observed = ObservationTrace::new();
+/// observed.total_cycles = 219;
+/// assert_eq!(attacker.classify(&observed), Some("secret=1"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimingAttacker {
+    profiles: Vec<(&'static str, u64)>,
+}
+
+impl TimingAttacker {
+    /// An attacker with no calibration data yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a reference profile for a candidate secret (the attacker
+    /// runs the known code on its own machine — threat model: "the
+    /// attacker knows or can guess the code that the victim is running").
+    pub fn calibrate(&mut self, label: &'static str, reference: &ObservationTrace) {
+        self.profiles.push((label, reference.total_cycles));
+    }
+
+    /// Classify an observed execution by nearest cycle count. Returns
+    /// `None` when the observation is equidistant from several profiles
+    /// (indistinguishable — the defense held).
+    #[must_use]
+    pub fn classify(&self, observed: &ObservationTrace) -> Option<&'static str> {
+        let mut best: Option<(&'static str, u64)> = None;
+        let mut tie = false;
+        for (label, cycles) in &self.profiles {
+            let d = cycles.abs_diff(observed.total_cycles);
+            match best {
+                None => best = Some((label, d)),
+                Some((_, bd)) if d < bd => {
+                    best = Some((label, d));
+                    tie = false;
+                }
+                Some((_, bd)) if d == bd => tie = true,
+                _ => {}
+            }
+        }
+        match best {
+            Some((label, _)) if !tie => Some(label),
+            _ => None,
+        }
+    }
+
+    /// Can the attacker distinguish the calibrated secrets at all?
+    /// (False when all profiles coincide: the constant-time case.)
+    #[must_use]
+    pub fn can_distinguish(&self) -> bool {
+        let mut cycles: Vec<u64> = self.profiles.iter().map(|(_, c)| *c).collect();
+        cycles.dedup();
+        cycles.len() > 1
+    }
+}
+
+/// Recover the outcome sequence of a specific branch from predictor
+/// update events — the branch-predictor side channel.
+#[must_use]
+pub fn branch_outcome_history(trace: &ObservationTrace, branch_pc: Addr) -> Vec<bool> {
+    trace
+        .events()
+        .filter_map(|e| match e {
+            TraceEvent::BpredUpdate { pc, taken } if *pc == branch_pc => Some(*taken),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The branch-predictor attacker: watches predictor updates per branch
+/// address and reconstructs secrets bit by bit.
+#[derive(Debug, Clone, Default)]
+pub struct BranchProfileAttacker;
+
+impl BranchProfileAttacker {
+    /// Count predictor updates per branch address (the attacker's view of
+    /// which branches trained and how often).
+    #[must_use]
+    pub fn update_histogram(trace: &ObservationTrace) -> BTreeMap<Addr, (u64, u64)> {
+        let mut hist: BTreeMap<Addr, (u64, u64)> = BTreeMap::new();
+        for e in trace.events() {
+            if let TraceEvent::BpredUpdate { pc, taken } = e {
+                let entry = hist.entry(*pc).or_insert((0, 0));
+                if *taken {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Recover a key from the outcome history of a key-bit branch
+    /// (little-endian bit order, as in the square-and-multiply loop).
+    #[must_use]
+    pub fn recover_key(trace: &ObservationTrace, branch_pc: Addr) -> u64 {
+        let mut key = 0u64;
+        for (i, taken) in branch_outcome_history(trace, branch_pc).iter().enumerate().take(64) {
+            if *taken {
+                key |= 1 << i;
+            }
+        }
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with_updates(pcs: &[(Addr, bool)], cycles: u64) -> ObservationTrace {
+        let mut t = ObservationTrace::new();
+        for (i, (pc, taken)) in pcs.iter().enumerate() {
+            t.push(i as u64, TraceEvent::BpredUpdate { pc: *pc, taken: *taken });
+        }
+        t.total_cycles = cycles;
+        t
+    }
+
+    #[test]
+    fn timing_attacker_classifies_nearest() {
+        let mut a = TimingAttacker::new();
+        a.calibrate("zero", &trace_with_updates(&[], 100));
+        a.calibrate("one", &trace_with_updates(&[], 300));
+        assert_eq!(a.classify(&trace_with_updates(&[], 120)), Some("zero"));
+        assert_eq!(a.classify(&trace_with_updates(&[], 290)), Some("one"));
+        assert!(a.can_distinguish());
+    }
+
+    #[test]
+    fn identical_profiles_defeat_the_timing_attacker() {
+        let mut a = TimingAttacker::new();
+        a.calibrate("zero", &trace_with_updates(&[], 200));
+        a.calibrate("one", &trace_with_updates(&[], 200));
+        assert!(!a.can_distinguish());
+        assert_eq!(a.classify(&trace_with_updates(&[], 200)), None, "tie => blind");
+    }
+
+    #[test]
+    fn branch_history_extraction() {
+        let t = trace_with_updates(
+            &[(0x40, true), (0x80, false), (0x40, false), (0x40, true)],
+            10,
+        );
+        assert_eq!(branch_outcome_history(&t, 0x40), vec![true, false, true]);
+        assert_eq!(branch_outcome_history(&t, 0x80), vec![false]);
+        assert_eq!(branch_outcome_history(&t, 0x99), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn key_recovery_from_outcomes() {
+        // Outcomes T,F,T,T => key bits 0b1101.
+        let t = trace_with_updates(
+            &[(0x40, true), (0x40, false), (0x40, true), (0x40, true)],
+            10,
+        );
+        assert_eq!(BranchProfileAttacker::recover_key(&t, 0x40), 0b1101);
+    }
+
+    #[test]
+    fn histogram_counts_taken_and_not_taken() {
+        let t = trace_with_updates(&[(0x40, true), (0x40, true), (0x40, false)], 5);
+        let h = BranchProfileAttacker::update_histogram(&t);
+        assert_eq!(h[&0x40], (2, 1));
+    }
+}

@@ -1,0 +1,82 @@
+//! Faults raised by the SeMPE mechanisms.
+
+use core::fmt;
+
+use sempe_isa::Addr;
+
+/// A violation of the secure-execution invariants.
+///
+/// The paper treats these as run-time exceptions (§IV-E): nesting beyond
+/// the scratchpad's snapshot capacity, and eosJMP commits with no active
+/// secure region. The exception handler may abort or continue insecurely;
+/// this reproduction always surfaces the fault to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SempeFault {
+    /// A secure branch would exceed the jump-back table capacity.
+    NestingOverflow {
+        /// The table capacity (== deepest supported nesting).
+        capacity: usize,
+    },
+    /// eosJMP committed with an empty jump-back table.
+    EosWithoutRegion,
+    /// An sJMP committed while the newest jbTable entry was already valid
+    /// (the LIFO issue-gating discipline was violated upstream).
+    CommitWithoutAllocation,
+    /// The scratchpad memory cannot hold another snapshot.
+    SpmOverflow {
+        /// Bytes the snapshot needs.
+        needed: usize,
+        /// Bytes still free.
+        free: usize,
+    },
+    /// An instruction inside a SecBlock raised an architectural fault.
+    ///
+    /// Both paths of a secure branch execute, so a fault on the *wrong*
+    /// path is reachable even in a correct program; the paper requires the
+    /// compiler to reject SecBlocks that can fault, and surfaces any
+    /// residue at run time (§IV-G).
+    FaultInSecBlock {
+        /// Faulting instruction address.
+        pc: Addr,
+        /// Description of the architectural fault.
+        what: String,
+    },
+}
+
+impl fmt::Display for SempeFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SempeFault::NestingOverflow { capacity } => {
+                write!(f, "secure-branch nesting exceeds the {capacity}-entry jump-back table")
+            }
+            SempeFault::EosWithoutRegion => {
+                write!(f, "eosJMP committed with no active secure region")
+            }
+            SempeFault::CommitWithoutAllocation => {
+                write!(f, "sJMP commit without a matching jbTable allocation")
+            }
+            SempeFault::SpmOverflow { needed, free } => {
+                write!(f, "scratchpad overflow: snapshot needs {needed} bytes, {free} free")
+            }
+            SempeFault::FaultInSecBlock { pc, what } => {
+                write!(f, "architectural fault inside a SecBlock at {pc:#x}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SempeFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SempeFault::NestingOverflow { capacity: 30 }.to_string().contains("30"));
+        assert!(SempeFault::SpmOverflow { needed: 7392, free: 0 }.to_string().contains("7392"));
+        assert!(SempeFault::FaultInSecBlock { pc: 0x99, what: "divide by zero".into() }
+            .to_string()
+            .contains("0x99"));
+    }
+}

@@ -1,0 +1,298 @@
+//! The Jump-Back Table (jbTable) — the LIFO hardware structure at the
+//! heart of SeMPE (paper §IV-E, Figure 5).
+//!
+//! Each entry tracks one in-flight secure branch: the taken-path target
+//! address (written when the sJMP executes/commits), the branch outcome
+//! (T/NT bit), a Valid bit, and a Jump-Back (jb) bit. The LIFO discipline
+//! is what lets SeMPE support *nested* secure branches with no
+//! random-access lookup or address comparators:
+//!
+//! 1. sJMP **issue** allocates a new entry with Valid and jb clear; issue
+//!    stalls unless the previous entry is already Valid.
+//! 2. sJMP **commit** writes the computed target and outcome and sets
+//!    Valid.
+//! 3. The first **eosJMP commit** copies the target into nextPC and sets
+//!    jb (execution "jumps back" to the taken path).
+//! 4. The second eosJMP commit pops the entry (the secure region is done).
+//!
+//! On a pipeline flush, entries belonging to squashed sJMPs are removed
+//! newest-first, which this type exposes as [`JumpBackTable::squash_newest`].
+
+use sempe_isa::Addr;
+
+use crate::error::SempeFault;
+
+/// One jbTable entry (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JbEntry {
+    /// Taken-path target address (valid once `valid` is set).
+    pub target: Addr,
+    /// Branch outcome: `true` = Taken (the taken path is the correct one).
+    pub taken: bool,
+    /// Target/outcome fields are populated (set at sJMP commit).
+    pub valid: bool,
+    /// The first eosJMP has redirected execution to the taken path.
+    pub jump_back: bool,
+}
+
+impl JbEntry {
+    fn fresh() -> Self {
+        JbEntry { target: 0, taken: false, valid: false, jump_back: false }
+    }
+}
+
+/// What an eosJMP commit does, per the jbTable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EosAction {
+    /// First visit: redirect fetch to the taken path at `target`.
+    JumpBack {
+        /// nextPC for the taken path.
+        target: Addr,
+    },
+    /// Second visit: the region is complete; entry popped. `taken` is the
+    /// branch outcome needed by the register-merge phase.
+    Exit {
+        /// Branch outcome of the finished region.
+        taken: bool,
+    },
+}
+
+/// The LIFO Jump-Back Table.
+///
+/// # Examples
+///
+/// ```
+/// use sempe_core::jbtable::{EosAction, JumpBackTable};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut jb = JumpBackTable::new(30);
+/// jb.alloc()?;                       // sJMP issued
+/// jb.commit_sjmp(0x4000, true)?;     // sJMP committed: target known
+/// assert_eq!(jb.commit_eosjmp()?, EosAction::JumpBack { target: 0x4000 });
+/// assert_eq!(jb.commit_eosjmp()?, EosAction::Exit { taken: true });
+/// assert!(jb.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct JumpBackTable {
+    entries: Vec<JbEntry>,
+    capacity: usize,
+}
+
+impl JumpBackTable {
+    /// A table supporting `capacity` nested secure branches (the paper
+    /// provisions 30).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JumpBackTable { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Maximum number of simultaneously active secure branches.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of active entries (current secure nesting depth).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the table empty (no secure region active)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hardware size in bits: each entry stores a 64-bit address plus the
+    /// T/NT, Valid and jb bits (§IV-E sizes a 30-entry table below 256
+    /// bytes).
+    #[must_use]
+    pub fn size_bits(&self) -> usize {
+        self.capacity * (64 + 3)
+    }
+
+    /// The newest (top-of-stack) entry.
+    #[must_use]
+    pub fn top(&self) -> Option<&JbEntry> {
+        self.entries.last()
+    }
+
+    /// May a new sJMP issue? True when the table is empty or the newest
+    /// entry is Valid (the paper's issue-gating rule keeping the LIFO
+    /// faithful).
+    #[must_use]
+    pub fn can_issue_sjmp(&self) -> bool {
+        self.entries.len() < self.capacity
+            && self.entries.last().is_none_or(|e| e.valid)
+    }
+
+    /// Step 1: allocate an entry for an issued sJMP.
+    ///
+    /// # Errors
+    ///
+    /// [`SempeFault::NestingOverflow`] when the table is full. Callers
+    /// that respect [`JumpBackTable::can_issue_sjmp`] never hit this.
+    pub fn alloc(&mut self) -> Result<usize, SempeFault> {
+        if self.entries.len() >= self.capacity {
+            return Err(SempeFault::NestingOverflow { capacity: self.capacity });
+        }
+        self.entries.push(JbEntry::fresh());
+        Ok(self.entries.len() - 1)
+    }
+
+    /// Step 2: the sJMP committed — record the taken-path target and the
+    /// branch outcome, and set Valid.
+    ///
+    /// # Errors
+    ///
+    /// [`SempeFault::CommitWithoutAllocation`] when there is no newest
+    /// invalid entry to fill.
+    pub fn commit_sjmp(&mut self, target: Addr, taken: bool) -> Result<(), SempeFault> {
+        match self.entries.last_mut() {
+            Some(e) if !e.valid => {
+                e.target = target;
+                e.taken = taken;
+                e.valid = true;
+                Ok(())
+            }
+            _ => Err(SempeFault::CommitWithoutAllocation),
+        }
+    }
+
+    /// Steps 3–4: an eosJMP committed. First visit returns the jump-back
+    /// target and sets jb; second visit pops the entry.
+    ///
+    /// # Errors
+    ///
+    /// [`SempeFault::EosWithoutRegion`] when the table is empty, and
+    /// [`SempeFault::CommitWithoutAllocation`] when the newest entry is
+    /// not yet Valid (an eosJMP can never legitimately commit before its
+    /// sJMP: commits are in order).
+    pub fn commit_eosjmp(&mut self) -> Result<EosAction, SempeFault> {
+        let top = self.entries.last_mut().ok_or(SempeFault::EosWithoutRegion)?;
+        if !top.valid {
+            return Err(SempeFault::CommitWithoutAllocation);
+        }
+        if !top.jump_back {
+            top.jump_back = true;
+            Ok(EosAction::JumpBack { target: top.target })
+        } else {
+            let e = self.entries.pop().expect("top exists");
+            Ok(EosAction::Exit { taken: e.taken })
+        }
+    }
+
+    /// Pipeline-flush recovery: remove the newest entry (call once per
+    /// squashed sJMP, newest to oldest). Returns the removed entry.
+    pub fn squash_newest(&mut self) -> Option<JbEntry> {
+        self.entries.pop()
+    }
+
+    /// Iterate entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &JbEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_lifecycle_single_region() {
+        let mut jb = JumpBackTable::new(4);
+        assert!(jb.can_issue_sjmp());
+        let lvl = jb.alloc().unwrap();
+        assert_eq!(lvl, 0);
+        assert!(!jb.can_issue_sjmp(), "newest entry invalid: next sJMP must stall");
+        jb.commit_sjmp(0x2000, false).unwrap();
+        assert!(jb.can_issue_sjmp());
+        assert_eq!(jb.commit_eosjmp().unwrap(), EosAction::JumpBack { target: 0x2000 });
+        assert_eq!(jb.depth(), 1);
+        assert_eq!(jb.commit_eosjmp().unwrap(), EosAction::Exit { taken: false });
+        assert!(jb.is_empty());
+    }
+
+    #[test]
+    fn nested_regions_resolve_lifo() {
+        let mut jb = JumpBackTable::new(4);
+        jb.alloc().unwrap();
+        jb.commit_sjmp(0x1000, true).unwrap();
+        // Inner region allocated while outer is mid-flight.
+        jb.alloc().unwrap();
+        jb.commit_sjmp(0x2000, false).unwrap();
+        // Inner resolves first (LIFO).
+        assert_eq!(jb.commit_eosjmp().unwrap(), EosAction::JumpBack { target: 0x2000 });
+        assert_eq!(jb.commit_eosjmp().unwrap(), EosAction::Exit { taken: false });
+        assert_eq!(jb.commit_eosjmp().unwrap(), EosAction::JumpBack { target: 0x1000 });
+        assert_eq!(jb.commit_eosjmp().unwrap(), EosAction::Exit { taken: true });
+        assert!(jb.is_empty());
+    }
+
+    #[test]
+    fn capacity_overflow_faults() {
+        let mut jb = JumpBackTable::new(2);
+        jb.alloc().unwrap();
+        jb.commit_sjmp(1, false).unwrap();
+        jb.alloc().unwrap();
+        jb.commit_sjmp(2, false).unwrap();
+        assert!(!jb.can_issue_sjmp());
+        assert_eq!(jb.alloc(), Err(SempeFault::NestingOverflow { capacity: 2 }));
+    }
+
+    #[test]
+    fn eosjmp_on_empty_table_faults() {
+        let mut jb = JumpBackTable::new(2);
+        assert_eq!(jb.commit_eosjmp(), Err(SempeFault::EosWithoutRegion));
+    }
+
+    #[test]
+    fn eosjmp_before_sjmp_commit_faults() {
+        let mut jb = JumpBackTable::new(2);
+        jb.alloc().unwrap();
+        assert_eq!(jb.commit_eosjmp(), Err(SempeFault::CommitWithoutAllocation));
+    }
+
+    #[test]
+    fn double_commit_faults() {
+        let mut jb = JumpBackTable::new(2);
+        jb.alloc().unwrap();
+        jb.commit_sjmp(1, true).unwrap();
+        assert_eq!(jb.commit_sjmp(2, true), Err(SempeFault::CommitWithoutAllocation));
+    }
+
+    #[test]
+    fn squash_removes_newest_first() {
+        let mut jb = JumpBackTable::new(4);
+        jb.alloc().unwrap();
+        jb.commit_sjmp(0xA, true).unwrap();
+        jb.alloc().unwrap(); // in-flight, not yet committed
+        let squashed = jb.squash_newest().unwrap();
+        assert!(!squashed.valid);
+        assert_eq!(jb.depth(), 1);
+        assert_eq!(jb.top().unwrap().target, 0xA);
+    }
+
+    #[test]
+    fn size_is_small_hardware() {
+        // §IV-E: even with 30 entries, the jbTable stays under 256 bytes.
+        let jb = JumpBackTable::new(30);
+        assert!(jb.size_bits() <= 256 * 8);
+    }
+
+    #[test]
+    fn issue_gating_tracks_validity_through_nesting() {
+        let mut jb = JumpBackTable::new(3);
+        jb.alloc().unwrap();
+        assert!(!jb.can_issue_sjmp());
+        jb.commit_sjmp(0x10, false).unwrap();
+        assert!(jb.can_issue_sjmp());
+        jb.alloc().unwrap();
+        assert!(!jb.can_issue_sjmp());
+        jb.commit_sjmp(0x20, true).unwrap();
+        assert!(jb.can_issue_sjmp());
+    }
+}

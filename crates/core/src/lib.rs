@@ -1,0 +1,63 @@
+//! # sempe-core — the SeMPE mechanisms
+//!
+//! The paper's primary contribution (Mondelli, Gazzillo, Solihin: *SeMPE:
+//! Secure Multi Path Execution Architecture for Removing Conditional
+//! Branch Side Channels*, DAC 2021) as reusable, pipeline-agnostic
+//! hardware-model structures:
+//!
+//! * [`jbtable`] — the LIFO **Jump-Back Table** that sequences the two
+//!   paths of each secure branch and supports nesting (Figure 5);
+//! * [`snapshot`] — **ArchRS** architectural-register snapshots with
+//!   per-path modified bit-vectors, neutralizing phantom register
+//!   dependences (Figure 6);
+//! * [`spm`] — the **Scratchpad Memory** timing model the snapshots spill
+//!   to (Table II: 216 KB, 64 B/cycle, 30 snapshots);
+//! * [`mod@unit`] — [`unit::SempeUnit`], the complete mechanism as a single
+//!   state machine a pipeline drives with five events;
+//! * [`trace`] / [`analysis`] — attacker **observation traces** and the
+//!   indistinguishability analysis that phrases the security claim.
+//!
+//! The cycle-level pipeline lives in `sempe-sim`; it consumes this crate.
+//!
+//! ## Example: one secure region through the state machine
+//!
+//! ```
+//! use sempe_core::unit::{SempeConfig, SempeUnit};
+//! use sempe_isa::reg::{Reg, NUM_ARCH_REGS};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut unit = SempeUnit::new(SempeConfig::paper());
+//! let mut regs = [0u64; NUM_ARCH_REGS];
+//!
+//! unit.on_sjmp_issue()?;                          // sJMP issues
+//! unit.on_sjmp_commit(0x9000, /*taken=*/false, &regs)?; // drain + snapshot
+//! regs[4] = 7;                                    // not-taken path runs…
+//! unit.note_commit_write(Reg::x(4));
+//! let eff = unit.on_eosjmp_commit(&mut regs)?;    // jump back
+//! assert_eq!(eff.redirect, Some(0x9000));
+//! // …taken path runs…
+//! unit.on_eosjmp_commit(&mut regs)?;              // merge & exit
+//! assert_eq!(regs[4], 7);                         // NT was correct
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod attack;
+pub mod error;
+pub mod jbtable;
+pub mod snapshot;
+pub mod spm;
+pub mod trace;
+pub mod unit;
+
+pub use analysis::{first_divergence, indistinguishable, Divergence, Strictness};
+pub use error::SempeFault;
+pub use jbtable::{EosAction, JbEntry, JumpBackTable};
+pub use snapshot::{ArchSnapshot, ModifiedSet, RegState};
+pub use spm::{Spm, SpmConfig};
+pub use trace::{CacheLevel, ObservationTrace, TraceEvent};
+pub use unit::{SempeConfig, SempeStats, SempeUnit, UnitEffect};

@@ -1,0 +1,276 @@
+//! Architectural Register Snapshots (ArchRS) — the mechanism SeMPE uses to
+//! neutralize *phantom register dependences* between the two paths of a
+//! secure branch (paper §IV-F, Figure 6).
+//!
+//! Per nesting level the scratchpad holds: the architectural register state
+//! captured **before** entering the SecBlock, the state captured **after
+//! the not-taken path**, and two bit-vectors recording which architectural
+//! registers each path modified. At SecBlock exit the register file is
+//! rebuilt from the correct snapshot according to the branch outcome — and,
+//! crucially for the timing channel, the scratchpad is read for *every*
+//! modified register regardless of the outcome, so restore latency is
+//! secret-independent.
+
+use sempe_isa::reg::{Reg, NUM_ARCH_REGS};
+
+/// A bit-vector over the 48 architectural registers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModifiedSet(u64);
+
+impl ModifiedSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn new() -> Self {
+        ModifiedSet(0)
+    }
+
+    /// Mark `reg` as modified.
+    pub fn insert(&mut self, reg: Reg) {
+        self.0 |= 1 << reg.index();
+    }
+
+    /// Is `reg` in the set?
+    #[must_use]
+    pub fn contains(&self, reg: Reg) -> bool {
+        self.0 & (1 << reg.index()) != 0
+    }
+
+    /// Number of modified registers.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: ModifiedSet) -> ModifiedSet {
+        ModifiedSet(self.0 | other.0)
+    }
+
+    /// Iterate the member registers in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let bits = self.0;
+        (0..NUM_ARCH_REGS as u8)
+            .filter(move |i| bits & (1 << i) != 0)
+            .map(|i| Reg::from_index(i).expect("index in range"))
+    }
+}
+
+impl FromIterator<Reg> for ModifiedSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let mut s = ModifiedSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// A full architectural register state (48 × 64-bit values).
+pub type RegState = [u64; NUM_ARCH_REGS];
+
+/// The per-nesting-level snapshot slot of Figure 6.
+#[derive(Debug, Clone)]
+pub struct ArchSnapshot {
+    /// Register state before entering the SecBlock.
+    pub initial: RegState,
+    /// Register state after the not-taken path (captured at the first
+    /// eosJMP commit; only the NT-modified entries are meaningful).
+    pub nt_values: RegState,
+    /// Registers the not-taken path modified.
+    pub nt_modified: ModifiedSet,
+    /// Registers the taken path modified.
+    pub t_modified: ModifiedSet,
+    /// Has the NT-side state been captured yet?
+    pub nt_captured: bool,
+}
+
+impl ArchSnapshot {
+    /// Snapshot the pre-SecBlock state (taken right after the sJMP
+    /// commits, once the pipeline has drained).
+    #[must_use]
+    pub fn capture_initial(regs: &RegState) -> Self {
+        ArchSnapshot {
+            initial: *regs,
+            nt_values: [0; NUM_ARCH_REGS],
+            nt_modified: ModifiedSet::new(),
+            t_modified: ModifiedSet::new(),
+            nt_captured: false,
+        }
+    }
+
+    /// Record a register write on the currently executing path.
+    pub fn note_write(&mut self, reg: Reg) {
+        if self.nt_captured {
+            self.t_modified.insert(reg);
+        } else {
+            self.nt_modified.insert(reg);
+        }
+    }
+
+    /// First eosJMP commit: capture the NT-path values and compute the
+    /// restore writes that return the register file to the initial state
+    /// for the taken path's execution.
+    ///
+    /// Returns `(restore_writes, nt_modified_count)`.
+    pub fn end_nt_path(&mut self, regs: &RegState) -> (Vec<(Reg, u64)>, usize) {
+        debug_assert!(!self.nt_captured, "NT path ended twice");
+        self.nt_values = *regs;
+        self.nt_captured = true;
+        let writes: Vec<(Reg, u64)> =
+            self.nt_modified.iter().map(|r| (r, self.initial[r.index()])).collect();
+        let n = writes.len();
+        (writes, n)
+    }
+
+    /// Registers touched by either path — all of them are *read* from the
+    /// scratchpad at region exit, whatever the outcome (constant-time
+    /// merge).
+    #[must_use]
+    pub fn merged_set(&self) -> ModifiedSet {
+        self.nt_modified.union(self.t_modified)
+    }
+
+    /// Second eosJMP commit: compute the merge writes per §IV-F.
+    ///
+    /// * outcome **Taken** — the taken path (which executed second) left
+    ///   the correct values in the register file: every modified register
+    ///   is overwritten *by its current value* (the hardware still performs
+    ///   the writes so timing is outcome-independent).
+    /// * outcome **NotTaken** — registers the NT path modified take their
+    ///   NT snapshot values; registers only the T path modified fall back
+    ///   to the initial snapshot.
+    #[must_use]
+    pub fn merge_writes(&self, taken: bool, current: &RegState) -> Vec<(Reg, u64)> {
+        debug_assert!(self.nt_captured, "merge before NT capture");
+        self.merged_set()
+            .iter()
+            .map(|r| {
+                let val = if taken {
+                    current[r.index()]
+                } else if self.nt_modified.contains(r) {
+                    self.nt_values[r.index()]
+                } else {
+                    self.initial[r.index()]
+                };
+                (r, val)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(vals: &[(usize, u64)]) -> RegState {
+        let mut s = [0u64; NUM_ARCH_REGS];
+        for (i, v) in vals {
+            s[*i] = *v;
+        }
+        s
+    }
+
+    #[test]
+    fn modified_set_basics() {
+        let mut m = ModifiedSet::new();
+        assert!(m.is_empty());
+        m.insert(Reg::x(5));
+        m.insert(Reg::f(2));
+        assert!(m.contains(Reg::x(5)));
+        assert!(m.contains(Reg::f(2)));
+        assert!(!m.contains(Reg::x(6)));
+        assert_eq!(m.count(), 2);
+        let regs: Vec<Reg> = m.iter().collect();
+        assert_eq!(regs, vec![Reg::x(5), Reg::f(2)]);
+    }
+
+    #[test]
+    fn union_and_from_iterator() {
+        let a: ModifiedSet = [Reg::x(1), Reg::x(2)].into_iter().collect();
+        let b: ModifiedSet = [Reg::x(2), Reg::x(3)].into_iter().collect();
+        let u = a.union(b);
+        assert_eq!(u.count(), 3);
+    }
+
+    #[test]
+    fn writes_route_to_the_active_path() {
+        let regs = state(&[]);
+        let mut snap = ArchSnapshot::capture_initial(&regs);
+        snap.note_write(Reg::x(4));
+        assert!(snap.nt_modified.contains(Reg::x(4)));
+        assert!(snap.t_modified.is_empty());
+        snap.end_nt_path(&regs);
+        snap.note_write(Reg::x(9));
+        assert!(snap.t_modified.contains(Reg::x(9)));
+        assert!(!snap.nt_modified.contains(Reg::x(9)));
+    }
+
+    #[test]
+    fn end_nt_path_restores_initial_values() {
+        let initial = state(&[(4, 100), (5, 200)]);
+        let mut snap = ArchSnapshot::capture_initial(&initial);
+        snap.note_write(Reg::x(4));
+        let after_nt = state(&[(4, 999), (5, 200)]);
+        let (writes, n) = snap.end_nt_path(&after_nt);
+        assert_eq!(n, 1);
+        assert_eq!(writes, vec![(Reg::x(4), 100)]);
+    }
+
+    #[test]
+    fn merge_not_taken_selects_nt_values_and_initials() {
+        // initial: x4=100 x5=200. NT wrote x4=111. T wrote x5=555.
+        let initial = state(&[(4, 100), (5, 200)]);
+        let mut snap = ArchSnapshot::capture_initial(&initial);
+        snap.note_write(Reg::x(4));
+        let after_nt = state(&[(4, 111), (5, 200)]);
+        snap.end_nt_path(&after_nt);
+        snap.note_write(Reg::x(5));
+        let after_t = state(&[(4, 100), (5, 555)]);
+        let writes = snap.merge_writes(false, &after_t);
+        // NT was the correct path: x4 takes NT value, x5 falls back to initial.
+        assert!(writes.contains(&(Reg::x(4), 111)));
+        assert!(writes.contains(&(Reg::x(5), 200)));
+        assert_eq!(writes.len(), 2);
+    }
+
+    #[test]
+    fn merge_taken_overwrites_with_current_values() {
+        let initial = state(&[(4, 100), (5, 200)]);
+        let mut snap = ArchSnapshot::capture_initial(&initial);
+        snap.note_write(Reg::x(4));
+        let after_nt = state(&[(4, 111), (5, 200)]);
+        snap.end_nt_path(&after_nt);
+        snap.note_write(Reg::x(5));
+        let after_t = state(&[(4, 100), (5, 555)]);
+        let writes = snap.merge_writes(true, &after_t);
+        // Taken path correct: writes are identity (current values), but the
+        // *number* of writes equals the not-taken case — constant time.
+        assert!(writes.contains(&(Reg::x(4), 100)));
+        assert!(writes.contains(&(Reg::x(5), 555)));
+        assert_eq!(writes.len(), 2);
+    }
+
+    #[test]
+    fn merge_write_count_is_outcome_independent() {
+        let initial = state(&[(1, 1), (2, 2), (3, 3)]);
+        let mut snap = ArchSnapshot::capture_initial(&initial);
+        snap.note_write(Reg::x(1));
+        snap.note_write(Reg::x(2));
+        let mid = state(&[(1, 10), (2, 20), (3, 3)]);
+        snap.end_nt_path(&mid);
+        snap.note_write(Reg::x(3));
+        let fin = state(&[(1, 1), (2, 2), (3, 30)]);
+        assert_eq!(
+            snap.merge_writes(true, &fin).len(),
+            snap.merge_writes(false, &fin).len(),
+            "scratchpad traffic must not depend on the secret"
+        );
+    }
+}

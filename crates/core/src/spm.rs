@@ -1,0 +1,220 @@
+//! The Scratchpad Memory (SPM) timing model.
+//!
+//! SeMPE spills ArchRS snapshots to a small dedicated scratchpad rather
+//! than to the cache hierarchy (paper §IV-F). The evaluated configuration
+//! (Table II) provisions **216 KB** at **64 B/cycle** read/write
+//! throughput, enough for **30 snapshots** — one per supported nesting
+//! level — at 7392 bytes per snapshot (two architectural register states
+//! plus two modified bit-vectors, at the paper's register width).
+//!
+//! This module charges cycles for each save/restore transfer; the actual
+//! snapshot *contents* live in [`crate::snapshot::ArchSnapshot`].
+
+use crate::error::SempeFault;
+
+/// Scratchpad configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmConfig {
+    /// Total scratchpad capacity in bytes (Table II: 216 KB).
+    pub size_bytes: usize,
+    /// Sustained read/write throughput in bytes per cycle (Table II: 64).
+    pub throughput_bytes_per_cycle: u64,
+    /// Bytes per snapshot slot. The paper's slot is 7392 bytes
+    /// (216 KB / 30 snapshots): two register states and two bit-vectors.
+    pub snapshot_bytes: usize,
+    /// Fixed access latency added to every transfer (pipeline-visible
+    /// setup cost).
+    pub access_latency: u64,
+}
+
+impl SpmConfig {
+    /// The paper's Table II configuration.
+    #[must_use]
+    pub const fn paper() -> Self {
+        SpmConfig {
+            size_bytes: 216 * 1024,
+            throughput_bytes_per_cycle: 64,
+            snapshot_bytes: 7392,
+            access_latency: 2,
+        }
+    }
+
+    /// Number of snapshot slots the scratchpad can hold (== deepest
+    /// supported secure nesting).
+    #[must_use]
+    pub const fn max_snapshots(&self) -> usize {
+        self.size_bytes / self.snapshot_bytes
+    }
+
+    /// Bytes for one full architectural register state plus its
+    /// bit-vector (half a slot).
+    #[must_use]
+    pub const fn state_bytes(&self) -> usize {
+        self.snapshot_bytes / 2
+    }
+
+    /// Effective bytes per architectural register in the scratchpad
+    /// layout (the paper's slot implies wider-than-64-bit entries; we
+    /// honour the layout rather than re-deriving it).
+    #[must_use]
+    pub fn bytes_per_reg(&self, num_arch_regs: usize) -> usize {
+        self.state_bytes() / num_arch_regs
+    }
+}
+
+impl Default for SpmConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The scratchpad: slot accounting plus transfer-cycle arithmetic.
+#[derive(Debug, Clone)]
+pub struct Spm {
+    config: SpmConfig,
+    slots_in_use: usize,
+}
+
+impl Spm {
+    /// A scratchpad with the given configuration.
+    #[must_use]
+    pub fn new(config: SpmConfig) -> Self {
+        Spm { config, slots_in_use: 0 }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SpmConfig {
+        &self.config
+    }
+
+    /// Slots currently holding live snapshots.
+    #[must_use]
+    pub fn slots_in_use(&self) -> usize {
+        self.slots_in_use
+    }
+
+    /// Cycles to move `bytes` through the scratchpad port.
+    #[must_use]
+    pub fn transfer_cycles(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.config.access_latency
+            + (bytes as u64).div_ceil(self.config.throughput_bytes_per_cycle)
+    }
+
+    /// Reserve the slot for a new nesting level and charge the full
+    /// initial register-state save (all architectural registers — the
+    /// paper saves everything up front so RAT reconstruction stays
+    /// simple).
+    ///
+    /// # Errors
+    ///
+    /// [`SempeFault::SpmOverflow`] when every slot is occupied.
+    pub fn save_initial(&mut self) -> Result<u64, SempeFault> {
+        if self.slots_in_use >= self.config.max_snapshots() {
+            return Err(SempeFault::SpmOverflow {
+                needed: self.config.snapshot_bytes,
+                free: self.config.size_bytes
+                    - self.slots_in_use * self.config.snapshot_bytes,
+            });
+        }
+        self.slots_in_use += 1;
+        Ok(self.transfer_cycles(self.config.state_bytes()))
+    }
+
+    /// Charge the NT-path save (only modified registers are written) plus
+    /// the restore of those registers' initial values.
+    #[must_use]
+    pub fn save_nt_and_restore(&self, modified: usize, num_arch_regs: usize) -> u64 {
+        let bytes = modified * self.config.bytes_per_reg(num_arch_regs);
+        // One write burst (NT values) and one read burst (initial values).
+        self.transfer_cycles(bytes) + self.transfer_cycles(bytes)
+    }
+
+    /// Charge the region-exit restore: *every* register modified on either
+    /// path is read back, independent of the outcome (constant time), then
+    /// the slot is released.
+    pub fn restore_exit(&mut self, merged_modified: usize, num_arch_regs: usize) -> u64 {
+        debug_assert!(self.slots_in_use > 0, "exit without a live snapshot");
+        self.slots_in_use = self.slots_in_use.saturating_sub(1);
+        let bytes = merged_modified * self.config.bytes_per_reg(num_arch_regs);
+        self.transfer_cycles(bytes)
+    }
+
+    /// Release the newest slot without timing (squash recovery).
+    pub fn squash_newest(&mut self) {
+        self.slots_in_use = self.slots_in_use.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_isa::reg::NUM_ARCH_REGS;
+
+    #[test]
+    fn paper_config_supports_thirty_snapshots() {
+        let c = SpmConfig::paper();
+        assert_eq!(c.max_snapshots(), 29); // 216*1024 / 7392 = 29.9 — hardware rounds down
+        // The paper quotes "up to 30 snapshots"; with exactly 30*7392 =
+        // 221760 bytes ≈ 216.6 KB. Document the 29 we honestly get from
+        // 216 KB and let configs round up if they want the paper's 30.
+        let mut c30 = c;
+        c30.size_bytes = 30 * c.snapshot_bytes;
+        assert_eq!(c30.max_snapshots(), 30);
+    }
+
+    #[test]
+    fn transfer_cycles_round_up_and_include_latency() {
+        let spm = Spm::new(SpmConfig::paper());
+        assert_eq!(spm.transfer_cycles(0), 0);
+        assert_eq!(spm.transfer_cycles(1), 2 + 1);
+        assert_eq!(spm.transfer_cycles(64), 2 + 1);
+        assert_eq!(spm.transfer_cycles(65), 2 + 2);
+        // A full state (3696 B) at 64 B/cycle = 58 cycles + latency.
+        assert_eq!(spm.transfer_cycles(SpmConfig::paper().state_bytes()), 2 + 58);
+    }
+
+    #[test]
+    fn save_initial_consumes_slots_until_overflow() {
+        let mut cfg = SpmConfig::paper();
+        cfg.size_bytes = 2 * cfg.snapshot_bytes;
+        let mut spm = Spm::new(cfg);
+        spm.save_initial().unwrap();
+        spm.save_initial().unwrap();
+        let err = spm.save_initial().unwrap_err();
+        assert!(matches!(err, SempeFault::SpmOverflow { .. }));
+        assert_eq!(spm.slots_in_use(), 2);
+    }
+
+    #[test]
+    fn exit_releases_slot_and_charges_merged_reads() {
+        let mut spm = Spm::new(SpmConfig::paper());
+        spm.save_initial().unwrap();
+        let cycles = spm.restore_exit(4, NUM_ARCH_REGS);
+        assert_eq!(spm.slots_in_use(), 0);
+        let per_reg = SpmConfig::paper().bytes_per_reg(NUM_ARCH_REGS);
+        assert_eq!(cycles, spm.transfer_cycles(4 * per_reg));
+    }
+
+    #[test]
+    fn nt_save_cost_scales_with_modified_count() {
+        let spm = Spm::new(SpmConfig::paper());
+        let small = spm.save_nt_and_restore(1, NUM_ARCH_REGS);
+        let large = spm.save_nt_and_restore(40, NUM_ARCH_REGS);
+        assert!(large > small);
+        assert_eq!(spm.save_nt_and_restore(0, NUM_ARCH_REGS), 0);
+    }
+
+    #[test]
+    fn squash_releases_without_timing() {
+        let mut spm = Spm::new(SpmConfig::paper());
+        spm.save_initial().unwrap();
+        spm.squash_newest();
+        assert_eq!(spm.slots_in_use(), 0);
+        spm.squash_newest(); // idempotent at zero
+        assert_eq!(spm.slots_in_use(), 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Observation traces — everything the paper's threat model (§III) lets an
+//! attacker observe about a victim's execution:
+//!
+//! * coarse timing (total cycles, and the cycle at which events occur);
+//! * the sequence of committed-instruction addresses (via shared
+//!   instruction cache);
+//! * data-memory access addresses (via shared data cache priming/probing);
+//! * cache hit/miss behavior at each level;
+//! * branch-predictor state updates (the branch-predictor channel).
+//!
+//! Security claims are phrased over these traces: under SeMPE the trace
+//! must be **identical for every secret value**; under the unprotected
+//! baseline it measurably differs.
+
+use core::fmt;
+
+use sempe_isa::Addr;
+
+/// Cache level an event occurred at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheLevel {
+    /// First-level instruction cache.
+    Il1,
+    /// First-level data cache.
+    Dl1,
+    /// Unified second-level cache.
+    L2,
+}
+
+impl fmt::Display for CacheLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheLevel::Il1 => f.write_str("IL1"),
+            CacheLevel::Dl1 => f.write_str("DL1"),
+            CacheLevel::L2 => f.write_str("L2"),
+        }
+    }
+}
+
+/// One attacker-visible event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// An instruction at `pc` committed.
+    Commit {
+        /// Address of the committed instruction.
+        pc: Addr,
+    },
+    /// A committed load touched `addr`.
+    MemRead {
+        /// Data address (cache-line granularity is applied by the
+        /// recorder if desired).
+        addr: Addr,
+    },
+    /// A committed store touched `addr`.
+    MemWrite {
+        /// Data address.
+        addr: Addr,
+    },
+    /// A cache access hit or missed.
+    Cache {
+        /// Which cache.
+        level: CacheLevel,
+        /// Hit (`true`) or miss.
+        hit: bool,
+    },
+    /// The branch predictor was updated for the branch at `pc`.
+    BpredUpdate {
+        /// Branch address.
+        pc: Addr,
+        /// Outcome recorded into predictor state.
+        taken: bool,
+    },
+    /// Fetch was redirected to `target` (mispredict recovery, jump-back).
+    Redirect {
+        /// New fetch address.
+        target: Addr,
+    },
+}
+
+/// A timestamped sequence of attacker-visible events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservationTrace {
+    events: Vec<(u64, TraceEvent)>,
+    /// Total cycles of the observed execution (the coarse timing channel).
+    pub total_cycles: u64,
+}
+
+impl ObservationTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event observed at `cycle`.
+    pub fn push(&mut self, cycle: u64, event: TraceEvent) {
+        self.events.push((cycle, event));
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the trace empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterate `(cycle, event)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// The recorded events without timestamps.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().map(|(_, e)| e)
+    }
+
+    /// An order-sensitive 64-bit digest (FNV-1a over the event stream,
+    /// including timestamps), for cheap comparison of very long traces.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (cycle, ev) in &self.events {
+            eat(*cycle);
+            match ev {
+                TraceEvent::Commit { pc } => {
+                    eat(1);
+                    eat(*pc);
+                }
+                TraceEvent::MemRead { addr } => {
+                    eat(2);
+                    eat(*addr);
+                }
+                TraceEvent::MemWrite { addr } => {
+                    eat(3);
+                    eat(*addr);
+                }
+                TraceEvent::Cache { level, hit } => {
+                    eat(4);
+                    eat(*level as u64);
+                    eat(u64::from(*hit));
+                }
+                TraceEvent::BpredUpdate { pc, taken } => {
+                    eat(5);
+                    eat(*pc);
+                    eat(u64::from(*taken));
+                }
+                TraceEvent::Redirect { target } => {
+                    eat(6);
+                    eat(*target);
+                }
+            }
+        }
+        eat(self.total_cycles);
+        h
+    }
+}
+
+impl Extend<(u64, TraceEvent)> for ObservationTrace {
+    fn extend<T: IntoIterator<Item = (u64, TraceEvent)>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObservationTrace {
+        let mut t = ObservationTrace::new();
+        t.push(1, TraceEvent::Commit { pc: 0x100 });
+        t.push(2, TraceEvent::MemRead { addr: 0x2000 });
+        t.push(2, TraceEvent::Cache { level: CacheLevel::Dl1, hit: true });
+        t.total_cycles = 10;
+        t
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let first = t.iter().next().unwrap();
+        assert_eq!(*first, (1, TraceEvent::Commit { pc: 0x100 }));
+    }
+
+    #[test]
+    fn identical_traces_share_digest() {
+        assert_eq!(sample().digest(), sample().digest());
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_events_timing_and_total() {
+        let base = sample();
+        let mut other = sample();
+        other.push(3, TraceEvent::Redirect { target: 0x400 });
+        assert_ne!(base.digest(), other.digest());
+
+        let mut shifted = ObservationTrace::new();
+        for (c, e) in base.iter() {
+            shifted.push(c + 1, *e);
+        }
+        shifted.total_cycles = base.total_cycles;
+        assert_ne!(base.digest(), shifted.digest(), "timing shifts must be visible");
+
+        let mut slower = sample();
+        slower.total_cycles += 1;
+        assert_ne!(base.digest(), slower.digest(), "total cycle count is a channel");
+    }
+
+    #[test]
+    fn cache_level_displays() {
+        assert_eq!(CacheLevel::Il1.to_string(), "IL1");
+        assert_eq!(CacheLevel::Dl1.to_string(), "DL1");
+        assert_eq!(CacheLevel::L2.to_string(), "L2");
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests over the SeMPE mechanism state machine: for arbitrary
+//! interleavings of register writes, nesting and outcomes, the functional
+//! result of multi-path execution must equal true-path-only execution, and
+//! the scratchpad traffic must be outcome-independent.
+
+use proptest::prelude::*;
+use sempe_core::jbtable::JumpBackTable;
+use sempe_core::unit::{SempeConfig, SempeUnit};
+use sempe_isa::reg::{Reg, NUM_ARCH_REGS};
+
+/// A little program over the unit: a single region whose NT path performs
+/// `nt_writes` and whose T path performs `t_writes`.
+fn run_region(
+    taken: bool,
+    initial: &[u64; NUM_ARCH_REGS],
+    nt_writes: &[(u8, u64)],
+    t_writes: &[(u8, u64)],
+) -> ([u64; NUM_ARCH_REGS], u64) {
+    let mut unit = SempeUnit::new(SempeConfig::paper());
+    let mut regs = *initial;
+    unit.on_sjmp_issue().expect("issue");
+    unit.on_sjmp_commit(0x1234, taken, &regs).expect("commit");
+    for (r, v) in nt_writes {
+        let reg = Reg::from_index(*r).expect("reg");
+        if reg.is_zero() {
+            continue;
+        }
+        regs[reg.index()] = *v;
+        unit.note_commit_write(reg);
+    }
+    unit.on_eosjmp_commit(&mut regs).expect("jump back");
+    for (r, v) in t_writes {
+        let reg = Reg::from_index(*r).expect("reg");
+        if reg.is_zero() {
+            continue;
+        }
+        regs[reg.index()] = *v;
+        unit.note_commit_write(reg);
+    }
+    unit.on_eosjmp_commit(&mut regs).expect("exit");
+    (regs, unit.stats().spm_stall_cycles)
+}
+
+/// Reference: execute only the true path.
+fn run_true_path_only(
+    taken: bool,
+    initial: &[u64; NUM_ARCH_REGS],
+    nt_writes: &[(u8, u64)],
+    t_writes: &[(u8, u64)],
+) -> [u64; NUM_ARCH_REGS] {
+    let mut regs = *initial;
+    let writes = if taken { t_writes } else { nt_writes };
+    for (r, v) in writes {
+        let reg = Reg::from_index(*r).expect("reg");
+        if reg.is_zero() {
+            continue;
+        }
+        regs[reg.index()] = *v;
+    }
+    regs
+}
+
+fn arb_writes() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((1u8..NUM_ARCH_REGS as u8, any::<u64>()), 0..12)
+}
+
+fn arb_state() -> impl Strategy<Value = [u64; NUM_ARCH_REGS]> {
+    prop::collection::vec(any::<u64>(), NUM_ARCH_REGS)
+        .prop_map(|v| <[u64; NUM_ARCH_REGS]>::try_from(v).expect("sized"))
+}
+
+proptest! {
+    /// The headline functional property: dual-path execution with ArchRS
+    /// merging is architecturally equivalent to executing only the
+    /// correct path.
+    #[test]
+    fn dual_path_equals_true_path(
+        taken in any::<bool>(),
+        initial in arb_state(),
+        nt in arb_writes(),
+        t in arb_writes(),
+    ) {
+        let (got, _) = run_region(taken, &initial, &nt, &t);
+        let want = run_true_path_only(taken, &initial, &nt, &t);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Scratchpad stall cycles depend on *which registers* the paths wrote,
+    /// never on the secret outcome.
+    #[test]
+    fn spm_traffic_is_outcome_independent(
+        initial in arb_state(),
+        nt in arb_writes(),
+        t in arb_writes(),
+    ) {
+        let (_, cycles_taken) = run_region(true, &initial, &nt, &t);
+        let (_, cycles_not) = run_region(false, &initial, &nt, &t);
+        prop_assert_eq!(cycles_taken, cycles_not);
+    }
+
+    /// Two-level nesting, all four outcome combinations, against a
+    /// straightforward reference interpretation.
+    #[test]
+    fn nested_regions_match_reference(
+        outer_taken in any::<bool>(),
+        inner_taken in any::<bool>(),
+        initial in arb_state(),
+        outer_t in arb_writes(),
+        inner_nt in arb_writes(),
+        inner_t in arb_writes(),
+        after_inner in arb_writes(),
+    ) {
+        // Program shape:
+        //   if (outer) { outer_t } else { if (inner) { inner_t } else { inner_nt }; after_inner }
+        // SeMPE execution order: outer-NT first (which contains the inner
+        // region: inner-NT, inner-T, merge, then after_inner), then
+        // jump-back, outer-T, merge.
+        let mut unit = SempeUnit::new(SempeConfig::paper());
+        let mut regs = initial;
+        let apply = |unit: &mut SempeUnit, regs: &mut [u64; NUM_ARCH_REGS], ws: &[(u8, u64)]| {
+            for (r, v) in ws {
+                let reg = Reg::from_index(*r).expect("reg");
+                if reg.is_zero() { continue; }
+                regs[reg.index()] = *v;
+                unit.note_commit_write(reg);
+            }
+        };
+        unit.on_sjmp_issue().expect("outer issue");
+        unit.on_sjmp_commit(0x100, outer_taken, &regs).expect("outer commit");
+        // outer NT path: the inner region
+        unit.on_sjmp_issue().expect("inner issue");
+        unit.on_sjmp_commit(0x200, inner_taken, &regs).expect("inner commit");
+        apply(&mut unit, &mut regs, &inner_nt);
+        unit.on_eosjmp_commit(&mut regs).expect("inner jb");
+        apply(&mut unit, &mut regs, &inner_t);
+        unit.on_eosjmp_commit(&mut regs).expect("inner exit");
+        apply(&mut unit, &mut regs, &after_inner);
+        // outer boundary
+        unit.on_eosjmp_commit(&mut regs).expect("outer jb");
+        apply(&mut unit, &mut regs, &outer_t);
+        unit.on_eosjmp_commit(&mut regs).expect("outer exit");
+
+        // Reference.
+        let mut want = initial;
+        let apply_ref = |regs: &mut [u64; NUM_ARCH_REGS], ws: &[(u8, u64)]| {
+            for (r, v) in ws {
+                let reg = Reg::from_index(*r).expect("reg");
+                if reg.is_zero() { continue; }
+                regs[reg.index()] = *v;
+            }
+        };
+        if outer_taken {
+            apply_ref(&mut want, &outer_t);
+        } else {
+            if inner_taken {
+                apply_ref(&mut want, &inner_t);
+            } else {
+                apply_ref(&mut want, &inner_nt);
+            }
+            apply_ref(&mut want, &after_inner);
+        }
+        prop_assert_eq!(regs, want);
+    }
+
+    /// The jbTable honours LIFO discipline under arbitrary alloc/commit/
+    /// eos/squash sequences: depth never exceeds capacity, never goes
+    /// negative, and operations on invalid states error rather than
+    /// corrupt.
+    #[test]
+    fn jbtable_never_corrupts(ops in prop::collection::vec(0u8..4, 1..60)) {
+        let mut jb = JumpBackTable::new(4);
+        for op in ops {
+            let depth_before = jb.depth();
+            match op {
+                0 => {
+                    let ok = jb.alloc().is_ok();
+                    // alloc succeeds exactly when the table has room.
+                    prop_assert_eq!(ok, depth_before < jb.capacity());
+                    if ok {
+                        prop_assert_eq!(jb.depth(), depth_before + 1);
+                    }
+                }
+                1 => {
+                    let ok = jb.commit_sjmp(0x10, true).is_ok();
+                    // Commit fills the newest entry only when it is
+                    // allocated-but-invalid; depth never changes.
+                    prop_assert_eq!(jb.depth(), depth_before);
+                    if ok {
+                        prop_assert!(jb.top().expect("entry").valid);
+                    }
+                }
+                2 => {
+                    let before_valid = jb.top().map(|e| (e.valid, e.jump_back));
+                    let res = jb.commit_eosjmp();
+                    match before_valid {
+                        Some((true, false)) => {
+                            prop_assert!(res.is_ok());
+                            prop_assert_eq!(jb.depth(), depth_before);
+                        }
+                        Some((true, true)) => {
+                            prop_assert!(res.is_ok());
+                            prop_assert_eq!(jb.depth(), depth_before - 1);
+                        }
+                        _ => prop_assert!(res.is_err()),
+                    }
+                }
+                _ => {
+                    let popped = jb.squash_newest();
+                    prop_assert_eq!(popped.is_some(), depth_before > 0);
+                }
+            }
+            prop_assert!(jb.depth() <= jb.capacity());
+        }
+    }
+}

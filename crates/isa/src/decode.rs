@@ -1,0 +1,266 @@
+//! Byte-level instruction decoder, with the two personalities the paper's
+//! backward-compatibility argument requires (§IV-C):
+//!
+//! * [`DecodeMode::Sempe`] — a SeMPE-capable front end. `0x2E` before a
+//!   conditional branch marks it as a Secure Jump (sJMP); `0x2E 0x90` is
+//!   the End-of-SecureJump (eosJMP).
+//! * [`DecodeMode::Legacy`] — a pre-SeMPE front end. `0x2E` is skipped as
+//!   a branch-hint prefix, so the same bytes decode to a plain branch and
+//!   a plain `NOP`: SeMPE binaries run unmodified (without the security
+//!   guarantee), and legacy binaries run unmodified on SeMPE parts.
+
+use crate::error::DecodeError;
+use crate::insn::Inst;
+use crate::opcode::{Format, Opcode, SEC_PREFIX};
+use crate::reg::Reg;
+use crate::Addr;
+
+/// Which front end is doing the decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DecodeMode {
+    /// SeMPE-capable decoder: the SecPrefix is architecturally meaningful.
+    #[default]
+    Sempe,
+    /// Legacy decoder: the SecPrefix is an ignored hint byte.
+    Legacy,
+}
+
+/// Decode one instruction from the front of `bytes`.
+///
+/// `addr` is the address of `bytes[0]` and is used for error reporting and
+/// nothing else. Returns the instruction and its encoded length in bytes
+/// (including any prefix).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode byte is unknown, the buffer is
+/// too short for the instruction's operands, or an operand byte names a
+/// register that does not exist.
+pub fn decode(bytes: &[u8], addr: Addr, mode: DecodeMode) -> Result<(Inst, usize), DecodeError> {
+    let mut idx = 0usize;
+    let mut prefixed = false;
+    // Consume prefix bytes. Repeated prefixes are legal and idempotent,
+    // matching the x86 convention the encoding mimics.
+    while bytes.get(idx) == Some(&SEC_PREFIX) {
+        prefixed = true;
+        idx += 1;
+    }
+    let op_byte = *bytes.get(idx).ok_or(DecodeError::Truncated { addr })?;
+    idx += 1;
+    let op = Opcode::from_byte(op_byte)
+        .filter(|op| *op != Opcode::EosJmp)
+        .ok_or(DecodeError::UnknownOpcode { addr, byte: op_byte })?;
+
+    // The eosJMP special case: prefix + NOP.
+    if prefixed && op == Opcode::Nop {
+        let inst = match mode {
+            DecodeMode::Sempe => Inst::eosjmp(),
+            DecodeMode::Legacy => Inst::nullary(Opcode::Nop),
+        };
+        return Ok((inst, idx));
+    }
+
+    let reg = |b: u8| Reg::from_index(b).ok_or(DecodeError::BadRegister { addr, index: b });
+    let take = |n: usize, at: usize| -> Result<&[u8], DecodeError> {
+        bytes.get(at..at + n).ok_or(DecodeError::Truncated { addr })
+    };
+    let imm32 = |at: usize| -> Result<i64, DecodeError> {
+        Ok(i64::from(i32::from_le_bytes(take(4, at)?.try_into().unwrap())))
+    };
+
+    let (mut inst, len) = match op.format() {
+        Format::None => (Inst::nullary(op), idx),
+        Format::R3 => {
+            let b = take(3, idx)?;
+            (Inst::r3(op, reg(b[0])?, reg(b[1])?, reg(b[2])?), idx + 3)
+        }
+        Format::R2I32 => {
+            let b = take(2, idx)?;
+            let imm = imm32(idx + 2)?;
+            (Inst::r2i(op, reg(b[0])?, reg(b[1])?, imm), idx + 6)
+        }
+        Format::R1I64 => {
+            let b = take(1, idx)?;
+            let imm = i64::from_le_bytes(take(8, idx + 1)?.try_into().unwrap());
+            (Inst::movi(reg(b[0])?, imm), idx + 9)
+        }
+        Format::Branch => {
+            let b = take(2, idx)?;
+            let off = imm32(idx + 2)?;
+            let secure = prefixed && mode == DecodeMode::Sempe;
+            (Inst::branch(op, reg(b[0])?, reg(b[1])?, off, secure), idx + 6)
+        }
+        Format::Store => {
+            let b = take(2, idx)?;
+            let imm = imm32(idx + 2)?;
+            (Inst::store(op, reg(b[0])?, reg(b[1])?, imm), idx + 6)
+        }
+        Format::Jal => {
+            let b = take(1, idx)?;
+            let off = imm32(idx + 1)?;
+            (Inst { op, rd: reg(b[0])?, rs1: Reg::X0, rs2: Reg::X0, imm: off, secure: false }, idx + 5)
+        }
+    };
+    // A stray prefix on a non-branch is ignored (hint semantics); make sure
+    // the decoded form does not claim to be secure.
+    if !inst.op.is_cond_branch() {
+        inst.secure = inst.op == Opcode::EosJmp;
+    }
+    Ok((inst, len))
+}
+
+/// Decode an entire code region into `(offset, Inst, len)` triples.
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`] encountered.
+pub fn decode_region(
+    code: &[u8],
+    base: Addr,
+    mode: DecodeMode,
+) -> Result<Vec<(Addr, Inst, usize)>, DecodeError> {
+    let mut out = Vec::new();
+    let mut off = 0usize;
+    while off < code.len() {
+        let addr = base + off as Addr;
+        let (inst, len) = decode(&code[off..], addr, mode)?;
+        out.push((addr, inst, len));
+        off += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_all, encode_into};
+
+    fn roundtrip(inst: Inst, mode: DecodeMode) -> (Inst, usize) {
+        let mut bytes = Vec::new();
+        encode_into(&inst, &mut bytes);
+        decode(&bytes, 0x1000, mode).expect("decode failed")
+    }
+
+    #[test]
+    fn plain_instructions_roundtrip_in_both_modes() {
+        let cases = [
+            Inst::r3(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)),
+            Inst::r3(Opcode::Cmovnz, Reg::x(4), Reg::x(5), Reg::x(6)),
+            Inst::r2i(Opcode::Addi, Reg::x(7), Reg::x(8), -42),
+            Inst::r2i(Opcode::Ld, Reg::x(9), Reg::SP, 128),
+            Inst::movi(Reg::x(10), 0x1234_5678_9ABC_DEF0u64 as i64),
+            Inst::store(Opcode::St, Reg::SP, Reg::x(11), -8),
+            Inst::branch(Opcode::Bge, Reg::x(12), Reg::x(13), 100, false),
+            Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::X0, rs2: Reg::X0, imm: -64, secure: false },
+            Inst::r2i(Opcode::Jalr, Reg::X0, Reg::RA, 0),
+            Inst::nullary(Opcode::Halt),
+            Inst::r3(Opcode::Fadd, Reg::f(1), Reg::f(2), Reg::f(3)),
+        ];
+        for inst in cases {
+            for mode in [DecodeMode::Sempe, DecodeMode::Legacy] {
+                let (got, len) = roundtrip(inst, mode);
+                assert_eq!(got, inst, "mode {mode:?}");
+                assert_eq!(len, crate::encode::encoded_len(&inst));
+            }
+        }
+    }
+
+    #[test]
+    fn sjmp_decodes_secure_on_sempe_and_plain_on_legacy() {
+        let sjmp = Inst::branch(Opcode::Bne, Reg::x(1), Reg::X0, 24, true);
+        let (on_sempe, len_s) = roundtrip(sjmp, DecodeMode::Sempe);
+        assert!(on_sempe.is_sjmp());
+        assert_eq!(on_sempe, sjmp);
+
+        let (on_legacy, len_l) = roundtrip(sjmp, DecodeMode::Legacy);
+        assert!(!on_legacy.secure, "legacy decoder must ignore the prefix");
+        assert_eq!(on_legacy.op, Opcode::Bne);
+        assert_eq!(on_legacy.imm, 24);
+        // Crucially the *length* is identical, so all subsequent branch
+        // displacements stay valid — bidirectional binary compatibility.
+        assert_eq!(len_s, len_l);
+    }
+
+    #[test]
+    fn eosjmp_is_nop_on_legacy() {
+        let (on_sempe, l1) = roundtrip(Inst::eosjmp(), DecodeMode::Sempe);
+        assert!(on_sempe.is_eosjmp());
+        let (on_legacy, l2) = roundtrip(Inst::eosjmp(), DecodeMode::Legacy);
+        assert_eq!(on_legacy.op, Opcode::Nop);
+        assert_eq!((l1, l2), (2, 2));
+    }
+
+    #[test]
+    fn repeated_prefixes_collapse() {
+        // 2E 2E 2E 90 still decodes (eosJMP on SeMPE, NOP on legacy).
+        let bytes = [0x2E, 0x2E, 0x2E, 0x90];
+        let (i, len) = decode(&bytes, 0, DecodeMode::Sempe).unwrap();
+        assert!(i.is_eosjmp());
+        assert_eq!(len, 4);
+        let (i, len) = decode(&bytes, 0, DecodeMode::Legacy).unwrap();
+        assert_eq!(i.op, Opcode::Nop);
+        assert_eq!(len, 4);
+    }
+
+    #[test]
+    fn stray_prefix_on_alu_is_ignored_hint() {
+        let mut bytes = vec![SEC_PREFIX];
+        encode_into(&Inst::r3(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3)), &mut bytes);
+        let (i, len) = decode(&bytes, 0, DecodeMode::Sempe).unwrap();
+        assert_eq!(i.op, Opcode::Add);
+        assert!(!i.secure);
+        assert_eq!(len, 5);
+    }
+
+    #[test]
+    fn unknown_opcode_reports_address_and_byte() {
+        let err = decode(&[0xAB], 0x2000, DecodeMode::Sempe).unwrap_err();
+        assert_eq!(err, DecodeError::UnknownOpcode { addr: 0x2000, byte: 0xAB });
+    }
+
+    #[test]
+    fn bare_eosjmp_discriminant_is_not_decodable() {
+        // 0xEE is an internal discriminant, not an opcode byte.
+        let err = decode(&[0xEE], 0, DecodeMode::Sempe).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownOpcode { byte: 0xEE, .. }));
+    }
+
+    #[test]
+    fn truncated_operands_error() {
+        let bytes = [Opcode::Movi.byte(), 1, 0, 0]; // needs 8 imm bytes
+        let err = decode(&bytes, 0x30, DecodeMode::Sempe).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { addr: 0x30 });
+        let err = decode(&[SEC_PREFIX], 0x31, DecodeMode::Sempe).unwrap_err();
+        assert_eq!(err, DecodeError::Truncated { addr: 0x31 });
+    }
+
+    #[test]
+    fn bad_register_byte_errors() {
+        let bytes = [Opcode::Add.byte(), 99, 0, 0];
+        let err = decode(&bytes, 0, DecodeMode::Sempe).unwrap_err();
+        assert_eq!(err, DecodeError::BadRegister { addr: 0, index: 99 });
+    }
+
+    #[test]
+    fn decode_region_walks_every_instruction() {
+        let insts = [
+            Inst::movi(Reg::x(1), 7),
+            Inst::branch(Opcode::Beq, Reg::x(1), Reg::X0, 2, true),
+            Inst::nullary(Opcode::Nop),
+            Inst::eosjmp(),
+            Inst::nullary(Opcode::Halt),
+        ];
+        let bytes = encode_all(&insts);
+        let decoded = decode_region(&bytes, 0x4000, DecodeMode::Sempe).unwrap();
+        assert_eq!(decoded.len(), insts.len());
+        for ((_, got, _), want) in decoded.iter().zip(&insts) {
+            assert_eq!(got, want);
+        }
+        // Addresses are monotone and consistent with lengths.
+        let mut next = 0x4000;
+        for (addr, _, len) in &decoded {
+            assert_eq!(*addr, next);
+            next += *len as Addr;
+        }
+    }
+}

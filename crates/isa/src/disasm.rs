@@ -1,0 +1,154 @@
+//! Disassembler: render program images as annotated assembly listings,
+//! from either front end's point of view. Useful for debugging generated
+//! code and for *seeing* the backward-compatibility story — the same
+//! bytes listed as secure instructions and as legacy instructions.
+
+use core::fmt::Write as _;
+
+use crate::decode::{decode_region, DecodeMode};
+use crate::error::DecodeError;
+use crate::insn::Inst;
+use crate::opcode::Opcode;
+use crate::program::Program;
+use crate::Addr;
+
+/// One listed instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: Addr,
+    /// Raw encoding bytes.
+    pub bytes: Vec<u8>,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Resolved control-flow target, when statically known.
+    pub target: Option<Addr>,
+}
+
+/// Disassemble a program's code region.
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`] in the image.
+pub fn disassemble(prog: &Program, mode: DecodeMode) -> Result<Vec<DisasmLine>, DecodeError> {
+    let decoded = decode_region(prog.code(), prog.code_base(), mode)?;
+    Ok(decoded
+        .into_iter()
+        .map(|(addr, inst, len)| {
+            let off = (addr - prog.code_base()) as usize;
+            let target = match inst.op {
+                op if op.is_cond_branch() => Some(inst.branch_target(addr, len)),
+                Opcode::Jal => Some(inst.branch_target(addr, len)),
+                _ => None,
+            };
+            DisasmLine { addr, bytes: prog.code()[off..off + len].to_vec(), inst, target }
+        })
+        .collect())
+}
+
+/// Render a full listing with addresses, bytes, mnemonics and symbol
+/// annotations.
+///
+/// # Errors
+///
+/// Propagates decode failures.
+pub fn listing(prog: &Program, mode: DecodeMode) -> Result<String, DecodeError> {
+    let lines = disassemble(prog, mode)?;
+    // Reverse symbol map for annotations.
+    let mut out = String::new();
+    for line in &lines {
+        // Symbol label, if one is bound to this address.
+        for (name, addr) in prog.symbols() {
+            if *addr == line.addr {
+                let _ = writeln!(out, "{name}:");
+            }
+        }
+        let bytes: Vec<String> = line.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        let _ = write!(out, "  {:#08x}:  {:24} {}", line.addr, bytes.join(" "), line.inst);
+        if let Some(t) = line.target {
+            let _ = write!(out, "    ; -> {t:#x}");
+            for (name, addr) in prog.symbols() {
+                if *addr == t {
+                    let _ = write!(out, " <{name}>");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::abi;
+
+    fn demo_program() -> Program {
+        let mut a = Asm::new();
+        let then_ = a.label("then");
+        let join = a.label("join");
+        a.movi(abi::A[0], 1);
+        a.sbne(abi::A[0], abi::ZERO, then_);
+        a.movi(abi::A[1], 2);
+        a.jmp(join);
+        a.bind(then_).unwrap();
+        a.movi(abi::A[1], 1);
+        a.bind(join).unwrap();
+        a.eosjmp();
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn disassembly_roundtrips_every_byte() {
+        let prog = demo_program();
+        let lines = disassemble(&prog, DecodeMode::Sempe).unwrap();
+        let total: usize = lines.iter().map(|l| l.bytes.len()).sum();
+        assert_eq!(total, prog.code_len());
+        // Addresses are contiguous.
+        let mut next = prog.code_base();
+        for l in &lines {
+            assert_eq!(l.addr, next);
+            next += l.bytes.len() as Addr;
+        }
+    }
+
+    #[test]
+    fn secure_and_legacy_listings_show_the_same_bytes_differently() {
+        let prog = demo_program();
+        let secure = listing(&prog, DecodeMode::Sempe).unwrap();
+        let legacy = listing(&prog, DecodeMode::Legacy).unwrap();
+        assert!(secure.contains("s.bne"), "secure view shows the sJMP:\n{secure}");
+        assert!(secure.contains("eosjmp"));
+        assert!(!legacy.contains("s.bne"), "legacy view shows a plain branch");
+        assert!(!legacy.contains("eosjmp"), "legacy view shows a NOP");
+        // Identical byte columns: extract hex pairs per line and compare.
+        let bytes_of = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains(':') && l.contains("0x"))
+                .map(|l| l[12..36].trim().to_string())
+                .collect()
+        };
+        assert_eq!(bytes_of(&secure), bytes_of(&legacy));
+    }
+
+    #[test]
+    fn branch_targets_are_annotated_with_symbols() {
+        let prog = demo_program();
+        let text = listing(&prog, DecodeMode::Sempe).unwrap();
+        assert!(text.contains("<then>"), "{text}");
+        assert!(text.contains("then:"));
+        assert!(text.contains("join:"));
+    }
+
+    #[test]
+    fn sec_prefix_bytes_are_visible() {
+        let prog = demo_program();
+        let lines = disassemble(&prog, DecodeMode::Sempe).unwrap();
+        let sjmp = lines.iter().find(|l| l.inst.is_sjmp()).expect("has sJMP");
+        assert_eq!(sjmp.bytes[0], 0x2E);
+        let eos = lines.iter().find(|l| l.inst.is_eosjmp()).expect("has eosJMP");
+        assert_eq!(eos.bytes, vec![0x2E, 0x90]);
+    }
+}

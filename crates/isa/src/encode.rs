@@ -1,0 +1,173 @@
+//! Byte-level instruction encoder.
+//!
+//! Encoding is variable length, little-endian:
+//!
+//! | format | bytes |
+//! |---|---|
+//! | `None` | `op` |
+//! | `EosJmp` | `0x2E 0x90` (SecPrefix + NOP) |
+//! | `R3` | `op rd rs1 rs2` |
+//! | `R2I32` | `op rd rs1 imm32` |
+//! | `R1I64` | `op rd imm64` |
+//! | `Branch` | `[0x2E] op rs1 rs2 off32` |
+//! | `Store` | `op rs1 rs2 imm32` |
+//! | `Jal` | `op rd off32` |
+//!
+//! A secure branch (sJMP) is the branch encoding preceded by
+//! [`SEC_PREFIX`]; branch offsets are relative to the **next** instruction,
+//! i.e. the end of the full encoding *including* the prefix byte.
+
+use crate::insn::Inst;
+use crate::opcode::{Format, Opcode, SEC_PREFIX};
+
+/// Length in bytes of the encoding `encode_into` will produce for `inst`.
+#[must_use]
+pub fn encoded_len(inst: &Inst) -> usize {
+    let body = match inst.op.format() {
+        Format::None => 1,
+        Format::R3 => 4,
+        Format::R2I32 => 7,
+        Format::R1I64 => 10,
+        Format::Branch => 7,
+        Format::Store => 7,
+        Format::Jal => 6,
+    };
+    match inst.op {
+        Opcode::EosJmp => 2,
+        _ if inst.secure && inst.op.is_cond_branch() => body + 1,
+        _ => body,
+    }
+}
+
+/// Append the encoding of `inst` to `out`, returning the number of bytes
+/// written.
+///
+/// # Panics
+///
+/// Panics if a `Branch`, `Store`, `Jal` or `R2I32` immediate does not fit
+/// in 32 bits. The assembler checks displacements before calling this; raw
+/// users must do the same.
+pub fn encode_into(inst: &Inst, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    let imm32 = |v: i64| -> [u8; 4] {
+        i32::try_from(v).expect("immediate exceeds 32 bits").to_le_bytes()
+    };
+    match inst.op {
+        Opcode::EosJmp => {
+            out.push(SEC_PREFIX);
+            out.push(Opcode::Nop.byte());
+        }
+        _ => {
+            if inst.secure && inst.op.is_cond_branch() {
+                out.push(SEC_PREFIX);
+            }
+            out.push(inst.op.byte());
+            match inst.op.format() {
+                Format::None => {}
+                Format::R3 => {
+                    out.push(inst.rd.raw());
+                    out.push(inst.rs1.raw());
+                    out.push(inst.rs2.raw());
+                }
+                Format::R2I32 => {
+                    out.push(inst.rd.raw());
+                    out.push(inst.rs1.raw());
+                    out.extend_from_slice(&imm32(inst.imm));
+                }
+                Format::R1I64 => {
+                    out.push(inst.rd.raw());
+                    out.extend_from_slice(&inst.imm.to_le_bytes());
+                }
+                Format::Branch => {
+                    out.push(inst.rs1.raw());
+                    out.push(inst.rs2.raw());
+                    out.extend_from_slice(&imm32(inst.imm));
+                }
+                Format::Store => {
+                    out.push(inst.rs1.raw());
+                    out.push(inst.rs2.raw());
+                    out.extend_from_slice(&imm32(inst.imm));
+                }
+                Format::Jal => {
+                    out.push(inst.rd.raw());
+                    out.extend_from_slice(&imm32(inst.imm));
+                }
+            }
+        }
+    }
+    let len = out.len() - start;
+    debug_assert_eq!(len, encoded_len(inst), "encoded_len mismatch for {inst}");
+    len
+}
+
+/// Encode a whole instruction sequence into a fresh byte vector.
+#[must_use]
+pub fn encode_all<'a, I: IntoIterator<Item = &'a Inst>>(insts: I) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in insts {
+        encode_into(i, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn eosjmp_is_prefix_plus_nop() {
+        let mut out = Vec::new();
+        encode_into(&Inst::eosjmp(), &mut out);
+        assert_eq!(out, vec![0x2E, 0x90]);
+    }
+
+    #[test]
+    fn secure_branch_gets_prefix_byte() {
+        let plain = Inst::branch(Opcode::Beq, Reg::x(1), Reg::x(2), 16, false);
+        let secure = Inst::branch(Opcode::Beq, Reg::x(1), Reg::x(2), 16, true);
+        let mut pb = Vec::new();
+        let mut sb = Vec::new();
+        encode_into(&plain, &mut pb);
+        encode_into(&secure, &mut sb);
+        assert_eq!(sb[0], SEC_PREFIX);
+        assert_eq!(&sb[1..], &pb[..]);
+        assert_eq!(sb.len(), pb.len() + 1);
+    }
+
+    #[test]
+    fn secure_flag_on_non_branch_is_not_encoded() {
+        // `secure` is only meaningful for conditional branches; the encoder
+        // must not emit a prefix for e.g. a secure-flagged ADD.
+        let mut i = Inst::r3(Opcode::Add, Reg::x(1), Reg::x(2), Reg::x(3));
+        i.secure = true;
+        let mut out = Vec::new();
+        encode_into(&i, &mut out);
+        assert_eq!(out[0], Opcode::Add.byte());
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn movi_carries_full_64_bit_immediate() {
+        let mut out = Vec::new();
+        encode_into(&Inst::movi(Reg::x(7), i64::MIN + 3), &mut out);
+        assert_eq!(out.len(), 10);
+        assert_eq!(i64::from_le_bytes(out[2..10].try_into().unwrap()), i64::MIN + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "immediate exceeds 32 bits")]
+    fn oversized_branch_offset_panics() {
+        let b = Inst::branch(Opcode::Beq, Reg::x(1), Reg::x(2), i64::from(i32::MAX) + 1, false);
+        let mut out = Vec::new();
+        encode_into(&b, &mut out);
+    }
+
+    #[test]
+    fn encode_all_concatenates() {
+        let insts =
+            [Inst::nullary(Opcode::Nop), Inst::nullary(Opcode::Halt), Inst::eosjmp()];
+        let bytes = encode_all(&insts);
+        assert_eq!(bytes, vec![0x90, 0xF4, 0x2E, 0x90]);
+    }
+}

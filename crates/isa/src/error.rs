@@ -1,0 +1,183 @@
+//! Error types for decoding, assembling and executing SIR programs.
+
+use core::fmt;
+
+use crate::reg::Reg;
+use crate::Addr;
+
+/// Error produced while decoding a byte stream into instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not correspond to any SIR instruction.
+    UnknownOpcode {
+        /// Address of the offending opcode byte.
+        addr: Addr,
+        /// The byte that could not be decoded.
+        byte: u8,
+    },
+    /// The instruction ran off the end of the code region.
+    Truncated {
+        /// Address where decoding started.
+        addr: Addr,
+    },
+    /// An operand byte named a register that does not exist.
+    BadRegister {
+        /// Address of the instruction.
+        addr: Addr,
+        /// The raw register index.
+        index: u8,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { addr, byte } => {
+                write!(f, "unknown opcode byte {byte:#04x} at {addr:#x}")
+            }
+            DecodeError::Truncated { addr } => {
+                write!(f, "instruction at {addr:#x} is truncated")
+            }
+            DecodeError::BadRegister { addr, index } => {
+                write!(f, "invalid register index {index} at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Error produced by the assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound with [`crate::asm::Asm::bind`].
+    UnboundLabel {
+        /// Human-readable label name.
+        name: String,
+    },
+    /// A label was bound twice.
+    ReboundLabel {
+        /// Human-readable label name.
+        name: String,
+    },
+    /// A branch displacement does not fit in the 32-bit offset field.
+    OffsetOverflow {
+        /// Human-readable label name of the target.
+        name: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { name } => write!(f, "label `{name}` was never bound"),
+            AsmError::ReboundLabel { name } => write!(f, "label `{name}` bound twice"),
+            AsmError::OffsetOverflow { name } => {
+                write!(f, "branch to `{name}` overflows the 32-bit offset field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Runtime fault raised while executing a program.
+///
+/// Mirrors the fault model of the paper's threat model (§III): programs are
+/// assumed bug-free, but an instruction on a *false* path may still fault
+/// (e.g. divide by zero); SeMPE surfaces such faults to the exception
+/// handler, and so do we.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Integer division or remainder by zero.
+    DivideByZero {
+        /// Address of the faulting instruction.
+        pc: Addr,
+    },
+    /// The program counter left the code region.
+    FetchFault {
+        /// The runaway program counter value.
+        pc: Addr,
+    },
+    /// Writing to the hard-wired zero register.
+    ///
+    /// Writes to `x0` are silently discarded in hardware; the interpreter
+    /// treats an *encoded* destination of `x0` the same way, so this variant
+    /// is only produced by internal assertions.
+    ZeroRegWrite {
+        /// Address of the instruction.
+        pc: Addr,
+        /// Destination register.
+        reg: Reg,
+    },
+    /// The step budget given to the interpreter ran out before `HALT`.
+    OutOfFuel,
+    /// A secure-region invariant was violated at run time.
+    ///
+    /// Raised e.g. when `eosJMP` commits with an empty jump-back stack, or
+    /// when secure-branch nesting exceeds the supported depth. The paper
+    /// treats nesting overflow as a run-time exception (§IV-E).
+    SecureRegionFault {
+        /// Address of the faulting instruction.
+        pc: Addr,
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// Instruction decode failed during execution.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivideByZero { pc } => write!(f, "divide by zero at {pc:#x}"),
+            ExecError::FetchFault { pc } => write!(f, "fetch fault at {pc:#x}"),
+            ExecError::ZeroRegWrite { pc, reg } => {
+                write!(f, "write to read-only register {reg} at {pc:#x}")
+            }
+            ExecError::OutOfFuel => write!(f, "step budget exhausted before HALT"),
+            ExecError::SecureRegionFault { pc, reason } => {
+                write!(f, "secure-region fault at {pc:#x}: {reason}")
+            }
+            ExecError::Decode(e) => write!(f, "decode failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for ExecError {
+    fn from(e: DecodeError) -> Self {
+        ExecError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DecodeError::UnknownOpcode { addr: 0x40, byte: 0xAB };
+        assert_eq!(e.to_string(), "unknown opcode byte 0xab at 0x40");
+        let e = ExecError::DivideByZero { pc: 0x1000 };
+        assert!(e.to_string().contains("0x1000"));
+        let e = AsmError::UnboundLabel { name: "loop".into() };
+        assert!(e.to_string().contains("loop"));
+    }
+
+    #[test]
+    fn exec_error_wraps_decode_error_as_source() {
+        use std::error::Error as _;
+        let inner = DecodeError::Truncated { addr: 4 };
+        let e = ExecError::from(inner.clone());
+        assert_eq!(e.source().unwrap().to_string(), inner.to_string());
+    }
+}

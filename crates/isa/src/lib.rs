@@ -1,0 +1,86 @@
+//! # sempe-isa — the SIR instruction set
+//!
+//! The instruction-set substrate for the SeMPE reproduction: a compact
+//! 64-bit RISC-style ISA ("SIR") with the byte-level encoding properties
+//! the paper's backward-compatibility argument needs:
+//!
+//! * conditional branches can be prefixed with the **Secure Execution
+//!   Prefix** `0x2E` to become Secure Jumps (sJMP);
+//! * the **End-of-SecureJump** marker (eosJMP) encodes as `0x2E 0x90`,
+//!   which a legacy decoder reads as a plain `NOP`;
+//! * the same binary therefore runs on both SeMPE-aware and legacy
+//!   front ends, with identical instruction lengths and addresses.
+//!
+//! The crate provides:
+//!
+//! * [`reg`], [`opcode`], [`insn`] — registers, opcodes, decoded
+//!   instructions;
+//! * [`encode`] / [`decode`] — the byte-level codec with its two
+//!   personalities ([`decode::DecodeMode::Sempe`] and
+//!   [`decode::DecodeMode::Legacy`]);
+//! * [`asm`] — a programmatic assembler with labels and a data segment;
+//! * [`mem`] — sparse paged memory shared with the cycle simulator;
+//! * [`semantics`] — single-source-of-truth functional semantics;
+//! * [`interp`] — reference interpreters: the legacy oracle and the
+//!   SeMPE-functional model used for ideal-overhead accounting.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sempe_isa::asm::Asm;
+//! use sempe_isa::interp::{Interp, InterpMode};
+//! use sempe_isa::reg::abi;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // if (secret) a1 = 111 else a1 = 222, as a secure region.
+//! let mut a = Asm::new();
+//! let then_ = a.label("then");
+//! let join = a.label("join");
+//! a.movi(abi::A[0], 1); // the secret
+//! a.sbne(abi::A[0], abi::ZERO, then_);
+//! a.movi(abi::A[1], 222);
+//! a.jmp(join);
+//! a.bind(then_)?;
+//! a.movi(abi::A[1], 111);
+//! a.bind(join)?;
+//! a.eosjmp();
+//! a.halt();
+//! let prog = a.assemble()?;
+//!
+//! // SeMPE-functional execution runs BOTH paths yet lands on the
+//! // architecturally correct value.
+//! let mut i = Interp::new(&prog, InterpMode::SempeFunctional)?;
+//! i.run(1_000)?;
+//! assert_eq!(i.reg(abi::A[1]), 111);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asm;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod error;
+pub mod insn;
+pub mod interp;
+pub mod mem;
+pub mod opcode;
+pub mod program;
+pub mod reg;
+pub mod semantics;
+
+/// A 64-bit virtual address.
+pub type Addr = u64;
+
+pub use asm::{Asm, Label};
+pub use decode::DecodeMode;
+pub use error::{AsmError, DecodeError, ExecError};
+pub use insn::Inst;
+pub use interp::{Interp, InterpMode, RunSummary};
+pub use mem::Memory;
+pub use opcode::{Opcode, SEC_PREFIX};
+pub use program::{layout, DecodedProgram, Program};
+pub use reg::Reg;

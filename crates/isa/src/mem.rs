@@ -1,0 +1,193 @@
+//! Sparse paged memory shared by the interpreters and the cycle-level
+//! simulator.
+//!
+//! Reads of unmapped pages return zeros without allocating; writes allocate
+//! pages on demand. Accesses may be unaligned (the encoding mimics x86).
+//! This "never faults on data" model keeps wrong-path execution in the
+//! out-of-order simulator well-defined — a squashed load to a garbage
+//! address simply reads zeros, exactly like gem5's functional memory in
+//! atomic mode.
+
+use std::collections::HashMap;
+
+use crate::Addr;
+
+/// Page size in bytes. 4 KiB like the host; the paper's 4 MB pages only
+/// matter for TLB modeling, which neither gem5's nor our configuration
+/// exercises for these workloads.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Sparse, byte-addressable 64-bit memory.
+///
+/// # Examples
+///
+/// ```
+/// use sempe_isa::mem::Memory;
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(m.read_u64(0x8000), 0); // unmapped reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Create an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages currently allocated.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr / PAGE_SIZE as u64).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Read one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE as u64)) {
+            Some(p) => p[(addr % PAGE_SIZE as u64) as usize],
+            None => 0,
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: Addr, val: u8) {
+        self.page_mut(addr)[(addr % PAGE_SIZE as u64) as usize] = val;
+    }
+
+    /// Read `N` little-endian bytes starting at `addr`.
+    fn read_le<const N: usize>(&self, addr: Addr) -> [u8; N] {
+        let mut buf = [0u8; N];
+        // Fast path: within one page.
+        let off = (addr % PAGE_SIZE as u64) as usize;
+        if off + N <= PAGE_SIZE {
+            if let Some(p) = self.pages.get(&(addr / PAGE_SIZE as u64)) {
+                buf.copy_from_slice(&p[off..off + N]);
+            }
+            return buf;
+        }
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        buf
+    }
+
+    fn write_le(&mut self, addr: Addr, bytes: &[u8]) {
+        let off = (addr % PAGE_SIZE as u64) as usize;
+        if off + bytes.len() <= PAGE_SIZE {
+            self.page_mut(addr)[off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Read a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        u32::from_le_bytes(self.read_le::<4>(addr))
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, val: u32) {
+        self.write_le(addr, &val.to_le_bytes());
+    }
+
+    /// Read a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        u64::from_le_bytes(self.read_le::<8>(addr))
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, val: u64) {
+        self.write_le(addr, &val.to_le_bytes());
+    }
+
+    /// Copy a byte image into memory at `addr`.
+    pub fn load_image(&mut self, addr: Addr, image: &[u8]) {
+        self.write_le(addr, image);
+    }
+
+    /// Read `len` bytes into a fresh vector.
+    #[must_use]
+    pub fn read_bytes(&self, addr: Addr, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Read `count` little-endian `u64` words starting at `addr`.
+    #[must_use]
+    pub fn read_words(&self, addr: Addr, count: usize) -> Vec<u64> {
+        (0..count).map(|i| self.read_u64(addr + 8 * i as u64)).collect()
+    }
+
+    /// Write a slice of `u64` words starting at `addr`.
+    pub fn write_words(&mut self, addr: Addr, words: &[u64]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u64(addr + 8 * i as u64, *w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero_and_do_not_allocate() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0xDEAD_0000), 0);
+        assert_eq!(m.read_u8(12345), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut m = Memory::new();
+        m.write_u64(0x100, u64::MAX - 5);
+        assert_eq!(m.read_u64(0x100), u64::MAX - 5);
+        m.write_u32(0x200, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(0x200), 0xAABB_CCDD);
+        m.write_u8(0x300, 0x7F);
+        assert_eq!(m.read_u8(0x300), 0x7F);
+    }
+
+    #[test]
+    fn cross_page_access_is_consistent() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE as u64 - 3; // straddles the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.page_count(), 2);
+        // Byte-level view agrees with the word-level view.
+        assert_eq!(m.read_u8(addr), 0x88);
+        assert_eq!(m.read_u8(addr + 7), 0x11);
+    }
+
+    #[test]
+    fn overlapping_writes_last_writer_wins() {
+        let mut m = Memory::new();
+        m.write_u64(0x10, 0xFFFF_FFFF_FFFF_FFFF);
+        m.write_u32(0x14, 0);
+        assert_eq!(m.read_u64(0x10), 0x0000_0000_FFFF_FFFF);
+    }
+
+    #[test]
+    fn image_and_word_helpers() {
+        let mut m = Memory::new();
+        m.load_image(0x1000, &[1, 2, 3, 4]);
+        assert_eq!(m.read_bytes(0x1000, 4), vec![1, 2, 3, 4]);
+        m.write_words(0x2000, &[10, 20, 30]);
+        assert_eq!(m.read_words(0x2000, 3), vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Architectural registers of the SIR ISA.
+//!
+//! SIR exposes **48 architectural registers** — 32 general-purpose integer
+//! registers (`x0`–`x31`, with `x0` hard-wired to zero) and 16
+//! floating-point registers (`f0`–`f15`). Forty-eight matches the count the
+//! paper uses when sizing ArchRS snapshots (§V cites the AMD64 manual's 48
+//! architectural registers), so the scratchpad-memory arithmetic carries
+//! over directly.
+
+use core::fmt;
+
+/// Number of general-purpose integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: usize = 16;
+/// Total architectural registers (what an ArchRS snapshot must cover).
+pub const NUM_ARCH_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register identifier.
+///
+/// The identifier space is flat: indices `0..32` are the integer registers
+/// and `32..48` the floating-point registers. This keeps rename tables and
+/// snapshot bit-vectors simple (one flat index space).
+///
+/// # Examples
+///
+/// ```
+/// use sempe_isa::reg::Reg;
+/// assert_eq!(Reg::X0.index(), 0);
+/// assert!(Reg::X0.is_zero());
+/// assert!(Reg::f(3).is_fp());
+/// assert_eq!(Reg::x(5).to_string(), "x5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register `x0`.
+    pub const X0: Reg = Reg(0);
+    /// Return-address register `x1` (ABI name `ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2` (ABI name `sp`).
+    pub const SP: Reg = Reg(2);
+
+    /// Integer register `xN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn x(n: u8) -> Reg {
+        assert!(n < NUM_INT_REGS as u8, "integer register index out of range");
+        Reg(n)
+    }
+
+    /// Floating-point register `fN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 16`.
+    #[must_use]
+    pub const fn f(n: u8) -> Reg {
+        assert!(n < NUM_FP_REGS as u8, "fp register index out of range");
+        Reg(NUM_INT_REGS as u8 + n)
+    }
+
+    /// Construct from a flat index, if valid.
+    #[must_use]
+    pub const fn from_index(i: u8) -> Option<Reg> {
+        if (i as usize) < NUM_ARCH_REGS {
+            Some(Reg(i))
+        } else {
+            None
+        }
+    }
+
+    /// Flat index into the architectural register file (`0..48`).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw encoding byte.
+    #[must_use]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Is this the hard-wired zero register?
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is this a floating-point register?
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        self.0 as usize >= NUM_INT_REGS
+    }
+
+    /// Iterate over every architectural register, integer then FP.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_ARCH_REGS as u8).map(Reg)
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::X0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 as usize - NUM_INT_REGS)
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+/// ABI-style aliases used by the code generators.
+///
+/// | alias | register | role |
+/// |---|---|---|
+/// | `ZERO` | x0 | constant zero |
+/// | `RA` | x1 | return address |
+/// | `SP` | x2 | stack pointer |
+/// | `A0..A7` | x16..x23 | arguments / results |
+/// | `T0..T7` | x3..x10 | caller-saved temporaries |
+/// | `S0..S4` | x11..x15 | callee-saved |
+/// | `K0..K7` | x24..x31 | reserved for compiler-internal masks/shadows |
+pub mod abi {
+    use super::Reg;
+
+    /// Constant zero.
+    pub const ZERO: Reg = Reg::X0;
+    /// Return address.
+    pub const RA: Reg = Reg::RA;
+    /// Stack pointer.
+    pub const SP: Reg = Reg::SP;
+
+    /// Temporaries `t0..t7` (x3..x10).
+    pub const T: [Reg; 8] = [
+        Reg::x(3),
+        Reg::x(4),
+        Reg::x(5),
+        Reg::x(6),
+        Reg::x(7),
+        Reg::x(8),
+        Reg::x(9),
+        Reg::x(10),
+    ];
+    /// Callee-saved `s0..s4` (x11..x15).
+    pub const S: [Reg; 5] = [Reg::x(11), Reg::x(12), Reg::x(13), Reg::x(14), Reg::x(15)];
+    /// Arguments `a0..a7` (x16..x23).
+    pub const A: [Reg; 8] = [
+        Reg::x(16),
+        Reg::x(17),
+        Reg::x(18),
+        Reg::x(19),
+        Reg::x(20),
+        Reg::x(21),
+        Reg::x(22),
+        Reg::x(23),
+    ];
+    /// Compiler-internal scratch `k0..k7` (x24..x31): masks, shadow bases.
+    pub const K: [Reg; 8] = [
+        Reg::x(24),
+        Reg::x(25),
+        Reg::x(26),
+        Reg::x(27),
+        Reg::x(28),
+        Reg::x(29),
+        Reg::x(30),
+        Reg::x(31),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_space_is_contiguous() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i as u8), Some(*r));
+        }
+        assert_eq!(Reg::from_index(NUM_ARCH_REGS as u8), None);
+    }
+
+    #[test]
+    fn fp_registers_start_after_int_registers() {
+        assert!(!Reg::x(31).is_fp());
+        assert!(Reg::f(0).is_fp());
+        assert_eq!(Reg::f(0).index(), 32);
+        assert_eq!(Reg::f(15).index(), 47);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::x(0).to_string(), "x0");
+        assert_eq!(Reg::x(31).to_string(), "x31");
+        assert_eq!(Reg::f(0).to_string(), "f0");
+        assert_eq!(Reg::f(15).to_string(), "f15");
+    }
+
+    #[test]
+    #[should_panic(expected = "integer register index out of range")]
+    fn x_constructor_rejects_out_of_range() {
+        let _ = Reg::x(32);
+    }
+
+    #[test]
+    fn abi_aliases_do_not_overlap() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        seen.insert(abi::ZERO);
+        seen.insert(abi::RA);
+        seen.insert(abi::SP);
+        for r in abi::T.iter().chain(&abi::S).chain(&abi::A).chain(&abi::K) {
+            assert!(seen.insert(*r), "register {r} assigned to two ABI roles");
+        }
+        assert_eq!(seen.len(), NUM_INT_REGS);
+    }
+}

@@ -1,0 +1,217 @@
+//! Functional semantics of SIR instructions, shared by the reference
+//! interpreter and the cycle-level simulator's execute stage so the two can
+//! never drift apart.
+//!
+//! Floating-point registers store `f64` bit patterns in the same 64-bit
+//! register file as the integer registers, so every operand and result is a
+//! `u64` here.
+
+use crate::insn::Inst;
+use crate::opcode::Opcode;
+
+/// Fault raised by integer arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntFault {
+    /// Division or remainder by zero.
+    DivideByZero,
+}
+
+/// Evaluate a computational instruction.
+///
+/// * `a` — value of `rs1`.
+/// * `b` — value of `rs2` for register-register forms, or the immediate
+///   (sign-extended, reinterpreted as `u64`) for immediate forms.
+/// * `old` — previous value of the destination register (consumed by the
+///   conditional moves).
+///
+/// Control-flow, loads and stores are *not* handled here; callers deal
+/// with them because they involve memory or the PC.
+///
+/// # Errors
+///
+/// [`IntFault::DivideByZero`] for `DIV`/`REM` with a zero divisor.
+pub fn eval_op(inst: &Inst, a: u64, b: u64, old: u64) -> Result<u64, IntFault> {
+    let f = |x: u64| f64::from_bits(x);
+    Ok(match inst.op {
+        Opcode::Add | Opcode::Addi => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::And | Opcode::Andi => a & b,
+        Opcode::Or | Opcode::Ori => a | b,
+        Opcode::Xor | Opcode::Xori => a ^ b,
+        Opcode::Sll | Opcode::Slli => a.wrapping_shl((b & 63) as u32),
+        Opcode::Srl | Opcode::Srli => a.wrapping_shr((b & 63) as u32),
+        Opcode::Sra | Opcode::Srai => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        Opcode::Slt | Opcode::Slti => u64::from((a as i64) < (b as i64)),
+        Opcode::Sltu => u64::from(a < b),
+        Opcode::Seq => u64::from(a == b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::Div => {
+            if b == 0 {
+                return Err(IntFault::DivideByZero);
+            }
+            ((a as i64).wrapping_div(b as i64)) as u64
+        }
+        Opcode::Rem => {
+            if b == 0 {
+                return Err(IntFault::DivideByZero);
+            }
+            ((a as i64).wrapping_rem(b as i64)) as u64
+        }
+        Opcode::Divu => {
+            if b == 0 {
+                return Err(IntFault::DivideByZero);
+            }
+            a / b
+        }
+        Opcode::Remu => {
+            if b == 0 {
+                return Err(IntFault::DivideByZero);
+            }
+            a % b
+        }
+        Opcode::Cmovnz => {
+            if b != 0 {
+                a
+            } else {
+                old
+            }
+        }
+        Opcode::Cmovz => {
+            if b == 0 {
+                a
+            } else {
+                old
+            }
+        }
+        Opcode::Movi => b,
+        Opcode::Fadd => (f(a) + f(b)).to_bits(),
+        Opcode::Fsub => (f(a) - f(b)).to_bits(),
+        Opcode::Fmul => (f(a) * f(b)).to_bits(),
+        Opcode::Fdiv => (f(a) / f(b)).to_bits(),
+        Opcode::Fmov => a,
+        Opcode::Fcvt => {
+            if inst.rd.is_fp() {
+                // int -> fp
+                (a as i64 as f64).to_bits()
+            } else {
+                // fp -> int (truncating)
+                f(a) as i64 as u64
+            }
+        }
+        other => unreachable!("eval_op called with non-computational opcode {other:?}"),
+    })
+}
+
+/// Does the conditional branch `op` fire given operand values `a`, `b`?
+#[must_use]
+pub fn branch_taken(op: Opcode, a: u64, b: u64) -> bool {
+    match op {
+        Opcode::Beq => a == b,
+        Opcode::Bne => a != b,
+        Opcode::Blt => (a as i64) < (b as i64),
+        Opcode::Bge => (a as i64) >= (b as i64),
+        Opcode::Bltu => a < b,
+        Opcode::Bgeu => a >= b,
+        other => unreachable!("branch_taken called with non-branch opcode {other:?}"),
+    }
+}
+
+/// Access width in bytes for a load or store opcode.
+#[must_use]
+pub fn access_width(op: Opcode) -> usize {
+    match op {
+        Opcode::Ld | Opcode::St | Opcode::Fld | Opcode::Fst => 8,
+        Opcode::Ldw | Opcode::Stw => 4,
+        Opcode::Ldb | Opcode::Stb => 1,
+        other => unreachable!("access_width called with non-memory opcode {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn i(op: Opcode) -> Inst {
+        Inst::r3(op, Reg::x(1), Reg::x(2), Reg::x(3))
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        assert_eq!(eval_op(&i(Opcode::Add), u64::MAX, 1, 0), Ok(0));
+        assert_eq!(eval_op(&i(Opcode::Sub), 0, 1, 0), Ok(u64::MAX));
+        assert_eq!(eval_op(&i(Opcode::Mul), 1 << 63, 2, 0), Ok(0));
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let minus_one = u64::MAX;
+        assert_eq!(eval_op(&i(Opcode::Slt), minus_one, 0, 0), Ok(1));
+        assert_eq!(eval_op(&i(Opcode::Sltu), minus_one, 0, 0), Ok(0));
+        assert_eq!(eval_op(&i(Opcode::Seq), 5, 5, 0), Ok(1));
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(eval_op(&i(Opcode::Sll), 1, 64, 0), Ok(1));
+        assert_eq!(eval_op(&i(Opcode::Sll), 1, 65, 0), Ok(2));
+        assert_eq!(eval_op(&i(Opcode::Sra), (-8i64) as u64, 1, 0), Ok((-4i64) as u64));
+        assert_eq!(eval_op(&i(Opcode::Srl), (-8i64) as u64, 1, 0), Ok(((-8i64) as u64) >> 1));
+    }
+
+    #[test]
+    fn srl_is_logical() {
+        assert_eq!(eval_op(&i(Opcode::Srl), 0x8000_0000_0000_0000, 63, 0), Ok(1));
+    }
+
+    #[test]
+    fn division_faults_on_zero_and_handles_negatives() {
+        assert_eq!(eval_op(&i(Opcode::Div), 10, 0, 0), Err(IntFault::DivideByZero));
+        assert_eq!(eval_op(&i(Opcode::Rem), 10, 0, 0), Err(IntFault::DivideByZero));
+        assert_eq!(eval_op(&i(Opcode::Div), (-7i64) as u64, 2, 0), Ok((-3i64) as u64));
+        assert_eq!(eval_op(&i(Opcode::Rem), (-7i64) as u64, 2, 0), Ok((-1i64) as u64));
+    }
+
+    #[test]
+    fn cmov_selects_between_new_and_old() {
+        assert_eq!(eval_op(&i(Opcode::Cmovnz), 111, 1, 222), Ok(111));
+        assert_eq!(eval_op(&i(Opcode::Cmovnz), 111, 0, 222), Ok(222));
+        assert_eq!(eval_op(&i(Opcode::Cmovz), 111, 0, 222), Ok(111));
+        assert_eq!(eval_op(&i(Opcode::Cmovz), 111, 7, 222), Ok(222));
+    }
+
+    #[test]
+    fn fp_ops_work_on_bit_patterns() {
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        assert_eq!(eval_op(&i(Opcode::Fadd), a, b, 0), Ok(3.75f64.to_bits()));
+        assert_eq!(eval_op(&i(Opcode::Fmul), a, b, 0), Ok(3.375f64.to_bits()));
+    }
+
+    #[test]
+    fn fcvt_direction_depends_on_destination_class() {
+        let to_fp = Inst::r3(Opcode::Fcvt, Reg::f(0), Reg::x(1), Reg::X0);
+        assert_eq!(eval_op(&to_fp, (-3i64) as u64, 0, 0), Ok((-3.0f64).to_bits()));
+        let to_int = Inst::r3(Opcode::Fcvt, Reg::x(1), Reg::f(0), Reg::X0);
+        assert_eq!(eval_op(&to_int, 2.9f64.to_bits(), 0, 0), Ok(2));
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(branch_taken(Opcode::Beq, 4, 4));
+        assert!(!branch_taken(Opcode::Beq, 4, 5));
+        assert!(branch_taken(Opcode::Bne, 4, 5));
+        assert!(branch_taken(Opcode::Blt, (-1i64) as u64, 0));
+        assert!(!branch_taken(Opcode::Bltu, (-1i64) as u64, 0));
+        assert!(branch_taken(Opcode::Bge, 0, (-1i64) as u64));
+        assert!(branch_taken(Opcode::Bgeu, (-1i64) as u64, 0));
+    }
+
+    #[test]
+    fn access_widths() {
+        assert_eq!(access_width(Opcode::Ld), 8);
+        assert_eq!(access_width(Opcode::Stw), 4);
+        assert_eq!(access_width(Opcode::Ldb), 1);
+        assert_eq!(access_width(Opcode::Fst), 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the SIR codec: any well-formed instruction must
+//! round-trip byte-exactly, and the legacy/SeMPE decoders must agree on
+//! instruction *lengths* everywhere (the backward-compatibility invariant:
+//! addresses never shift between front ends).
+
+use proptest::prelude::*;
+use sempe_isa::decode::{decode, DecodeMode};
+use sempe_isa::encode::{encode_into, encoded_len};
+use sempe_isa::insn::Inst;
+use sempe_isa::opcode::{Format, Opcode};
+use sempe_isa::reg::Reg;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..48).prop_map(|i| Reg::from_index(i).expect("in range"))
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let ops: Vec<Opcode> =
+        Opcode::ALL.iter().copied().filter(|o| *o != Opcode::EosJmp).collect();
+    (0..ops.len(), arb_reg(), arb_reg(), arb_reg(), any::<i32>(), any::<i64>(), any::<bool>())
+        .prop_map(move |(oi, rd, rs1, rs2, imm32, imm64, secure)| {
+            let op = ops[oi];
+            let mut inst = match op.format() {
+                Format::None => Inst::nullary(op),
+                Format::R3 => Inst::r3(op, rd, rs1, rs2),
+                Format::R2I32 => Inst::r2i(op, rd, rs1, i64::from(imm32)),
+                Format::R1I64 => Inst::movi(rd, imm64),
+                Format::Branch => Inst::branch(op, rs1, rs2, i64::from(imm32), secure),
+                Format::Store => Inst::store(op, rs1, rs2, i64::from(imm32)),
+                Format::Jal => Inst {
+                    op,
+                    rd,
+                    rs1: Reg::X0,
+                    rs2: Reg::X0,
+                    imm: i64::from(imm32),
+                    secure: false,
+                },
+            };
+            if !inst.op.is_cond_branch() {
+                inst.secure = false;
+            }
+            inst
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip_sempe(inst in arb_inst()) {
+        let mut bytes = Vec::new();
+        let len = encode_into(&inst, &mut bytes);
+        prop_assert_eq!(len, encoded_len(&inst));
+        let (decoded, dlen) = decode(&bytes, 0x1000, DecodeMode::Sempe).expect("decodable");
+        prop_assert_eq!(dlen, len);
+        prop_assert_eq!(decoded, inst);
+    }
+
+    #[test]
+    fn legacy_and_sempe_lengths_always_agree(inst in arb_inst()) {
+        let mut bytes = Vec::new();
+        encode_into(&inst, &mut bytes);
+        let (_, ls) = decode(&bytes, 0, DecodeMode::Sempe).expect("sempe");
+        let (li, ll) = decode(&bytes, 0, DecodeMode::Legacy).expect("legacy");
+        prop_assert_eq!(ls, ll, "lengths differ between front ends");
+        // A legacy decode never reports a secure instruction.
+        prop_assert!(!li.secure || li.op == Opcode::EosJmp);
+    }
+
+    #[test]
+    fn legacy_decode_strips_security_but_preserves_operands(inst in arb_inst()) {
+        let mut bytes = Vec::new();
+        encode_into(&inst, &mut bytes);
+        let (li, _) = decode(&bytes, 0, DecodeMode::Legacy).expect("legacy");
+        prop_assert_eq!(li.op, inst.op);
+        prop_assert_eq!(li.rd, inst.rd);
+        prop_assert_eq!(li.rs1, inst.rs1);
+        prop_assert_eq!(li.rs2, inst.rs2);
+        prop_assert_eq!(li.imm, inst.imm);
+    }
+
+    #[test]
+    fn instruction_streams_decode_to_the_same_addresses(insts in prop::collection::vec(arb_inst(), 1..60)) {
+        let mut bytes = Vec::new();
+        for i in &insts {
+            encode_into(&i.clone(), &mut bytes);
+        }
+        let s = sempe_isa::decode::decode_region(&bytes, 0x4000, DecodeMode::Sempe).expect("sempe");
+        let l = sempe_isa::decode::decode_region(&bytes, 0x4000, DecodeMode::Legacy).expect("legacy");
+        prop_assert_eq!(s.len(), insts.len());
+        prop_assert_eq!(l.len(), insts.len());
+        for ((sa, _, sl), (la, _, ll)) in s.iter().zip(&l) {
+            prop_assert_eq!(sa, la);
+            prop_assert_eq!(sl, ll);
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        // Any byte soup either decodes or errors; it must never panic.
+        let _ = decode(&bytes, 0, DecodeMode::Sempe);
+        let _ = decode(&bytes, 0, DecodeMode::Legacy);
+    }
+}

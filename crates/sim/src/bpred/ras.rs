@@ -1,0 +1,101 @@
+//! A return-address stack with copy-based checkpointing (the stack is
+//! small, so snapshot-on-branch is the simplest correct recovery scheme in
+//! a software model).
+
+use sempe_isa::Addr;
+
+/// Fixed-depth return-address stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnStack {
+    entries: Vec<Addr>,
+    depth: usize,
+}
+
+/// A recoverable snapshot of the stack.
+pub type RasSnapshot = Vec<Addr>;
+
+impl ReturnStack {
+    /// A stack holding up to `depth` return addresses.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        ReturnStack { entries: Vec::with_capacity(depth), depth }
+    }
+
+    /// Push a return address (a call retires its fall-through here). The
+    /// oldest entry falls off when full, like real hardware.
+    pub fn push(&mut self, addr: Addr) {
+        if self.entries.len() == self.depth {
+            self.entries.remove(0);
+        }
+        self.entries.push(addr);
+    }
+
+    /// Pop the predicted return target.
+    pub fn pop(&mut self) -> Option<Addr> {
+        self.entries.pop()
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the stack empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot for squash recovery.
+    #[must_use]
+    pub fn snapshot(&self) -> RasSnapshot {
+        self.entries.clone()
+    }
+
+    /// Restore a snapshot.
+    pub fn restore(&mut self, snap: &RasSnapshot) {
+        self.entries.clear();
+        self.entries.extend_from_slice(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let mut r = ReturnStack::new(4);
+        r.push(0x10);
+        r.push(0x20);
+        assert_eq!(r.pop(), Some(0x20));
+        assert_eq!(r.pop(), Some(0x10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None, "oldest entry was dropped");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips() {
+        let mut r = ReturnStack::new(4);
+        r.push(7);
+        let snap = r.snapshot();
+        r.push(8);
+        r.pop();
+        r.pop();
+        assert!(r.is_empty());
+        r.restore(&snap);
+        assert_eq!(r.pop(), Some(7));
+    }
+}

@@ -1,0 +1,296 @@
+//! Simulator configuration. [`SimConfig::paper`] reproduces Table II of
+//! the SeMPE paper (a Haswell-like out-of-order core at 2 GHz).
+
+use sempe_core::unit::SempeConfig;
+
+/// Whether secure instructions are honoured or ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SecurityMode {
+    /// Unprotected baseline: the front end decodes in legacy mode, so
+    /// sJMP is a plain predicted branch and eosJMP a NOP.
+    Baseline,
+    /// SeMPE: sJMP executes both paths via the jump-back table, with
+    /// ArchRS snapshots and the three pipeline drains.
+    #[default]
+    Sempe,
+}
+
+/// Core width/structure parameters (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// µops decoded per cycle.
+    pub decode_width: usize,
+    /// µops renamed/dispatched per cycle.
+    pub rename_width: usize,
+    /// µops issued per cycle (all classes combined).
+    pub issue_width: usize,
+    /// Loads issued per cycle.
+    pub load_issue_width: usize,
+    /// µops retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer capacity in µops.
+    pub rob_entries: usize,
+    /// Integer physical registers.
+    pub int_phys_regs: usize,
+    /// Floating-point physical registers.
+    pub fp_phys_regs: usize,
+    /// Integer issue-buffer entries.
+    pub int_iq_entries: usize,
+    /// Floating-point issue-buffer entries.
+    pub fp_iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Fetch-to-rename queue depth (fetch buffer + decode queue).
+    pub frontend_queue: usize,
+    /// Cycles from mispredict detection to the first corrected fetch.
+    pub mispredict_penalty: u64,
+    /// Cycles from an eosJMP commit to the redirected fetch (front end is
+    /// already warm, so this is cheaper than a mispredict).
+    pub eos_redirect_penalty: u64,
+}
+
+impl CoreConfig {
+    /// Table II core.
+    #[must_use]
+    pub const fn paper() -> Self {
+        CoreConfig {
+            fetch_width: 8,
+            decode_width: 8,
+            rename_width: 8,
+            issue_width: 8,
+            load_issue_width: 2,
+            retire_width: 12,
+            rob_entries: 192,
+            int_phys_regs: 256,
+            fp_phys_regs: 256,
+            int_iq_entries: 60,
+            fp_iq_entries: 60,
+            lq_entries: 32,
+            sq_entries: 32,
+            frontend_queue: 32,
+            mispredict_penalty: 5,
+            eos_redirect_penalty: 3,
+        }
+    }
+}
+
+/// One cache's geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    #[must_use]
+    pub const fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// The memory hierarchy (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 instruction cache: 16 KB, 2-way.
+    pub il1: CacheConfig,
+    /// L1 data cache: 32 KB, 2-way.
+    pub dl1: CacheConfig,
+    /// Unified L2: 256 KB, 2-way.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u64,
+    /// Enable the L1 stride prefetcher.
+    pub stride_prefetch: bool,
+    /// Enable the L2 stream prefetcher.
+    pub stream_prefetch: bool,
+}
+
+impl MemConfig {
+    /// Table II hierarchy.
+    #[must_use]
+    pub const fn paper() -> Self {
+        MemConfig {
+            il1: CacheConfig { size_bytes: 16 * 1024, ways: 2, line_bytes: 64, hit_latency: 1 },
+            dl1: CacheConfig { size_bytes: 32 * 1024, ways: 2, line_bytes: 64, hit_latency: 3 },
+            l2: CacheConfig { size_bytes: 256 * 1024, ways: 2, line_bytes: 64, hit_latency: 12 },
+            mem_latency: 150,
+            stride_prefetch: true,
+            stream_prefetch: true,
+        }
+    }
+}
+
+/// Functional-unit latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// Simple integer ALU ops.
+    pub alu: u64,
+    /// Integer multiply.
+    pub mul: u64,
+    /// Integer divide.
+    pub div: u64,
+    /// FP add/sub.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// Address generation for loads/stores.
+    pub agu: u64,
+    /// Branch condition evaluation.
+    pub branch: u64,
+}
+
+impl LatencyConfig {
+    /// Haswell-like latencies.
+    #[must_use]
+    pub const fn paper() -> Self {
+        LatencyConfig { alu: 1, mul: 3, div: 20, fp_add: 3, fp_mul: 5, fp_div: 14, agu: 1, branch: 1 }
+    }
+}
+
+/// Branch-predictor sizing (Table II: 31 KB TAGE, 6 KB ITTAGE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpredConfig {
+    /// log2 of bimodal-table entries.
+    pub bimodal_bits: usize,
+    /// log2 of entries in each tagged TAGE table.
+    pub tage_table_bits: usize,
+    /// Geometric history lengths of the tagged tables.
+    pub tage_hist_lens: [usize; 4],
+    /// Tag width in the tagged tables.
+    pub tage_tag_bits: usize,
+    /// log2 of entries in each tagged ITTAGE table.
+    pub ittage_table_bits: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+impl BpredConfig {
+    /// Approximates the paper's 31 KB TAGE + 6 KB ITTAGE budget.
+    ///
+    /// Sizing: bimodal 2^13 × 2 b = 2 KB; four tagged tables of 2^11
+    /// entries × (10-bit tag + 3-bit ctr + 2-bit u) ≈ 15 b × 2048 × 4 ≈
+    /// 15 KB; history/management overheads round the budget to the paper's
+    /// order. ITTAGE: two tagged tables of 2^9 entries × (tag + 64-bit
+    /// target) ≈ 6 KB.
+    #[must_use]
+    pub const fn paper() -> Self {
+        BpredConfig {
+            bimodal_bits: 13,
+            tage_table_bits: 11,
+            tage_hist_lens: [8, 16, 32, 64],
+            tage_tag_bits: 10,
+            ittage_table_bits: 9,
+            ras_depth: 16,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Honour or ignore secure instructions.
+    pub mode: SecurityMode,
+    /// Core widths and structures.
+    pub core: CoreConfig,
+    /// Cache hierarchy.
+    pub mem: MemConfig,
+    /// Functional-unit latencies.
+    pub lat: LatencyConfig,
+    /// Branch predictors.
+    pub bpred: BpredConfig,
+    /// SeMPE mechanism parameters (jbTable, SPM, drains).
+    pub sempe: SempeConfig,
+    /// Record an attacker observation trace (costs time and memory; meant
+    /// for the security tests, not the big sweeps).
+    pub record_trace: bool,
+    /// Abort if no instruction commits for this many cycles (deadlock
+    /// watchdog).
+    pub watchdog_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's Table II configuration in SeMPE mode.
+    #[must_use]
+    pub fn paper() -> Self {
+        SimConfig {
+            mode: SecurityMode::Sempe,
+            core: CoreConfig::paper(),
+            mem: MemConfig::paper(),
+            lat: LatencyConfig::paper(),
+            bpred: BpredConfig::paper(),
+            sempe: SempeConfig::paper(),
+            record_trace: false,
+            watchdog_cycles: 100_000,
+        }
+    }
+
+    /// The unprotected baseline (same core, legacy decode).
+    #[must_use]
+    pub fn baseline() -> Self {
+        SimConfig { mode: SecurityMode::Baseline, ..Self::paper() }
+    }
+
+    /// Enable observation-trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_ii() {
+        let c = SimConfig::paper();
+        assert_eq!(c.core.fetch_width, 8);
+        assert_eq!(c.core.retire_width, 12);
+        assert_eq!(c.core.rob_entries, 192);
+        assert_eq!(c.core.int_phys_regs, 256);
+        assert_eq!(c.core.fp_phys_regs, 256);
+        assert_eq!(c.core.int_iq_entries, 60);
+        assert_eq!(c.core.lq_entries, 32);
+        assert_eq!(c.core.sq_entries, 32);
+        assert_eq!(c.mem.il1.size_bytes, 16 * 1024);
+        assert_eq!(c.mem.dl1.size_bytes, 32 * 1024);
+        assert_eq!(c.mem.l2.size_bytes, 256 * 1024);
+        assert_eq!(c.mem.il1.ways, 2);
+        assert_eq!(c.sempe.jbtable_entries, 30);
+    }
+
+    #[test]
+    fn cache_geometry_derives_sets() {
+        let il1 = MemConfig::paper().il1;
+        assert_eq!(il1.sets(), 16 * 1024 / (2 * 64));
+        let l2 = MemConfig::paper().l2;
+        assert_eq!(l2.sets(), 256 * 1024 / (2 * 64));
+    }
+
+    #[test]
+    fn baseline_flips_only_the_mode() {
+        let b = SimConfig::baseline();
+        assert_eq!(b.mode, SecurityMode::Baseline);
+        assert_eq!(b.core, SimConfig::paper().core);
+    }
+}

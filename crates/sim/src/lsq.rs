@@ -1,0 +1,242 @@
+//! The load/store queues: 32+32 entries (Table II), with store-to-load
+//! forwarding and conservative memory-dependence handling (a load waits
+//! for every older store address before it may bypass them — no memory
+//! dependence speculation, which keeps wrong-path behavior deterministic).
+
+use sempe_isa::Addr;
+
+/// One store-queue entry.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEntry {
+    /// Identity (monotone, never reused).
+    pub id: u64,
+    /// Program-order sequence of the owning store µop.
+    pub seq: u64,
+    /// Resolved address (`None` until the AGU runs).
+    pub addr: Option<Addr>,
+    /// Data to write, valid when `addr` is `Some`.
+    pub data: u64,
+    /// Access width in bytes.
+    pub width: u8,
+}
+
+/// Outcome of a load's store-queue scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadCheck {
+    /// No older store conflicts: read memory/cache.
+    Proceed,
+    /// An exact-match older store supplies the value.
+    Forward(u64),
+    /// An older store's address is unknown, or a partial overlap exists:
+    /// replay the load later.
+    Wait,
+}
+
+/// The store queue plus a load-slot counter.
+#[derive(Debug)]
+pub struct Lsq {
+    stores: Vec<StoreEntry>,
+    sq_capacity: usize,
+    lq_capacity: usize,
+    loads_in_flight: usize,
+    next_store_id: u64,
+    /// Forwarding events (statistics).
+    pub forwards: u64,
+}
+
+impl Lsq {
+    /// Queues with the given capacities.
+    #[must_use]
+    pub fn new(lq_capacity: usize, sq_capacity: usize) -> Self {
+        Lsq {
+            stores: Vec::with_capacity(sq_capacity),
+            sq_capacity,
+            lq_capacity,
+            loads_in_flight: 0,
+            next_store_id: 0,
+            forwards: 0,
+        }
+    }
+
+    /// Free store-queue slots?
+    #[must_use]
+    pub fn can_alloc_store(&self) -> bool {
+        self.stores.len() < self.sq_capacity
+    }
+
+    /// Free load-queue slots?
+    #[must_use]
+    pub fn can_alloc_load(&self) -> bool {
+        self.loads_in_flight < self.lq_capacity
+    }
+
+    /// Occupancy of the store queue.
+    #[must_use]
+    pub fn store_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Allocate a store entry at rename. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue is full; gate on
+    /// [`Lsq::can_alloc_store`] first.
+    pub fn alloc_store(&mut self, seq: u64) -> u64 {
+        assert!(self.can_alloc_store(), "store queue overflow");
+        let id = self.next_store_id;
+        self.next_store_id += 1;
+        self.stores.push(StoreEntry { id, seq, addr: None, data: 0, width: 0 });
+        id
+    }
+
+    /// Allocate a load slot at rename.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the queue is full; gate on [`Lsq::can_alloc_load`].
+    pub fn alloc_load(&mut self) {
+        assert!(self.can_alloc_load(), "load queue overflow");
+        self.loads_in_flight += 1;
+    }
+
+    /// Release a load slot (completion or squash).
+    pub fn release_load(&mut self) {
+        debug_assert!(self.loads_in_flight > 0);
+        self.loads_in_flight = self.loads_in_flight.saturating_sub(1);
+    }
+
+    /// The store's AGU ran: record address and data.
+    pub fn resolve_store(&mut self, id: u64, addr: Addr, data: u64, width: u8) {
+        if let Some(s) = self.stores.iter_mut().find(|s| s.id == id) {
+            s.addr = Some(addr);
+            s.data = data;
+            s.width = width;
+        }
+    }
+
+    /// Scan for a load at `seq` reading `[addr, addr+width)`.
+    pub fn check_load(&mut self, seq: u64, addr: Addr, width: u8) -> LoadCheck {
+        let lo = addr;
+        let hi = addr + u64::from(width);
+        // Scan older stores youngest-first so the nearest writer wins.
+        let mut candidates: Vec<&StoreEntry> =
+            self.stores.iter().filter(|s| s.seq < seq).collect();
+        candidates.sort_by_key(|s| std::cmp::Reverse(s.seq));
+        for s in candidates {
+            match s.addr {
+                None => return LoadCheck::Wait,
+                Some(sa) => {
+                    let slo = sa;
+                    let shi = sa + u64::from(s.width);
+                    let overlap = lo < shi && slo < hi;
+                    if !overlap {
+                        continue;
+                    }
+                    if sa == addr && s.width >= width {
+                        self.forwards += 1;
+                        let val = match width {
+                            1 => s.data & 0xFF,
+                            4 => s.data & 0xFFFF_FFFF,
+                            _ => s.data,
+                        };
+                        return LoadCheck::Forward(val);
+                    }
+                    // Partial overlap: wait for the store to commit.
+                    return LoadCheck::Wait;
+                }
+            }
+        }
+        LoadCheck::Proceed
+    }
+
+    /// Pop the store with `id` at commit (it must be the oldest).
+    pub fn commit_store(&mut self, id: u64) -> Option<StoreEntry> {
+        let pos = self.stores.iter().position(|s| s.id == id)?;
+        debug_assert_eq!(pos, 0, "stores must commit in order");
+        Some(self.stores.remove(pos))
+    }
+
+    /// Squash: drop every store younger than `seq`.
+    pub fn squash_younger(&mut self, seq: u64) {
+        self.stores.retain(|s| s.seq <= seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_from_exact_match() {
+        let mut lsq = Lsq::new(4, 4);
+        let id = lsq.alloc_store(10);
+        lsq.resolve_store(id, 0x100, 0xAABB_CCDD_EEFF_1122, 8);
+        assert_eq!(lsq.check_load(11, 0x100, 8), LoadCheck::Forward(0xAABB_CCDD_EEFF_1122));
+        assert_eq!(lsq.check_load(11, 0x100, 4), LoadCheck::Forward(0xEEFF_1122));
+        assert_eq!(lsq.check_load(11, 0x100, 1), LoadCheck::Forward(0x22));
+        assert_eq!(lsq.forwards, 3);
+    }
+
+    #[test]
+    fn younger_store_does_not_forward_to_older_load() {
+        let mut lsq = Lsq::new(4, 4);
+        let id = lsq.alloc_store(20);
+        lsq.resolve_store(id, 0x100, 7, 8);
+        assert_eq!(lsq.check_load(15, 0x100, 8), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn unknown_older_address_blocks() {
+        let mut lsq = Lsq::new(4, 4);
+        let _id = lsq.alloc_store(10);
+        assert_eq!(lsq.check_load(11, 0x500, 8), LoadCheck::Wait);
+    }
+
+    #[test]
+    fn partial_overlap_blocks() {
+        let mut lsq = Lsq::new(4, 4);
+        let id = lsq.alloc_store(10);
+        lsq.resolve_store(id, 0x100, 7, 4);
+        // 8-byte load over a 4-byte store: partial.
+        assert_eq!(lsq.check_load(11, 0x100, 8), LoadCheck::Wait);
+        // Disjoint: fine.
+        assert_eq!(lsq.check_load(11, 0x110, 8), LoadCheck::Proceed);
+    }
+
+    #[test]
+    fn nearest_older_writer_wins() {
+        let mut lsq = Lsq::new(4, 4);
+        let a = lsq.alloc_store(10);
+        lsq.resolve_store(a, 0x100, 1, 8);
+        let b = lsq.alloc_store(12);
+        lsq.resolve_store(b, 0x100, 2, 8);
+        assert_eq!(lsq.check_load(13, 0x100, 8), LoadCheck::Forward(2));
+        assert_eq!(lsq.check_load(11, 0x100, 8), LoadCheck::Forward(1));
+    }
+
+    #[test]
+    fn commit_pops_in_order_and_squash_drops_younger() {
+        let mut lsq = Lsq::new(4, 4);
+        let a = lsq.alloc_store(10);
+        let _b = lsq.alloc_store(12);
+        let _c = lsq.alloc_store(14);
+        lsq.squash_younger(12);
+        assert_eq!(lsq.store_count(), 2);
+        let popped = lsq.commit_store(a).unwrap();
+        assert_eq!(popped.seq, 10);
+        assert_eq!(lsq.store_count(), 1);
+    }
+
+    #[test]
+    fn capacity_gates() {
+        let mut lsq = Lsq::new(1, 1);
+        assert!(lsq.can_alloc_load());
+        lsq.alloc_load();
+        assert!(!lsq.can_alloc_load());
+        lsq.release_load();
+        assert!(lsq.can_alloc_load());
+        lsq.alloc_store(1);
+        assert!(!lsq.can_alloc_store());
+    }
+}

@@ -1,0 +1,1173 @@
+//! The cycle-level out-of-order pipeline.
+//!
+//! Stage order within a cycle is reverse (commit first, fetch last) so
+//! that values flow with realistic latencies: an op completing in cycle
+//! *C* wakes dependents that may issue in *C* and commit no earlier than
+//! *C+1*.
+//!
+//! SeMPE integration points (paper §IV-E/F, Figure 6):
+//!
+//! * **fetch** — sJMP always falls through (not-taken path first) and
+//!   never touches the predictor; eosJMP stops fetch until it commits;
+//! * **rename** — an sJMP needs [`sempe_core::SempeUnit::can_issue_sjmp`]
+//!   (the jbTable LIFO gate) and, once renamed, blocks rename until it
+//!   commits plus the scratchpad save (drain #1);
+//! * **commit** — sJMP commit snapshots the architectural registers;
+//!   eosJMP commits restore/merge registers, charge scratchpad transfer
+//!   stalls, and redirect fetch (drains #2 and #3);
+//! * **squash** — jbTable entries of squashed sJMPs are removed
+//!   newest-first.
+
+use std::collections::VecDeque;
+
+use sempe_core::trace::{CacheLevel, ObservationTrace, TraceEvent};
+use sempe_core::unit::SempeUnit;
+use sempe_core::SempeFault;
+use sempe_isa::decode::DecodeMode;
+use sempe_isa::insn::Inst;
+use sempe_isa::mem::Memory;
+use sempe_isa::opcode::{Format, Opcode};
+use sempe_isa::program::{layout, DecodedProgram, Program};
+use sempe_isa::reg::{Reg, NUM_ARCH_REGS};
+use sempe_isa::semantics::{access_width, branch_taken, eval_op, IntFault};
+use sempe_isa::{Addr, DecodeError, ExecError};
+
+use crate::bpred::{BranchPredictor, RasSnapshot};
+use crate::cache::MemHierarchy;
+use crate::config::{SecurityMode, SimConfig};
+use crate::lsq::{LoadCheck, Lsq};
+use crate::rename::{PhysReg, RenameState};
+use crate::rob::{Rob, RobEntry, RobSlot};
+use crate::stats::{SimResult, SimStats};
+
+/// Errors a simulation can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program image failed to decode.
+    Decode(DecodeError),
+    /// An architectural fault reached commit.
+    Exec(ExecError),
+    /// A SeMPE invariant was violated (nesting overflow etc.).
+    Sempe(SempeFault),
+    /// No instruction committed for the watchdog window — the pipeline is
+    /// wedged (this is a simulator bug, not a program property).
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Fetch PC at that point.
+        fetch_pc: Addr,
+        /// PC of the ROB head, if any.
+        rob_head_pc: Option<Addr>,
+    },
+    /// `max_cycles` elapsed before `HALT`.
+    CyclesExhausted {
+        /// The budget that was exhausted.
+        max_cycles: u64,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Decode(e) => write!(f, "decode: {e}"),
+            SimError::Exec(e) => write!(f, "execution fault: {e}"),
+            SimError::Sempe(e) => write!(f, "secure-execution fault: {e}"),
+            SimError::Watchdog { cycle, fetch_pc, rob_head_pc } => write!(
+                f,
+                "pipeline wedged at cycle {cycle} (fetch_pc={fetch_pc:#x}, rob head {rob_head_pc:?})"
+            ),
+            SimError::CyclesExhausted { max_cycles } => {
+                write!(f, "no HALT within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<DecodeError> for SimError {
+    fn from(e: DecodeError) -> Self {
+        SimError::Decode(e)
+    }
+}
+
+impl From<SempeFault> for SimError {
+    fn from(e: SempeFault) -> Self {
+        SimError::Sempe(e)
+    }
+}
+
+/// A fetched instruction waiting for rename.
+#[derive(Debug, Clone)]
+struct FrontendEntry {
+    seq: u64,
+    pc: Addr,
+    inst: Inst,
+    len: u8,
+    ready_cycle: u64,
+    pred_taken: bool,
+    pred_target: Addr,
+    ghr_before: u64,
+    ras_snapshot: Option<RasSnapshot>,
+}
+
+/// Why fetch is parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchBlock {
+    None,
+    /// Waiting for an eosJMP to commit and redirect.
+    Eos,
+    /// Fetched a HALT; nothing beyond it matters.
+    Halt,
+    /// Ran off the decoded region (wrong path); waiting for a squash.
+    BadPc,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IqClass {
+    Int,
+    Fp,
+}
+
+#[derive(Debug, Clone)]
+struct IqEntry {
+    seq: u64,
+    slot: RobSlot,
+    rs1: Option<PhysReg>,
+    rs2: Option<PhysReg>,
+    old_dest: Option<PhysReg>,
+}
+
+#[derive(Debug, Clone)]
+struct Completion {
+    cycle: u64,
+    seq: u64,
+    slot: RobSlot,
+    kind: CompletionKind,
+}
+
+#[derive(Debug, Clone)]
+enum CompletionKind {
+    /// Plain writeback.
+    Write { phys: PhysReg, value: u64 },
+    /// Writeback of a load (also releases its LQ slot).
+    LoadDone { phys: PhysReg, value: u64 },
+    /// Store AGU done: publish address/data to the store queue.
+    StoreResolve { id: u64, addr: Addr, data: u64, width: u8 },
+    /// Branch resolution (may write a return address first).
+    BranchResolve { write: Option<(PhysReg, u64)> },
+    /// Completion with no effect (faulted op placeholder).
+    Nothing,
+}
+
+/// The cycle-level simulator.
+///
+/// # Examples
+///
+/// ```
+/// use sempe_isa::asm::Asm;
+/// use sempe_isa::reg::abi;
+/// use sempe_sim::config::SimConfig;
+/// use sempe_sim::pipeline::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut a = Asm::new();
+/// a.movi(abi::A[0], 20);
+/// a.addi(abi::A[0], abi::A[0], 22);
+/// a.halt();
+/// let prog = a.assemble()?;
+///
+/// let mut sim = Simulator::new(&prog, SimConfig::baseline())?;
+/// let result = sim.run(10_000)?;
+/// assert!(result.halted);
+/// assert_eq!(sim.arch_reg(abi::A[0]), 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    prog: DecodedProgram,
+    mem: Memory,
+    cycle: u64,
+    seq_counter: u64,
+    halted: bool,
+
+    // Front end.
+    fetch_pc: Addr,
+    fetch_stall_until: u64,
+    fetch_block: FetchBlock,
+    last_fetch_line: Option<u64>,
+    frontend: VecDeque<FrontendEntry>,
+    bp: BranchPredictor,
+
+    // Back end.
+    rename: RenameState,
+    rob: Rob,
+    int_iq: Vec<IqEntry>,
+    fp_iq: Vec<IqEntry>,
+    lsq: Lsq,
+    events: Vec<Completion>,
+    replay: Vec<(u64, RobSlot)>,
+    rename_blocked_on: Option<u64>,
+    rename_stall_until: u64,
+    /// The integer divider is a single non-pipelined unit.
+    int_div_busy_until: u64,
+    /// So is the FP divider.
+    fp_div_busy_until: u64,
+
+    // Memory system.
+    hier: MemHierarchy,
+
+    // Architectural state (committed).
+    arch_regs: [u64; NUM_ARCH_REGS],
+
+    // SeMPE.
+    unit: SempeUnit,
+
+    // Observability.
+    trace: ObservationTrace,
+    stats: SimStats,
+    last_commit_cycle: u64,
+}
+
+impl Simulator {
+    /// Build a simulator for `prog` under `config`, loading code and data
+    /// into a fresh memory.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Decode`] when the image does not decode under the
+    /// configured front end.
+    pub fn new(prog: &Program, config: SimConfig) -> Result<Self, SimError> {
+        let decode_mode = match config.mode {
+            SecurityMode::Baseline => DecodeMode::Legacy,
+            SecurityMode::Sempe => DecodeMode::Sempe,
+        };
+        let decoded = prog.decoded(decode_mode)?;
+        let mut mem = Memory::new();
+        prog.load_into(&mut mem);
+        let mut arch_regs = [0u64; NUM_ARCH_REGS];
+        arch_regs[Reg::SP.index()] = layout::STACK_TOP;
+        Ok(Simulator {
+            fetch_pc: decoded.entry(),
+            prog: decoded,
+            mem,
+            cycle: 0,
+            seq_counter: 0,
+            halted: false,
+            fetch_stall_until: 0,
+            fetch_block: FetchBlock::None,
+            last_fetch_line: None,
+            frontend: VecDeque::new(),
+            bp: BranchPredictor::new(config.bpred),
+            rename: RenameState::new(
+                config.core.int_phys_regs,
+                config.core.fp_phys_regs,
+                &arch_regs,
+            ),
+            rob: Rob::new(config.core.rob_entries),
+            int_iq: Vec::new(),
+            fp_iq: Vec::new(),
+            lsq: Lsq::new(config.core.lq_entries, config.core.sq_entries),
+            events: Vec::new(),
+            replay: Vec::new(),
+            rename_blocked_on: None,
+            rename_stall_until: 0,
+            int_div_busy_until: 0,
+            fp_div_busy_until: 0,
+            hier: MemHierarchy::new(config.mem),
+            arch_regs,
+            unit: SempeUnit::new(config.sempe),
+            trace: ObservationTrace::new(),
+            stats: SimStats::default(),
+            last_commit_cycle: 0,
+            config,
+        })
+    }
+
+    /// Committed value of an architectural register.
+    #[must_use]
+    pub fn arch_reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.arch_regs[r.index()]
+        }
+    }
+
+    /// The simulated memory (committed stores only).
+    #[must_use]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access (poke inputs before running).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The observation trace (empty unless `record_trace` was set).
+    #[must_use]
+    pub fn trace(&self) -> &ObservationTrace {
+        &self.trace
+    }
+
+    /// Statistics so far (cache/bpred/sempe counters are snapshotted).
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s.il1 = self.hier.il1_stats();
+        s.dl1 = self.hier.dl1_stats();
+        s.l2 = self.hier.l2_stats();
+        s.bpred = self.bp.stats();
+        s.sempe = self.unit.stats();
+        s.load_forwards = 0; // folded below
+        s.load_forwards = self.lsq.forwards;
+        s
+    }
+
+    /// Run until `HALT` or `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; see the variants.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimResult, SimError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(SimError::CyclesExhausted { max_cycles });
+            }
+            if self.cycle.saturating_sub(self.last_commit_cycle) > self.config.watchdog_cycles {
+                return Err(SimError::Watchdog {
+                    cycle: self.cycle,
+                    fetch_pc: self.fetch_pc,
+                    rob_head_pc: self.rob.head().map(|e| e.pc),
+                });
+            }
+            self.tick()?;
+        }
+        self.trace.total_cycles = self.cycle;
+        Ok(SimResult { halted: true, stats: self.stats() })
+    }
+
+    /// Advance one cycle.
+    fn tick(&mut self) -> Result<(), SimError> {
+        self.commit_stage()?;
+        if self.halted {
+            return Ok(());
+        }
+        self.complete_stage();
+        self.replay_loads();
+        self.issue_stage();
+        self.rename_stage()?;
+        self.fetch_stage();
+        self.cycle += 1;
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- tracing
+
+    fn trace_event(&mut self, ev: TraceEvent) {
+        if self.config.record_trace {
+            self.trace.push(self.cycle, ev);
+        }
+    }
+
+    fn trace_cache(&mut self, l1: CacheLevel, result: crate::cache::AccessResult) {
+        if !self.config.record_trace {
+            return;
+        }
+        self.trace.push(self.cycle, TraceEvent::Cache { level: l1, hit: result.l1_hit });
+        if !result.l1_hit {
+            self.trace
+                .push(self.cycle, TraceEvent::Cache { level: CacheLevel::L2, hit: result.l2_hit });
+        }
+    }
+
+    // ------------------------------------------------------------ fetch
+
+    fn fetch_stage(&mut self) {
+        if self.fetch_block != FetchBlock::None || self.cycle < self.fetch_stall_until {
+            return;
+        }
+        for _ in 0..self.config.core.fetch_width {
+            if self.frontend.len() >= self.config.core.frontend_queue {
+                break;
+            }
+            let Some((inst, len)) = self.prog.try_fetch(self.fetch_pc) else {
+                // Wrong-path garbage; wait for the squash that must come.
+                self.fetch_block = FetchBlock::BadPc;
+                break;
+            };
+            // Instruction-cache timing, one access per line transition.
+            let line = self.fetch_pc / 64;
+            if self.last_fetch_line != Some(line) {
+                let r = self.hier.fetch_access(self.fetch_pc);
+                self.trace_cache(CacheLevel::Il1, r);
+                self.last_fetch_line = Some(line);
+                if !r.l1_hit {
+                    self.fetch_stall_until = self.cycle + r.latency;
+                    break;
+                }
+            }
+
+            let pc = self.fetch_pc;
+            let next_seq = pc + len as Addr;
+            let seq = self.seq_counter;
+            self.seq_counter += 1;
+            self.stats.fetched += 1;
+
+            let mut fe = FrontendEntry {
+                seq,
+                pc,
+                inst,
+                len: len as u8,
+                ready_cycle: self.cycle + 2, // decode pipeline depth
+                pred_taken: false,
+                pred_target: 0,
+                ghr_before: self.bp.ghr(),
+                ras_snapshot: None,
+            };
+
+            let mut next_pc = next_seq;
+            let mut end_group = false;
+            match inst.op {
+                op if op.is_cond_branch() => {
+                    if inst.is_sjmp() {
+                        // Secure branch: not-taken path first, no predictor.
+                        fe.pred_taken = false;
+                        fe.pred_target = next_seq;
+                    } else {
+                        let (taken, ghr_before) = self.bp.predict_cond(pc);
+                        fe.pred_taken = taken;
+                        fe.ghr_before = ghr_before;
+                        fe.pred_target =
+                            if taken { inst.branch_target(pc, len) } else { next_seq };
+                        fe.ras_snapshot = Some(self.bp.ras_snapshot());
+                        if taken {
+                            next_pc = fe.pred_target;
+                            end_group = true;
+                        }
+                    }
+                }
+                Opcode::Jal => {
+                    if inst.rd == Reg::RA {
+                        self.bp.on_call(next_seq);
+                    }
+                    next_pc = inst.branch_target(pc, len);
+                    fe.pred_target = next_pc;
+                    end_group = true;
+                }
+                Opcode::Jalr => {
+                    let predicted = if inst.rd == Reg::X0 && inst.rs1 == Reg::RA {
+                        self.bp.predict_return().unwrap_or(next_seq)
+                    } else {
+                        let (t, _) = self.bp.predict_indirect(pc);
+                        if t == 0 {
+                            next_seq
+                        } else {
+                            t
+                        }
+                    };
+                    fe.pred_target = predicted;
+                    fe.ras_snapshot = Some(self.bp.ras_snapshot());
+                    next_pc = predicted;
+                    end_group = true;
+                }
+                Opcode::EosJmp => {
+                    self.fetch_block = FetchBlock::Eos;
+                    end_group = true;
+                }
+                Opcode::Halt => {
+                    self.fetch_block = FetchBlock::Halt;
+                    end_group = true;
+                }
+                _ => {}
+            }
+
+            self.frontend.push_back(fe);
+            self.fetch_pc = next_pc;
+            if end_group {
+                break;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- rename
+
+    fn requires_iq(inst: &Inst) -> bool {
+        !matches!(inst.op, Opcode::Nop | Opcode::Halt | Opcode::EosJmp)
+    }
+
+    fn iq_class(inst: &Inst) -> IqClass {
+        if inst.op.is_fp() {
+            IqClass::Fp
+        } else {
+            IqClass::Int
+        }
+    }
+
+    fn rename_stage(&mut self) -> Result<(), SimError> {
+        if self.cycle < self.rename_stall_until || self.rename_blocked_on.is_some() {
+            self.stats.drain_stall_cycles += 1;
+            return Ok(());
+        }
+        for _ in 0..self.config.core.rename_width {
+            let Some(fe) = self.frontend.front() else { break };
+            if fe.ready_cycle > self.cycle {
+                break;
+            }
+            let inst = fe.inst;
+            // Structural hazards.
+            if self.rob.is_full() {
+                break;
+            }
+            if Self::requires_iq(&inst) {
+                let (q, cap) = match Self::iq_class(&inst) {
+                    IqClass::Int => (&self.int_iq, self.config.core.int_iq_entries),
+                    IqClass::Fp => (&self.fp_iq, self.config.core.fp_iq_entries),
+                };
+                if q.len() >= cap {
+                    break;
+                }
+            }
+            if inst.op.is_load() && !self.lsq.can_alloc_load() {
+                break;
+            }
+            if inst.op.is_store() && !self.lsq.can_alloc_store() {
+                break;
+            }
+            let is_sjmp_active = inst.is_sjmp() && self.config.mode == SecurityMode::Sempe;
+            if is_sjmp_active && !self.unit.can_issue_sjmp() {
+                // Either a transient stall (the previous sJMP has not
+                // committed its jbTable entry yet, or a wrong path will be
+                // squashed) or a genuine nesting overflow. It is genuine
+                // exactly when nothing older remains that could squash us:
+                // the paper makes this a run-time exception (§IV-E).
+                if self.unit.jbtable().depth() >= self.unit.jbtable().capacity()
+                    && self.rob.is_empty()
+                {
+                    return Err(SimError::Sempe(SempeFault::NestingOverflow {
+                        capacity: self.unit.jbtable().capacity(),
+                    }));
+                }
+                break;
+            }
+            if let Some(rd) = inst.dest() {
+                let free = if rd.is_fp() {
+                    self.rename.free_fp_count()
+                } else {
+                    self.rename.free_int_count()
+                };
+                if free == 0 {
+                    break;
+                }
+            }
+
+            let fe = self.frontend.pop_front().expect("peeked above");
+            let mut entry = RobEntry::new(fe.seq, fe.pc, inst, fe.len);
+            entry.pred_taken = fe.pred_taken;
+            entry.pred_target = fe.pred_target;
+            entry.ghr_before = fe.ghr_before;
+            entry.ras_snapshot = fe.ras_snapshot;
+
+            // Sources resolve against the pre-rename RAT.
+            let srcs = inst.sources();
+            let rs1 = srcs[0].map(|r| self.rename.map(r));
+            let rs2 = srcs[1].map(|r| self.rename.map(r));
+            let old_dest = if inst.reads_dest() && !inst.rd.is_zero() {
+                Some(self.rename.map(inst.rd))
+            } else {
+                None
+            };
+            if let Some(rd) = inst.dest() {
+                let (fresh, old) = self.rename.rename_dest(rd).expect("gated above");
+                entry.phys_dest = Some(fresh);
+                entry.old_phys = Some(old);
+            }
+            if inst.op.is_store() {
+                entry.store_id = Some(self.lsq.alloc_store(fe.seq));
+            }
+            if inst.op.is_load() {
+                self.lsq.alloc_load();
+            }
+            // Squash-recovery checkpoints for everything that can
+            // mispredict.
+            let can_mispredict = (inst.op.is_cond_branch() && !is_sjmp_active)
+                || inst.op == Opcode::Jalr;
+            if can_mispredict {
+                entry.rat_checkpoint = Some(Box::new(self.rename.checkpoint()));
+            }
+            if is_sjmp_active {
+                self.unit.on_sjmp_issue()?;
+                entry.is_sjmp = true;
+            }
+
+            let needs_iq = Self::requires_iq(&inst);
+            if !needs_iq {
+                entry.done = true;
+            }
+            let seq = entry.seq;
+            let slot = self.rob.push(entry).expect("gated above");
+            if needs_iq {
+                let iq_entry = IqEntry { seq, slot, rs1, rs2, old_dest };
+                match Self::iq_class(&inst) {
+                    IqClass::Int => self.int_iq.push(iq_entry),
+                    IqClass::Fp => self.fp_iq.push(iq_entry),
+                }
+            }
+            self.stats.renamed += 1;
+
+            if is_sjmp_active && self.config.sempe.drains_enabled {
+                // Drain #1: nothing younger renames until the sJMP commits
+                // and the initial snapshot is in the scratchpad. The
+                // drainless ablation (insecure: a real part could not
+                // snapshot a moving register file) skips the block.
+                self.rename_blocked_on = Some(seq);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ issue
+
+    fn op_latency(&self, op: Opcode) -> u64 {
+        let l = &self.config.lat;
+        match op {
+            Opcode::Mul => l.mul,
+            Opcode::Div | Opcode::Rem | Opcode::Divu | Opcode::Remu => l.div,
+            Opcode::Fadd | Opcode::Fsub => l.fp_add,
+            Opcode::Fmul => l.fp_mul,
+            Opcode::Fdiv => l.fp_div,
+            op if op.is_cond_branch() => l.branch,
+            Opcode::Jal | Opcode::Jalr => l.branch,
+            _ => l.alu,
+        }
+    }
+
+    fn entry_ready(&self, e: &IqEntry) -> bool {
+        [e.rs1, e.rs2, e.old_dest]
+            .iter()
+            .flatten()
+            .all(|p| self.rename.is_ready(*p))
+    }
+
+    fn issue_stage(&mut self) {
+        // Gather ready candidates from both queues, oldest first.
+        let mut candidates: Vec<(u64, IqClass, usize)> = Vec::new();
+        for (i, e) in self.int_iq.iter().enumerate() {
+            if self.entry_ready(e) {
+                candidates.push((e.seq, IqClass::Int, i));
+            }
+        }
+        for (i, e) in self.fp_iq.iter().enumerate() {
+            if self.entry_ready(e) {
+                candidates.push((e.seq, IqClass::Fp, i));
+            }
+        }
+        candidates.sort_unstable_by_key(|(seq, _, _)| *seq);
+
+        let mut issued_total = 0usize;
+        let mut issued_loads = 0usize;
+        let mut taken: Vec<(IqClass, usize)> = Vec::new();
+        for (seq, class, idx) in candidates {
+            if issued_total >= self.config.core.issue_width {
+                break;
+            }
+            let entry = match class {
+                IqClass::Int => &self.int_iq[idx],
+                IqClass::Fp => &self.fp_iq[idx],
+            };
+            let Some(rob_entry) = self.rob.get(entry.slot) else { continue };
+            if rob_entry.seq != seq {
+                continue;
+            }
+            if rob_entry.inst.op.is_load() {
+                if issued_loads >= self.config.core.load_issue_width {
+                    continue;
+                }
+                issued_loads += 1;
+            }
+            // Dividers are single, non-pipelined units (structural
+            // hazard): one op occupies the unit for its full latency.
+            match rob_entry.inst.op {
+                Opcode::Div | Opcode::Rem | Opcode::Divu | Opcode::Remu => {
+                    if self.cycle < self.int_div_busy_until {
+                        continue;
+                    }
+                    self.int_div_busy_until = self.cycle + self.config.lat.div;
+                }
+                Opcode::Fdiv => {
+                    if self.cycle < self.fp_div_busy_until {
+                        continue;
+                    }
+                    self.fp_div_busy_until = self.cycle + self.config.lat.fp_div;
+                }
+                _ => {}
+            }
+            let iq_entry = entry.clone();
+            self.execute_uop(&iq_entry);
+            taken.push((class, idx));
+            issued_total += 1;
+            self.stats.issued += 1;
+        }
+        // Remove issued entries (indices collected before mutation; remove
+        // back-to-front per queue).
+        let mut int_rm: Vec<usize> =
+            taken.iter().filter(|(c, _)| *c == IqClass::Int).map(|(_, i)| *i).collect();
+        int_rm.sort_unstable_by(|a, b| b.cmp(a));
+        for i in int_rm {
+            self.int_iq.swap_remove(i);
+        }
+        let mut fp_rm: Vec<usize> =
+            taken.iter().filter(|(c, _)| *c == IqClass::Fp).map(|(_, i)| *i).collect();
+        fp_rm.sort_unstable_by(|a, b| b.cmp(a));
+        for i in fp_rm {
+            self.fp_iq.swap_remove(i);
+        }
+    }
+
+    /// Begin execution of one µop: compute functionally, schedule its
+    /// completion.
+    fn execute_uop(&mut self, iq: &IqEntry) {
+        let read = |p: Option<PhysReg>| p.map_or(0, |p| self.rename.value(p));
+        let v1 = read(iq.rs1);
+        let v2 = read(iq.rs2);
+        let vold = read(iq.old_dest);
+        let Some(entry) = self.rob.get(iq.slot) else { return };
+        let inst = entry.inst;
+        let pc = entry.pc;
+        let len = entry.len as usize;
+        let next_pc = entry.next_pc();
+        let phys_dest = entry.phys_dest;
+        let store_id = entry.store_id;
+        let seq = iq.seq;
+        let slot = iq.slot;
+        let lat = self.op_latency(inst.op);
+
+        match inst.op {
+            op if op.is_load() => {
+                let addr = v1.wrapping_add(inst.imm as u64);
+                if let Some(e) = self.rob.get_checked(slot, seq) {
+                    e.mem_addr = addr;
+                }
+                self.start_load(seq, slot, pc, addr, inst, phys_dest, self.config.lat.agu);
+            }
+            op if op.is_store() => {
+                let addr = v1.wrapping_add(inst.imm as u64);
+                let width = access_width(op) as u8;
+                if let Some(e) = self.rob.get_checked(slot, seq) {
+                    e.mem_addr = addr;
+                }
+                self.events.push(Completion {
+                    cycle: self.cycle + self.config.lat.agu,
+                    seq,
+                    slot,
+                    kind: CompletionKind::StoreResolve {
+                        id: store_id.expect("stores carry an id"),
+                        addr,
+                        data: v2,
+                        width,
+                    },
+                });
+            }
+            op if op.is_cond_branch() => {
+                let taken = branch_taken(op, v1, v2);
+                let target = inst.branch_target(pc, len);
+                let actual_target = if taken { target } else { next_pc };
+                if let Some(e) = self.rob.get_checked(slot, seq) {
+                    e.actual_taken = taken;
+                    // For an sJMP the jbTable consumes the *taken-path*
+                    // entry address whatever the outcome.
+                    e.actual_target = if e.is_sjmp { target } else { actual_target };
+                    e.mispredicted = !e.is_sjmp && taken != e.pred_taken;
+                }
+                self.events.push(Completion {
+                    cycle: self.cycle + lat,
+                    seq,
+                    slot,
+                    kind: CompletionKind::BranchResolve { write: None },
+                });
+            }
+            Opcode::Jal => {
+                if let Some(e) = self.rob.get_checked(slot, seq) {
+                    e.actual_taken = true;
+                    e.actual_target = inst.branch_target(pc, len);
+                    e.mispredicted = false;
+                }
+                self.events.push(Completion {
+                    cycle: self.cycle + lat,
+                    seq,
+                    slot,
+                    kind: CompletionKind::BranchResolve {
+                        write: phys_dest.map(|p| (p, next_pc)),
+                    },
+                });
+            }
+            Opcode::Jalr => {
+                let target = v1.wrapping_add(inst.imm as u64);
+                if let Some(e) = self.rob.get_checked(slot, seq) {
+                    e.actual_taken = true;
+                    e.actual_target = target;
+                    e.mispredicted = target != e.pred_target;
+                }
+                self.events.push(Completion {
+                    cycle: self.cycle + lat,
+                    seq,
+                    slot,
+                    kind: CompletionKind::BranchResolve {
+                        write: phys_dest.map(|p| (p, next_pc)),
+                    },
+                });
+            }
+            _ => {
+                // Computational op.
+                let b = match inst.op.format() {
+                    Format::R3 => v2,
+                    _ => inst.imm as u64,
+                };
+                match eval_op(&inst, v1, b, vold) {
+                    Ok(value) => {
+                        let kind = match phys_dest {
+                            Some(p) => CompletionKind::Write { phys: p, value },
+                            None => CompletionKind::Nothing,
+                        };
+                        self.events.push(Completion { cycle: self.cycle + lat, seq, slot, kind });
+                    }
+                    Err(IntFault::DivideByZero) => {
+                        if let Some(e) = self.rob.get_checked(slot, seq) {
+                            e.exception = Some(ExecError::DivideByZero { pc });
+                        }
+                        self.events.push(Completion {
+                            cycle: self.cycle + lat,
+                            seq,
+                            slot,
+                            kind: CompletionKind::Nothing,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the LSQ check for a load and schedule its completion (or a
+    /// replay).
+    #[allow(clippy::too_many_arguments)] // pipeline-stage plumbing
+    fn start_load(
+        &mut self,
+        seq: u64,
+        slot: RobSlot,
+        pc: Addr,
+        addr: Addr,
+        inst: Inst,
+        phys_dest: Option<PhysReg>,
+        agu: u64,
+    ) {
+        let width = access_width(inst.op) as u8;
+        match self.lsq.check_load(seq, addr, width) {
+            LoadCheck::Wait => {
+                self.stats.load_replays += 1;
+                self.replay.push((seq, slot));
+            }
+            LoadCheck::Forward(value) => {
+                self.events.push(Completion {
+                    cycle: self.cycle + agu + 1,
+                    seq,
+                    slot,
+                    kind: CompletionKind::LoadDone {
+                        phys: phys_dest.expect("loads have destinations"),
+                        value,
+                    },
+                });
+            }
+            LoadCheck::Proceed => {
+                let value = match width {
+                    1 => u64::from(self.mem.read_u8(addr)),
+                    4 => u64::from(self.mem.read_u32(addr)),
+                    _ => self.mem.read_u64(addr),
+                };
+                let r = self.hier.data_access(pc, addr, false);
+                self.trace_cache(CacheLevel::Dl1, r);
+                self.events.push(Completion {
+                    cycle: self.cycle + agu + r.latency,
+                    seq,
+                    slot,
+                    kind: CompletionKind::LoadDone {
+                        phys: phys_dest.expect("loads have destinations"),
+                        value,
+                    },
+                });
+            }
+        }
+    }
+
+    fn replay_loads(&mut self) {
+        if self.replay.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.replay);
+        for (seq, slot) in pending {
+            let Some(entry) = self.rob.get(slot) else { continue };
+            if entry.seq != seq {
+                continue;
+            }
+            let inst = entry.inst;
+            let pc = entry.pc;
+            let addr = entry.mem_addr;
+            let phys_dest = entry.phys_dest;
+            // Replays already paid the AGU.
+            self.start_load(seq, slot, pc, addr, inst, phys_dest, 0);
+        }
+    }
+
+    // --------------------------------------------------------- complete
+
+    fn complete_stage(&mut self) {
+        let now = self.cycle;
+        let mut due: Vec<Completion> = Vec::new();
+        self.events.retain(|e| {
+            if e.cycle <= now {
+                due.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_unstable_by_key(|e| e.seq);
+        for ev in due {
+            // Validate against squashes that happened since scheduling.
+            if self.rob.get_checked(ev.slot, ev.seq).is_none() {
+                if let CompletionKind::LoadDone { .. } = ev.kind {
+                    // The load slot was already released by the squash.
+                }
+                continue;
+            }
+            match ev.kind {
+                CompletionKind::Write { phys, value } => {
+                    self.rename.write(phys, value);
+                    if let Some(e) = self.rob.get_checked(ev.slot, ev.seq) {
+                        e.done = true;
+                    }
+                }
+                CompletionKind::LoadDone { phys, value } => {
+                    self.rename.write(phys, value);
+                    self.lsq.release_load();
+                    if let Some(e) = self.rob.get_checked(ev.slot, ev.seq) {
+                        e.done = true;
+                    }
+                }
+                CompletionKind::StoreResolve { id, addr, data, width } => {
+                    self.lsq.resolve_store(id, addr, data, width);
+                    if let Some(e) = self.rob.get_checked(ev.slot, ev.seq) {
+                        e.done = true;
+                    }
+                }
+                CompletionKind::BranchResolve { write } => {
+                    if let Some((p, v)) = write {
+                        self.rename.write(p, v);
+                    }
+                    let (mispredicted, _actual_taken) = {
+                        let e = self
+                            .rob
+                            .get_checked(ev.slot, ev.seq)
+                            .expect("validated above");
+                        e.done = true;
+                        (e.mispredicted, e.actual_taken)
+                    };
+                    if mispredicted {
+                        self.squash_from(ev.slot, ev.seq);
+                    }
+                }
+                CompletionKind::Nothing => {
+                    if let Some(e) = self.rob.get_checked(ev.slot, ev.seq) {
+                        e.done = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Squash everything younger than the mispredicting branch in `slot`
+    /// and restart fetch down the correct path.
+    fn squash_from(&mut self, slot: RobSlot, seq: u64) {
+        self.stats.squashes += 1;
+        let (redirect_to, ghr_before, ras, is_cond, actual_taken) = {
+            let e = self.rob.get(slot).expect("squash source exists");
+            debug_assert_eq!(e.seq, seq);
+            (
+                e.actual_target,
+                e.ghr_before,
+                e.ras_snapshot.clone().unwrap_or_default(),
+                e.inst.op.is_cond_branch(),
+                e.actual_taken,
+            )
+        };
+        let removed = self.rob.squash_younger(seq);
+        for dead in &removed {
+            if let Some(p) = dead.phys_dest {
+                self.rename.free(p);
+            }
+            if dead.inst.op.is_load() && !dead.done {
+                // Its LQ slot is still held iff the load hasn't completed.
+                // Completed loads released at LoadDone; pending replays or
+                // in-flight cache accesses still hold a slot.
+                self.lsq.release_load();
+            }
+            if dead.is_sjmp {
+                self.unit.on_sjmp_squash();
+            }
+        }
+        // Restore the RAT from the branch's checkpoint.
+        let cp = {
+            let e = self.rob.get(slot).expect("still present");
+            *e.rat_checkpoint.as_ref().expect("mispredicting ops carry checkpoints").clone()
+        };
+        self.rename.restore(&cp);
+        // Drop queue state belonging to squashed µops.
+        self.int_iq.retain(|e| e.seq <= seq);
+        self.fp_iq.retain(|e| e.seq <= seq);
+        self.replay.retain(|(s, _)| *s <= seq);
+        self.events.retain(|e| e.seq <= seq);
+        self.lsq.squash_younger(seq);
+        self.frontend.clear();
+        // Predictor recovery.
+        if is_cond {
+            self.bp.recover_cond(ghr_before, actual_taken, &ras);
+        } else {
+            self.bp.recover_indirect(ghr_before, &ras);
+        }
+        // Rename block held by a squashed sJMP dissolves.
+        if self.rename_blocked_on.is_some_and(|b| b > seq) {
+            self.rename_blocked_on = None;
+        }
+        // Fetch restart.
+        self.fetch_pc = redirect_to;
+        self.fetch_block = FetchBlock::None;
+        self.last_fetch_line = None;
+        self.fetch_stall_until = self.cycle + self.config.core.mispredict_penalty;
+        self.trace_event(TraceEvent::Redirect { target: redirect_to });
+    }
+
+    // ------------------------------------------------------------ commit
+
+    fn commit_stage(&mut self) -> Result<(), SimError> {
+        for _ in 0..self.config.core.retire_width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.done {
+                break;
+            }
+            if let Some(fault) = head.exception.clone() {
+                // An architectural fault reached commit: in a SecBlock the
+                // paper routes this to the exception handler (§IV-G); we
+                // surface it either way.
+                if self.unit.in_secure_region() {
+                    return Err(SimError::Sempe(SempeFault::FaultInSecBlock {
+                        pc: head.pc,
+                        what: fault.to_string(),
+                    }));
+                }
+                return Err(SimError::Exec(fault));
+            }
+
+            let entry = self.rob.pop_head().expect("head exists");
+            self.last_commit_cycle = self.cycle;
+            self.stats.committed += 1;
+            if self.unit.in_secure_region() {
+                self.stats.secure_committed += 1;
+            }
+            self.trace_event(TraceEvent::Commit { pc: entry.pc });
+
+            // Register state.
+            if let Some(p) = entry.phys_dest {
+                let rd = entry.inst.rd;
+                debug_assert!(self.rename.is_ready(p), "commit of not-ready dest");
+                self.arch_regs[rd.index()] = self.rename.value(p);
+                if self.unit.in_secure_region() {
+                    self.unit.note_commit_write(rd);
+                }
+            }
+            if let Some(old) = entry.old_phys {
+                self.rename.free(old);
+            }
+
+            // Memory state.
+            if entry.inst.op.is_load() {
+                self.trace_event(TraceEvent::MemRead { addr: entry.mem_addr });
+            }
+            if let Some(id) = entry.store_id {
+                let s = self.lsq.commit_store(id).expect("store present at commit");
+                let addr = s.addr.expect("resolved before done");
+                match s.width {
+                    1 => self.mem.write_u8(addr, s.data as u8),
+                    4 => self.mem.write_u32(addr, s.data as u32),
+                    _ => self.mem.write_u64(addr, s.data),
+                }
+                let r = self.hier.data_access(entry.pc, addr, true);
+                self.trace_cache(CacheLevel::Dl1, r);
+                self.trace_event(TraceEvent::MemWrite { addr });
+            }
+
+            // Control state.
+            match entry.inst.op {
+                op if op.is_cond_branch() => {
+                    if entry.is_sjmp {
+                        // Secure branch: no predictor interaction at all.
+                        let eff = self.unit.on_sjmp_commit(
+                            entry.actual_target,
+                            entry.actual_taken,
+                            &self.arch_regs,
+                        )?;
+                        // Drain #1 + initial snapshot spill: rename resumes
+                        // after the scratchpad transfer. The drainless
+                        // ablation overlaps the spill with execution.
+                        if self.config.sempe.drains_enabled {
+                            debug_assert!(self.rename_blocked_on == Some(entry.seq));
+                            self.rename_blocked_on = None;
+                            self.rename_stall_until = self.cycle + eff.spm_cycles;
+                        }
+                        break; // region boundary: stop committing this cycle
+                    } else {
+                        self.bp.commit_cond(entry.pc, entry.ghr_before, entry.actual_taken);
+                        self.trace_event(TraceEvent::BpredUpdate {
+                            pc: entry.pc,
+                            taken: entry.actual_taken,
+                        });
+                    }
+                }
+                Opcode::Jalr => {
+                    let is_ret = entry.inst.rd == Reg::X0 && entry.inst.rs1 == Reg::RA;
+                    if !is_ret {
+                        self.bp.commit_indirect(entry.pc, entry.ghr_before, entry.actual_target);
+                    }
+                }
+                Opcode::EosJmp => {
+                    debug_assert!(self.rob.is_empty(), "eosJMP commits into a drained window");
+                    let eff = self.unit.on_eosjmp_commit(&mut self.arch_regs)?;
+                    // Resynchronize the physical file with the restored
+                    // architectural state (window is empty, so this is the
+                    // hardware's RAT rebuild).
+                    for r in Reg::all() {
+                        self.rename.poke_arch(r, self.arch_regs[r.index()]);
+                    }
+                    let target = eff.redirect.unwrap_or_else(|| entry.next_pc());
+                    self.fetch_pc = target;
+                    self.fetch_block = FetchBlock::None;
+                    self.last_fetch_line = None;
+                    self.fetch_stall_until =
+                        self.cycle + self.config.core.eos_redirect_penalty + eff.spm_cycles;
+                    self.trace_event(TraceEvent::Redirect { target });
+                    break; // drain boundary
+                }
+                Opcode::Halt => {
+                    self.halted = true;
+                    self.trace.total_cycles = self.cycle;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}

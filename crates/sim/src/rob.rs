@@ -1,0 +1,272 @@
+//! The reorder buffer: a circular buffer of in-flight µops, committed in
+//! order from the head, squashed youngest-first from the tail.
+
+use sempe_isa::insn::Inst;
+use sempe_isa::Addr;
+
+use crate::bpred::RasSnapshot;
+use crate::rename::{PhysReg, RatCheckpoint};
+
+/// Index of a ROB slot. Slots are reused; pair with the entry's `seq` to
+/// detect staleness.
+pub type RobSlot = usize;
+
+/// One in-flight µop.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global program-order sequence number (never reused).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: Addr,
+    /// Decoded instruction.
+    pub inst: Inst,
+    /// Encoded length (for next-PC arithmetic).
+    pub len: u8,
+    /// Execution finished; eligible for commit.
+    pub done: bool,
+    /// Newly allocated destination register.
+    pub phys_dest: Option<PhysReg>,
+    /// Previous mapping of the destination (freed at commit).
+    pub old_phys: Option<PhysReg>,
+    /// Predicted direction (conditional branches).
+    pub pred_taken: bool,
+    /// Predicted next PC for taken/indirect flows.
+    pub pred_target: Addr,
+    /// Global history before this branch's outcome was inserted.
+    pub ghr_before: u64,
+    /// RAT checkpoint for squash recovery (branches only).
+    pub rat_checkpoint: Option<Box<RatCheckpoint>>,
+    /// RAS snapshot (after this instruction's own push/pop).
+    pub ras_snapshot: Option<RasSnapshot>,
+    /// Resolved direction.
+    pub actual_taken: bool,
+    /// Resolved target / taken-path entry for sJMP.
+    pub actual_target: Addr,
+    /// Was the instruction found mispredicted at resolution?
+    pub mispredicted: bool,
+    /// Is this a secure branch being tracked by the SempeUnit?
+    pub is_sjmp: bool,
+    /// Data address of a load/store (valid once executed).
+    pub mem_addr: Addr,
+    /// Store-queue identity for stores.
+    pub store_id: Option<u64>,
+    /// Architectural fault to raise at commit.
+    pub exception: Option<sempe_isa::ExecError>,
+}
+
+impl RobEntry {
+    /// A fresh entry for a fetched instruction.
+    #[must_use]
+    pub fn new(seq: u64, pc: Addr, inst: Inst, len: u8) -> Self {
+        RobEntry {
+            seq,
+            pc,
+            inst,
+            len,
+            done: false,
+            phys_dest: None,
+            old_phys: None,
+            pred_taken: false,
+            pred_target: 0,
+            ghr_before: 0,
+            rat_checkpoint: None,
+            ras_snapshot: None,
+            actual_taken: false,
+            actual_target: 0,
+            mispredicted: false,
+            is_sjmp: false,
+            mem_addr: 0,
+            store_id: None,
+            exception: None,
+        }
+    }
+
+    /// The fall-through address.
+    #[must_use]
+    pub fn next_pc(&self) -> Addr {
+        self.pc + u64::from(self.len)
+    }
+}
+
+/// Circular reorder buffer.
+#[derive(Debug)]
+pub struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    head: usize,
+    tail: usize,
+    count: usize,
+}
+
+impl Rob {
+    /// A ROB with `capacity` slots.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Rob { slots: (0..capacity).map(|_| None).collect(), head: 0, tail: 0, count: 0 }
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// No in-flight µops?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Any free slots?
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.count == self.slots.len()
+    }
+
+    /// Append at the tail. Returns the slot, or `None` when full.
+    pub fn push(&mut self, entry: RobEntry) -> Option<RobSlot> {
+        if self.is_full() {
+            return None;
+        }
+        let slot = self.tail;
+        debug_assert!(self.slots[slot].is_none());
+        self.slots[slot] = Some(entry);
+        self.tail = (self.tail + 1) % self.slots.len();
+        self.count += 1;
+        Some(slot)
+    }
+
+    /// The oldest entry.
+    #[must_use]
+    pub fn head(&self) -> Option<&RobEntry> {
+        if self.is_empty() {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+
+    /// Mutable access to the oldest entry.
+    pub fn head_mut(&mut self) -> Option<&mut RobEntry> {
+        if self.is_empty() {
+            None
+        } else {
+            self.slots[self.head].as_mut()
+        }
+    }
+
+    /// Remove and return the oldest entry.
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        if self.is_empty() {
+            return None;
+        }
+        let e = self.slots[self.head].take();
+        self.head = (self.head + 1) % self.slots.len();
+        self.count -= 1;
+        e
+    }
+
+    /// Access a slot if it holds an entry with the expected sequence
+    /// number (guards against slot reuse after squash).
+    pub fn get_checked(&mut self, slot: RobSlot, seq: u64) -> Option<&mut RobEntry> {
+        self.slots[slot].as_mut().filter(|e| e.seq == seq)
+    }
+
+    /// Access a slot regardless of seq.
+    #[must_use]
+    pub fn get(&self, slot: RobSlot) -> Option<&RobEntry> {
+        self.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Squash every entry younger than `seq` (strictly greater), removing
+    /// them youngest-first. Returns the removed entries, youngest first.
+    pub fn squash_younger(&mut self, seq: u64) -> Vec<RobEntry> {
+        let mut removed = Vec::new();
+        while self.count > 0 {
+            let last = (self.tail + self.slots.len() - 1) % self.slots.len();
+            let is_younger = self.slots[last].as_ref().is_some_and(|e| e.seq > seq);
+            if !is_younger {
+                break;
+            }
+            let e = self.slots[last].take().expect("checked above");
+            removed.push(e);
+            self.tail = last;
+            self.count -= 1;
+        }
+        removed
+    }
+
+    /// Iterate entries oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        let cap = self.slots.len();
+        let head = self.head;
+        (0..self.count).filter_map(move |i| self.slots[(head + i) % cap].as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_isa::opcode::Opcode;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry::new(seq, 0x1000 + seq * 4, Inst::nullary(Opcode::Nop), 1)
+    }
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let mut rob = Rob::new(3);
+        assert!(rob.is_empty());
+        rob.push(entry(1)).unwrap();
+        rob.push(entry(2)).unwrap();
+        rob.push(entry(3)).unwrap();
+        assert!(rob.is_full());
+        assert!(rob.push(entry(4)).is_none());
+        assert_eq!(rob.pop_head().unwrap().seq, 1);
+        assert_eq!(rob.len(), 2);
+        rob.push(entry(4)).unwrap(); // wraps around
+        assert_eq!(rob.pop_head().unwrap().seq, 2);
+        assert_eq!(rob.pop_head().unwrap().seq, 3);
+        assert_eq!(rob.pop_head().unwrap().seq, 4);
+        assert!(rob.pop_head().is_none());
+    }
+
+    #[test]
+    fn squash_removes_younger_only() {
+        let mut rob = Rob::new(8);
+        for s in 1..=5 {
+            rob.push(entry(s)).unwrap();
+        }
+        let removed = rob.squash_younger(3);
+        let seqs: Vec<u64> = removed.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 4], "youngest first");
+        assert_eq!(rob.len(), 3);
+        let remaining: Vec<u64> = rob.iter().map(|e| e.seq).collect();
+        assert_eq!(remaining, vec![1, 2, 3]);
+        // Tail is usable again after the squash.
+        rob.push(entry(6)).unwrap();
+        assert_eq!(rob.iter().last().unwrap().seq, 6);
+    }
+
+    #[test]
+    fn get_checked_guards_against_reuse() {
+        let mut rob = Rob::new(2);
+        let slot = rob.push(entry(1)).unwrap();
+        assert!(rob.get_checked(slot, 1).is_some());
+        assert!(rob.get_checked(slot, 99).is_none());
+        rob.pop_head();
+        rob.push(entry(2)).unwrap();
+        rob.push(entry(3)).unwrap(); // reuses slot 0
+        assert!(rob.get_checked(slot, 1).is_none(), "stale seq must not match");
+    }
+
+    #[test]
+    fn squash_everything_with_seq_zero() {
+        let mut rob = Rob::new(4);
+        for s in 1..=4 {
+            rob.push(entry(s)).unwrap();
+        }
+        let removed = rob.squash_younger(0);
+        assert_eq!(removed.len(), 4);
+        assert!(rob.is_empty());
+    }
+}

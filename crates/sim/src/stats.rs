@@ -1,0 +1,172 @@
+//! Aggregated simulation statistics.
+
+use sempe_core::unit::SempeStats;
+
+use crate::bpred::BpredStats;
+use crate::cache::CacheStats;
+
+/// Everything the harnesses report about a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions committed while a secure region was active.
+    pub secure_committed: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// µops renamed/dispatched.
+    pub renamed: u64,
+    /// µops issued to functional units.
+    pub issued: u64,
+    /// Loads satisfied by store-queue forwarding.
+    pub load_forwards: u64,
+    /// Load replays due to unresolved older stores.
+    pub load_replays: u64,
+    /// Pipeline squashes (mispredict recoveries).
+    pub squashes: u64,
+    /// Cycles the rename stage spent blocked on SeMPE drains/spills.
+    pub drain_stall_cycles: u64,
+    /// Instruction-cache counters.
+    pub il1: CacheStats,
+    /// Data-cache counters.
+    pub dl1: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Branch-predictor counters.
+    pub bpred: BpredStats,
+    /// SeMPE mechanism counters.
+    pub sempe: SempeStats,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per committed instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of committed instructions inside secure regions.
+    #[must_use]
+    pub fn secure_fraction(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.secure_committed as f64 / self.committed as f64
+        }
+    }
+
+    /// A gem5-style multi-line statistics report, for harness output and
+    /// debugging.
+    #[must_use]
+    pub fn report(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::new();
+        let mut row = |k: &str, v: String| {
+            let _ = writeln!(s, "{k:32} {v}");
+        };
+        row("sim.cycles", self.cycles.to_string());
+        row("sim.committed_insts", self.committed.to_string());
+        row("sim.ipc", format!("{:.3}", self.ipc()));
+        row("sim.secure_fraction", format!("{:.3}", self.secure_fraction()));
+        row("frontend.fetched", self.fetched.to_string());
+        row("backend.renamed", self.renamed.to_string());
+        row("backend.issued", self.issued.to_string());
+        row("backend.squashes", self.squashes.to_string());
+        row("lsq.forwards", self.load_forwards.to_string());
+        row("lsq.replays", self.load_replays.to_string());
+        row(
+            "bpred.cond_mispredict_rate",
+            format!(
+                "{:.4} ({}/{})",
+                self.bpred.cond_mispredict_rate(),
+                self.bpred.cond_mispredicts,
+                self.bpred.cond_predictions
+            ),
+        );
+        for (name, c) in [("il1", self.il1), ("dl1", self.dl1), ("l2", self.l2)] {
+            row(
+                &format!("cache.{name}.miss_rate"),
+                format!("{:.4} ({}/{})", c.miss_rate(), c.misses, c.accesses),
+            );
+            row(&format!("cache.{name}.prefetch_fills"), c.prefetch_fills.to_string());
+        }
+        row("sempe.regions_completed", self.sempe.regions_completed.to_string());
+        row("sempe.drains", self.sempe.drains.to_string());
+        row("sempe.spm_stall_cycles", self.sempe.spm_stall_cycles.to_string());
+        row("sempe.max_nesting", self.sempe.max_nesting.to_string());
+        row("sempe.squashed_sjmps", self.sempe.squashed_sjmps.to_string());
+        s
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Did the program reach `HALT`?
+    pub halted: bool,
+    /// Final counters.
+    pub stats: SimStats,
+}
+
+impl SimResult {
+    /// Total cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Committed instructions.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cpi(), 0.0);
+        s.cycles = 100;
+        s.committed = 250;
+        s.secure_committed = 50;
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.cpi() - 0.4).abs() < 1e-12);
+        assert!((s.secure_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let mut s = SimStats::default();
+        s.cycles = 10;
+        s.committed = 20;
+        s.sempe.drains = 3;
+        let text = s.report();
+        for needle in
+            ["sim.cycles", "sim.ipc", "bpred.", "cache.il1", "cache.dl1", "cache.l2", "sempe.drains"]
+        {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(text.contains("2.000"), "ipc must be formatted");
+    }
+}

@@ -1,0 +1,151 @@
+//! Failure injection: the documented exception behaviors of §III/§IV-E
+//! and the simulator's own guard rails.
+
+use sempe_core::SempeFault;
+use sempe_isa::asm::Asm;
+use sempe_isa::reg::Reg;
+use sempe_sim::pipeline::SimError;
+use sempe_sim::{SimConfig, Simulator};
+
+/// Nesting deeper than the jbTable raises the paper's run-time exception
+/// (§IV-E: "Recursion may be … made to trigger exception at run time").
+#[test]
+fn jbtable_overflow_raises_nesting_exception() {
+    // Five nested secure branches on a 4-entry table.
+    let mut a = Asm::new();
+    let mut labels = Vec::new();
+    for _ in 0..5 {
+        let then_ = a.fresh_label("t");
+        let join = a.fresh_label("j");
+        a.sbne(Reg::X0, Reg::X0, then_); // never taken; NT path nests deeper
+        labels.push((then_, join));
+    }
+    for (then_, join) in labels.into_iter().rev() {
+        a.jmp(join);
+        a.bind(then_).unwrap();
+        a.bind(join).unwrap();
+        a.eosjmp();
+    }
+    a.halt();
+    let prog = a.assemble().unwrap();
+
+    let mut config = SimConfig::paper();
+    config.sempe.jbtable_entries = 4;
+    let mut sim = Simulator::new(&prog, config).unwrap();
+    let err = sim.run(10_000_000).unwrap_err();
+    assert_eq!(err, SimError::Sempe(SempeFault::NestingOverflow { capacity: 4 }));
+
+    // With a 30-entry table (the paper's provisioning) the same program
+    // completes.
+    let mut sim = Simulator::new(&prog, SimConfig::paper()).unwrap();
+    assert!(sim.run(10_000_000).unwrap().halted);
+}
+
+/// A divide-by-zero on the architecturally wrong path still surfaces —
+/// both paths execute, so the fault is reachable (§III).
+#[test]
+fn fault_on_wrong_path_is_reported_inside_secblock() {
+    let mut a = Asm::new();
+    let then_ = a.label("then");
+    let join = a.label("join");
+    a.movi(Reg::x(3), 1); // secret = 1: taken path is correct
+    a.movi(Reg::x(4), 10);
+    a.sbne(Reg::x(3), Reg::X0, then_);
+    // NT path (architecturally wrong, still executed by SeMPE):
+    a.div(Reg::x(5), Reg::x(4), Reg::X0); // divide by zero
+    a.jmp(join);
+    a.bind(then_).unwrap();
+    a.addi(Reg::x(5), Reg::x(4), 1);
+    a.bind(join).unwrap();
+    a.eosjmp();
+    a.halt();
+    let prog = a.assemble().unwrap();
+
+    // SeMPE: the wrong path executes and its fault is routed through the
+    // SecBlock exception path.
+    let mut sim = Simulator::new(&prog, SimConfig::paper()).unwrap();
+    let err = sim.run(1_000_000).unwrap_err();
+    assert!(
+        matches!(err, SimError::Sempe(SempeFault::FaultInSecBlock { .. })),
+        "got {err:?}"
+    );
+
+    // Baseline: only the (correct) taken path runs, no fault at all.
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    assert!(sim.run(1_000_000).unwrap().halted);
+    assert_eq!(sim.arch_reg(Reg::x(5)), 11);
+}
+
+/// A divide-by-zero outside any secure region is a plain execution fault.
+#[test]
+fn plain_divide_by_zero_faults() {
+    let mut a = Asm::new();
+    a.movi(Reg::x(3), 42);
+    a.div(Reg::x(4), Reg::x(3), Reg::X0);
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    let err = sim.run(1_000_000).unwrap_err();
+    assert!(matches!(err, SimError::Exec(sempe_isa::ExecError::DivideByZero { .. })));
+}
+
+/// A wrong-path divide-by-zero that gets squashed must NOT fault: the
+/// exception is only raised at commit.
+#[test]
+fn squashed_wrong_path_fault_is_harmless() {
+    let mut a = Asm::new();
+    let skip = a.label("skip");
+    a.movi(Reg::x(3), 0);
+    // A plain (predictable-eventually, but cold-mispredictable) branch:
+    // x3 == 0 so the branch IS taken; the fall-through (wrong path on a
+    // not-taken prediction) contains the div-by-zero.
+    a.beq(Reg::x(3), Reg::X0, skip);
+    a.div(Reg::x(4), Reg::x(3), Reg::X0); // wrong path only
+    a.bind(skip).unwrap();
+    a.movi(Reg::x(5), 77);
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    let res = sim.run(1_000_000).unwrap();
+    assert!(res.halted);
+    assert_eq!(sim.arch_reg(Reg::x(5)), 77);
+}
+
+/// Exhausting the cycle budget reports cleanly.
+#[test]
+fn cycle_budget_exhaustion_reports() {
+    let mut a = Asm::new();
+    let top = a.label("top");
+    a.bind(top).unwrap();
+    a.jmp(top);
+    let prog = a.assemble().unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    let err = sim.run(5_000).unwrap_err();
+    assert_eq!(err, SimError::CyclesExhausted { max_cycles: 5_000 });
+}
+
+/// An eosJMP with no active secure region is a SeMPE fault on secure
+/// hardware and a harmless NOP on legacy hardware.
+#[test]
+fn stray_eosjmp_faults_only_on_sempe() {
+    let mut a = Asm::new();
+    a.eosjmp();
+    a.halt();
+    let prog = a.assemble().unwrap();
+
+    let mut sim = Simulator::new(&prog, SimConfig::paper()).unwrap();
+    let err = sim.run(1_000_000).unwrap_err();
+    assert_eq!(err, SimError::Sempe(SempeFault::EosWithoutRegion));
+
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    assert!(sim.run(1_000_000).unwrap().halted);
+}
+
+/// Error types render useful messages.
+#[test]
+fn sim_errors_display_context() {
+    let e = SimError::CyclesExhausted { max_cycles: 9 };
+    assert!(e.to_string().contains('9'));
+    let e = SimError::Watchdog { cycle: 5, fetch_pc: 0x40, rob_head_pc: None };
+    assert!(e.to_string().contains("0x40"));
+}

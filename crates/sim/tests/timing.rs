@@ -1,0 +1,283 @@
+//! Timing regression tests: pin down the microarchitectural behaviors
+//! the experiments depend on, so a refactor cannot silently change the
+//! cost model.
+
+use sempe_isa::asm::Asm;
+use sempe_isa::reg::Reg;
+use sempe_isa::Program;
+use sempe_sim::{SimConfig, Simulator};
+
+fn cycles(prog: &Program, config: SimConfig) -> u64 {
+    let mut sim = Simulator::new(prog, config).expect("sim");
+    sim.run(10_000_000).expect("halts").cycles()
+}
+
+/// Dependent ALU chains retire ~1 op/cycle; independent chains exploit
+/// the 8-wide machine. The op sequence sits in a loop so the instruction
+/// stream is hot and the measurement is execute-limited, not cold-fetch
+/// limited.
+#[test]
+fn ilp_is_exploited_and_dependences_serialize() {
+    let ops_per_trip = 64usize;
+    let trips = 16i64;
+    let build = |dependent: bool| {
+        let mut a = Asm::new();
+        a.movi(Reg::x(2 + 13), trips); // x15 = trip counter
+        for r in 3..11u8 {
+            a.movi(Reg::x(r), 1);
+        }
+        let top = a.label("top");
+        let done = a.label("done");
+        a.bind(top).unwrap();
+        a.beq(Reg::x(15), Reg::X0, done);
+        for i in 0..ops_per_trip {
+            let r = if dependent { Reg::x(3) } else { Reg::x(3 + (i % 8) as u8) };
+            a.addi(r, r, 1);
+        }
+        a.addi(Reg::x(15), Reg::x(15), -1);
+        a.jmp(top);
+        a.bind(done).unwrap();
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let dep = cycles(&build(true), SimConfig::baseline());
+    let indep = cycles(&build(false), SimConfig::baseline());
+    assert!(
+        dep as f64 > 2.0 * indep as f64,
+        "dependent chain ({dep}) must be much slower than independent ops ({indep})"
+    );
+    // The dependent chain costs at least one cycle per op.
+    let total_ops = ops_per_trip * trips as usize;
+    assert!(dep as usize >= total_ops, "{total_ops} dependent adds in only {dep} cycles");
+}
+
+/// Division is much slower than addition (20-cycle divider). Measured as
+/// the delta between two loops, cancelling fetch and loop overhead.
+#[test]
+fn division_latency_shows() {
+    let build = |use_div: bool| {
+        let mut a = Asm::new();
+        a.movi(Reg::x(15), 16); // trips
+        a.movi(Reg::x(4), 3);
+        let top = a.label("top");
+        let done = a.label("done");
+        a.bind(top).unwrap();
+        a.beq(Reg::x(15), Reg::X0, done);
+        a.movi(Reg::x(3), 1_000_000);
+        for _ in 0..16 {
+            if use_div {
+                a.divu(Reg::x(3), Reg::x(3), Reg::x(4));
+            } else {
+                a.add(Reg::x(3), Reg::x(3), Reg::x(4));
+            }
+        }
+        a.addi(Reg::x(15), Reg::x(15), -1);
+        a.jmp(top);
+        a.bind(done).unwrap();
+        a.halt();
+        a.assemble().unwrap()
+    };
+    let divs = cycles(&build(true), SimConfig::baseline());
+    let adds = cycles(&build(false), SimConfig::baseline());
+    // 256 divs at ~20 cycles each dominate; adds retire ~1/cycle.
+    assert!(divs > 3 * adds, "dependent divs ({divs}) vs adds ({adds})");
+    assert!(divs > 256 * 15, "divider latency must show: {divs} cycles");
+}
+
+/// A cache-missing pointer chase pays the memory latency per hop; a
+/// cache-hitting one does not.
+#[test]
+fn memory_latency_is_visible_in_pointer_chases() {
+    let hops = 32usize;
+    // Pre-link a pointer chain through a *shuffled* permutation of
+    // widely spaced slots: constant strides would be caught by the
+    // stride prefetcher (correctly — see
+    // `prefetch_effect_turns_sequential_misses_into_hits`), so the walk
+    // order must be irregular to expose raw memory latency.
+    let mut a = Asm::new();
+    let slots = hops + 1;
+    let stride = 4096 + 64;
+    let base = a.zero_data(slots * stride);
+    let mut order: Vec<usize> = (0..slots).collect();
+    let mut rng_state = 0x9E3779B97F4A7C15u64;
+    for i in (1..slots).rev() {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        order.swap(i, (rng_state as usize) % (i + 1));
+    }
+    let mut chain = Vec::new();
+    for w in 0..slots {
+        // The w-th visited slot points at the (w+1)-th visited slot.
+        let here = base + (order[w] * stride) as u64;
+        let next = if w + 1 < slots { base + (order[w + 1] * stride) as u64 } else { 0 };
+        chain.push((here, next));
+    }
+    let entry_slot = chain[0].0;
+    a.movi(Reg::x(3), entry_slot as i64);
+    let top = a.label("top");
+    let done = a.label("done");
+    a.bind(top).unwrap();
+    a.beq(Reg::x(3), Reg::X0, done);
+    a.ld(Reg::x(3), Reg::x(3), 0); // truly dependent load
+    a.jmp(top);
+    a.bind(done).unwrap();
+    a.halt();
+    let prog = a.assemble().unwrap();
+
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    for (addr, next) in &chain {
+        sim.mem_mut().write_u64(*addr, *next);
+    }
+    let cold = sim.run(10_000_000).unwrap().cycles();
+    assert!(
+        cold > (hops as u64) * 100,
+        "cold dependent chase of {hops} hops in {cold} cycles is too fast"
+    );
+
+    // Same chain length, all hops within one hot line.
+    let mut a = Asm::new();
+    let buf = a.zero_data(64);
+    a.movi(Reg::x(3), buf as i64);
+    a.movi(Reg::x(15), hops as i64);
+    let top = a.label("top");
+    let done = a.label("done");
+    a.bind(top).unwrap();
+    a.beq(Reg::x(15), Reg::X0, done);
+    a.ld(Reg::x(4), Reg::x(3), 0);
+    a.addi(Reg::x(15), Reg::x(15), -1);
+    a.jmp(top);
+    a.bind(done).unwrap();
+    a.halt();
+    let warm = cycles(&a.assemble().unwrap(), SimConfig::baseline());
+    assert!(warm * 4 < cold, "hitting loads ({warm}) must be far cheaper than misses ({cold})");
+}
+
+/// A data-dependent unpredictable branch costs mispredict penalties; a
+/// biased branch trains away.
+#[test]
+fn branch_predictability_matters() {
+    let build = |pattern: fn(u64) -> bool| {
+        // x4 = LCG state; branch on a bit of it (pattern decides which).
+        let mut a = Asm::new();
+        a.movi(Reg::x(3), 256); // trips
+        a.movi(Reg::x(4), 12345);
+        a.movi(Reg::x(7), 0);
+        let top = a.label("top");
+        let done = a.label("done");
+        let skip_l = a.label("skip");
+        a.bind(top).unwrap();
+        a.beq(Reg::x(3), Reg::X0, done);
+        a.movi(Reg::x(5), 6_364_136_223_846_793_005i64);
+        a.mul(Reg::x(4), Reg::x(4), Reg::x(5));
+        a.movi(Reg::x(5), 1_442_695_040_888_963_407i64);
+        a.add(Reg::x(4), Reg::x(4), Reg::x(5));
+        // Select the branch driver: low bit of LCG (random) or constant 0.
+        let _ = pattern;
+        a.srli(Reg::x(6), Reg::x(4), 17);
+        a.andi(Reg::x(6), Reg::x(6), 1);
+        a.beq(Reg::x(6), Reg::X0, skip_l);
+        a.addi(Reg::x(7), Reg::x(7), 1);
+        a.bind(skip_l).unwrap();
+        a.addi(Reg::x(3), Reg::x(3), -1);
+        a.jmp(top);
+        a.bind(done).unwrap();
+        a.halt();
+        a.assemble().unwrap()
+    };
+    // Random branch version.
+    let prog = build(|x| x & 1 == 0);
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    sim.run(10_000_000).unwrap();
+    let random_mispredicts = sim.stats().bpred.cond_mispredicts;
+    // There are ~256 data-random branches; a healthy predictor should
+    // still mispredict a sizable fraction of them, and essentially never
+    // mispredict the loop-control branches.
+    assert!(
+        random_mispredicts > 40,
+        "random branches must mispredict ({random_mispredicts})"
+    );
+
+    // Biased version: replace the driver with constant zero.
+    let mut a = Asm::new();
+    a.movi(Reg::x(3), 256);
+    a.movi(Reg::x(7), 0);
+    let top = a.label("top");
+    let done = a.label("done");
+    let skip_l = a.label("skip");
+    a.bind(top).unwrap();
+    a.beq(Reg::x(3), Reg::X0, done);
+    a.movi(Reg::x(6), 0);
+    a.beq(Reg::x(6), Reg::X0, skip_l);
+    a.addi(Reg::x(7), Reg::x(7), 1);
+    a.bind(skip_l).unwrap();
+    a.addi(Reg::x(3), Reg::x(3), -1);
+    a.jmp(top);
+    a.bind(done).unwrap();
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    sim.run(10_000_000).unwrap();
+    let biased = sim.stats().bpred.cond_mispredicts;
+    assert!(
+        biased * 4 < random_mispredicts,
+        "biased branches ({biased}) must train far below random ({random_mispredicts})"
+    );
+}
+
+/// The three SeMPE drains and the SPM spill stalls appear in the stats
+/// and scale with the snapshot size.
+#[test]
+fn drain_and_spill_accounting() {
+    let mut a = Asm::new();
+    let then_ = a.label("then");
+    let join = a.label("join");
+    a.movi(Reg::x(3), 0);
+    a.sbne(Reg::x(3), Reg::X0, then_);
+    a.addi(Reg::x(4), Reg::x(4), 1);
+    a.jmp(join);
+    a.bind(then_).unwrap();
+    a.addi(Reg::x(4), Reg::x(4), 2);
+    a.bind(join).unwrap();
+    a.eosjmp();
+    a.halt();
+    let prog = a.assemble().unwrap();
+
+    let mut sim = Simulator::new(&prog, SimConfig::paper()).unwrap();
+    sim.run(1_000_000).unwrap();
+    let stats = sim.stats();
+    assert_eq!(stats.sempe.drains, 3, "one region = three drains (Fig 6)");
+    assert!(stats.sempe.spm_stall_cycles > 0);
+    assert_eq!(stats.sempe.regions_completed, 1);
+
+    // Halving SPM throughput increases total time.
+    let halved = {
+        let mut config = SimConfig::paper();
+        config.sempe.spm.throughput_bytes_per_cycle = 8;
+        cycles(&prog, config)
+    };
+    let normal = cycles(&prog, SimConfig::paper());
+    assert!(halved > normal, "slower scratchpad must cost cycles ({halved} vs {normal})");
+}
+
+/// Store-to-load forwarding is faster than going through the cache after
+/// a conflicting store commits.
+#[test]
+fn forwarding_beats_waiting() {
+    // Exact-match forwarding: store then immediately load same addr.
+    let mut a = Asm::new();
+    let buf = a.zero_data(64) as i64;
+    a.movi(Reg::x(3), buf);
+    a.movi(Reg::x(4), 99);
+    for _ in 0..64 {
+        a.st(Reg::x(3), Reg::x(4), 0);
+        a.ld(Reg::x(4), Reg::x(3), 0);
+        a.addi(Reg::x(4), Reg::x(4), 1);
+    }
+    a.halt();
+    let prog = a.assemble().unwrap();
+    let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();
+    sim.run(10_000_000).unwrap();
+    assert!(sim.stats().load_forwards >= 32, "forwarding must engage");
+    assert_eq!(sim.arch_reg(Reg::x(4)), 99 + 64);
+}

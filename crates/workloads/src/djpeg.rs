@@ -1,0 +1,340 @@
+//! The real-world workload: a `djpeg`-style block image decompressor
+//! (paper §V/§VI-A).
+//!
+//! The paper evaluates libjpeg's `djpeg` converting JPEG images to PPM,
+//! GIF and BMP: the decompressor's per-coefficient conditional branches
+//! depend on the secret image contents, leaking visual detail. libjpeg
+//! itself cannot be compiled to SIR, so this module builds the closest
+//! synthetic equivalent with the properties the experiments rely on:
+//!
+//! * the input image is decomposed into **8×8 blocks**, each decoded
+//!   independently — which is why the paper finds overhead to be
+//!   *size-independent* (work per block is constant);
+//! * each block runs several **decode passes** whose branches test
+//!   secret coefficient values (range checks, sign tests) — the SDBCB
+//!   source;
+//! * the three output formats differ in the number of decode passes and
+//!   in the amount of secret-independent post-processing (PPM does the
+//!   most secret-dependent work per block, BMP the least), which is what
+//!   spreads the overheads in Figure 8.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sempe_compile::wir::{BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+
+/// Output file format (determines pass structure and post-processing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputFormat {
+    /// Portable Pixmap: RGB triplets — the most secret-dependent decode
+    /// work per block.
+    Ppm,
+    /// Graphics Interchange Format: palette mapping.
+    Gif,
+    /// Device-independent bitmap: the lightest decode, heaviest
+    /// secret-independent output formatting.
+    Bmp,
+}
+
+impl OutputFormat {
+    /// All three formats, in the paper's order.
+    pub const ALL: [OutputFormat; 3] = [OutputFormat::Ppm, OutputFormat::Gif, OutputFormat::Bmp];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OutputFormat::Ppm => "PPM",
+            OutputFormat::Gif => "GIF",
+            OutputFormat::Bmp => "BMP",
+        }
+    }
+
+    /// Secret-dependent decode passes per block.
+    fn secure_passes(self) -> usize {
+        match self {
+            OutputFormat::Ppm => 3,
+            OutputFormat::Gif => 2,
+            OutputFormat::Bmp => 1,
+        }
+    }
+
+    /// Public post-processing iterations per block (output formatting,
+    /// independent of the secret pixels).
+    fn public_work(self) -> u32 {
+        match self {
+            OutputFormat::Ppm => 400,
+            OutputFormat::Gif => 520,
+            OutputFormat::Bmp => 800,
+        }
+    }
+}
+
+/// Parameters for a djpeg run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DjpegParams {
+    /// Output format.
+    pub format: OutputFormat,
+    /// Number of 8×8 blocks in the (secret) input image.
+    pub blocks: usize,
+    /// Seed for the synthetic image generator.
+    pub seed: u64,
+}
+
+impl DjpegParams {
+    /// A small default image.
+    #[must_use]
+    pub fn new(format: OutputFormat) -> Self {
+        DjpegParams { format, blocks: 16, seed: 0xDEC0DE }
+    }
+}
+
+/// Generate a synthetic "image": one u64 per coefficient, 64 per block,
+/// with JPEG-flavoured statistics (large DC values, mostly-small ACs with
+/// occasional spikes — so the secret-dependent branches take both
+/// directions).
+#[must_use]
+pub fn synth_image(blocks: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = Vec::with_capacity(blocks * 64);
+    for _ in 0..blocks {
+        img.push(rng.gen_range(64..=255)); // DC
+        for i in 1..64u64 {
+            let spike = rng.gen_ratio(1, 5);
+            let v = if spike {
+                rng.gen_range(32..=255)
+            } else {
+                rng.gen_range(0..=31) / (1 + i / 16)
+            };
+            img.push(v);
+        }
+    }
+    img
+}
+
+fn c(x: u64) -> Expr {
+    Expr::Const(x)
+}
+
+fn v(id: VarId) -> Expr {
+    Expr::Var(id)
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::bin(op, a, b)
+}
+
+/// Build the djpeg-like WIR program.
+#[must_use]
+pub fn djpeg_program(p: &DjpegParams) -> WirProgram {
+    let img_data = synth_image(p.blocks, p.seed);
+    let img_len = img_data.len().next_power_of_two();
+    let img_mask = (img_len - 1) as u64;
+
+    let mut b = WirBuilder::new();
+    let img = b.array("image", img_len, img_data);
+    // Per-block working buffer; fully rewritten in each pass (scratch).
+    let work = b.scratch_array("work", 64, vec![]);
+    let out_sink = b.var("out", 0);
+    let blk = b.var("blk", 0);
+    let base = b.var("base", 0);
+    let j = b.var("j", 0);
+    let coeff = b.var("coeff", 0);
+    let tmp = b.var("tmp", 0);
+    let acc = b.var("acc", 0);
+    let pub_i = b.var("pub_i", 0);
+    let pub_acc = b.var("pub_acc", 0);
+
+    let ld_img = |e: Expr| Expr::Load(img, Box::new(bin(BinOp::And, e, c(img_mask))));
+    let ld_work = |e: Expr| Expr::Load(work, Box::new(bin(BinOp::And, e, c(63))));
+    let st_work = |e: Expr, val: Expr| Stmt::Store(work, bin(BinOp::And, e, c(63)), val);
+
+    // One secret-dependent decode pass over the block, row by row. The
+    // secure region sits at row granularity (8 coefficients): libjpeg's
+    // decode steps likewise branch on ranges of coefficient runs, not on
+    // every sample individually. `variant` differentiates the passes
+    // (different dequant constants).
+    let row = b.var("row", 0);
+    let rbase = b.var("rbase", 0);
+    let decode_pass = move |variant: u64| -> Vec<Stmt> {
+        // Row body: 8 coefficients, either full dequantization (the
+        // "interesting row" path) or the cheap skip path — which arm runs
+        // depends on the secret pixel data: the SDBCB of the leak.
+        let idx = bin(BinOp::Add, v(rbase), v(j));
+        let heavy_row = vec![
+            Stmt::Assign(j, c(0)),
+            Stmt::While {
+                cond: bin(BinOp::Ltu, v(j), c(8)),
+                bound: 9,
+                body: vec![
+                    Stmt::Assign(coeff, ld_img(idx.clone())),
+                    Stmt::Assign(
+                        tmp,
+                        bin(BinOp::Add, bin(BinOp::Mul, v(coeff), c(3 + variant)), c(17)),
+                    ),
+                    Stmt::Assign(tmp, bin(BinOp::And, v(tmp), c(0xFF))),
+                    st_work(bin(BinOp::Sub, idx.clone(), v(base)), v(tmp)),
+                    Stmt::Assign(
+                        acc,
+                        bin(
+                            BinOp::Add,
+                            v(acc),
+                            ld_work(bin(BinOp::Sub, idx.clone(), v(base))),
+                        ),
+                    ),
+                    Stmt::Assign(j, bin(BinOp::Add, v(j), c(1))),
+                ],
+            },
+        ];
+        let cheap_row = vec![
+            Stmt::Assign(j, c(0)),
+            Stmt::While {
+                cond: bin(BinOp::Ltu, v(j), c(8)),
+                bound: 9,
+                body: vec![
+                    Stmt::Assign(coeff, ld_img(idx.clone())),
+                    Stmt::Assign(tmp, bin(BinOp::Add, v(coeff), c(variant))),
+                    st_work(bin(BinOp::Sub, idx.clone(), v(base)), v(tmp)),
+                    Stmt::Assign(acc, bin(BinOp::Xor, v(acc), v(tmp))),
+                    Stmt::Assign(j, bin(BinOp::Add, v(j), c(1))),
+                ],
+            },
+        ];
+        vec![
+            Stmt::Assign(row, c(0)),
+            Stmt::While {
+                cond: bin(BinOp::Ltu, v(row), c(8)),
+                bound: 9,
+                body: vec![
+                    Stmt::Assign(
+                        rbase,
+                        bin(BinOp::Add, v(base), bin(BinOp::Mul, v(row), c(8))),
+                    ),
+                    // Row classification on the leading coefficient.
+                    Stmt::If {
+                        cond: bin(BinOp::Ltu, c(31), ld_img(v(rbase))),
+                        secret: true,
+                        then_: heavy_row.clone(),
+                        else_: cheap_row.clone(),
+                    },
+                    Stmt::Assign(row, bin(BinOp::Add, v(row), c(1))),
+                ],
+            },
+        ]
+    };
+
+    // Block loop.
+    let mut block_body = vec![Stmt::Assign(base, bin(BinOp::Mul, v(blk), c(64)))];
+    for pass in 0..p.format.secure_passes() {
+        block_body.extend(decode_pass(pass as u64 + 1));
+    }
+    // Secret-independent output formatting (row padding, palette writes,
+    // header arithmetic): pure public work proportional to the format.
+    block_body.push(Stmt::Assign(pub_i, c(0)));
+    block_body.push(Stmt::While {
+        cond: bin(BinOp::Ltu, v(pub_i), c(u64::from(p.format.public_work()))),
+        bound: p.format.public_work() + 1,
+        body: vec![
+            Stmt::Assign(
+                pub_acc,
+                bin(
+                    BinOp::Add,
+                    bin(BinOp::Mul, v(pub_acc), c(33)),
+                    bin(BinOp::Xor, v(pub_i), v(blk)),
+                ),
+            ),
+            Stmt::Assign(pub_i, bin(BinOp::Add, v(pub_i), c(1))),
+        ],
+    });
+    block_body.push(Stmt::Assign(
+        out_sink,
+        bin(BinOp::Add, bin(BinOp::Xor, v(out_sink), v(acc)), v(pub_acc)),
+    ));
+    block_body.push(Stmt::Assign(blk, bin(BinOp::Add, v(blk), c(1))));
+
+    b.while_loop(
+        bin(BinOp::Ltu, v(blk), c(p.blocks as u64)),
+        p.blocks as u32 + 1,
+        block_body,
+    );
+    b.output(out_sink);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_compile::run_wir;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn image_has_jpeg_like_statistics() {
+        let img = synth_image(8, 42);
+        assert_eq!(img.len(), 8 * 64);
+        // DCs are large.
+        for blk in 0..8 {
+            assert!(img[blk * 64] >= 64);
+        }
+        // A reasonable mix of small and large ACs.
+        let large = img.iter().enumerate().filter(|(i, v)| i % 64 != 0 && **v > 31).count();
+        let total = 8 * 63;
+        assert!(large > total / 20, "too few large coefficients: {large}");
+        assert!(large < total / 2, "too many large coefficients: {large}");
+    }
+
+    #[test]
+    fn image_is_seed_deterministic() {
+        assert_eq!(synth_image(4, 7), synth_image(4, 7));
+        assert_ne!(synth_image(4, 7), synth_image(4, 8));
+    }
+
+    #[test]
+    fn all_formats_run_clean() {
+        for format in OutputFormat::ALL {
+            let p = DjpegParams { format, blocks: 4, seed: 1 };
+            let prog = djpeg_program(&p);
+            let r = run_wir(&prog, &BTreeMap::new()).expect("runs within bounds");
+            assert_ne!(r.outputs[0], 0, "{}", format.name());
+        }
+    }
+
+    #[test]
+    fn output_depends_on_the_image() {
+        let a = run_wir(
+            &djpeg_program(&DjpegParams { format: OutputFormat::Ppm, blocks: 4, seed: 1 }),
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        let b = run_wir(
+            &djpeg_program(&DjpegParams { format: OutputFormat::Ppm, blocks: 4, seed: 2 }),
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        assert_ne!(a.outputs, b.outputs, "different images must decode differently");
+    }
+
+    #[test]
+    fn work_scales_with_blocks_not_per_block() {
+        let small = run_wir(
+            &djpeg_program(&DjpegParams { format: OutputFormat::Gif, blocks: 2, seed: 3 }),
+            &BTreeMap::new(),
+        )
+        .unwrap()
+        .steps;
+        let big = run_wir(
+            &djpeg_program(&DjpegParams { format: OutputFormat::Gif, blocks: 8, seed: 3 }),
+            &BTreeMap::new(),
+        )
+        .unwrap()
+        .steps;
+        let ratio = big as f64 / small as f64;
+        assert!((3.0..5.0).contains(&ratio), "4x blocks should be ~4x steps, got {ratio:.2}");
+    }
+
+    #[test]
+    fn formats_order_secret_work_as_the_paper_describes() {
+        // PPM runs the most secure passes, BMP the least.
+        assert!(OutputFormat::Ppm.secure_passes() > OutputFormat::Gif.secure_passes());
+        assert!(OutputFormat::Gif.secure_passes() > OutputFormat::Bmp.secure_passes());
+        assert!(OutputFormat::Bmp.public_work() > OutputFormat::Ppm.public_work());
+    }
+}

@@ -1,0 +1,41 @@
+//! # sempe-workloads — the paper's evaluation programs
+//!
+//! Everything §V of the SeMPE paper runs, written once in WIR and
+//! compiled by any of the three `sempe-compile` backends:
+//!
+//! * [`micro`] — the Figure 7 microbenchmark: Fibonacci, Ones,
+//!   Quicksort and Eight Queens bodies inside a `W`-deep chain of secret
+//!   conditionals iterated `I` times;
+//! * [`djpeg`] — the real-world workload: a block-based image
+//!   decompressor with secret-dependent per-coefficient branches and
+//!   PPM/GIF/BMP output variants (a synthetic stand-in for libjpeg's
+//!   `djpeg`, which cannot be compiled to SIR — see DESIGN.md);
+//! * [`rsa`] — Figure 1's modular exponentiation, the motivating
+//!   key-dependent branch.
+//!
+//! ```
+//! use sempe_compile::{compile, Backend};
+//! use sempe_isa::interp::{Interp, InterpMode};
+//! use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = MicroParams::new(WorkloadKind::Fibonacci, 2, 1);
+//! let prog = fig7_program(&params);
+//! let cw = compile(&prog, Backend::Sempe)?;
+//! let mut m = Interp::new(cw.program(), InterpMode::SempeFunctional)?;
+//! m.run(10_000_000)?;
+//! assert!(!cw.read_outputs(m.mem()).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod djpeg;
+pub mod micro;
+pub mod rsa;
+
+pub use djpeg::{djpeg_program, synth_image, DjpegParams, OutputFormat};
+pub use micro::{emit_workload, fig7_program, MicroParams, WorkloadKind};
+pub use rsa::{modexp_program, modexp_reference, ModexpParams};

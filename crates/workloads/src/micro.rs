@@ -1,0 +1,636 @@
+//! The paper's microbenchmarks (§V, Figure 7).
+//!
+//! Four workload bodies — Fibonacci, Ones, Quicksort, Eight Queens — are
+//! instantiated inside a chain of `W` secret conditionals iterated `I`
+//! times:
+//!
+//! ```text
+//! for i in 0..I {
+//!     if (s1)      { workload_1 }
+//!     else if (s2) { workload_2 }
+//!     ...
+//!     else if (sW) { workload_W }
+//!     else         { workload_{W+1} }
+//! }
+//! ```
+//!
+//! Exactly as Figure 7 describes: `W` sJMPs per iteration, `W − 1` of
+//! them nested. The unprotected baseline executes **one** workload body
+//! per iteration; SeMPE executes **all `W + 1`**; CTE executes all of
+//! them *and* pays the per-statement mask products.
+//!
+//! Workloads follow constant-time discipline so all three backends
+//! compile them: every array index is masked to a power-of-two bound,
+//! loops carry public worst-case trip counts, and all scratch arrays are
+//! fully re-initialized before use within their path (declared
+//! [`scratch`](sempe_compile::wir::ArrayDecl::scratch)).
+
+use sempe_compile::wir::{BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+
+/// Which microbenchmark body to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Iterative Fibonacci up to the `scale`-th term.
+    Fibonacci,
+    /// Fill a `scale`-element vector with PRNG values and reduce it
+    /// (the paper's "Ones").
+    Ones,
+    /// Iterative quicksort of a `scale`-element array (power of two).
+    Quicksort,
+    /// N-queens backtracking on a `scale × scale` board (`scale <= 8`).
+    Queens,
+}
+
+impl WorkloadKind {
+    /// All four benchmark kinds.
+    pub const ALL: [WorkloadKind; 4] =
+        [WorkloadKind::Fibonacci, WorkloadKind::Ones, WorkloadKind::Quicksort, WorkloadKind::Queens];
+
+    /// Display name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Fibonacci => "fibonacci",
+            WorkloadKind::Ones => "ones",
+            WorkloadKind::Quicksort => "quicksort",
+            WorkloadKind::Queens => "queens",
+        }
+    }
+
+    /// A sensible default scale for quick runs.
+    #[must_use]
+    pub fn default_scale(self) -> u32 {
+        match self {
+            WorkloadKind::Fibonacci => 64,
+            WorkloadKind::Ones => 64,
+            WorkloadKind::Quicksort => 32,
+            WorkloadKind::Queens => 6,
+        }
+    }
+}
+
+fn c(v: u64) -> Expr {
+    Expr::Const(v)
+}
+
+fn v(id: VarId) -> Expr {
+    Expr::Var(id)
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::bin(op, a, b)
+}
+
+/// Emit one instance of a workload into fresh variables/arrays; the
+/// returned statements accumulate a result into `sink`.
+///
+/// `tag` differentiates the scratch state of multiple instances.
+pub fn emit_workload(
+    b: &mut WirBuilder,
+    kind: WorkloadKind,
+    scale: u32,
+    tag: &str,
+    sink: VarId,
+) -> Vec<Stmt> {
+    match kind {
+        WorkloadKind::Fibonacci => emit_fibonacci(b, scale, tag, sink),
+        WorkloadKind::Ones => emit_ones(b, scale, tag, sink),
+        WorkloadKind::Quicksort => emit_quicksort(b, scale, tag, sink),
+        WorkloadKind::Queens => emit_queens(b, scale, tag, sink),
+    }
+}
+
+fn emit_fibonacci(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stmt> {
+    let fa = b.var(format!("fib_a_{tag}"), 0);
+    let fb = b.var(format!("fib_b_{tag}"), 0);
+    let ft = b.var(format!("fib_t_{tag}"), 0);
+    let fi = b.var(format!("fib_i_{tag}"), 0);
+    vec![
+        Stmt::Assign(fa, c(0)),
+        Stmt::Assign(fb, c(1)),
+        Stmt::Assign(fi, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(fi), c(u64::from(n))),
+            bound: n + 1,
+            body: vec![
+                Stmt::Assign(ft, bin(BinOp::Add, v(fa), v(fb))),
+                Stmt::Assign(fa, v(fb)),
+                Stmt::Assign(fb, v(ft)),
+                Stmt::Assign(fi, bin(BinOp::Add, v(fi), c(1))),
+            ],
+        },
+        // Non-involutive accumulation: repeated runs must not cancel out.
+        Stmt::Assign(sink, bin(BinOp::Add, bin(BinOp::Mul, v(sink), c(7)), v(fa))),
+    ]
+}
+
+/// LCG constants (Knuth MMIX).
+const LCG_A: u64 = 6364136223846793005;
+const LCG_C: u64 = 1442695040888963407;
+
+fn emit_ones(b: &mut WirBuilder, size: u32, tag: &str, sink: VarId) -> Vec<Stmt> {
+    let size = size.next_power_of_two();
+    let arr = b.scratch_array(format!("ones_vec_{tag}"), size as usize, vec![]);
+    let x = b.var(format!("ones_x_{tag}"), 0);
+    let i = b.var(format!("ones_i_{tag}"), 0);
+    let s = b.var(format!("ones_s_{tag}"), 0);
+    let mask = u64::from(size - 1);
+    vec![
+        // Fill with pseudo-random values.
+        Stmt::Assign(x, bin(BinOp::Add, v(sink), c(0x9E37_79B9))),
+        Stmt::Assign(i, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(i), c(u64::from(size))),
+            bound: size + 1,
+            body: vec![
+                Stmt::Assign(x, bin(BinOp::Add, bin(BinOp::Mul, v(x), c(LCG_A)), c(LCG_C))),
+                Stmt::Store(arr, bin(BinOp::And, v(i), c(mask)), v(x)),
+                Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+            ],
+        },
+        // Reduce: count "ones" contributions (popcount-flavoured mix).
+        Stmt::Assign(s, c(0)),
+        Stmt::Assign(i, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(i), c(u64::from(size))),
+            bound: size + 1,
+            body: vec![
+                Stmt::Assign(
+                    s,
+                    bin(
+                        BinOp::Add,
+                        v(s),
+                        bin(
+                            BinOp::And,
+                            Expr::Load(arr, Box::new(bin(BinOp::And, v(i), c(mask)))),
+                            c(1),
+                        ),
+                    ),
+                ),
+                Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+            ],
+        },
+        Stmt::Assign(sink, bin(BinOp::Xor, v(sink), v(s))),
+    ]
+}
+
+fn emit_quicksort(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stmt> {
+    let n = n.next_power_of_two().max(4);
+    let mask = u64::from(n - 1);
+    let arr = b.scratch_array(format!("qs_arr_{tag}"), n as usize, vec![]);
+    // Segment stack: pairs of (lo, hi); worst case ~2 segments per element.
+    let stack_len = (4 * n).next_power_of_two();
+    let smask = u64::from(stack_len - 1);
+    let stack = b.scratch_array(format!("qs_stack_{tag}"), stack_len as usize, vec![]);
+    let x = b.var(format!("qs_x_{tag}"), 0);
+    let i = b.var(format!("qs_i_{tag}"), 0);
+    let j = b.var(format!("qs_j_{tag}"), 0);
+    let sp = b.var(format!("qs_sp_{tag}"), 0);
+    let lo = b.var(format!("qs_lo_{tag}"), 0);
+    let hi = b.var(format!("qs_hi_{tag}"), 0);
+    let pivot = b.var(format!("qs_pivot_{tag}"), 0);
+    let tmp = b.var(format!("qs_tmp_{tag}"), 0);
+    let chk = b.var(format!("qs_chk_{tag}"), 0);
+
+    let ld = |a, e: Expr, m: u64| Expr::Load(a, Box::new(bin(BinOp::And, e, c(m))));
+    let st = |a, e: Expr, m: u64, val: Expr| Stmt::Store(a, bin(BinOp::And, e, c(m)), val);
+
+    // Fill with pseudo-random data (fresh each run: scratch discipline).
+    let mut out = vec![
+        Stmt::Assign(x, bin(BinOp::Add, v(sink), c(0xB5E1))),
+        Stmt::Assign(i, c(0)),
+    ];
+    out.push(Stmt::While {
+        cond: bin(BinOp::Ltu, v(i), c(u64::from(n))),
+        bound: n + 1,
+        body: vec![
+            Stmt::Assign(x, bin(BinOp::Add, bin(BinOp::Mul, v(x), c(LCG_A)), c(LCG_C))),
+            // Keep values small so signed comparisons are unambiguous.
+            st(arr, v(i), mask, bin(BinOp::And, v(x), c(0xFFFF))),
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    });
+    // stack = [(0, n-1)]
+    out.push(st(stack, c(0), smask, c(0)));
+    out.push(st(stack, c(1), smask, c(u64::from(n) - 1)));
+    out.push(Stmt::Assign(sp, c(2)));
+
+    // Outer loop: pop a segment, partition (Lomuto), push children.
+    let partition_body = vec![
+        // if arr[j] < pivot { swap arr[i], arr[j]; i++ }
+        Stmt::If {
+            cond: bin(BinOp::Ltu, ld(arr, v(j), mask), v(pivot)),
+            secret: false,
+            then_: vec![
+                Stmt::Assign(tmp, ld(arr, v(i), mask)),
+                st(arr, v(i), mask, ld(arr, v(j), mask)),
+                st(arr, v(j), mask, v(tmp)),
+                Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+            ],
+            else_: vec![],
+        },
+        Stmt::Assign(j, bin(BinOp::Add, v(j), c(1))),
+    ];
+    let outer_body = vec![
+        Stmt::Assign(sp, bin(BinOp::Sub, v(sp), c(2))),
+        Stmt::Assign(lo, ld(stack, v(sp), smask)),
+        Stmt::Assign(hi, ld(stack, bin(BinOp::Add, v(sp), c(1)), smask)),
+        // Only partition real segments.
+        Stmt::If {
+            cond: bin(BinOp::Ltu, v(lo), v(hi)),
+            secret: false,
+            then_: vec![
+                Stmt::Assign(pivot, ld(arr, v(hi), mask)),
+                Stmt::Assign(i, v(lo)),
+                Stmt::Assign(j, v(lo)),
+                Stmt::While {
+                    cond: bin(BinOp::Ltu, v(j), v(hi)),
+                    bound: n,
+                    body: partition_body,
+                },
+                // swap arr[i], arr[hi]
+                Stmt::Assign(tmp, ld(arr, v(i), mask)),
+                st(arr, v(i), mask, ld(arr, v(hi), mask)),
+                st(arr, v(hi), mask, v(tmp)),
+                // push (lo, i-1) when the left segment has >= 2 elements
+                Stmt::If {
+                    cond: bin(BinOp::Ltu, bin(BinOp::Add, v(lo), c(1)), v(i)),
+                    secret: false,
+                    then_: vec![
+                        st(stack, v(sp), smask, v(lo)),
+                        st(stack, bin(BinOp::Add, v(sp), c(1)), smask, bin(BinOp::Sub, v(i), c(1))),
+                        Stmt::Assign(sp, bin(BinOp::Add, v(sp), c(2))),
+                    ],
+                    else_: vec![],
+                },
+                // push (i+1, hi) when the right segment has >= 2 elements
+                Stmt::If {
+                    cond: bin(BinOp::Ltu, bin(BinOp::Add, v(i), c(1)), v(hi)),
+                    secret: false,
+                    then_: vec![
+                        st(stack, v(sp), smask, bin(BinOp::Add, v(i), c(1))),
+                        st(stack, bin(BinOp::Add, v(sp), c(1)), smask, v(hi)),
+                        Stmt::Assign(sp, bin(BinOp::Add, v(sp), c(2))),
+                    ],
+                    else_: vec![],
+                },
+            ],
+            else_: vec![],
+        },
+    ];
+    // Every popped segment with >= 2 elements is partitioned and only
+    // such segments are pushed, so the outer loop runs at most n - 1
+    // times plus the initial pop; 2n is a safe constant-time bound.
+    out.push(Stmt::While {
+        cond: bin(BinOp::Ltu, c(0), v(sp)),
+        bound: 2 * n,
+        body: outer_body,
+    });
+    // Checksum the sorted array (order-sensitive).
+    out.push(Stmt::Assign(chk, c(0)));
+    out.push(Stmt::Assign(i, c(0)));
+    out.push(Stmt::While {
+        cond: bin(BinOp::Ltu, v(i), c(u64::from(n))),
+        bound: n + 1,
+        body: vec![
+            Stmt::Assign(
+                chk,
+                bin(
+                    BinOp::Add,
+                    bin(BinOp::Mul, v(chk), c(31)),
+                    ld(arr, v(i), mask),
+                ),
+            ),
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    });
+    out.push(Stmt::Assign(sink, bin(BinOp::Xor, v(sink), v(chk))));
+    out
+}
+
+/// Iteration budget for first-solution N-queens backtracking, by board
+/// size (empirically sufficient with margin; the WIR interpreter enforces
+/// it).
+fn queens_bound(n: u32) -> u32 {
+    match n {
+        0..=4 => 70,
+        5 => 220,
+        6 => 700,
+        7 => 1700,
+        _ => 6000,
+    }
+}
+
+fn emit_queens(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stmt> {
+    let n = n.clamp(4, 8);
+    let cols = b.scratch_array(format!("qn_cols_{tag}"), 8, vec![]);
+    let row = b.var(format!("qn_row_{tag}"), 0);
+    let cc = b.var(format!("qn_c_{tag}"), 0);
+    let k = b.var(format!("qn_k_{tag}"), 0);
+    let ok = b.var(format!("qn_ok_{tag}"), 0);
+    let d = b.var(format!("qn_d_{tag}"), 0);
+    let found = b.var(format!("qn_found_{tag}"), 0);
+    let steps = b.var(format!("qn_steps_{tag}"), 0);
+    let nn = c(u64::from(n));
+
+    let ld = |e: Expr| Expr::Load(cols, Box::new(bin(BinOp::And, e, c(7))));
+    let st = |e: Expr, val: Expr| Stmt::Store(cols, bin(BinOp::And, e, c(7)), val);
+
+    // safe(row, cc): ok = 1; for k in 0..row: conflicts clear ok.
+    let safety_check = vec![
+        Stmt::Assign(ok, c(1)),
+        Stmt::Assign(k, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(k), v(row)),
+            bound: 8,
+            body: vec![
+                // same column
+                Stmt::If {
+                    cond: bin(BinOp::Eq, ld(v(k)), v(cc)),
+                    secret: false,
+                    then_: vec![Stmt::Assign(ok, c(0))],
+                    else_: vec![],
+                },
+                // diagonals: |cols[k] - cc| == row - k. Compute both
+                // differences unsigned-safely.
+                Stmt::Assign(d, bin(BinOp::Sub, v(row), v(k))),
+                Stmt::If {
+                    cond: bin(BinOp::Eq, bin(BinOp::Add, ld(v(k)), v(d)), v(cc)),
+                    secret: false,
+                    then_: vec![Stmt::Assign(ok, c(0))],
+                    else_: vec![],
+                },
+                Stmt::If {
+                    cond: bin(BinOp::Eq, bin(BinOp::Add, v(cc), v(d)), ld(v(k))),
+                    secret: false,
+                    then_: vec![Stmt::Assign(ok, c(0))],
+                    else_: vec![],
+                },
+                Stmt::Assign(k, bin(BinOp::Add, v(k), c(1))),
+            ],
+        },
+    ];
+
+    let mut step = vec![Stmt::Assign(cc, ld(v(row)))];
+    step.push(Stmt::If {
+        cond: bin(BinOp::Ltu, v(cc), nn.clone()),
+        secret: false,
+        then_: {
+            let mut s = safety_check;
+            s.push(Stmt::If {
+                cond: v(ok),
+                secret: false,
+                then_: vec![
+                    // Place and advance.
+                    Stmt::Assign(row, bin(BinOp::Add, v(row), c(1))),
+                    Stmt::If {
+                        cond: bin(BinOp::Ltu, v(row), nn.clone()),
+                        secret: false,
+                        then_: vec![st(v(row), c(0))],
+                        else_: vec![Stmt::Assign(found, c(1))],
+                    },
+                ],
+                else_: vec![
+                    // Try the next column in this row.
+                    st(v(row), bin(BinOp::Add, v(cc), c(1))),
+                ],
+            });
+            s
+        },
+        else_: vec![
+            // Exhausted this row: backtrack.
+            st(v(row), c(0)),
+            Stmt::Assign(row, bin(BinOp::Sub, v(row), c(1))),
+            st(v(row), bin(BinOp::Add, ld(v(row)), c(1))),
+        ],
+    });
+    step.push(Stmt::Assign(steps, bin(BinOp::Add, v(steps), c(1))));
+
+    vec![
+        Stmt::Assign(row, c(0)),
+        Stmt::Assign(found, c(0)),
+        Stmt::Assign(steps, c(0)),
+        st(c(0), c(0)),
+        Stmt::While {
+            // while !found && row < n  (row underflow cannot occur for
+            // n >= 4: a solution exists and is found first)
+            cond: bin(
+                BinOp::And,
+                bin(BinOp::Eq, v(found), c(0)),
+                bin(BinOp::Ltu, v(row), nn),
+            ),
+            bound: queens_bound(n),
+            body: step,
+        },
+        // Fold the solution into the sink.
+        Stmt::Assign(k, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(k), c(u64::from(n))),
+            bound: 9,
+            body: vec![
+                Stmt::Assign(
+                    sink,
+                    bin(
+                        BinOp::Add,
+                        bin(BinOp::Mul, v(sink), c(9)),
+                        ld(v(k)),
+                    ),
+                ),
+                Stmt::Assign(k, bin(BinOp::Add, v(k), c(1))),
+            ],
+        },
+        Stmt::Assign(sink, bin(BinOp::Add, v(sink), v(steps))),
+    ]
+}
+
+/// Parameters of the Figure 7 microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroParams {
+    /// Workload body.
+    pub kind: WorkloadKind,
+    /// Number of secret conditionals per iteration (`W`); nesting depth
+    /// is `W − 1` and `W + 1` workload bodies exist.
+    pub w: usize,
+    /// Iterations of the whole secure region (`I`).
+    pub iters: u32,
+    /// Workload scale (term count / vector size / array size / board).
+    pub scale: u32,
+    /// The secret bits steering the chain (missing bits read as 0, i.e.
+    /// the chain falls through to workload `W + 1`).
+    pub secrets: u64,
+}
+
+impl MicroParams {
+    /// A quick default configuration.
+    #[must_use]
+    pub fn new(kind: WorkloadKind, w: usize, iters: u32) -> Self {
+        MicroParams { kind, w, iters, scale: kind.default_scale(), secrets: 0 }
+    }
+}
+
+/// Build the Figure 7 microbenchmark program.
+#[must_use]
+pub fn fig7_program(p: &MicroParams) -> WirProgram {
+    assert!(p.w >= 1, "W must be at least 1");
+    let mut b = WirBuilder::new();
+    let sink = b.var("sink", 0);
+    let secret_vars: Vec<VarId> = (0..p.w)
+        .map(|i| b.var(format!("s{i}"), (p.secrets >> i) & 1))
+        .collect();
+
+    // Build the chain inside-out: the innermost else is workload W+1.
+    let mut chain = emit_workload(&mut b, p.kind, p.scale, &format!("w{}", p.w), sink);
+    for level in (0..p.w).rev() {
+        let body = emit_workload(&mut b, p.kind, p.scale, &format!("w{level}"), sink);
+        chain = vec![Stmt::If {
+            cond: Expr::Var(secret_vars[level]),
+            secret: true,
+            then_: body,
+            else_: chain,
+        }];
+    }
+
+    let it = b.var("iter", 0);
+    b.while_loop(
+        bin(BinOp::Ltu, v(it), c(u64::from(p.iters))),
+        p.iters + 1,
+        {
+            let mut body = chain;
+            body.push(Stmt::Assign(it, bin(BinOp::Add, v(it), c(1))));
+            body
+        },
+    );
+    b.output(sink);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_compile::run_wir;
+    use std::collections::BTreeMap;
+
+    fn run_kind(kind: WorkloadKind, scale: u32) -> u64 {
+        let mut b = WirBuilder::new();
+        let sink = b.var("sink", 0);
+        let stmts = emit_workload(&mut b, kind, scale, "t", sink);
+        for s in stmts {
+            b.push(s);
+        }
+        b.output(sink);
+        let r = run_wir(&b.build(), &BTreeMap::new()).expect("workload runs clean");
+        r.outputs[0]
+    }
+
+    #[test]
+    fn fibonacci_computes_the_sequence() {
+        // sink starts 0, xor fib(10)=55.
+        assert_eq!(run_kind(WorkloadKind::Fibonacci, 10), 55);
+        assert_eq!(run_kind(WorkloadKind::Fibonacci, 1), 1);
+    }
+
+    #[test]
+    fn ones_counts_low_bits() {
+        let out = run_kind(WorkloadKind::Ones, 64);
+        // Count of set low bits among 64 pseudo-random values: near 32.
+        assert!(out > 16 && out < 48, "ones result {out} implausible");
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        // Build manually so we can inspect the array afterwards.
+        let mut b = WirBuilder::new();
+        let sink = b.var("sink", 0);
+        let stmts = emit_quicksort(&mut b, 16, "t", sink);
+        for s in stmts {
+            b.push(s);
+        }
+        b.output(sink);
+        let prog = b.build();
+        let r = run_wir(&prog, &BTreeMap::new()).expect("runs");
+        // Array 0 is qs_arr; it must be sorted.
+        let arr = &r.arrays[0];
+        let mut sorted = arr.clone();
+        sorted.sort_unstable();
+        assert_eq!(arr, &sorted, "quicksort must actually sort");
+        assert!(sorted.windows(2).any(|w| w[0] != w[1]), "data must be non-trivial");
+    }
+
+    #[test]
+    fn queens_places_n_queens() {
+        for n in [4u32, 5, 6, 8] {
+            let mut b = WirBuilder::new();
+            let sink = b.var("sink", 0);
+            let stmts = emit_queens(&mut b, n, "t", sink);
+            for s in stmts {
+                b.push(s);
+            }
+            b.output(sink);
+            let prog = b.build();
+            let r = run_wir(&prog, &BTreeMap::new()).expect("terminates within bound");
+            // The solution is in array 0 (cols). Check it is a valid
+            // placement.
+            let cols = &r.arrays[0][..n as usize];
+            for r1 in 0..n as usize {
+                for r2 in r1 + 1..n as usize {
+                    assert_ne!(cols[r1], cols[r2], "column clash n={n}");
+                    let dr = (r2 - r1) as u64;
+                    assert_ne!(cols[r1] + dr, cols[r2], "diagonal clash n={n}");
+                    assert_ne!(cols[r2] + dr, cols[r1], "anti-diagonal clash n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_shape_matches_the_paper() {
+        let p = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Fibonacci, 4, 2) };
+        let prog = fig7_program(&p);
+        // W secret conditionals, nested W-1 deep.
+        assert_eq!(prog.secret_depth(), 4);
+        let r = run_wir(&prog, &BTreeMap::new()).expect("runs");
+        // All secrets 0: both iterations run workload W+1 only.
+        assert_ne!(r.outputs[0], 0);
+    }
+
+    #[test]
+    fn fig7_selects_by_secret() {
+        // With secret bit k set, workload k runs; results differ from the
+        // all-zero case because the sink accumulates across iterations.
+        let base = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Quicksort, 3, 1) };
+        let r0 = run_wir(&fig7_program(&base), &BTreeMap::new()).unwrap();
+        for bit in 0..3 {
+            let p = MicroParams { secrets: 1 << bit, ..base };
+            let r = run_wir(&fig7_program(&p), &BTreeMap::new()).unwrap();
+            // Different instances have different scratch tags but the
+            // same parameters, so outputs can coincide; at minimum the
+            // program must terminate cleanly.
+            let _ = (&r0, r);
+        }
+    }
+
+    #[test]
+    fn workload_step_counts_grow_with_scale() {
+        for kind in [WorkloadKind::Fibonacci, WorkloadKind::Ones, WorkloadKind::Quicksort] {
+            let small = {
+                let mut b = WirBuilder::new();
+                let sink = b.var("sink", 0);
+                let stmts = emit_workload(&mut b, kind, 8, "t", sink);
+                for s in stmts {
+                    b.push(s);
+                }
+                run_wir(&b.build(), &BTreeMap::new()).unwrap().steps
+            };
+            let large = {
+                let mut b = WirBuilder::new();
+                let sink = b.var("sink", 0);
+                let stmts = emit_workload(&mut b, kind, 32, "t", sink);
+                for s in stmts {
+                    b.push(s);
+                }
+                run_wir(&b.build(), &BTreeMap::new()).unwrap().steps
+            };
+            assert!(large > small, "{}: {large} !> {small}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # sempe — Secure Multi Path Execution
+//!
+//! A from-scratch reproduction of *"SeMPE: Secure Multi Path Execution
+//! Architecture for Removing Conditional Branch Side Channels"*
+//! (Mondelli, Gazzillo, Solihin — DAC 2021): a hardware/software
+//! mechanism that removes the secret-dependent behavior of conditional
+//! branches (SDBCB) by fetching, executing and committing **both paths**
+//! of every secret-annotated branch.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`isa`] | the SIR instruction set: SecPrefix encoding, assembler, reference interpreters |
+//! | [`core`] | the SeMPE mechanisms: jump-back table, ArchRS snapshots, scratchpad, trace analysis |
+//! | [`sim`] | the cycle-level out-of-order pipeline (Table II configuration) |
+//! | [`compile`] | the workload IR and the Baseline / Sempe / Cte code generators |
+//! | [`workloads`] | the paper's microbenchmarks, the djpeg-like decoder, RSA modexp |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sempe::compile::{compile, Backend};
+//! use sempe::sim::{SimConfig, Simulator};
+//! use sempe::workloads::rsa::{modexp_program, modexp_reference, ModexpParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ModexpParams::default();
+//! let cw = compile(&modexp_program(&params), Backend::Sempe)?;
+//! let mut sim = Simulator::new(cw.program(), SimConfig::paper())?;
+//! sim.run(100_000_000)?;
+//! assert_eq!(cw.read_outputs(sim.mem()), vec![modexp_reference(&params)]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable demonstrations (including the timing
+//! attack against the unprotected baseline) and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use sempe_compile as compile;
+pub use sempe_core as core;
+pub use sempe_isa as isa;
+pub use sempe_sim as sim;
+pub use sempe_workloads as workloads;

@@ -1,0 +1,102 @@
+//! End-to-end attack demonstrations: the adversary models from
+//! `sempe_core::attack` pointed at real pipeline traces. The same secure
+//! binary is attacked on a legacy pipeline (where the SecPrefix is
+//! ignored and the key-bit branch trains the predictor) and on a SeMPE
+//! pipeline (where it does not exist as far as the predictor knows).
+
+use sempe::compile::{compile, Backend};
+use sempe::core::attack::{branch_outcome_history, BranchProfileAttacker, TimingAttacker};
+use sempe::isa::DecodeMode;
+use sempe::sim::{SimConfig, Simulator};
+use sempe::workloads::rsa::{modexp_program, ModexpParams};
+
+const FUEL: u64 = 100_000_000;
+
+/// Locate the key-bit branch: the unique sJMP in the compiled binary.
+fn sjmp_pc(cw: &sempe::compile::CompiledWorkload) -> u64 {
+    let decoded = cw.program().decoded(DecodeMode::Sempe).expect("decodes");
+    let mut sjmps = decoded.iter().filter(|(_, i)| i.is_sjmp());
+    let (pc, _) = sjmps.next().expect("modexp contains the secret branch");
+    assert!(sjmps.next().is_none(), "expected exactly one secret branch");
+    pc
+}
+
+fn traced(cw: &sempe::compile::CompiledWorkload, config: SimConfig) -> sempe::core::ObservationTrace {
+    let mut sim = Simulator::new(cw.program(), config.with_trace()).expect("sim");
+    sim.run(FUEL).expect("halts");
+    sim.trace().clone()
+}
+
+/// The branch-predictor attacker recovers the full key, bit for bit,
+/// from a legacy-pipeline run of the *secure* binary — and is struck
+/// blind by the SeMPE pipeline running the identical bytes.
+#[test]
+fn predictor_attacker_recovers_the_key_on_legacy_only() {
+    for key in [0b1011_0110u64, 0b0000_0001, 0b1111_0000] {
+        let p = ModexpParams { exponent: key, bits: 8, ..ModexpParams::default() };
+        let cw = compile(&modexp_program(&p), Backend::Sempe).expect("compiles");
+        let branch = sjmp_pc(&cw);
+
+        // Legacy pipeline: the prefix is a hint byte; the branch trains
+        // the shared predictor and the attacker reads the key.
+        let trace = traced(&cw, SimConfig::baseline());
+        let recovered = BranchProfileAttacker::recover_key(&trace, branch);
+        assert_eq!(recovered, key, "predictor channel must recover the key on legacy");
+
+        // SeMPE pipeline, same bytes: the predictor never hears about the
+        // branch.
+        let trace = traced(&cw, SimConfig::paper());
+        assert!(
+            branch_outcome_history(&trace, branch).is_empty(),
+            "sJMP must never update the predictor"
+        );
+        assert_eq!(BranchProfileAttacker::recover_key(&trace, branch), 0);
+    }
+}
+
+/// The calibrated timing attacker distinguishes keys by Hamming weight
+/// on the baseline and cannot distinguish anything under SeMPE.
+#[test]
+fn timing_attacker_is_blinded_by_sempe() {
+    let keys: [(&'static str, u64); 3] = [("light", 0x01), ("medium", 0x0F), ("heavy", 0xFF)];
+
+    // Baseline calibration + classification.
+    let mut baseline_attacker = TimingAttacker::new();
+    let mut baseline_traces = Vec::new();
+    for (label, key) in keys {
+        let p = ModexpParams { exponent: key, ..ModexpParams::default() };
+        let cw = compile(&modexp_program(&p), Backend::Baseline).expect("compiles");
+        let t = traced(&cw, SimConfig::baseline());
+        baseline_attacker.calibrate(label, &t);
+        baseline_traces.push((label, t));
+    }
+    assert!(baseline_attacker.can_distinguish(), "baseline profiles must differ");
+    for (label, t) in &baseline_traces {
+        assert_eq!(
+            baseline_attacker.classify(t),
+            Some(*label),
+            "baseline observation must classify correctly"
+        );
+    }
+
+    // SeMPE: every profile coincides; the attacker has nothing.
+    let mut sempe_attacker = TimingAttacker::new();
+    for (label, key) in keys {
+        let p = ModexpParams { exponent: key, ..ModexpParams::default() };
+        let cw = compile(&modexp_program(&p), Backend::Sempe).expect("compiles");
+        sempe_attacker.calibrate(label, &traced(&cw, SimConfig::paper()));
+    }
+    assert!(!sempe_attacker.can_distinguish(), "SeMPE profiles must coincide");
+}
+
+/// The predictor-update histogram itself (which branches exist, how often
+/// each trains) is secret-independent under SeMPE.
+#[test]
+fn predictor_histogram_is_secret_independent_under_sempe() {
+    let histo = |key: u64| {
+        let p = ModexpParams { exponent: key, ..ModexpParams::default() };
+        let cw = compile(&modexp_program(&p), Backend::Sempe).expect("compiles");
+        BranchProfileAttacker::update_histogram(&traced(&cw, SimConfig::paper()))
+    };
+    assert_eq!(histo(0x00), histo(0xFF));
+}

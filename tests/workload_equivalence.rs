@@ -1,0 +1,89 @@
+//! Workspace-level integration: every shipped workload, compiled by every
+//! backend, executed on every engine, agrees with the WIR oracle.
+
+use std::collections::BTreeMap;
+
+use sempe::compile::{compile, run_wir, Backend};
+use sempe::isa::interp::{Interp, InterpMode};
+use sempe::sim::{SimConfig, Simulator};
+use sempe::workloads::djpeg::{djpeg_program, DjpegParams, OutputFormat};
+use sempe::workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+use sempe::workloads::rsa::{modexp_program, modexp_reference, ModexpParams};
+
+const FUEL: u64 = 200_000_000;
+
+fn check_program(prog: &sempe::compile::WirProgram, label: &str) {
+    let want = run_wir(prog, &BTreeMap::new()).expect("oracle runs").outputs;
+    for backend in [Backend::Baseline, Backend::Sempe, Backend::Cte] {
+        let cw = compile(prog, backend).expect("compiles");
+        // Legacy interpreter.
+        let mut m = Interp::new(cw.program(), InterpMode::Legacy).expect("interp");
+        m.run(FUEL).expect("halts");
+        assert_eq!(cw.read_outputs(m.mem()), want, "{label}: {backend} on legacy interp");
+        // Functional SeMPE interpreter for the Sempe backend.
+        if backend == Backend::Sempe {
+            let mut m = Interp::new(cw.program(), InterpMode::SempeFunctional).expect("interp");
+            m.run(FUEL).expect("halts");
+            assert_eq!(cw.read_outputs(m.mem()), want, "{label}: sempe functional");
+        }
+        // Cycle-level simulator (matching mode).
+        let config = match backend {
+            Backend::Sempe => SimConfig::paper(),
+            _ => SimConfig::baseline(),
+        };
+        let mut sim = Simulator::new(cw.program(), config).expect("sim");
+        sim.run(FUEL).expect("halts");
+        assert_eq!(cw.read_outputs(sim.mem()), want, "{label}: {backend} on simulator");
+    }
+}
+
+#[test]
+fn microbenchmarks_agree_everywhere() {
+    for kind in WorkloadKind::ALL {
+        for (w, secrets) in [(1usize, 0u64), (2, 0b01), (3, 0b110)] {
+            let p = MicroParams {
+                scale: match kind {
+                    WorkloadKind::Quicksort => 8,
+                    WorkloadKind::Queens => 4,
+                    _ => 12,
+                },
+                iters: 1,
+                secrets,
+                ..MicroParams::new(kind, w, 1)
+            };
+            check_program(&fig7_program(&p), &format!("{} W={w}", kind.name()));
+        }
+    }
+}
+
+#[test]
+fn djpeg_agrees_everywhere() {
+    for format in OutputFormat::ALL {
+        let p = DjpegParams { format, blocks: 2, seed: 99 };
+        check_program(&djpeg_program(&p), format.name());
+    }
+}
+
+#[test]
+fn modexp_agrees_everywhere_and_matches_the_reference() {
+    for exponent in [0u64, 1, 0b1011_0110, 0xFFFF] {
+        let p = ModexpParams { exponent, bits: 16, ..ModexpParams::default() };
+        let prog = modexp_program(&p);
+        let oracle = run_wir(&prog, &BTreeMap::new()).expect("runs").outputs;
+        assert_eq!(oracle, vec![modexp_reference(&p)], "oracle vs host reference");
+        check_program(&prog, &format!("modexp e={exponent:#x}"));
+    }
+}
+
+#[test]
+fn sempe_binaries_run_correctly_on_legacy_pipelines() {
+    // Bidirectional backward compatibility at the workload level: the
+    // SeMPE-annotated binary on a legacy (baseline) pipeline.
+    let p = MicroParams { scale: 8, ..MicroParams::new(WorkloadKind::Ones, 2, 1) };
+    let prog = fig7_program(&p);
+    let want = run_wir(&prog, &BTreeMap::new()).expect("oracle").outputs;
+    let cw = compile(&prog, Backend::Sempe).expect("compiles");
+    let mut sim = Simulator::new(cw.program(), SimConfig::baseline()).expect("sim");
+    sim.run(FUEL).expect("halts");
+    assert_eq!(cw.read_outputs(sim.mem()), want);
+}
