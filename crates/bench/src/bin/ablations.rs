@@ -15,6 +15,7 @@
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin ablations`
 
+use sempe_bench::par_map;
 use sempe_compile::{compile, Backend};
 use sempe_isa::reg::NUM_ARCH_REGS;
 use sempe_sim::{SimConfig, Simulator};
@@ -36,17 +37,60 @@ fn main() {
     let prog = fig7_program(&p);
     let cw_base = compile(&prog, Backend::Baseline).expect("compiles");
     let cw = compile(&prog, Backend::Sempe).expect("compiles");
-    let baseline_cycles = measure(&cw_base, SimConfig::baseline());
-    let reference = measure(&cw, SimConfig::paper());
+
+    // Build every variant configuration up front and measure the whole
+    // set concurrently; printing then just walks the results in order.
+    // A job is (run the baseline binary?, simulator configuration).
+    let mut jobs: Vec<(bool, SimConfig)> =
+        vec![(true, SimConfig::baseline()), (false, SimConfig::paper())];
+
+    let tputs = [8u64, 16, 32, 64, 128, 256];
+    for tput in tputs {
+        let mut config = SimConfig::paper();
+        config.sempe.spm.throughput_bytes_per_cycle = tput;
+        jobs.push((false, config));
+    }
+
+    let reg_policies = [("ArchRS", NUM_ARCH_REGS), ("PhyRS", 512)];
+    for (_, regs) in reg_policies {
+        let mut config = SimConfig::paper();
+        // Scale the per-snapshot footprint with the register count and
+        // give PhyRS enough scratchpad for the same nesting depth (the
+        // paper's point is the *spill traffic*, not capacity).
+        let per_reg = config.sempe.spm.snapshot_bytes / NUM_ARCH_REGS;
+        config.sempe.spm.snapshot_bytes = per_reg * regs;
+        config.sempe.spm.size_bytes = config.sempe.spm.snapshot_bytes * 30;
+        jobs.push((false, config));
+    }
+
+    let drain_policies = [("3 drains (paper)", true), ("drainless", false)];
+    for (_, drains) in drain_policies {
+        let mut config = SimConfig::paper();
+        config.sempe.drains_enabled = drains;
+        jobs.push((false, config));
+    }
+
+    let merge_policies = [("constant-time", true), ("outcome-dependent", false)];
+    for (_, ct) in merge_policies {
+        let mut config = SimConfig::paper();
+        config.sempe.constant_time_merge = ct;
+        jobs.push((false, config));
+    }
+
+    let cycles = par_map(&jobs, |&(use_base, config)| {
+        measure(if use_base { &cw_base } else { &cw }, config)
+    });
+    let baseline_cycles = cycles[0];
+    let reference = cycles[1];
+    let mut next = cycles.iter().skip(2);
+
     println!("Ablations on fibonacci W=6 (baseline {baseline_cycles} cycles, SeMPE reference {reference})");
     println!();
 
     println!("1) Scratchpad throughput sweep (Table II: 64 B/cycle)");
     println!("{:>12} {:>12} {:>10} {:>12}", "B/cycle", "cycles", "slowdown", "vs 64B/c");
-    for tput in [8u64, 16, 32, 64, 128, 256] {
-        let mut config = SimConfig::paper();
-        config.sempe.spm.throughput_bytes_per_cycle = tput;
-        let cycles = measure(&cw, config);
+    for tput in tputs {
+        let cycles = *next.next().expect("job per variant");
         println!(
             "{:>12} {:>12} {:>9.2}x {:>+11.1}%",
             tput,
@@ -58,15 +102,8 @@ fn main() {
     println!();
 
     println!("2) Snapshot policy: ArchRS (48 architectural) vs PhyRS (512 physical)");
-    for (label, regs) in [("ArchRS", NUM_ARCH_REGS), ("PhyRS", 512)] {
-        let mut config = SimConfig::paper();
-        // Scale the per-snapshot footprint with the register count and
-        // give PhyRS enough scratchpad for the same nesting depth (the
-        // paper's point is the *spill traffic*, not capacity).
-        let per_reg = config.sempe.spm.snapshot_bytes / NUM_ARCH_REGS;
-        config.sempe.spm.snapshot_bytes = per_reg * regs;
-        config.sempe.spm.size_bytes = config.sempe.spm.snapshot_bytes * 30;
-        let cycles = measure(&cw, config);
+    for (label, regs) in reg_policies {
+        let cycles = *next.next().expect("job per variant");
         println!(
             "{:>12} {:>12} cycles {:>9.2}x baseline ({} regs/snapshot)",
             label,
@@ -78,10 +115,8 @@ fn main() {
     println!();
 
     println!("3) Pipeline drains (Figure 6) — drainless is INSECURE, shown for cost only");
-    for (label, drains) in [("3 drains (paper)", true), ("drainless", false)] {
-        let mut config = SimConfig::paper();
-        config.sempe.drains_enabled = drains;
-        let cycles = measure(&cw, config);
+    for (label, _) in drain_policies {
+        let cycles = *next.next().expect("job per variant");
         println!(
             "{:>18} {:>12} cycles {:>9.2}x baseline",
             label,
@@ -92,10 +127,8 @@ fn main() {
     println!();
 
     println!("4) Constant-time merge — skipping SPM reads on taken outcomes is INSECURE");
-    for (label, ct) in [("constant-time", true), ("outcome-dependent", false)] {
-        let mut config = SimConfig::paper();
-        config.sempe.constant_time_merge = ct;
-        let cycles = measure(&cw, config);
+    for (label, _) in merge_policies {
+        let cycles = *next.next().expect("job per variant");
         println!(
             "{:>18} {:>12} cycles {:>9.2}x baseline",
             label,
@@ -107,13 +140,17 @@ fn main() {
 
     println!("5) jbTable depth vs deepest supported nesting (W=depth microbenchmark)");
     println!("{:>8} {:>24}", "entries", "W=6 nest result");
-    for entries in [4usize, 6, 8, 30] {
+    let depths = [4usize, 6, 8, 30];
+    let outcomes = par_map(&depths, |&entries| {
         let mut config = SimConfig::paper();
         config.sempe.jbtable_entries = entries;
         let mut sim = Simulator::new(cw.program(), config).expect("sim builds");
-        match sim.run(u64::MAX) {
-            Ok(r) => println!("{:>8} {:>20} cycles", entries, r.cycles()),
-            Err(e) => println!("{:>8} fault: {e}", entries),
+        sim.run(u64::MAX).map(|r| r.cycles()).map_err(|e| e.to_string())
+    });
+    for (entries, outcome) in depths.iter().zip(&outcomes) {
+        match outcome {
+            Ok(cycles) => println!("{entries:>8} {cycles:>20} cycles"),
+            Err(e) => println!("{entries:>8} fault: {e}"),
         }
     }
 }

@@ -10,7 +10,7 @@
 //! (`--full` sweeps every W in 1..=10 at larger scales; the default
 //! sweep uses W ∈ {1,2,4,6,8,10} at small scales).
 
-use sempe_bench::{run_backend, BackendRun};
+use sempe_bench::{par_map, run_backend, BackendRun, RunOutcome};
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 
 fn scale_for(kind: WorkloadKind, full: bool) -> u32 {
@@ -34,7 +34,23 @@ fn main() {
     println!("Figure 10a: microbenchmark slowdown vs nesting depth W (log-scale data)");
     println!("paper reference: SeMPE 8.4-10.6x at W=10; FaCT 3-32x at W=1, 12.9-187.3x at W=10");
     println!();
+    // One flat (kind × W × backend) job grid — a single fan-out keeps
+    // one worker per core instead of nesting parallel regions.
+    let configs: Vec<(WorkloadKind, usize)> =
+        WorkloadKind::ALL.iter().flat_map(|&kind| ws.iter().map(move |&w| (kind, w))).collect();
+    let jobs: Vec<(usize, BackendRun)> =
+        (0..configs.len()).flat_map(|i| BackendRun::ALL.map(|which| (i, which))).collect();
+    let runs: Vec<RunOutcome> = par_map(&jobs, |&(i, which)| {
+        let (kind, w) = configs[i];
+        let scale = scale_for(kind, full);
+        let p = MicroParams { scale, iters, secrets: 0, ..MicroParams::new(kind, w, iters) };
+        run_backend(&fig7_program(&p), which, u64::MAX)
+    });
+    let results: Vec<[&RunOutcome; 3]> =
+        (0..configs.len()).map(|i| [&runs[3 * i], &runs[3 * i + 1], &runs[3 * i + 2]]).collect();
+
     let mut max_ratio = 0.0f64;
+    let mut rows = configs.iter().zip(&results);
     for kind in WorkloadKind::ALL {
         let scale = scale_for(kind, full);
         println!(
@@ -47,11 +63,7 @@ fn main() {
             "CTE/SeMPE"
         );
         for &w in &ws {
-            let p = MicroParams { scale, iters, secrets: 0, ..MicroParams::new(kind, w, iters) };
-            let prog = fig7_program(&p);
-            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
-            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
-            let cte = run_backend(&prog, BackendRun::Cte, u64::MAX);
+            let (_, [base, sempe, cte]) = rows.next().expect("row per config");
             assert_eq!(base.outputs, sempe.outputs, "{} W={w} sempe mismatch", kind.name());
             assert_eq!(base.outputs, cte.outputs, "{} W={w} cte mismatch", kind.name());
             let sx = sempe.cycles as f64 / base.cycles as f64;

@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin fig10b [--full]`
 
-use sempe_bench::{ideal_cycles_micro, run_backend, BackendRun};
+use sempe_bench::{ideal_cycles_micro, par_map, run_backend, BackendRun};
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 
 fn main() {
@@ -25,22 +25,36 @@ fn main() {
         "{:10} {:>2} {:>10} {:>10} {:>11}",
         "workload", "W", "measured", "ideal", "normalized"
     );
-    for kind in WorkloadKind::ALL {
-        let scale = match kind {
-            WorkloadKind::Quicksort => 16,
-            WorkloadKind::Queens => 4,
-            WorkloadKind::Fibonacci => 96,
-            WorkloadKind::Ones => 64,
+    let scale_of = |kind: WorkloadKind| match kind {
+        WorkloadKind::Quicksort => 16,
+        WorkloadKind::Queens => 4,
+        WorkloadKind::Fibonacci => 96,
+        WorkloadKind::Ones => 64,
+    };
+    let configs: Vec<(WorkloadKind, usize)> =
+        WorkloadKind::ALL.iter().flat_map(|&kind| ws.iter().map(move |&w| (kind, w))).collect();
+    // Each config needs a baseline run, a SeMPE run, and the W+1 ideal
+    // paths; every config is independent, so fan the whole grid out.
+    let results = par_map(&configs, |&(kind, w)| {
+        let p = MicroParams {
+            scale: scale_of(kind),
+            iters,
+            secrets: 0,
+            ..MicroParams::new(kind, w, iters)
         };
+        let prog = fig7_program(&p);
+        let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
+        let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+        let measured = sempe.cycles as f64 / base.cycles as f64;
+        // The ideal per the paper: the sum of every path's own
+        // baseline execution time over the measured path's time.
+        (measured, ideal_cycles_micro(&p))
+    });
+
+    let mut rows = configs.iter().zip(&results);
+    for kind in WorkloadKind::ALL {
         for &w in &ws {
-            let p = MicroParams { scale, iters, secrets: 0, ..MicroParams::new(kind, w, iters) };
-            let prog = fig7_program(&p);
-            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
-            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
-            let measured = sempe.cycles as f64 / base.cycles as f64;
-            // The ideal per the paper: the sum of every path's own
-            // baseline execution time over the measured path's time.
-            let ideal = ideal_cycles_micro(&p);
+            let (_, &(measured, ideal)) = rows.next().expect("row per config");
             println!(
                 "{:10} {:>2} {:>9.2}x {:>9.2}x {:>11.3}",
                 kind.name(),

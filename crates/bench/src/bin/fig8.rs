@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin fig8 [--large]`
 
-use sempe_bench::{run_backend, BackendRun};
+use sempe_bench::{par_map, run_backend, BackendRun};
 use sempe_workloads::djpeg::{djpeg_program, DjpegParams, OutputFormat};
 
 fn main() {
@@ -24,23 +24,35 @@ fn main() {
         "{:6} {:>10} {:>14} {:>14} {:>10}",
         "format", "blocks", "base cycles", "sempe cycles", "overhead"
     );
-    for format in OutputFormat::ALL {
-        for &blocks in sizes {
-            let p = DjpegParams { format, blocks, seed: 0xDEC0DE };
-            let prog = djpeg_program(&p);
-            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
-            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
-            assert_eq!(base.outputs, sempe.outputs, "decode result mismatch");
-            let overhead = (sempe.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
-            println!(
-                "{:6} {:>10} {:>14} {:>14} {:>9.1}%",
-                format.name(),
-                blocks,
-                base.cycles,
-                sempe.cycles,
-                overhead
-            );
+
+    // All (format × size × backend) runs are independent: fan them out.
+    let configs: Vec<(OutputFormat, usize)> = OutputFormat::ALL
+        .iter()
+        .flat_map(|&format| sizes.iter().map(move |&blocks| (format, blocks)))
+        .collect();
+    let jobs: Vec<(usize, BackendRun)> = (0..configs.len())
+        .flat_map(|i| [(i, BackendRun::Baseline), (i, BackendRun::Sempe)])
+        .collect();
+    let runs = par_map(&jobs, |&(i, which)| {
+        let (format, blocks) = configs[i];
+        let p = DjpegParams { format, blocks, seed: 0xDEC0DE };
+        run_backend(&djpeg_program(&p), which, u64::MAX)
+    });
+
+    for (i, &(format, blocks)) in configs.iter().enumerate() {
+        let (base, sempe) = (&runs[2 * i], &runs[2 * i + 1]);
+        assert_eq!(base.outputs, sempe.outputs, "decode result mismatch");
+        let overhead = (sempe.cycles as f64 / base.cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{:6} {:>10} {:>14} {:>14} {:>9.1}%",
+            format.name(),
+            blocks,
+            base.cycles,
+            sempe.cycles,
+            overhead
+        );
+        if blocks == *sizes.last().expect("nonempty sizes") {
+            println!();
         }
-        println!();
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin fig9 [--large]`
 
-use sempe_bench::{run_backend, BackendRun};
+use sempe_bench::{par_map, run_backend, BackendRun};
 use sempe_workloads::djpeg::{djpeg_program, DjpegParams, OutputFormat};
 
 fn main() {
@@ -20,12 +20,25 @@ fn main() {
         "{:6} {:>7} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
         "format", "blocks", "IL1 b", "IL1 s", "DL1 b", "DL1 s", "L2 b", "L2 s"
     );
+
+    let jobs: Vec<(OutputFormat, usize, BackendRun)> = OutputFormat::ALL
+        .iter()
+        .flat_map(|&format| {
+            sizes.iter().flat_map(move |&blocks| {
+                [(format, blocks, BackendRun::Baseline), (format, blocks, BackendRun::Sempe)]
+            })
+        })
+        .collect();
+    let runs = par_map(&jobs, |&(format, blocks, which)| {
+        let p = DjpegParams { format, blocks, seed: 0xDEC0DE };
+        run_backend(&djpeg_program(&p), which, u64::MAX)
+    });
+
+    let mut next = runs.iter();
     for format in OutputFormat::ALL {
         for &blocks in sizes {
-            let p = DjpegParams { format, blocks, seed: 0xDEC0DE };
-            let prog = djpeg_program(&p);
-            let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
-            let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
+            let base = next.next().expect("job per config");
+            let sempe = next.next().expect("job per config");
             let pct = |r: f64| format!("{:.3}%", r * 100.0);
             println!(
                 "{:6} {:>7} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",

@@ -1,0 +1,139 @@
+//! `sim_throughput` — host-side performance of the simulator itself.
+//!
+//! Reports simulated cycles per host second (and host MIPS of committed
+//! instructions) for the micro and RSA workloads across the three
+//! backends, and writes `BENCH_sim_throughput.json` so successive PRs
+//! can track the simulator's performance trajectory.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin sim_throughput [--quick]`
+
+use std::time::Instant;
+
+use sempe_bench::{run_backend, BackendRun};
+use sempe_compile::wir::WirProgram;
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+use sempe_workloads::rsa::{modexp_program, ModexpParams};
+
+struct Row {
+    workload: &'static str,
+    group: &'static str,
+    backend: &'static str,
+    sim_cycles: u64,
+    committed: u64,
+    host_secs: f64,
+}
+
+impl Row {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.host_secs
+    }
+
+    fn mips(&self) -> f64 {
+        self.committed as f64 / self.host_secs / 1e6
+    }
+}
+
+fn backend_name(which: BackendRun) -> &'static str {
+    match which {
+        BackendRun::Baseline => "baseline",
+        BackendRun::Sempe => "sempe",
+        BackendRun::Cte => "cte",
+    }
+}
+
+fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps: u32) -> Vec<Row> {
+    BackendRun::ALL
+        .iter()
+        .map(|&which| {
+            // One warm-up run (pays compilation and page faults), then
+            // `reps` timed runs of the full simulation.
+            let warm = run_backend(prog, which, u64::MAX);
+            let start = Instant::now();
+            let mut sim_cycles = 0u64;
+            let mut committed = 0u64;
+            for _ in 0..reps {
+                let out = run_backend(prog, which, u64::MAX);
+                sim_cycles += out.cycles;
+                committed += out.committed;
+            }
+            let host_secs = start.elapsed().as_secs_f64().max(1e-9);
+            assert_eq!(warm.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
+            Row { workload, group, backend: backend_name(which), sim_cycles, committed, host_secs }
+        })
+        .collect()
+}
+
+fn json_escape(rows: &[Row], micro_kcps: f64, overall_kcps: f64) -> String {
+    let mut s = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"simulated_cycles_per_host_second\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"group\": \"{}\", \"backend\": \"{}\", \"sim_cycles\": {}, \"committed\": {}, \"host_secs\": {:.6}, \"cycles_per_sec\": {:.0}, \"mips\": {:.3}}}{}\n",
+            r.workload,
+            r.group,
+            r.backend,
+            r.sim_cycles,
+            r.committed,
+            r.host_secs,
+            r.cycles_per_sec(),
+            r.mips(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"micro_cycles_per_sec\": {micro_kcps:.0},\n  \"overall_cycles_per_sec\": {overall_kcps:.0}\n}}\n"
+    ));
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 2 } else { 5 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for kind in WorkloadKind::ALL {
+        // Queens is exponential in its board size; the others are
+        // (near-)linear in scale. Sized so each run stays in the
+        // hundreds-of-thousands-of-cycles range.
+        let scale = match kind {
+            WorkloadKind::Queens => 5,
+            _ => 16,
+        };
+        let p = MicroParams { scale, secrets: 0b01, ..MicroParams::new(kind, 2, 4) };
+        rows.extend(measure(kind.name(), "micro", &fig7_program(&p), reps));
+    }
+    let rsa = ModexpParams { bits: 16, exponent: 0xB6B6, ..ModexpParams::default() };
+    rows.extend(measure("rsa-modexp16", "rsa", &modexp_program(&rsa), reps));
+
+    println!(
+        "{:14} {:9} {:>12} {:>10} {:>14} {:>8}",
+        "workload", "backend", "sim cycles", "host ms", "cycles/sec", "MIPS"
+    );
+    for r in &rows {
+        println!(
+            "{:14} {:9} {:>12} {:>10.2} {:>14.0} {:>8.3}",
+            r.workload,
+            r.backend,
+            r.sim_cycles,
+            r.host_secs * 1e3,
+            r.cycles_per_sec(),
+            r.mips()
+        );
+    }
+
+    let agg = |pred: &dyn Fn(&Row) -> bool| -> f64 {
+        let (c, t) = rows
+            .iter()
+            .filter(|r| pred(r))
+            .fold((0u64, 0f64), |(c, t), r| (c + r.sim_cycles, t + r.host_secs));
+        c as f64 / t.max(1e-9)
+    };
+    let micro = agg(&|r| r.group == "micro");
+    let overall = agg(&|_| true);
+    println!();
+    println!("micro aggregate:   {micro:>14.0} simulated cycles/sec");
+    println!("overall aggregate: {overall:>14.0} simulated cycles/sec");
+
+    std::fs::write("BENCH_sim_throughput.json", json_escape(&rows, micro, overall))
+        .expect("write BENCH_sim_throughput.json");
+    println!("\nwrote BENCH_sim_throughput.json");
+}

@@ -8,25 +8,30 @@
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin table1`
 
-use sempe_bench::{run_backend, BackendRun};
+use sempe_bench::{par_map, run_backend, BackendRun};
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 
 fn main() {
     // Measure the worst observed overhead for SeMPE and CTE over the
-    // microbenchmark sweep the paper quotes (deep nesting, W = 10).
-    let mut sempe_worst = 0.0f64;
-    let mut cte_worst = 0.0f64;
-    for kind in WorkloadKind::ALL {
+    // microbenchmark sweep the paper quotes (deep nesting, W = 10),
+    // as one flat (workload × backend) fan-out.
+    let jobs: Vec<(WorkloadKind, BackendRun)> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&kind| BackendRun::ALL.map(|which| (kind, which)))
+        .collect();
+    let runs = par_map(&jobs, |&(kind, which)| {
         let scale = match kind {
             WorkloadKind::Quicksort => 16,
             WorkloadKind::Queens => 4,
             _ => 32,
         };
         let p = MicroParams { scale, iters: 2, secrets: 0, ..MicroParams::new(kind, 10, 2) };
-        let prog = fig7_program(&p);
-        let base = run_backend(&prog, BackendRun::Baseline, u64::MAX);
-        let sempe = run_backend(&prog, BackendRun::Sempe, u64::MAX);
-        let cte = run_backend(&prog, BackendRun::Cte, u64::MAX);
+        run_backend(&fig7_program(&p), which, u64::MAX)
+    });
+    let mut sempe_worst = 0.0f64;
+    let mut cte_worst = 0.0f64;
+    for runs in runs.chunks(3) {
+        let [base, sempe, cte] = runs else { unreachable!("three backends per workload") };
         sempe_worst = sempe_worst.max(sempe.cycles as f64 / base.cycles as f64);
         cte_worst = cte_worst.max(cte.cycles as f64 / base.cycles as f64);
     }
@@ -41,10 +46,7 @@ fn main() {
         "{:24} {:>14} {:>14} {:>12} {:>12}",
         "approach", "elim. branch", "equalize path", "exec both", "exec both"
     );
-    println!(
-        "{:24} {:>14} {:>14} {:>12} {:>12}",
-        "technique", "SW", "HW/SW", "SW", "HW/SW"
-    );
+    println!("{:24} {:>14} {:>14} {:>12} {:>12}", "technique", "SW", "HW/SW", "SW", "HW/SW");
     println!(
         "{:24} {:>14} {:>14} {:>12} {:>12}",
         "programming complexity", "High", "Low", "Low", "Low"
@@ -53,14 +55,8 @@ fn main() {
         "{:24} {:>13.1}x {:>13}x {:>11}x {:>11.1}x",
         "measured/reported ovh.", cte_worst, "1,987", "452", sempe_worst
     );
-    println!(
-        "{:24} {:>14} {:>14} {:>12} {:>12}",
-        "simple architecture", "Yes", "No", "Yes", "Yes"
-    );
-    println!(
-        "{:24} {:>14} {:>14} {:>12} {:>12}",
-        "backward compatible?", "Yes", "No", "No", "Yes"
-    );
+    println!("{:24} {:>14} {:>14} {:>12} {:>12}", "simple architecture", "Yes", "No", "Yes", "Yes");
+    println!("{:24} {:>14} {:>14} {:>12} {:>12}", "backward compatible?", "Yes", "No", "No", "Yes");
     println!();
     println!("* GhostRider and Raccoon overheads are the paper's reported worst cases;");
     println!("  CTE and SeMPE are measured on this reproduction (W=10 microbenchmarks).");

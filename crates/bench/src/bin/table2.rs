@@ -27,27 +27,15 @@ fn main() {
         ("load issue", format!("{} loads / cycle", c.core.load_issue_width)),
         ("retire", format!("{} uops / cycle", c.core.retire_width)),
         ("reorder buffer (ROB)", format!("{} uops", c.core.rob_entries)),
-        (
-            "physical registers",
-            format!("{} INT, {} FP", c.core.int_phys_regs, c.core.fp_phys_regs),
-        ),
+        ("physical registers", format!("{} INT, {} FP", c.core.int_phys_regs, c.core.fp_phys_regs)),
         (
             "issue buffers",
             format!("{} INT / {} FP uops", c.core.int_iq_entries, c.core.fp_iq_entries),
         ),
         ("load/store queue", format!("{}+{} entries", c.core.lq_entries, c.core.sq_entries)),
-        (
-            "DL1 cache",
-            format!("{} KB, {}-way assoc.", c.mem.dl1.size_bytes / 1024, c.mem.dl1.ways),
-        ),
-        (
-            "IL1 cache",
-            format!("{} KB, {}-way assoc.", c.mem.il1.size_bytes / 1024, c.mem.il1.ways),
-        ),
-        (
-            "L2 cache",
-            format!("{} KB, {}-way assoc.", c.mem.l2.size_bytes / 1024, c.mem.l2.ways),
-        ),
+        ("DL1 cache", format!("{} KB, {}-way assoc.", c.mem.dl1.size_bytes / 1024, c.mem.dl1.ways)),
+        ("IL1 cache", format!("{} KB, {}-way assoc.", c.mem.il1.size_bytes / 1024, c.mem.il1.ways)),
+        ("L2 cache", format!("{} KB, {}-way assoc.", c.mem.l2.size_bytes / 1024, c.mem.l2.ways)),
         (
             "prefetcher",
             format!(
@@ -63,10 +51,7 @@ fn main() {
                 c.sempe.spm.max_snapshots()
             ),
         ),
-        (
-            "SPM throughput",
-            format!("{} Bytes/cycle R/W", c.sempe.spm.throughput_bytes_per_cycle),
-        ),
+        ("SPM throughput", format!("{} Bytes/cycle R/W", c.sempe.spm.throughput_bytes_per_cycle)),
         ("jbTable", format!("{} entries (LIFO)", c.sempe.jbtable_entries)),
     ];
     for (k, v) in rows {

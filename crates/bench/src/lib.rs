@@ -9,4 +9,4 @@
 
 pub mod runner;
 
-pub use runner::{ideal_counts, ideal_cycles_micro, run_backend, BackendRun, RunOutcome};
+pub use runner::{ideal_counts, ideal_cycles_micro, par_map, run_backend, BackendRun, RunOutcome};

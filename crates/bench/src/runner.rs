@@ -1,5 +1,7 @@
 //! Shared measurement utilities for the experiment harnesses.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use sempe_compile::{compile, Backend, WirProgram};
 use sempe_isa::interp::{Interp, InterpMode};
 use sempe_sim::{SimConfig, SimStats, Simulator};
@@ -59,6 +61,61 @@ pub fn run_backend(prog: &WirProgram, which: BackendRun, max_cycles: u64) -> Run
         stats: res.stats,
         outputs: cw.read_outputs(sim.mem()),
     }
+}
+
+/// Apply `f` to every item concurrently, preserving input order in the
+/// result. Each simulation is single-threaded and deterministic, so
+/// independent (backend × workload) runs parallelize perfectly; the
+/// figure/table harnesses use this to spread their sweeps across cores.
+///
+/// Work is claimed from an atomic counter, so long runs (e.g. a CTE
+/// Queens configuration) do not serialize behind a static partition.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic (a failed run is fatal to a sweep).
+pub fn par_map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = items.len();
+    let workers =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(&items[i])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(results) => {
+                    for (i, o) in results {
+                        out[i] = Some(o);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("every index claimed exactly once")).collect()
 }
 
 /// Instruction counts from the functional interpreters: `(true path only,

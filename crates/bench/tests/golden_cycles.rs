@@ -1,0 +1,69 @@
+//! Golden cycle-count regression tests.
+//!
+//! The hot-loop optimizations of the simulator (dense instruction fetch,
+//! event-queue completions, scratch-buffer stages, memory page cache)
+//! must preserve simulated timing **bit-for-bit**: they change how fast
+//! the host runs the model, never what the model computes. These tests
+//! pin the exact cycle count of every (workload × backend) pair below;
+//! any drift is a timing-model regression, not a tolerable delta.
+//!
+//! To regenerate after an *intentional* timing-model change:
+//!
+//! ```text
+//! SEMPE_PRINT_GOLDEN=1 cargo test -p sempe-bench --test golden_cycles -- --nocapture
+//! ```
+
+use sempe_bench::{run_backend, BackendRun};
+use sempe_compile::wir::WirProgram;
+use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
+use sempe_workloads::rsa::{modexp_program, ModexpParams};
+
+/// The pinned configurations: name, program, `[baseline, sempe, cte]`
+/// cycle counts.
+fn golden_table() -> Vec<(&'static str, WirProgram, [u64; 3])> {
+    let micro = |kind: WorkloadKind, scale: u32| {
+        fig7_program(&MicroParams { scale, secrets: 0b01, ..MicroParams::new(kind, 2, 2) })
+    };
+    vec![
+        ("micro/fibonacci", micro(WorkloadKind::Fibonacci, 8), [672, 2247, 3645]),
+        ("micro/ones", micro(WorkloadKind::Ones, 8), [980, 3101, 5504]),
+        ("micro/quicksort", micro(WorkloadKind::Quicksort, 8), [3272, 10541, 101948]),
+        ("micro/queens", micro(WorkloadKind::Queens, 4), [5354, 16605, 482535]),
+        ("rsa/modexp8", modexp_program(&ModexpParams::default()), [689, 1524, 756]),
+    ]
+}
+
+#[test]
+fn cycle_counts_are_bit_identical_to_golden() {
+    let print = std::env::var("SEMPE_PRINT_GOLDEN").is_ok();
+    let mut failures = Vec::new();
+    for (name, prog, golden) in golden_table() {
+        let mut got = [0u64; 3];
+        for (i, which) in BackendRun::ALL.iter().enumerate() {
+            got[i] = run_backend(&prog, *which, 200_000_000).cycles;
+        }
+        if print {
+            println!("(\"{name}\", ..., [{}, {}, {}]),", got[0], got[1], got[2]);
+        }
+        if got != golden {
+            failures.push(format!("{name}: golden {golden:?} != measured {got:?}"));
+        }
+    }
+    if !print {
+        assert!(failures.is_empty(), "timing drift detected:\n{}", failures.join("\n"));
+    }
+}
+
+/// The same program must also produce identical *architectural* results
+/// across backends — outputs are the cheap invariant that catches a
+/// functional (not timing) break in the fast paths.
+#[test]
+fn outputs_agree_across_backends() {
+    for (name, prog, _) in golden_table() {
+        let base = run_backend(&prog, BackendRun::Baseline, 200_000_000);
+        let sempe = run_backend(&prog, BackendRun::Sempe, 200_000_000);
+        let cte = run_backend(&prog, BackendRun::Cte, 200_000_000);
+        assert_eq!(base.outputs, sempe.outputs, "{name}: sempe output mismatch");
+        assert_eq!(base.outputs, cte.outputs, "{name}: cte output mismatch");
+    }
+}

@@ -198,11 +198,7 @@ impl<'p> Lowerer<'p> {
 
     /// Effective offset of a scalar under the current redirections.
     fn off(&self, v: VarId) -> i64 {
-        self.redirects
-            .iter()
-            .rev()
-            .find(|(rv, _)| *rv == v)
-            .map_or(self.base_off[v.0], |(_, o)| *o)
+        self.redirects.iter().rev().find(|(rv, _)| *rv == v).map_or(self.base_off[v.0], |(_, o)| *o)
     }
 
     /// Effective base address of an array under the current redirections.
@@ -310,7 +306,12 @@ impl<'p> Lowerer<'p> {
         Ok(())
     }
 
-    fn lower_masked_store(&mut self, arr: ArrId, idx: &Expr, val: &Expr) -> Result<(), CompileError> {
+    fn lower_masked_store(
+        &mut self,
+        arr: ArrId,
+        idx: &Expr,
+        val: &Expr,
+    ) -> Result<(), CompileError> {
         // Evaluate value then index before forming the address (a Load in
         // either would clobber the scratch address register), then blend:
         // t0 = value, t1 = mask, t2 = old.

@@ -163,10 +163,7 @@ impl<'a> Machine<'a> {
 /// # Errors
 ///
 /// [`WirError`] on out-of-bounds accesses or bound violations.
-pub fn run_wir(
-    prog: &WirProgram,
-    overrides: &BTreeMap<VarId, u64>,
-) -> Result<WirResult, WirError> {
+pub fn run_wir(prog: &WirProgram, overrides: &BTreeMap<VarId, u64>) -> Result<WirResult, WirError> {
     let mut vars = prog.var_init.clone();
     for (v, val) in overrides {
         vars[v.0] = *val;

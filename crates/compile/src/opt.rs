@@ -49,11 +49,8 @@ fn collapse_stmt(s: Stmt) -> (Stmt, usize) {
                 {
                     if inner_else.is_empty() {
                         count += 1;
-                        let combined = Expr::bin(
-                            BinOp::And,
-                            as_bool(cond),
-                            as_bool(inner_cond.clone()),
-                        );
+                        let combined =
+                            Expr::bin(BinOp::And, as_bool(cond), as_bool(inner_cond.clone()));
                         return (
                             Stmt::If {
                                 cond: combined,
@@ -195,12 +192,8 @@ mod tests {
             then_: vec![wb.assign(out, Expr::Const(3))],
             else_: vec![],
         };
-        let middle = Stmt::If {
-            cond: Expr::Var(vb),
-            secret: true,
-            then_: vec![innermost],
-            else_: vec![],
-        };
+        let middle =
+            Stmt::If { cond: Expr::Var(vb), secret: true, then_: vec![innermost], else_: vec![] };
         wb.if_secret(Expr::Var(va), vec![middle], vec![]);
         wb.output(out);
         let prog = wb.build();

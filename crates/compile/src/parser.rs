@@ -209,13 +209,8 @@ impl<'a> Lexer<'a> {
             return Ok((Tok::Int(value), line, col));
         }
         // Multi-char symbols first.
-        let two: &[(&[u8], &'static str)] = &[
-            (b"<<", "<<"),
-            (b">>", ">>"),
-            (b"==", "=="),
-            (b"!=", "!="),
-            (b"<s", "<s"),
-        ];
+        let two: &[(&[u8], &'static str)] =
+            &[(b"<<", "<<"), (b">>", ">>"), (b"==", "=="), (b"!=", "!="), (b"<s", "<s")];
         for (pat, sym) in two {
             if self.src[self.pos..].starts_with(pat) {
                 self.bump();
@@ -316,10 +311,7 @@ impl Parser {
     }
 
     fn lookup_var(&self, name: &str) -> Result<VarId, ParseError> {
-        self.vars
-            .get(name)
-            .copied()
-            .ok_or_else(|| self.error(format!("unknown variable `{name}`")))
+        self.vars.get(name).copied().ok_or_else(|| self.error(format!("unknown variable `{name}`")))
     }
 
     // --- declarations and top level ---------------------------------
@@ -500,13 +492,9 @@ impl Parser {
 
     fn parse_bin(&mut self, min_level: usize) -> Result<Expr, ParseError> {
         let mut lhs = self.parse_primary()?;
-        loop {
-            let (level, op) = match self.peek() {
-                Tok::Sym(s) => match Self::level_of(s) {
-                    Some((l, op)) if l >= min_level => (l, op),
-                    _ => break,
-                },
-                _ => break,
+        while let Tok::Sym(s) = self.peek() {
+            let Some((level, op)) = Self::level_of(s).filter(|(l, _)| *l >= min_level) else {
+                break;
             };
             self.bump();
             let rhs = self.parse_bin(level + 1)?;

@@ -141,10 +141,7 @@ impl Analyzer {
                 Stmt::Store(a, idx, val) => {
                     self.check_division(idx, path, in_secret);
                     self.check_division(val, path, in_secret);
-                    if implicit
-                        || self.taint.expr_tainted(idx)
-                        || self.taint.expr_tainted(val)
-                    {
+                    if implicit || self.taint.expr_tainted(idx) || self.taint.expr_tainted(val) {
                         self.taint.arrays.insert(*a);
                     }
                 }
@@ -191,9 +188,8 @@ impl Analyzer {
         match e {
             Expr::Bin(BinOp::Rem, a, b) => {
                 if in_secret && (self.taint.expr_tainted(b) || self.taint.expr_tainted(a)) {
-                    self.warnings.push(TaintWarning::GuardedDivisionOnSecret {
-                        location: path.to_vec(),
-                    });
+                    self.warnings
+                        .push(TaintWarning::GuardedDivisionOnSecret { location: path.to_vec() });
                 }
                 self.check_division(a, path, in_secret);
                 self.check_division(b, path, in_secret);
@@ -255,11 +251,7 @@ mod tests {
         let mut b = WirBuilder::new();
         let s = b.var("s", 1);
         let out = b.var("out", 0);
-        b.if_public(
-            Expr::Var(s),
-            vec![b.assign(out, Expr::Const(1))],
-            vec![],
-        );
+        b.if_public(Expr::Var(s), vec![b.assign(out, Expr::Const(1))], vec![]);
         let r = analyze_taint(&b.build(), &[s]);
         assert!(!r.is_clean());
         assert!(matches!(r.warnings[0], TaintWarning::PublicBranchOnSecret { .. }));
@@ -308,10 +300,7 @@ mod tests {
         );
         let r = analyze_taint(&b.build(), &[s]);
         assert!(!r.is_clean());
-        assert!(r
-            .warnings
-            .iter()
-            .any(|w| matches!(w, TaintWarning::LoopBoundOnSecret { .. })));
+        assert!(r.warnings.iter().any(|w| matches!(w, TaintWarning::LoopBoundOnSecret { .. })));
     }
 
     #[test]

@@ -332,7 +332,12 @@ impl WirBuilder {
 
 impl fmt::Display for WirProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn go(f: &mut fmt::Formatter<'_>, p: &WirProgram, stmts: &[Stmt], ind: usize) -> fmt::Result {
+        fn go(
+            f: &mut fmt::Formatter<'_>,
+            p: &WirProgram,
+            stmts: &[Stmt],
+            ind: usize,
+        ) -> fmt::Result {
             let pad = "  ".repeat(ind);
             for s in stmts {
                 match s {
@@ -396,12 +401,8 @@ mod tests {
             then_: vec![b.assign(x, Expr::Const(1))],
             else_: vec![],
         };
-        let public_wrapper = Stmt::If {
-            cond: Expr::Var(s),
-            secret: false,
-            then_: vec![inner],
-            else_: vec![],
-        };
+        let public_wrapper =
+            Stmt::If { cond: Expr::Var(s), secret: false, then_: vec![inner], else_: vec![] };
         b.push(public_wrapper);
         let p = b.build();
         assert_eq!(p.secret_depth(), 1, "the public if must not count");

@@ -43,8 +43,11 @@ fn arb_expr() -> impl Strategy<Value = MExpr> {
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![
-            (any::<u8>(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| MExpr::Bin(op, Box::new(a), Box::new(b))),
+            (any::<u8>(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| MExpr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             inner.prop_map(|i| MExpr::Ld(Box::new(i))),
         ]
     })
@@ -57,9 +60,18 @@ fn arb_stmt() -> impl Strategy<Value = MStmt> {
     ];
     simple.prop_recursive(2, 16, 4, |inner| {
         prop_oneof![
-            (arb_expr(), any::<bool>(), prop::collection::vec(inner.clone(), 0..4),
-             prop::collection::vec(inner.clone(), 0..4))
-                .prop_map(|(cond, secret, then_, else_)| MStmt::If { cond, secret, then_, else_ }),
+            (
+                arb_expr(),
+                any::<bool>(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(cond, secret, then_, else_)| MStmt::If {
+                    cond,
+                    secret,
+                    then_,
+                    else_
+                }),
             (1u8..4, prop::collection::vec(inner, 1..4))
                 .prop_map(|(trips, body)| MStmt::Loop { trips, body }),
         ]
@@ -106,9 +118,7 @@ impl Materializer {
 
     fn stmt(&mut self, m: &MStmt) -> Stmt {
         match m {
-            MStmt::Assign(v, e) => {
-                Stmt::Assign(self.vars[(v % NVARS) as usize], self.expr(e))
-            }
+            MStmt::Assign(v, e) => Stmt::Assign(self.vars[(v % NVARS) as usize], self.expr(e)),
             MStmt::Store(i, v) => {
                 let idx = Expr::bin(BinOp::And, self.expr(i), Expr::Const(ARR_LEN - 1));
                 Stmt::Store(self.arr, idx, self.expr(v))
@@ -126,10 +136,7 @@ impl Materializer {
                 let mut body_s = vec![Stmt::Assign(c, Expr::Var(c))]; // placeholder keeps shape simple
                 body_s.clear();
                 body_s.extend(self.stmts(body));
-                body_s.push(Stmt::Assign(
-                    c,
-                    Expr::bin(BinOp::Add, Expr::Var(c), Expr::Const(1)),
-                ));
+                body_s.push(Stmt::Assign(c, Expr::bin(BinOp::Add, Expr::Var(c), Expr::Const(1))));
                 // The counter must start at zero on *every* entry to the
                 // loop (it may sit inside an enclosing loop).
                 Stmt::If {
@@ -152,7 +159,6 @@ impl Materializer {
             }
         }
     }
-
 }
 
 fn mark_all_secret(ms: &mut [MStmt]) {
@@ -172,8 +178,7 @@ fn mark_all_secret(ms: &mut [MStmt]) {
 fn materialize(ms: &[MStmt], inits: &[u64], secret: u64) -> (WirProgram, VarId) {
     let mut b = WirBuilder::new();
     let secret_var = b.var("secret", secret);
-    let vars: Vec<VarId> =
-        (0..NVARS).map(|i| b.var(format!("v{i}"), inits[i as usize])).collect();
+    let vars: Vec<VarId> = (0..NVARS).map(|i| b.var(format!("v{i}"), inits[i as usize])).collect();
     let arr = b.array("buf", ARR_LEN as usize, vec![3, 1, 4, 1, 5, 9, 2, 6]);
     let mut m = Materializer { b, vars, secret: secret_var, arr };
     let body = m.stmts(ms);
@@ -190,10 +195,7 @@ fn materialize(ms: &[MStmt], inits: &[u64], secret: u64) -> (WirProgram, VarId) 
 
 /// Run a compiled workload on the ISA interpreter; returns (outputs,
 /// committed instruction count).
-fn run_interp(
-    cw: &sempe_compile::CompiledWorkload,
-    mode: InterpMode,
-) -> (Vec<u64>, u64) {
+fn run_interp(cw: &sempe_compile::CompiledWorkload, mode: InterpMode) -> (Vec<u64>, u64) {
     let mut i = Interp::new(cw.program(), mode).expect("interp builds");
     let summary = i.run(FUEL).expect("interp halts");
     (cw.read_outputs(i.mem()), summary.committed)

@@ -63,10 +63,7 @@ fn collapsing_preserves_results_and_saves_cycles() {
     let (collapsed, _) = collapse_nested_ifs(&prog);
     let before = sempe_cycles(&prog);
     let after = sempe_cycles(&collapsed);
-    assert!(
-        after < before,
-        "collapsing must save cycles ({before} -> {after})"
-    );
+    assert!(after < before, "collapsing must save cycles ({before} -> {after})");
 }
 
 #[test]

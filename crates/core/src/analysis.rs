@@ -42,11 +42,7 @@ impl fmt::Display for Divergence {
         if let Some((a, b)) = self.total_cycles {
             return write!(f, "total cycle counts differ: {a} vs {b}");
         }
-        write!(
-            f,
-            "traces diverge at event {}: {:?} vs {:?}",
-            self.index, self.left, self.right
-        )
+        write!(f, "traces diverge at event {}: {:?} vs {:?}", self.index, self.left, self.right)
     }
 }
 
@@ -148,14 +144,10 @@ mod tests {
 
     #[test]
     fn differing_event_is_located() {
-        let a = trace(
-            &[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::MemRead { addr: 0x10 })],
-            9,
-        );
-        let b = trace(
-            &[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::MemRead { addr: 0x20 })],
-            9,
-        );
+        let a =
+            trace(&[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::MemRead { addr: 0x10 })], 9);
+        let b =
+            trace(&[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::MemRead { addr: 0x20 })], 9);
         let d = first_divergence(&a, &b, Strictness::Full).expect("must diverge");
         assert_eq!(d.index, 1);
         assert_eq!(d.left, Some((2, TraceEvent::MemRead { addr: 0x10 })));
@@ -165,10 +157,8 @@ mod tests {
     #[test]
     fn prefix_traces_diverge_at_the_tail() {
         let a = trace(&[(1, TraceEvent::Commit { pc: 4 })], 9);
-        let b = trace(
-            &[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::Redirect { target: 8 })],
-            9,
-        );
+        let b =
+            trace(&[(1, TraceEvent::Commit { pc: 4 }), (2, TraceEvent::Redirect { target: 8 })], 9);
         let d = first_divergence(&a, &b, Strictness::Full).expect("must diverge");
         assert_eq!(d.index, 1);
         assert_eq!(d.left, None);

@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn branch_history_extraction() {
-        let t = trace_with_updates(
-            &[(0x40, true), (0x80, false), (0x40, false), (0x40, true)],
-            10,
-        );
+        let t = trace_with_updates(&[(0x40, true), (0x80, false), (0x40, false), (0x40, true)], 10);
         assert_eq!(branch_outcome_history(&t, 0x40), vec![true, false, true]);
         assert_eq!(branch_outcome_history(&t, 0x80), vec![false]);
         assert_eq!(branch_outcome_history(&t, 0x99), Vec::<bool>::new());
@@ -192,10 +189,7 @@ mod tests {
     #[test]
     fn key_recovery_from_outcomes() {
         // Outcomes T,F,T,T => key bits 0b1101.
-        let t = trace_with_updates(
-            &[(0x40, true), (0x40, false), (0x40, true), (0x40, true)],
-            10,
-        );
+        let t = trace_with_updates(&[(0x40, true), (0x40, false), (0x40, true), (0x40, true)], 10);
         assert_eq!(BranchProfileAttacker::recover_key(&t, 0x40), 0b1101);
     }
 

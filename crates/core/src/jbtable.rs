@@ -125,8 +125,7 @@ impl JumpBackTable {
     /// faithful).
     #[must_use]
     pub fn can_issue_sjmp(&self) -> bool {
-        self.entries.len() < self.capacity
-            && self.entries.last().is_none_or(|e| e.valid)
+        self.entries.len() < self.capacity && self.entries.last().is_none_or(|e| e.valid)
     }
 
     /// Step 1: allocate an entry for an issued sJMP.

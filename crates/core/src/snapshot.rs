@@ -120,13 +120,21 @@ impl ArchSnapshot {
     ///
     /// Returns `(restore_writes, nt_modified_count)`.
     pub fn end_nt_path(&mut self, regs: &RegState) -> (Vec<(Reg, u64)>, usize) {
+        let mut writes = Vec::new();
+        let n = self.end_nt_path_into(regs, &mut writes);
+        (writes, n)
+    }
+
+    /// Allocation-free form of [`ArchSnapshot::end_nt_path`]: the restore
+    /// writes are appended to a caller-owned scratch buffer (cleared
+    /// first). Returns the NT-modified count.
+    pub fn end_nt_path_into(&mut self, regs: &RegState, out: &mut Vec<(Reg, u64)>) -> usize {
         debug_assert!(!self.nt_captured, "NT path ended twice");
         self.nt_values = *regs;
         self.nt_captured = true;
-        let writes: Vec<(Reg, u64)> =
-            self.nt_modified.iter().map(|r| (r, self.initial[r.index()])).collect();
-        let n = writes.len();
-        (writes, n)
+        out.clear();
+        out.extend(self.nt_modified.iter().map(|r| (r, self.initial[r.index()])));
+        out.len()
     }
 
     /// Registers touched by either path — all of them are *read* from the
@@ -148,20 +156,27 @@ impl ArchSnapshot {
     ///   to the initial snapshot.
     #[must_use]
     pub fn merge_writes(&self, taken: bool, current: &RegState) -> Vec<(Reg, u64)> {
+        let mut writes = Vec::new();
+        self.merge_writes_into(taken, current, &mut writes);
+        writes
+    }
+
+    /// Allocation-free form of [`ArchSnapshot::merge_writes`]: the merge
+    /// writes are appended to a caller-owned scratch buffer (cleared
+    /// first).
+    pub fn merge_writes_into(&self, taken: bool, current: &RegState, out: &mut Vec<(Reg, u64)>) {
         debug_assert!(self.nt_captured, "merge before NT capture");
-        self.merged_set()
-            .iter()
-            .map(|r| {
-                let val = if taken {
-                    current[r.index()]
-                } else if self.nt_modified.contains(r) {
-                    self.nt_values[r.index()]
-                } else {
-                    self.initial[r.index()]
-                };
-                (r, val)
-            })
-            .collect()
+        out.clear();
+        out.extend(self.merged_set().iter().map(|r| {
+            let val = if taken {
+                current[r.index()]
+            } else if self.nt_modified.contains(r) {
+                self.nt_values[r.index()]
+            } else {
+                self.initial[r.index()]
+            };
+            (r, val)
+        }));
     }
 }
 

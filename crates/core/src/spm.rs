@@ -100,8 +100,7 @@ impl Spm {
         if bytes == 0 {
             return 0;
         }
-        self.config.access_latency
-            + (bytes as u64).div_ceil(self.config.throughput_bytes_per_cycle)
+        self.config.access_latency + (bytes as u64).div_ceil(self.config.throughput_bytes_per_cycle)
     }
 
     /// Reserve the slot for a new nesting level and charge the full
@@ -116,8 +115,7 @@ impl Spm {
         if self.slots_in_use >= self.config.max_snapshots() {
             return Err(SempeFault::SpmOverflow {
                 needed: self.config.snapshot_bytes,
-                free: self.config.size_bytes
-                    - self.slots_in_use * self.config.snapshot_bytes,
+                free: self.config.size_bytes - self.slots_in_use * self.config.snapshot_bytes,
             });
         }
         self.slots_in_use += 1;
@@ -157,10 +155,11 @@ mod tests {
     #[test]
     fn paper_config_supports_thirty_snapshots() {
         let c = SpmConfig::paper();
-        assert_eq!(c.max_snapshots(), 29); // 216*1024 / 7392 = 29.9 — hardware rounds down
-        // The paper quotes "up to 30 snapshots"; with exactly 30*7392 =
-        // 221760 bytes ≈ 216.6 KB. Document the 29 we honestly get from
-        // 216 KB and let configs round up if they want the paper's 30.
+        // 216*1024 / 7392 = 29.9 — hardware rounds down. The paper quotes
+        // "up to 30 snapshots"; with exactly 30*7392 = 221760 bytes ≈
+        // 216.6 KB. Document the 29 we honestly get from 216 KB and let
+        // configs round up if they want the paper's 30.
+        assert_eq!(c.max_snapshots(), 29);
         let mut c30 = c;
         c30.size_bytes = 30 * c.snapshot_bytes;
         assert_eq!(c30.max_snapshots(), 30);

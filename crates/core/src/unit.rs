@@ -83,6 +83,9 @@ pub struct SempeUnit {
     spm: Spm,
     snapshots: Vec<ArchSnapshot>,
     stats: SempeStats,
+    /// Reusable buffer for restore/merge write lists, so region
+    /// boundaries do not allocate on the simulator's hot path.
+    writes_scratch: Vec<(Reg, u64)>,
 }
 
 /// Counters the unit accumulates across a run.
@@ -114,6 +117,7 @@ impl SempeUnit {
             snapshots: Vec::new(),
             config,
             stats: SempeStats::default(),
+            writes_scratch: Vec::new(),
         }
     }
 
@@ -214,23 +218,22 @@ impl SempeUnit {
         if drain {
             self.stats.drains += 1;
         }
+        let mut writes = core::mem::take(&mut self.writes_scratch);
         match action {
             EosAction::JumpBack { target } => {
-                let snap = self
-                    .snapshots
-                    .last_mut()
-                    .ok_or(SempeFault::EosWithoutRegion)?;
-                let (writes, modified) = snap.end_nt_path(regs);
-                for (r, v) in writes {
+                let snap = self.snapshots.last_mut().ok_or(SempeFault::EosWithoutRegion)?;
+                let modified = snap.end_nt_path_into(regs, &mut writes);
+                for &(r, v) in &writes {
                     regs[r.index()] = v;
                 }
+                self.writes_scratch = writes;
                 let spm_cycles = self.spm.save_nt_and_restore(modified, NUM_ARCH_REGS);
                 self.stats.spm_stall_cycles += spm_cycles;
                 Ok(UnitEffect { redirect: Some(target), spm_cycles, drain })
             }
             EosAction::Exit { taken } => {
                 let snap = self.snapshots.pop().ok_or(SempeFault::EosWithoutRegion)?;
-                let writes = snap.merge_writes(taken, regs);
+                snap.merge_writes_into(taken, regs, &mut writes);
                 let merged = snap.merged_set();
                 for (r, v) in &writes {
                     regs[r.index()] = *v;
@@ -250,6 +253,7 @@ impl SempeUnit {
                 let spm_cycles = self.spm.restore_exit(charged_regs, NUM_ARCH_REGS);
                 self.stats.spm_stall_cycles += spm_cycles;
                 self.stats.regions_completed += 1;
+                self.writes_scratch = writes;
                 Ok(UnitEffect { redirect: None, spm_cycles, drain })
             }
         }

@@ -149,11 +149,7 @@ impl Asm {
         encode_into(&inst, &mut self.code);
         self.inst_count += 1;
         // The displacement is always the trailing 4 bytes of the encoding.
-        self.fixups.push(Fixup {
-            field_at: self.code.len() - 4,
-            next_at: self.code.len(),
-            label,
-        });
+        self.fixups.push(Fixup { field_at: self.code.len() - 4, next_at: self.code.len(), label });
     }
 
     // ---- data segment ------------------------------------------------
@@ -223,7 +219,14 @@ impl Asm {
     /// Unconditional jump to a label (`jal x0, label`).
     pub fn jmp(&mut self, target: Label) {
         self.emit_with_label(
-            Inst { op: Opcode::Jal, rd: Reg::X0, rs1: Reg::X0, rs2: Reg::X0, imm: 0, secure: false },
+            Inst {
+                op: Opcode::Jal,
+                rd: Reg::X0,
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                imm: 0,
+                secure: false,
+            },
             target,
         );
     }
@@ -231,7 +234,14 @@ impl Asm {
     /// Call a label (`jal ra, label`).
     pub fn call(&mut self, target: Label) {
         self.emit_with_label(
-            Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::X0, rs2: Reg::X0, imm: 0, secure: false },
+            Inst {
+                op: Opcode::Jal,
+                rd: Reg::RA,
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                imm: 0,
+                secure: false,
+            },
             target,
         );
     }
@@ -315,8 +325,7 @@ impl Asm {
             let disp32 = i32::try_from(disp).map_err(|_| AsmError::OffsetOverflow {
                 name: self.label_names[fixup.label.0].clone(),
             })?;
-            self.code[fixup.field_at..fixup.field_at + 4]
-                .copy_from_slice(&disp32.to_le_bytes());
+            self.code[fixup.field_at..fixup.field_at + 4].copy_from_slice(&disp32.to_le_bytes());
         }
         Ok(Program::from_parts(self.code_base, self.code, entry, self.data, self.symbols))
     }

@@ -98,7 +98,10 @@ pub fn decode(bytes: &[u8], addr: Addr, mode: DecodeMode) -> Result<(Inst, usize
         Format::Jal => {
             let b = take(1, idx)?;
             let off = imm32(idx + 1)?;
-            (Inst { op, rd: reg(b[0])?, rs1: Reg::X0, rs2: Reg::X0, imm: off, secure: false }, idx + 5)
+            (
+                Inst { op, rd: reg(b[0])?, rs1: Reg::X0, rs2: Reg::X0, imm: off, secure: false },
+                idx + 5,
+            )
         }
     };
     // A stray prefix on a non-branch is ignored (hint semantics); make sure
@@ -151,7 +154,14 @@ mod tests {
             Inst::movi(Reg::x(10), 0x1234_5678_9ABC_DEF0u64 as i64),
             Inst::store(Opcode::St, Reg::SP, Reg::x(11), -8),
             Inst::branch(Opcode::Bge, Reg::x(12), Reg::x(13), 100, false),
-            Inst { op: Opcode::Jal, rd: Reg::RA, rs1: Reg::X0, rs2: Reg::X0, imm: -64, secure: false },
+            Inst {
+                op: Opcode::Jal,
+                rd: Reg::RA,
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                imm: -64,
+                secure: false,
+            },
             Inst::r2i(Opcode::Jalr, Reg::X0, Reg::RA, 0),
             Inst::nullary(Opcode::Halt),
             Inst::r3(Opcode::Fadd, Reg::f(1), Reg::f(2), Reg::f(3)),

@@ -49,9 +49,8 @@ pub fn encoded_len(inst: &Inst) -> usize {
 /// users must do the same.
 pub fn encode_into(inst: &Inst, out: &mut Vec<u8>) -> usize {
     let start = out.len();
-    let imm32 = |v: i64| -> [u8; 4] {
-        i32::try_from(v).expect("immediate exceeds 32 bits").to_le_bytes()
-    };
+    let imm32 =
+        |v: i64| -> [u8; 4] { i32::try_from(v).expect("immediate exceeds 32 bits").to_le_bytes() };
     match inst.op {
         Opcode::EosJmp => {
             out.push(SEC_PREFIX);
@@ -165,8 +164,7 @@ mod tests {
 
     #[test]
     fn encode_all_concatenates() {
-        let insts =
-            [Inst::nullary(Opcode::Nop), Inst::nullary(Opcode::Halt), Inst::eosjmp()];
+        let insts = [Inst::nullary(Opcode::Nop), Inst::nullary(Opcode::Halt), Inst::eosjmp()];
         let bytes = encode_all(&insts);
         assert_eq!(bytes, vec![0x90, 0xF4, 0x2E, 0x90]);
     }

@@ -237,9 +237,6 @@ mod tests {
             Inst::store(Opcode::St, Reg::x(2), Reg::x(9), -16).to_string(),
             "st [x2-16], x9"
         );
-        assert_eq!(
-            Inst::r2i(Opcode::Ld, Reg::x(9), Reg::x(2), 24).to_string(),
-            "ld x9, [x2+24]"
-        );
+        assert_eq!(Inst::r2i(Opcode::Ld, Reg::x(9), Reg::x(2), 24).to_string(), "ld x9, [x2+24]");
     }
 }

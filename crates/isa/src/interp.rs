@@ -310,9 +310,8 @@ impl Interp {
                     _ => inst.imm as u64,
                 };
                 let old = self.reg(inst.rd);
-                let val = eval_op(&inst, a, b, old).map_err(|IntFault::DivideByZero| {
-                    ExecError::DivideByZero { pc }
-                })?;
+                let val = eval_op(&inst, a, b, old)
+                    .map_err(|IntFault::DivideByZero| ExecError::DivideByZero { pc })?;
                 self.write_reg(inst.rd, val);
             }
         }

@@ -8,6 +8,8 @@
 //! address simply reads zeros, exactly like gem5's functional memory in
 //! atomic mode.
 
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::Addr;
@@ -17,7 +19,17 @@ use crate::Addr;
 /// exercises for these workloads.
 pub const PAGE_SIZE: usize = 4096;
 
+/// In the last-page cache, marks "no page cached" (no real page can have
+/// this number: addresses are dense in the low 2^52 pages).
+const NO_PAGE: u64 = u64::MAX;
+
 /// Sparse, byte-addressable 64-bit memory.
+///
+/// Pages live in a dense vector; a `HashMap` maps page numbers to vector
+/// indices, and a one-entry cache remembers the last page touched.
+/// Sequential loads/stores — the overwhelmingly common pattern in the
+/// simulated workloads — therefore skip the hash probe entirely and go
+/// straight to the page bytes.
 ///
 /// # Examples
 ///
@@ -28,9 +40,18 @@ pub const PAGE_SIZE: usize = 4096;
 /// assert_eq!(m.read_u64(0x1000), 0xDEAD_BEEF);
 /// assert_eq!(m.read_u64(0x8000), 0); // unmapped reads as zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u64, u32>,
+    /// `(page number, index into pages)` of the last page accessed.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory { pages: Vec::new(), index: HashMap::new(), last: Cell::new((NO_PAGE, 0)) }
+    }
 }
 
 impl Memory {
@@ -46,14 +67,44 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Resolve a page number to its byte array, if mapped.
+    #[inline]
+    fn page(&self, page_no: u64) -> Option<&[u8; PAGE_SIZE]> {
+        let (cached_no, cached_idx) = self.last.get();
+        if cached_no == page_no {
+            return Some(&self.pages[cached_idx as usize]);
+        }
+        let idx = *self.index.get(&page_no)?;
+        self.last.set((page_no, idx));
+        Some(&self.pages[idx as usize])
+    }
+
+    #[inline]
     fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr / PAGE_SIZE as u64).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        let page_no = addr / PAGE_SIZE as u64;
+        let (cached_no, cached_idx) = self.last.get();
+        let idx = if cached_no == page_no {
+            cached_idx
+        } else {
+            let idx = match self.index.entry(page_no) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(v) => {
+                    let idx = u32::try_from(self.pages.len()).expect("page count fits u32");
+                    self.pages.push(Box::new([0; PAGE_SIZE]));
+                    *v.insert(idx)
+                }
+            };
+            self.last.set((page_no, idx));
+            idx
+        };
+        &mut self.pages[idx as usize]
     }
 
     /// Read one byte.
     #[must_use]
+    #[inline]
     pub fn read_u8(&self, addr: Addr) -> u8 {
-        match self.pages.get(&(addr / PAGE_SIZE as u64)) {
+        match self.page(addr / PAGE_SIZE as u64) {
             Some(p) => p[(addr % PAGE_SIZE as u64) as usize],
             None => 0,
         }
@@ -70,7 +121,7 @@ impl Memory {
         // Fast path: within one page.
         let off = (addr % PAGE_SIZE as u64) as usize;
         if off + N <= PAGE_SIZE {
-            if let Some(p) = self.pages.get(&(addr / PAGE_SIZE as u64)) {
+            if let Some(p) = self.page(addr / PAGE_SIZE as u64) {
                 buf.copy_from_slice(&p[off..off + N]);
             }
             return buf;

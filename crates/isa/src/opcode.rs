@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn branch_classification() {
-        for op in [Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge, Opcode::Bltu, Opcode::Bgeu]
-        {
+        for op in [Opcode::Beq, Opcode::Bne, Opcode::Blt, Opcode::Bge, Opcode::Bltu, Opcode::Bgeu] {
             assert!(op.is_cond_branch());
             assert!(op.is_control());
             assert_eq!(op.format(), Format::Branch);

@@ -1,7 +1,7 @@
 //! Linked program images: code bytes, initial data, symbols — plus the
 //! decoded view used for execution.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::decode::{decode_region, DecodeMode};
 use crate::error::{DecodeError, ExecError};
@@ -121,31 +121,50 @@ impl Program {
     ///
     /// Returns the first [`DecodeError`] in the image.
     pub fn decoded(&self, mode: DecodeMode) -> Result<DecodedProgram, DecodeError> {
-        let insts = decode_region(&self.code, self.code_base, mode)?;
-        let mut map = HashMap::with_capacity(insts.len());
-        for (addr, inst, len) in insts {
-            map.insert(addr, (inst, len as u8));
+        let decoded = decode_region(&self.code, self.code_base, mode)?;
+        let mut insts = Vec::with_capacity(decoded.len());
+        let mut starts = vec![NO_INST; self.code.len()];
+        for (addr, inst, len) in decoded {
+            let off = (addr - self.code_base) as usize;
+            starts[off] = insts.len() as u32;
+            insts.push((inst, len as u8));
         }
         Ok(DecodedProgram {
             entry: self.entry,
             code_base: self.code_base,
             code_end: self.code_base + self.code.len() as Addr,
-            insts: map,
+            insts,
+            starts,
         })
     }
 }
+
+/// Sentinel in the byte-offset index marking "no instruction starts here".
+const NO_INST: u32 = u32::MAX;
 
 /// A program decoded for execution: instruction lookup by address.
 ///
 /// The cycle-level simulator still charges instruction-cache timing for the
 /// *bytes*; this structure only provides the semantic view, the way a
 /// decoded-µop structure would.
+///
+/// Lookup is a dense, offset-indexed array rather than a hash map: the
+/// simulator front end fetches up to 8 instructions per simulated cycle,
+/// so [`DecodedProgram::try_fetch`] is one of the hottest operations in
+/// the whole reproduction. `starts[pc - code_base]` resolves a byte
+/// offset to an index into the address-ordered instruction array (or the
+/// [`NO_INST`] sentinel for mid-instruction offsets), making both fetch
+/// paths two bounds-checked array reads.
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
     entry: Addr,
     code_base: Addr,
     code_end: Addr,
-    insts: HashMap<Addr, (Inst, u8)>,
+    /// `(instruction, encoded length)` in address order.
+    insts: Vec<(Inst, u8)>,
+    /// Per code byte: index into `insts` when an instruction starts at
+    /// that offset, [`NO_INST`] otherwise.
+    starts: Vec<u32>,
 }
 
 impl DecodedProgram {
@@ -186,24 +205,34 @@ impl DecodedProgram {
     /// [`ExecError::FetchFault`] when `pc` is outside the code region or
     /// points into the middle of an instruction.
     pub fn fetch(&self, pc: Addr) -> Result<(Inst, usize), ExecError> {
-        match self.insts.get(&pc) {
-            Some((inst, len)) => Ok((*inst, *len as usize)),
-            None => Err(ExecError::FetchFault { pc }),
-        }
+        self.try_fetch(pc).ok_or(ExecError::FetchFault { pc })
     }
 
     /// Fetch without failing: `None` for a bad `pc`. Used by the simulator
-    /// front end while running down a wrong path.
+    /// front end while running down a wrong path — O(1), two array reads.
     #[must_use]
+    #[inline]
     pub fn try_fetch(&self, pc: Addr) -> Option<(Inst, usize)> {
-        self.insts.get(&pc).map(|(i, l)| (*i, *l as usize))
+        let off = pc.wrapping_sub(self.code_base);
+        match self.starts.get(off as usize) {
+            Some(&idx) if idx != NO_INST => {
+                let (inst, len) = self.insts[idx as usize];
+                Some((inst, len as usize))
+            }
+            _ => None,
+        }
     }
 
-    /// Iterate over `(addr, inst)` pairs in address order.
+    /// Iterate over `(addr, inst)` pairs in address order. Walks the
+    /// dense instruction array directly; no per-call collection or sort.
     pub fn iter(&self) -> impl Iterator<Item = (Addr, Inst)> + '_ {
-        let mut addrs: Vec<Addr> = self.insts.keys().copied().collect();
-        addrs.sort_unstable();
-        addrs.into_iter().map(move |a| (a, self.insts[&a].0))
+        let base = self.code_base;
+        let mut offset: Addr = 0;
+        self.insts.iter().map(move |&(inst, len)| {
+            let addr = base + offset;
+            offset += len as Addr;
+            (addr, inst)
+        })
     }
 }
 

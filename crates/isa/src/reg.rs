@@ -142,16 +142,8 @@ pub mod abi {
     pub const SP: Reg = Reg::SP;
 
     /// Temporaries `t0..t7` (x3..x10).
-    pub const T: [Reg; 8] = [
-        Reg::x(3),
-        Reg::x(4),
-        Reg::x(5),
-        Reg::x(6),
-        Reg::x(7),
-        Reg::x(8),
-        Reg::x(9),
-        Reg::x(10),
-    ];
+    pub const T: [Reg; 8] =
+        [Reg::x(3), Reg::x(4), Reg::x(5), Reg::x(6), Reg::x(7), Reg::x(8), Reg::x(9), Reg::x(10)];
     /// Callee-saved `s0..s4` (x11..x15).
     pub const S: [Reg; 5] = [Reg::x(11), Reg::x(12), Reg::x(13), Reg::x(14), Reg::x(15)];
     /// Arguments `a0..a7` (x16..x23).

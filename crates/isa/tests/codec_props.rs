@@ -15,8 +15,7 @@ fn arb_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn arb_inst() -> impl Strategy<Value = Inst> {
-    let ops: Vec<Opcode> =
-        Opcode::ALL.iter().copied().filter(|o| *o != Opcode::EosJmp).collect();
+    let ops: Vec<Opcode> = Opcode::ALL.iter().copied().filter(|o| *o != Opcode::EosJmp).collect();
     (0..ops.len(), arb_reg(), arb_reg(), arb_reg(), any::<i32>(), any::<i64>(), any::<bool>())
         .prop_map(move |(oi, rd, rs1, rs2, imm32, imm64, secure)| {
             let op = ops[oi];

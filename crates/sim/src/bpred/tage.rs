@@ -125,7 +125,9 @@ impl Tage {
         let alt_taken = alt.unwrap_or(bimodal_taken);
         match provider {
             Some((t, taken)) => TagePrediction { taken, provider: Some(t), alt_taken },
-            None => TagePrediction { taken: bimodal_taken, provider: None, alt_taken: bimodal_taken },
+            None => {
+                TagePrediction { taken: bimodal_taken, provider: None, alt_taken: bimodal_taken }
+            }
         }
     }
 

@@ -223,11 +223,7 @@ impl StreamPrefetcher {
     /// A stream prefetcher tracking `streams` concurrent streams.
     #[must_use]
     pub fn new(streams: usize, line_bytes: u64, depth: u64) -> Self {
-        StreamPrefetcher {
-            streams: vec![StreamEntry::default(); streams],
-            line_bytes,
-            depth,
-        }
+        StreamPrefetcher { streams: vec![StreamEntry::default(); streams], line_bytes, depth }
     }
 
     /// Train on an L2 demand access; returns lines to prefetch.
@@ -395,7 +391,8 @@ impl MemHierarchy {
                 }
             }
         };
-        let next_line = (addr / self.cfg.il1.line_bytes as u64 + 1) * self.cfg.il1.line_bytes as u64;
+        let next_line =
+            (addr / self.cfg.il1.line_bytes as u64 + 1) * self.cfg.il1.line_bytes as u64;
         if !self.il1.probe(next_line) {
             if !self.l2.probe(next_line) {
                 self.l2.fill(next_line, false, true);
@@ -494,7 +491,7 @@ mod tests {
         assert_eq!(p.train(0x40, 0x1040), None); // first stride observed
         assert_eq!(p.train(0x40, 0x1080), None); // confidence 1
         assert_eq!(p.train(0x40, 0x10C0), Some(0x1100)); // confident
-        // Breaking the stride drops confidence.
+                                                         // Breaking the stride drops confidence.
         assert_eq!(p.train(0x40, 0x5000), None);
     }
 
@@ -509,7 +506,11 @@ mod tests {
 
     #[test]
     fn hierarchy_miss_fills_both_levels() {
-        let mut h = MemHierarchy::new(MemConfig { stride_prefetch: false, stream_prefetch: false, ..MemConfig::paper() });
+        let mut h = MemHierarchy::new(MemConfig {
+            stride_prefetch: false,
+            stream_prefetch: false,
+            ..MemConfig::paper()
+        });
         let r1 = h.data_access(0x40, 0x8000, false);
         assert!(!r1.l1_hit);
         assert_eq!(r1.serviced_by, ServicedBy::Memory);

@@ -156,7 +156,16 @@ impl LatencyConfig {
     /// Haswell-like latencies.
     #[must_use]
     pub const fn paper() -> Self {
-        LatencyConfig { alu: 1, mul: 3, div: 20, fp_add: 3, fp_mul: 5, fp_div: 14, agu: 1, branch: 1 }
+        LatencyConfig {
+            alu: 1,
+            mul: 3,
+            div: 20,
+            fp_add: 3,
+            fp_mul: 5,
+            fp_div: 14,
+            agu: 1,
+            branch: 1,
+        }
     }
 }
 

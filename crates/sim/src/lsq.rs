@@ -33,6 +33,11 @@ pub enum LoadCheck {
 }
 
 /// The store queue plus a load-slot counter.
+///
+/// `stores` is kept in program (seq) order by construction: entries are
+/// allocated at rename in program order, commit pops from the front, and
+/// squash removes a suffix. [`Lsq::check_load`] exploits this to walk
+/// the older-stores prefix youngest-first with no allocation or sort.
 #[derive(Debug)]
 pub struct Lsq {
     stores: Vec<StoreEntry>,
@@ -42,6 +47,11 @@ pub struct Lsq {
     next_store_id: u64,
     /// Forwarding events (statistics).
     pub forwards: u64,
+    /// Bumped on every store-queue mutation that could change a
+    /// [`Lsq::check_load`] verdict. A load that got [`LoadCheck::Wait`]
+    /// keeps waiting until this changes, so the replay machinery can skip
+    /// re-checking against an unchanged queue.
+    version: u64,
 }
 
 impl Lsq {
@@ -55,7 +65,14 @@ impl Lsq {
             loads_in_flight: 0,
             next_store_id: 0,
             forwards: 0,
+            version: 0,
         }
+    }
+
+    /// Store-queue mutation counter (see the field docs).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Free store-queue slots?
@@ -84,9 +101,14 @@ impl Lsq {
     /// [`Lsq::can_alloc_store`] first.
     pub fn alloc_store(&mut self, seq: u64) -> u64 {
         assert!(self.can_alloc_store(), "store queue overflow");
+        debug_assert!(
+            self.stores.last().is_none_or(|s| s.seq < seq),
+            "stores must be allocated in program order"
+        );
         let id = self.next_store_id;
         self.next_store_id += 1;
         self.stores.push(StoreEntry { id, seq, addr: None, data: 0, width: 0 });
+        self.version += 1;
         id
     }
 
@@ -112,6 +134,7 @@ impl Lsq {
             s.addr = Some(addr);
             s.data = data;
             s.width = width;
+            self.version += 1;
         }
     }
 
@@ -119,11 +142,10 @@ impl Lsq {
     pub fn check_load(&mut self, seq: u64, addr: Addr, width: u8) -> LoadCheck {
         let lo = addr;
         let hi = addr + u64::from(width);
-        // Scan older stores youngest-first so the nearest writer wins.
-        let mut candidates: Vec<&StoreEntry> =
-            self.stores.iter().filter(|s| s.seq < seq).collect();
-        candidates.sort_by_key(|s| std::cmp::Reverse(s.seq));
-        for s in candidates {
+        // `stores` is seq-sorted, so the stores older than this load are
+        // a prefix; walk it backwards (youngest-first, nearest writer
+        // wins), skipping the younger suffix.
+        for s in self.stores.iter().rev().skip_while(|s| s.seq >= seq) {
             match s.addr {
                 None => return LoadCheck::Wait,
                 Some(sa) => {
@@ -154,12 +176,14 @@ impl Lsq {
     pub fn commit_store(&mut self, id: u64) -> Option<StoreEntry> {
         let pos = self.stores.iter().position(|s| s.id == id)?;
         debug_assert_eq!(pos, 0, "stores must commit in order");
+        self.version += 1;
         Some(self.stores.remove(pos))
     }
 
     /// Squash: drop every store younger than `seq`.
     pub fn squash_younger(&mut self, seq: u64) {
         self.stores.retain(|s| s.seq <= seq);
+        self.version += 1;
     }
 }
 

@@ -18,7 +18,8 @@
 //! * **squash** — jbTable entries of squashed sJMPs are removed
 //!   newest-first.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use sempe_core::trace::{CacheLevel, ObservationTrace, TraceEvent};
 use sempe_core::unit::SempeUnit;
@@ -138,12 +139,52 @@ struct IqEntry {
     old_dest: Option<PhysReg>,
 }
 
+/// One slab slot of the issue queues.
+///
+/// The issue stage is wakeup/select, like the hardware it models: an
+/// entry carries a count of still-pending source registers, writebacks
+/// decrement it through per-register waiter lists, and entries whose
+/// count hits zero enter a ready list. Selection then only looks at
+/// ready entries instead of scanning every queued µop every cycle.
+#[derive(Debug, Clone)]
+struct IqSlot {
+    class: IqClass,
+    /// Source registers still awaiting writeback.
+    pending: u8,
+    /// Slot currently holds a live entry.
+    active: bool,
+    entry: IqEntry,
+}
+
+/// A scheduled writeback/resolution, ordered by `(cycle, seq)` so the
+/// completion queue (a min-heap) pops events in exactly the order the
+/// old scan-and-sort implementation processed them.
 #[derive(Debug, Clone)]
 struct Completion {
     cycle: u64,
     seq: u64,
     slot: RobSlot,
     kind: CompletionKind,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycle == other.cycle && self.seq == other.seq
+    }
+}
+
+impl Eq for Completion {}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.cycle, self.seq).cmp(&(other.cycle, other.seq))
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -204,11 +245,30 @@ pub struct Simulator {
     // Back end.
     rename: RenameState,
     rob: Rob,
-    int_iq: Vec<IqEntry>,
-    fp_iq: Vec<IqEntry>,
+    /// Issue-queue slab (both classes share it; see [`IqSlot`]).
+    iq_slots: Vec<IqSlot>,
+    /// Free slab indices.
+    iq_free: Vec<u32>,
+    /// Ready entries per class, as `(slab index, seq)` records; a record
+    /// is live while the slot is active and the seq still matches.
+    iq_ready_int: Vec<(u32, u64)>,
+    iq_ready_fp: Vec<(u32, u64)>,
+    /// Occupancy per class (structural-hazard gating at rename).
+    iq_count_int: usize,
+    iq_count_fp: usize,
+    /// Per physical register: `(slab index, seq)` of entries waiting on
+    /// its writeback. Stale records are dropped at wake time.
+    reg_waiters: Vec<Vec<(u32, u64)>>,
     lsq: Lsq,
-    events: Vec<Completion>,
+    /// Pending completions, a min-heap keyed by `(cycle, seq)`: the
+    /// complete stage pops only what is due instead of scanning (and
+    /// reallocating) the whole in-flight set every cycle.
+    events: BinaryHeap<Reverse<Completion>>,
     replay: Vec<(u64, RobSlot)>,
+    /// Store-queue version at the last replay pass: a waiting load's
+    /// verdict can only change when the store queue changes, so replay
+    /// passes against an unchanged queue are skipped wholesale.
+    replay_lsq_version: u64,
     rename_blocked_on: Option<u64>,
     rename_stall_until: u64,
     /// The integer divider is a single non-pipelined unit.
@@ -229,6 +289,11 @@ pub struct Simulator {
     trace: ObservationTrace,
     stats: SimStats,
     last_commit_cycle: u64,
+
+    // Reusable scratch buffers: the per-cycle stages must not allocate.
+    due_scratch: Vec<Completion>,
+    issue_candidates: Vec<(u64, u32)>,
+    replay_scratch: Vec<(u64, RobSlot)>,
 }
 
 impl Simulator {
@@ -267,11 +332,17 @@ impl Simulator {
                 &arch_regs,
             ),
             rob: Rob::new(config.core.rob_entries),
-            int_iq: Vec::new(),
-            fp_iq: Vec::new(),
+            iq_slots: Vec::new(),
+            iq_free: Vec::new(),
+            iq_ready_int: Vec::new(),
+            iq_ready_fp: Vec::new(),
+            iq_count_int: 0,
+            iq_count_fp: 0,
+            reg_waiters: vec![Vec::new(); config.core.int_phys_regs + config.core.fp_phys_regs],
             lsq: Lsq::new(config.core.lq_entries, config.core.sq_entries),
-            events: Vec::new(),
+            events: BinaryHeap::with_capacity(config.core.rob_entries),
             replay: Vec::new(),
+            replay_lsq_version: 0,
             rename_blocked_on: None,
             rename_stall_until: 0,
             int_div_busy_until: 0,
@@ -282,6 +353,9 @@ impl Simulator {
             trace: ObservationTrace::new(),
             stats: SimStats::default(),
             last_commit_cycle: 0,
+            due_scratch: Vec::new(),
+            issue_candidates: Vec::new(),
+            replay_scratch: Vec::new(),
             config,
         })
     }
@@ -442,8 +516,7 @@ impl Simulator {
                         let (taken, ghr_before) = self.bp.predict_cond(pc);
                         fe.pred_taken = taken;
                         fe.ghr_before = ghr_before;
-                        fe.pred_target =
-                            if taken { inst.branch_target(pc, len) } else { next_seq };
+                        fe.pred_target = if taken { inst.branch_target(pc, len) } else { next_seq };
                         fe.ras_snapshot = Some(self.bp.ras_snapshot());
                         if taken {
                             next_pc = fe.pred_target;
@@ -524,11 +597,11 @@ impl Simulator {
                 break;
             }
             if Self::requires_iq(&inst) {
-                let (q, cap) = match Self::iq_class(&inst) {
-                    IqClass::Int => (&self.int_iq, self.config.core.int_iq_entries),
-                    IqClass::Fp => (&self.fp_iq, self.config.core.fp_iq_entries),
+                let (occupancy, cap) = match Self::iq_class(&inst) {
+                    IqClass::Int => (self.iq_count_int, self.config.core.int_iq_entries),
+                    IqClass::Fp => (self.iq_count_fp, self.config.core.fp_iq_entries),
                 };
-                if q.len() >= cap {
+                if occupancy >= cap {
                     break;
                 }
             }
@@ -594,8 +667,8 @@ impl Simulator {
             }
             // Squash-recovery checkpoints for everything that can
             // mispredict.
-            let can_mispredict = (inst.op.is_cond_branch() && !is_sjmp_active)
-                || inst.op == Opcode::Jalr;
+            let can_mispredict =
+                (inst.op.is_cond_branch() && !is_sjmp_active) || inst.op == Opcode::Jalr;
             if can_mispredict {
                 entry.rat_checkpoint = Some(Box::new(self.rename.checkpoint()));
             }
@@ -612,10 +685,7 @@ impl Simulator {
             let slot = self.rob.push(entry).expect("gated above");
             if needs_iq {
                 let iq_entry = IqEntry { seq, slot, rs1, rs2, old_dest };
-                match Self::iq_class(&inst) {
-                    IqClass::Int => self.int_iq.push(iq_entry),
-                    IqClass::Fp => self.fp_iq.push(iq_entry),
-                }
+                self.iq_insert(Self::iq_class(&inst), iq_entry);
             }
             self.stats.renamed += 1;
 
@@ -647,39 +717,108 @@ impl Simulator {
         }
     }
 
+    /// Reference readiness check; the wakeup machinery must agree with it
+    /// (asserted in debug builds at selection time).
     fn entry_ready(&self, e: &IqEntry) -> bool {
-        [e.rs1, e.rs2, e.old_dest]
-            .iter()
-            .flatten()
-            .all(|p| self.rename.is_ready(*p))
+        [e.rs1, e.rs2, e.old_dest].iter().flatten().all(|p| self.rename.is_ready(*p))
+    }
+
+    /// Insert a renamed µop into the issue queues, registering wakeup
+    /// records for every source register that is not yet ready.
+    fn iq_insert(&mut self, class: IqClass, entry: IqEntry) {
+        let seq = entry.seq;
+        let srcs = [entry.rs1, entry.rs2, entry.old_dest];
+        let slot = IqSlot { class, pending: 0, active: true, entry };
+        let idx = match self.iq_free.pop() {
+            Some(i) => {
+                self.iq_slots[i as usize] = slot;
+                i
+            }
+            None => {
+                self.iq_slots.push(slot);
+                u32::try_from(self.iq_slots.len() - 1).expect("slab fits u32")
+            }
+        };
+        let mut pending = 0u8;
+        for p in srcs.into_iter().flatten() {
+            if !self.rename.is_ready(p) {
+                pending += 1;
+                self.reg_waiters[p as usize].push((idx, seq));
+            }
+        }
+        self.iq_slots[idx as usize].pending = pending;
+        match class {
+            IqClass::Int => self.iq_count_int += 1,
+            IqClass::Fp => self.iq_count_fp += 1,
+        }
+        if pending == 0 {
+            match class {
+                IqClass::Int => self.iq_ready_int.push((idx, seq)),
+                IqClass::Fp => self.iq_ready_fp.push((idx, seq)),
+            }
+        }
+    }
+
+    /// A physical register was written back: wake the µops waiting on it.
+    fn wake_reg(&mut self, p: PhysReg) {
+        if self.reg_waiters[p as usize].is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.reg_waiters[p as usize]);
+        for (idx, seq) in list.drain(..) {
+            let slot = &mut self.iq_slots[idx as usize];
+            if !slot.active || slot.entry.seq != seq {
+                continue; // squashed (and possibly reused) since it slept
+            }
+            slot.pending -= 1;
+            if slot.pending == 0 {
+                match slot.class {
+                    IqClass::Int => self.iq_ready_int.push((idx, seq)),
+                    IqClass::Fp => self.iq_ready_fp.push((idx, seq)),
+                }
+            }
+        }
+        // Hand the (empty) buffer back so its capacity is reused.
+        self.reg_waiters[p as usize] = list;
+    }
+
+    /// Release an issue-queue slot (issue or squash).
+    fn iq_release(&mut self, idx: u32) {
+        let slot = &mut self.iq_slots[idx as usize];
+        debug_assert!(slot.active);
+        slot.active = false;
+        match slot.class {
+            IqClass::Int => self.iq_count_int -= 1,
+            IqClass::Fp => self.iq_count_fp -= 1,
+        }
+        self.iq_free.push(idx);
     }
 
     fn issue_stage(&mut self) {
-        // Gather ready candidates from both queues, oldest first.
-        let mut candidates: Vec<(u64, IqClass, usize)> = Vec::new();
-        for (i, e) in self.int_iq.iter().enumerate() {
-            if self.entry_ready(e) {
-                candidates.push((e.seq, IqClass::Int, i));
+        if self.iq_ready_int.is_empty() && self.iq_ready_fp.is_empty() {
+            return;
+        }
+        // Select among the ready entries only, oldest first — the same
+        // candidate set the old full-queue scan produced, assembled in a
+        // reusable scratch buffer.
+        let mut candidates = std::mem::take(&mut self.issue_candidates);
+        candidates.clear();
+        for &(idx, seq) in self.iq_ready_int.iter().chain(&self.iq_ready_fp) {
+            let slot = &self.iq_slots[idx as usize];
+            if slot.active && slot.entry.seq == seq {
+                debug_assert!(self.entry_ready(&slot.entry), "ready list out of sync");
+                candidates.push((seq, idx));
             }
         }
-        for (i, e) in self.fp_iq.iter().enumerate() {
-            if self.entry_ready(e) {
-                candidates.push((e.seq, IqClass::Fp, i));
-            }
-        }
-        candidates.sort_unstable_by_key(|(seq, _, _)| *seq);
+        candidates.sort_unstable_by_key(|(seq, _)| *seq);
 
         let mut issued_total = 0usize;
         let mut issued_loads = 0usize;
-        let mut taken: Vec<(IqClass, usize)> = Vec::new();
-        for (seq, class, idx) in candidates {
+        for &(seq, idx) in &candidates {
             if issued_total >= self.config.core.issue_width {
                 break;
             }
-            let entry = match class {
-                IqClass::Int => &self.int_iq[idx],
-                IqClass::Fp => &self.fp_iq[idx],
-            };
+            let entry = &self.iq_slots[idx as usize].entry;
             let Some(rob_entry) = self.rob.get(entry.slot) else { continue };
             if rob_entry.seq != seq {
                 continue;
@@ -709,24 +848,29 @@ impl Simulator {
             }
             let iq_entry = entry.clone();
             self.execute_uop(&iq_entry);
-            taken.push((class, idx));
+            self.iq_release(idx);
             issued_total += 1;
             self.stats.issued += 1;
         }
-        // Remove issued entries (indices collected before mutation; remove
-        // back-to-front per queue).
-        let mut int_rm: Vec<usize> =
-            taken.iter().filter(|(c, _)| *c == IqClass::Int).map(|(_, i)| *i).collect();
-        int_rm.sort_unstable_by(|a, b| b.cmp(a));
-        for i in int_rm {
-            self.int_iq.swap_remove(i);
-        }
-        let mut fp_rm: Vec<usize> =
-            taken.iter().filter(|(c, _)| *c == IqClass::Fp).map(|(_, i)| *i).collect();
-        fp_rm.sort_unstable_by(|a, b| b.cmp(a));
-        for i in fp_rm {
-            self.fp_iq.swap_remove(i);
-        }
+        // Drop consumed/stale ready records (issued or squashed slots).
+        let slots = &self.iq_slots;
+        let live = |&(idx, seq): &(u32, u64)| {
+            let s = &slots[idx as usize];
+            s.active && s.entry.seq == seq
+        };
+        self.iq_ready_int.retain(live);
+        self.iq_ready_fp.retain(live);
+        self.issue_candidates = candidates;
+    }
+
+    /// Enqueue a completion. Events are scheduled by stages that run
+    /// *after* the complete stage within a tick, so the earliest a new
+    /// event can fire is the next cycle — clamping keeps that invariant
+    /// explicit (and preserves the old scan semantics for hypothetical
+    /// zero-latency configurations).
+    fn schedule(&mut self, mut ev: Completion) {
+        ev.cycle = ev.cycle.max(self.cycle + 1);
+        self.events.push(Reverse(ev));
     }
 
     /// Begin execution of one µop: compute functionally, schedule its
@@ -761,7 +905,7 @@ impl Simulator {
                 if let Some(e) = self.rob.get_checked(slot, seq) {
                     e.mem_addr = addr;
                 }
-                self.events.push(Completion {
+                self.schedule(Completion {
                     cycle: self.cycle + self.config.lat.agu,
                     seq,
                     slot,
@@ -784,7 +928,7 @@ impl Simulator {
                     e.actual_target = if e.is_sjmp { target } else { actual_target };
                     e.mispredicted = !e.is_sjmp && taken != e.pred_taken;
                 }
-                self.events.push(Completion {
+                self.schedule(Completion {
                     cycle: self.cycle + lat,
                     seq,
                     slot,
@@ -797,13 +941,11 @@ impl Simulator {
                     e.actual_target = inst.branch_target(pc, len);
                     e.mispredicted = false;
                 }
-                self.events.push(Completion {
+                self.schedule(Completion {
                     cycle: self.cycle + lat,
                     seq,
                     slot,
-                    kind: CompletionKind::BranchResolve {
-                        write: phys_dest.map(|p| (p, next_pc)),
-                    },
+                    kind: CompletionKind::BranchResolve { write: phys_dest.map(|p| (p, next_pc)) },
                 });
             }
             Opcode::Jalr => {
@@ -813,13 +955,11 @@ impl Simulator {
                     e.actual_target = target;
                     e.mispredicted = target != e.pred_target;
                 }
-                self.events.push(Completion {
+                self.schedule(Completion {
                     cycle: self.cycle + lat,
                     seq,
                     slot,
-                    kind: CompletionKind::BranchResolve {
-                        write: phys_dest.map(|p| (p, next_pc)),
-                    },
+                    kind: CompletionKind::BranchResolve { write: phys_dest.map(|p| (p, next_pc)) },
                 });
             }
             _ => {
@@ -834,13 +974,13 @@ impl Simulator {
                             Some(p) => CompletionKind::Write { phys: p, value },
                             None => CompletionKind::Nothing,
                         };
-                        self.events.push(Completion { cycle: self.cycle + lat, seq, slot, kind });
+                        self.schedule(Completion { cycle: self.cycle + lat, seq, slot, kind });
                     }
                     Err(IntFault::DivideByZero) => {
                         if let Some(e) = self.rob.get_checked(slot, seq) {
                             e.exception = Some(ExecError::DivideByZero { pc });
                         }
-                        self.events.push(Completion {
+                        self.schedule(Completion {
                             cycle: self.cycle + lat,
                             seq,
                             slot,
@@ -872,7 +1012,7 @@ impl Simulator {
                 self.replay.push((seq, slot));
             }
             LoadCheck::Forward(value) => {
-                self.events.push(Completion {
+                self.schedule(Completion {
                     cycle: self.cycle + agu + 1,
                     seq,
                     slot,
@@ -890,7 +1030,7 @@ impl Simulator {
                 };
                 let r = self.hier.data_access(pc, addr, false);
                 self.trace_cache(CacheLevel::Dl1, r);
-                self.events.push(Completion {
+                self.schedule(Completion {
                     cycle: self.cycle + agu + r.latency,
                     seq,
                     slot,
@@ -907,8 +1047,19 @@ impl Simulator {
         if self.replay.is_empty() {
             return;
         }
-        let pending = std::mem::take(&mut self.replay);
-        for (seq, slot) in pending {
+        // Every waiting load already saw the current store queue and got
+        // `Wait`; until the queue changes, a re-check is guaranteed to
+        // return `Wait` again, so the whole pass can be skipped without
+        // affecting timing.
+        if self.lsq.version() == self.replay_lsq_version {
+            return;
+        }
+        self.replay_lsq_version = self.lsq.version();
+        // Swap with the scratch buffer so both vectors keep their
+        // capacity: start_load may push fresh replays while we drain.
+        std::mem::swap(&mut self.replay, &mut self.replay_scratch);
+        let mut pending = std::mem::take(&mut self.replay_scratch);
+        for (seq, slot) in pending.drain(..) {
             let Some(entry) = self.rob.get(slot) else { continue };
             if entry.seq != seq {
                 continue;
@@ -920,23 +1071,32 @@ impl Simulator {
             // Replays already paid the AGU.
             self.start_load(seq, slot, pc, addr, inst, phys_dest, 0);
         }
+        self.replay_scratch = pending;
     }
 
     // --------------------------------------------------------- complete
 
     fn complete_stage(&mut self) {
         let now = self.cycle;
-        let mut due: Vec<Completion> = Vec::new();
-        self.events.retain(|e| {
-            if e.cycle <= now {
-                due.push(e.clone());
-                false
-            } else {
-                true
+        // Fast path: nothing due this cycle — one heap peek, no scan.
+        match self.events.peek() {
+            Some(Reverse(e)) if e.cycle <= now => {}
+            _ => return,
+        }
+        // Pop everything due and process it in program (seq) order, the
+        // order the old full-scan implementation used. The heap yields
+        // (cycle, seq)-sorted events, which is seq-sorted only within a
+        // single cycle's batch, so re-sort the (tiny) due set.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        while let Some(Reverse(e)) = self.events.peek() {
+            if e.cycle > now {
+                break;
             }
-        });
+            due.push(self.events.pop().expect("peeked").0);
+        }
         due.sort_unstable_by_key(|e| e.seq);
-        for ev in due {
+        for ev in due.drain(..) {
             // Validate against squashes that happened since scheduling.
             if self.rob.get_checked(ev.slot, ev.seq).is_none() {
                 if let CompletionKind::LoadDone { .. } = ev.kind {
@@ -947,12 +1107,14 @@ impl Simulator {
             match ev.kind {
                 CompletionKind::Write { phys, value } => {
                     self.rename.write(phys, value);
+                    self.wake_reg(phys);
                     if let Some(e) = self.rob.get_checked(ev.slot, ev.seq) {
                         e.done = true;
                     }
                 }
                 CompletionKind::LoadDone { phys, value } => {
                     self.rename.write(phys, value);
+                    self.wake_reg(phys);
                     self.lsq.release_load();
                     if let Some(e) = self.rob.get_checked(ev.slot, ev.seq) {
                         e.done = true;
@@ -967,12 +1129,10 @@ impl Simulator {
                 CompletionKind::BranchResolve { write } => {
                     if let Some((p, v)) = write {
                         self.rename.write(p, v);
+                        self.wake_reg(p);
                     }
                     let (mispredicted, _actual_taken) = {
-                        let e = self
-                            .rob
-                            .get_checked(ev.slot, ev.seq)
-                            .expect("validated above");
+                        let e = self.rob.get_checked(ev.slot, ev.seq).expect("validated above");
                         e.done = true;
                         (e.mispredicted, e.actual_taken)
                     };
@@ -987,6 +1147,7 @@ impl Simulator {
                 }
             }
         }
+        self.due_scratch = due;
     }
 
     /// Squash everything younger than the mispredicting branch in `slot`
@@ -1025,11 +1186,18 @@ impl Simulator {
             *e.rat_checkpoint.as_ref().expect("mispredicting ops carry checkpoints").clone()
         };
         self.rename.restore(&cp);
-        // Drop queue state belonging to squashed µops.
-        self.int_iq.retain(|e| e.seq <= seq);
-        self.fp_iq.retain(|e| e.seq <= seq);
+        // Drop queue state belonging to squashed µops. Ready lists and
+        // waiter records referring to released slots invalidate lazily
+        // via their (slot, seq) tags.
+        for idx in 0..self.iq_slots.len() {
+            if self.iq_slots[idx].active && self.iq_slots[idx].entry.seq > seq {
+                self.iq_release(idx as u32);
+            }
+        }
         self.replay.retain(|(s, _)| *s <= seq);
-        self.events.retain(|e| e.seq <= seq);
+        // Squashes are rare (once per mispredict); an O(n) heap rebuild
+        // here is cheap next to the per-cycle scan it replaced.
+        self.events.retain(|Reverse(e)| e.seq <= seq);
         self.lsq.squash_younger(seq);
         self.frontend.clear();
         // Predictor recovery.

@@ -157,14 +157,18 @@ mod tests {
 
     #[test]
     fn report_renders_every_section() {
-        let mut s = SimStats::default();
-        s.cycles = 10;
-        s.committed = 20;
+        let mut s = SimStats { cycles: 10, committed: 20, ..SimStats::default() };
         s.sempe.drains = 3;
         let text = s.report();
-        for needle in
-            ["sim.cycles", "sim.ipc", "bpred.", "cache.il1", "cache.dl1", "cache.l2", "sempe.drains"]
-        {
+        for needle in [
+            "sim.cycles",
+            "sim.ipc",
+            "bpred.",
+            "cache.il1",
+            "cache.dl1",
+            "cache.l2",
+            "sempe.drains",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
         assert!(text.contains("2.000"), "ipc must be formatted");

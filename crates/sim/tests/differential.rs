@@ -72,8 +72,7 @@ fn arb_op() -> impl Strategy<Value = GenOp> {
             .prop_map(|(op, rd, rs1, rs2)| GenOp::Alu { op, rd, rs1, rs2 }),
         (any::<u8>(), any::<u8>(), any::<u8>(), any::<i32>())
             .prop_map(|(op, rd, rs1, imm)| GenOp::AluImm { op, rd, rs1, imm }),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(rd, rs, rc)| GenOp::Cmov { rd, rs, rc }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(rd, rs, rc)| GenOp::Cmov { rd, rs, rc }),
         (any::<u8>(), any::<u8>()).prop_map(|(rd, idx)| GenOp::Load { rd, idx }),
         (any::<u8>(), any::<u8>()).prop_map(|(src, idx)| GenOp::Store { src, idx }),
     ]

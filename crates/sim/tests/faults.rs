@@ -65,10 +65,7 @@ fn fault_on_wrong_path_is_reported_inside_secblock() {
     // SecBlock exception path.
     let mut sim = Simulator::new(&prog, SimConfig::paper()).unwrap();
     let err = sim.run(1_000_000).unwrap_err();
-    assert!(
-        matches!(err, SimError::Sempe(SempeFault::FaultInSecBlock { .. })),
-        "got {err:?}"
-    );
+    assert!(matches!(err, SimError::Sempe(SempeFault::FaultInSecBlock { .. })), "got {err:?}");
 
     // Baseline: only the (correct) taken path runs, no fault at all.
     let mut sim = Simulator::new(&prog, SimConfig::baseline()).unwrap();

@@ -112,14 +112,18 @@ fn sempe_removes_the_branch_predictor_channel() {
         .map(|(pc, _)| pc)
         .expect("kernel contains an sJMP");
     let (_, trace) = run_traced(&prog, SimConfig::paper());
-    let touched = trace.events().any(|e| matches!(e,
-        TraceEvent::BpredUpdate { pc, .. } if *pc == sjmp_pc));
+    let touched = trace.events().any(|e| {
+        matches!(e,
+        TraceEvent::BpredUpdate { pc, .. } if *pc == sjmp_pc)
+    });
     assert!(!touched, "secure branches must never update the predictor");
 
     // The same branch in baseline mode *does* train the predictor.
     let (_, base_trace) = run_traced(&prog, SimConfig::baseline());
-    let base_touched = base_trace.events().any(|e| matches!(e,
-        TraceEvent::BpredUpdate { pc, .. } if *pc == sjmp_pc));
+    let base_touched = base_trace.events().any(|e| {
+        matches!(e,
+        TraceEvent::BpredUpdate { pc, .. } if *pc == sjmp_pc)
+    });
     assert!(base_touched, "the baseline trains on the same branch");
 }
 
@@ -147,8 +151,7 @@ fn sempe_indistinguishability_holds_across_many_secret_values() {
         a.halt();
         a.assemble().unwrap()
     }
-    let traces: Vec<_> =
-        (0..16u64).map(|s| run_traced(&kernel(s), SimConfig::paper()).1).collect();
+    let traces: Vec<_> = (0..16u64).map(|s| run_traced(&kernel(s), SimConfig::paper()).1).collect();
     if let Err((i, j, d)) = sempe_core::analysis::all_indistinguishable(&traces) {
         panic!("secrets {i} and {j} are distinguishable: {d}");
     }
@@ -203,10 +206,8 @@ fn nested_secure_regions_stay_indistinguishable() {
         panic!("combos {:?} vs {:?} distinguishable: {d}", combos[i], combos[j]);
     }
     // Sanity: the baseline version of the same kernel leaks.
-    let base: Vec<_> = combos
-        .iter()
-        .map(|&(a, b)| run_traced(&kernel(a, b), SimConfig::baseline()).1)
-        .collect();
+    let base: Vec<_> =
+        combos.iter().map(|&(a, b)| run_traced(&kernel(a, b), SimConfig::baseline()).1).collect();
     assert!(
         sempe_core::analysis::all_indistinguishable(&base).is_err(),
         "baseline nested kernel should be distinguishable"

@@ -193,10 +193,7 @@ fn branch_predictability_matters() {
     // There are ~256 data-random branches; a healthy predictor should
     // still mispredict a sizable fraction of them, and essentially never
     // mispredict the loop-control branches.
-    assert!(
-        random_mispredicts > 40,
-        "random branches must mispredict ({random_mispredicts})"
-    );
+    assert!(random_mispredicts > 40, "random branches must mispredict ({random_mispredicts})");
 
     // Biased version: replace the driver with constant zero.
     let mut a = Asm::new();

@@ -18,9 +18,9 @@
 //!   most secret-dependent work per block, BMP the least), which is what
 //!   spreads the overheads in Figure 8.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sempe_compile::wir::{BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+
+use crate::rng::SplitMix64;
 
 /// Output file format (determines pass structure and post-processing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,16 +94,16 @@ impl DjpegParams {
 /// directions).
 #[must_use]
 pub fn synth_image(blocks: usize, seed: u64) -> Vec<u64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut img = Vec::with_capacity(blocks * 64);
     for _ in 0..blocks {
-        img.push(rng.gen_range(64..=255)); // DC
+        img.push(rng.range_inclusive(64, 255)); // DC
         for i in 1..64u64 {
-            let spike = rng.gen_ratio(1, 5);
+            let spike = rng.ratio(1, 5);
             let v = if spike {
-                rng.gen_range(32..=255)
+                rng.range_inclusive(32, 255)
             } else {
-                rng.gen_range(0..=31) / (1 + i / 16)
+                rng.range_inclusive(0, 31) / (1 + i / 16)
             };
             img.push(v);
         }
@@ -175,11 +175,7 @@ pub fn djpeg_program(p: &DjpegParams) -> WirProgram {
                     st_work(bin(BinOp::Sub, idx.clone(), v(base)), v(tmp)),
                     Stmt::Assign(
                         acc,
-                        bin(
-                            BinOp::Add,
-                            v(acc),
-                            ld_work(bin(BinOp::Sub, idx.clone(), v(base))),
-                        ),
+                        bin(BinOp::Add, v(acc), ld_work(bin(BinOp::Sub, idx.clone(), v(base)))),
                     ),
                     Stmt::Assign(j, bin(BinOp::Add, v(j), c(1))),
                 ],
@@ -205,10 +201,7 @@ pub fn djpeg_program(p: &DjpegParams) -> WirProgram {
                 cond: bin(BinOp::Ltu, v(row), c(8)),
                 bound: 9,
                 body: vec![
-                    Stmt::Assign(
-                        rbase,
-                        bin(BinOp::Add, v(base), bin(BinOp::Mul, v(row), c(8))),
-                    ),
+                    Stmt::Assign(rbase, bin(BinOp::Add, v(base), bin(BinOp::Mul, v(row), c(8)))),
                     // Row classification on the leading coefficient.
                     Stmt::If {
                         cond: bin(BinOp::Ltu, c(31), ld_img(v(rbase))),
@@ -251,11 +244,7 @@ pub fn djpeg_program(p: &DjpegParams) -> WirProgram {
     ));
     block_body.push(Stmt::Assign(blk, bin(BinOp::Add, v(blk), c(1))));
 
-    b.while_loop(
-        bin(BinOp::Ltu, v(blk), c(p.blocks as u64)),
-        p.blocks as u32 + 1,
-        block_body,
-    );
+    b.while_loop(bin(BinOp::Ltu, v(blk), c(p.blocks as u64)), p.blocks as u32 + 1, block_body);
     b.output(out_sink);
     b.build()
 }

@@ -34,6 +34,7 @@
 
 pub mod djpeg;
 pub mod micro;
+pub mod rng;
 pub mod rsa;
 
 pub use djpeg::{djpeg_program, synth_image, DjpegParams, OutputFormat};

@@ -43,8 +43,12 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All four benchmark kinds.
-    pub const ALL: [WorkloadKind; 4] =
-        [WorkloadKind::Fibonacci, WorkloadKind::Ones, WorkloadKind::Quicksort, WorkloadKind::Queens];
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Fibonacci,
+        WorkloadKind::Ones,
+        WorkloadKind::Quicksort,
+        WorkloadKind::Queens,
+    ];
 
     /// Display name used in reports.
     #[must_use]
@@ -196,10 +200,7 @@ fn emit_quicksort(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stm
     let st = |a, e: Expr, m: u64, val: Expr| Stmt::Store(a, bin(BinOp::And, e, c(m)), val);
 
     // Fill with pseudo-random data (fresh each run: scratch discipline).
-    let mut out = vec![
-        Stmt::Assign(x, bin(BinOp::Add, v(sink), c(0xB5E1))),
-        Stmt::Assign(i, c(0)),
-    ];
+    let mut out = vec![Stmt::Assign(x, bin(BinOp::Add, v(sink), c(0xB5E1))), Stmt::Assign(i, c(0))];
     out.push(Stmt::While {
         cond: bin(BinOp::Ltu, v(i), c(u64::from(n))),
         bound: n + 1,
@@ -243,11 +244,7 @@ fn emit_quicksort(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stm
                 Stmt::Assign(pivot, ld(arr, v(hi), mask)),
                 Stmt::Assign(i, v(lo)),
                 Stmt::Assign(j, v(lo)),
-                Stmt::While {
-                    cond: bin(BinOp::Ltu, v(j), v(hi)),
-                    bound: n,
-                    body: partition_body,
-                },
+                Stmt::While { cond: bin(BinOp::Ltu, v(j), v(hi)), bound: n, body: partition_body },
                 // swap arr[i], arr[hi]
                 Stmt::Assign(tmp, ld(arr, v(i), mask)),
                 st(arr, v(i), mask, ld(arr, v(hi), mask)),
@@ -281,11 +278,7 @@ fn emit_quicksort(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stm
     // Every popped segment with >= 2 elements is partitioned and only
     // such segments are pushed, so the outer loop runs at most n - 1
     // times plus the initial pop; 2n is a safe constant-time bound.
-    out.push(Stmt::While {
-        cond: bin(BinOp::Ltu, c(0), v(sp)),
-        bound: 2 * n,
-        body: outer_body,
-    });
+    out.push(Stmt::While { cond: bin(BinOp::Ltu, c(0), v(sp)), bound: 2 * n, body: outer_body });
     // Checksum the sorted array (order-sensitive).
     out.push(Stmt::Assign(chk, c(0)));
     out.push(Stmt::Assign(i, c(0)));
@@ -293,14 +286,7 @@ fn emit_quicksort(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stm
         cond: bin(BinOp::Ltu, v(i), c(u64::from(n))),
         bound: n + 1,
         body: vec![
-            Stmt::Assign(
-                chk,
-                bin(
-                    BinOp::Add,
-                    bin(BinOp::Mul, v(chk), c(31)),
-                    ld(arr, v(i), mask),
-                ),
-            ),
+            Stmt::Assign(chk, bin(BinOp::Add, bin(BinOp::Mul, v(chk), c(31)), ld(arr, v(i), mask))),
             Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
         ],
     });
@@ -414,11 +400,7 @@ fn emit_queens(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stmt> 
         Stmt::While {
             // while !found && row < n  (row underflow cannot occur for
             // n >= 4: a solution exists and is found first)
-            cond: bin(
-                BinOp::And,
-                bin(BinOp::Eq, v(found), c(0)),
-                bin(BinOp::Ltu, v(row), nn),
-            ),
+            cond: bin(BinOp::And, bin(BinOp::Eq, v(found), c(0)), bin(BinOp::Ltu, v(row), nn)),
             bound: queens_bound(n),
             body: step,
         },
@@ -428,14 +410,7 @@ fn emit_queens(b: &mut WirBuilder, n: u32, tag: &str, sink: VarId) -> Vec<Stmt> 
             cond: bin(BinOp::Ltu, v(k), c(u64::from(n))),
             bound: 9,
             body: vec![
-                Stmt::Assign(
-                    sink,
-                    bin(
-                        BinOp::Add,
-                        bin(BinOp::Mul, v(sink), c(9)),
-                        ld(v(k)),
-                    ),
-                ),
+                Stmt::Assign(sink, bin(BinOp::Add, bin(BinOp::Mul, v(sink), c(9)), ld(v(k)))),
                 Stmt::Assign(k, bin(BinOp::Add, v(k), c(1))),
             ],
         },
@@ -474,9 +449,8 @@ pub fn fig7_program(p: &MicroParams) -> WirProgram {
     assert!(p.w >= 1, "W must be at least 1");
     let mut b = WirBuilder::new();
     let sink = b.var("sink", 0);
-    let secret_vars: Vec<VarId> = (0..p.w)
-        .map(|i| b.var(format!("s{i}"), (p.secrets >> i) & 1))
-        .collect();
+    let secret_vars: Vec<VarId> =
+        (0..p.w).map(|i| b.var(format!("s{i}"), (p.secrets >> i) & 1)).collect();
 
     // Build the chain inside-out: the innermost else is workload W+1.
     let mut chain = emit_workload(&mut b, p.kind, p.scale, &format!("w{}", p.w), sink);
@@ -491,15 +465,11 @@ pub fn fig7_program(p: &MicroParams) -> WirProgram {
     }
 
     let it = b.var("iter", 0);
-    b.while_loop(
-        bin(BinOp::Ltu, v(it), c(u64::from(p.iters))),
-        p.iters + 1,
-        {
-            let mut body = chain;
-            body.push(Stmt::Assign(it, bin(BinOp::Add, v(it), c(1))));
-            body
-        },
-    );
+    b.while_loop(bin(BinOp::Ltu, v(it), c(u64::from(p.iters))), p.iters + 1, {
+        let mut body = chain;
+        body.push(Stmt::Assign(it, bin(BinOp::Add, v(it), c(1))));
+        body
+    });
     b.output(sink);
     b.build()
 }

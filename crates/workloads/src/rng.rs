@@ -1,0 +1,70 @@
+//! A tiny deterministic PRNG for synthetic workload inputs.
+//!
+//! The workloads only need reproducible, reasonably mixed pseudo-random
+//! data (image coefficients, array fills); SplitMix64 is more than
+//! adequate and keeps the workspace dependency-free for offline builds.
+
+/// SplitMix64 generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded constructor; the same seed always yields the same stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive both ends).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_u64() % (hi - lo + 1)
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn ratio(&mut self, num: u64, den: u64) -> bool {
+        debug_assert!(num <= den && den > 0);
+        self.next_u64() % den < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SplitMix64::new(0xDEC0DE);
+        let mut b = SplitMix64::new(0xDEC0DE);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = r.range_inclusive(64, 255);
+            assert!((64..=255).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ratio_is_roughly_calibrated() {
+        let mut r = SplitMix64::new(2);
+        let hits = (0..10_000).filter(|_| r.ratio(1, 5)).count();
+        assert!((1500..2500).contains(&hits), "1/5 ratio wildly off: {hits}");
+    }
+}

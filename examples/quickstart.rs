@@ -44,11 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if mode == "baseline" { SimConfig::baseline() } else { SimConfig::paper() };
             let mut sim = Simulator::new(&prog, config)?;
             let res = sim.run(1_000_000)?;
-            println!(
-                "{secret:6} | {mode:8} | {:6} | {:6}",
-                sim.arch_reg(abi::A[1]),
-                res.cycles()
-            );
+            println!("{secret:6} | {mode:8} | {:6} | {:6}", sim.arch_reg(abi::A[1]), res.cycles());
         }
     }
     println!();

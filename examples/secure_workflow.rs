@@ -71,11 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut sim = Simulator::new(cw.program(), SimConfig::paper())?;
         let res = sim.run(10_000_000)?;
         assert_eq!(cw.read_outputs(sim.mem()), oracle, "pin {pin:#x}");
-        println!(
-            "pin {pin:#06x}: match={} in {} cycles (SeMPE)",
-            oracle[0],
-            res.cycles()
-        );
+        println!("pin {pin:#06x}: match={} in {} cycles (SeMPE)", oracle[0], res.cycles());
         cycles.push(res.cycles());
     }
     assert!(cycles.windows(2).all(|w| w[0] == w[1]));

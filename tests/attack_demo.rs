@@ -21,7 +21,10 @@ fn sjmp_pc(cw: &sempe::compile::CompiledWorkload) -> u64 {
     pc
 }
 
-fn traced(cw: &sempe::compile::CompiledWorkload, config: SimConfig) -> sempe::core::ObservationTrace {
+fn traced(
+    cw: &sempe::compile::CompiledWorkload,
+    config: SimConfig,
+) -> sempe::core::ObservationTrace {
     let mut sim = Simulator::new(cw.program(), config.with_trace()).expect("sim");
     sim.run(FUEL).expect("halts");
     sim.trace().clone()

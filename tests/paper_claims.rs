@@ -10,7 +10,10 @@ use sempe::workloads::rsa::{modexp_program, ModexpParams};
 
 const FUEL: u64 = 400_000_000;
 
-fn traced_run(prog: &sempe::isa::Program, config: SimConfig) -> (u64, sempe::core::ObservationTrace) {
+fn traced_run(
+    prog: &sempe::isa::Program,
+    config: SimConfig,
+) -> (u64, sempe::core::ObservationTrace) {
     let mut sim = Simulator::new(prog, config.with_trace()).expect("sim");
     let res = sim.run(FUEL).expect("halts");
     (res.cycles(), sim.trace().clone())
@@ -37,10 +40,7 @@ fn claim_modexp_traces_are_secret_independent() {
         let cw = compile(&modexp_program(&p), Backend::Baseline).expect("compiles");
         base.push(traced_run(cw.program(), SimConfig::baseline()).1);
     }
-    assert!(
-        first_divergence(&base[0], &base[1], Strictness::Full).is_some(),
-        "baseline must leak"
-    );
+    assert!(first_divergence(&base[0], &base[1], Strictness::Full).is_some(), "baseline must leak");
 }
 
 /// CTE is also constant-time (that is its purpose) — just slower. Verify
@@ -150,8 +150,7 @@ fn claim_overhead_is_near_ideal() {
     let p = MicroParams { scale: 48, ..MicroParams::new(WorkloadKind::Fibonacci, 4, 2) };
     let prog = fig7_program(&p);
     let cw = compile(&prog, Backend::Sempe).unwrap();
-    let mut legacy =
-        sempe::isa::Interp::new(cw.program(), sempe::isa::InterpMode::Legacy).unwrap();
+    let mut legacy = sempe::isa::Interp::new(cw.program(), sempe::isa::InterpMode::Legacy).unwrap();
     let one_path = legacy.run(FUEL).unwrap().committed;
     let mut both =
         sempe::isa::Interp::new(cw.program(), sempe::isa::InterpMode::SempeFunctional).unwrap();
