@@ -5,12 +5,16 @@
 //! backends, and writes `BENCH_sim_throughput.json` so successive PRs
 //! can track the simulator's performance trajectory.
 //!
-//! Usage: `cargo run --release -p sempe-bench --bin sim_throughput [--quick]`
+//! Usage: `cargo run --release -p sempe-bench --bin sim_throughput
+//! [--quick] [--out <path>]` — `--out` redirects the JSON report (CI
+//! smoke tests write to a temp location instead of clobbering the
+//! tracked snapshot).
 
 use std::time::Instant;
 
 use sempe_bench::{run_backend, BackendRun};
 use sempe_compile::wir::WirProgram;
+use sempe_core::json::Json;
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 use sempe_workloads::rsa::{modexp_program, ModexpParams};
 
@@ -63,30 +67,56 @@ fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps:
         .collect()
 }
 
-fn json_escape(rows: &[Row], micro_kcps: f64, overall_kcps: f64) -> String {
-    let mut s = String::from("{\n  \"bench\": \"sim_throughput\",\n  \"unit\": \"simulated_cycles_per_host_second\",\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"group\": \"{}\", \"backend\": \"{}\", \"sim_cycles\": {}, \"committed\": {}, \"host_secs\": {:.6}, \"cycles_per_sec\": {:.0}, \"mips\": {:.3}}}{}\n",
-            r.workload,
-            r.group,
-            r.backend,
-            r.sim_cycles,
-            r.committed,
-            r.host_secs,
-            r.cycles_per_sec(),
-            r.mips(),
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
-    }
-    s.push_str(&format!(
-        "  ],\n  \"micro_cycles_per_sec\": {micro_kcps:.0},\n  \"overall_cycles_per_sec\": {overall_kcps:.0}\n}}\n"
-    ));
-    s
+/// Render the report with the workspace-shared JSON encoder (the same
+/// one the service protocol uses — one encoder, no drift).
+fn report_json(rows: &[Row], micro_kcps: f64, overall_kcps: f64) -> String {
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .with("workload", r.workload)
+                .with("group", r.group)
+                .with("backend", r.backend)
+                .with("sim_cycles", r.sim_cycles)
+                .with("committed", r.committed)
+                .with("host_secs", (r.host_secs * 1e6).round() / 1e6)
+                .with("cycles_per_sec", r.cycles_per_sec().round())
+                .with("mips", (r.mips() * 1e3).round() / 1e3)
+        })
+        .collect();
+    let mut out = Json::obj()
+        .with("bench", "sim_throughput")
+        .with("unit", "simulated_cycles_per_host_second")
+        .with("rows", Json::Arr(rows_json))
+        .with("micro_cycles_per_sec", micro_kcps.round())
+        .with("overall_cycles_per_sec", overall_kcps.round())
+        .encode();
+    out.push('\n');
+    out
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_sim_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (usage: sim_throughput [--quick] [--out <path>])"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     let reps = if quick { 2 } else { 5 };
 
     let mut rows: Vec<Row> = Vec::new();
@@ -133,7 +163,7 @@ fn main() {
     println!("micro aggregate:   {micro:>14.0} simulated cycles/sec");
     println!("overall aggregate: {overall:>14.0} simulated cycles/sec");
 
-    std::fs::write("BENCH_sim_throughput.json", json_escape(&rows, micro, overall))
-        .expect("write BENCH_sim_throughput.json");
-    println!("\nwrote BENCH_sim_throughput.json");
+    std::fs::write(&out_path, report_json(&rows, micro, overall))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
 }

@@ -187,6 +187,26 @@ impl WirProgram {
         &self.var_names[v.0]
     }
 
+    /// Look up a variable by name.
+    #[must_use]
+    pub fn find_var(&self, name: &str) -> Option<VarId> {
+        self.var_names.iter().position(|n| n == name).map(VarId)
+    }
+
+    /// A variable's initial value.
+    #[must_use]
+    pub fn var_init(&self, v: VarId) -> u64 {
+        self.var_init[v.0]
+    }
+
+    /// Override a variable's initial value — how a driver steers one
+    /// parsed program across many inputs (e.g. the evaluation service
+    /// re-running a victim under every candidate secret) without
+    /// re-parsing or editing source text.
+    pub fn set_var_init(&mut self, v: VarId, init: u64) {
+        self.var_init[v.0] = init;
+    }
+
     /// Count statements, recursively (a size metric for reports).
     #[must_use]
     pub fn stmt_count(&self) -> usize {

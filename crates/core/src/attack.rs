@@ -43,7 +43,7 @@ use crate::trace::{ObservationTrace, TraceEvent};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TimingAttacker {
-    profiles: Vec<(&'static str, u64)>,
+    profiles: Vec<(String, u64)>,
 }
 
 impl TimingAttacker {
@@ -56,23 +56,25 @@ impl TimingAttacker {
     /// Record a reference profile for a candidate secret (the attacker
     /// runs the known code on its own machine — threat model: "the
     /// attacker knows or can guess the code that the victim is running").
-    pub fn calibrate(&mut self, label: &'static str, reference: &ObservationTrace) {
-        self.profiles.push((label, reference.total_cycles));
+    /// Labels are owned, so callers can calibrate over runtime-chosen
+    /// candidates (the evaluation service does).
+    pub fn calibrate(&mut self, label: impl Into<String>, reference: &ObservationTrace) {
+        self.profiles.push((label.into(), reference.total_cycles));
     }
 
     /// Classify an observed execution by nearest cycle count. Returns
     /// `None` when the observation is equidistant from several profiles
     /// (indistinguishable — the defense held).
     #[must_use]
-    pub fn classify(&self, observed: &ObservationTrace) -> Option<&'static str> {
-        let mut best: Option<(&'static str, u64)> = None;
+    pub fn classify(&self, observed: &ObservationTrace) -> Option<&str> {
+        let mut best: Option<(&str, u64)> = None;
         let mut tie = false;
         for (label, cycles) in &self.profiles {
             let d = cycles.abs_diff(observed.total_cycles);
             match best {
-                None => best = Some((label, d)),
+                None => best = Some((label.as_str(), d)),
                 Some((_, bd)) if d < bd => {
-                    best = Some((label, d));
+                    best = Some((label.as_str(), d));
                     tie = false;
                 }
                 Some((_, bd)) if d == bd => tie = true,

@@ -1,0 +1,6 @@
+//! Content hashing for cache keys and digests — a re-export of the
+//! base-layer implementation in [`sempe_isa::hash`], so every layer
+//! (ISA program digests, simulator config digests, the service's
+//! content-addressed cache) shares one FNV-1a.
+
+pub use sempe_isa::hash::{fnv1a, Fnv1a, FNV_OFFSET, FNV_PRIME};

@@ -48,7 +48,9 @@
 pub mod analysis;
 pub mod attack;
 pub mod error;
+pub mod hash;
 pub mod jbtable;
+pub mod json;
 pub mod snapshot;
 pub mod spm;
 pub mod trace;
@@ -56,7 +58,9 @@ pub mod unit;
 
 pub use analysis::{first_divergence, indistinguishable, Divergence, Strictness};
 pub use error::SempeFault;
+pub use hash::{fnv1a, Fnv1a};
 pub use jbtable::{EosAction, JbEntry, JumpBackTable};
+pub use json::Json;
 pub use snapshot::{ArchSnapshot, ModifiedSet, RegState};
 pub use spm::{Spm, SpmConfig};
 pub use trace::{CacheLevel, ObservationTrace, TraceEvent};

@@ -1,0 +1,95 @@
+//! Content hashing for cache keys and digests.
+//!
+//! The service layer addresses compiled programs and simulation results by
+//! content: `(source hash, backend, security mode, config digest)`. Those
+//! keys only ever live inside one process, so a small, dependency-free,
+//! deterministic hash is all that is needed — FNV-1a over bytes.
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over byte chunks.
+///
+/// # Examples
+///
+/// ```
+/// use sempe_isa::hash::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello ");
+/// h.write(b"world");
+/// assert_eq!(h.finish(), sempe_isa::hash::fnv1a(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    #[must_use]
+    pub const fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorb a chunk of bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Absorb a `u64` (little-endian), e.g. a nested digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn chunking_is_transparent() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(fnv1a(b"secret=0"), fnv1a(b"secret=1"));
+    }
+}

@@ -64,6 +64,7 @@ pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod error;
+pub mod hash;
 pub mod insn;
 pub mod interp;
 pub mod mem;

@@ -107,6 +107,25 @@ impl Program {
         self.symbols.get(name).copied()
     }
 
+    /// A content digest of the loadable image (FNV-1a over code base,
+    /// entry, code bytes, and every data segment). Two programs with the
+    /// same digest load identically, which makes the digest usable as a
+    /// content-addressed cache key for compiled binaries.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::hash::Fnv1a::new();
+        h.write_u64(self.code_base);
+        h.write_u64(self.entry);
+        h.write_u64(self.code.len() as u64);
+        h.write(&self.code);
+        for (addr, image) in &self.data {
+            h.write_u64(*addr);
+            h.write_u64(image.len() as u64);
+            h.write(image);
+        }
+        h.finish()
+    }
+
     /// Load code and initial data into a memory image.
     pub fn load_into(&self, mem: &mut Memory) {
         mem.load_image(self.code_base, &self.code);

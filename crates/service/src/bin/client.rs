@@ -1,0 +1,200 @@
+//! `sempe-client` — CLI client for the evaluation daemon.
+//!
+//! ```text
+//! sempe-client [--addr HOST:PORT] <command> [options]
+//!
+//! commands:
+//!   compile  --source FILE|-  [--backend baseline|sempe|cte]
+//!   run      --source FILE|-  [--backend B] [--max-cycles N]
+//!   sweep    --source FILE|-  [--max-cycles N]
+//!   attack   --source FILE|-  [--mode baseline|sempe] [--secret NAME]
+//!            [--secret-value N] [--candidates A,B,...] [--max-cycles N]
+//!   stats
+//!   shutdown
+//!   raw      '<json request line>'
+//! ```
+//!
+//! `--source -` reads WIR from stdin. The response line is printed to
+//! stdout verbatim; the exit code is 0 for `"ok":true`, 2 for a server
+//! error response, 1 for usage/transport problems. `--addr` defaults to
+//! `$SEMPE_ADDR` or `127.0.0.1:4870`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use sempe_core::json::Json;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:4870";
+
+struct Options {
+    addr: String,
+    command: String,
+    source: Option<String>,
+    backend: Option<String>,
+    mode: Option<String>,
+    secret: Option<String>,
+    secret_value: Option<u64>,
+    candidates: Option<Vec<u64>>,
+    max_cycles: Option<u64>,
+    raw: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sempe-client [--addr HOST:PORT] <compile|run|sweep|attack|stats|shutdown|raw> \
+         [--source FILE|-] [--backend B] [--mode M] [--secret NAME] [--secret-value N] \
+         [--candidates A,B,...] [--max-cycles N] ['<json>']"
+    );
+    std::process::exit(1);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sempe-client: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: std::env::var("SEMPE_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string()),
+        command: String::new(),
+        source: None,
+        backend: None,
+        mode: None,
+        secret: None,
+        secret_value: None,
+        candidates: None,
+        max_cycles: None,
+        raw: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value =
+            |name: &str| args.next().unwrap_or_else(|| fail(&format!("{name} needs a value")));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr"),
+            "--source" => opts.source = Some(value("--source")),
+            "--backend" => opts.backend = Some(value("--backend")),
+            "--mode" => opts.mode = Some(value("--mode")),
+            "--secret" => opts.secret = Some(value("--secret")),
+            "--secret-value" => {
+                opts.secret_value = Some(
+                    value("--secret-value")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--secret-value must be a non-negative integer")),
+                );
+            }
+            "--candidates" => {
+                let list = value("--candidates")
+                    .split(',')
+                    .map(|s| s.trim().parse::<u64>())
+                    .collect::<Result<Vec<u64>, _>>()
+                    .unwrap_or_else(|_| fail("--candidates must be comma-separated integers"));
+                opts.candidates = Some(list);
+            }
+            "--max-cycles" => {
+                opts.max_cycles = Some(
+                    value("--max-cycles")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-cycles must be an integer")),
+                );
+            }
+            "--help" | "-h" => usage(),
+            other if opts.command.is_empty() && !other.starts_with('-') => {
+                opts.command = other.to_string();
+            }
+            other if opts.command == "raw" && opts.raw.is_none() => {
+                opts.raw = Some(other.to_string());
+            }
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.command.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn read_source(opts: &Options) -> String {
+    let Some(path) = &opts.source else { fail("this command needs --source FILE|-") };
+    if path == "-" {
+        let mut src = String::new();
+        std::io::stdin()
+            .read_to_string(&mut src)
+            .unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+        src
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")))
+    }
+}
+
+fn build_request(opts: &Options) -> String {
+    match opts.command.as_str() {
+        "compile" | "run" => {
+            let mut req =
+                Json::obj().with("type", opts.command.as_str()).with("source", read_source(opts));
+            if let Some(b) = &opts.backend {
+                req.set("backend", b.as_str());
+            }
+            if opts.command == "run" {
+                if let Some(n) = opts.max_cycles {
+                    req.set("max_cycles", n);
+                }
+            }
+            req.encode()
+        }
+        "sweep" => {
+            let mut req = Json::obj().with("type", "sweep").with("source", read_source(opts));
+            if let Some(n) = opts.max_cycles {
+                req.set("max_cycles", n);
+            }
+            req.encode()
+        }
+        "attack" => {
+            let mut req = Json::obj().with("type", "attack").with("source", read_source(opts));
+            if let Some(m) = &opts.mode {
+                req.set("mode", m.as_str());
+            }
+            if let Some(s) = &opts.secret {
+                req.set("secret", s.as_str());
+            }
+            if let Some(v) = opts.secret_value {
+                req.set("secret_value", v);
+            }
+            if let Some(c) = &opts.candidates {
+                req.set("candidates", c.clone());
+            }
+            if let Some(n) = opts.max_cycles {
+                req.set("max_cycles", n);
+            }
+            req.encode()
+        }
+        "stats" => Json::obj().with("type", "stats").encode(),
+        "shutdown" => Json::obj().with("type", "shutdown").encode(),
+        "raw" => opts.raw.clone().unwrap_or_else(|| fail("raw needs a JSON argument")),
+        other => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let request = build_request(&opts);
+
+    let mut stream = TcpStream::connect(&opts.addr)
+        .unwrap_or_else(|e| fail(&format!("connect {}: {e}", opts.addr)));
+    writeln!(stream, "{request}").unwrap_or_else(|e| fail(&format!("send: {e}")));
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).unwrap_or_else(|e| fail(&format!("recv: {e}")));
+    if response.is_empty() {
+        fail("server closed the connection without responding");
+    }
+    print!("{response}");
+    match sempe_core::json::parse(response.trim_end()) {
+        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(2),
+        Err(e) => {
+            eprintln!("sempe-client: unparseable response: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

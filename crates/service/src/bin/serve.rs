@@ -1,0 +1,78 @@
+//! `sempe-serve` — the evaluation daemon.
+//!
+//! ```text
+//! sempe-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!             [--cache-cap N] [--addr-file PATH]
+//! ```
+//!
+//! Binds (port 0 picks an ephemeral port), prints the resolved address,
+//! optionally writes it to `--addr-file` (how scripts and CI discover an
+//! ephemeral port), then serves until a `shutdown` request arrives.
+
+use std::process::ExitCode;
+
+use sempe_service::{Server, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sempe-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--cache-cap N] [--addr-file PATH]"
+    );
+    std::process::exit(1);
+}
+
+fn main() -> ExitCode {
+    let mut config = ServiceConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => usage(),
+            },
+            "--queue-cap" => match value("--queue-cap").parse() {
+                Ok(n) => config.queue_capacity = n,
+                Err(_) => usage(),
+            },
+            "--cache-cap" => match value("--cache-cap").parse() {
+                Ok(n) => config.cache_capacity = n,
+                Err(_) => usage(),
+            },
+            "--addr-file" => addr_file = Some(value("--addr-file")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sempe-serve: bind {} failed: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!("sempe-service listening on {addr}");
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("sempe-serve: writing {path} failed: {e}");
+            server.shutdown();
+            server.join();
+            return ExitCode::FAILURE;
+        }
+    }
+    server.join();
+    println!("sempe-service stopped");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,207 @@
+//! The content-addressed result cache.
+//!
+//! Every compute request is deterministic: the simulator is cycle-exact
+//! and the JSON encoder is byte-stable, so a response is fully determined
+//! by `(source hash, backend, security mode, config digest, parameters)`.
+//! That tuple is the [`CacheKey`]; the cached value is the encoded
+//! response line itself, which makes cache hits byte-identical to cold
+//! responses by construction.
+//!
+//! The cache is a bounded FIFO: at capacity, the oldest entry is evicted.
+//! Hit/miss counters feed the `stats` endpoint.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What a cached response is keyed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Request kind (`"compile"`, `"run"`, `"sweep"`, `"attack"`).
+    pub op: &'static str,
+    /// FNV-1a of the WIR source text.
+    pub source_hash: u64,
+    /// Compiler backend discriminant (0 baseline, 1 sempe, 2 cte;
+    /// `u8::MAX` when the request spans all backends).
+    pub backend: u8,
+    /// Security mode discriminant (0 baseline, 1 sempe; `u8::MAX` when
+    /// the request spans both).
+    pub mode: u8,
+    /// XOR of the [`sempe_sim::SimConfig::digest`]s of every
+    /// configuration the request simulates under.
+    pub config_digest: u64,
+    /// Digest of the remaining request parameters (fuel, candidates, …).
+    pub params_digest: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, Arc<str>>,
+    order: VecDeque<CacheKey>,
+}
+
+/// Bounded, thread-safe response cache with hit/miss accounting.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` responses.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a response, counting the hit or miss.
+    #[must_use]
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
+        let inner = self.inner.lock().expect("cache lock");
+        let hit = inner.map.get(key).cloned();
+        drop(inner);
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Store a response, evicting the oldest entry at capacity. A racing
+    /// insert under the same key wins by arrival order; both racers
+    /// computed byte-identical bodies, so either value is correct.
+    pub fn insert(&self, key: CacheKey, value: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.insert(key, value).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let oldest = inner.order.pop_front().expect("order tracks map");
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Number of cached responses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Is the cache empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served from memory.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CacheKey {
+        CacheKey {
+            op: "run",
+            source_hash: n,
+            backend: 1,
+            mode: 1,
+            config_digest: 7,
+            params_digest: 9,
+        }
+    }
+
+    #[test]
+    fn get_insert_and_counters() {
+        let c = ResultCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), Arc::from("body"));
+        assert_eq!(c.get(&key(1)).as_deref(), Some("body"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = ResultCache::new(2);
+        c.insert(key(1), Arc::from("a"));
+        c.insert(key(2), Arc::from("b"));
+        c.insert(key(3), Arc::from("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1)).is_none(), "oldest evicted");
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order_entries() {
+        let c = ResultCache::new(2);
+        c.insert(key(1), Arc::from("a"));
+        c.insert(key(1), Arc::from("a"));
+        c.insert(key(2), Arc::from("b"));
+        c.insert(key(3), Arc::from("c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::new(0);
+        c.insert(key(1), Arc::from("a"));
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn distinct_dimensions_do_not_collide() {
+        let a = key(1);
+        let mut b = a;
+        b.mode = 0;
+        let mut c = a;
+        c.config_digest ^= 1;
+        let cache = ResultCache::new(8);
+        cache.insert(a, Arc::from("a"));
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_none());
+    }
+}

@@ -1,0 +1,582 @@
+//! Request execution: each worker thread drives one [`Arena`] through
+//! the compile → simulate → analyze stack and renders responses.
+//!
+//! Everything here is deterministic. Given the same request, two workers
+//! produce byte-identical response bodies — the invariant the result
+//! cache (and the protocol's "cache hits are indistinguishable from cold
+//! runs" promise) rests on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sempe_compile::{analyze_taint, compile, parse_wir, ParsedProgram, WirProgram};
+use sempe_core::attack::{BranchProfileAttacker, TimingAttacker};
+use sempe_core::hash::{fnv1a, Fnv1a};
+use sempe_core::json::Json;
+use sempe_core::trace::ObservationTrace;
+use sempe_core::{first_divergence, Strictness};
+use sempe_isa::{disasm, Addr, DecodeMode, Program};
+use sempe_sim::{SecurityMode, SimConfig, SimResult, Simulator};
+
+use crate::cache::CacheKey;
+use crate::protocol::{BackendSel, ErrorCode, Request, ServiceError};
+
+/// A worker's reusable simulation arena.
+///
+/// The first job constructs the [`Simulator`]; later jobs
+/// [`Simulator::rebuild`] it in place, recycling the hot-loop
+/// allocations instead of re-growing them per request.
+#[derive(Debug, Default)]
+pub struct Arena {
+    sim: Option<Simulator>,
+}
+
+impl Arena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Simulate `prog` under `config`, reusing the arena's simulator.
+    fn simulate(
+        &mut self,
+        prog: &Program,
+        config: SimConfig,
+        fuel: u64,
+    ) -> Result<SimResult, ServiceError> {
+        let build_err =
+            |e: sempe_sim::SimError| ServiceError::new(ErrorCode::Compile, e.to_string());
+        match self.sim.as_mut() {
+            Some(sim) => sim.rebuild(prog, config).map_err(build_err)?,
+            None => self.sim = Some(Simulator::new(prog, config).map_err(build_err)?),
+        }
+        let sim = self.sim.as_mut().expect("just installed");
+        sim.run(fuel).map_err(|e| ServiceError::new(ErrorCode::Sim, e.to_string()))
+    }
+
+    /// The simulator after the last [`Arena::simulate`] (memory, trace).
+    fn sim(&self) -> &Simulator {
+        self.sim.as_ref().expect("simulate ran")
+    }
+}
+
+const fn backend_disc(sel: BackendSel) -> u8 {
+    match sel {
+        BackendSel::Baseline => 0,
+        BackendSel::Sempe => 1,
+        BackendSel::Cte => 2,
+    }
+}
+
+const fn mode_disc(mode: SecurityMode) -> u8 {
+    match mode {
+        SecurityMode::Baseline => 0,
+        SecurityMode::Sempe => 1,
+    }
+}
+
+const fn attack_sel(mode: SecurityMode) -> BackendSel {
+    match mode {
+        SecurityMode::Baseline => BackendSel::Baseline,
+        SecurityMode::Sempe => BackendSel::Sempe,
+    }
+}
+
+/// The content-addressed cache key of a compute request (`None` for
+/// `stats`/`shutdown`, which never reach the job queue).
+#[must_use]
+pub fn cache_key(req: &Request) -> Option<CacheKey> {
+    match req {
+        Request::Compile { source, backend } => Some(CacheKey {
+            op: "compile",
+            source_hash: fnv1a(source.as_bytes()),
+            backend: backend_disc(*backend),
+            mode: mode_disc(backend.mode()),
+            config_digest: 0,
+            params_digest: 0,
+        }),
+        Request::Run { source, backend, max_cycles } => Some(CacheKey {
+            op: "run",
+            source_hash: fnv1a(source.as_bytes()),
+            backend: backend_disc(*backend),
+            mode: mode_disc(backend.mode()),
+            config_digest: backend.sim_config().digest(),
+            params_digest: *max_cycles,
+        }),
+        Request::Sweep { source, max_cycles } => Some(CacheKey {
+            op: "sweep",
+            source_hash: fnv1a(source.as_bytes()),
+            backend: u8::MAX,
+            mode: u8::MAX,
+            config_digest: BackendSel::ALL
+                .iter()
+                .fold(0, |acc, sel| acc ^ sel.sim_config().digest()),
+            params_digest: *max_cycles,
+        }),
+        Request::Attack { source, mode, secret, secret_value, candidates, max_cycles } => {
+            let mut params = Fnv1a::new();
+            params.write_u64(*max_cycles);
+            params.write(secret.as_deref().unwrap_or("\u{0}first").as_bytes());
+            match secret_value {
+                Some(v) => {
+                    params.write_u64(1);
+                    params.write_u64(*v);
+                }
+                None => params.write_u64(0),
+            }
+            for c in candidates {
+                params.write_u64(*c);
+            }
+            let sel = attack_sel(*mode);
+            Some(CacheKey {
+                op: "attack",
+                source_hash: fnv1a(source.as_bytes()),
+                backend: backend_disc(sel),
+                mode: mode_disc(*mode),
+                config_digest: sel.sim_config().with_trace().digest(),
+                params_digest: params.finish(),
+            })
+        }
+        Request::Stats | Request::Shutdown => None,
+    }
+}
+
+/// Execute a compute request, returning the encoded response line
+/// (without trailing newline).
+///
+/// # Errors
+///
+/// [`ServiceError`] describing the failure; `stats`/`shutdown` requests
+/// are rejected here because they are served inline by the connection
+/// handler, never by a worker.
+pub fn execute(req: &Request, arena: &mut Arena) -> Result<String, ServiceError> {
+    let body = match req {
+        Request::Compile { source, backend } => do_compile(source, *backend)?,
+        Request::Run { source, backend, max_cycles } => {
+            do_run(source, *backend, *max_cycles, arena)?
+        }
+        Request::Sweep { source, max_cycles } => do_sweep(source, *max_cycles, arena)?,
+        Request::Attack { source, mode, secret, secret_value, candidates, max_cycles } => {
+            do_attack(
+                source,
+                *mode,
+                secret.as_deref(),
+                *secret_value,
+                candidates,
+                *max_cycles,
+                arena,
+            )?
+        }
+        Request::Stats | Request::Shutdown => {
+            return Err(ServiceError::new(ErrorCode::Internal, "control request reached a worker"))
+        }
+    };
+    Ok(body.encode())
+}
+
+fn parse_source(source: &str) -> Result<ParsedProgram, ServiceError> {
+    parse_wir(source).map_err(|e| ServiceError::new(ErrorCode::Wir, e.to_string()))
+}
+
+fn compile_sel(
+    prog: &WirProgram,
+    sel: BackendSel,
+) -> Result<sempe_compile::CompiledWorkload, ServiceError> {
+    compile(prog, sel.backend()).map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))
+}
+
+fn hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+fn do_compile(source: &str, sel: BackendSel) -> Result<Json, ServiceError> {
+    let parsed = parse_source(source)?;
+    let taint = analyze_taint(&parsed.program, &parsed.secrets);
+    let cw = compile_sel(&parsed.program, sel)?;
+    let decode_mode = match sel {
+        BackendSel::Sempe => DecodeMode::Sempe,
+        BackendSel::Baseline | BackendSel::Cte => DecodeMode::Legacy,
+    };
+    let decoded = cw
+        .program()
+        .decoded(decode_mode)
+        .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
+    let listing = disasm::listing(cw.program(), decode_mode)
+        .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
+    let secret_names: Vec<Json> =
+        parsed.secrets.iter().map(|v| Json::from(parsed.program.var_name(*v))).collect();
+    Ok(Json::obj()
+        .with("ok", true)
+        .with("type", "compile")
+        .with("backend", sel.name())
+        .with("insns", decoded.len())
+        .with("code_bytes", cw.program().code_len())
+        .with("code_digest", hex(cw.program().digest()))
+        .with("source_hash", hex(fnv1a(source.as_bytes())))
+        .with("taint_clean", taint.is_clean())
+        .with("secrets", Json::Arr(secret_names))
+        .with("disasm", listing))
+}
+
+/// The measured facts of one simulation, shared by `run` and `sweep`.
+struct RunData {
+    cycles: u64,
+    committed: u64,
+    secure_committed: u64,
+    squashes: u64,
+    drain_stall_cycles: u64,
+    ipc: f64,
+    outputs: Vec<u64>,
+}
+
+impl RunData {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("cycles", self.cycles)
+            .with("committed", self.committed)
+            .with("ipc", self.ipc)
+            .with("secure_committed", self.secure_committed)
+            .with("squashes", self.squashes)
+            .with("drain_stall_cycles", self.drain_stall_cycles)
+            .with("outputs", self.outputs.clone())
+    }
+}
+
+fn arena_run(
+    prog: &WirProgram,
+    sel: BackendSel,
+    fuel: u64,
+    arena: &mut Arena,
+) -> Result<RunData, ServiceError> {
+    let cw = compile_sel(prog, sel)?;
+    let res = arena.simulate(cw.program(), sel.sim_config(), fuel)?;
+    let stats = res.stats;
+    Ok(RunData {
+        cycles: res.cycles(),
+        committed: res.committed(),
+        secure_committed: stats.secure_committed,
+        squashes: stats.squashes,
+        drain_stall_cycles: stats.drain_stall_cycles,
+        ipc: (stats.ipc() * 1e6).round() / 1e6,
+        outputs: cw.read_outputs(arena.sim().mem()),
+    })
+}
+
+/// A run on a freshly built simulator — used by `sweep`'s side threads,
+/// which cannot share the worker's arena.
+fn cold_run(prog: &WirProgram, sel: BackendSel, fuel: u64) -> Result<RunData, ServiceError> {
+    let mut arena = Arena::new();
+    arena_run(prog, sel, fuel, &mut arena)
+}
+
+fn do_run(
+    source: &str,
+    sel: BackendSel,
+    fuel: u64,
+    arena: &mut Arena,
+) -> Result<Json, ServiceError> {
+    let parsed = parse_source(source)?;
+    let data = arena_run(&parsed.program, sel, fuel, arena)?;
+    let mut body = Json::obj().with("ok", true).with("type", "run").with("backend", sel.name());
+    if let Json::Obj(run_members) = data.to_json() {
+        if let Json::Obj(members) = &mut body {
+            members.extend(run_members);
+        }
+    }
+    Ok(body
+        .with("source_hash", hex(fnv1a(source.as_bytes())))
+        .with("config_digest", hex(sel.sim_config().digest())))
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn do_sweep(source: &str, fuel: u64, arena: &mut Arena) -> Result<Json, ServiceError> {
+    let parsed = parse_source(source)?;
+    let prog = &parsed.program;
+    let join = |h: std::thread::ScopedJoinHandle<'_, Result<RunData, ServiceError>>| {
+        h.join().unwrap_or_else(|_| {
+            Err(ServiceError::new(ErrorCode::Internal, "sweep worker panicked"))
+        })
+    };
+    // All three combinations run concurrently: SeMPE and CTE (the long
+    // poles) on scoped threads, the baseline on this worker's arena.
+    let (baseline, sempe, cte) = std::thread::scope(|s| {
+        let sempe = s.spawn(|| cold_run(prog, BackendSel::Sempe, fuel));
+        let cte = s.spawn(|| cold_run(prog, BackendSel::Cte, fuel));
+        let baseline = arena_run(prog, BackendSel::Baseline, fuel, arena);
+        (baseline, join(sempe), join(cte))
+    });
+    let (baseline, sempe, cte) = (baseline?, sempe?, cte?);
+    let outputs_match = baseline.outputs == sempe.outputs && baseline.outputs == cte.outputs;
+    let ratio = |r: &RunData| (r.cycles as f64 / baseline.cycles.max(1) as f64 * 1e6).round() / 1e6;
+    Ok(Json::obj()
+        .with("ok", true)
+        .with("type", "sweep")
+        .with(
+            "runs",
+            Json::obj()
+                .with("baseline", baseline.to_json())
+                .with("sempe", sempe.to_json())
+                .with("cte", cte.to_json()),
+        )
+        .with("overhead", Json::obj().with("sempe", ratio(&sempe)).with("cte", ratio(&cte)))
+        .with("outputs_match", outputs_match)
+        .with("source_hash", hex(fnv1a(source.as_bytes()))))
+}
+
+type BranchHistogram = BTreeMap<Addr, (u64, u64)>;
+
+fn do_attack(
+    source: &str,
+    mode: SecurityMode,
+    secret: Option<&str>,
+    secret_value: Option<u64>,
+    candidates: &[u64],
+    fuel: u64,
+    arena: &mut Arena,
+) -> Result<Json, ServiceError> {
+    let parsed = parse_source(source)?;
+    let vid = match secret {
+        Some(name) => parsed.program.find_var(name).ok_or_else(|| {
+            ServiceError::new(ErrorCode::BadRequest, format!("unknown variable `{name}`"))
+        })?,
+        None => *parsed.secrets.first().ok_or_else(|| {
+            ServiceError::new(ErrorCode::BadRequest, "program declares no secret variable")
+        })?,
+    };
+    if !parsed.secrets.contains(&vid) {
+        return Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("variable `{}` is not declared secret", parsed.program.var_name(vid)),
+        ));
+    }
+    let victim_secret = secret_value.unwrap_or_else(|| parsed.program.var_init(vid));
+    let sel = attack_sel(mode);
+    let config = sel.sim_config().with_trace();
+
+    // The attacker's calibration phase: run the known code under every
+    // candidate secret on its own (identical) machine.
+    let run_with =
+        |value: u64, arena: &mut Arena| -> Result<(u64, ObservationTrace), ServiceError> {
+            let mut prog = parsed.program.clone();
+            prog.set_var_init(vid, value);
+            let cw = compile_sel(&prog, sel)?;
+            let res = arena.simulate(cw.program(), config, fuel)?;
+            Ok((res.cycles(), arena.sim().trace().clone()))
+        };
+    let mut calib: Vec<(u64, u64, ObservationTrace)> = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        let (cycles, trace) = run_with(c, arena)?;
+        calib.push((c, cycles, trace));
+    }
+    // The victim's run (reused when the true secret is also a candidate).
+    let victim_trace = match calib.iter().find(|(c, _, _)| *c == victim_secret) {
+        Some((_, _, t)) => t.clone(),
+        None => run_with(victim_secret, arena)?.1,
+    };
+
+    // Timing attacker (Brumley–Boneh style).
+    let mut timing = TimingAttacker::new();
+    for (c, _, trace) in &calib {
+        timing.calibrate(c.to_string(), trace);
+    }
+    let timing_guess = timing.classify(&victim_trace).map(str::to_string);
+    let timing_recovered = timing_guess.as_deref() == Some(victim_secret.to_string().as_str());
+
+    // Branch-profile attacker (Acıiçmez style): a branch leaks when its
+    // predictor-update histogram depends on the candidate secret.
+    let histograms: Vec<BranchHistogram> =
+        calib.iter().map(|(_, _, t)| BranchProfileAttacker::update_histogram(t)).collect();
+    let all_pcs: BTreeSet<Addr> = histograms.iter().flat_map(|h| h.keys().copied()).collect();
+    let leaking: Vec<Addr> = all_pcs
+        .into_iter()
+        .filter(|pc| {
+            let views: Vec<(u64, u64)> =
+                histograms.iter().map(|h| h.get(pc).copied().unwrap_or((0, 0))).collect();
+            views.iter().any(|v| *v != views[0])
+        })
+        .collect();
+    let victim_hist = BranchProfileAttacker::update_histogram(&victim_trace);
+    let branch_matches: Vec<u64> = calib
+        .iter()
+        .zip(&histograms)
+        .filter(|(_, h)| **h == victim_hist)
+        .map(|((c, _, _), _)| *c)
+        .collect();
+    let branch_guess = match branch_matches.as_slice() {
+        [only] => Some(*only),
+        _ => None,
+    };
+    let branch_recovered = !leaking.is_empty() && branch_guess == Some(victim_secret);
+    let recovered_key =
+        leaking.first().map(|pc| BranchProfileAttacker::recover_key(&victim_trace, *pc));
+
+    // Whole-trace distinguishability under the full threat model.
+    let mut divergent_pairs = 0u64;
+    for i in 0..calib.len() {
+        for j in (i + 1)..calib.len() {
+            if first_divergence(&calib[i].2, &calib[j].2, Strictness::Full).is_some() {
+                divergent_pairs += 1;
+            }
+        }
+    }
+
+    let opt_u64 = |v: Option<u64>| v.map_or(Json::Null, Json::U64);
+    Ok(Json::obj()
+        .with("ok", true)
+        .with("type", "attack")
+        .with("mode", mode.name())
+        .with("secret", parsed.program.var_name(vid))
+        .with("secret_value", victim_secret)
+        .with("candidates", candidates.to_vec())
+        .with("cycles", calib.iter().map(|(_, c, _)| *c).collect::<Vec<u64>>())
+        .with(
+            "timing",
+            Json::obj()
+                .with("can_distinguish", timing.can_distinguish())
+                .with("guess", timing_guess.map_or(Json::Null, Json::Str))
+                .with("recovered", timing_recovered),
+        )
+        .with(
+            "branch",
+            Json::obj()
+                .with("leaking_branches", leaking.len())
+                .with("guess", opt_u64(branch_guess))
+                .with("recovered", branch_recovered)
+                .with("recovered_key", opt_u64(recovered_key)),
+        )
+        .with(
+            "trace",
+            Json::obj().with("events", victim_trace.len()).with("divergent_pairs", divergent_pairs),
+        )
+        .with("source_hash", hex(fnv1a(source.as_bytes()))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEXP: &str = r"
+        secret key = 0b1011;
+        var r = 1;
+        var base = 7;
+        var i = 0;
+        var bit = 0;
+        while (i < 4) bound 5 {
+            bit = (key >> i) & 1;
+            if secret (bit) { r = (r * base) % 1000003; }
+            base = (base * base) % 1000003;
+            i = i + 1;
+        }
+        output r;
+    ";
+
+    fn attack_req(mode: &str) -> Request {
+        Request::parse(&format!(
+            r#"{{"type":"attack","source":{},"mode":"{mode}","candidates":[11,2],"max_cycles":50000000}}"#,
+            sempe_core::json::escape(MODEXP)
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_reports_metadata_and_disassembly() {
+        let mut arena = Arena::new();
+        let req = Request::Compile { source: MODEXP.to_string(), backend: BackendSel::Sempe };
+        let body = execute(&req, &mut arena).unwrap();
+        let v = sempe_core::json::parse(&body).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("taint_clean").and_then(Json::as_bool), Some(true));
+        assert!(v.get("insns").and_then(Json::as_u64).unwrap() > 10);
+        assert!(v.get("disasm").and_then(Json::as_str).unwrap().contains("eosjmp"));
+    }
+
+    #[test]
+    fn run_and_sweep_agree_on_outputs() {
+        let mut arena = Arena::new();
+        let run = Request::Run {
+            source: MODEXP.to_string(),
+            backend: BackendSel::Baseline,
+            max_cycles: 50_000_000,
+        };
+        let run_v = sempe_core::json::parse(&execute(&run, &mut arena).unwrap()).unwrap();
+        let want = 7u64.pow(0b1011) % 1_000_003;
+        let outputs = run_v.get("outputs").and_then(Json::as_array).unwrap();
+        assert_eq!(outputs[0].as_u64(), Some(want));
+
+        let sweep = Request::Sweep { source: MODEXP.to_string(), max_cycles: 50_000_000 };
+        let sweep_v = sempe_core::json::parse(&execute(&sweep, &mut arena).unwrap()).unwrap();
+        assert_eq!(sweep_v.get("outputs_match").and_then(Json::as_bool), Some(true));
+        let overhead = sweep_v.get("overhead").unwrap();
+        assert!(overhead.get("sempe").and_then(Json::as_f64).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn attack_recovers_on_baseline_and_is_blind_on_sempe() {
+        let mut arena = Arena::new();
+        let base = sempe_core::json::parse(&execute(&attack_req("baseline"), &mut arena).unwrap())
+            .unwrap();
+        let t = base.get("timing").unwrap();
+        assert_eq!(t.get("can_distinguish").and_then(Json::as_bool), Some(true));
+        assert_eq!(t.get("recovered").and_then(Json::as_bool), Some(true));
+        let b = base.get("branch").unwrap();
+        assert!(b.get("leaking_branches").and_then(Json::as_u64).unwrap() >= 1);
+        assert_eq!(b.get("recovered_key").and_then(Json::as_u64), Some(0b1011));
+
+        let sempe =
+            sempe_core::json::parse(&execute(&attack_req("sempe"), &mut arena).unwrap()).unwrap();
+        let t = sempe.get("timing").unwrap();
+        assert_eq!(t.get("can_distinguish").and_then(Json::as_bool), Some(false));
+        assert_eq!(t.get("recovered").and_then(Json::as_bool), Some(false));
+        let b = sempe.get("branch").unwrap();
+        assert_eq!(b.get("leaking_branches").and_then(Json::as_u64), Some(0));
+        assert_eq!(b.get("recovered").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            sempe.get("trace").unwrap().get("divergent_pairs").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn execution_is_deterministic_across_arenas() {
+        let req = Request::Run {
+            source: MODEXP.to_string(),
+            backend: BackendSel::Sempe,
+            max_cycles: 50_000_000,
+        };
+        let mut a = Arena::new();
+        let mut b = Arena::new();
+        // Dirty arena `b` with unrelated work first.
+        let _ = execute(&attack_req("baseline"), &mut b).unwrap();
+        assert_eq!(execute(&req, &mut a).unwrap(), execute(&req, &mut b).unwrap());
+    }
+
+    #[test]
+    fn cache_keys_separate_requests() {
+        let run = |backend| Request::Run { source: MODEXP.to_string(), backend, max_cycles: 1000 };
+        let k1 = cache_key(&run(BackendSel::Sempe)).unwrap();
+        let k2 = cache_key(&run(BackendSel::Baseline)).unwrap();
+        let k3 = cache_key(&run(BackendSel::Cte)).unwrap();
+        assert_ne!(k1, k2);
+        assert_ne!(k2, k3, "cte and baseline share a machine but not a backend");
+        assert_eq!(k1, cache_key(&run(BackendSel::Sempe)).unwrap());
+        assert!(cache_key(&Request::Stats).is_none());
+        assert!(cache_key(&Request::Shutdown).is_none());
+    }
+
+    #[test]
+    fn wir_errors_surface_with_the_right_code() {
+        let mut arena = Arena::new();
+        let req = Request::Compile { source: "var x = @;".into(), backend: BackendSel::Sempe };
+        let err = execute(&req, &mut arena).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Wir);
+        let req = Request::Attack {
+            source: "var x = 0; output x;".into(),
+            mode: SecurityMode::Baseline,
+            secret: None,
+            secret_value: None,
+            candidates: vec![0, 1],
+            max_cycles: 1000,
+        };
+        assert_eq!(execute(&req, &mut arena).unwrap_err().code, ErrorCode::BadRequest);
+    }
+}

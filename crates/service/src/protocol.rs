@@ -1,0 +1,428 @@
+//! The wire protocol: newline-delimited JSON, one request per line, one
+//! response per line, in order. `docs/protocol.md` is the normative
+//! human-readable spec; this module is its implementation.
+//!
+//! Every request is a JSON object with a `"type"` member selecting the
+//! operation; every response is a JSON object whose first member is
+//! `"ok"`. Failures carry a stable machine-readable `"code"` (see
+//! [`ErrorCode`]) plus a human-readable `"error"` message.
+
+use core::fmt;
+
+use sempe_compile::Backend;
+use sempe_core::json::{self, Json};
+use sempe_sim::{SecurityMode, SimConfig};
+
+/// Hard cap on one request line (bytes, newline included).
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+/// Hard cap on submitted WIR source (bytes).
+pub const MAX_SOURCE_BYTES: usize = 64 * 1024;
+/// Hard cap on attack candidate count.
+pub const MAX_CANDIDATES: usize = 32;
+/// Default simulation fuel per run.
+pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
+/// Hard cap on requested simulation fuel.
+pub const MAX_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Machine-readable error codes (the `"code"` member of error responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line is not valid JSON or not a JSON object.
+    Parse,
+    /// The request is well-formed JSON but semantically invalid.
+    BadRequest,
+    /// The WIR source failed to parse.
+    Wir,
+    /// Code generation failed.
+    Compile,
+    /// Simulation failed (fault, watchdog, fuel exhausted).
+    Sim,
+    /// The job queue is full — retry later (backpressure).
+    Busy,
+    /// The server is shutting down.
+    Shutdown,
+    /// Internal failure (worker died mid-job).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The stable wire string.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "E_PARSE",
+            ErrorCode::BadRequest => "E_BAD_REQUEST",
+            ErrorCode::Wir => "E_WIR",
+            ErrorCode::Compile => "E_COMPILE",
+            ErrorCode::Sim => "E_SIM",
+            ErrorCode::Busy => "E_BUSY",
+            ErrorCode::Shutdown => "E_SHUTDOWN",
+            ErrorCode::Internal => "E_INTERNAL",
+        }
+    }
+}
+
+/// A request-level failure, rendered as an `{"ok":false,...}` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Build an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServiceError { code, message: message.into() }
+    }
+
+    /// Serialize as a response line (without trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Json::obj()
+            .with("ok", false)
+            .with("code", self.code.as_str())
+            .with("error", self.message.as_str())
+            .encode()
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Which (compiler backend, machine model) pair a request targets —
+/// the same three combinations the paper's figures measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendSel {
+    /// Baseline binary on the unprotected pipeline.
+    Baseline,
+    /// SeMPE binary on the SeMPE pipeline.
+    Sempe,
+    /// Constant-time binary on the unprotected pipeline.
+    Cte,
+}
+
+impl BackendSel {
+    /// The three measured combinations, in report order.
+    pub const ALL: [BackendSel; 3] = [BackendSel::Baseline, BackendSel::Sempe, BackendSel::Cte];
+
+    /// Stable wire name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            BackendSel::Baseline => "baseline",
+            BackendSel::Sempe => "sempe",
+            BackendSel::Cte => "cte",
+        }
+    }
+
+    /// Parse a wire name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "baseline" => Some(BackendSel::Baseline),
+            "sempe" => Some(BackendSel::Sempe),
+            "cte" => Some(BackendSel::Cte),
+            _ => None,
+        }
+    }
+
+    /// The compiler backend of the pair.
+    #[must_use]
+    pub const fn backend(self) -> Backend {
+        match self {
+            BackendSel::Baseline => Backend::Baseline,
+            BackendSel::Sempe => Backend::Sempe,
+            BackendSel::Cte => Backend::Cte,
+        }
+    }
+
+    /// The machine model of the pair (CTE needs no hardware support).
+    #[must_use]
+    pub fn sim_config(self) -> SimConfig {
+        match self {
+            BackendSel::Sempe => SimConfig::paper(),
+            BackendSel::Baseline | BackendSel::Cte => SimConfig::baseline(),
+        }
+    }
+
+    /// The security mode of the machine model.
+    #[must_use]
+    pub fn mode(self) -> SecurityMode {
+        self.sim_config().mode
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile WIR source for one backend; return binary metadata and a
+    /// disassembly listing.
+    Compile {
+        /// WIR source text.
+        source: String,
+        /// Target backend.
+        backend: BackendSel,
+    },
+    /// Compile and simulate; return cycles/committed/stats/outputs.
+    Run {
+        /// WIR source text.
+        source: String,
+        /// Target (backend, machine) pair.
+        backend: BackendSel,
+        /// Simulation fuel.
+        max_cycles: u64,
+    },
+    /// Fan one program across all three combinations concurrently;
+    /// return paper-style overhead ratios.
+    Sweep {
+        /// WIR source text.
+        source: String,
+        /// Simulation fuel per run.
+        max_cycles: u64,
+    },
+    /// Run the timing and branch-profile attackers against the
+    /// observation trace; report whether the secret is recoverable.
+    Attack {
+        /// WIR source text (must declare at least one `secret`).
+        source: String,
+        /// Machine model under attack.
+        mode: SecurityMode,
+        /// Name of the secret variable (default: first declared secret).
+        secret: Option<String>,
+        /// The victim's actual secret (default: the declared initializer).
+        secret_value: Option<u64>,
+        /// Candidate secrets the attacker calibrates over (default `[0,1]`).
+        candidates: Vec<u64>,
+        /// Simulation fuel per run.
+        max_cycles: u64,
+    },
+    /// Server health: queue depth, cache hit rate, worker utilization.
+    Stats,
+    /// Stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+impl Request {
+    /// Does this request go through the job queue (and the result cache)?
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        !matches!(self, Request::Stats | Request::Shutdown)
+    }
+
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] with [`ErrorCode::Parse`] for malformed JSON and
+    /// [`ErrorCode::BadRequest`] for semantic problems.
+    pub fn parse(line: &str) -> Result<Request, ServiceError> {
+        let v = json::parse(line)
+            .map_err(|e| ServiceError::new(ErrorCode::Parse, format!("invalid JSON: {e}")))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(ServiceError::new(ErrorCode::Parse, "request must be a JSON object"));
+        }
+        let ty = require_str(&v, "type")?;
+        match ty {
+            "compile" => Ok(Request::Compile {
+                source: take_source(&v)?,
+                backend: opt_backend(&v)?.unwrap_or(BackendSel::Sempe),
+            }),
+            "run" => Ok(Request::Run {
+                source: take_source(&v)?,
+                backend: opt_backend(&v)?.unwrap_or(BackendSel::Sempe),
+                max_cycles: opt_fuel(&v)?,
+            }),
+            "sweep" => Ok(Request::Sweep { source: take_source(&v)?, max_cycles: opt_fuel(&v)? }),
+            "attack" => {
+                let mode = match opt_str(&v, "mode")? {
+                    None | Some("baseline") => SecurityMode::Baseline,
+                    Some("sempe") => SecurityMode::Sempe,
+                    Some(other) => {
+                        return Err(ServiceError::new(
+                            ErrorCode::BadRequest,
+                            format!("unknown mode `{other}` (expected baseline|sempe)"),
+                        ))
+                    }
+                };
+                let candidates = match v.get("candidates") {
+                    None => vec![0, 1],
+                    Some(c) => parse_candidates(c)?,
+                };
+                Ok(Request::Attack {
+                    source: take_source(&v)?,
+                    mode,
+                    secret: opt_str(&v, "secret")?.map(str::to_string),
+                    secret_value: opt_u64(&v, "secret_value")?,
+                    candidates,
+                    max_cycles: opt_fuel(&v)?,
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServiceError::new(
+                ErrorCode::BadRequest,
+                format!(
+                    "unknown request type `{other}` \
+                     (expected compile|run|sweep|attack|stats|shutdown)"
+                ),
+            )),
+        }
+    }
+}
+
+fn require_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ServiceError> {
+    v.get(key).and_then(Json::as_str).ok_or_else(|| {
+        ServiceError::new(ErrorCode::BadRequest, format!("missing string member `{key}`"))
+    })
+}
+
+fn opt_str<'a>(v: &'a Json, key: &str) -> Result<Option<&'a str>, ServiceError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(m) => m.as_str().map(Some).ok_or_else(|| {
+            ServiceError::new(ErrorCode::BadRequest, format!("member `{key}` must be a string"))
+        }),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ServiceError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(m) => m.as_u64().map(Some).ok_or_else(|| {
+            ServiceError::new(
+                ErrorCode::BadRequest,
+                format!("member `{key}` must be a non-negative integer"),
+            )
+        }),
+    }
+}
+
+fn take_source(v: &Json) -> Result<String, ServiceError> {
+    let src = require_str(v, "source")?;
+    if src.len() > MAX_SOURCE_BYTES {
+        return Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("source exceeds {MAX_SOURCE_BYTES} bytes"),
+        ));
+    }
+    Ok(src.to_string())
+}
+
+fn opt_backend(v: &Json) -> Result<Option<BackendSel>, ServiceError> {
+    match opt_str(v, "backend")? {
+        None => Ok(None),
+        Some(s) => BackendSel::parse(s).map(Some).ok_or_else(|| {
+            ServiceError::new(
+                ErrorCode::BadRequest,
+                format!("unknown backend `{s}` (expected baseline|sempe|cte)"),
+            )
+        }),
+    }
+}
+
+fn opt_fuel(v: &Json) -> Result<u64, ServiceError> {
+    let fuel = opt_u64(v, "max_cycles")?.unwrap_or(DEFAULT_MAX_CYCLES);
+    if fuel == 0 || fuel > MAX_MAX_CYCLES {
+        return Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("max_cycles must be in 1..={MAX_MAX_CYCLES}"),
+        ));
+    }
+    Ok(fuel)
+}
+
+fn parse_candidates(v: &Json) -> Result<Vec<u64>, ServiceError> {
+    let items = v.as_array().ok_or_else(|| {
+        ServiceError::new(ErrorCode::BadRequest, "`candidates` must be an array of integers")
+    })?;
+    let mut out: Vec<u64> = Vec::with_capacity(items.len());
+    for item in items {
+        let c = item.as_u64().ok_or_else(|| {
+            ServiceError::new(ErrorCode::BadRequest, "`candidates` must be an array of integers")
+        })?;
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    if out.len() < 2 || out.len() > MAX_CANDIDATES {
+        return Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("need 2..={MAX_CANDIDATES} distinct candidates"),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_type() {
+        let r = Request::parse(r#"{"type":"compile","source":"output x;","backend":"cte"}"#);
+        assert!(matches!(r, Ok(Request::Compile { backend: BackendSel::Cte, .. })));
+        let r = Request::parse(r#"{"type":"run","source":"s","max_cycles":1000}"#).unwrap();
+        assert!(matches!(r, Request::Run { backend: BackendSel::Sempe, max_cycles: 1000, .. }));
+        let r = Request::parse(r#"{"type":"sweep","source":"s"}"#).unwrap();
+        assert!(matches!(r, Request::Sweep { max_cycles: DEFAULT_MAX_CYCLES, .. }));
+        let r = Request::parse(
+            r#"{"type":"attack","source":"s","mode":"sempe","secret":"k","candidates":[3,5,3]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Attack { mode, secret, candidates, .. } => {
+                assert_eq!(mode, SecurityMode::Sempe);
+                assert_eq!(secret.as_deref(), Some("k"));
+                assert_eq!(candidates, vec![3, 5], "duplicates collapse");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert_eq!(Request::parse(r#"{"type":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(Request::parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let code = |line: &str| Request::parse(line).unwrap_err().code;
+        assert_eq!(code("not json"), ErrorCode::Parse);
+        assert_eq!(code("[1,2]"), ErrorCode::Parse);
+        assert_eq!(code(r#"{"type":"warp"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"run"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"run","source":"s","backend":"gpu"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"run","source":"s","max_cycles":0}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"type":"attack","source":"s","candidates":[1]}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"type":"attack","source":"s","mode":"quantum"}"#),
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn error_lines_are_stable() {
+        let e = ServiceError::new(ErrorCode::Busy, "queue full (capacity 64)");
+        assert_eq!(
+            e.to_json(),
+            r#"{"ok":false,"code":"E_BUSY","error":"queue full (capacity 64)"}"#
+        );
+    }
+
+    #[test]
+    fn backend_pairs_match_the_paper_methodology() {
+        assert_eq!(BackendSel::Sempe.sim_config().mode, SecurityMode::Sempe);
+        assert_eq!(BackendSel::Baseline.sim_config().mode, SecurityMode::Baseline);
+        assert_eq!(BackendSel::Cte.sim_config().mode, SecurityMode::Baseline);
+        for b in BackendSel::ALL {
+            assert_eq!(BackendSel::parse(b.name()), Some(b));
+        }
+    }
+}

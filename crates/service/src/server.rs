@@ -1,0 +1,459 @@
+//! The evaluation daemon: TCP accept loop, bounded job queue with
+//! explicit backpressure, and a worker pool of simulation arenas.
+//!
+//! ```text
+//!            conn threads (1/connection)          worker threads (N)
+//! accept ──► read line ─► parse ──► bounded ───► cache lookup ─► Arena
+//!            ▲                      job queue        │  hit        │
+//!            │        stats/shutdown served          ▼             ▼
+//!            └── TCP   inline (never queued)     reply channel ◄───┘
+//! ```
+//!
+//! Backpressure is explicit: when the queue is full the client gets an
+//! immediate `E_BUSY` error instead of unbounded buffering. Shutdown is
+//! cooperative and clean: in-flight and queued jobs finish, workers and
+//! connection threads are joined, and `Server::join` returns.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use sempe_core::json::Json;
+
+use crate::cache::ResultCache;
+use crate::exec::{self, Arena};
+use crate::protocol::{ErrorCode, Request, ServiceError, MAX_REQUEST_BYTES};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size; 0 means one per host core.
+    pub workers: usize,
+    /// Job-queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One queued compute job: the parsed request plus the channel its
+/// response (or error) travels back on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Result<Arc<str>, ServiceError>>,
+}
+
+enum PushError {
+    Full,
+    Closed,
+}
+
+/// Bounded MPMC job queue (mutex + condvar; std has no bounded channel
+/// with try-push semantics).
+struct JobQueue {
+    capacity: usize,
+    inner: Mutex<(VecDeque<Job>, bool)>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue { capacity, inner: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() }
+    }
+
+    /// Non-blocking submit: full or closed queues reject immediately —
+    /// that rejection *is* the backpressure signal.
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.1 {
+            return Err(PushError::Closed);
+        }
+        if inner.0.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.0.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking take; `None` once the queue is closed *and* drained, so
+    /// no accepted job is ever dropped on shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.0.pop_front() {
+                return Some(job);
+            }
+            if inner.1 {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").1 = true;
+        self.ready.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").0.len()
+    }
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    queue: JobQueue,
+    cache: ResultCache,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    workers: usize,
+    busy_workers: AtomicUsize,
+    jobs_served: AtomicU64,
+    rejected: AtomicU64,
+    connections: AtomicU64,
+    started: Instant,
+    /// Write halves of the *live* connections, keyed by connection id;
+    /// each handler removes its own entry on exit so the registry stays
+    /// bounded by the number of open connections, not total served.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Shared {
+    fn stats_line(&self) -> String {
+        Json::obj()
+            .with("ok", true)
+            .with("type", "stats")
+            .with("queue_depth", self.queue.depth())
+            .with("queue_capacity", self.queue.capacity)
+            .with("workers", self.workers)
+            .with("busy_workers", self.busy_workers.load(Ordering::Relaxed))
+            .with("jobs_served", self.jobs_served.load(Ordering::Relaxed))
+            .with("rejected", self.rejected.load(Ordering::Relaxed))
+            .with("connections", self.connections.load(Ordering::Relaxed))
+            .with(
+                "cache",
+                Json::obj()
+                    .with("entries", self.cache.len())
+                    .with("capacity", self.cache.capacity())
+                    .with("hits", self.cache.hits())
+                    .with("misses", self.cache.misses())
+                    .with("hit_rate", (self.cache.hit_rate() * 1e6).round() / 1e6),
+            )
+            .with(
+                "uptime_ms",
+                u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            )
+            .encode()
+    }
+
+    /// Flip the shutdown flag and nudge the accept loop awake with a
+    /// throwaway connection.
+    fn initiate_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+}
+
+/// A running service instance.
+///
+/// Dropping the handle does **not** stop the daemon; call
+/// [`Server::shutdown`] (or send a `shutdown` request) and then
+/// [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("local_addr", &self.local_addr).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: &ServiceConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_capacity.max(1)),
+            cache: ResultCache::new(config.cache_capacity),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            workers,
+            busy_workers: AtomicUsize::new(0),
+            jobs_served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            started: Instant::now(),
+            conn_streams: Mutex::new(HashMap::new()),
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sempe-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let conn_handles = Arc::new(Mutex::new(Vec::new()));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let conn_handles = Arc::clone(&conn_handles);
+            std::thread::Builder::new()
+                .name("sempe-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &conn_handles))
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server { shared, accept_handle: Some(accept_handle), worker_handles, conn_handles })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Initiate a clean shutdown (idempotent; does not block).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Block until the daemon has fully stopped: accept loop exited,
+    /// every accepted job served, workers and connection threads joined.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // No new jobs can arrive from new connections now; close the
+        // queue so workers drain what was accepted and exit.
+        self.shared.queue.close();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Unblock connection threads parked in read_line, then join them.
+        for (_, stream) in self.shared.conn_streams.lock().expect("streams lock").drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> =
+            self.conn_handles.lock().expect("handles lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap handles of connections that already finished — dropping a
+        // finished JoinHandle is free, and without this sweep the vector
+        // (and each handler's thread bookkeeping) grows for the daemon's
+        // whole lifetime.
+        conn_handles.lock().expect("handles lock").retain(|h| !h.is_finished());
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Typically EMFILE/ENFILE under fd pressure: back off
+                // instead of spinning, and let closing connections
+                // release descriptors.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conn_streams.lock().expect("streams lock").insert(conn_id, clone);
+        }
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("sempe-conn".to_string())
+            .spawn(move || {
+                serve_conn(stream, &shared);
+                shared.conn_streams.lock().expect("streams lock").remove(&conn_id);
+            })
+            .expect("spawn connection thread");
+        conn_handles.lock().expect("handles lock").push(handle);
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut arena = Arena::new();
+    while let Some(job) = shared.queue.pop() {
+        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
+        let result = match exec::cache_key(&job.request) {
+            Some(key) => match shared.cache.get(&key) {
+                Some(hit) => Ok(hit),
+                None => exec::execute(&job.request, &mut arena).map(|body| {
+                    let body: Arc<str> = Arc::from(body.as_str());
+                    shared.cache.insert(key, Arc::clone(&body));
+                    body
+                }),
+            },
+            None => exec::execute(&job.request, &mut arena).map(|b| Arc::from(b.as_str())),
+        };
+        shared.jobs_served.fetch_add(1, Ordering::Relaxed);
+        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        // A vanished client is not a worker error.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    // `Take` bounds how much a single read_line can pull off the socket,
+    // so a newline-less flood caps out at MAX_REQUEST_BYTES (+ buffer)
+    // of memory instead of growing `line` until the daemon OOMs. The
+    // limit is re-armed per request line.
+    let mut reader = BufReader::new(read_half.take(0));
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.get_mut().set_limit(MAX_REQUEST_BYTES as u64 + 1);
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(n)
+                if n > MAX_REQUEST_BYTES
+                    || (!line.ends_with('\n') && reader.get_ref().limit() == 0) =>
+            {
+                // Either an over-long line, or the Take limit cut a line
+                // short (limit exhausted without a newline). A newline-less
+                // final line before a genuine EOF keeps limit budget and
+                // is served normally.
+                let e = ServiceError::new(
+                    ErrorCode::BadRequest,
+                    format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+                );
+                let _ = writeln!(writer, "{}", e.to_json());
+                break;
+            }
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut stop = false;
+        let response: String = match Request::parse(trimmed) {
+            Err(e) => e.to_json(),
+            Ok(Request::Stats) => shared.stats_line(),
+            Ok(Request::Shutdown) => {
+                stop = true;
+                Json::obj().with("ok", true).with("type", "shutdown").encode()
+            }
+            Ok(request) => {
+                let (tx, rx) = mpsc::channel();
+                match shared.queue.push(Job { request, reply: tx }) {
+                    Err(PushError::Full) => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        ServiceError::new(
+                            ErrorCode::Busy,
+                            format!("job queue full (capacity {})", shared.queue.capacity),
+                        )
+                        .to_json()
+                    }
+                    Err(PushError::Closed) => {
+                        ServiceError::new(ErrorCode::Shutdown, "server is shutting down").to_json()
+                    }
+                    Ok(()) => match rx.recv() {
+                        Ok(Ok(body)) => body.to_string(),
+                        Ok(Err(e)) => e.to_json(),
+                        Err(_) => ServiceError::new(
+                            ErrorCode::Internal,
+                            "worker dropped the job (shutdown race)",
+                        )
+                        .to_json(),
+                    },
+                }
+            }
+        };
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            break;
+        }
+        if stop {
+            shared.initiate_shutdown();
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(addr: SocketAddr, line: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{line}").expect("send");
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        resp.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_stats_and_shuts_down_cleanly() {
+        let server = Server::start(&ServiceConfig { workers: 2, ..ServiceConfig::default() })
+            .expect("starts");
+        let addr = server.local_addr();
+        let resp = roundtrip(addr, r#"{"type":"stats"}"#);
+        let v = sempe_core::json::parse(&resp).expect("stats parse");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(2));
+        let resp = roundtrip(addr, r#"{"type":"shutdown"}"#);
+        assert!(resp.contains("\"ok\":true"));
+        server.join();
+    }
+
+    #[test]
+    fn malformed_lines_get_parse_errors() {
+        let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
+            .expect("starts");
+        let addr = server.local_addr();
+        assert!(roundtrip(addr, "garbage").contains("E_PARSE"));
+        assert!(roundtrip(addr, r#"{"type":"fly"}"#).contains("E_BAD_REQUEST"));
+        server.shutdown();
+        server.join();
+    }
+}

@@ -258,6 +258,29 @@ impl SimConfig {
         self.record_trace = true;
         self
     }
+
+    /// A deterministic digest of the complete configuration, for
+    /// content-addressed result caching: two simulations of the same
+    /// binary agree cycle-for-cycle whenever their config digests agree.
+    ///
+    /// Every field of every sub-struct is a plain scalar, so the derived
+    /// `Debug` representation is a faithful serialization; hashing it
+    /// keeps the digest automatically in sync as fields are added.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        sempe_core::hash::fnv1a(format!("{self:?}").as_bytes())
+    }
+}
+
+impl SecurityMode {
+    /// Stable lower-case name (used in wire protocols and reports).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            SecurityMode::Baseline => "baseline",
+            SecurityMode::Sempe => "sempe",
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -286,6 +309,16 @@ mod tests {
         assert_eq!(c.mem.l2.size_bytes, 256 * 1024);
         assert_eq!(c.mem.il1.ways, 2);
         assert_eq!(c.sempe.jbtable_entries, 30);
+    }
+
+    #[test]
+    fn config_digest_is_stable_and_discriminating() {
+        assert_eq!(SimConfig::paper().digest(), SimConfig::paper().digest());
+        assert_ne!(SimConfig::paper().digest(), SimConfig::baseline().digest());
+        let mut tweaked = SimConfig::paper();
+        tweaked.core.rob_entries -= 1;
+        assert_ne!(tweaked.digest(), SimConfig::paper().digest());
+        assert_ne!(SimConfig::paper().with_trace().digest(), SimConfig::paper().digest());
     }
 
     #[test]

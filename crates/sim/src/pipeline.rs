@@ -360,6 +360,56 @@ impl Simulator {
         })
     }
 
+    /// Rebuild this simulator in place for a new program and
+    /// configuration, recycling the previous run's heap allocations.
+    ///
+    /// Semantically identical to `*self = Simulator::new(prog, config)?`
+    /// — every recycled collection starts a run empty, so only spare
+    /// capacity carries over, never state — but a long-lived worker (the
+    /// evaluation service keeps one simulator arena per worker thread)
+    /// skips re-growing the issue-queue slab, wakeup lists, completion
+    /// heap, and stage scratch buffers on every job.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Decode`] when the image does not decode under the
+    /// configured front end; `self` is left untouched in that case.
+    pub fn rebuild(&mut self, prog: &Program, config: SimConfig) -> Result<(), SimError> {
+        let mut fresh = Self::new(prog, config)?;
+        let recycle = |dst: &mut Vec<(u32, u64)>, src: &mut Vec<(u32, u64)>| {
+            src.clear();
+            core::mem::swap(dst, src);
+        };
+        recycle(&mut fresh.iq_ready_int, &mut self.iq_ready_int);
+        recycle(&mut fresh.iq_ready_fp, &mut self.iq_ready_fp);
+        self.iq_slots.clear();
+        core::mem::swap(&mut fresh.iq_slots, &mut self.iq_slots);
+        self.iq_free.clear();
+        core::mem::swap(&mut fresh.iq_free, &mut self.iq_free);
+        self.frontend.clear();
+        core::mem::swap(&mut fresh.frontend, &mut self.frontend);
+        self.replay.clear();
+        core::mem::swap(&mut fresh.replay, &mut self.replay);
+        self.due_scratch.clear();
+        core::mem::swap(&mut fresh.due_scratch, &mut self.due_scratch);
+        self.issue_candidates.clear();
+        core::mem::swap(&mut fresh.issue_candidates, &mut self.issue_candidates);
+        self.replay_scratch.clear();
+        core::mem::swap(&mut fresh.replay_scratch, &mut self.replay_scratch);
+        self.events.clear();
+        if self.events.capacity() >= fresh.events.capacity() {
+            core::mem::swap(&mut fresh.events, &mut self.events);
+        }
+        if self.reg_waiters.len() == fresh.reg_waiters.len() {
+            for w in &mut self.reg_waiters {
+                w.clear();
+            }
+            core::mem::swap(&mut fresh.reg_waiters, &mut self.reg_waiters);
+        }
+        *self = fresh;
+        Ok(())
+    }
+
     /// Committed value of an architectural register.
     #[must_use]
     pub fn arch_reg(&self, r: Reg) -> u64 {

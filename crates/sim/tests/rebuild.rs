@@ -1,0 +1,82 @@
+//! `Simulator::rebuild` must be indistinguishable from constructing a
+//! fresh simulator: recycled allocations may carry capacity, never state.
+
+use sempe_compile::wir::{Expr, WirBuilder};
+use sempe_compile::{compile, Backend};
+use sempe_sim::{SimConfig, Simulator};
+
+fn modexp_prog(key: u64) -> sempe_compile::WirProgram {
+    let mut b = WirBuilder::new();
+    let k = b.var("key", key);
+    let r = b.var("r", 1);
+    let base = b.var("base", 7);
+    let bit = b.var("bit", 0);
+    let mut body = Vec::new();
+    for i in 0..4 {
+        body.push(b.assign(
+            bit,
+            Expr::bin(
+                sempe_compile::BinOp::And,
+                Expr::bin(sempe_compile::BinOp::Shr, Expr::Var(k), Expr::Const(i)),
+                Expr::Const(1),
+            ),
+        ));
+        body.push(sempe_compile::Stmt::If {
+            cond: Expr::Var(bit),
+            secret: true,
+            then_: vec![b.assign(
+                r,
+                Expr::bin(
+                    sempe_compile::BinOp::Rem,
+                    Expr::bin(sempe_compile::BinOp::Mul, Expr::Var(r), Expr::Var(base)),
+                    Expr::Const(1_000_003),
+                ),
+            )],
+            else_: Vec::new(),
+        });
+        body.push(b.assign(
+            base,
+            Expr::bin(
+                sempe_compile::BinOp::Rem,
+                Expr::bin(sempe_compile::BinOp::Mul, Expr::Var(base), Expr::Var(base)),
+                Expr::Const(1_000_003),
+            ),
+        ));
+    }
+    for s in body {
+        b.push(s);
+    }
+    b.output(r);
+    b.build()
+}
+
+#[test]
+fn rebuild_matches_fresh_construction_exactly() {
+    let cases = [
+        (compile(&modexp_prog(0b1011), Backend::Sempe).unwrap(), SimConfig::paper()),
+        (compile(&modexp_prog(0b1011), Backend::Baseline).unwrap(), SimConfig::baseline()),
+        (compile(&modexp_prog(0b0010), Backend::Sempe).unwrap(), SimConfig::paper().with_trace()),
+        (compile(&modexp_prog(0b1111), Backend::Cte).unwrap(), SimConfig::baseline()),
+    ];
+
+    // Cold reference: a fresh simulator per case.
+    let mut reference = Vec::new();
+    for (cw, config) in &cases {
+        let mut sim = Simulator::new(cw.program(), *config).expect("builds");
+        let res = sim.run(50_000_000).expect("halts");
+        reference.push((res.cycles(), res.committed(), cw.read_outputs(sim.mem())));
+    }
+
+    // Warm arena: one simulator rebuilt across all cases, twice over, in
+    // an order that forces every (program, config) transition.
+    let (cw0, config0) = &cases[0];
+    let mut arena = Simulator::new(cw0.program(), *config0).expect("builds");
+    for round in 0..2 {
+        for (i, (cw, config)) in cases.iter().enumerate() {
+            arena.rebuild(cw.program(), *config).expect("rebuilds");
+            let res = arena.run(50_000_000).expect("halts");
+            let got = (res.cycles(), res.committed(), cw.read_outputs(arena.mem()));
+            assert_eq!(got, reference[i], "round {round} case {i} diverged after rebuild");
+        }
+    }
+}
