@@ -54,6 +54,37 @@ fn cycle_counts_are_bit_identical_to_golden() {
     }
 }
 
+/// Fuzz-corpus seeds double as timing goldens: the differential fuzzer
+/// pins their *functional* behavior, this table pins their *simulated
+/// timing*, so a timing-model drift that happens to stay functionally
+/// correct still trips CI. Regenerate with `SEMPE_PRINT_GOLDEN=1` as
+/// above after an intentional model change.
+#[test]
+fn fuzz_corpus_seeds_cycle_golden() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../fuzz/corpus");
+    let table: [(&str, [u64; 3]); 2] =
+        [("ct_modexp.wir", [443, 852, 468]), ("ct_nested_regions_arrays.wir", [187, 677, 245])];
+    let print = std::env::var("SEMPE_PRINT_GOLDEN").is_ok();
+    let mut failures = Vec::new();
+    for (file, golden) in table {
+        let src = std::fs::read_to_string(corpus.join(file)).expect("corpus seed readable");
+        let prog = sempe_compile::parse_wir(&src).expect("corpus seed parses").program;
+        let mut got = [0u64; 3];
+        for (i, which) in BackendRun::ALL.iter().enumerate() {
+            got[i] = run_backend(&prog, *which, 200_000_000).cycles;
+        }
+        if print {
+            println!("(\"{file}\", [{}, {}, {}]),", got[0], got[1], got[2]);
+        }
+        if got != golden {
+            failures.push(format!("{file}: golden {golden:?} != measured {got:?}"));
+        }
+    }
+    if !print {
+        assert!(failures.is_empty(), "fuzz-seed timing drift:\n{}", failures.join("\n"));
+    }
+}
+
 /// The same program must also produce identical *architectural* results
 /// across backends — outputs are the cheap invariant that catches a
 /// functional (not timing) break in the fast paths.

@@ -98,6 +98,8 @@ pub struct CompiledWorkload {
     vars_base: Addr,
     var_offsets: Vec<i64>,
     outputs: Vec<VarId>,
+    /// (base address, element count) of every declared array.
+    arr_layout: Vec<(Addr, usize)>,
 }
 
 impl CompiledWorkload {
@@ -130,10 +132,42 @@ impl CompiledWorkload {
     pub fn read_outputs(&self, mem: &Memory) -> Vec<u64> {
         self.outputs.iter().map(|v| self.read_var(mem, *v)).collect()
     }
+
+    /// Absolute base address of an array's (non-shadow) storage.
+    #[must_use]
+    pub fn arr_addr(&self, a: ArrId) -> Addr {
+        self.arr_layout[a.0].0
+    }
+
+    /// Read an array's full final contents from a finished machine's
+    /// memory — the differential fuzzer compares this against the WIR
+    /// interpreter's final array state.
+    #[must_use]
+    pub fn read_array(&self, mem: &Memory, a: ArrId) -> Vec<u64> {
+        let (base, len) = self.arr_layout[a.0];
+        (0..len).map(|i| mem.read_u64(base + (i as Addr) * 8)).collect()
+    }
+
+    /// Read every array's final contents, in declaration order.
+    #[must_use]
+    pub fn read_arrays(&self, mem: &Memory) -> Vec<Vec<u64>> {
+        (0..self.arr_layout.len()).map(|i| self.read_array(mem, ArrId(i))).collect()
+    }
 }
 
 /// Expression evaluation stack: `t0..t7`.
 const EVAL_REGS: usize = 8;
+
+/// The deepest expression a **level-0 lowering site** accepts —
+/// conditions and assignment/store *values*, which are evaluated from
+/// the bottom of the `t0..t7` stack, so AST depth may equal the stack
+/// size exactly. Store/load *index* expressions are evaluated one
+/// register up (level 1) and accept one level less. WIR-to-WIR
+/// transforms that grow expressions — [`crate::opt::collapse_nested_ifs`]
+/// conjoins two normalized conditions — must stay within the limit of
+/// the site they rewrite or they turn a compilable program into one
+/// that is not.
+pub const MAX_EXPR_DEPTH: usize = EVAL_REGS;
 /// Frame base register (holds the scalar-slot base address).
 const FRAME: Reg = abi::K[7];
 /// Address scratch.
@@ -705,6 +739,8 @@ pub fn compile(prog: &WirProgram, backend: Backend) -> Result<CompiledWorkload, 
     lw.a.halt();
     let base_off = lw.base_off.clone();
     let vars_base = lw.vars_base;
+    let arr_layout =
+        lw.arr_base.iter().zip(prog.arrays()).map(|(base, decl)| (*base, decl.len)).collect();
     let program = lw.a.assemble()?;
     Ok(CompiledWorkload {
         program,
@@ -712,6 +748,7 @@ pub fn compile(prog: &WirProgram, backend: Backend) -> Result<CompiledWorkload, 
         vars_base,
         var_offsets: base_off,
         outputs: prog.outputs().to_vec(),
+        arr_layout,
     })
 }
 

@@ -51,6 +51,6 @@ pub mod wir;
 pub use codegen::{compile, Backend, CompileError, CompiledWorkload};
 pub use interp::{run_wir, WirError, WirResult};
 pub use opt::collapse_nested_ifs;
-pub use parser::{parse_wir, ParseError, ParsedProgram};
+pub use parser::{parse_wir, to_source, ParseError, ParsedProgram};
 pub use taint::{analyze_taint, TaintReport, TaintWarning};
 pub use wir::{ArrId, BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};

@@ -9,6 +9,7 @@
 //! and whose conditions are side-effect free (always true in WIR — its
 //! expressions cannot write state).
 
+use crate::codegen::MAX_EXPR_DEPTH;
 use crate::wir::{BinOp, Expr, Stmt, WirProgram};
 
 /// Normalize a WIR value to 0/1 so `&` behaves like logical AND.
@@ -48,18 +49,30 @@ fn collapse_stmt(s: Stmt) -> (Stmt, usize) {
                 } = &then_[0]
                 {
                     if inner_else.is_empty() {
-                        count += 1;
-                        let combined =
-                            Expr::bin(BinOp::And, as_bool(cond), as_bool(inner_cond.clone()));
-                        return (
-                            Stmt::If {
-                                cond: combined,
-                                secret: true,
-                                then_: inner_then.clone(),
-                                else_: Vec::new(),
-                            },
-                            count,
+                        let combined = Expr::bin(
+                            BinOp::And,
+                            as_bool(cond.clone()),
+                            as_bool(inner_cond.clone()),
                         );
+                        // The conjunction adds two levels (the `&` plus a
+                        // 0/1 normalization) on top of the deeper
+                        // condition, and repeated collapses stack: guard
+                        // against growing past the lowering's register
+                        // stack, which would turn a compilable program
+                        // into a CompileError::ExprTooDeep. (Found by
+                        // sempe-fuzz; see corpus/collapse_depth_limit.wir.)
+                        if combined.depth() <= MAX_EXPR_DEPTH {
+                            count += 1;
+                            return (
+                                Stmt::If {
+                                    cond: combined,
+                                    secret: true,
+                                    then_: inner_then.clone(),
+                                    else_: Vec::new(),
+                                },
+                                count,
+                            );
+                        }
                     }
                 }
             }
@@ -177,6 +190,56 @@ mod tests {
         let (collapsed, n) = collapse_nested_ifs(&wb.build());
         assert_eq!(n, 0, "collapsing a public if into a secret cond changes semantics");
         let _ = collapsed;
+    }
+
+    #[test]
+    fn collapse_respects_the_expression_depth_limit() {
+        // Found by sempe-fuzz (seed 5772688503698747065): four nested
+        // secret ifs whose innermost condition is itself depth 3. Each
+        // collapse adds two levels (an `&` over two 0/1 normalizations);
+        // unguarded, the combined condition reaches depth 9 and the
+        // previously compilable program stops compiling on every
+        // backend.
+        let mut wb = WirBuilder::new();
+        let k = wb.var("k", 0);
+        let out = wb.var("out", 0);
+        let deep_cond = Expr::bin(
+            BinOp::Add,
+            Expr::Const(0),
+            Expr::bin(BinOp::Rem, Expr::Const(0), Expr::Var(k)),
+        );
+        let mut stmt = Stmt::If {
+            cond: deep_cond,
+            secret: true,
+            then_: vec![wb.assign(out, Expr::Const(1))],
+            else_: vec![],
+        };
+        for _ in 0..3 {
+            stmt = Stmt::If { cond: Expr::Var(k), secret: true, then_: vec![stmt], else_: vec![] };
+        }
+        wb.push(stmt);
+        wb.output(out);
+        let prog = wb.build();
+        crate::compile(&prog, crate::Backend::Sempe).expect("the original compiles");
+
+        // Collapse to a fixpoint, the way a compiler driver would.
+        let mut current = prog.clone();
+        loop {
+            let (next, n) = collapse_nested_ifs(&current);
+            current = next;
+            if n == 0 {
+                break;
+            }
+        }
+        assert!(current.secret_depth() < prog.secret_depth(), "some collapsing happened");
+        for backend in [crate::Backend::Baseline, crate::Backend::Sempe, crate::Backend::Cte] {
+            crate::compile(&current, backend).unwrap_or_else(|e| {
+                panic!("collapsed program must still compile ({backend}): {e}")
+            });
+        }
+        let want = run_wir(&prog, &BTreeMap::new()).unwrap().outputs;
+        let got = run_wir(&current, &BTreeMap::new()).unwrap().outputs;
+        assert_eq!(got, want);
     }
 
     #[test]

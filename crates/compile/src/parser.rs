@@ -559,6 +559,160 @@ pub fn parse_wir(src: &str) -> Result<ParsedProgram, ParseError> {
     Ok(ParsedProgram { program: p.builder.build(), secrets: p.secrets })
 }
 
+// --- pretty-printing (the inverse of `parse_wir`) ---------------------
+
+const KEYWORDS: &[&str] =
+    &["var", "secret", "array", "scratch", "output", "if", "else", "while", "bound"];
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !KEYWORDS.contains(&s)
+}
+
+/// Printable, collision-free names for every variable and array:
+/// invalid or duplicate names fall back to `v{i}` / `a{i}` ordinals.
+fn name_tables(prog: &WirProgram) -> (Vec<String>, Vec<String>) {
+    let mut taken = std::collections::BTreeSet::new();
+    let mut rename = |want: &str, fallback: String| -> String {
+        let mut name =
+            if is_ident(want) && !taken.contains(want) { want.to_string() } else { fallback };
+        while taken.contains(&name) {
+            name.push('_');
+        }
+        taken.insert(name.clone());
+        name
+    };
+    let vars =
+        (0..prog.var_count()).map(|i| rename(prog.var_name(VarId(i)), format!("v{i}"))).collect();
+    let arrays =
+        prog.arrays().iter().enumerate().map(|(i, d)| rename(&d.name, format!("a{i}"))).collect();
+    (vars, arrays)
+}
+
+fn expr_source(out: &mut String, e: &Expr, vars: &[String], arrays: &[String]) {
+    match e {
+        Expr::Const(c) => out.push_str(&c.to_string()),
+        Expr::Var(v) => out.push_str(&vars[v.0]),
+        Expr::Bin(op, a, b) => {
+            let sym = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Rem => "%",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+                BinOp::Xor => "^",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::Ltu => "<",
+                BinOp::Lt => "<s",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+            };
+            // Fully parenthesized: precedence-proof by construction.
+            out.push('(');
+            expr_source(out, a, vars, arrays);
+            out.push(' ');
+            out.push_str(sym);
+            out.push(' ');
+            expr_source(out, b, vars, arrays);
+            out.push(')');
+        }
+        Expr::Load(a, idx) => {
+            out.push_str(&arrays[a.0]);
+            out.push('[');
+            expr_source(out, idx, vars, arrays);
+            out.push(']');
+        }
+    }
+}
+
+fn stmts_source(out: &mut String, stmts: &[Stmt], vars: &[String], arrays: &[String], ind: usize) {
+    let pad = "    ".repeat(ind);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&pad);
+                out.push_str(&vars[v.0]);
+                out.push_str(" = ");
+                expr_source(out, e, vars, arrays);
+                out.push_str(";\n");
+            }
+            Stmt::Store(a, idx, val) => {
+                out.push_str(&pad);
+                out.push_str(&arrays[a.0]);
+                out.push('[');
+                expr_source(out, idx, vars, arrays);
+                out.push_str("] = ");
+                expr_source(out, val, vars, arrays);
+                out.push_str(";\n");
+            }
+            Stmt::If { cond, secret, then_, else_ } => {
+                out.push_str(&pad);
+                out.push_str(if *secret { "if secret (" } else { "if (" });
+                expr_source(out, cond, vars, arrays);
+                out.push_str(") {\n");
+                stmts_source(out, then_, vars, arrays, ind + 1);
+                if else_.is_empty() {
+                    out.push_str(&pad);
+                    out.push_str("}\n");
+                } else {
+                    out.push_str(&pad);
+                    out.push_str("} else {\n");
+                    stmts_source(out, else_, vars, arrays, ind + 1);
+                    out.push_str(&pad);
+                    out.push_str("}\n");
+                }
+            }
+            Stmt::While { cond, bound, body } => {
+                out.push_str(&pad);
+                out.push_str("while (");
+                expr_source(out, cond, vars, arrays);
+                out.push_str(&format!(") bound {bound} {{\n"));
+                stmts_source(out, body, vars, arrays, ind + 1);
+                out.push_str(&pad);
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+/// Render a WIR program as source text that [`parse_wir`] accepts and
+/// parses back to a structurally identical program (same declaration
+/// order, hence identical [`VarId`]/[`ArrId`] assignments, same `secrets`
+/// list). Names that are not valid identifiers (or collide) are replaced
+/// by `v{i}` / `a{i}` ordinals.
+///
+/// This is how the fuzzer's shrinker emits minimized reproducers: a
+/// corpus entry is plain WIR source, readable and replayable by hand.
+#[must_use]
+pub fn to_source(prog: &WirProgram, secrets: &[VarId]) -> String {
+    let (vars, arrays) = name_tables(prog);
+    let mut out = String::new();
+    for (i, name) in vars.iter().enumerate() {
+        let v = VarId(i);
+        let kw = if secrets.contains(&v) { "secret" } else { "var" };
+        out.push_str(&format!("{kw} {name} = {};\n", prog.var_init(v)));
+    }
+    for (i, d) in prog.arrays().iter().enumerate() {
+        let kw = if d.scratch { "scratch array" } else { "array" };
+        out.push_str(&format!("{kw} {}[{}]", arrays[i], d.len));
+        if d.init.is_empty() {
+            out.push_str(";\n");
+        } else {
+            let words: Vec<String> = d.init.iter().map(u64::to_string).collect();
+            out.push_str(&format!(" = {{{}}};\n", words.join(", ")));
+        }
+    }
+    stmts_source(&mut out, prog.body(), &vars, &arrays, 0);
+    for v in prog.outputs() {
+        out.push_str(&format!("output {};\n", vars[v.0]));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,5 +866,55 @@ mod tests {
         assert_eq!(run(src), vec![2]);
         let parsed = parse_wir(src).unwrap();
         assert_eq!(parsed.program.secret_depth(), 2);
+    }
+
+    #[test]
+    fn to_source_round_trips_structurally() {
+        let src = r"
+            secret key = 11;
+            var out = 1;
+            var i = 0;
+            array tab[4] = {2, 3};
+            scratch array tmp[2];
+            while (i < 4) bound 4 {
+                if secret (((key >> i) & 1) != 0) {
+                    out = (out * tab[i % 4]) % 1000003;
+                } else {
+                    tab[i % 4] = out <s (0 - 1);
+                }
+                i = i + 1;
+            }
+            if (out == 18446744073709551615) { out = out ^ (1 << 63); }
+            output out;
+            output i;
+        ";
+        let parsed = parse_wir(src).unwrap();
+        let text = to_source(&parsed.program, &parsed.secrets);
+        let reparsed = parse_wir(&text).expect("printed source parses");
+        assert_eq!(reparsed.program, parsed.program, "structural round-trip");
+        assert_eq!(reparsed.secrets, parsed.secrets);
+        // And printing is a fixpoint.
+        assert_eq!(to_source(&reparsed.program, &reparsed.secrets), text);
+    }
+
+    #[test]
+    fn to_source_sanitizes_hostile_names() {
+        let mut b = WirBuilder::new();
+        let weird = b.var("not an ident!", 7);
+        let kw = b.var("while", 1);
+        let dup_a = b.var("x", 2);
+        let dup_b = b.var("x", 3);
+        let _arr = b.array("output", 2, vec![5]);
+        b.push(b.assign(weird, Expr::bin(BinOp::Add, Expr::Var(dup_a), Expr::Var(dup_b))));
+        b.output(weird);
+        b.output(kw);
+        let prog = b.build();
+        let text = to_source(&prog, &[]);
+        let reparsed = parse_wir(&text).expect("sanitized source parses");
+        assert_eq!(reparsed.program.var_count(), 4);
+        assert_eq!(reparsed.program.var_init(VarId(0)), 7);
+        assert_eq!(reparsed.program.body(), prog.body());
+        let out = crate::interp::run_wir(&reparsed.program, &Map::new()).unwrap();
+        assert_eq!(out.outputs, vec![5, 1]);
     }
 }

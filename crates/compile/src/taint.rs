@@ -31,11 +31,35 @@ pub enum TaintWarning {
         /// Path of statement indices from the program root to the `if`.
         location: Vec<usize>,
     },
+    /// A non-secret `if` on a tainted condition *inside* a secret
+    /// region. CTE predicates it away, but SeMPE executes SecBlock
+    /// bodies branchy, so the secret steers real control flow — a
+    /// committed-instruction-count leak on SeMPE hardware.
+    PublicBranchOnSecretInRegion {
+        /// Path of statement indices from the program root to the `if`.
+        location: Vec<usize>,
+    },
     /// A `while` whose condition is influenced by secret data and which
     /// does not sit inside any secret region (its trip count is
     /// observable in every backend).
     LoopBoundOnSecret {
         /// Path of statement indices from the program root to the loop.
+        location: Vec<usize>,
+    },
+    /// A tainted-condition `while` inside a secret region. CTE pads it
+    /// to the public bound, but on SeMPE the trip count is
+    /// data-dependent — a committed-instruction-count leak.
+    LoopBoundOnSecretInRegion {
+        /// Path of statement indices from the program root to the loop.
+        location: Vec<usize>,
+    },
+    /// A load or store whose *index* is secret-influenced. Functionally
+    /// fine on every backend, but the memory access pattern depends on
+    /// the secret — the cache side channel neither SeMPE nor CTE claims
+    /// to close, and exactly what the differential fuzzer's trace-level
+    /// leak invariant detects.
+    SecretIndexedAccess {
+        /// Path of statement indices from the program root.
         location: Vec<usize>,
     },
     /// A remainder whose divisor expression is secret-influenced inside a
@@ -54,7 +78,10 @@ impl TaintWarning {
     pub fn location(&self) -> &[usize] {
         match self {
             TaintWarning::PublicBranchOnSecret { location }
+            | TaintWarning::PublicBranchOnSecretInRegion { location }
             | TaintWarning::LoopBoundOnSecret { location }
+            | TaintWarning::LoopBoundOnSecretInRegion { location }
+            | TaintWarning::SecretIndexedAccess { location }
             | TaintWarning::GuardedDivisionOnSecret { location } => location,
         }
     }
@@ -66,8 +93,23 @@ impl fmt::Display for TaintWarning {
             TaintWarning::PublicBranchOnSecret { location } => {
                 write!(f, "public branch on secret-tainted condition at {location:?}")
             }
+            TaintWarning::PublicBranchOnSecretInRegion { location } => {
+                write!(
+                    f,
+                    "public branch on tainted condition inside a secret region at {location:?}"
+                )
+            }
             TaintWarning::LoopBoundOnSecret { location } => {
                 write!(f, "loop trip count depends on secret data at {location:?}")
+            }
+            TaintWarning::LoopBoundOnSecretInRegion { location } => {
+                write!(
+                    f,
+                    "loop trip count depends on secret data inside a secret region at {location:?}"
+                )
+            }
+            TaintWarning::SecretIndexedAccess { location } => {
+                write!(f, "memory access at a secret-dependent index at {location:?}")
             }
             TaintWarning::GuardedDivisionOnSecret { location } => {
                 write!(f, "secret-influenced division (hardware-guarded) at {location:?}")
@@ -106,8 +148,9 @@ pub struct TaintReport {
 }
 
 impl TaintReport {
-    /// Does the program pass the FaCT-style discipline (no leaking
-    /// findings; informational ones are allowed)?
+    /// Does the program pass the FaCT-style discipline (no findings
+    /// that leak on *every* backend; findings only a strict
+    /// constant-time audit rejects are allowed)?
     #[must_use]
     pub fn is_clean(&self) -> bool {
         !self.warnings.iter().any(|w| {
@@ -116,6 +159,17 @@ impl TaintReport {
                 TaintWarning::PublicBranchOnSecret { .. } | TaintWarning::LoopBoundOnSecret { .. }
             )
         })
+    }
+
+    /// The strict audit: does the program's *entire* observable behavior
+    /// — control flow, trip counts, and memory access pattern — stay
+    /// independent of the secret on the protected backends? This is the
+    /// precondition for the fuzzer's leak invariant (identical cycle
+    /// counts and observation traces across paired secrets); only the
+    /// informational division finding is tolerated.
+    #[must_use]
+    pub fn is_constant_time(&self) -> bool {
+        self.warnings.iter().all(|w| matches!(w, TaintWarning::GuardedDivisionOnSecret { .. }))
     }
 }
 
@@ -133,24 +187,31 @@ impl Analyzer {
             path.push(i);
             match s {
                 Stmt::Assign(v, e) => {
-                    self.check_division(e, path, in_secret);
+                    self.check_exprs(e, path, in_secret);
                     if implicit || self.taint.expr_tainted(e) {
                         self.taint.vars.insert(*v);
                     }
                 }
                 Stmt::Store(a, idx, val) => {
-                    self.check_division(idx, path, in_secret);
-                    self.check_division(val, path, in_secret);
+                    self.check_exprs(idx, path, in_secret);
+                    self.check_exprs(val, path, in_secret);
+                    if self.taint.expr_tainted(idx) {
+                        self.warnings
+                            .push(TaintWarning::SecretIndexedAccess { location: path.clone() });
+                    }
                     if implicit || self.taint.expr_tainted(idx) || self.taint.expr_tainted(val) {
                         self.taint.arrays.insert(*a);
                     }
                 }
                 Stmt::If { cond, secret, then_, else_ } => {
-                    self.check_division(cond, path, in_secret);
+                    self.check_exprs(cond, path, in_secret);
                     let cond_tainted = self.taint.expr_tainted(cond);
-                    if cond_tainted && !*secret && !in_secret {
-                        self.warnings
-                            .push(TaintWarning::PublicBranchOnSecret { location: path.clone() });
+                    if cond_tainted && !*secret {
+                        self.warnings.push(if in_secret {
+                            TaintWarning::PublicBranchOnSecretInRegion { location: path.clone() }
+                        } else {
+                            TaintWarning::PublicBranchOnSecret { location: path.clone() }
+                        });
                     }
                     let inner_secret = in_secret || *secret;
                     let inner_implicit = implicit || (cond_tainted && *secret);
@@ -158,7 +219,6 @@ impl Analyzer {
                     self.visit(else_, path, inner_secret, inner_implicit);
                 }
                 Stmt::While { cond, body, .. } => {
-                    self.check_division(cond, path, in_secret);
                     // Propagate taint to a fixpoint first (values written
                     // late in the body flow into earlier statements on
                     // the next trip), discarding warnings raised with a
@@ -172,10 +232,17 @@ impl Analyzer {
                             break;
                         }
                     }
-                    // One reporting pass with the final taint state.
-                    if self.taint.expr_tainted(cond) && !in_secret {
-                        self.warnings
-                            .push(TaintWarning::LoopBoundOnSecret { location: path.clone() });
+                    // One reporting pass with the final taint state —
+                    // including the condition's expression-level findings
+                    // (a secret-indexed load in the condition may only
+                    // become visible once body-written taint reaches it).
+                    self.check_exprs(cond, path, in_secret);
+                    if self.taint.expr_tainted(cond) {
+                        self.warnings.push(if in_secret {
+                            TaintWarning::LoopBoundOnSecretInRegion { location: path.clone() }
+                        } else {
+                            TaintWarning::LoopBoundOnSecret { location: path.clone() }
+                        });
                     }
                     self.visit(body, path, in_secret, implicit);
                 }
@@ -184,21 +251,29 @@ impl Analyzer {
         }
     }
 
-    fn check_division(&mut self, e: &Expr, path: &[usize], in_secret: bool) {
+    /// Expression-level findings: guarded divisions and secret-indexed
+    /// loads anywhere in the expression tree.
+    fn check_exprs(&mut self, e: &Expr, path: &[usize], in_secret: bool) {
         match e {
             Expr::Bin(BinOp::Rem, a, b) => {
                 if in_secret && (self.taint.expr_tainted(b) || self.taint.expr_tainted(a)) {
                     self.warnings
                         .push(TaintWarning::GuardedDivisionOnSecret { location: path.to_vec() });
                 }
-                self.check_division(a, path, in_secret);
-                self.check_division(b, path, in_secret);
+                self.check_exprs(a, path, in_secret);
+                self.check_exprs(b, path, in_secret);
             }
             Expr::Bin(_, a, b) => {
-                self.check_division(a, path, in_secret);
-                self.check_division(b, path, in_secret);
+                self.check_exprs(a, path, in_secret);
+                self.check_exprs(b, path, in_secret);
             }
-            Expr::Load(_, idx) => self.check_division(idx, path, in_secret),
+            Expr::Load(_, idx) => {
+                if self.taint.expr_tainted(idx) {
+                    self.warnings
+                        .push(TaintWarning::SecretIndexedAccess { location: path.to_vec() });
+                }
+                self.check_exprs(idx, path, in_secret);
+            }
             _ => {}
         }
     }
@@ -322,6 +397,103 @@ mod tests {
         );
         let r = analyze_taint(&b.build(), &[s]);
         assert!(r.is_clean(), "{:?}", r.warnings);
+        // …but the strict constant-time audit rejects it: on SeMPE the
+        // SecBlock executes the loop branchy, so the trip count leaks.
+        assert!(!r.is_constant_time());
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w, TaintWarning::LoopBoundOnSecretInRegion { .. })));
+    }
+
+    #[test]
+    fn secret_indexed_access_fails_the_strict_audit() {
+        // tab[key & 3] — functionally fine, but the access pattern is a
+        // cache side channel.
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let arr = b.array("tab", 4, vec![1, 2, 3, 4]);
+        let out = b.var("out", 0);
+        let idx = Expr::bin(BinOp::And, Expr::Var(s), Expr::Const(3));
+        b.push(b.assign(out, Expr::Load(arr, Box::new(idx.clone()))));
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(r.is_clean(), "no branch leak: {:?}", r.warnings);
+        assert!(!r.is_constant_time());
+        assert!(r.warnings.iter().any(|w| matches!(w, TaintWarning::SecretIndexedAccess { .. })));
+
+        // Same for a store index.
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let arr = b.array("tab", 4, vec![]);
+        b.push(b.store(arr, Expr::bin(BinOp::And, Expr::Var(s), Expr::Const(3)), Expr::Const(1)));
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(!r.is_constant_time());
+    }
+
+    #[test]
+    fn public_branch_on_tainted_cond_inside_region_fails_strict_audit() {
+        // if secret (s) { x = s & 1; if (x) { y = 1; } } — CTE masks the
+        // inner if away, but SeMPE runs it as a real branch on both
+        // paths.
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let x = b.var("x", 0);
+        let y = b.var("y", 0);
+        let inner = Stmt::If {
+            cond: Expr::Var(x),
+            secret: false,
+            then_: vec![b.assign(y, Expr::Const(1))],
+            else_: vec![],
+        };
+        b.if_secret(
+            Expr::Var(s),
+            vec![b.assign(x, Expr::bin(BinOp::And, Expr::Var(s), Expr::Const(1))), inner],
+            vec![],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(r.is_clean(), "tolerated by the per-backend discipline: {:?}", r.warnings);
+        assert!(!r.is_constant_time());
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w, TaintWarning::PublicBranchOnSecretInRegion { .. })));
+    }
+
+    #[test]
+    fn clean_secret_region_passes_the_strict_audit() {
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let out = b.var("out", 0);
+        b.if_secret(
+            Expr::Var(s),
+            vec![b.assign(out, Expr::Const(1))],
+            vec![b.assign(out, Expr::Const(2))],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(r.is_constant_time(), "{:?}", r.warnings);
+    }
+
+    #[test]
+    fn secret_indexed_load_in_loop_condition_is_reported() {
+        // The index only becomes tainted through the loop body, so the
+        // condition must be re-checked at the taint fixpoint.
+        let mut b = WirBuilder::new();
+        let s = b.var("s", 1);
+        let i = b.var("i", 0);
+        let tab = b.array("tab", 4, vec![1, 2, 3, 0]);
+        let idx = Expr::bin(BinOp::And, Expr::Var(i), Expr::Const(3));
+        b.while_loop(
+            Expr::Load(tab, Box::new(idx)),
+            3,
+            vec![b.assign(i, Expr::bin(BinOp::And, Expr::Var(s), Expr::Const(1)))],
+        );
+        let r = analyze_taint(&b.build(), &[s]);
+        assert!(
+            r.warnings.iter().any(|w| matches!(w, TaintWarning::SecretIndexedAccess { .. })),
+            "secret-indexed load in the loop condition must be reported: {:?}",
+            r.warnings
+        );
+        assert!(!r.is_constant_time());
     }
 
     #[test]

@@ -22,9 +22,27 @@ use core::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub(crate) usize);
 
+impl VarId {
+    /// Declaration index of the variable (external tools — printers,
+    /// fuzzers — need a stable ordinal; constructing a `VarId` still
+    /// goes through [`WirBuilder`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// An array handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArrId(pub(crate) usize);
+
+impl ArrId {
+    /// Declaration index of the array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Binary operators. Comparisons yield 0/1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

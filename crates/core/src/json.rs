@@ -139,8 +139,16 @@ impl Json {
             Json::F64(v) => {
                 if v.is_finite() {
                     // Rust's shortest-roundtrip Display: deterministic and
-                    // exact enough for ratios/seconds.
-                    out.push_str(&v.to_string());
+                    // exact enough for ratios/seconds. Integral values get
+                    // an explicit ".0" so the token stays a float when
+                    // parsed back (`2` would re-enter as `U64(2)` and the
+                    // round trip would change the value's type).
+                    let repr = v.to_string();
+                    let is_integral = !repr.contains(['.', 'e', 'E']);
+                    out.push_str(&repr);
+                    if is_integral {
+                        out.push_str(".0");
+                    }
                 } else {
                     out.push_str("null");
                 }
@@ -183,8 +191,9 @@ fn format_u64(v: u64, buf: &mut [u8; 20]) -> &str {
             break;
         }
     }
-    // Digits only: always valid UTF-8.
-    core::str::from_utf8(&buf[i..]).expect("ascii digits")
+    // Digits only: always valid UTF-8 (and infallibly so — no panic
+    // path in the serializer).
+    core::str::from_utf8(&buf[i..]).unwrap_or("0")
 }
 
 impl From<bool> for Json {
@@ -514,12 +523,19 @@ impl<'a> JsonParser<'a> {
         let text = core::str::from_utf8(&self.src[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
         if !fractional {
+            // Integral tokens parse exactly: the full u64 range first,
+            // then i64 for negatives — routing them through f64 would
+            // silently round anything above 2^53 (cycle counts, digests
+            // and cache-key parameters all live up there). `-0` and any
+            // other non-negative i64 normalize to `U64` so parse∘encode
+            // is the identity on integers.
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::U64(v));
             }
             if let Ok(v) = text.parse::<i64>() {
-                return Ok(Json::I64(v));
+                return Ok(if v >= 0 { Json::U64(v.unsigned_abs()) } else { Json::I64(v) });
             }
+            // Only magnitudes beyond 64 bits fall through to f64.
         }
         text.parse::<f64>().map(Json::F64).map_err(|_| self.err("invalid number"))
     }
@@ -604,5 +620,46 @@ mod tests {
     fn non_finite_floats_encode_as_null() {
         assert_eq!(Json::F64(f64::NAN).encode(), "null");
         assert_eq!(Json::F64(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn integers_above_2_to_53_stay_exact() {
+        // f64 has 53 mantissa bits; these neighbors collide under a
+        // float round-trip and must not collide here.
+        let lo = (1u64 << 53) + 1;
+        assert_eq!(parse("9007199254740993").unwrap(), Json::U64(lo));
+        assert_eq!(parse(&lo.to_string()).unwrap().encode(), "9007199254740993");
+        assert_ne!(parse("9007199254740993").unwrap(), parse("9007199254740992").unwrap());
+        assert_eq!(parse(&u64::MAX.to_string()).unwrap(), Json::U64(u64::MAX));
+        assert_eq!(parse(&i64::MIN.to_string()).unwrap(), Json::I64(i64::MIN));
+        assert_eq!(roundtrip("-9223372036854775808"), "-9223372036854775808");
+    }
+
+    #[test]
+    fn negative_zero_token_normalizes_to_integer_zero() {
+        assert_eq!(parse("-0").unwrap(), Json::U64(0));
+        assert_eq!(parse("-0").unwrap(), parse("0").unwrap());
+    }
+
+    #[test]
+    fn integral_floats_round_trip_as_floats() {
+        // Without the ".0" suffix these would re-parse as integers and
+        // the value's type (and encoded bytes) would drift across hops.
+        assert_eq!(Json::F64(2.0).encode(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Json::F64(2.0));
+        assert_eq!(parse(&Json::F64(2.0).encode()).unwrap(), Json::F64(2.0));
+        assert_eq!(parse(&Json::F64(-3.0).encode()).unwrap(), Json::F64(-3.0));
+        assert_eq!(parse(&Json::F64(1e300).encode()).unwrap(), Json::F64(1e300));
+        // Shortest-roundtrip Display guarantees bit-exact re-parsing.
+        let v = 0.1f64 + 0.2;
+        assert_eq!(parse(&Json::F64(v).encode()).unwrap(), Json::F64(v));
+    }
+
+    #[test]
+    fn integral_magnitudes_beyond_u64_fall_back_to_float() {
+        // 2^64 is not representable exactly; the float fallback is the
+        // documented lossy escape hatch, not a silent integer.
+        assert!(matches!(parse("18446744073709551616").unwrap(), Json::F64(_)));
+        assert!(matches!(parse("-9223372036854775809").unwrap(), Json::F64(_)));
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests for the JSON layer: `parse ∘ encode` must be the
+//! identity on every value the encoder can produce — including 64-bit
+//! integers beyond f64 precision, negative numbers, exponent-notation
+//! floats, and strings full of escapes, controls, and astral-plane
+//! characters. The service's content-addressed cache keys responses by
+//! encoded bytes, so any drift here is silent cache corruption.
+
+use proptest::prelude::*;
+use sempe_core::json::{parse, Json};
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..12).prop_map(|cs| {
+        cs.into_iter()
+            .map(|c| match c % 8 {
+                // Control characters (escaped as \u00XX or \n, \t, …).
+                0 => char::from_u32(c % 0x20).unwrap_or('\u{1}'),
+                1 => '"',
+                2 => '\\',
+                // Astral plane: surrogate-pair handling in \u escapes.
+                3 => char::from_u32(0x1F600 + (c % 0x50)).unwrap_or('\u{1F600}'),
+                // Printable ASCII.
+                _ => char::from_u32(0x20 + (c % 0x5E)).unwrap_or('x'),
+            })
+            .collect()
+    })
+}
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            // Non-finite values deliberately encode as null; substitute
+            // a finite value with a long decimal expansion instead.
+            f64::from_bits(bits & !(0x7FFu64 << 52)) // clear the exponent -> subnormal
+        }
+    })
+}
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<u64>().prop_map(Json::U64),
+        // Strictly negative: the parser (and From<i64>) normalize
+        // non-negative integers to U64.
+        any::<u64>().prop_map(|v| Json::I64(-((v >> 1) as i64) - 1)),
+        arb_f64().prop_map(Json::F64),
+        arb_string().prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Json::Arr),
+            prop::collection::vec((arb_string(), inner), 0..5)
+                .prop_map(|members| { Json::Obj(members.into_iter().collect()) }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_encode_is_the_identity(v in arb_json()) {
+        let encoded = v.encode();
+        let reparsed = parse(&encoded)
+            .unwrap_or_else(|e| panic!("encoder emitted unparseable JSON `{encoded}`: {e}"));
+        prop_assert_eq!(&reparsed, &v, "round trip changed the value (encoded: {})", encoded);
+        // And the encoding is a fixpoint: cache keys depend on it.
+        prop_assert_eq!(reparsed.encode(), encoded);
+    }
+
+    #[test]
+    fn u64_round_trips_exactly(v in any::<u64>()) {
+        let j = Json::U64(v);
+        prop_assert_eq!(parse(&j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn negative_i64_round_trips_exactly(v in any::<i64>()) {
+        let j = if v >= 0 { Json::U64(v.unsigned_abs()) } else { Json::I64(v) };
+        prop_assert_eq!(parse(&j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn finite_f64_round_trips_bit_exactly(v in arb_f64()) {
+        match parse(&Json::F64(v).encode()).unwrap() {
+            Json::F64(back) => prop_assert_eq!(back.to_bits(), v.to_bits()),
+            other => prop_assert!(false, "float re-parsed as {:?}", other),
+        }
+    }
+
+    #[test]
+    fn strings_round_trip_exactly(s in arb_string()) {
+        prop_assert_eq!(parse(&Json::Str(s.clone()).encode()).unwrap(), Json::Str(s));
+    }
+}

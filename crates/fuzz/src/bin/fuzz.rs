@@ -1,0 +1,242 @@
+//! `sempe-fuzz` — the differential fuzzing driver.
+//!
+//! ```text
+//! sempe-fuzz --iters 1000 --seed 1 --out report.json
+//! sempe-fuzz --backend-pair sempe          # oracle vs SeMPE only
+//! sempe-fuzz --profile ct                  # constant-time cases only
+//! sempe-fuzz --corpus crates/fuzz/corpus   # replay regression seeds
+//! ```
+//!
+//! Exit code 0 when clean, 1 on any divergence or corpus regression,
+//! 2 on usage errors. The JSON report (via `--out`) carries one entry
+//! per divergence, including the minimized reproducer source.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sempe_core::json::Json;
+use sempe_fuzz::{
+    check_case, generate, shrink, CorpusEntry, EngineSet, GenConfig, Profile, SimArena,
+};
+use sempe_workloads::rng::SplitMix64;
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    profile: Option<Profile>,
+    engines: EngineSet,
+    out: Option<String>,
+    corpus: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        iters: 1000,
+        seed: 1,
+        profile: None,
+        engines: EngineSet::all(),
+        out: None,
+        corpus: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--iters" => {
+                args.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--profile" => {
+                let v = value("--profile")?;
+                if v == "both" {
+                    args.profile = None;
+                } else {
+                    args.profile = Some(
+                        Profile::parse(&v)
+                            .ok_or(format!("--profile: expected correctness|ct|both, got `{v}`"))?,
+                    );
+                }
+            }
+            "--backend-pair" => {
+                let v = value("--backend-pair")?;
+                args.engines = EngineSet::parse(&v).ok_or(format!(
+                    "--backend-pair: expected `all` or a subset of baseline,sempe,cte, got `{v}`"
+                ))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--corpus" => args.corpus = Some(value("--corpus")?),
+            "--help" | "-h" => {
+                return Err("usage: sempe-fuzz [--iters N] [--seed S] \
+                            [--profile correctness|ct|both] \
+                            [--backend-pair all|baseline,sempe,cte] \
+                            [--out report.json] [--corpus DIR]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Returns (entries replayed, aggregate oracle stats, failures).
+fn replay_corpus(
+    dir: &str,
+    engines: &EngineSet,
+    arena: &mut SimArena,
+) -> (u64, sempe_fuzz::CheckStats, Vec<Json>) {
+    let mut failures = Vec::new();
+    let mut replayed = 0u64;
+    let mut agg = sempe_fuzz::CheckStats::default();
+    let mut paths: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "wir"))
+            .collect(),
+        Err(e) => {
+            failures.push(
+                Json::obj().with("file", dir).with("error", format!("cannot read corpus dir: {e}")),
+            );
+            return (0, agg, failures);
+        }
+    };
+    paths.sort();
+    for path in paths {
+        let name = path.display().to_string();
+        let outcome = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| CorpusEntry::parse(&text))
+            .and_then(|entry| entry.check(engines, arena));
+        replayed += 1;
+        match outcome {
+            Ok(stats) => {
+                agg.engine_runs += stats.engine_runs;
+                agg.leak_pairs += stats.leak_pairs;
+            }
+            Err(msg) => {
+                eprintln!("corpus regression: {name}: {msg}");
+                failures.push(Json::obj().with("file", name).with("error", msg));
+            }
+        }
+    }
+    (replayed, agg, failures)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let mut arena = SimArena::new();
+    let mut divergences: Vec<Json> = Vec::new();
+    let mut corpus_failures: Vec<Json> = Vec::new();
+    let mut corpus_replayed = 0u64;
+    let mut engine_runs = 0u64;
+    let mut leak_pairs = 0u64;
+    let mut cases = 0u64;
+    let mut invalid = 0u64;
+
+    if let Some(dir) = &args.corpus {
+        let (n, stats, fails) = replay_corpus(dir, &args.engines, &mut arena);
+        corpus_replayed = n;
+        engine_runs += stats.engine_runs;
+        leak_pairs += stats.leak_pairs;
+        corpus_failures = fails;
+    }
+
+    let mut case_seeds = SplitMix64::new(args.seed);
+    for iter in 0..args.iters {
+        let profile = match args.profile {
+            Some(p) => p,
+            None if iter % 2 == 0 => Profile::Correctness,
+            None => Profile::ConstantTime,
+        };
+        let case_seed = case_seeds.next_u64();
+        let mut config = GenConfig::new(profile);
+        if iter % 4 == 3 {
+            // Every fourth case: a bigger, deeper program (more nesting
+            // levels, more pressure on snapshots/drains/shadow slots).
+            config.max_stmts = 56;
+            config.max_depth = 5;
+        }
+        let case = generate(case_seed, &config);
+        cases += 1;
+        match check_case(&case, &args.engines, &mut arena) {
+            Ok(stats) => {
+                engine_runs += stats.engine_runs;
+                leak_pairs += stats.leak_pairs;
+            }
+            Err(d) if d.kind == sempe_fuzz::DivergenceKind::Invalid => {
+                // A generator bug, not a backend bug: record loudly but
+                // separately (the acceptance bar is zero of these too).
+                invalid += 1;
+                eprintln!("iter {iter}: generator produced an invalid program: {d}");
+                divergences.push(
+                    Json::obj()
+                        .with("iter", iter)
+                        .with("case_seed", case_seed)
+                        .with("kind", d.kind.name())
+                        .with("engine", d.engine.as_str())
+                        .with("detail", d.detail.as_str())
+                        .with("source", case.to_source()),
+                );
+            }
+            Err(d) => {
+                eprintln!("iter {iter} (seed {case_seed}): {d}");
+                let minimized = shrink(&case, d.kind, &args.engines, &mut arena);
+                let source = minimized.to_source();
+                eprintln!("--- minimized reproducer ---\n{source}");
+                divergences.push(
+                    Json::obj()
+                        .with("iter", iter)
+                        .with("case_seed", case_seed)
+                        .with("profile", profile.name())
+                        .with("kind", d.kind.name())
+                        .with("engine", d.engine.as_str())
+                        .with("detail", d.detail.as_str())
+                        .with("source", source),
+                );
+            }
+        }
+    }
+
+    let elapsed = started.elapsed();
+    let ok = divergences.is_empty() && corpus_failures.is_empty();
+    let report = Json::obj()
+        .with("ok", ok)
+        .with("iters", args.iters)
+        .with("seed", args.seed)
+        .with("cases", cases)
+        .with("invalid_cases", invalid)
+        .with("engine_runs", engine_runs)
+        .with("leak_pairs", leak_pairs)
+        .with("corpus_replayed", corpus_replayed)
+        .with("elapsed_ms", u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX))
+        .with("divergences", Json::Arr(divergences.clone()))
+        .with("corpus_failures", Json::Arr(corpus_failures.clone()));
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.encode() + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "sempe-fuzz: {cases} cases ({corpus_replayed} corpus), {engine_runs} engine runs, \
+         {leak_pairs} leak pairs, {} divergences, {} corpus regressions in {:.1}s",
+        divergences.len(),
+        corpus_failures.len(),
+        elapsed.as_secs_f64()
+    );
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

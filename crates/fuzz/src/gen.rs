@@ -1,0 +1,513 @@
+//! Seeded, deterministic WIR program generation.
+//!
+//! The generator produces structurally valid programs by construction —
+//! array indices are masked in-bounds, loops are counter-driven and
+//! respect their declared bound — so every generated program runs to
+//! completion on the reference interpreter. Anything else (a compile
+//! error, a fault, a wrong answer, a timing leak) is a finding.
+//!
+//! Two profiles:
+//!
+//! * [`Profile::Correctness`] — anything the language allows, including
+//!   code FaCT's type system would reject (public branches on tainted
+//!   conditions, secret-indexed loads). Only functional equivalence is
+//!   checked.
+//! * [`Profile::ConstantTime`] — the generator performs the taint
+//!   discipline a constant-time compiler enforces: public control flow
+//!   and memory addresses never depend on the secret. Programs in this
+//!   profile additionally carry the leak invariant: the protected
+//!   backends must be cycle-for-cycle identical across paired secrets.
+//!   Because the incremental tracking is generation-ordered (taint can
+//!   sneak backwards through a loop's next iteration or a secret
+//!   region's merge), every finished case is re-audited with the real
+//!   fixpoint analysis ([`sempe_compile::analyze_taint`]) and demoted to
+//!   [`Profile::Correctness`] when the audit fails.
+//!
+//! Declared-scratch arrays exercise the Sempe backend's privatization
+//! fast path: the generator emits the contract the paper's authors
+//! assumed when skipping ShadowMemory for dead locals — a full
+//! re-initialization before any read within the path, no access after.
+
+use sempe_compile::wir::{ArrId, BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+use sempe_workloads::rng::SplitMix64;
+
+/// Which guarantees the generated program carries (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Functional equivalence only.
+    Correctness,
+    /// Constant-time discipline: the leak invariant must hold.
+    ConstantTime,
+}
+
+impl Profile {
+    /// Stable name (reports, corpus directives).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Profile::Correctness => "correctness",
+            Profile::ConstantTime => "constant-time",
+        }
+    }
+
+    /// Parse a stable name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "correctness" => Some(Profile::Correctness),
+            "constant-time" | "ct" => Some(Profile::ConstantTime),
+            _ => None,
+        }
+    }
+}
+
+/// Generator tunables.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Which discipline the program follows.
+    pub profile: Profile,
+    /// Statement budget (recursion shares it).
+    pub max_stmts: usize,
+    /// Maximum structural nesting depth.
+    pub max_depth: usize,
+}
+
+impl GenConfig {
+    /// Default shape for a profile.
+    #[must_use]
+    pub fn new(profile: Profile) -> Self {
+        GenConfig { profile, max_stmts: 24, max_depth: 3 }
+    }
+}
+
+/// A declared array in a [`FuzzCase`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArraySpec {
+    /// Element count (a power of two, so indices mask in-bounds).
+    pub len: usize,
+    /// Initial contents.
+    pub init: Vec<u64>,
+    /// Declared path-private scratch (Sempe skips privatization).
+    pub scratch: bool,
+}
+
+/// One generated test case: a program template plus the paired secret
+/// inputs the leak invariant is checked across.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The seed that produced this case (0 for shrunk/corpus cases).
+    pub seed: u64,
+    /// Which discipline the program follows.
+    pub profile: Profile,
+    /// Initial values; index 0 is the secret (`key`).
+    pub var_inits: Vec<u64>,
+    /// Declared arrays.
+    pub arrays: Vec<ArraySpec>,
+    /// Program body (references variables/arrays by declaration index).
+    pub body: Vec<Stmt>,
+    /// The two secret values differential leak checks pair up.
+    pub pair: (u64, u64),
+}
+
+impl FuzzCase {
+    /// Materialize the WIR program with the secret set to `secret`.
+    /// Every scalar is declared an output so the differential oracle
+    /// compares the entire final scalar state, not a projection.
+    #[must_use]
+    pub fn wir(&self, secret: u64) -> (WirProgram, VarId) {
+        let mut b = WirBuilder::new();
+        let key = b.var("key", secret);
+        let mut vars = vec![key];
+        for (i, init) in self.var_inits.iter().enumerate().skip(1) {
+            vars.push(b.var(format!("v{i}"), *init));
+        }
+        for (j, spec) in self.arrays.iter().enumerate() {
+            if spec.scratch {
+                b.scratch_array(format!("a{j}"), spec.len, spec.init.clone());
+            } else {
+                b.array(format!("a{j}"), spec.len, spec.init.clone());
+            }
+        }
+        for s in &self.body {
+            b.push(s.clone());
+        }
+        for v in &vars {
+            b.output(*v);
+        }
+        (b.build(), key)
+    }
+
+    /// Render the case as corpus source: WIR text for the first secret,
+    /// preceded by directive comments the replay harness reads.
+    #[must_use]
+    pub fn to_source(&self) -> String {
+        let (prog, key) = self.wir(self.pair.0);
+        format!(
+            "// sempe-fuzz case (seed {})\n// profile: {}\n// pair: {} {}\n{}",
+            self.seed,
+            self.profile.name(),
+            self.pair.0,
+            self.pair.1,
+            sempe_compile::to_source(&prog, &[key]),
+        )
+    }
+}
+
+/// Values worth feeding to 64-bit wrapping/masking/comparison code.
+fn interesting(rng: &mut SplitMix64) -> u64 {
+    const PINNED: [u64; 12] =
+        [0, 1, 2, 3, 7, 8, 63, 255, 1 << 32, (1 << 53) + 1, u64::MAX - 1, u64::MAX];
+    match rng.next_u64() % 4 {
+        0 => PINNED[(rng.next_u64() % PINNED.len() as u64) as usize],
+        1 => rng.next_u64() % 16,
+        2 => rng.next_u64() % 1024,
+        _ => rng.next_u64(),
+    }
+}
+
+const ALL_OPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Ltu,
+    BinOp::Lt,
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Rem,
+];
+
+struct ArrInfo {
+    id: ArrId,
+    len: usize,
+    scratch: bool,
+    tainted: bool,
+}
+
+struct Gen {
+    rng: SplitMix64,
+    profile: Profile,
+    /// VarId factory: ids are declaration ordinals, so a throwaway
+    /// builder mirrors the declaration order [`FuzzCase::wir`] replays.
+    ids: WirBuilder,
+    vars: Vec<VarId>,
+    inits: Vec<u64>,
+    /// Conservative value-taint: `true` means the variable may hold
+    /// different values across the paired secret inputs.
+    tainted: Vec<bool>,
+    arrs: Vec<ArrInfo>,
+    /// Index into `arrs` of the scratch array that is currently
+    /// re-initialized and therefore readable; scratch arrays are
+    /// untouchable outside their block (the paper's dead-after-region
+    /// contract).
+    active_scratch: Option<usize>,
+    /// Loop counters of enclosing loops (never reassigned by bodies —
+    /// that is what keeps every loop within its declared bound).
+    locked: Vec<VarId>,
+    budget: usize,
+}
+
+impl Gen {
+    fn untainted_vars(&self) -> Vec<VarId> {
+        self.vars.iter().zip(&self.tainted).filter(|(_, t)| !**t).map(|(v, _)| *v).collect()
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[(self.rng.next_u64() % xs.len() as u64) as usize]
+    }
+
+    /// Arrays currently legal to touch: all normal arrays, plus the
+    /// active scratch array (if any).
+    fn accessible_arrays(&self) -> Vec<usize> {
+        self.arrs
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| !a.scratch || self.active_scratch == Some(*i))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Generate an expression of AST depth at most `depth`, returning it
+    /// with its taint. When `allow_taint` is false the result is
+    /// guaranteed untainted (its value is identical across the secret
+    /// pair).
+    fn expr(&mut self, depth: usize, allow_taint: bool) -> (Expr, bool) {
+        let choice = self.rng.next_u64() % 100;
+        if depth == 0 || choice < 35 {
+            return self.leaf(allow_taint);
+        }
+        let accessible = self.accessible_arrays();
+        if choice < 85 || accessible.is_empty() || depth < 2 {
+            let op = self.pick(&ALL_OPS);
+            let (a, ta) = self.expr(depth - 1, allow_taint);
+            let (b, tb) = self.expr(depth - 1, allow_taint);
+            return (Expr::bin(op, a, b), ta || tb);
+        }
+        // Array load. The index is masked in-bounds; under the
+        // constant-time discipline it must additionally be untainted
+        // (data-dependent addresses are a cache side channel SeMPE does
+        // not claim to close).
+        let ai = self.pick(&accessible);
+        let loaded_taint = self.arrs[ai].tainted;
+        if !allow_taint && loaded_taint {
+            return self.leaf(false);
+        }
+        let idx_taint_ok = allow_taint && self.profile == Profile::Correctness;
+        let (idx, ti) = self.expr(depth - 2, idx_taint_ok);
+        let masked = Expr::bin(BinOp::And, idx, Expr::Const(self.arrs[ai].len as u64 - 1));
+        (Expr::Load(self.arrs[ai].id, Box::new(masked)), loaded_taint || ti)
+    }
+
+    fn leaf(&mut self, allow_taint: bool) -> (Expr, bool) {
+        let use_var = self.rng.ratio(1, 2);
+        if use_var {
+            if allow_taint {
+                let v = self.pick(&self.vars.clone());
+                return (Expr::Var(v), self.tainted[v.index()]);
+            }
+            let clean = self.untainted_vars();
+            if !clean.is_empty() {
+                return (Expr::Var(self.pick(&clean)), false);
+            }
+        }
+        (Expr::Const(interesting(&mut self.rng)), false)
+    }
+
+    /// A random per-site expression depth, biased small but reaching the
+    /// lowering's register-stack limit now and then: `expr(d)` yields
+    /// AST depth ≤ d+1, so d=7 lands exactly on `MAX_EXPR_DEPTH` at
+    /// level-0 sites (assignment/store values), probing the boundary.
+    fn expr_depth(&mut self) -> usize {
+        if self.rng.ratio(1, 16) {
+            return 7;
+        }
+        1 + (self.rng.next_u64() % 100 / 40) as usize * 2 + (self.rng.next_u64() % 2) as usize
+    }
+
+    /// A condition biased toward actually inspecting the secret.
+    fn secret_cond(&mut self) -> Expr {
+        let key = self.vars[0];
+        let shift = self.rng.next_u64() % 8;
+        match self.rng.next_u64() % 3 {
+            0 => Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Shr, Expr::Var(key), Expr::Const(shift)),
+                Expr::Const(1),
+            ),
+            1 => {
+                let (rhs, _) = self.expr(1, true);
+                Expr::bin(BinOp::Ltu, Expr::Var(key), rhs)
+            }
+            _ => self.expr(2, true).0,
+        }
+    }
+
+    fn stmts(&mut self, depth: usize, secret_ctx: bool, max_n: usize) -> Vec<Stmt> {
+        let n = 1 + (self.rng.next_u64() % max_n.max(1) as u64) as usize;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            if self.budget == 0 {
+                break;
+            }
+            self.budget -= 1;
+            self.stmt(depth, secret_ctx, &mut out);
+        }
+        out
+    }
+
+    fn gen_assign(&mut self, secret_ctx: bool, out: &mut Vec<Stmt>) {
+        let targets: Vec<VarId> =
+            self.vars.iter().filter(|v| !self.locked.contains(v)).copied().collect();
+        if targets.is_empty() {
+            return;
+        }
+        let v = self.pick(&targets);
+        let d = self.expr_depth();
+        let (e, te) = self.expr(d, true);
+        self.tainted[v.index()] = te || secret_ctx;
+        out.push(Stmt::Assign(v, e));
+    }
+
+    fn gen_store(&mut self, secret_ctx: bool, out: &mut Vec<Stmt>) {
+        let accessible = self.accessible_arrays();
+        if accessible.is_empty() {
+            self.gen_assign(secret_ctx, out);
+            return;
+        }
+        let ai = self.pick(&accessible);
+        let idx_taint_ok = self.profile == Profile::Correctness;
+        let (idx, ti) = self.expr(2, idx_taint_ok);
+        let masked = Expr::bin(BinOp::And, idx, Expr::Const(self.arrs[ai].len as u64 - 1));
+        let d = self.expr_depth();
+        let (val, tv) = self.expr(d, true);
+        self.arrs[ai].tainted |= ti || tv || secret_ctx;
+        out.push(Stmt::Store(self.arrs[ai].id, masked, val));
+    }
+
+    /// The declared-scratch usage pattern: fully re-initialize the
+    /// array, then compute with it, then leave it for dead. Only inside
+    /// this block is the scratch array readable.
+    fn gen_scratch_block(&mut self, secret_ctx: bool, out: &mut Vec<Stmt>) {
+        let Some(si) = self.arrs.iter().position(|a| a.scratch) else {
+            self.gen_assign(secret_ctx, out);
+            return;
+        };
+        // Full re-initialization first (scratch loads still disabled:
+        // the contract forbids reading what the other path left behind).
+        for j in 0..self.arrs[si].len {
+            let d = self.expr_depth();
+            let (val, tv) = self.expr(d, true);
+            self.arrs[si].tainted |= tv || secret_ctx;
+            out.push(Stmt::Store(self.arrs[si].id, Expr::Const(j as u64), val));
+        }
+        // Then a couple of statements that may read it.
+        self.active_scratch = Some(si);
+        self.gen_store(secret_ctx, out);
+        self.gen_assign(secret_ctx, out);
+        self.active_scratch = None;
+    }
+
+    fn stmt(&mut self, depth: usize, secret_ctx: bool, out: &mut Vec<Stmt>) {
+        // At depth 0 only the non-nesting statement kinds are in play.
+        let roll = self.rng.next_u64() % if depth == 0 { 65 } else { 100 };
+        match roll {
+            // Assignment.
+            _ if roll < 40 => self.gen_assign(secret_ctx, out),
+            // Array store.
+            _ if roll < 58 => self.gen_store(secret_ctx, out),
+            // Scratch-array block.
+            _ if roll < 65 => self.gen_scratch_block(secret_ctx, out),
+            // Conditional.
+            _ if roll < 88 => {
+                let want_secret = self.rng.ratio(1, 2);
+                let (cond, tainted_cond) = if want_secret {
+                    (self.secret_cond(), true)
+                } else {
+                    let allow = self.profile == Profile::Correctness;
+                    self.expr(2, allow)
+                };
+                // Under the constant-time discipline a tainted condition
+                // forces a secret `if`; the correctness profile may also
+                // emit the illegal public-branch-on-secret shape.
+                let secret = if self.profile == Profile::ConstantTime {
+                    tainted_cond || self.rng.ratio(1, 4)
+                } else {
+                    self.rng.ratio(1, 2)
+                };
+                let then_ = self.stmts(depth - 1, secret_ctx || secret, 3);
+                let else_ = if self.rng.ratio(1, 3) {
+                    Vec::new()
+                } else {
+                    self.stmts(depth - 1, secret_ctx || secret, 3)
+                };
+                out.push(Stmt::If { cond, secret, then_, else_ });
+            }
+            // Counter-driven loop.
+            _ => {
+                let trips = 1 + (self.rng.next_u64() % 3) as u32;
+                let c = self.ids.var(format!("v{}", self.inits.len()), 0);
+                self.vars.push(c);
+                self.inits.push(0);
+                self.tainted.push(secret_ctx);
+                let mut cond = Expr::bin(BinOp::Ltu, Expr::Var(c), Expr::Const(u64::from(trips)));
+                let mut cond_tainted = secret_ctx;
+                if self.rng.ratio(1, 4) {
+                    // Optional extra exit conjunct (0/1-valued); it can
+                    // only shorten the loop, never exceed the bound.
+                    let allow = self.profile == Profile::Correctness;
+                    let (a, ta) = self.expr(1, allow);
+                    let (b, tb) = self.expr(1, allow);
+                    cond = Expr::bin(BinOp::And, cond, Expr::bin(BinOp::Ne, a, b));
+                    cond_tainted |= ta || tb;
+                }
+                self.locked.push(c);
+                let mut body = self.stmts(depth - 1, secret_ctx, 3);
+                self.locked.pop();
+                body.push(Stmt::Assign(c, Expr::bin(BinOp::Add, Expr::Var(c), Expr::Const(1))));
+                self.tainted[c.index()] = cond_tainted;
+                out.push(Stmt::Assign(c, Expr::Const(0)));
+                out.push(Stmt::While { cond, bound: trips, body });
+            }
+        }
+    }
+}
+
+/// Generate one case from a seed.
+#[must_use]
+pub fn generate(seed: u64, config: &GenConfig) -> FuzzCase {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_F0CC_AC1D_2025);
+    let n_vars = 3 + (rng.next_u64() % 4) as usize; // key + 2..5 publics
+    let mut ids = WirBuilder::new();
+    let mut vars = Vec::new();
+    let mut inits = Vec::new();
+    for i in 0..n_vars {
+        vars.push(ids.var(format!("v{i}"), 0));
+        inits.push(if i == 0 { 0 } else { interesting(&mut rng) });
+    }
+    const LENS: [usize; 5] = [1, 2, 4, 8, 16];
+    let n_arrays = (rng.next_u64() % 3) as usize; // 0..2 normal arrays
+    let with_scratch = rng.ratio(1, 3);
+    let mut arrs = Vec::new();
+    let mut arrays = Vec::new();
+    for j in 0..n_arrays + usize::from(with_scratch) {
+        let scratch = j == n_arrays;
+        let len = if scratch {
+            [2usize, 4][(rng.next_u64() % 2) as usize]
+        } else {
+            LENS[(rng.next_u64() % LENS.len() as u64) as usize]
+        };
+        let init: Vec<u64> = (0..len).map(|_| interesting(&mut rng)).collect();
+        let id = if scratch {
+            ids.scratch_array(format!("a{j}"), len, init.clone())
+        } else {
+            ids.array(format!("a{j}"), len, init.clone())
+        };
+        arrs.push(ArrInfo { id, len, scratch, tainted: false });
+        arrays.push(ArraySpec { len, init, scratch });
+    }
+    let pair = loop {
+        let a = interesting(&mut rng);
+        let b = interesting(&mut rng);
+        if a != b {
+            break (a, b);
+        }
+    };
+    let profile = config.profile;
+    let mut g = Gen {
+        rng,
+        profile,
+        ids,
+        vars,
+        inits,
+        tainted: std::iter::once(true).chain(std::iter::repeat(false)).take(n_vars).collect(),
+        arrs,
+        active_scratch: None,
+        locked: Vec::new(),
+        budget: config.max_stmts,
+    };
+    let body = g.stmts(config.max_depth, false, config.max_stmts.min(8));
+    let mut case = FuzzCase { seed, profile, var_inits: g.inits, arrays, body, pair };
+    // The generator's incremental taint tracking is generation-ordered;
+    // taint can still sneak backwards through a loop's next iteration or
+    // a secret region's merge. Audit the finished program with the real
+    // fixpoint analysis and demote cases that fail — the leak invariant
+    // is only claimed for programs a constant-time compiler would accept.
+    if case.profile == Profile::ConstantTime && !passes_ct_audit(&case) {
+        case.profile = Profile::Correctness;
+    }
+    case
+}
+
+/// Does the materialized program pass the strict constant-time audit
+/// ([`sempe_compile::TaintReport::is_constant_time`])? This gates the
+/// leak invariant: only audited-clean programs promise secret-independent
+/// cycle counts and traces on the protected backends.
+#[must_use]
+pub fn passes_ct_audit(case: &FuzzCase) -> bool {
+    let (prog, key) = case.wir(case.pair.0);
+    sempe_compile::analyze_taint(&prog, &[key]).is_constant_time()
+}

@@ -1,0 +1,40 @@
+//! Every corpus entry is a regression test: a minimized program that
+//! once provoked (or pins against) a divergence. Replaying the corpus
+//! through the full differential oracle must stay clean forever.
+
+use sempe_fuzz::{CorpusEntry, EngineSet, SimArena};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    let mut arena = SimArena::new();
+    let mut paths: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "wir"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 8, "corpus unexpectedly small: {}", paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("corpus entry readable");
+        let entry = CorpusEntry::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: bad directives: {e}", path.display()));
+        let stats = entry
+            .check(&EngineSet::all(), &mut arena)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(stats.engine_runs > 0, "{}: oracle ran nothing", path.display());
+    }
+}
+
+#[test]
+fn constant_time_entries_check_leak_pairs() {
+    let mut arena = SimArena::new();
+    let text = std::fs::read_to_string(corpus_dir().join("ct_modexp.wir")).expect("seed exists");
+    let entry = CorpusEntry::parse(&text).expect("parses");
+    let stats = entry.check(&EngineSet::all(), &mut arena).expect("clean");
+    assert_eq!(stats.leak_pairs, 1, "ct entries must exercise the leak invariant");
+}

@@ -14,6 +14,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::sync;
+
 /// What a cached response is keyed by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -64,7 +66,7 @@ impl ResultCache {
     /// Look up a response, counting the hit or miss.
     #[must_use]
     pub fn get(&self, key: &CacheKey) -> Option<Arc<str>> {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = sync::lock(&self.inner);
         let hit = inner.map.get(key).cloned();
         drop(inner);
         if hit.is_some() {
@@ -82,11 +84,15 @@ impl ResultCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = sync::lock(&self.inner);
         if inner.map.insert(key, value).is_none() {
             inner.order.push_back(key);
             while inner.map.len() > self.capacity {
-                let oldest = inner.order.pop_front().expect("order tracks map");
+                // `order` tracks `map` one-to-one; an empty queue here
+                // would mean the invariant broke, and the right response
+                // in a long-running daemon is to stop evicting, not to
+                // panic while holding the lock.
+                let Some(oldest) = inner.order.pop_front() else { break };
                 inner.map.remove(&oldest);
             }
         }
@@ -95,7 +101,7 @@ impl ResultCache {
     /// Number of cached responses.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        sync::lock(&self.inner).map.len()
     }
 
     /// Is the cache empty?

@@ -44,19 +44,18 @@ impl Arena {
         config: SimConfig,
         fuel: u64,
     ) -> Result<SimResult, ServiceError> {
-        let build_err =
-            |e: sempe_sim::SimError| ServiceError::new(ErrorCode::Compile, e.to_string());
-        match self.sim.as_mut() {
-            Some(sim) => sim.rebuild(prog, config).map_err(build_err)?,
-            None => self.sim = Some(Simulator::new(prog, config).map_err(build_err)?),
-        }
-        let sim = self.sim.as_mut().expect("just installed");
+        let sim = Simulator::rebuild_or_new(&mut self.sim, prog, config)
+            .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
         sim.run(fuel).map_err(|e| ServiceError::new(ErrorCode::Sim, e.to_string()))
     }
 
     /// The simulator after the last [`Arena::simulate`] (memory, trace).
-    fn sim(&self) -> &Simulator {
-        self.sim.as_ref().expect("simulate ran")
+    /// Recoverable error — not a panic — if no simulation ran yet: a
+    /// request-handling slip must cost one response, not a worker.
+    fn sim(&self) -> Result<&Simulator, ServiceError> {
+        self.sim.as_ref().ok_or_else(|| {
+            ServiceError::new(ErrorCode::Internal, "no simulation ran in this arena")
+        })
     }
 }
 
@@ -258,7 +257,7 @@ fn arena_run(
         squashes: stats.squashes,
         drain_stall_cycles: stats.drain_stall_cycles,
         ipc: (stats.ipc() * 1e6).round() / 1e6,
-        outputs: cw.read_outputs(arena.sim().mem()),
+        outputs: cw.read_outputs(arena.sim()?.mem()),
     })
 }
 
@@ -361,7 +360,7 @@ fn do_attack(
             prog.set_var_init(vid, value);
             let cw = compile_sel(&prog, sel)?;
             let res = arena.simulate(cw.program(), config, fuel)?;
-            Ok((res.cycles(), arena.sim().trace().clone()))
+            Ok((res.cycles(), arena.sim()?.trace().clone()))
         };
     let mut calib: Vec<(u64, u64, ObservationTrace)> = Vec::with_capacity(candidates.len());
     for &c in candidates {
@@ -561,6 +560,25 @@ mod tests {
         assert_eq!(k1, cache_key(&run(BackendSel::Sempe)).unwrap());
         assert!(cache_key(&Request::Stats).is_none());
         assert!(cache_key(&Request::Shutdown).is_none());
+    }
+
+    #[test]
+    fn cache_keys_distinguish_beyond_float_precision() {
+        // Program/config digests and attack candidates are full-width
+        // u64s; two requests that differ only above 2^53 must hash to
+        // different cache keys (a float-precision JSON layer would have
+        // collapsed them into silent cache aliasing).
+        let req = |c: u64| Request::Attack {
+            source: MODEXP.to_string(),
+            mode: SecurityMode::Baseline,
+            secret: None,
+            secret_value: None,
+            candidates: vec![0, c],
+            max_cycles: 1000,
+        };
+        let a = cache_key(&req((1 << 53) + 1)).unwrap();
+        let b = cache_key(&req(1 << 53)).unwrap();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod cache;
 pub mod exec;
 pub mod protocol;
 pub mod server;
+pub mod sync;
 
 pub use cache::{CacheKey, ResultCache};
 pub use exec::{cache_key, execute, Arena};

@@ -408,6 +408,29 @@ mod tests {
     }
 
     #[test]
+    fn huge_integer_parameters_survive_the_wire_exactly() {
+        // 2^53 and 2^53+1 collide under f64; the JSON layer must keep
+        // them distinct or the candidate list collapses to one entry
+        // (and cache keys for distinct requests collide).
+        let r = Request::parse(
+            r#"{"type":"attack","source":"s","candidates":[9007199254740992,9007199254740993,18446744073709551615]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Attack { candidates, .. } => {
+                assert_eq!(
+                    candidates,
+                    vec![9007199254740992, 9007199254740993, u64::MAX],
+                    "adjacent >2^53 candidates must stay distinct"
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let r = Request::parse(r#"{"type":"run","source":"s","max_cycles":1999999999}"#).unwrap();
+        assert!(matches!(r, Request::Run { max_cycles: 1_999_999_999, .. }));
+    }
+
+    #[test]
     fn error_lines_are_stable() {
         let e = ServiceError::new(ErrorCode::Busy, "queue full (capacity 64)");
         assert_eq!(

@@ -27,6 +27,7 @@ use sempe_core::json::Json;
 use crate::cache::ResultCache;
 use crate::exec::{self, Arena};
 use crate::protocol::{ErrorCode, Request, ServiceError, MAX_REQUEST_BYTES};
+use crate::sync;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -80,7 +81,7 @@ impl JobQueue {
     /// Non-blocking submit: full or closed queues reject immediately —
     /// that rejection *is* the backpressure signal.
     fn push(&self, job: Job) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = sync::lock(&self.inner);
         if inner.1 {
             return Err(PushError::Closed);
         }
@@ -96,7 +97,7 @@ impl JobQueue {
     /// Blocking take; `None` once the queue is closed *and* drained, so
     /// no accepted job is ever dropped on shutdown.
     fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = sync::lock(&self.inner);
         loop {
             if let Some(job) = inner.0.pop_front() {
                 return Some(job);
@@ -104,17 +105,17 @@ impl JobQueue {
             if inner.1 {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = sync::wait(&self.ready, inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("queue lock").1 = true;
+        sync::lock(&self.inner).1 = true;
         self.ready.notify_all();
     }
 
     fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").0.len()
+        sync::lock(&self.inner).0.len()
     }
 }
 
@@ -220,24 +221,42 @@ impl Server {
             conn_streams: Mutex::new(HashMap::new()),
         });
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("sempe-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        // Thread-spawn failures at startup (fd/thread limits) are real
+        // io errors the caller can react to — not panics. On failure the
+        // already-spawned workers must be released from `queue.pop()`
+        // and joined, or every failed `start` attempt would leak parked
+        // threads (plus the Shared state pinning them) for the process
+        // lifetime.
+        let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+        let abort = |e: std::io::Error, handles: Vec<JoinHandle<()>>| {
+            shared.queue.close();
+            for h in handles {
+                let _ = h.join();
+            }
+            e
+        };
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("sempe-worker-{i}"))
+                .spawn(move || worker_loop(&shared));
+            match spawned {
+                Ok(h) => worker_handles.push(h),
+                Err(e) => return Err(abort(e, worker_handles)),
+            }
+        }
 
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
-            let shared = Arc::clone(&shared);
+            let shared_accept = Arc::clone(&shared);
             let conn_handles = Arc::clone(&conn_handles);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("sempe-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &conn_handles))
-                .expect("spawn accept loop")
+                .spawn(move || accept_loop(&listener, &shared_accept, &conn_handles));
+            match spawned {
+                Ok(h) => h,
+                Err(e) => return Err(abort(e, worker_handles)),
+            }
         };
 
         Ok(Server { shared, accept_handle: Some(accept_handle), worker_handles, conn_handles })
@@ -267,11 +286,10 @@ impl Server {
             let _ = h.join();
         }
         // Unblock connection threads parked in read_line, then join them.
-        for (_, stream) in self.shared.conn_streams.lock().expect("streams lock").drain() {
+        for (_, stream) in sync::lock(&self.shared.conn_streams).drain() {
             let _ = stream.shutdown(Shutdown::Both);
         }
-        let handles: Vec<JoinHandle<()>> =
-            self.conn_handles.lock().expect("handles lock").drain(..).collect();
+        let handles: Vec<JoinHandle<()>> = sync::lock(&self.conn_handles).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -291,7 +309,7 @@ fn accept_loop(
         // finished JoinHandle is free, and without this sweep the vector
         // (and each handler's thread bookkeeping) grows for the daemon's
         // whole lifetime.
-        conn_handles.lock().expect("handles lock").retain(|h| !h.is_finished());
+        sync::lock(conn_handles).retain(|h| !h.is_finished());
         let stream = match stream {
             Ok(s) => s,
             Err(_) => {
@@ -304,17 +322,47 @@ fn accept_loop(
         };
         let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.conn_streams.lock().expect("streams lock").insert(conn_id, clone);
+            sync::lock(&shared.conn_streams).insert(conn_id, clone);
         }
-        let shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("sempe-conn".to_string())
-            .spawn(move || {
-                serve_conn(stream, &shared);
-                shared.conn_streams.lock().expect("streams lock").remove(&conn_id);
-            })
-            .expect("spawn connection thread");
-        conn_handles.lock().expect("handles lock").push(handle);
+        let shared_conn = Arc::clone(shared);
+        let spawned = std::thread::Builder::new().name("sempe-conn".to_string()).spawn(move || {
+            serve_conn(stream, &shared_conn);
+            sync::lock(&shared_conn.conn_streams).remove(&conn_id);
+        });
+        match spawned {
+            Ok(handle) => sync::lock(conn_handles).push(handle),
+            Err(_) => {
+                // Out of threads: tell this client to retry instead of
+                // killing the accept loop (and with it the daemon).
+                if let Some(mut stream) = sync::lock(&shared.conn_streams).remove(&conn_id) {
+                    let e = ServiceError::new(ErrorCode::Busy, "out of connection threads");
+                    let _ = writeln!(stream, "{}", e.to_json());
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+}
+
+/// Execute one job, converting a panic anywhere in the compile/simulate
+/// stack into an `E_INTERNAL` error instead of killing the worker
+/// thread: a single poisoned request must not shrink the pool until the
+/// daemon wedges. The arena is rebuilt after a panic — it may have been
+/// left mid-update.
+fn execute_guarded(request: &Request, arena: &mut Arena) -> Result<String, ServiceError> {
+    let caught =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec::execute(request, arena)));
+    match caught {
+        Ok(result) => result,
+        Err(payload) => {
+            *arena = Arena::new();
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(ServiceError::new(ErrorCode::Internal, format!("worker panicked: {what}")))
+        }
     }
 }
 
@@ -325,19 +373,46 @@ fn worker_loop(shared: &Arc<Shared>) {
         let result = match exec::cache_key(&job.request) {
             Some(key) => match shared.cache.get(&key) {
                 Some(hit) => Ok(hit),
-                None => exec::execute(&job.request, &mut arena).map(|body| {
+                None => execute_guarded(&job.request, &mut arena).map(|body| {
                     let body: Arc<str> = Arc::from(body.as_str());
                     shared.cache.insert(key, Arc::clone(&body));
                     body
                 }),
             },
-            None => exec::execute(&job.request, &mut arena).map(|b| Arc::from(b.as_str())),
+            None => execute_guarded(&job.request, &mut arena).map(|b| Arc::from(b.as_str())),
         };
         shared.jobs_served.fetch_add(1, Ordering::Relaxed);
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
         // A vanished client is not a worker error.
         let _ = job.reply.send(result);
     }
+}
+
+/// Discard the unread remainder of an over-long request line so the
+/// connection can keep serving subsequent requests. Returns `false`
+/// when the line never ends within the drain budget (or the peer hung
+/// up) — the caller should drop the connection then.
+fn drain_oversized_line(reader: &mut BufReader<std::io::Take<TcpStream>>) -> bool {
+    /// How much garbage we are willing to discard for one bad request
+    /// before concluding the peer is hostile and hanging up.
+    const DRAIN_BUDGET: u64 = 16 * 1024 * 1024;
+    const CHUNK: u64 = 64 * 1024;
+    let mut discard = Vec::new();
+    let mut drained = 0u64;
+    while drained <= DRAIN_BUDGET {
+        discard.clear();
+        reader.get_mut().set_limit(CHUNK);
+        match reader.read_until(b'\n', &mut discard) {
+            Ok(0) | Err(_) => return false,
+            Ok(n) => {
+                if discard.last() == Some(&b'\n') {
+                    return true;
+                }
+                drained += n as u64;
+            }
+        }
+    }
+    false
 }
 
 fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
@@ -361,12 +436,21 @@ fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
                 // Either an over-long line, or the Take limit cut a line
                 // short (limit exhausted without a newline). A newline-less
                 // final line before a genuine EOF keeps limit budget and
-                // is served normally.
+                // is served normally. Answer with a structured protocol
+                // error and — when the line's tail can be discarded —
+                // keep the connection alive for the next request rather
+                // than hanging up on the client.
                 let e = ServiceError::new(
                     ErrorCode::BadRequest,
                     format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
                 );
-                let _ = writeln!(writer, "{}", e.to_json());
+                if writeln!(writer, "{}", e.to_json()).and_then(|()| writer.flush()).is_err() {
+                    break;
+                }
+                let line_complete = line.ends_with('\n');
+                if line_complete || drain_oversized_line(&mut reader) {
+                    continue;
+                }
                 break;
             }
             Ok(_) => {}
@@ -443,6 +527,29 @@ mod tests {
         assert_eq!(v.get("workers").and_then(Json::as_u64), Some(2));
         let resp = roundtrip(addr, r#"{"type":"shutdown"}"#);
         assert!(resp.contains("\"ok\":true"));
+        server.join();
+    }
+
+    #[test]
+    fn oversized_requests_get_an_error_and_the_connection_survives() {
+        let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
+            .expect("starts");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        // One giant newline-terminated line, well past the cap.
+        let big = "x".repeat(MAX_REQUEST_BYTES + 4096);
+        writeln!(stream, "{big}").expect("send oversized");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("error line");
+        assert!(resp.contains("E_BAD_REQUEST"), "structured error, got: {resp}");
+        assert!(resp.contains("exceeds"));
+        // The same connection must keep working.
+        stream.write_all(b"{\"type\":\"stats\"}\n").expect("send follow-up");
+        resp.clear();
+        reader.read_line(&mut resp).expect("stats line");
+        assert!(resp.contains("\"ok\":true"), "connection must survive, got: {resp}");
+        server.shutdown();
         server.join();
     }
 

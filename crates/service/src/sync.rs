@@ -1,0 +1,41 @@
+//! Poison-tolerant locking.
+//!
+//! A `Mutex` is poisoned when a thread panics while holding it. Every
+//! structure the daemon guards this way (job queue, result cache,
+//! connection registry) is a plain value store with no invariant that a
+//! mid-update panic could break mid-way in a harmful fashion — the
+//! worst case is one stale entry. Propagating the poison instead (the
+//! `.expect()` the code used to do) converts one panicked worker into a
+//! cascade that takes down every thread touching the lock, which is
+//! exactly the wedge a long-running daemon must not have.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Lock, recovering from poisoning instead of propagating the panic.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Condvar wait, recovering from poisoning instead of propagating.
+pub fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(7u64));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "the daemon keeps serving from a poisoned lock");
+    }
+}

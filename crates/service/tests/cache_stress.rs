@@ -1,0 +1,65 @@
+//! Concurrency stress for the content-addressed result cache: racing
+//! inserts at capacity, racing same-key inserts, and counter coherence.
+//! The cache sits on every worker's hot path; a lost update is
+//! tolerable, a panic, deadlock, or capacity breach is not.
+
+use std::sync::Arc;
+
+use sempe_service::cache::{CacheKey, ResultCache};
+
+fn key(n: u64) -> CacheKey {
+    CacheKey { op: "run", source_hash: n, backend: 1, mode: 1, config_digest: 7, params_digest: 9 }
+}
+
+#[test]
+fn racing_inserts_at_capacity_stay_bounded_and_coherent() {
+    const CAPACITY: usize = 8;
+    const THREADS: u64 = 8;
+    const KEYS: u64 = 32;
+    const ROUNDS: u64 = 200;
+    let cache = Arc::new(ResultCache::new(CAPACITY));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    let n = (t * 31 + round * 17) % KEYS;
+                    match cache.get(&key(n)) {
+                        // A hit must carry exactly the value every racer
+                        // inserts for that key — byte-identical bodies
+                        // are the cache's core contract.
+                        Some(body) => assert_eq!(&*body, format!("body-{n}").as_str()),
+                        None => cache.insert(key(n), Arc::from(format!("body-{n}").as_str())),
+                    }
+                }
+            });
+        }
+    });
+    assert!(cache.len() <= CAPACITY, "eviction must hold under racing inserts");
+    assert!(!cache.is_empty());
+    let lookups = cache.hits() + cache.misses();
+    assert_eq!(lookups, THREADS * ROUNDS, "every get counted exactly once");
+    // Post-race, every cached entry still maps to its own body.
+    for n in 0..KEYS {
+        if let Some(body) = cache.get(&key(n)) {
+            assert_eq!(&*body, format!("body-{n}").as_str());
+        }
+    }
+}
+
+#[test]
+fn racing_same_key_inserts_keep_one_entry() {
+    let cache = Arc::new(ResultCache::new(2));
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    cache.insert(key(1), Arc::from("same"));
+                }
+            });
+        }
+    });
+    assert_eq!(cache.len(), 1, "same-key racers must collapse to one entry");
+    assert_eq!(cache.get(&key(1)).as_deref(), Some("same"));
+}

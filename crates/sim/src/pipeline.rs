@@ -410,6 +410,31 @@ impl Simulator {
         Ok(())
     }
 
+    /// The arena idiom shared by every long-lived driver (service
+    /// workers, the differential fuzzer): rebuild `slot`'s simulator in
+    /// place for the next program, or construct one on first use, and
+    /// hand back the ready-to-run machine. Centralized here so a future
+    /// change to rebuild semantics cannot silently diverge between
+    /// callers.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] from construction or rebuild; `slot` keeps its
+    /// previous simulator (if any) on rebuild failure.
+    pub fn rebuild_or_new<'a>(
+        slot: &'a mut Option<Simulator>,
+        prog: &Program,
+        config: SimConfig,
+    ) -> Result<&'a mut Simulator, SimError> {
+        match slot {
+            Some(sim) => {
+                sim.rebuild(prog, config)?;
+                Ok(sim)
+            }
+            None => Ok(slot.insert(Simulator::new(prog, config)?)),
+        }
+    }
+
     /// Committed value of an architectural register.
     #[must_use]
     pub fn arch_reg(&self, r: Reg) -> u64 {

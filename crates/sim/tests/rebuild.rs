@@ -79,4 +79,17 @@ fn rebuild_matches_fresh_construction_exactly() {
             assert_eq!(got, reference[i], "round {round} case {i} diverged after rebuild");
         }
     }
+
+    // The shared arena helper (first use constructs, later uses rebuild)
+    // must be cycle-identical to both paths above.
+    let mut slot: Option<Simulator> = None;
+    for round in 0..2 {
+        for (i, (cw, config)) in cases.iter().enumerate() {
+            let sim = Simulator::rebuild_or_new(&mut slot, cw.program(), *config)
+                .expect("arena helper builds");
+            let res = sim.run(50_000_000).expect("halts");
+            let got = (res.cycles(), res.committed(), cw.read_outputs(sim.mem()));
+            assert_eq!(got, reference[i], "round {round} case {i} diverged via rebuild_or_new");
+        }
+    }
 }
