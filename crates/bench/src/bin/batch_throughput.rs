@@ -1,0 +1,337 @@
+//! `batch_throughput` — forked vs cold trial throughput of the
+//! checkpoint/fork execution engine.
+//!
+//! The service's trial-shaped work (attack calibration, overhead sweeps,
+//! the `batch` op) is *many runs of the same program under varying
+//! inputs*. A **cold** trial pays the whole per-trial stack: compile the
+//! patched program, decode, construct a simulator, load the image, run.
+//! A **forked** trial pays that once — build + checkpoint — then per
+//! trial restores the checkpoint (O(dirty pages)), patches the input's
+//! data slot, and runs.
+//!
+//! The headline workload mirrors real attack targets (windowed RSA /
+//! table-driven ciphers): a modexp kernel over a large precomputed
+//! table. The table is secret-independent common structure — the bulk of
+//! the image — so cold trials spend their time re-materializing state
+//! that never changes between candidates, which is exactly what the fork
+//! server amortizes. A small table-free variant is reported too, as the
+//! honest lower bound: there the simulated run dominates and forking can
+//! only shave the setup.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin batch_throughput
+//! [--quick] [--out <path>] [--min-speedup <X>]` — the speedup floor is
+//! enforced on the gated rows (the table workloads), and the binary
+//! exits 1 when any falls below it.
+
+use std::time::Instant;
+
+use sempe_bench::BackendRun;
+use sempe_compile::wir::{BinOp, Expr, Stmt, WirBuilder};
+use sempe_compile::{compile, parse_wir, Backend, VarId, WirProgram};
+use sempe_core::json::Json;
+use sempe_sim::{SimConfig, Simulator};
+
+/// The table-free attack victim (the service e2e workload).
+const MODEXP_SMALL: &str = r"
+    secret key = 0b1011;
+    var r = 1;
+    var base = 7;
+    var i = 0;
+    var bit = 0;
+    while (i < 4) bound 5 {
+        bit = (key >> i) & 1;
+        if secret (bit) { r = (r * base) % 1000003; }
+        base = (base * base) % 1000003;
+        i = i + 1;
+    }
+    output r;
+";
+
+const FUEL: u64 = 50_000_000;
+/// Precomputed-table size of the headline workload, in 8-byte words
+/// (64 Ki words = 512 KiB — the scale of a windowed-RSA table or a
+/// T-table cipher's expanded state).
+const TABLE_WORDS: usize = 1 << 16;
+
+/// Windowed modexp over a precomputed power table: per key bit, the
+/// secret branch multiplies by a table entry. The table dominates the
+/// program image and never depends on the secret.
+fn table_modexp() -> (WirProgram, VarId) {
+    let mut b = WirBuilder::new();
+    let key = b.var("key", 0b1011);
+    let r = b.var("r", 1);
+    let i = b.var("i", 0);
+    let bit = b.var("bit", 0);
+    let init: Vec<u64> = (0..TABLE_WORDS as u64)
+        .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(12_345) % 1_000_003)
+        .collect();
+    let tab = b.array("tab", TABLE_WORDS, init);
+    let mask = (TABLE_WORDS - 1) as u64;
+    let body = vec![
+        b.assign(
+            bit,
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Shr, Expr::Var(key), Expr::Var(i)),
+                Expr::Const(1),
+            ),
+        ),
+        Stmt::If {
+            cond: Expr::Var(bit),
+            secret: true,
+            then_: vec![b.assign(
+                r,
+                Expr::bin(
+                    BinOp::Rem,
+                    Expr::bin(
+                        BinOp::Mul,
+                        Expr::Var(r),
+                        Expr::Load(
+                            tab,
+                            Box::new(Expr::bin(
+                                BinOp::And,
+                                Expr::bin(BinOp::Add, Expr::Var(r), Expr::Var(i)),
+                                Expr::Const(mask),
+                            )),
+                        ),
+                    ),
+                    Expr::Const(1_000_003),
+                ),
+            )],
+            else_: vec![],
+        },
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
+    ];
+    b.push(Stmt::While {
+        cond: Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Const(16)),
+        bound: 17,
+        body,
+    });
+    b.output(r);
+    (b.build(), key)
+}
+
+struct Outcome {
+    workload: &'static str,
+    /// Enforced by `--min-speedup` (the headline rows).
+    gated: bool,
+    trials: u64,
+    cold_secs: f64,
+    forked_secs: f64,
+    /// Paranoia channel: cold and forked runs must agree cycle-for-cycle.
+    checksum_cold: u64,
+    checksum_forked: u64,
+}
+
+impl Outcome {
+    fn cold_tps(&self) -> f64 {
+        self.trials as f64 / self.cold_secs.max(1e-9)
+    }
+
+    fn forked_tps(&self) -> f64 {
+        self.trials as f64 / self.forked_secs.max(1e-9)
+    }
+
+    fn speedup(&self) -> f64 {
+        self.forked_tps() / self.cold_tps().max(1e-9)
+    }
+}
+
+/// The attack-calibration shape: one (program, machine), N candidate
+/// secrets. Cold recompiles and rebuilds per candidate — exactly what
+/// `do_attack` did before the fork server; forked restores + patches.
+fn attack_workload(
+    workload: &'static str,
+    gated: bool,
+    prog: &WirProgram,
+    key: VarId,
+    trials: u64,
+) -> Outcome {
+    let backend = Backend::Baseline;
+    let config = SimConfig::baseline().with_trace();
+    let candidate = |t: u64| t % 16;
+
+    let mut checksum_cold = 0u64;
+    let start = Instant::now();
+    for t in 0..trials {
+        let mut patched = prog.clone();
+        patched.set_var_init(key, candidate(t));
+        let cw = compile(&patched, backend).expect("compiles");
+        let mut sim = Simulator::new(cw.program(), config).expect("builds");
+        let res = sim.run(FUEL).expect("halts");
+        checksum_cold = checksum_cold.wrapping_add(res.cycles());
+    }
+    let cold_secs = start.elapsed().as_secs_f64();
+
+    let cw = compile(prog, backend).expect("compiles");
+    let secret_addr = cw.var_addr(key);
+    let mut sim = Simulator::new(cw.program(), config).expect("builds");
+    let cp = sim.checkpoint().expect("quiesced");
+    let mut checksum_forked = 0u64;
+    let start = Instant::now();
+    for t in 0..trials {
+        sim.restore_from(&cp);
+        sim.mem_mut().write_u64(secret_addr, candidate(t));
+        let res = sim.run(FUEL).expect("halts");
+        checksum_forked = checksum_forked.wrapping_add(res.cycles());
+    }
+    let forked_secs = start.elapsed().as_secs_f64();
+
+    Outcome { workload, gated, trials, cold_secs, forked_secs, checksum_cold, checksum_forked }
+}
+
+/// The sweep shape: the same program across all three (backend, machine)
+/// pairs per trial. Cold compiles and builds three machines per trial;
+/// forked keeps one checkpoint and one arena slot per pair.
+fn sweep_workload(prog: &WirProgram, trials: u64) -> Outcome {
+    let pairs = BackendRun::ALL.map(BackendRun::pair);
+
+    let mut checksum_cold = 0u64;
+    let start = Instant::now();
+    for _ in 0..trials {
+        for (backend, config) in pairs {
+            let cw = compile(prog, backend).expect("compiles");
+            let mut sim = Simulator::new(cw.program(), config).expect("builds");
+            let res = sim.run(FUEL).expect("halts");
+            checksum_cold = checksum_cold.wrapping_add(res.cycles());
+        }
+    }
+    let cold_secs = start.elapsed().as_secs_f64();
+
+    let mut lanes = Vec::new();
+    for (backend, config) in pairs {
+        let cw = compile(prog, backend).expect("compiles");
+        let mut sim = Simulator::new(cw.program(), config).expect("builds");
+        let cp = sim.checkpoint().expect("quiesced");
+        lanes.push((sim, cp));
+    }
+    let mut checksum_forked = 0u64;
+    let start = Instant::now();
+    for _ in 0..trials {
+        for (sim, cp) in &mut lanes {
+            sim.restore_from(cp);
+            let res = sim.run(FUEL).expect("halts");
+            checksum_forked = checksum_forked.wrapping_add(res.cycles());
+        }
+    }
+    let forked_secs = start.elapsed().as_secs_f64();
+
+    Outcome {
+        workload: "sweep",
+        gated: true,
+        trials,
+        cold_secs,
+        forked_secs,
+        checksum_cold,
+        checksum_forked,
+    }
+}
+
+fn report_json(outcomes: &[Outcome]) -> String {
+    let rows: Vec<Json> = outcomes
+        .iter()
+        .map(|o| {
+            Json::obj()
+                .with("workload", o.workload)
+                .with("gated", o.gated)
+                .with("trials", o.trials)
+                .with("cold_secs", (o.cold_secs * 1e6).round() / 1e6)
+                .with("forked_secs", (o.forked_secs * 1e6).round() / 1e6)
+                .with("cold_trials_per_sec", o.cold_tps().round())
+                .with("forked_trials_per_sec", o.forked_tps().round())
+                .with("speedup", (o.speedup() * 1e3).round() / 1e3)
+        })
+        .collect();
+    let mut out = Json::obj()
+        .with("bench", "batch_throughput")
+        .with("unit", "trials_per_host_second")
+        .with("table_words", TABLE_WORDS as u64)
+        .with("rows", Json::Arr(rows))
+        .encode();
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_batch_throughput.json");
+    let mut min_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(1);
+                }
+            },
+            "--min-speedup" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_speedup = Some(x),
+                None => {
+                    eprintln!("--min-speedup needs a number");
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (usage: batch_throughput [--quick] \
+                     [--out <path>] [--min-speedup <X>])"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    let trials = if quick { 48 } else { 256 };
+
+    let (table_prog, table_key) = table_modexp();
+    let small = parse_wir(MODEXP_SMALL).expect("parses");
+    // Warm up so neither path pays first-touch page faults.
+    let _ = attack_workload("warmup", false, &table_prog, table_key, 2);
+    let outcomes = [
+        attack_workload("attack-calibration", true, &table_prog, table_key, trials),
+        attack_workload(
+            "attack-calibration-small",
+            false,
+            &small.program,
+            small.secrets[0],
+            trials,
+        ),
+        sweep_workload(&table_prog, trials / 4),
+    ];
+
+    println!(
+        "{:26} {:>7} {:>13} {:>13} {:>9}",
+        "workload", "trials", "cold tr/s", "forked tr/s", "speedup"
+    );
+    for o in &outcomes {
+        assert_eq!(
+            o.checksum_cold, o.checksum_forked,
+            "{}: forked cycles diverged from cold cycles",
+            o.workload
+        );
+        println!(
+            "{:26} {:>7} {:>13.0} {:>13.0} {:>8.2}x",
+            o.workload,
+            o.trials,
+            o.cold_tps(),
+            o.forked_tps(),
+            o.speedup()
+        );
+    }
+
+    std::fs::write(&out_path, report_json(&outcomes))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+
+    if let Some(min) = min_speedup {
+        let worst =
+            outcomes.iter().filter(|o| o.gated).map(Outcome::speedup).fold(f64::INFINITY, f64::min);
+        if worst < min {
+            eprintln!("FAIL: worst gated forked/cold speedup {worst:.2}x is below {min:.2}x");
+            std::process::exit(1);
+        }
+        println!("speedup floor {min:.2}x met (worst gated {worst:.2}x)");
+    }
+}

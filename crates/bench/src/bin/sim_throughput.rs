@@ -5,6 +5,13 @@
 //! backends, and writes `BENCH_sim_throughput.json` so successive PRs
 //! can track the simulator's performance trajectory.
 //!
+//! Each (workload × backend) compiles once and then reuses one simulator
+//! arena across the timed repetitions via [`Simulator::rebuild`] — the
+//! long-lived-worker pattern the service uses — with per-rep setup
+//! (rebuild) and steady-state (run) time accounted separately, so a
+//! regression in either shows up as itself rather than blurring into a
+//! single number.
+//!
 //! Usage: `cargo run --release -p sempe-bench --bin sim_throughput
 //! [--quick] [--out <path>]` — `--out` redirects the JSON report (CI
 //! smoke tests write to a temp location instead of clobbering the
@@ -12,9 +19,11 @@
 
 use std::time::Instant;
 
-use sempe_bench::{run_backend, BackendRun};
+use sempe_bench::BackendRun;
+use sempe_compile::compile;
 use sempe_compile::wir::WirProgram;
 use sempe_core::json::Json;
+use sempe_sim::Simulator;
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 use sempe_workloads::rsa::{modexp_program, ModexpParams};
 
@@ -24,16 +33,23 @@ struct Row {
     backend: &'static str,
     sim_cycles: u64,
     committed: u64,
-    host_secs: f64,
+    /// Per-rep arena rebuild time (decode + image load + state reset).
+    setup_secs: f64,
+    /// Per-rep simulation time.
+    steady_secs: f64,
 }
 
 impl Row {
+    fn host_secs(&self) -> f64 {
+        (self.setup_secs + self.steady_secs).max(1e-9)
+    }
+
     fn cycles_per_sec(&self) -> f64 {
-        self.sim_cycles as f64 / self.host_secs
+        self.sim_cycles as f64 / self.host_secs()
     }
 
     fn mips(&self) -> f64 {
-        self.committed as f64 / self.host_secs / 1e6
+        self.committed as f64 / self.host_secs() / 1e6
     }
 }
 
@@ -49,20 +65,42 @@ fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps:
     BackendRun::ALL
         .iter()
         .map(|&which| {
-            // One warm-up run (pays compilation and page faults), then
-            // `reps` timed runs of the full simulation.
-            let warm = run_backend(prog, which, u64::MAX);
-            let start = Instant::now();
+            let (backend, config) = which.pair();
+            // Compile once; the old harness re-compiled and re-decoded
+            // the unchanged program on every iteration.
+            let cw = compile(prog, backend).expect("workload compiles");
+            let mut slot: Option<Simulator> = None;
+            // One warm-up rep (pays first-touch page faults and grows
+            // the arena), then `reps` timed reps through the same arena.
+            let warm = Simulator::rebuild_or_new(&mut slot, cw.program(), config)
+                .expect("simulator builds")
+                .run(u64::MAX)
+                .expect("workload halts");
             let mut sim_cycles = 0u64;
             let mut committed = 0u64;
+            let mut setup_secs = 0f64;
+            let mut steady_secs = 0f64;
             for _ in 0..reps {
-                let out = run_backend(prog, which, u64::MAX);
-                sim_cycles += out.cycles;
-                committed += out.committed;
+                let t0 = Instant::now();
+                let sim = Simulator::rebuild_or_new(&mut slot, cw.program(), config)
+                    .expect("simulator rebuilds");
+                let t1 = Instant::now();
+                let out = sim.run(u64::MAX).expect("workload halts");
+                setup_secs += (t1 - t0).as_secs_f64();
+                steady_secs += t1.elapsed().as_secs_f64();
+                sim_cycles += out.stats.cycles;
+                committed += out.stats.committed;
             }
-            let host_secs = start.elapsed().as_secs_f64().max(1e-9);
-            assert_eq!(warm.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
-            Row { workload, group, backend: backend_name(which), sim_cycles, committed, host_secs }
+            assert_eq!(warm.stats.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
+            Row {
+                workload,
+                group,
+                backend: backend_name(which),
+                sim_cycles,
+                committed,
+                setup_secs,
+                steady_secs,
+            }
         })
         .collect()
 }
@@ -79,7 +117,9 @@ fn report_json(rows: &[Row], micro_kcps: f64, overall_kcps: f64) -> String {
                 .with("backend", r.backend)
                 .with("sim_cycles", r.sim_cycles)
                 .with("committed", r.committed)
-                .with("host_secs", (r.host_secs * 1e6).round() / 1e6)
+                .with("host_secs", (r.host_secs() * 1e6).round() / 1e6)
+                .with("setup_secs", (r.setup_secs * 1e6).round() / 1e6)
+                .with("steady_secs", (r.steady_secs * 1e6).round() / 1e6)
                 .with("cycles_per_sec", r.cycles_per_sec().round())
                 .with("mips", (r.mips() * 1e3).round() / 1e3)
         })
@@ -135,16 +175,17 @@ fn main() {
     rows.extend(measure("rsa-modexp16", "rsa", &modexp_program(&rsa), reps));
 
     println!(
-        "{:14} {:9} {:>12} {:>10} {:>14} {:>8}",
-        "workload", "backend", "sim cycles", "host ms", "cycles/sec", "MIPS"
+        "{:14} {:9} {:>12} {:>10} {:>9} {:>14} {:>8}",
+        "workload", "backend", "sim cycles", "host ms", "setup ms", "cycles/sec", "MIPS"
     );
     for r in &rows {
         println!(
-            "{:14} {:9} {:>12} {:>10.2} {:>14.0} {:>8.3}",
+            "{:14} {:9} {:>12} {:>10.2} {:>9.3} {:>14.0} {:>8.3}",
             r.workload,
             r.backend,
             r.sim_cycles,
-            r.host_secs * 1e3,
+            r.host_secs() * 1e3,
+            r.setup_secs * 1e3,
             r.cycles_per_sec(),
             r.mips()
         );
@@ -154,7 +195,7 @@ fn main() {
         let (c, t) = rows
             .iter()
             .filter(|r| pred(r))
-            .fold((0u64, 0f64), |(c, t), r| (c + r.sim_cycles, t + r.host_secs));
+            .fold((0u64, 0f64), |(c, t), r| (c + r.sim_cycles, t + r.host_secs()));
         c as f64 / t.max(1e-9)
     };
     let micro = agg(&|r| r.group == "micro");

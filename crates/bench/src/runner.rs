@@ -24,6 +24,19 @@ pub enum BackendRun {
 impl BackendRun {
     /// The three measured combinations.
     pub const ALL: [BackendRun; 3] = [BackendRun::Baseline, BackendRun::Sempe, BackendRun::Cte];
+
+    /// The canonical (compiler backend, machine configuration) of a
+    /// measured combination — the single source of truth for every
+    /// harness, so a config change cannot silently diverge between the
+    /// figure bins and the throughput trackers.
+    #[must_use]
+    pub fn pair(self) -> (Backend, SimConfig) {
+        match self {
+            BackendRun::Baseline => (Backend::Baseline, SimConfig::baseline()),
+            BackendRun::Sempe => (Backend::Sempe, SimConfig::paper()),
+            BackendRun::Cte => (Backend::Cte, SimConfig::baseline()),
+        }
+    }
 }
 
 /// Outcome of one measured run.
@@ -47,11 +60,7 @@ pub struct RunOutcome {
 /// failure as fatal.
 #[must_use]
 pub fn run_backend(prog: &WirProgram, which: BackendRun, max_cycles: u64) -> RunOutcome {
-    let (backend, config) = match which {
-        BackendRun::Baseline => (Backend::Baseline, SimConfig::baseline()),
-        BackendRun::Sempe => (Backend::Sempe, SimConfig::paper()),
-        BackendRun::Cte => (Backend::Cte, SimConfig::baseline()),
-    };
+    let (backend, config) = which.pair();
     let cw = compile(prog, backend).expect("workload compiles");
     let mut sim = Simulator::new(cw.program(), config).expect("simulator builds");
     let res = sim.run(max_cycles).unwrap_or_else(|e| panic!("{which:?} run failed: {e}"));

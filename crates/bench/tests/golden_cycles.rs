@@ -25,11 +25,11 @@ fn golden_table() -> Vec<(&'static str, WirProgram, [u64; 3])> {
         fig7_program(&MicroParams { scale, secrets: 0b01, ..MicroParams::new(kind, 2, 2) })
     };
     vec![
-        ("micro/fibonacci", micro(WorkloadKind::Fibonacci, 8), [672, 2247, 3645]),
-        ("micro/ones", micro(WorkloadKind::Ones, 8), [980, 3101, 5504]),
-        ("micro/quicksort", micro(WorkloadKind::Quicksort, 8), [3272, 10541, 101948]),
-        ("micro/queens", micro(WorkloadKind::Queens, 4), [5354, 16605, 482535]),
-        ("rsa/modexp8", modexp_program(&ModexpParams::default()), [689, 1524, 756]),
+        ("micro/fibonacci", micro(WorkloadKind::Fibonacci, 8), [819, 2406, 3804]),
+        ("micro/ones", micro(WorkloadKind::Ones, 8), [1139, 3258, 5663]),
+        ("micro/quicksort", micro(WorkloadKind::Quicksort, 8), [3443, 11004, 102721]),
+        ("micro/queens", micro(WorkloadKind::Queens, 4), [5528, 17240, 483309]),
+        ("rsa/modexp8", modexp_program(&ModexpParams::default()), [693, 1675, 748]),
     ]
 }
 
@@ -63,7 +63,7 @@ fn cycle_counts_are_bit_identical_to_golden() {
 fn fuzz_corpus_seeds_cycle_golden() {
     let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../fuzz/corpus");
     let table: [(&str, [u64; 3]); 2] =
-        [("ct_modexp.wir", [443, 852, 468]), ("ct_nested_regions_arrays.wir", [187, 677, 245])];
+        [("ct_modexp.wir", [457, 1003, 460]), ("ct_nested_regions_arrays.wir", [337, 755, 409])];
     let print = std::env::var("SEMPE_PRINT_GOLDEN").is_ok();
     let mut failures = Vec::new();
     for (file, golden) in table {

@@ -197,8 +197,14 @@ struct Lowerer<'p> {
 impl<'p> Lowerer<'p> {
     fn new(prog: &'p WirProgram, backend: Backend) -> Self {
         let mut a = Asm::new();
-        // Scalar frame.
-        let vars_base = a.zero_data(8 * prog.var_count().max(1));
+        // Scalar frame, *initialized in the data image* rather than by a
+        // movi/store prologue: the emitted code is then byte-identical for
+        // every choice of initial values, so a checkpoint/fork engine can
+        // reuse one compiled binary across secret candidates by patching
+        // the data words alone (and the instruction stream trivially
+        // cannot depend on the initializers, secrets included).
+        let vars_base =
+            if prog.var_count() == 0 { a.zero_data(8) } else { a.data_words(&prog.var_init) };
         let base_off: Vec<i64> = (0..prog.var_count()).map(|i| (i * 8) as i64).collect();
         // Arrays (with initializers).
         let arr_base = prog
@@ -727,14 +733,9 @@ impl<'p> Lowerer<'p> {
 /// [`CompileError`] on over-deep expressions or assembly failures.
 pub fn compile(prog: &WirProgram, backend: Backend) -> Result<CompiledWorkload, CompileError> {
     let mut lw = Lowerer::new(prog, backend);
-    // Prologue: frame base + scalar initial values. Every scalar is
-    // written unconditionally so the prologue's instruction count never
-    // depends on the initial values (which may include secrets).
+    // Prologue: just the frame base — the scalars' initial values live in
+    // the data image (see `Lowerer::new`).
     lw.a.movi(FRAME, lw.vars_base as i64);
-    for (i, init) in prog.var_init.iter().enumerate() {
-        lw.a.movi(t(0), *init as i64);
-        lw.a.st(FRAME, t(0), lw.base_off[i]);
-    }
     lw.lower_stmts(prog.body())?;
     lw.a.halt();
     let base_off = lw.base_off.clone();

@@ -14,6 +14,13 @@
 //! backends: committed instruction counts, cycle counts, and full
 //! observation traces (under [`Strictness::Full`]) must be identical
 //! across the pair.
+//!
+//! Every (backend × machine) pair additionally runs the **fork
+//! differential**: the program is checkpointed at the post-load quiesce
+//! point, run, restored, and run again — the restored run must be
+//! bit-for-bit identical (cycles, committed count, outputs,
+//! `Strictness::Full` trace) to cold execution, which is the invariant
+//! the service's fork server rests on.
 
 use core::fmt;
 
@@ -101,6 +108,9 @@ pub enum DivergenceKind {
     Source,
     /// The `collapse_nested_ifs` rewrite changed observable behavior.
     Opt,
+    /// A run restored from a checkpoint diverged from cold execution
+    /// (cycles, committed count, outputs, or observation trace).
+    Fork,
 }
 
 impl DivergenceKind {
@@ -119,6 +129,7 @@ impl DivergenceKind {
             DivergenceKind::LeakTrace => "leak-trace",
             DivergenceKind::Source => "source",
             DivergenceKind::Opt => "opt",
+            DivergenceKind::Fork => "fork",
         }
     }
 }
@@ -149,10 +160,12 @@ pub struct CheckStats {
     pub leak_pairs: u64,
 }
 
-/// A reusable simulator arena (rebuild instead of reallocate).
+/// A reusable simulator arena (rebuild instead of reallocate). The
+/// second slot hosts the fork differential's machine.
 #[derive(Debug, Default)]
 pub struct SimArena {
     sim: Option<Simulator>,
+    fork: Option<Simulator>,
 }
 
 impl SimArena {
@@ -188,6 +201,66 @@ impl SimArena {
             });
         }
         Ok(self.sim.as_ref().unwrap_or_else(|| unreachable!("just ran")))
+    }
+
+    /// The fork differential: checkpoint a freshly built machine at the
+    /// post-load quiesce point, run it (dirtying registers, memory,
+    /// caches, predictor), restore, and run again. Both runs — and in
+    /// particular the *restored* one — must reproduce the cold run's
+    /// cycle count and committed count bit for bit, agree with each
+    /// other on outputs, and leave `Strictness::Full`-identical
+    /// observation traces. Every generated program goes through this, so
+    /// a checkpoint field that silently leaks state across a restore
+    /// shows up as a fuzz divergence, not as a wrong paper number.
+    fn fork_check(
+        &mut self,
+        cw: &CompiledWorkload,
+        config: SimConfig,
+        engine: &str,
+        want_cycles: u64,
+        want_committed: u64,
+    ) -> Result<(), Divergence> {
+        let fail = |detail: String| Divergence {
+            kind: DivergenceKind::Fork,
+            engine: engine.to_string(),
+            detail,
+        };
+        // Trace recording is observation-only; enabling it must not (and
+        // does not) perturb timing, which this check also pins.
+        let traced = config.with_trace();
+        let sim = Simulator::rebuild_or_new(&mut self.fork, cw.program(), traced)
+            .map_err(|e| fail(format!("fork machine build failed: {e}")))?;
+        let cp =
+            sim.checkpoint().map_err(|e| fail(format!("post-load checkpoint refused: {e}")))?;
+        let first = sim.run(SIM_FUEL).map_err(|e| fail(format!("first run fault: {e}")))?;
+        let first_outputs = cw.read_outputs(sim.mem());
+        let first_trace = sim.trace().clone();
+        sim.restore_from(&cp);
+        let restored = sim.run(SIM_FUEL).map_err(|e| fail(format!("restored run fault: {e}")))?;
+        for (which, res) in [("first", &first), ("restored", &restored)] {
+            if res.stats.cycles != want_cycles {
+                return Err(fail(format!(
+                    "{which} forked run took {} cycles, cold run {want_cycles}",
+                    res.stats.cycles
+                )));
+            }
+            if res.stats.committed != want_committed {
+                return Err(fail(format!(
+                    "{which} forked run committed {}, cold run {want_committed}",
+                    res.stats.committed
+                )));
+            }
+        }
+        let restored_outputs = cw.read_outputs(sim.mem());
+        if restored_outputs != first_outputs {
+            return Err(fail(format!(
+                "restored outputs {restored_outputs:?} != pre-restore outputs {first_outputs:?}"
+            )));
+        }
+        if let Some(d) = first_divergence(&first_trace, sim.trace(), Strictness::Full) {
+            return Err(fail(format!("restored trace diverges: {d:?}")));
+        }
+        Ok(())
     }
 }
 
@@ -403,6 +476,7 @@ pub fn check_program(
             let sim = arena.run(&cw, *config, &sim_name)?;
             stats.engine_runs += 1;
             let sim_committed = sim.stats().committed;
+            let sim_cycles = sim.stats().cycles;
             let sim_mem_ok = compare_state(p0, &cw, sim.mem(), &want, &sim_name);
             sim_mem_ok?;
             if sim_committed != committed {
@@ -415,6 +489,8 @@ pub fn check_program(
                     ),
                 });
             }
+            arena.fork_check(&cw, *config, &sim_name, sim_cycles, sim_committed)?;
+            stats.engine_runs += 2;
         }
     }
 

@@ -11,6 +11,7 @@
 use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::Addr;
 
@@ -22,6 +23,34 @@ pub const PAGE_SIZE: usize = 4096;
 /// In the last-page cache, marks "no page cached" (no real page can have
 /// this number: addresses are dense in the low 2^52 pages).
 const NO_PAGE: u64 = u64::MAX;
+
+/// Process-wide snapshot identity source. Ids only need to be unique, so
+/// a relaxed counter suffices; 0 is reserved for "not tracking".
+static NEXT_SNAPSHOT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable full copy of a memory image, taken by
+/// [`Memory::snapshot`] and restored by [`Memory::restore`].
+///
+/// The snapshot itself is an eager page copy (paid once, when the
+/// checkpoint is created); what makes the scheme copy-on-write-shaped is
+/// the *restore* side: a memory synchronized with a snapshot tracks
+/// which pages it has dirtied since, so rolling back costs O(dirty
+/// pages), not O(image size). One snapshot can be shared (e.g. behind an
+/// `Arc`) and restored into any number of memories.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    id: u64,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+    index: HashMap<u64, u32>,
+}
+
+impl MemSnapshot {
+    /// Number of pages captured.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
 
 /// Sparse, byte-addressable 64-bit memory.
 ///
@@ -46,11 +75,30 @@ pub struct Memory {
     index: HashMap<u64, u32>,
     /// `(page number, index into pages)` of the last page accessed.
     last: Cell<(u64, u32)>,
+    /// Snapshot id this memory's dirty tracking is synchronized with
+    /// (0 = tracking off; no snapshot ever has id 0).
+    sync_id: u64,
+    /// Current tracking epoch; `page_epoch[i] == epoch` means page `i`
+    /// is already recorded in `dirty` for this epoch.
+    epoch: u64,
+    /// Per-page last-dirtied epoch (only maintained while tracking).
+    page_epoch: Vec<u64>,
+    /// `(page number, page index)` of pages written since the last sync
+    /// point, each recorded once per epoch.
+    dirty: Vec<(u64, u32)>,
 }
 
 impl Default for Memory {
     fn default() -> Self {
-        Memory { pages: Vec::new(), index: HashMap::new(), last: Cell::new((NO_PAGE, 0)) }
+        Memory {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            last: Cell::new((NO_PAGE, 0)),
+            sync_id: 0,
+            epoch: 0,
+            page_epoch: Vec::new(),
+            dirty: Vec::new(),
+        }
     }
 }
 
@@ -91,13 +139,81 @@ impl Memory {
                 Entry::Vacant(v) => {
                     let idx = u32::try_from(self.pages.len()).expect("page count fits u32");
                     self.pages.push(Box::new([0; PAGE_SIZE]));
+                    if self.sync_id != 0 {
+                        self.page_epoch.push(0);
+                    }
                     *v.insert(idx)
                 }
             };
             self.last.set((page_no, idx));
             idx
         };
+        if self.sync_id != 0 && self.page_epoch[idx as usize] != self.epoch {
+            self.page_epoch[idx as usize] = self.epoch;
+            self.dirty.push((page_no, idx));
+        }
         &mut self.pages[idx as usize]
+    }
+
+    /// Capture the current image as an immutable [`MemSnapshot`] and
+    /// synchronize this memory with it: from now on, writes record which
+    /// pages diverge from the snapshot, so a later [`Memory::restore`] of
+    /// the same snapshot is O(dirty pages).
+    pub fn snapshot(&mut self) -> MemSnapshot {
+        let id = NEXT_SNAPSHOT_ID.fetch_add(1, Ordering::Relaxed);
+        self.sync_id = id;
+        self.epoch = 1;
+        self.page_epoch.clear();
+        self.page_epoch.resize(self.pages.len(), 0);
+        self.dirty.clear();
+        MemSnapshot { id, pages: self.pages.clone(), index: self.index.clone() }
+    }
+
+    /// Roll this memory back to `snap`'s image.
+    ///
+    /// When the memory is synchronized with `snap` (it took the snapshot,
+    /// or its last restore was from it), only the pages dirtied since are
+    /// copied back and pages allocated since are dropped — O(dirty
+    /// pages). Otherwise the whole image is re-cloned from the snapshot
+    /// (still cheaper than re-loading a program: no decode, no encode).
+    /// Either way the memory leaves synchronized with `snap`, so repeated
+    /// restores from the same snapshot take the fast path.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        if self.sync_id == snap.id {
+            let snap_len = snap.pages.len();
+            for &(page_no, idx) in &self.dirty {
+                if (idx as usize) < snap_len {
+                    self.pages[idx as usize].copy_from_slice(&snap.pages[idx as usize][..]);
+                } else {
+                    // Allocated after the snapshot: unmap it again.
+                    self.index.remove(&page_no);
+                }
+            }
+            self.pages.truncate(snap_len);
+            self.page_epoch.truncate(snap_len);
+            self.dirty.clear();
+            self.epoch += 1;
+        } else {
+            // `clone_from` copies into the existing page boxes for the
+            // common prefix and allocates only the delta — a worker
+            // alternating between programs resyncs without churning
+            // every 4 KiB allocation.
+            self.pages.clone_from(&snap.pages);
+            self.index.clone_from(&snap.index);
+            self.sync_id = snap.id;
+            self.epoch = 1;
+            self.page_epoch.clear();
+            self.page_epoch.resize(self.pages.len(), 0);
+            self.dirty.clear();
+        }
+        self.last.set((NO_PAGE, 0));
+    }
+
+    /// Pages written since the last sync point with the tracked snapshot
+    /// (0 when tracking is off).
+    #[must_use]
+    pub fn dirty_page_count(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Read one byte.
@@ -231,6 +347,72 @@ mod tests {
         m.write_u64(0x10, 0xFFFF_FFFF_FFFF_FFFF);
         m.write_u32(0x14, 0);
         assert_eq!(m.read_u64(0x10), 0x0000_0000_FFFF_FFFF);
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_dirty_pages_only() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 11);
+        m.write_u64(0x9000, 22);
+        let snap = m.snapshot();
+        assert_eq!(m.dirty_page_count(), 0);
+        // Dirty one existing page, leave the other untouched.
+        m.write_u64(0x1000, 99);
+        assert_eq!(m.dirty_page_count(), 1);
+        m.restore(&snap);
+        assert_eq!(m.read_u64(0x1000), 11);
+        assert_eq!(m.read_u64(0x9000), 22);
+        assert_eq!(m.dirty_page_count(), 0);
+    }
+
+    #[test]
+    fn restore_unmaps_pages_allocated_after_the_snapshot() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 7);
+        let snap = m.snapshot();
+        m.write_u64(0xAB00_0000, 1234); // fresh page
+        assert_eq!(m.page_count(), 2);
+        m.restore(&snap);
+        assert_eq!(m.page_count(), 1);
+        assert_eq!(m.read_u64(0xAB00_0000), 0, "post-snapshot page reads as unmapped again");
+        // And it can be re-allocated + re-restored repeatedly.
+        m.write_u64(0xAB00_0000, 5678);
+        assert_eq!(m.read_u64(0xAB00_0000), 5678);
+        m.restore(&snap);
+        assert_eq!(m.read_u64(0xAB00_0000), 0);
+        assert_eq!(m.read_u64(0x1000), 7);
+    }
+
+    #[test]
+    fn restore_into_a_foreign_memory_resynchronizes() {
+        let mut a = Memory::new();
+        a.write_u64(0x2000, 42);
+        let snap = a.snapshot();
+        // A memory that never saw the snapshot takes the full-resync path…
+        let mut b = Memory::new();
+        b.write_u64(0x5000, 1);
+        b.restore(&snap);
+        assert_eq!(b.read_u64(0x2000), 42);
+        assert_eq!(b.read_u64(0x5000), 0);
+        // …and is synchronized afterwards: the next restore is O(dirty).
+        b.write_u64(0x2000, 9);
+        assert_eq!(b.dirty_page_count(), 1);
+        b.restore(&snap);
+        assert_eq!(b.read_u64(0x2000), 42);
+    }
+
+    #[test]
+    fn repeated_fork_cycles_are_exact() {
+        let mut m = Memory::new();
+        m.write_words(0x3000, &[1, 2, 3, 4]);
+        let snap = m.snapshot();
+        for trial in 0..5u64 {
+            m.write_u64(0x3000, trial);
+            m.write_u64(0x7_0000 + trial * 8, trial);
+            assert_eq!(m.read_u64(0x3000), trial);
+            m.restore(&snap);
+            assert_eq!(m.read_words(0x3000, 4), vec![1, 2, 3, 4]);
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //!   sweep    --source FILE|-  [--max-cycles N]
 //!   attack   --source FILE|-  [--mode baseline|sempe] [--secret NAME]
 //!            [--secret-value N] [--candidates A,B,...] [--max-cycles N]
+//!   batch    --source FILE|-  --inputs '[{"var":N,...},...]' [--backend B]
+//!            [--leak-check] [--max-cycles N]
 //!   stats
 //!   shutdown
 //!   raw      '<json request line>'
@@ -37,14 +39,17 @@ struct Options {
     secret_value: Option<u64>,
     candidates: Option<Vec<u64>>,
     max_cycles: Option<u64>,
+    inputs: Option<String>,
+    leak_check: bool,
     raw: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sempe-client [--addr HOST:PORT] <compile|run|sweep|attack|stats|shutdown|raw> \
+        "usage: sempe-client [--addr HOST:PORT] \
+         <compile|run|sweep|attack|batch|stats|shutdown|raw> \
          [--source FILE|-] [--backend B] [--mode M] [--secret NAME] [--secret-value N] \
-         [--candidates A,B,...] [--max-cycles N] ['<json>']"
+         [--candidates A,B,...] [--inputs JSON] [--leak-check] [--max-cycles N] ['<json>']"
     );
     std::process::exit(1);
 }
@@ -65,6 +70,8 @@ fn parse_args() -> Options {
         secret_value: None,
         candidates: None,
         max_cycles: None,
+        inputs: None,
+        leak_check: false,
         raw: None,
     };
     let mut args = std::env::args().skip(1);
@@ -99,6 +106,8 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|_| fail("--max-cycles must be an integer")),
                 );
             }
+            "--inputs" => opts.inputs = Some(value("--inputs")),
+            "--leak-check" => opts.leak_check = true,
             "--help" | "-h" => usage(),
             other if opts.command.is_empty() && !other.starts_with('-') => {
                 opts.command = other.to_string();
@@ -163,6 +172,28 @@ fn build_request(opts: &Options) -> String {
             }
             if let Some(c) = &opts.candidates {
                 req.set("candidates", c.clone());
+            }
+            if let Some(n) = opts.max_cycles {
+                req.set("max_cycles", n);
+            }
+            req.encode()
+        }
+        "batch" => {
+            let raw = opts
+                .inputs
+                .as_deref()
+                .unwrap_or_else(|| fail("batch needs --inputs '[{\"var\":value,...},...]'"));
+            let inputs = sempe_core::json::parse(raw)
+                .unwrap_or_else(|e| fail(&format!("--inputs is not valid JSON: {e}")));
+            let mut req = Json::obj()
+                .with("type", "batch")
+                .with("source", read_source(opts))
+                .with("inputs", inputs);
+            if let Some(b) = &opts.backend {
+                req.set("backend", b.as_str());
+            }
+            if opts.leak_check {
+                req.set("leak_check", true);
             }
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);

@@ -5,8 +5,21 @@
 //! produce byte-identical response bodies — the invariant the result
 //! cache (and the protocol's "cache hits are indistinguishable from cold
 //! runs" promise) rests on.
+//!
+//! Trial-shaped requests (`batch`, `attack` calibration, `sweep` lanes)
+//! run on the **fork server**: one [`sempe_sim::Checkpoint`] per
+//! (program, machine configuration) is built on first use and shared
+//! across the worker pool through the [`ForkCache`]; each trial then
+//! restores the checkpoint into the worker's arena slot, patches the
+//! input scalars' data slots, and runs — no re-parse, re-compile,
+//! re-decode, or simulator re-construction per trial. Checkpoint
+//! restores are proven bit-for-bit equal to cold runs by the golden
+//! tests in `crates/sim/tests/checkpoint.rs` and the fuzzer's fork
+//! oracle, so the determinism invariant above is preserved.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use sempe_compile::{analyze_taint, compile, parse_wir, ParsedProgram, WirProgram};
 use sempe_core::attack::{BranchProfileAttacker, TimingAttacker};
@@ -15,19 +28,24 @@ use sempe_core::json::Json;
 use sempe_core::trace::ObservationTrace;
 use sempe_core::{first_divergence, Strictness};
 use sempe_isa::{disasm, Addr, DecodeMode, Program};
-use sempe_sim::{SecurityMode, SimConfig, SimResult, Simulator};
+use sempe_sim::{Checkpoint, SecurityMode, SimConfig, SimResult, Simulator};
 
 use crate::cache::CacheKey;
 use crate::protocol::{BackendSel, ErrorCode, Request, ServiceError};
+use crate::sync;
 
 /// A worker's reusable simulation arena.
 ///
 /// The first job constructs the [`Simulator`]; later jobs
-/// [`Simulator::rebuild`] it in place, recycling the hot-loop
-/// allocations instead of re-growing them per request.
+/// [`Simulator::rebuild`] it in place (or restore a fork-server
+/// checkpoint into it), recycling the hot-loop allocations instead of
+/// re-growing them per request. The two side slots host `sweep`'s
+/// concurrent SeMPE/CTE lanes, which used to build throwaway simulators
+/// per request.
 #[derive(Debug, Default)]
 pub struct Arena {
     sim: Option<Simulator>,
+    side: [Option<Simulator>; 2],
 }
 
 impl Arena {
@@ -56,6 +74,99 @@ impl Arena {
         self.sim.as_ref().ok_or_else(|| {
             ServiceError::new(ErrorCode::Internal, "no simulation ran in this arena")
         })
+    }
+}
+
+/// Fork-cache key: `(program digest, config digest)`.
+type ForkKey = (u64, u64);
+
+/// FIFO insertion order + keyed checkpoints of the fork cache.
+type ForkStore = (HashMap<ForkKey, Arc<Checkpoint>>, VecDeque<ForkKey>);
+
+/// The shared checkpoint store of the fork server: one immutable
+/// [`Checkpoint`] per `(program digest, config digest)`, built on first
+/// use and shared across the worker pool behind `Arc`s. Bounded FIFO,
+/// like the result cache; two workers racing on a miss both build —
+/// checkpoints are deterministic, so either insert is correct.
+#[derive(Debug)]
+pub struct ForkCache {
+    capacity: usize,
+    inner: Mutex<ForkStore>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ForkCache {
+    /// An empty store holding at most `capacity` checkpoints.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ForkCache {
+            capacity,
+            inner: Mutex::new((HashMap::new(), VecDeque::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the checkpoint for `(prog, config)`, building (and caching)
+    /// it on a miss: construct a simulator — paying the decode and image
+    /// load exactly once per (program, machine) — and checkpoint it at
+    /// the quiesced post-load point.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the image fails to decode.
+    pub fn get_or_build(
+        &self,
+        prog: &Program,
+        config: SimConfig,
+    ) -> Result<Arc<Checkpoint>, ServiceError> {
+        let key = (prog.digest(), config.digest());
+        if let Some(hit) = sync::lock(&self.inner).0.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut sim = Simulator::new(prog, config)
+            .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
+        let cp = Arc::new(
+            sim.checkpoint().map_err(|e| ServiceError::new(ErrorCode::Internal, e.to_string()))?,
+        );
+        if self.capacity > 0 {
+            let mut inner = sync::lock(&self.inner);
+            if inner.0.insert(key, Arc::clone(&cp)).is_none() {
+                inner.1.push_back(key);
+                while inner.0.len() > self.capacity {
+                    let Some(oldest) = inner.1.pop_front() else { break };
+                    inner.0.remove(&oldest);
+                }
+            }
+        }
+        Ok(cp)
+    }
+
+    /// Checkpoints currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        sync::lock(&self.inner).0.len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the store.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build a checkpoint.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -136,6 +247,30 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
                 params_digest: params.finish(),
             })
         }
+        Request::Batch { source, backend, inputs, leak_check, max_cycles } => {
+            let mut params = Fnv1a::new();
+            params.write_u64(*max_cycles);
+            params.write_u64(u64::from(*leak_check));
+            params.write_u64(inputs.len() as u64);
+            for item in inputs {
+                params.write_u64(item.len() as u64);
+                for (name, value) in item {
+                    params.write_u64(name.len() as u64);
+                    params.write(name.as_bytes());
+                    params.write_u64(*value);
+                }
+            }
+            let config =
+                if *leak_check { backend.sim_config().with_trace() } else { backend.sim_config() };
+            Some(CacheKey {
+                op: "batch",
+                source_hash: fnv1a(source.as_bytes()),
+                backend: backend_disc(*backend),
+                mode: mode_disc(backend.mode()),
+                config_digest: config.digest(),
+                params_digest: params.finish(),
+            })
+        }
         Request::Stats | Request::Shutdown => None,
     }
 }
@@ -148,13 +283,17 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
 /// [`ServiceError`] describing the failure; `stats`/`shutdown` requests
 /// are rejected here because they are served inline by the connection
 /// handler, never by a worker.
-pub fn execute(req: &Request, arena: &mut Arena) -> Result<String, ServiceError> {
+pub fn execute(
+    req: &Request,
+    arena: &mut Arena,
+    forks: &ForkCache,
+) -> Result<String, ServiceError> {
     let body = match req {
         Request::Compile { source, backend } => do_compile(source, *backend)?,
         Request::Run { source, backend, max_cycles } => {
             do_run(source, *backend, *max_cycles, arena)?
         }
-        Request::Sweep { source, max_cycles } => do_sweep(source, *max_cycles, arena)?,
+        Request::Sweep { source, max_cycles } => do_sweep(source, *max_cycles, arena, forks)?,
         Request::Attack { source, mode, secret, secret_value, candidates, max_cycles } => {
             do_attack(
                 source,
@@ -164,7 +303,11 @@ pub fn execute(req: &Request, arena: &mut Arena) -> Result<String, ServiceError>
                 candidates,
                 *max_cycles,
                 arena,
+                forks,
             )?
+        }
+        Request::Batch { source, backend, inputs, leak_check, max_cycles } => {
+            do_batch(source, *backend, inputs, *leak_check, *max_cycles, arena, forks)?
         }
         Request::Stats | Request::Shutdown => {
             return Err(ServiceError::new(ErrorCode::Internal, "control request reached a worker"))
@@ -261,11 +404,32 @@ fn arena_run(
     })
 }
 
-/// A run on a freshly built simulator — used by `sweep`'s side threads,
-/// which cannot share the worker's arena.
-fn cold_run(prog: &WirProgram, sel: BackendSel, fuel: u64) -> Result<RunData, ServiceError> {
-    let mut arena = Arena::new();
-    arena_run(prog, sel, fuel, &mut arena)
+/// One fork-server trial: restore `cp` into `slot` (hydrating it on
+/// first use), patch the given data words, run, and collect the run
+/// facts. Bit-for-bit equal to a cold build-and-run of the patched
+/// program, at a fraction of the setup cost.
+fn forked_run(
+    slot: &mut Option<Simulator>,
+    cp: &Checkpoint,
+    cw: &sempe_compile::CompiledWorkload,
+    patches: &[(Addr, u64)],
+    fuel: u64,
+) -> Result<RunData, ServiceError> {
+    let sim = Simulator::restore_or_new(slot, cp);
+    for &(addr, value) in patches {
+        sim.mem_mut().write_u64(addr, value);
+    }
+    let res = sim.run(fuel).map_err(|e| ServiceError::new(ErrorCode::Sim, e.to_string()))?;
+    let stats = res.stats;
+    Ok(RunData {
+        cycles: res.cycles(),
+        committed: res.committed(),
+        secure_committed: stats.secure_committed,
+        squashes: stats.squashes,
+        drain_stall_cycles: stats.drain_stall_cycles,
+        ipc: (stats.ipc() * 1e6).round() / 1e6,
+        outputs: cw.read_outputs(sim.mem()),
+    })
 }
 
 fn do_run(
@@ -288,20 +452,38 @@ fn do_run(
 }
 
 #[allow(clippy::cast_precision_loss)]
-fn do_sweep(source: &str, fuel: u64, arena: &mut Arena) -> Result<Json, ServiceError> {
+fn do_sweep(
+    source: &str,
+    fuel: u64,
+    arena: &mut Arena,
+    forks: &ForkCache,
+) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let prog = &parsed.program;
+    // Compile all three combinations and fetch (or build) their shared
+    // checkpoints up front; the concurrent lanes then only restore+run.
+    let mut lanes = Vec::with_capacity(BackendSel::ALL.len());
+    for sel in BackendSel::ALL {
+        let cw = compile_sel(prog, sel)?;
+        let cp = forks.get_or_build(cw.program(), sel.sim_config())?;
+        lanes.push((cw, cp));
+    }
+    let [(base_cw, base_cp), (sempe_cw, sempe_cp), (cte_cw, cte_cp)]: [_; 3] =
+        lanes.try_into().unwrap_or_else(|_| unreachable!("three backends"));
     let join = |h: std::thread::ScopedJoinHandle<'_, Result<RunData, ServiceError>>| {
         h.join().unwrap_or_else(|_| {
             Err(ServiceError::new(ErrorCode::Internal, "sweep worker panicked"))
         })
     };
     // All three combinations run concurrently: SeMPE and CTE (the long
-    // poles) on scoped threads, the baseline on this worker's arena.
+    // poles) on this worker's persistent side slots, the baseline on the
+    // main arena slot — no throwaway simulators.
+    let Arena { sim, side } = arena;
+    let [side_a, side_b] = side;
     let (baseline, sempe, cte) = std::thread::scope(|s| {
-        let sempe = s.spawn(|| cold_run(prog, BackendSel::Sempe, fuel));
-        let cte = s.spawn(|| cold_run(prog, BackendSel::Cte, fuel));
-        let baseline = arena_run(prog, BackendSel::Baseline, fuel, arena);
+        let sempe = s.spawn(|| forked_run(side_a, &sempe_cp, &sempe_cw, &[], fuel));
+        let cte = s.spawn(|| forked_run(side_b, &cte_cp, &cte_cw, &[], fuel));
+        let baseline = forked_run(sim, &base_cp, &base_cw, &[], fuel);
         (baseline, join(sempe), join(cte))
     });
     let (baseline, sempe, cte) = (baseline?, sempe?, cte?);
@@ -324,6 +506,7 @@ fn do_sweep(source: &str, fuel: u64, arena: &mut Arena) -> Result<Json, ServiceE
 
 type BranchHistogram = BTreeMap<Addr, (u64, u64)>;
 
+#[allow(clippy::too_many_arguments)] // request-field plumbing
 fn do_attack(
     source: &str,
     mode: SecurityMode,
@@ -332,6 +515,7 @@ fn do_attack(
     candidates: &[u64],
     fuel: u64,
     arena: &mut Arena,
+    forks: &ForkCache,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let vid = match secret {
@@ -353,14 +537,17 @@ fn do_attack(
     let config = sel.sim_config().with_trace();
 
     // The attacker's calibration phase: run the known code under every
-    // candidate secret on its own (identical) machine.
+    // candidate secret on its own (identical) machine. One compile + one
+    // checkpoint; per candidate the fork server restores the checkpoint
+    // and patches the secret's data slot — identical, bit for bit, to a
+    // cold build with that initializer, without the per-trial setup.
+    let cw = compile_sel(&parsed.program, sel)?;
+    let secret_addr = cw.var_addr(vid);
+    let cp = forks.get_or_build(cw.program(), config)?;
     let run_with =
         |value: u64, arena: &mut Arena| -> Result<(u64, ObservationTrace), ServiceError> {
-            let mut prog = parsed.program.clone();
-            prog.set_var_init(vid, value);
-            let cw = compile_sel(&prog, sel)?;
-            let res = arena.simulate(cw.program(), config, fuel)?;
-            Ok((res.cycles(), arena.sim()?.trace().clone()))
+            let data = forked_run(&mut arena.sim, &cp, &cw, &[(secret_addr, value)], fuel)?;
+            Ok((data.cycles, arena.sim()?.trace().clone()))
         };
     let mut calib: Vec<(u64, u64, ObservationTrace)> = Vec::with_capacity(candidates.len());
     for &c in candidates {
@@ -450,6 +637,87 @@ fn do_attack(
         .with("source_hash", hex(fnv1a(source.as_bytes()))))
 }
 
+/// The `batch` op: one program, N input vectors, one shared checkpoint.
+/// Items run in request order; the response carries one result object
+/// per item (a stream in arrival order) plus, under `leak_check`, the
+/// per-pair leak verdicts.
+fn do_batch(
+    source: &str,
+    sel: BackendSel,
+    inputs: &[Vec<(String, u64)>],
+    leak_check: bool,
+    fuel: u64,
+    arena: &mut Arena,
+    forks: &ForkCache,
+) -> Result<Json, ServiceError> {
+    let parsed = parse_source(source)?;
+    let cw = compile_sel(&parsed.program, sel)?;
+    let config = if leak_check { sel.sim_config().with_trace() } else { sel.sim_config() };
+    let cp = forks.get_or_build(cw.program(), config)?;
+
+    // Resolve every named variable once, before any simulation runs.
+    let mut patched_inputs: Vec<Vec<(Addr, u64)>> = Vec::with_capacity(inputs.len());
+    for item in inputs {
+        let mut patches = Vec::with_capacity(item.len());
+        for (name, value) in item {
+            let vid = parsed.program.find_var(name).ok_or_else(|| {
+                ServiceError::new(ErrorCode::BadRequest, format!("unknown variable `{name}`"))
+            })?;
+            patches.push((cw.var_addr(vid), *value));
+        }
+        patched_inputs.push(patches);
+    }
+
+    // Items run in request order; each leak pair is judged as soon as
+    // its second item finishes, so at most one trace (the pending even
+    // item's) is retained at a time instead of all N.
+    let mut results: Vec<RunData> = Vec::with_capacity(inputs.len());
+    let mut pairs: Vec<Json> = Vec::with_capacity(inputs.len() / 2);
+    let mut all_clear = true;
+    let mut pending_trace: Option<ObservationTrace> = None;
+    for (idx, patches) in patched_inputs.iter().enumerate() {
+        let data = forked_run(&mut arena.sim, &cp, &cw, patches, fuel)?;
+        if leak_check {
+            let trace = arena.sim()?.trace().clone();
+            match pending_trace.take() {
+                None => pending_trace = Some(trace),
+                Some(first) => {
+                    let a = &results[idx - 1];
+                    let cycles_equal = a.cycles == data.cycles;
+                    let committed_equal = a.committed == data.committed;
+                    let trace_identical =
+                        first_divergence(&first, &trace, Strictness::Full).is_none();
+                    let clear = cycles_equal && committed_equal && trace_identical;
+                    all_clear &= clear;
+                    pairs.push(
+                        Json::obj()
+                            .with("items", vec![idx as u64 - 1, idx as u64])
+                            .with("cycles_equal", cycles_equal)
+                            .with("committed_equal", committed_equal)
+                            .with("trace_identical", trace_identical)
+                            .with("clear", clear),
+                    );
+                }
+            }
+        }
+        results.push(data);
+    }
+
+    let mut body = Json::obj()
+        .with("ok", true)
+        .with("type", "batch")
+        .with("backend", sel.name())
+        .with("items", inputs.len())
+        .with("results", Json::Arr(results.iter().map(RunData::to_json).collect()));
+    if leak_check {
+        body = body
+            .with("leak", Json::obj().with("pairs", Json::Arr(pairs)).with("all_clear", all_clear));
+    }
+    Ok(body
+        .with("source_hash", hex(fnv1a(source.as_bytes())))
+        .with("config_digest", hex(config.digest())))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,8 +748,9 @@ mod tests {
     #[test]
     fn compile_reports_metadata_and_disassembly() {
         let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
         let req = Request::Compile { source: MODEXP.to_string(), backend: BackendSel::Sempe };
-        let body = execute(&req, &mut arena).unwrap();
+        let body = execute(&req, &mut arena, &forks).unwrap();
         let v = sempe_core::json::parse(&body).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("taint_clean").and_then(Json::as_bool), Some(true));
@@ -492,18 +761,20 @@ mod tests {
     #[test]
     fn run_and_sweep_agree_on_outputs() {
         let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
         let run = Request::Run {
             source: MODEXP.to_string(),
             backend: BackendSel::Baseline,
             max_cycles: 50_000_000,
         };
-        let run_v = sempe_core::json::parse(&execute(&run, &mut arena).unwrap()).unwrap();
+        let run_v = sempe_core::json::parse(&execute(&run, &mut arena, &forks).unwrap()).unwrap();
         let want = 7u64.pow(0b1011) % 1_000_003;
         let outputs = run_v.get("outputs").and_then(Json::as_array).unwrap();
         assert_eq!(outputs[0].as_u64(), Some(want));
 
         let sweep = Request::Sweep { source: MODEXP.to_string(), max_cycles: 50_000_000 };
-        let sweep_v = sempe_core::json::parse(&execute(&sweep, &mut arena).unwrap()).unwrap();
+        let sweep_v =
+            sempe_core::json::parse(&execute(&sweep, &mut arena, &forks).unwrap()).unwrap();
         assert_eq!(sweep_v.get("outputs_match").and_then(Json::as_bool), Some(true));
         let overhead = sweep_v.get("overhead").unwrap();
         assert!(overhead.get("sempe").and_then(Json::as_f64).unwrap() > 1.0);
@@ -512,8 +783,10 @@ mod tests {
     #[test]
     fn attack_recovers_on_baseline_and_is_blind_on_sempe() {
         let mut arena = Arena::new();
-        let base = sempe_core::json::parse(&execute(&attack_req("baseline"), &mut arena).unwrap())
-            .unwrap();
+        let forks = ForkCache::new(8);
+        let base =
+            sempe_core::json::parse(&execute(&attack_req("baseline"), &mut arena, &forks).unwrap())
+                .unwrap();
         let t = base.get("timing").unwrap();
         assert_eq!(t.get("can_distinguish").and_then(Json::as_bool), Some(true));
         assert_eq!(t.get("recovered").and_then(Json::as_bool), Some(true));
@@ -522,7 +795,8 @@ mod tests {
         assert_eq!(b.get("recovered_key").and_then(Json::as_u64), Some(0b1011));
 
         let sempe =
-            sempe_core::json::parse(&execute(&attack_req("sempe"), &mut arena).unwrap()).unwrap();
+            sempe_core::json::parse(&execute(&attack_req("sempe"), &mut arena, &forks).unwrap())
+                .unwrap();
         let t = sempe.get("timing").unwrap();
         assert_eq!(t.get("can_distinguish").and_then(Json::as_bool), Some(false));
         assert_eq!(t.get("recovered").and_then(Json::as_bool), Some(false));
@@ -544,9 +818,10 @@ mod tests {
         };
         let mut a = Arena::new();
         let mut b = Arena::new();
+        let forks = ForkCache::new(8);
         // Dirty arena `b` with unrelated work first.
-        let _ = execute(&attack_req("baseline"), &mut b).unwrap();
-        assert_eq!(execute(&req, &mut a).unwrap(), execute(&req, &mut b).unwrap());
+        let _ = execute(&attack_req("baseline"), &mut b, &forks).unwrap();
+        assert_eq!(execute(&req, &mut a, &forks).unwrap(), execute(&req, &mut b, &forks).unwrap());
     }
 
     #[test]
@@ -584,8 +859,9 @@ mod tests {
     #[test]
     fn wir_errors_surface_with_the_right_code() {
         let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
         let req = Request::Compile { source: "var x = @;".into(), backend: BackendSel::Sempe };
-        let err = execute(&req, &mut arena).unwrap_err();
+        let err = execute(&req, &mut arena, &forks).unwrap_err();
         assert_eq!(err.code, ErrorCode::Wir);
         let req = Request::Attack {
             source: "var x = 0; output x;".into(),
@@ -595,6 +871,131 @@ mod tests {
             candidates: vec![0, 1],
             max_cycles: 1000,
         };
-        assert_eq!(execute(&req, &mut arena).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(execute(&req, &mut arena, &forks).unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    fn batch_req(backend: BackendSel, keys: &[u64], leak_check: bool) -> Request {
+        Request::Batch {
+            source: MODEXP.to_string(),
+            backend,
+            inputs: keys.iter().map(|k| vec![("key".to_string(), *k)]).collect(),
+            leak_check,
+            max_cycles: 50_000_000,
+        }
+    }
+
+    #[test]
+    fn batch_results_match_individual_runs() {
+        // Each forked batch item must equal a cold `run` of the program
+        // with that secret initializer — same cycles, same outputs.
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        let keys = [0u64, 3, 0b1011];
+        let v = sempe_core::json::parse(
+            &execute(&batch_req(BackendSel::Baseline, &keys, false), &mut arena, &forks).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(v.get("items").and_then(Json::as_u64), Some(3));
+        let results = v.get("results").and_then(Json::as_array).unwrap();
+        for (key, item) in keys.iter().zip(results) {
+            let patched = MODEXP.replace("0b1011", &key.to_string());
+            let run = Request::Run {
+                source: patched,
+                backend: BackendSel::Baseline,
+                max_cycles: 50_000_000,
+            };
+            let run_v =
+                sempe_core::json::parse(&execute(&run, &mut arena, &forks).unwrap()).unwrap();
+            assert_eq!(
+                item.get("cycles").and_then(Json::as_u64),
+                run_v.get("cycles").and_then(Json::as_u64),
+                "key {key}: forked cycles must equal a cold run"
+            );
+            assert_eq!(
+                item.get("outputs").and_then(Json::as_array),
+                run_v.get("outputs").and_then(Json::as_array),
+                "key {key}: forked outputs must equal a cold run"
+            );
+        }
+        let forked = forks.hits() + forks.misses();
+        assert!(forked >= 1, "batch must go through the fork cache");
+    }
+
+    #[test]
+    fn batch_leak_check_flags_baseline_and_clears_sempe() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        // 0 and 15 take maximally different secret paths.
+        let keys = [0u64, 15];
+        let base = sempe_core::json::parse(
+            &execute(&batch_req(BackendSel::Baseline, &keys, true), &mut arena, &forks).unwrap(),
+        )
+        .unwrap();
+        let leak = base.get("leak").unwrap();
+        assert_eq!(leak.get("all_clear").and_then(Json::as_bool), Some(false));
+
+        let sempe = sempe_core::json::parse(
+            &execute(&batch_req(BackendSel::Sempe, &keys, true), &mut arena, &forks).unwrap(),
+        )
+        .unwrap();
+        let leak = sempe.get("leak").unwrap();
+        assert_eq!(leak.get("all_clear").and_then(Json::as_bool), Some(true));
+        let pairs = leak.get("pairs").and_then(Json::as_array).unwrap();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].get("cycles_equal").and_then(Json::as_bool), Some(true));
+        assert_eq!(pairs[0].get("trace_identical").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn batch_rejects_unknown_variables() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        let req = Request::Batch {
+            source: MODEXP.to_string(),
+            backend: BackendSel::Baseline,
+            inputs: vec![vec![("nope".to_string(), 1)]],
+            leak_check: false,
+            max_cycles: 1000,
+        };
+        assert_eq!(execute(&req, &mut arena, &forks).unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn batch_cache_keys_separate_inputs_and_flags() {
+        let k = |keys: &[u64], leak| cache_key(&batch_req(BackendSel::Sempe, keys, leak)).unwrap();
+        assert_eq!(k(&[1, 2], false), k(&[1, 2], false));
+        assert_ne!(k(&[1, 2], false), k(&[2, 1], false), "input order is significant");
+        assert_ne!(k(&[1, 2], false), k(&[1, 2], true), "leak_check changes the machine");
+        assert_ne!(
+            cache_key(&batch_req(BackendSel::Sempe, &[1], false)).unwrap(),
+            cache_key(&batch_req(BackendSel::Baseline, &[1], false)).unwrap()
+        );
+    }
+
+    #[test]
+    fn attack_sweep_batch_cache_hits_are_byte_identical() {
+        // The full worker path: compute once, cache the body, then serve
+        // the same request from the cache — the hit must be the exact
+        // bytes a cold execution produces, for every fork-server op.
+        let cache = crate::cache::ResultCache::new(16);
+        let forks = ForkCache::new(8);
+        let requests = [
+            attack_req("baseline"),
+            Request::Sweep { source: MODEXP.to_string(), max_cycles: 50_000_000 },
+            batch_req(BackendSel::Sempe, &[0, 15], true),
+        ];
+        for req in &requests {
+            let key = cache_key(req).expect("compute requests have keys");
+            let mut warm = Arena::new();
+            let cold_body = execute(req, &mut warm, &forks).unwrap();
+            cache.insert(key, std::sync::Arc::from(cold_body.as_str()));
+            // A different worker (fresh arena, shared caches) recomputes
+            // byte-identically, so hit and cold are indistinguishable.
+            let mut other = Arena::new();
+            let recomputed = execute(req, &mut other, &forks).unwrap();
+            let hit = cache.get(&key).expect("inserted above");
+            assert_eq!(&*hit, cold_body.as_str());
+            assert_eq!(recomputed, cold_body);
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! | `run` | cycles / committed / stats / outputs on one backend |
 //! | `sweep` | paper-style overhead ratios across all three backends |
 //! | `attack` | can the timing / branch-predictor attacker recover the secret? |
+//! | `batch` | one program under N input vectors on the fork server |
 //! | `stats` | queue depth, cache hit rate, worker utilization |
 //! | `shutdown` | clean exit |
 //!
@@ -49,6 +50,6 @@ pub mod server;
 pub mod sync;
 
 pub use cache::{CacheKey, ResultCache};
-pub use exec::{cache_key, execute, Arena};
+pub use exec::{cache_key, execute, Arena, ForkCache};
 pub use protocol::{BackendSel, ErrorCode, Request, ServiceError};
 pub use server::{Server, ServiceConfig};

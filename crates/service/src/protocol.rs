@@ -19,6 +19,8 @@ pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 pub const MAX_SOURCE_BYTES: usize = 64 * 1024;
 /// Hard cap on attack candidate count.
 pub const MAX_CANDIDATES: usize = 32;
+/// Hard cap on `batch` input vectors per request.
+pub const MAX_BATCH_ITEMS: usize = 128;
 /// Default simulation fuel per run.
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
 /// Hard cap on requested simulation fuel.
@@ -203,6 +205,24 @@ pub enum Request {
         /// Simulation fuel per run.
         max_cycles: u64,
     },
+    /// Run one compiled program under N input vectors on the fork
+    /// server: built once, checkpointed once, each item restores the
+    /// checkpoint, patches the named scalars' data slots, and runs.
+    Batch {
+        /// WIR source text.
+        source: String,
+        /// Target (backend, machine) pair.
+        backend: BackendSel,
+        /// One entry per trial: `(variable name, value)` assignments
+        /// applied in order on top of the declared initializers.
+        inputs: Vec<Vec<(String, u64)>>,
+        /// Pair items `(0,1), (2,3), …` as secret pairs and check the
+        /// leak invariant (equal cycles, equal committed count,
+        /// `Strictness::Full`-identical observation traces).
+        leak_check: bool,
+        /// Simulation fuel per item.
+        max_cycles: u64,
+    },
     /// Server health: queue depth, cache hit rate, worker utilization.
     Stats,
     /// Stop accepting connections and exit cleanly.
@@ -264,13 +284,47 @@ impl Request {
                     max_cycles: opt_fuel(&v)?,
                 })
             }
+            "batch" => {
+                let inputs = match v.get("inputs") {
+                    Some(i) => parse_inputs(i)?,
+                    None => {
+                        return Err(ServiceError::new(
+                            ErrorCode::BadRequest,
+                            "batch needs an `inputs` array",
+                        ))
+                    }
+                };
+                let leak_check = match v.get("leak_check") {
+                    None | Some(Json::Null) => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => {
+                        return Err(ServiceError::new(
+                            ErrorCode::BadRequest,
+                            "member `leak_check` must be a boolean",
+                        ))
+                    }
+                };
+                if leak_check && inputs.len() % 2 != 0 {
+                    return Err(ServiceError::new(
+                        ErrorCode::BadRequest,
+                        "leak_check pairs items (0,1),(2,3),… — `inputs` must have even length",
+                    ));
+                }
+                Ok(Request::Batch {
+                    source: take_source(&v)?,
+                    backend: opt_backend(&v)?.unwrap_or(BackendSel::Sempe),
+                    inputs,
+                    leak_check,
+                    max_cycles: opt_fuel(&v)?,
+                })
+            }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::new(
                 ErrorCode::BadRequest,
                 format!(
                     "unknown request type `{other}` \
-                     (expected compile|run|sweep|attack|stats|shutdown)"
+                     (expected compile|run|sweep|attack|batch|stats|shutdown)"
                 ),
             )),
         }
@@ -338,6 +392,36 @@ fn opt_fuel(v: &Json) -> Result<u64, ServiceError> {
     Ok(fuel)
 }
 
+/// Parse `inputs`: an array of objects, each mapping variable names to
+/// u64 values. Member order is preserved — assignments apply in request
+/// order, and the batch cache key digests them in that order.
+fn parse_inputs(v: &Json) -> Result<Vec<Vec<(String, u64)>>, ServiceError> {
+    let bad = |what: &str| ServiceError::new(ErrorCode::BadRequest, what.to_string());
+    let items =
+        v.as_array().ok_or_else(|| bad("`inputs` must be an array of {\"var\": value} objects"))?;
+    if items.is_empty() || items.len() > MAX_BATCH_ITEMS {
+        return Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("need 1..={MAX_BATCH_ITEMS} batch inputs"),
+        ));
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let Json::Obj(members) = item else {
+            return Err(bad("each batch input must be a {\"var\": value} object"));
+        };
+        let mut assigns = Vec::with_capacity(members.len());
+        for (name, value) in members {
+            let v = value
+                .as_u64()
+                .ok_or_else(|| bad("batch input values must be non-negative integers"))?;
+            assigns.push((name.clone(), v));
+        }
+        out.push(assigns);
+    }
+    Ok(out)
+}
+
 fn parse_candidates(v: &Json) -> Result<Vec<u64>, ServiceError> {
     let items = v.as_array().ok_or_else(|| {
         ServiceError::new(ErrorCode::BadRequest, "`candidates` must be an array of integers")
@@ -386,6 +470,55 @@ mod tests {
         }
         assert_eq!(Request::parse(r#"{"type":"stats"}"#), Ok(Request::Stats));
         assert_eq!(Request::parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn parses_batch_requests() {
+        let r = Request::parse(
+            r#"{"type":"batch","source":"s","backend":"baseline",
+                "inputs":[{"k":1,"x":7},{"k":2}],"leak_check":true,"max_cycles":5000}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Batch { backend, inputs, leak_check, max_cycles, .. } => {
+                assert_eq!(backend, BackendSel::Baseline);
+                assert_eq!(
+                    inputs,
+                    vec![
+                        vec![("k".to_string(), 1), ("x".to_string(), 7)],
+                        vec![("k".to_string(), 2)]
+                    ]
+                );
+                assert!(leak_check);
+                assert_eq!(max_cycles, 5000);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Defaults: sempe backend, leak_check off.
+        let r = Request::parse(r#"{"type":"batch","source":"s","inputs":[{}]}"#).unwrap();
+        assert!(matches!(r, Request::Batch { backend: BackendSel::Sempe, leak_check: false, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_batch_requests() {
+        let code = |line: &str| Request::parse(line).unwrap_err().code;
+        assert_eq!(code(r#"{"type":"batch","source":"s"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"batch","source":"s","inputs":[]}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"batch","source":"s","inputs":[3]}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"type":"batch","source":"s","inputs":[{"k":-1}]}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"type":"batch","source":"s","inputs":[{"k":1}],"leak_check":true}"#),
+            ErrorCode::BadRequest,
+            "leak_check needs an even item count"
+        );
+        let too_many = format!(
+            r#"{{"type":"batch","source":"s","inputs":[{}]}}"#,
+            vec!["{}"; MAX_BATCH_ITEMS + 1].join(",")
+        );
+        assert_eq!(code(&too_many), ErrorCode::BadRequest);
     }
 
     #[test]

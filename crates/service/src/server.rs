@@ -25,7 +25,7 @@ use std::time::Instant;
 use sempe_core::json::Json;
 
 use crate::cache::ResultCache;
-use crate::exec::{self, Arena};
+use crate::exec::{self, Arena, ForkCache};
 use crate::protocol::{ErrorCode, Request, ServiceError, MAX_REQUEST_BYTES};
 use crate::sync;
 
@@ -40,6 +40,9 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Fork-server checkpoint store capacity, in checkpoints shared
+    /// across the worker pool (one per program × machine configuration).
+    pub fork_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +52,7 @@ impl Default for ServiceConfig {
             workers: 0,
             queue_capacity: 64,
             cache_capacity: 1024,
+            fork_capacity: 32,
         }
     }
 }
@@ -123,6 +127,8 @@ impl JobQueue {
 struct Shared {
     queue: JobQueue,
     cache: ResultCache,
+    /// Fork-server checkpoints, shared by every worker.
+    forks: ForkCache,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     workers: usize,
@@ -157,6 +163,13 @@ impl Shared {
                     .with("hits", self.cache.hits())
                     .with("misses", self.cache.misses())
                     .with("hit_rate", (self.cache.hit_rate() * 1e6).round() / 1e6),
+            )
+            .with(
+                "forks",
+                Json::obj()
+                    .with("checkpoints", self.forks.len())
+                    .with("hits", self.forks.hits())
+                    .with("misses", self.forks.misses()),
             )
             .with(
                 "uptime_ms",
@@ -210,6 +223,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(config.queue_capacity.max(1)),
             cache: ResultCache::new(config.cache_capacity),
+            forks: ForkCache::new(config.fork_capacity),
             shutdown: AtomicBool::new(false),
             local_addr,
             workers,
@@ -349,9 +363,14 @@ fn accept_loop(
 /// thread: a single poisoned request must not shrink the pool until the
 /// daemon wedges. The arena is rebuilt after a panic — it may have been
 /// left mid-update.
-fn execute_guarded(request: &Request, arena: &mut Arena) -> Result<String, ServiceError> {
-    let caught =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec::execute(request, arena)));
+fn execute_guarded(
+    request: &Request,
+    arena: &mut Arena,
+    forks: &ForkCache,
+) -> Result<String, ServiceError> {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec::execute(request, arena, forks)
+    }));
     match caught {
         Ok(result) => result,
         Err(payload) => {
@@ -373,13 +392,14 @@ fn worker_loop(shared: &Arc<Shared>) {
         let result = match exec::cache_key(&job.request) {
             Some(key) => match shared.cache.get(&key) {
                 Some(hit) => Ok(hit),
-                None => execute_guarded(&job.request, &mut arena).map(|body| {
+                None => execute_guarded(&job.request, &mut arena, &shared.forks).map(|body| {
                     let body: Arc<str> = Arc::from(body.as_str());
                     shared.cache.insert(key, Arc::clone(&body));
                     body
                 }),
             },
-            None => execute_guarded(&job.request, &mut arena).map(|b| Arc::from(b.as_str())),
+            None => execute_guarded(&job.request, &mut arena, &shared.forks)
+                .map(|b| Arc::from(b.as_str())),
         };
         shared.jobs_served.fetch_add(1, Ordering::Relaxed);
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);

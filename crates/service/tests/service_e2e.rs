@@ -226,6 +226,39 @@ fn backpressure_rejects_rather_than_buffers() {
 }
 
 #[test]
+fn batch_api_runs_paired_trials_on_the_fork_server() {
+    let server = start(2);
+    let line = format!(
+        r#"{{"type":"batch","source":{},"backend":"sempe","inputs":[{{"key":0}},{{"key":15}},{{"key":11}},{{"key":11}}],"leak_check":true,"max_cycles":80000000}}"#,
+        json::escape(MODEXP)
+    );
+    let v = json::parse(&roundtrip(&server, &line)).expect("batch response parses");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("items").and_then(Json::as_u64), Some(4));
+    let results = v.get("results").and_then(Json::as_array).expect("results array");
+    assert_eq!(results.len(), 4);
+    // Items 2 and 3 share an input vector: identical results.
+    assert_eq!(results[2].encode(), results[3].encode());
+    // Under SeMPE, every secret pair is indistinguishable.
+    let leak = v.get("leak").expect("leak section");
+    assert_eq!(leak.get("all_clear").and_then(Json::as_bool), Some(true), "{v:?}");
+
+    // The same pairs on the unprotected baseline leak.
+    let line = line.replace(r#""backend":"sempe""#, r#""backend":"baseline""#);
+    let v = json::parse(&roundtrip(&server, &line)).expect("batch response parses");
+    let leak = v.get("leak").expect("leak section");
+    assert_eq!(leak.get("all_clear").and_then(Json::as_bool), Some(false));
+
+    // The fork server shows up in stats, and batch responses cache.
+    let stats = json::parse(&roundtrip(&server, r#"{"type":"stats"}"#)).unwrap();
+    let forks = stats.get("forks").expect("forks section");
+    assert!(forks.get("checkpoints").and_then(Json::as_u64).unwrap() >= 2);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn compile_and_error_paths_over_the_wire() {
     let server = start(2);
     let line =

@@ -59,5 +59,5 @@ pub mod rob;
 pub mod stats;
 
 pub use config::{SecurityMode, SimConfig};
-pub use pipeline::{SimError, Simulator};
+pub use pipeline::{Checkpoint, SimError, Simulator};
 pub use stats::{SimResult, SimStats};

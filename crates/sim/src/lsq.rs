@@ -75,6 +75,25 @@ impl Lsq {
         self.version
     }
 
+    /// No stores queued and no loads in flight?
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.stores.is_empty() && self.loads_in_flight == 0
+    }
+
+    /// Reset to the pristine state of `Lsq::new(lq, sq)`, keeping the
+    /// store vector's allocation. The `forwards` statistic is also
+    /// zeroed; a checkpoint restore re-seeds it from the checkpoint.
+    pub fn reset(&mut self, lq_capacity: usize, sq_capacity: usize) {
+        self.stores.clear();
+        self.sq_capacity = sq_capacity;
+        self.lq_capacity = lq_capacity;
+        self.loads_in_flight = 0;
+        self.next_store_id = 0;
+        self.forwards = 0;
+        self.version = 0;
+    }
+
     /// Free store-queue slots?
     #[must_use]
     pub fn can_alloc_store(&self) -> bool {

@@ -20,13 +20,14 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use sempe_core::trace::{CacheLevel, ObservationTrace, TraceEvent};
 use sempe_core::unit::SempeUnit;
 use sempe_core::SempeFault;
 use sempe_isa::decode::DecodeMode;
 use sempe_isa::insn::Inst;
-use sempe_isa::mem::Memory;
+use sempe_isa::mem::{MemSnapshot, Memory};
 use sempe_isa::opcode::{Format, Opcode};
 use sempe_isa::program::{layout, DecodedProgram, Program};
 use sempe_isa::reg::{Reg, NUM_ARCH_REGS};
@@ -65,6 +66,13 @@ pub enum SimError {
         /// The budget that was exhausted.
         max_cycles: u64,
     },
+    /// [`Simulator::checkpoint`] was called with µops still in flight;
+    /// a checkpoint must be taken at a quiesced point (right after
+    /// construction, or after a completed run).
+    NotQuiesced {
+        /// Cycle at which the checkpoint was attempted.
+        cycle: u64,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -79,6 +87,9 @@ impl core::fmt::Display for SimError {
             ),
             SimError::CyclesExhausted { max_cycles } => {
                 write!(f, "no HALT within {max_cycles} cycles")
+            }
+            SimError::NotQuiesced { cycle } => {
+                write!(f, "checkpoint at cycle {cycle} with µops in flight")
             }
         }
     }
@@ -228,7 +239,9 @@ enum CompletionKind {
 #[derive(Debug)]
 pub struct Simulator {
     config: SimConfig,
-    prog: DecodedProgram,
+    /// Shared so a [`Checkpoint`] (and every simulator forked from it)
+    /// reuses one decode instead of re-decoding per trial.
+    prog: Arc<DecodedProgram>,
     mem: Memory,
     cycle: u64,
     seq_counter: u64,
@@ -316,7 +329,7 @@ impl Simulator {
         arch_regs[Reg::SP.index()] = layout::STACK_TOP;
         Ok(Simulator {
             fetch_pc: decoded.entry(),
-            prog: decoded,
+            prog: Arc::new(decoded),
             mem,
             cycle: 0,
             seq_counter: 0,
@@ -432,6 +445,187 @@ impl Simulator {
                 Ok(sim)
             }
             None => Ok(slot.insert(Simulator::new(prog, config)?)),
+        }
+    }
+
+    /// Capture the machine's complete state as a [`Checkpoint`].
+    ///
+    /// The checkpoint is self-contained and immutable: it carries the
+    /// shared decode (`Arc<DecodedProgram>`), a memory snapshot, and a
+    /// copy of every persistent structure (register files, RAT, branch
+    /// predictor tables, cache hierarchy, SeMPE unit, statistics, trace),
+    /// so any number of simulators can later [`Simulator::restore_from`]
+    /// it — the fork-server pattern: build + decode once, fork per trial.
+    ///
+    /// Taking the snapshot also arms this memory's dirty-page tracking,
+    /// making a subsequent restore *of this simulator* O(dirty pages).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NotQuiesced`] when µops are in flight: a checkpoint is
+    /// only defined at a drained point (right after construction — the
+    /// intended fork point — or after a completed run), because in-flight
+    /// state is deliberately not captured.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, SimError> {
+        let quiesced = self.frontend.is_empty()
+            && self.rob.is_empty()
+            && self.events.is_empty()
+            && self.replay.is_empty()
+            && self.lsq.is_idle()
+            && self.rename_blocked_on.is_none();
+        if !quiesced {
+            return Err(SimError::NotQuiesced { cycle: self.cycle });
+        }
+        Ok(Checkpoint {
+            config: self.config,
+            prog: Arc::clone(&self.prog),
+            mem: self.mem.snapshot(),
+            cycle: self.cycle,
+            seq_counter: self.seq_counter,
+            halted: self.halted,
+            fetch_pc: self.fetch_pc,
+            fetch_stall_until: self.fetch_stall_until,
+            fetch_block: self.fetch_block,
+            last_fetch_line: self.last_fetch_line,
+            bp: self.bp.clone(),
+            rename: self.rename.clone(),
+            rename_stall_until: self.rename_stall_until,
+            int_div_busy_until: self.int_div_busy_until,
+            fp_div_busy_until: self.fp_div_busy_until,
+            lsq_forwards: self.lsq.forwards,
+            hier: self.hier.clone(),
+            arch_regs: self.arch_regs,
+            unit: self.unit.clone(),
+            trace: self.trace.clone(),
+            stats: self.stats,
+            last_commit_cycle: self.last_commit_cycle,
+        })
+    }
+
+    /// Become the checkpointed machine, bit for bit.
+    ///
+    /// Persistent state is copied from the checkpoint; the memory rolls
+    /// back through its dirty-page log (O(dirty pages) when this
+    /// simulator is synchronized with `cp`'s snapshot — always the case
+    /// in a restore-patch-run loop — and a full image copy otherwise,
+    /// which still skips the decode). Transient structures (frontend,
+    /// ROB, issue queues, completion heap, LSQ) were empty at checkpoint
+    /// time by the quiesce gate, so they reset in place, keeping their
+    /// allocations. A run after `restore_from` is cycle-for-cycle,
+    /// event-for-event identical to a run of a freshly built simulator
+    /// with the same program image (asserted by the golden tests in
+    /// `tests/checkpoint.rs` and the fuzzer's fork oracle).
+    pub fn restore_from(&mut self, cp: &Checkpoint) {
+        // Persistent state.
+        self.config = cp.config;
+        self.prog = Arc::clone(&cp.prog);
+        self.mem.restore(&cp.mem);
+        self.cycle = cp.cycle;
+        self.seq_counter = cp.seq_counter;
+        self.halted = cp.halted;
+        self.fetch_pc = cp.fetch_pc;
+        self.fetch_stall_until = cp.fetch_stall_until;
+        self.fetch_block = cp.fetch_block;
+        self.last_fetch_line = cp.last_fetch_line;
+        self.bp.clone_from(&cp.bp);
+        self.rename.clone_from(&cp.rename);
+        self.rename_stall_until = cp.rename_stall_until;
+        self.int_div_busy_until = cp.int_div_busy_until;
+        self.fp_div_busy_until = cp.fp_div_busy_until;
+        self.hier.clone_from(&cp.hier);
+        self.arch_regs = cp.arch_regs;
+        self.unit.clone_from(&cp.unit);
+        self.trace.clone_from(&cp.trace);
+        self.stats = cp.stats;
+        self.last_commit_cycle = cp.last_commit_cycle;
+        // Transient state: empty at the checkpoint, so reset in place.
+        self.frontend.clear();
+        self.rob.reset(cp.config.core.rob_entries);
+        self.iq_slots.clear();
+        self.iq_free.clear();
+        self.iq_ready_int.clear();
+        self.iq_ready_fp.clear();
+        self.iq_count_int = 0;
+        self.iq_count_fp = 0;
+        let total_phys = cp.config.core.int_phys_regs + cp.config.core.fp_phys_regs;
+        self.reg_waiters.resize_with(total_phys, Vec::new);
+        for w in &mut self.reg_waiters {
+            w.clear();
+        }
+        self.lsq.reset(cp.config.core.lq_entries, cp.config.core.sq_entries);
+        self.lsq.forwards = cp.lsq_forwards;
+        self.replay_lsq_version = 0;
+        self.events.clear();
+        self.replay.clear();
+        self.rename_blocked_on = None;
+        self.due_scratch.clear();
+        self.issue_candidates.clear();
+        self.replay_scratch.clear();
+    }
+
+    /// Build a simulator directly from a checkpoint — no program decode,
+    /// no image reload beyond the snapshot copy. The workhorse of a fork
+    /// server's first trial on a fresh worker; later trials reuse the
+    /// worker's simulator via [`Simulator::restore_from`].
+    #[must_use]
+    pub fn from_checkpoint(cp: &Checkpoint) -> Simulator {
+        let config = cp.config;
+        let mut sim = Simulator {
+            config,
+            prog: Arc::clone(&cp.prog),
+            mem: Memory::new(),
+            cycle: 0,
+            seq_counter: 0,
+            halted: false,
+            fetch_pc: 0,
+            fetch_stall_until: 0,
+            fetch_block: FetchBlock::None,
+            last_fetch_line: None,
+            frontend: VecDeque::new(),
+            bp: cp.bp.clone(),
+            rename: cp.rename.clone(),
+            rob: Rob::new(config.core.rob_entries),
+            iq_slots: Vec::new(),
+            iq_free: Vec::new(),
+            iq_ready_int: Vec::new(),
+            iq_ready_fp: Vec::new(),
+            iq_count_int: 0,
+            iq_count_fp: 0,
+            reg_waiters: vec![Vec::new(); config.core.int_phys_regs + config.core.fp_phys_regs],
+            lsq: Lsq::new(config.core.lq_entries, config.core.sq_entries),
+            events: BinaryHeap::with_capacity(config.core.rob_entries),
+            replay: Vec::new(),
+            replay_lsq_version: 0,
+            rename_blocked_on: None,
+            rename_stall_until: 0,
+            int_div_busy_until: 0,
+            fp_div_busy_until: 0,
+            hier: cp.hier.clone(),
+            arch_regs: cp.arch_regs,
+            unit: cp.unit.clone(),
+            trace: cp.trace.clone(),
+            stats: cp.stats,
+            last_commit_cycle: 0,
+            due_scratch: Vec::new(),
+            issue_candidates: Vec::new(),
+            replay_scratch: Vec::new(),
+        };
+        sim.restore_from(cp);
+        sim
+    }
+
+    /// The fork-server arena idiom: restore `slot`'s simulator from the
+    /// checkpoint, or construct one from it on first use.
+    pub fn restore_or_new<'a>(
+        slot: &'a mut Option<Simulator>,
+        cp: &Checkpoint,
+    ) -> &'a mut Simulator {
+        match slot {
+            Some(sim) => {
+                sim.restore_from(cp);
+                sim
+            }
+            None => slot.insert(Simulator::from_checkpoint(cp)),
         }
     }
 
@@ -1412,5 +1606,63 @@ impl Simulator {
             }
         }
         Ok(())
+    }
+}
+
+/// A self-contained snapshot of a quiesced [`Simulator`]: full
+/// architectural state (registers, memory) plus every persistent piece
+/// of microarchitectural state (RAT and physical register files, branch
+/// predictor tables, cache hierarchy and prefetchers, SeMPE unit,
+/// statistics baseline, observation trace) and the shared decoded
+/// program.
+///
+/// Created by [`Simulator::checkpoint`]; consumed by
+/// [`Simulator::restore_from`] / [`Simulator::from_checkpoint`]. Share
+/// one checkpoint (e.g. behind an `Arc`) across a worker pool and every
+/// worker forks trials from it without re-parsing, re-compiling,
+/// re-decoding, or re-growing a simulator.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    config: SimConfig,
+    prog: Arc<DecodedProgram>,
+    mem: MemSnapshot,
+    cycle: u64,
+    seq_counter: u64,
+    halted: bool,
+    fetch_pc: Addr,
+    fetch_stall_until: u64,
+    fetch_block: FetchBlock,
+    last_fetch_line: Option<u64>,
+    bp: BranchPredictor,
+    rename: RenameState,
+    rename_stall_until: u64,
+    int_div_busy_until: u64,
+    fp_div_busy_until: u64,
+    lsq_forwards: u64,
+    hier: MemHierarchy,
+    arch_regs: [u64; NUM_ARCH_REGS],
+    unit: SempeUnit,
+    trace: ObservationTrace,
+    stats: SimStats,
+    last_commit_cycle: u64,
+}
+
+impl Checkpoint {
+    /// The configuration the checkpointed machine runs under.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The shared decoded program.
+    #[must_use]
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.prog
+    }
+
+    /// Pages captured in the memory snapshot.
+    #[must_use]
+    pub fn mem_pages(&self) -> usize {
+        self.mem.page_count()
     }
 }

@@ -104,6 +104,20 @@ impl Rob {
         Rob { slots: (0..capacity).map(|_| None).collect(), head: 0, tail: 0, count: 0 }
     }
 
+    /// Reset to the pristine empty state of `Rob::new(capacity)`,
+    /// recycling the slot vector's allocation where the capacity allows.
+    /// Used by checkpoint restore, whose quiesce gate guarantees nothing
+    /// in flight is being dropped.
+    pub fn reset(&mut self, capacity: usize) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.slots.resize_with(capacity, || None);
+        self.head = 0;
+        self.tail = 0;
+        self.count = 0;
+    }
+
     /// Occupied entries.
     #[must_use]
     pub fn len(&self) -> usize {
