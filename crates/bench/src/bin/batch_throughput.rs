@@ -26,10 +26,10 @@
 use std::time::Instant;
 
 use sempe_bench::BackendRun;
-use sempe_compile::wir::{BinOp, Expr, Stmt, WirBuilder};
 use sempe_compile::{compile, parse_wir, Backend, VarId, WirProgram};
 use sempe_core::json::Json;
 use sempe_sim::{SimConfig, Simulator};
+use sempe_workloads::rsa::{table_modexp_program, TableModexpParams};
 
 /// The table-free attack victim (the service e2e workload).
 const MODEXP_SMALL: &str = r"
@@ -53,62 +53,11 @@ const FUEL: u64 = 50_000_000;
 /// T-table cipher's expanded state).
 const TABLE_WORDS: usize = 1 << 16;
 
-/// Windowed modexp over a precomputed power table: per key bit, the
-/// secret branch multiplies by a table entry. The table dominates the
-/// program image and never depends on the secret.
+/// The headline workload: windowed modexp over a 512 KiB precomputed
+/// table (shared with the `sim_throughput` memory-bound group — the
+/// canonical attack-calibration shape).
 fn table_modexp() -> (WirProgram, VarId) {
-    let mut b = WirBuilder::new();
-    let key = b.var("key", 0b1011);
-    let r = b.var("r", 1);
-    let i = b.var("i", 0);
-    let bit = b.var("bit", 0);
-    let init: Vec<u64> = (0..TABLE_WORDS as u64)
-        .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(12_345) % 1_000_003)
-        .collect();
-    let tab = b.array("tab", TABLE_WORDS, init);
-    let mask = (TABLE_WORDS - 1) as u64;
-    let body = vec![
-        b.assign(
-            bit,
-            Expr::bin(
-                BinOp::And,
-                Expr::bin(BinOp::Shr, Expr::Var(key), Expr::Var(i)),
-                Expr::Const(1),
-            ),
-        ),
-        Stmt::If {
-            cond: Expr::Var(bit),
-            secret: true,
-            then_: vec![b.assign(
-                r,
-                Expr::bin(
-                    BinOp::Rem,
-                    Expr::bin(
-                        BinOp::Mul,
-                        Expr::Var(r),
-                        Expr::Load(
-                            tab,
-                            Box::new(Expr::bin(
-                                BinOp::And,
-                                Expr::bin(BinOp::Add, Expr::Var(r), Expr::Var(i)),
-                                Expr::Const(mask),
-                            )),
-                        ),
-                    ),
-                    Expr::Const(1_000_003),
-                ),
-            )],
-            else_: vec![],
-        },
-        b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
-    ];
-    b.push(Stmt::While {
-        cond: Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Const(16)),
-        bound: 17,
-        body,
-    });
-    b.output(r);
-    (b.build(), key)
+    table_modexp_program(&TableModexpParams { table_words: TABLE_WORDS, bits: 16, key: 0b1011 })
 }
 
 struct Outcome {

@@ -1,9 +1,17 @@
 //! `sim_throughput` — host-side performance of the simulator itself.
 //!
 //! Reports simulated cycles per host second (and host MIPS of committed
-//! instructions) for the micro and RSA workloads across the three
-//! backends, and writes `BENCH_sim_throughput.json` so successive PRs
-//! can track the simulator's performance trajectory.
+//! instructions) for three workload groups across the three backends,
+//! and writes `BENCH_sim_throughput.json` so successive PRs can track
+//! the simulator's performance trajectory:
+//!
+//! * **micro** — the Figure 7 microbenchmarks (compute-dense, the hot
+//!   loop's worst case for cycle skipping);
+//! * **rsa** — the small modexp victim;
+//! * **membound** — stall-heavy shapes (a 1 MiB dependent pointer
+//!   chase and the 512 KiB windowed table-modexp attack target) whose
+//!   cycles are dominated by quiescent cache-miss windows: the
+//!   workloads the next-event cycle skip was built for.
 //!
 //! Each (workload × backend) compiles once and then reuses one simulator
 //! arena across the timed repetitions via [`Simulator::rebuild`] — the
@@ -13,9 +21,15 @@
 //! single number.
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin sim_throughput
-//! [--quick] [--out <path>]` — `--out` redirects the JSON report (CI
+//! [--quick] [--out <path>] [--classic-out <path>]
+//! [--gate-skip-speedup <X>]` — `--out` redirects the JSON report (CI
 //! smoke tests write to a temp location instead of clobbering the
-//! tracked snapshot).
+//! tracked snapshot). `--classic-out` additionally re-measures the
+//! micro and membound groups under forced classic 1-cycle stepping
+//! ([`sempe_sim::SimConfig::classic_stepping`]) and writes that report
+//! too; `--gate-skip-speedup X` then exits 1 unless cycle skipping
+//! delivers a ≥X steady-state speedup on the membound group without
+//! regressing the micro group (CI runs with X = 3).
 
 use std::time::Instant;
 
@@ -24,8 +38,9 @@ use sempe_compile::compile;
 use sempe_compile::wir::WirProgram;
 use sempe_core::json::Json;
 use sempe_sim::Simulator;
+use sempe_workloads::membound::{pointer_chase_program, ChaseParams};
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
-use sempe_workloads::rsa::{modexp_program, ModexpParams};
+use sempe_workloads::rsa::{modexp_program, table_modexp_program, ModexpParams, TableModexpParams};
 
 struct Row {
     workload: &'static str,
@@ -37,6 +52,9 @@ struct Row {
     setup_secs: f64,
     /// Per-rep simulation time.
     steady_secs: f64,
+    /// Cycles fast-forwarded by the next-event skip (0 under classic
+    /// stepping).
+    skipped_cycles: u64,
 }
 
 impl Row {
@@ -61,11 +79,28 @@ fn backend_name(which: BackendRun) -> &'static str {
     }
 }
 
-fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps: u32) -> Vec<Row> {
+/// Main-memory latency of the membound group, in cycles: 300 ns at the
+/// paper machine's 2 GHz — the disaggregated/far-memory (CXL-class)
+/// tier that large-table attack calibration increasingly targets, and
+/// the regime where stall cycles dwarf compute. The micro and rsa
+/// groups keep the paper's 150-cycle local DRAM.
+const FAR_MEM_LATENCY: u64 = 600;
+
+fn measure(
+    workload: &'static str,
+    group: &'static str,
+    prog: &WirProgram,
+    reps: u32,
+    classic: bool,
+) -> Vec<Row> {
     BackendRun::ALL
         .iter()
         .map(|&which| {
-            let (backend, config) = which.pair();
+            let (backend, mut config) = which.pair();
+            config.classic_stepping = classic;
+            if group == "membound" {
+                config.mem.mem_latency = FAR_MEM_LATENCY;
+            }
             // Compile once; the old harness re-compiled and re-decoded
             // the unchanged program on every iteration.
             let cw = compile(prog, backend).expect("workload compiles");
@@ -80,6 +115,7 @@ fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps:
             let mut committed = 0u64;
             let mut setup_secs = 0f64;
             let mut steady_secs = 0f64;
+            let mut skipped_cycles = 0u64;
             for _ in 0..reps {
                 let t0 = Instant::now();
                 let sim = Simulator::rebuild_or_new(&mut slot, cw.program(), config)
@@ -90,8 +126,10 @@ fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps:
                 steady_secs += t1.elapsed().as_secs_f64();
                 sim_cycles += out.stats.cycles;
                 committed += out.stats.committed;
+                skipped_cycles += sim.skip_counters().0;
             }
             assert_eq!(warm.stats.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
+            assert!(!classic || skipped_cycles == 0, "classic stepping must not skip");
             Row {
                 workload,
                 group,
@@ -100,14 +138,35 @@ fn measure(workload: &'static str, group: &'static str, prog: &WirProgram, reps:
                 committed,
                 setup_secs,
                 steady_secs,
+                skipped_cycles,
             }
         })
         .collect()
 }
 
+/// Aggregate simulated cycles per host second over a row subset, with
+/// host time measured by `time` (total or steady-state).
+fn agg_by(rows: &[Row], pred: impl Fn(&Row) -> bool, time: impl Fn(&Row) -> f64) -> f64 {
+    let (c, t) = rows
+        .iter()
+        .filter(|r| pred(r))
+        .fold((0u64, 0f64), |(c, t), r| (c + r.sim_cycles, t + time(r)));
+    c as f64 / t.max(1e-9)
+}
+
+/// Aggregate simulated cycles per total host second over a row subset.
+fn agg(rows: &[Row], pred: impl Fn(&Row) -> bool) -> f64 {
+    agg_by(rows, pred, Row::host_secs)
+}
+
+/// Steady-state (run-only) simulated cycles per host second for a group.
+fn steady_agg(rows: &[Row], group: &str) -> f64 {
+    agg_by(rows, |r| r.group == group, |r| r.steady_secs)
+}
+
 /// Render the report with the workspace-shared JSON encoder (the same
 /// one the service protocol uses — one encoder, no drift).
-fn report_json(rows: &[Row], micro_kcps: f64, overall_kcps: f64) -> String {
+fn report_json(rows: &[Row], stepping: &str, extra: Json) -> String {
     let rows_json: Vec<Json> = rows
         .iter()
         .map(|r| {
@@ -120,38 +179,85 @@ fn report_json(rows: &[Row], micro_kcps: f64, overall_kcps: f64) -> String {
                 .with("host_secs", (r.host_secs() * 1e6).round() / 1e6)
                 .with("setup_secs", (r.setup_secs * 1e6).round() / 1e6)
                 .with("steady_secs", (r.steady_secs * 1e6).round() / 1e6)
+                .with("skipped_cycles", r.skipped_cycles)
                 .with("cycles_per_sec", r.cycles_per_sec().round())
                 .with("mips", (r.mips() * 1e3).round() / 1e3)
         })
         .collect();
-    let mut out = Json::obj()
+    let mut obj = Json::obj()
         .with("bench", "sim_throughput")
         .with("unit", "simulated_cycles_per_host_second")
+        .with("stepping", stepping)
         .with("rows", Json::Arr(rows_json))
-        .with("micro_cycles_per_sec", micro_kcps.round())
-        .with("overall_cycles_per_sec", overall_kcps.round())
-        .encode();
+        .with("micro_cycles_per_sec", agg(rows, |r| r.group == "micro").round())
+        .with("membound_cycles_per_sec", agg(rows, |r| r.group == "membound").round())
+        .with("overall_cycles_per_sec", agg(rows, |_| true).round());
+    if let Json::Obj(extra_fields) = extra {
+        for (k, v) in extra_fields {
+            obj = obj.with(&k, v);
+        }
+    }
+    let mut out = obj.encode();
     out.push('\n');
     out
 }
 
+fn print_rows(rows: &[Row]) {
+    println!(
+        "{:18} {:9} {:9} {:>12} {:>10} {:>9} {:>14} {:>8}",
+        "workload", "group", "backend", "sim cycles", "host ms", "setup ms", "cycles/sec", "MIPS"
+    );
+    for r in rows {
+        println!(
+            "{:18} {:9} {:9} {:>12} {:>10.2} {:>9.3} {:>14.0} {:>8.3}",
+            r.workload,
+            r.group,
+            r.backend,
+            r.sim_cycles,
+            r.host_secs() * 1e3,
+            r.setup_secs * 1e3,
+            r.cycles_per_sec(),
+            r.mips()
+        );
+    }
+}
+
+/// The micro group must stay within measurement noise of classic
+/// stepping (the quiescence probe costs a few branches per tick); this
+/// floor only catches a structural regression, not jitter.
+const MICRO_NOISE_FLOOR: f64 = 0.8;
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_sim_throughput.json");
+    let mut classic_out: Option<String> = None;
+    let mut gate: Option<f64> = None;
     let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(1);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => match args.next() {
-                Some(p) => out_path = p,
-                None => {
-                    eprintln!("--out needs a path");
-                    std::process::exit(1);
+            "--out" => out_path = need(&mut args, "--out"),
+            "--classic-out" => classic_out = Some(need(&mut args, "--classic-out")),
+            "--gate-skip-speedup" => {
+                let v = need(&mut args, "--gate-skip-speedup");
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => gate = Some(x),
+                    _ => {
+                        eprintln!("--gate-skip-speedup needs a positive number, got `{v}`");
+                        std::process::exit(1);
+                    }
                 }
-            },
+            }
             other => {
                 eprintln!(
-                    "unknown argument `{other}` (usage: sim_throughput [--quick] [--out <path>])"
+                    "unknown argument `{other}` (usage: sim_throughput [--quick] [--out <path>] \
+                     [--classic-out <path>] [--gate-skip-speedup <X>])"
                 );
                 std::process::exit(1);
             }
@@ -159,7 +265,7 @@ fn main() {
     }
     let reps = if quick { 2 } else { 5 };
 
-    let mut rows: Vec<Row> = Vec::new();
+    let mut workloads: Vec<(&'static str, &'static str, WirProgram)> = Vec::new();
     for kind in WorkloadKind::ALL {
         // Queens is exponential in its board size; the others are
         // (near-)linear in scale. Sized so each run stays in the
@@ -169,42 +275,99 @@ fn main() {
             _ => 16,
         };
         let p = MicroParams { scale, secrets: 0b01, ..MicroParams::new(kind, 2, 4) };
-        rows.extend(measure(kind.name(), "micro", &fig7_program(&p), reps));
+        workloads.push((kind.name(), "micro", fig7_program(&p)));
     }
     let rsa = ModexpParams { bits: 16, exponent: 0xB6B6, ..ModexpParams::default() };
-    rows.extend(measure("rsa-modexp16", "rsa", &modexp_program(&rsa), reps));
+    workloads.push(("rsa-modexp16", "rsa", modexp_program(&rsa)));
+    // The stall-heavy group: a serialized line-granular miss chain over
+    // a 1 MiB table, and the windowed-modexp attack-calibration victim
+    // over the 512 KiB table scale (shared with batch_throughput).
+    let chase = ChaseParams { words: 1 << 17, iters: if quick { 8192 } else { 16384 } };
+    workloads.push(("chase-1m", "membound", pointer_chase_program(&chase)));
+    let tmx = TableModexpParams {
+        table_words: 1 << 16,
+        bits: if quick { 256 } else { 1024 },
+        key: 0xB6B6_5A5A_B6B6_5A5A,
+    };
+    workloads.push(("table-modexp-512k", "membound", table_modexp_program(&tmx).0));
 
-    println!(
-        "{:14} {:9} {:>12} {:>10} {:>9} {:>14} {:>8}",
-        "workload", "backend", "sim cycles", "host ms", "setup ms", "cycles/sec", "MIPS"
-    );
-    for r in &rows {
-        println!(
-            "{:14} {:9} {:>12} {:>10.2} {:>9.3} {:>14.0} {:>8.3}",
-            r.workload,
-            r.backend,
-            r.sim_cycles,
-            r.host_secs() * 1e3,
-            r.setup_secs * 1e3,
-            r.cycles_per_sec(),
-            r.mips()
-        );
+    let rows: Vec<Row> = workloads
+        .iter()
+        .flat_map(|(name, group, prog)| measure(name, group, prog, reps, false))
+        .collect();
+    print_rows(&rows);
+
+    let micro = agg(&rows, |r| r.group == "micro");
+    let membound = agg(&rows, |r| r.group == "membound");
+    let overall = agg(&rows, |_| true);
+    println!();
+    println!("micro aggregate:    {micro:>14.0} simulated cycles/sec");
+    println!("membound aggregate: {membound:>14.0} simulated cycles/sec");
+    println!("overall aggregate:  {overall:>14.0} simulated cycles/sec");
+
+    let mut skip_extra = Json::obj();
+    let mut gate_failures: Vec<String> = Vec::new();
+    if classic_out.is_some() || gate.is_some() {
+        // A/B: the same micro + membound programs under forced classic
+        // 1-cycle stepping. Simulated cycles are bit-for-bit identical
+        // (asserted below); only host time may differ.
+        let classic_rows: Vec<Row> = workloads
+            .iter()
+            .filter(|(_, group, _)| *group != "rsa")
+            .flat_map(|(name, group, prog)| measure(name, group, prog, reps, true))
+            .collect();
+        for cr in &classic_rows {
+            let sr = rows
+                .iter()
+                .find(|r| r.workload == cr.workload && r.backend == cr.backend)
+                .expect("classic rows are a subset");
+            assert_eq!(
+                (cr.sim_cycles, cr.committed),
+                (sr.sim_cycles, sr.committed),
+                "{}/{}: classic and skip stepping disagree on simulated work",
+                cr.workload,
+                cr.backend
+            );
+        }
+        println!("\nclassic stepping (micro + membound):");
+        print_rows(&classic_rows);
+        let membound_speedup =
+            steady_agg(&rows, "membound") / steady_agg(&classic_rows, "membound");
+        let micro_speedup = steady_agg(&rows, "micro") / steady_agg(&classic_rows, "micro");
+        println!();
+        println!("membound steady-state skip speedup: {membound_speedup:.2}x");
+        println!("micro steady-state skip speedup:    {micro_speedup:.2}x");
+        skip_extra = skip_extra
+            .with("membound_skip_speedup", (membound_speedup * 100.0).round() / 100.0)
+            .with("micro_skip_speedup", (micro_speedup * 100.0).round() / 100.0);
+        if let Some(path) = &classic_out {
+            std::fs::write(path, report_json(&classic_rows, "classic", Json::obj()))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        if let Some(floor) = gate {
+            if membound_speedup < floor {
+                gate_failures.push(format!(
+                    "membound steady-state speedup {membound_speedup:.2}x below the {floor}x floor"
+                ));
+            }
+            if micro_speedup < MICRO_NOISE_FLOOR {
+                gate_failures.push(format!(
+                    "micro steady-state ratio {micro_speedup:.2}x below the \
+                     {MICRO_NOISE_FLOOR}x noise floor (skip probe overhead regression)"
+                ));
+            }
+        }
     }
 
-    let agg = |pred: &dyn Fn(&Row) -> bool| -> f64 {
-        let (c, t) = rows
-            .iter()
-            .filter(|r| pred(r))
-            .fold((0u64, 0f64), |(c, t), r| (c + r.sim_cycles, t + r.host_secs()));
-        c as f64 / t.max(1e-9)
-    };
-    let micro = agg(&|r| r.group == "micro");
-    let overall = agg(&|_| true);
-    println!();
-    println!("micro aggregate:   {micro:>14.0} simulated cycles/sec");
-    println!("overall aggregate: {overall:>14.0} simulated cycles/sec");
-
-    std::fs::write(&out_path, report_json(&rows, micro, overall))
+    std::fs::write(&out_path, report_json(&rows, "skip", skip_extra))
         .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("\nwrote {out_path}");
+
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("GATE FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -157,6 +157,20 @@ impl SempeUnit {
         self.jbtable.can_issue_sjmp()
     }
 
+    /// The earliest future cycle at which the unit could change pipeline
+    /// state on its own — `None`, always, by contract: the unit is
+    /// event-driven. Its only timed effects are the scratchpad transfer
+    /// stalls ([`UnitEffect::spm_cycles`]) returned synchronously from
+    /// the commit events and charged into the caller's own stall timers;
+    /// between events the jbTable, snapshot stack and SPM hold no
+    /// pending work. The cycle-level simulator's next-event fast-forward
+    /// relies on this (a future autonomous timer — say, a background SPM
+    /// drain — must be reported here, or skipping would jump over it).
+    #[must_use]
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        None
+    }
+
     /// An sJMP issued: allocate its jbTable entry.
     ///
     /// # Errors

@@ -21,6 +21,13 @@
 //! bit-for-bit identical (cycles, committed count, outputs,
 //! `Strictness::Full` trace) to cold execution, which is the invariant
 //! the service's fork server rests on.
+//!
+//! Every (backend × machine) pair also runs the **cycle-skip
+//! differential**: the same binary under forced classic 1-cycle
+//! stepping versus the default next-event fast-forward. Skipping is
+//! supposed to be semantically invisible, so cycles, committed counts,
+//! outputs, and `Strictness::Full` traces must agree exactly; every
+//! generated program proves it.
 
 use core::fmt;
 
@@ -111,6 +118,9 @@ pub enum DivergenceKind {
     /// A run restored from a checkpoint diverged from cold execution
     /// (cycles, committed count, outputs, or observation trace).
     Fork,
+    /// A cycle-skipping run diverged from classic 1-cycle stepping
+    /// (cycles, committed count, outputs, or observation trace).
+    Skip,
 }
 
 impl DivergenceKind {
@@ -130,6 +140,7 @@ impl DivergenceKind {
             DivergenceKind::Source => "source",
             DivergenceKind::Opt => "opt",
             DivergenceKind::Fork => "fork",
+            DivergenceKind::Skip => "skip",
         }
     }
 }
@@ -259,6 +270,71 @@ impl SimArena {
         }
         if let Some(d) = first_divergence(&first_trace, sim.trace(), Strictness::Full) {
             return Err(fail(format!("restored trace diverges: {d:?}")));
+        }
+        Ok(())
+    }
+
+    /// The cycle-skip differential: run the binary under forced classic
+    /// 1-cycle stepping and under the default next-event fast-forward;
+    /// both must reproduce the cold run's cycle and committed counts bit
+    /// for bit, agree on outputs, and leave `Strictness::Full`-identical
+    /// observation traces. Every generated program goes through this, so
+    /// a missed wake source (a timer the skip jumps over) shows up as a
+    /// fuzz divergence, not as a wrong paper number.
+    fn skip_check(
+        &mut self,
+        cw: &CompiledWorkload,
+        config: SimConfig,
+        engine: &str,
+        want_cycles: u64,
+        want_committed: u64,
+    ) -> Result<(), Divergence> {
+        let fail = |detail: String| Divergence {
+            kind: DivergenceKind::Skip,
+            engine: engine.to_string(),
+            detail,
+        };
+        let traced = config.with_trace();
+        let sim = Simulator::rebuild_or_new(&mut self.fork, cw.program(), traced)
+            .map_err(|e| fail(format!("skip machine build failed: {e}")))?;
+        let skip_res = sim.run(SIM_FUEL).map_err(|e| fail(format!("skipping run fault: {e}")))?;
+        let skip_outputs = cw.read_outputs(sim.mem());
+        let skip_trace = sim.trace().clone();
+        let sim =
+            Simulator::rebuild_or_new(&mut self.fork, cw.program(), traced.with_classic_stepping())
+                .map_err(|e| fail(format!("classic machine build failed: {e}")))?;
+        let classic_res = sim.run(SIM_FUEL).map_err(|e| fail(format!("classic run fault: {e}")))?;
+        for (which, res) in [("skipping", &skip_res), ("classic", &classic_res)] {
+            if res.stats.cycles != want_cycles {
+                return Err(fail(format!(
+                    "{which} run took {} cycles, cold run {want_cycles}",
+                    res.stats.cycles
+                )));
+            }
+            if res.stats.committed != want_committed {
+                return Err(fail(format!(
+                    "{which} run committed {}, cold run {want_committed}",
+                    res.stats.committed
+                )));
+            }
+        }
+        // The whole statistics block, not just cycles/committed: a
+        // bulk-accounting slip in the skipped-span arithmetic (e.g.
+        // drain_stall_cycles) would leave every other observable intact.
+        if skip_res.stats != classic_res.stats {
+            return Err(fail(format!(
+                "statistics diverge between stepping modes: skipping {:?} != classic {:?}",
+                skip_res.stats, classic_res.stats
+            )));
+        }
+        let classic_outputs = cw.read_outputs(sim.mem());
+        if classic_outputs != skip_outputs {
+            return Err(fail(format!(
+                "classic outputs {classic_outputs:?} != skipping outputs {skip_outputs:?}"
+            )));
+        }
+        if let Some(d) = first_divergence(&skip_trace, sim.trace(), Strictness::Full) {
+            return Err(fail(format!("skip/classic traces diverge: {d:?}")));
         }
         Ok(())
     }
@@ -490,6 +566,8 @@ pub fn check_program(
                 });
             }
             arena.fork_check(&cw, *config, &sim_name, sim_cycles, sim_committed)?;
+            stats.engine_runs += 2;
+            arena.skip_check(&cw, *config, &sim_name, sim_cycles, sim_committed)?;
             stats.engine_runs += 2;
         }
     }

@@ -30,8 +30,9 @@ fn backend_pair_selection_restricts_the_matrix() {
     let case = generate(99, &GenConfig::new(Profile::Correctness));
     let stats = check_case(&case, &engines, &mut arena).expect("clean");
     // CTE alone: one interpreter + one pipeline run, plus the fork
-    // differential's checkpointed + restored runs.
-    assert_eq!(stats.engine_runs, 4);
+    // differential's checkpointed + restored runs and the cycle-skip
+    // differential's skipping + classic runs.
+    assert_eq!(stats.engine_runs, 6);
     assert!(EngineSet::parse("quantum").is_none());
     assert!(EngineSet::parse("all").is_some());
 }

@@ -12,6 +12,7 @@
 use sempe_isa::Addr;
 
 use crate::config::{CacheConfig, MemConfig};
+use crate::skip::Wake;
 
 /// Per-cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -345,6 +346,19 @@ impl MemHierarchy {
     #[must_use]
     pub fn l2_stats(&self) -> CacheStats {
         self.l2.stats()
+    }
+
+    /// Next-event report: always [`Wake::Idle`], by contract. The
+    /// hierarchy is access-driven — every miss resolves to a latency at
+    /// access time, charged into the fetch stall timer or a completion
+    /// event, and fills/prefetches happen synchronously in the same
+    /// call. There are no MSHRs, in-flight fills, or autonomous timers
+    /// here, so between accesses nothing in the hierarchy can change. A
+    /// future timed extension (e.g. MSHR-limited fills) must report its
+    /// pending completions through this method.
+    #[must_use]
+    pub fn wake(&self) -> Wake {
+        Wake::Idle
     }
 
     fn l2_access_and_fill(&mut self, addr: Addr, is_write: bool) -> (bool, u64) {

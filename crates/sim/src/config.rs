@@ -228,6 +228,14 @@ pub struct SimConfig {
     /// Abort if no instruction commits for this many cycles (deadlock
     /// watchdog).
     pub watchdog_cycles: u64,
+    /// Force classic 1-cycle stepping: disable the next-event
+    /// fast-forward ("cycle skip") in `Simulator::run`. Skipping is
+    /// semantically invisible — cycles, statistics, outputs and
+    /// observation traces are bit-for-bit identical either way (enforced
+    /// by the golden cycle tables and the fuzzer's skip differential) —
+    /// so this knob exists for A/B throughput measurement and as an
+    /// escape hatch, not for correctness.
+    pub classic_stepping: bool,
 }
 
 impl SimConfig {
@@ -243,6 +251,7 @@ impl SimConfig {
             sempe: SempeConfig::paper(),
             record_trace: false,
             watchdog_cycles: 100_000,
+            classic_stepping: false,
         }
     }
 
@@ -256,6 +265,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Force classic 1-cycle stepping (disable cycle skipping).
+    #[must_use]
+    pub fn with_classic_stepping(mut self) -> Self {
+        self.classic_stepping = true;
         self
     }
 
@@ -319,6 +335,10 @@ mod tests {
         tweaked.core.rob_entries -= 1;
         assert_ne!(tweaked.digest(), SimConfig::paper().digest());
         assert_ne!(SimConfig::paper().with_trace().digest(), SimConfig::paper().digest());
+        assert_ne!(
+            SimConfig::paper().with_classic_stepping().digest(),
+            SimConfig::paper().digest()
+        );
     }
 
     #[test]

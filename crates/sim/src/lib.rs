@@ -56,6 +56,7 @@ pub mod lsq;
 pub mod pipeline;
 pub mod rename;
 pub mod rob;
+pub mod skip;
 pub mod stats;
 
 pub use config::{SecurityMode, SimConfig};

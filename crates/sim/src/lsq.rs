@@ -5,6 +5,8 @@
 
 use sempe_isa::Addr;
 
+use crate::skip::Wake;
+
 /// One store-queue entry.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreEntry {
@@ -73,6 +75,21 @@ impl Lsq {
     #[must_use]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Next-event report for loads parked on a [`LoadCheck::Wait`]
+    /// verdict issued at store-queue version `version`: their verdict
+    /// can only change when the queue changes, so an unchanged queue is
+    /// [`Wake::Idle`] (the mutation that changes it — a store resolve,
+    /// commit, or squash — is itself driven by a completion or commit
+    /// event that already ends any skip). The LSQ holds no timers.
+    #[must_use]
+    pub fn wake_since(&self, version: u64) -> Wake {
+        if self.version == version {
+            Wake::Idle
+        } else {
+            Wake::Now
+        }
     }
 
     /// No stores queued and no loads in flight?

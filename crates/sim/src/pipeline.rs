@@ -40,6 +40,7 @@ use crate::config::{SecurityMode, SimConfig};
 use crate::lsq::{LoadCheck, Lsq};
 use crate::rename::{PhysReg, RenameState};
 use crate::rob::{Rob, RobEntry, RobSlot};
+use crate::skip::Wake;
 use crate::stats::{SimResult, SimStats};
 
 /// Errors a simulation can raise.
@@ -139,6 +140,20 @@ enum FetchBlock {
 enum IqClass {
     Int,
     Fp,
+}
+
+/// Verdict of the rename stage's structural-hazard gate for the next
+/// frontend instruction (see [`Simulator::rename_gate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RenameGate {
+    /// No hazard: the instruction renames this cycle.
+    Proceed,
+    /// A structural hazard blocks it (and, in order, everything younger)
+    /// until some event frees the resource.
+    Blocked,
+    /// The sJMP gate is closed with nothing left to open it: renaming
+    /// must raise the paper's nesting-overflow run-time exception.
+    NestingFault,
 }
 
 #[derive(Debug, Clone)]
@@ -302,6 +317,12 @@ pub struct Simulator {
     trace: ObservationTrace,
     stats: SimStats,
     last_commit_cycle: u64,
+    /// Cycles fast-forwarded by the next-event skip. Host-side
+    /// diagnostics only — deliberately *not* part of [`SimStats`], which
+    /// must be bit-for-bit identical between skip and classic stepping.
+    skipped_cycles: u64,
+    /// Number of skip jumps taken.
+    skips: u64,
 
     // Reusable scratch buffers: the per-cycle stages must not allocate.
     due_scratch: Vec<Completion>,
@@ -366,6 +387,8 @@ impl Simulator {
             trace: ObservationTrace::new(),
             stats: SimStats::default(),
             last_commit_cycle: 0,
+            skipped_cycles: 0,
+            skips: 0,
             due_scratch: Vec::new(),
             issue_candidates: Vec::new(),
             replay_scratch: Vec::new(),
@@ -538,6 +561,9 @@ impl Simulator {
         self.trace.clone_from(&cp.trace);
         self.stats = cp.stats;
         self.last_commit_cycle = cp.last_commit_cycle;
+        // Host-side skip diagnostics restart with the forked trial.
+        self.skipped_cycles = 0;
+        self.skips = 0;
         // Transient state: empty at the checkpoint, so reset in place.
         self.frontend.clear();
         self.rob.reset(cp.config.core.rob_entries);
@@ -606,6 +632,8 @@ impl Simulator {
             trace: cp.trace.clone(),
             stats: cp.stats,
             last_commit_cycle: 0,
+            skipped_cycles: 0,
+            skips: 0,
             due_scratch: Vec::new(),
             issue_candidates: Vec::new(),
             replay_scratch: Vec::new(),
@@ -666,12 +694,27 @@ impl Simulator {
         s.l2 = self.hier.l2_stats();
         s.bpred = self.bp.stats();
         s.sempe = self.unit.stats();
-        s.load_forwards = 0; // folded below
         s.load_forwards = self.lsq.forwards;
         s
     }
 
+    /// Host-side cycle-skip diagnostics: `(cycles fast-forwarded, skip
+    /// jumps taken)` since construction, rebuild, or restore. Kept out
+    /// of [`SimStats`] so identical-run comparisons (skip vs classic,
+    /// forked vs cold) never see them.
+    #[must_use]
+    pub fn skip_counters(&self) -> (u64, u64) {
+        (self.skipped_cycles, self.skips)
+    }
+
     /// Run until `HALT` or `max_cycles`.
+    ///
+    /// Unless [`SimConfig::classic_stepping`] is set, quiescent spans —
+    /// runs of cycles in which no stage can make forward progress — are
+    /// fast-forwarded to the next event instead of ticked one by one.
+    /// This is purely a host-speed optimization: cycles, statistics,
+    /// outputs, observation traces, and error cycles are bit-for-bit
+    /// identical to classic stepping (see [`crate::skip`]).
     ///
     /// # Errors
     ///
@@ -688,10 +731,158 @@ impl Simulator {
                     rob_head_pc: self.rob.head().map(|e| e.pc),
                 });
             }
+            // A skip moves `cycle` without ticking; loop back around so
+            // the budget and watchdog bounds are re-checked at the new
+            // cycle exactly as classic stepping would have checked them.
+            if !self.config.classic_stepping && self.try_skip(max_cycles) {
+                continue;
+            }
             self.tick()?;
         }
         self.trace.total_cycles = self.cycle;
         Ok(SimResult { halted: true, stats: self.stats() })
+    }
+
+    /// Combined next-event report of every timed structure (see
+    /// [`crate::skip`] for the per-structure contracts). [`Wake::Now`]
+    /// means some stage can act in the current cycle and skipping is
+    /// illegal; [`Wake::At`] bounds how far the machine may
+    /// fast-forward; [`Wake::Idle`] means only the run bounds (cycle
+    /// budget, watchdog) limit the jump — the machine is wedged.
+    #[must_use]
+    pub fn next_wake(&self) -> Wake {
+        let mut wake = self.rob.commit_wake();
+        if wake == Wake::Now {
+            return wake;
+        }
+        wake = wake.earliest(self.events_wake());
+        if wake == Wake::Now {
+            return wake;
+        }
+        wake = wake.earliest(self.issue_wake());
+        if wake == Wake::Now {
+            return wake;
+        }
+        wake = wake.earliest(self.replay_wake());
+        if wake == Wake::Now {
+            return wake;
+        }
+        wake = wake.earliest(self.rename_wake());
+        if wake == Wake::Now {
+            return wake;
+        }
+        wake = wake.earliest(self.fetch_wake());
+        wake = wake.earliest(self.hier.wake());
+        wake.earliest(match self.unit.next_event_cycle() {
+            None => Wake::Idle,
+            Some(c) => Wake::At(c),
+        })
+    }
+
+    /// Attempt a next-event fast-forward. Returns `true` when cycles
+    /// were skipped (the caller must re-check its run bounds before
+    /// ticking). The jump is clamped to `max_cycles` and the watchdog
+    /// deadline so both errors fire at exactly the cycle classic
+    /// stepping reports them.
+    fn try_skip(&mut self, max_cycles: u64) -> bool {
+        let deadline =
+            self.last_commit_cycle.saturating_add(self.config.watchdog_cycles).saturating_add(1);
+        let bound = max_cycles.min(deadline);
+        let target = match self.next_wake() {
+            Wake::Now => return false,
+            Wake::At(t) => t.min(bound),
+            Wake::Idle => bound,
+        };
+        if target <= self.cycle {
+            return false;
+        }
+        let span = target - self.cycle;
+        // Bulk-account the per-cycle counters the skipped ticks would
+        // have incremented. The only one is the rename drain stall; its
+        // predicate is constant across the span: `rename_blocked_on`
+        // only changes at commit/squash (events, which end a skip), and
+        // `rename_wake` caps the jump at `rename_stall_until` whenever
+        // the timer is still running.
+        if self.rename_blocked_on.is_some() || self.cycle < self.rename_stall_until {
+            self.stats.drain_stall_cycles += span;
+        }
+        self.skipped_cycles += span;
+        self.skips += 1;
+        self.cycle = target;
+        true
+    }
+
+    /// Next-event report of the completion min-heap.
+    fn events_wake(&self) -> Wake {
+        match self.events.peek() {
+            None => Wake::Idle,
+            Some(Reverse(e)) if e.cycle <= self.cycle => Wake::Now,
+            Some(Reverse(e)) => Wake::At(e.cycle),
+        }
+    }
+
+    /// Next-event report of the issue stage: any woken entry can issue
+    /// this cycle. Conservative — a ready list holding only entries
+    /// blocked on a busy divider (or stale post-squash records, pruned
+    /// by the next issue pass) also reports [`Wake::Now`]; those spans
+    /// are short and simply fall back to classic stepping.
+    fn issue_wake(&self) -> Wake {
+        if self.iq_ready_int.is_empty() && self.iq_ready_fp.is_empty() {
+            Wake::Idle
+        } else {
+            Wake::Now
+        }
+    }
+
+    /// Next-event report of the load-replay machinery: waiting loads
+    /// re-check only when the store queue has changed since their last
+    /// verdict.
+    fn replay_wake(&self) -> Wake {
+        if self.replay.is_empty() {
+            Wake::Idle
+        } else {
+            self.lsq.wake_since(self.replay_lsq_version)
+        }
+    }
+
+    /// Next-event report of the rename stage. Mirrors `rename_stage`'s
+    /// gating exactly: the structural hazards come from the same
+    /// [`Simulator::rename_gate`] the stage itself uses, so the two
+    /// cannot drift.
+    fn rename_wake(&self) -> Wake {
+        if self.rename_blocked_on.is_some() {
+            // Dissolves at the sJMP's commit or squash — event-driven.
+            return Wake::Idle;
+        }
+        if self.cycle < self.rename_stall_until {
+            // Also bounds the drain-stall bulk accounting in `try_skip`.
+            return Wake::At(self.rename_stall_until);
+        }
+        let Some(fe) = self.frontend.front() else { return Wake::Idle };
+        if fe.ready_cycle > self.cycle {
+            return Wake::At(fe.ready_cycle);
+        }
+        match self.rename_gate(&fe.inst) {
+            // A pending nesting-overflow fault must be raised by a real
+            // tick at this very cycle, exactly as classic stepping does.
+            RenameGate::Proceed | RenameGate::NestingFault => Wake::Now,
+            RenameGate::Blocked => Wake::Idle,
+        }
+    }
+
+    /// Next-event report of the fetch stage.
+    fn fetch_wake(&self) -> Wake {
+        if self.fetch_block != FetchBlock::None {
+            // Eos/Halt/BadPc blocks dissolve at a commit or squash.
+            return Wake::Idle;
+        }
+        if self.frontend.len() >= self.config.core.frontend_queue {
+            return Wake::Idle;
+        }
+        if self.cycle < self.fetch_stall_until {
+            return Wake::At(self.fetch_stall_until);
+        }
+        Wake::Now
     }
 
     /// Advance one cycle.
@@ -850,6 +1041,52 @@ impl Simulator {
         }
     }
 
+    /// Can the frontend's next instruction rename this cycle? The single
+    /// source of truth for the rename stage's structural hazards, shared
+    /// by `rename_stage` (which acts on it) and `rename_wake` (which
+    /// reports quiescence from it) so the two can never disagree.
+    fn rename_gate(&self, inst: &Inst) -> RenameGate {
+        if self.rob.is_full() {
+            return RenameGate::Blocked;
+        }
+        if Self::requires_iq(inst) {
+            let (occupancy, cap) = match Self::iq_class(inst) {
+                IqClass::Int => (self.iq_count_int, self.config.core.int_iq_entries),
+                IqClass::Fp => (self.iq_count_fp, self.config.core.fp_iq_entries),
+            };
+            if occupancy >= cap {
+                return RenameGate::Blocked;
+            }
+        }
+        if inst.op.is_load() && !self.lsq.can_alloc_load() {
+            return RenameGate::Blocked;
+        }
+        if inst.op.is_store() && !self.lsq.can_alloc_store() {
+            return RenameGate::Blocked;
+        }
+        let is_sjmp_active = inst.is_sjmp() && self.config.mode == SecurityMode::Sempe;
+        if is_sjmp_active && !self.unit.can_issue_sjmp() {
+            // Either a transient stall (the previous sJMP has not
+            // committed its jbTable entry yet, or a wrong path will be
+            // squashed) or a genuine nesting overflow. It is genuine
+            // exactly when nothing older remains that could squash us:
+            // the paper makes this a run-time exception (§IV-E).
+            if self.unit.jbtable().depth() >= self.unit.jbtable().capacity() && self.rob.is_empty()
+            {
+                return RenameGate::NestingFault;
+            }
+            return RenameGate::Blocked;
+        }
+        if let Some(rd) = inst.dest() {
+            let free =
+                if rd.is_fp() { self.rename.free_fp_count() } else { self.rename.free_int_count() };
+            if free == 0 {
+                return RenameGate::Blocked;
+            }
+        }
+        RenameGate::Proceed
+    }
+
     fn rename_stage(&mut self) -> Result<(), SimError> {
         if self.cycle < self.rename_stall_until || self.rename_blocked_on.is_some() {
             self.stats.drain_stall_cycles += 1;
@@ -861,51 +1098,16 @@ impl Simulator {
                 break;
             }
             let inst = fe.inst;
-            // Structural hazards.
-            if self.rob.is_full() {
-                break;
-            }
-            if Self::requires_iq(&inst) {
-                let (occupancy, cap) = match Self::iq_class(&inst) {
-                    IqClass::Int => (self.iq_count_int, self.config.core.int_iq_entries),
-                    IqClass::Fp => (self.iq_count_fp, self.config.core.fp_iq_entries),
-                };
-                if occupancy >= cap {
-                    break;
-                }
-            }
-            if inst.op.is_load() && !self.lsq.can_alloc_load() {
-                break;
-            }
-            if inst.op.is_store() && !self.lsq.can_alloc_store() {
-                break;
-            }
-            let is_sjmp_active = inst.is_sjmp() && self.config.mode == SecurityMode::Sempe;
-            if is_sjmp_active && !self.unit.can_issue_sjmp() {
-                // Either a transient stall (the previous sJMP has not
-                // committed its jbTable entry yet, or a wrong path will be
-                // squashed) or a genuine nesting overflow. It is genuine
-                // exactly when nothing older remains that could squash us:
-                // the paper makes this a run-time exception (§IV-E).
-                if self.unit.jbtable().depth() >= self.unit.jbtable().capacity()
-                    && self.rob.is_empty()
-                {
+            match self.rename_gate(&inst) {
+                RenameGate::Blocked => break,
+                RenameGate::NestingFault => {
                     return Err(SimError::Sempe(SempeFault::NestingOverflow {
                         capacity: self.unit.jbtable().capacity(),
                     }));
                 }
-                break;
+                RenameGate::Proceed => {}
             }
-            if let Some(rd) = inst.dest() {
-                let free = if rd.is_fp() {
-                    self.rename.free_fp_count()
-                } else {
-                    self.rename.free_int_count()
-                };
-                if free == 0 {
-                    break;
-                }
-            }
+            let is_sjmp_active = inst.is_sjmp() && self.config.mode == SecurityMode::Sempe;
 
             let fe = self.frontend.pop_front().expect("peeked above");
             let mut entry = RobEntry::new(fe.seq, fe.pc, inst, fe.len);

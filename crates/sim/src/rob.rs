@@ -6,6 +6,7 @@ use sempe_isa::Addr;
 
 use crate::bpred::RasSnapshot;
 use crate::rename::{PhysReg, RatCheckpoint};
+use crate::skip::Wake;
 
 /// Index of a ROB slot. Slots are reused; pair with the entry's `seq` to
 /// detect staleness.
@@ -207,6 +208,18 @@ impl Rob {
             self.count -= 1;
         }
         removed
+    }
+
+    /// Next-event report of the commit stage's view: the ROB holds no
+    /// timers of its own, so it can act exactly when the head entry has
+    /// finished executing ([`Wake::Now`]) and is otherwise woken by the
+    /// completion event that will finish it ([`Wake::Idle`]).
+    #[must_use]
+    pub fn commit_wake(&self) -> Wake {
+        match self.head() {
+            Some(head) if head.done => Wake::Now,
+            _ => Wake::Idle,
+        }
     }
 
     /// Iterate entries oldest to youngest.

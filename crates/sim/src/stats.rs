@@ -6,7 +6,10 @@ use crate::bpred::BpredStats;
 use crate::cache::CacheStats;
 
 /// Everything the harnesses report about a run.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Equality is field-for-field exact — the skip/classic and fork
+/// differentials compare whole statistics blocks bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -11,7 +11,10 @@
 //!   PPM/GIF/BMP output variants (a synthetic stand-in for libjpeg's
 //!   `djpeg`, which cannot be compiled to SIR — see DESIGN.md);
 //! * [`rsa`] — Figure 1's modular exponentiation, the motivating
-//!   key-dependent branch.
+//!   key-dependent branch, plus the windowed (512 KiB-table) variant the
+//!   fork-engine and cycle-skip benchmarks calibrate against;
+//! * [`membound`] — memory-bound stress shapes (dependent pointer chase)
+//!   whose cycles are dominated by quiescent cache-miss windows.
 //!
 //! ```
 //! use sempe_compile::{compile, Backend};
@@ -33,10 +36,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod djpeg;
+pub mod membound;
 pub mod micro;
 pub mod rng;
 pub mod rsa;
 
 pub use djpeg::{djpeg_program, synth_image, DjpegParams, OutputFormat};
+pub use membound::{pointer_chase_program, pointer_chase_reference, ChaseParams};
 pub use micro::{emit_workload, fig7_program, MicroParams, WorkloadKind};
-pub use rsa::{modexp_program, modexp_reference, ModexpParams};
+pub use rsa::{
+    modexp_program, modexp_reference, table_modexp_program, ModexpParams, TableModexpParams,
+};

@@ -1,0 +1,182 @@
+//! Memory-bound workloads: programs whose cycles are dominated by
+//! quiescent cache-miss windows rather than by computation.
+//!
+//! These are the shapes the simulator's next-event cycle skipping was
+//! built for — a dependent load chain over a table far larger than the
+//! L2 leaves the pipeline with nothing to do for ~the memory latency on
+//! every iteration — and the shapes real attack-calibration targets
+//! have (windowed-RSA / T-table working sets; see
+//! [`crate::rsa::table_modexp_program`] for the secret-branching
+//! variant). The `sim_throughput` harness measures this group with
+//! skipping on and off, and CI gates on the stall-heavy speedup.
+
+use sempe_compile::wir::{BinOp, Expr, Stmt, WirProgram};
+
+/// How many chase steps each loop iteration inlines: amortizes the loop
+/// bookkeeping (counter, bound check, branch) so the instruction stream
+/// is almost entirely the serialized miss chain.
+pub const CHASE_UNROLL: u32 = 8;
+
+/// 8-byte words per 64-byte cache line: the chase hops at line
+/// granularity so no two steps share a line (word-granular walks start
+/// hitting the L2 once coverage builds up — ~2 random words land in
+/// each touched line — which dilutes the stall the workload exists to
+/// produce).
+const WORDS_PER_LINE: u64 = 8;
+
+/// Parameters of the pointer-chase workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseParams {
+    /// Table size in 8-byte words. Must be a power of two; sized well
+    /// past the L2 (the paper machine's is 256 KiB = 32 Ki words) so the
+    /// chase misses all the way to memory.
+    pub words: usize,
+    /// Chase steps. Must be a multiple of [`CHASE_UNROLL`], and at most
+    /// `words / 8` (one step per cache line) to keep every step a
+    /// distinct line.
+    pub iters: u32,
+}
+
+impl Default for ChaseParams {
+    fn default() -> Self {
+        // 128 Ki words = 1 MiB = 16 Ki lines, four times the paper
+        // machine's L2.
+        ChaseParams { words: 1 << 17, iters: 4096 }
+    }
+}
+
+fn chase_next(x: u64, positions: u64) -> u64 {
+    // Hull–Dobell full-period LCG for any power-of-two modulus.
+    x.wrapping_mul(25_173).wrapping_add(13_849) & (positions - 1)
+}
+
+/// Host-side reference of the chase's outputs `(acc, x)`.
+#[must_use]
+pub fn pointer_chase_reference(p: &ChaseParams) -> (u64, u64) {
+    let positions = p.words as u64 / WORDS_PER_LINE;
+    let mut x = 1u64;
+    let mut acc = 0u64;
+    for step in 1..=p.iters {
+        x = chase_next(x, positions);
+        if step.is_multiple_of(CHASE_UNROLL) {
+            acc = acc.wrapping_add(x);
+        }
+    }
+    (acc, x)
+}
+
+/// A dependent pointer chase over a `words`-entry table, one step per
+/// cache line.
+///
+/// Line `p` of the table holds the next line index — a full-period LCG
+/// permutation of the line space — so each load's address comes from
+/// the previous load's value: one serialized miss chain that visits
+/// every line exactly once per period, scattered widely enough to
+/// defeat both prefetchers. The chain is unrolled [`CHASE_UNROLL`]-fold
+/// per loop iteration (`acc` samples `x` once per iteration). Entirely
+/// public — all three backends compile it to the same memory behavior.
+///
+/// # Panics
+///
+/// Panics when `words` is not a power of two (the masked-index
+/// discipline needs a power-of-two bound), `iters` is not a multiple of
+/// [`CHASE_UNROLL`], or `iters` exceeds one full period (`words / 8` —
+/// beyond it the walk revisits lines and stops missing).
+#[must_use]
+pub fn pointer_chase_program(p: &ChaseParams) -> WirProgram {
+    assert!(p.words.is_power_of_two(), "table size must be a power of two");
+    assert!(p.iters.is_multiple_of(CHASE_UNROLL), "iters must be a multiple of the unroll factor");
+    let positions = p.words as u64 / WORDS_PER_LINE;
+    assert!(u64::from(p.iters) <= positions, "iters must not exceed one full line walk");
+    let groups = p.iters / CHASE_UNROLL;
+    let mut b = sempe_compile::wir::WirBuilder::new();
+    let pos_mask = positions - 1;
+    let x = b.var("x", 1);
+    let acc = b.var("acc", 0);
+    let i = b.var("i", 0);
+    let mut init = vec![0u64; p.words];
+    for pos in 0..positions {
+        init[(pos * WORDS_PER_LINE) as usize] = chase_next(pos, positions);
+    }
+    let tab = b.array("tab", p.words, init);
+    let v = Expr::Var;
+    let bin = Expr::bin;
+    let mut body: Vec<Stmt> = (0..CHASE_UNROLL)
+        .map(|_| {
+            // x <- tab[(x & pos_mask) * 8]: the first word of line x.
+            Stmt::Assign(
+                x,
+                Expr::Load(
+                    tab,
+                    Box::new(bin(
+                        BinOp::Mul,
+                        bin(BinOp::And, v(x), Expr::Const(pos_mask)),
+                        Expr::Const(WORDS_PER_LINE),
+                    )),
+                ),
+            )
+        })
+        .collect();
+    body.push(Stmt::Assign(acc, bin(BinOp::Add, v(acc), v(x))));
+    body.push(Stmt::Assign(i, bin(BinOp::Add, v(i), Expr::Const(1))));
+    b.while_loop(bin(BinOp::Ltu, v(i), Expr::Const(u64::from(groups))), groups + 1, body);
+    b.output(acc);
+    b.output(x);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_compile::{compile, run_wir, Backend};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn chase_matches_reference_on_a_small_table() {
+        let p = ChaseParams { words: 1 << 12, iters: 104 };
+        let r = run_wir(&pointer_chase_program(&p), &BTreeMap::new()).expect("runs");
+        let (acc, x) = pointer_chase_reference(&p);
+        assert_eq!(r.outputs, vec![acc, x]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full line walk")]
+    fn over_period_iters_are_rejected() {
+        let _ = pointer_chase_program(&ChaseParams { words: 256, iters: 64 });
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the unroll factor")]
+    fn non_multiple_iters_are_rejected() {
+        let _ = pointer_chase_program(&ChaseParams { words: 64, iters: 3 });
+    }
+
+    #[test]
+    fn chase_visits_every_line_exactly_once() {
+        // Full-period LCG over the line space: one full walk touches
+        // every line once — every chase step is a distinct cache line.
+        let positions = 4096u64;
+        let mut x = 1u64;
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..positions {
+            x = chase_next(x, positions);
+            seen.insert(x);
+        }
+        assert_eq!(seen.len() as u64, positions, "LCG must be full-period");
+    }
+
+    #[test]
+    fn all_backends_compile_the_chase() {
+        let p = ChaseParams { words: 256, iters: 32 };
+        let prog = pointer_chase_program(&p);
+        for backend in [Backend::Baseline, Backend::Sempe, Backend::Cte] {
+            compile(&prog, backend).unwrap_or_else(|e| panic!("{backend}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_table_is_rejected() {
+        let _ = pointer_chase_program(&ChaseParams { words: 100, iters: 1 });
+    }
+}

@@ -89,6 +89,94 @@ pub fn modexp_program(p: &ModexpParams) -> WirProgram {
     b.build()
 }
 
+/// Parameters for the windowed (precomputed-table) modexp victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableModexpParams {
+    /// Precomputed-table size in 8-byte words. `1 << 16` (512 KiB) is
+    /// the scale of a windowed-RSA table or a T-table cipher's expanded
+    /// state — and is what the fork-engine and cycle-skip benchmarks
+    /// calibrate against.
+    pub table_words: usize,
+    /// Key bits to process (the loop trip count). Above 64 the key
+    /// pattern repeats (the shift index is masked to the word width).
+    pub bits: u32,
+    /// The secret key.
+    pub key: u64,
+}
+
+impl Default for TableModexpParams {
+    fn default() -> Self {
+        TableModexpParams { table_words: 1 << 16, bits: 16, key: 0b1011 }
+    }
+}
+
+/// Windowed modexp over a precomputed power table: per key bit, the
+/// secret branch multiplies by a table entry chosen by the running
+/// product (a dependent, scattered load). The table is secret-
+/// independent common structure dominating the program image — the
+/// shape the checkpoint/fork engine amortizes — and the loads it feeds
+/// are the stall-heavy shape cycle skipping fast-forwards. Returns the
+/// program and the key's [`VarId`] (fork trials patch it in place).
+///
+/// # Panics
+///
+/// Panics when `table_words` is not a power of two.
+#[must_use]
+pub fn table_modexp_program(p: &TableModexpParams) -> (WirProgram, sempe_compile::VarId) {
+    assert!(p.table_words.is_power_of_two(), "table size must be a power of two");
+    let mut b = WirBuilder::new();
+    let key = b.var("key", p.key);
+    let r = b.var("r", 1);
+    let i = b.var("i", 0);
+    let bit = b.var("bit", 0);
+    let init: Vec<u64> = (0..p.table_words as u64)
+        .map(|x| x.wrapping_mul(2_654_435_761).wrapping_add(12_345) % 1_000_003)
+        .collect();
+    let tab = b.array("tab", p.table_words, init);
+    let mask = (p.table_words - 1) as u64;
+    let v = Expr::Var;
+    let bin = Expr::bin;
+    // Keys are 64-bit; wider loops re-walk the pattern via a masked
+    // shift index. Narrow loops keep the plain shift (bit-identical to
+    // the historical benchmark program).
+    let shift_index = if p.bits > 64 { bin(BinOp::And, v(i), Expr::Const(63)) } else { v(i) };
+    let body = vec![
+        b.assign(bit, bin(BinOp::And, bin(BinOp::Shr, v(key), shift_index), Expr::Const(1))),
+        Stmt::If {
+            cond: v(bit),
+            secret: true,
+            then_: vec![b.assign(
+                r,
+                bin(
+                    BinOp::Rem,
+                    bin(
+                        BinOp::Mul,
+                        v(r),
+                        Expr::Load(
+                            tab,
+                            Box::new(bin(
+                                BinOp::And,
+                                bin(BinOp::Add, v(r), v(i)),
+                                Expr::Const(mask),
+                            )),
+                        ),
+                    ),
+                    Expr::Const(1_000_003),
+                ),
+            )],
+            else_: vec![],
+        },
+        b.assign(i, bin(BinOp::Add, v(i), Expr::Const(1))),
+    ];
+    b.push(Stmt::While {
+        cond: bin(BinOp::Ltu, v(i), Expr::Const(u64::from(p.bits))),
+        bound: p.bits + 1,
+        body,
+    });
+    b.output(r);
+    (b.build(), key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +223,27 @@ mod tests {
     #[should_panic(expected = "modulus out of range")]
     fn zero_modulus_is_rejected() {
         let _ = modexp_program(&ModexpParams { modulus: 0, ..ModexpParams::default() });
+    }
+
+    #[test]
+    fn table_modexp_runs_and_depends_on_the_key() {
+        let small = TableModexpParams { table_words: 1 << 8, bits: 8, key: 0b1011_0110 };
+        let (prog, key) = table_modexp_program(&small);
+        let r0 = run_wir(&prog, &BTreeMap::new()).expect("runs");
+        let mut other = prog.clone();
+        other.set_var_init(key, 0b0110_1011);
+        let r1 = run_wir(&other, &BTreeMap::new()).expect("runs");
+        assert_ne!(r0.outputs, r1.outputs, "output must depend on the key");
+        for backend in [Backend::Baseline, Backend::Sempe, Backend::Cte] {
+            compile(&prog, backend).unwrap_or_else(|e| panic!("{backend}: {e}"));
+        }
+    }
+
+    #[test]
+    fn wide_table_modexp_masks_the_shift_index() {
+        let wide = TableModexpParams { table_words: 1 << 8, bits: 96, key: u64::MAX };
+        let (prog, _) = table_modexp_program(&wide);
+        let r = run_wir(&prog, &BTreeMap::new()).expect("bits > 64 must not fault");
+        assert_eq!(r.outputs.len(), 1);
     }
 }
