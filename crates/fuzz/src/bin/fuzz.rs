@@ -16,7 +16,8 @@ use std::time::Instant;
 
 use sempe_core::json::Json;
 use sempe_fuzz::{
-    check_case, generate, shrink, CorpusEntry, EngineSet, GenConfig, Profile, SimArena,
+    check_case, generate, shrink, CorpusEntry, EngineSet, GenConfig, Profile, ServiceOracle,
+    SimArena,
 };
 use sempe_workloads::rng::SplitMix64;
 
@@ -27,6 +28,8 @@ struct Args {
     engines: EngineSet,
     out: Option<String>,
     corpus: Option<String>,
+    service: bool,
+    service_fault_plan: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
         engines: EngineSet::all(),
         out: None,
         corpus: None,
+        service: false,
+        service_fault_plan: String::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,11 +72,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--corpus" => args.corpus = Some(value("--corpus")?),
+            "--service" => args.service = true,
+            "--service-fault-plan" => {
+                args.service = true;
+                args.service_fault_plan = value("--service-fault-plan")?;
+            }
             "--help" | "-h" => {
                 return Err("usage: sempe-fuzz [--iters N] [--seed S] \
                             [--profile correctness|ct|both] \
                             [--backend-pair all|baseline,sempe,cte] \
-                            [--out report.json] [--corpus DIR]"
+                            [--out report.json] [--corpus DIR] \
+                            [--service] [--service-fault-plan SPEC]"
                     .to_string())
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -142,6 +153,19 @@ fn main() -> ExitCode {
     let mut leak_pairs = 0u64;
     let mut cases = 0u64;
     let mut invalid = 0u64;
+    let mut service_checks = 0u64;
+
+    let service = if args.service {
+        match ServiceOracle::start(&args.service_fault_plan) {
+            Ok(oracle) => Some(oracle),
+            Err(msg) => {
+                eprintln!("--service: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
 
     if let Some(dir) = &args.corpus {
         let (n, stats, fails) = replay_corpus(dir, &args.engines, &mut arena);
@@ -172,6 +196,31 @@ fn main() -> ExitCode {
             Ok(stats) => {
                 engine_runs += stats.engine_runs;
                 leak_pairs += stats.leak_pairs;
+                // Service differential: the same case through the
+                // fault-injected in-process daemon, diffed against
+                // direct simulator runs.
+                if let Some(oracle) = &service {
+                    let (p0, key) = case.wir(case.pair.0);
+                    let source = sempe_compile::to_source(&p0, &[key]);
+                    match oracle.check_source(&source) {
+                        Ok(runs) => {
+                            engine_runs += runs;
+                            service_checks += 1;
+                        }
+                        Err(d) => {
+                            eprintln!("iter {iter} (seed {case_seed}): {d}");
+                            divergences.push(
+                                Json::obj()
+                                    .with("iter", iter)
+                                    .with("case_seed", case_seed)
+                                    .with("kind", d.kind.name())
+                                    .with("engine", d.engine.as_str())
+                                    .with("detail", d.detail.as_str())
+                                    .with("source", source),
+                            );
+                        }
+                    }
+                }
             }
             Err(d) if d.kind == sempe_fuzz::DivergenceKind::Invalid => {
                 // A generator bug, not a backend bug: record loudly but
@@ -207,6 +256,9 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(oracle) = service {
+        oracle.shutdown();
+    }
     let elapsed = started.elapsed();
     let ok = divergences.is_empty() && corpus_failures.is_empty();
     let report = Json::obj()
@@ -217,6 +269,7 @@ fn main() -> ExitCode {
         .with("invalid_cases", invalid)
         .with("engine_runs", engine_runs)
         .with("leak_pairs", leak_pairs)
+        .with("service_checks", service_checks)
         .with("corpus_replayed", corpus_replayed)
         .with("elapsed_ms", u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX))
         .with("divergences", Json::Arr(divergences.clone()))

@@ -27,12 +27,14 @@
 
 pub mod gen;
 pub mod oracle;
+pub mod service;
 pub mod shrink;
 
 pub use gen::{generate, FuzzCase, GenConfig, Profile};
 pub use oracle::{
     check_case, check_program, CheckStats, Divergence, DivergenceKind, EngineSet, SimArena,
 };
+pub use service::ServiceOracle;
 pub use shrink::shrink;
 
 use sempe_compile::parse_wir;

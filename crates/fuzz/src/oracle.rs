@@ -121,6 +121,10 @@ pub enum DivergenceKind {
     /// A cycle-skipping run diverged from classic 1-cycle stepping
     /// (cycles, committed count, outputs, or observation trace).
     Skip,
+    /// The service stack (wire protocol, job queue, worker pool, result
+    /// cache — under fault injection) disagreed with a direct simulator
+    /// run, or failed to converge to a response at all.
+    Service,
 }
 
 impl DivergenceKind {
@@ -141,6 +145,7 @@ impl DivergenceKind {
             DivergenceKind::Opt => "opt",
             DivergenceKind::Fork => "fork",
             DivergenceKind::Skip => "skip",
+            DivergenceKind::Service => "service",
         }
     }
 }

@@ -1,0 +1,203 @@
+//! `--service` mode: replay fuzz cases through a fault-injected
+//! in-process `sempe-service` daemon and diff the wire results against
+//! direct [`Simulator`] runs.
+//!
+//! The point is end-to-end: a case that survives the in-process oracle
+//! can still be mangled by the service stack — request parsing, the job
+//! queue, worker supervision, the result cache, response framing — and
+//! the fault injector makes the harness walk the *recovery* paths
+//! (crashed workers, truncated frames, dropped connections) while the
+//! differential pins the answer bytes. Any disagreement is a
+//! [`DivergenceKind::Service`] finding.
+//!
+//! Each case is checked per backend:
+//!
+//! 1. run the compiled program directly on a fresh [`Simulator`]
+//!    (cycles, committed count, outputs);
+//! 2. send the same source as a `run` request to the fault-injected
+//!    daemon, retrying transient failures until it converges;
+//! 3. the service's numbers must equal the direct run's, and a repeat
+//!    request must return byte-identical bytes (the cache invariant).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sempe_compile::{compile, parse_wir, Backend};
+use sempe_core::json::{self, Json};
+use sempe_service::{FaultPlan, Server, ServiceConfig};
+use sempe_sim::{SimConfig, Simulator};
+
+use crate::oracle::SIM_FUEL;
+use crate::oracle::{Divergence, DivergenceKind};
+
+/// The default chaos plan for `--service` mode: every site armed at a
+/// few percent, stalls kept to 1 ms so throughput stays usable.
+pub const DEFAULT_FAULT_SPEC: &str = "seed=1,accept_drop=60,read_stall=60,write_stall=60,\
+     write_trunc=60,panic_pre=60,panic_post=40,wedge=30,cache_fail=80,arena_corrupt=60,\
+     read_stall_ms=1,write_stall_ms=1,wedge_ms=2";
+
+/// Retry budget per request before the harness calls it a hang.
+const RETRY_BUDGET: u32 = 300;
+
+/// An in-process, fault-injected daemon plus the plumbing to diff
+/// against it.
+#[derive(Debug)]
+pub struct ServiceOracle {
+    server: Option<Server>,
+    addr: SocketAddr,
+}
+
+impl ServiceOracle {
+    /// Start the daemon with the given fault-plan spec (see
+    /// `docs/robustness.md`; empty string means [`DEFAULT_FAULT_SPEC`]).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the spec is malformed or the
+    /// server cannot bind.
+    pub fn start(fault_spec: &str) -> Result<ServiceOracle, String> {
+        let spec = if fault_spec.is_empty() { DEFAULT_FAULT_SPEC } else { fault_spec };
+        let plan = FaultPlan::parse(spec)?;
+        let server = Server::start(&ServiceConfig {
+            workers: 2,
+            queue_capacity: 16,
+            restart_budget: 1_000_000,
+            backoff_base_ms: 1,
+            fault_plan: Some(plan),
+            ..ServiceConfig::default()
+        })
+        .map_err(|e| format!("service oracle failed to start: {e}"))?;
+        let addr = server.local_addr();
+        Ok(ServiceOracle { server: Some(server), addr })
+    }
+
+    /// Diff one WIR source across all three backends. Returns the
+    /// number of engine runs performed.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DivergenceKind::Service`] disagreement (or
+    /// non-convergence) found.
+    pub fn check_source(&self, source: &str) -> Result<u64, Divergence> {
+        let fail = |engine: &str, detail: String| Divergence {
+            kind: DivergenceKind::Service,
+            engine: engine.to_string(),
+            detail,
+        };
+        let parsed = parse_wir(source)
+            .map_err(|e| fail("service/parse", format!("source does not parse: {e}")))?;
+        let mut runs = 0u64;
+        for (backend, name, config) in [
+            (Backend::Baseline, "baseline", SimConfig::baseline()),
+            (Backend::Sempe, "sempe", SimConfig::paper()),
+            (Backend::Cte, "cte", SimConfig::baseline()),
+        ] {
+            let engine = format!("service/{name}");
+            // Direct lane: compile + fresh simulator, no service stack.
+            let cw = compile(&parsed.program, backend)
+                .map_err(|e| fail(&engine, format!("direct compile failed: {e}")))?;
+            let mut sim = Simulator::new(cw.program(), config)
+                .map_err(|e| fail(&engine, format!("direct sim build failed: {e}")))?;
+            let res =
+                sim.run(SIM_FUEL).map_err(|e| fail(&engine, format!("direct sim fault: {e}")))?;
+            let outputs = cw.read_outputs(sim.mem());
+            runs += 1;
+
+            // Service lane: the same source over the wire, twice — the
+            // repeat must be byte-identical (result-cache invariant).
+            let request = Json::obj()
+                .with("type", "run")
+                .with("source", source)
+                .with("backend", name)
+                .with("max_cycles", SIM_FUEL)
+                .encode();
+            let first = converge(self.addr, &request).map_err(|d| fail(&engine, d))?;
+            let second = converge(self.addr, &request).map_err(|d| fail(&engine, d))?;
+            runs += 2;
+            if first != second {
+                return Err(fail(
+                    &engine,
+                    format!("repeat response not byte-identical:\n 1st: {first}\n 2nd: {second}"),
+                ));
+            }
+            let v = json::parse(&first)
+                .map_err(|e| fail(&engine, format!("unparseable response: {e}: {first}")))?;
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(fail(&engine, format!("service refused a valid program: {first}")));
+            }
+            let got_cycles = v.get("cycles").and_then(Json::as_u64);
+            let got_committed = v.get("committed").and_then(Json::as_u64);
+            if got_cycles != Some(res.stats.cycles) || got_committed != Some(res.stats.committed) {
+                return Err(fail(
+                    &engine,
+                    format!(
+                        "service reported cycles {got_cycles:?} / committed {got_committed:?}, \
+                         direct run {} / {}",
+                        res.stats.cycles, res.stats.committed
+                    ),
+                ));
+            }
+            let got_outputs: Option<Vec<u64>> = v
+                .get("outputs")
+                .and_then(Json::as_array)
+                .map(|a| a.iter().filter_map(Json::as_u64).collect());
+            if got_outputs.as_deref() != Some(&outputs[..]) {
+                return Err(fail(
+                    &engine,
+                    format!("service outputs {got_outputs:?} != direct outputs {outputs:?}"),
+                ));
+            }
+        }
+        Ok(runs)
+    }
+
+    /// Drain and stop the daemon.
+    pub fn shutdown(mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+            server.join();
+        }
+    }
+}
+
+impl Drop for ServiceOracle {
+    fn drop(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+            server.join();
+        }
+    }
+}
+
+/// One exchange on a fresh connection; `Err` is a retryable transport
+/// outcome (connect refused, dropped/truncated frame, timeout).
+fn one_exchange(addr: SocketAddr, line: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    writeln!(stream, "{line}").map_err(|e| format!("send: {e}"))?;
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp).map_err(|e| format!("recv: {e}"))?;
+    if resp.is_empty() {
+        return Err("connection dropped before any response".to_string());
+    }
+    if !resp.ends_with('\n') {
+        return Err(format!("truncated frame ({} bytes)", resp.len()));
+    }
+    Ok(resp.trim_end().to_string())
+}
+
+/// Retry until the daemon produces a non-`E_BUSY` structured response.
+fn converge(addr: SocketAddr, line: &str) -> Result<String, String> {
+    let mut last = String::new();
+    for attempt in 1..=RETRY_BUDGET {
+        match one_exchange(addr, line) {
+            Ok(resp) if resp.contains("\"E_BUSY\"") => last = resp,
+            Ok(resp) => return Ok(resp),
+            Err(why) => last = why,
+        }
+        std::thread::sleep(Duration::from_millis(u64::from(attempt.min(10))));
+    }
+    Err(format!("no convergence in {RETRY_BUDGET} attempts; last outcome: {last}"))
+}

@@ -1,0 +1,20 @@
+//! Pinned service-differential seed: one fixed generated case replayed
+//! through the fault-injected in-process daemon on every test run, so
+//! the `--service` mode (and the service stack's recovery paths it
+//! exercises) can never silently rot.
+
+use sempe_fuzz::{generate, GenConfig, Profile, ServiceOracle};
+
+#[test]
+fn pinned_seed_matches_direct_simulation_through_a_faulty_service() {
+    // Pinned: seed 42, correctness profile. The fault plan is the
+    // `--service` default (every site armed at a few percent).
+    let case = generate(42, &GenConfig::new(Profile::Correctness));
+    let (p0, key) = case.wir(case.pair.0);
+    let source = sempe_compile::to_source(&p0, &[key]);
+
+    let oracle = ServiceOracle::start("").expect("service oracle starts");
+    let runs = oracle.check_source(&source).expect("pinned seed must not diverge");
+    assert!(runs >= 9, "three backends, three runs each, got {runs}");
+    oracle.shutdown();
+}

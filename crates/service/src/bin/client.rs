@@ -12,6 +12,7 @@
 //!   batch    --source FILE|-  --inputs '[{"var":N,...},...]' [--backend B]
 //!            [--leak-check] [--max-cycles N]
 //!   stats
+//!   health
 //!   shutdown
 //!   raw      '<json request line>'
 //! ```
@@ -20,14 +21,29 @@
 //! stdout verbatim; the exit code is 0 for `"ok":true`, 2 for a server
 //! error response, 1 for usage/transport problems. `--addr` defaults to
 //! `$SEMPE_ADDR` or `127.0.0.1:4870`.
+//!
+//! ## Resilience
+//!
+//! Every request is idempotent server-side (responses are
+//! content-addressed), so transient failures — connection refused, a
+//! dropped/truncated response frame, or an `E_BUSY` backpressure
+//! rejection — are retried up to `--retries` times (default 3) with
+//! jittered exponential backoff starting at `--retry-base-ms` (default
+//! 50). `--retries 0` restores strict one-shot behavior. Structured
+//! errors other than `E_BUSY` are never retried. `--deadline-ms N`
+//! attaches a compute budget the server enforces (`E_DEADLINE`), and
+//! `--id TOKEN` tags the request so the response can be correlated.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::{Duration, SystemTime};
 
 use sempe_core::json::Json;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:4870";
+const DEFAULT_RETRIES: u32 = 3;
+const DEFAULT_RETRY_BASE_MS: u64 = 50;
 
 struct Options {
     addr: String,
@@ -42,14 +58,19 @@ struct Options {
     inputs: Option<String>,
     leak_check: bool,
     raw: Option<String>,
+    deadline_ms: Option<u64>,
+    id: Option<String>,
+    retries: u32,
+    retry_base_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: sempe-client [--addr HOST:PORT] \
-         <compile|run|sweep|attack|batch|stats|shutdown|raw> \
+         <compile|run|sweep|attack|batch|stats|health|shutdown|raw> \
          [--source FILE|-] [--backend B] [--mode M] [--secret NAME] [--secret-value N] \
-         [--candidates A,B,...] [--inputs JSON] [--leak-check] [--max-cycles N] ['<json>']"
+         [--candidates A,B,...] [--inputs JSON] [--leak-check] [--max-cycles N] \
+         [--deadline-ms N] [--id TOKEN] [--retries N] [--retry-base-ms N] ['<json>']"
     );
     std::process::exit(1);
 }
@@ -73,6 +94,10 @@ fn parse_args() -> Options {
         inputs: None,
         leak_check: false,
         raw: None,
+        deadline_ms: None,
+        id: None,
+        retries: DEFAULT_RETRIES,
+        retry_base_ms: DEFAULT_RETRY_BASE_MS,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,6 +133,24 @@ fn parse_args() -> Options {
             }
             "--inputs" => opts.inputs = Some(value("--inputs")),
             "--leak-check" => opts.leak_check = true,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--deadline-ms must be a positive integer")),
+                );
+            }
+            "--id" => opts.id = Some(value("--id")),
+            "--retries" => {
+                opts.retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retries must be a non-negative integer"));
+            }
+            "--retry-base-ms" => {
+                opts.retry_base_ms = value("--retry-base-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retry-base-ms must be an integer"));
+            }
             "--help" | "-h" => usage(),
             other if opts.command.is_empty() && !other.starts_with('-') => {
                 opts.command = other.to_string();
@@ -138,6 +181,15 @@ fn read_source(opts: &Options) -> String {
 }
 
 fn build_request(opts: &Options) -> String {
+    let envelope = |mut req: Json, opts: &Options| -> String {
+        if let Some(ms) = opts.deadline_ms {
+            req.set("deadline_ms", ms);
+        }
+        if let Some(id) = &opts.id {
+            req.set("id", id.as_str());
+        }
+        req.encode()
+    };
     match opts.command.as_str() {
         "compile" | "run" => {
             let mut req =
@@ -150,14 +202,14 @@ fn build_request(opts: &Options) -> String {
                     req.set("max_cycles", n);
                 }
             }
-            req.encode()
+            envelope(req, opts)
         }
         "sweep" => {
             let mut req = Json::obj().with("type", "sweep").with("source", read_source(opts));
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);
             }
-            req.encode()
+            envelope(req, opts)
         }
         "attack" => {
             let mut req = Json::obj().with("type", "attack").with("source", read_source(opts));
@@ -176,7 +228,7 @@ fn build_request(opts: &Options) -> String {
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);
             }
-            req.encode()
+            envelope(req, opts)
         }
         "batch" => {
             let raw = opts
@@ -198,27 +250,81 @@ fn build_request(opts: &Options) -> String {
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);
             }
-            req.encode()
+            envelope(req, opts)
         }
-        "stats" => Json::obj().with("type", "stats").encode(),
-        "shutdown" => Json::obj().with("type", "shutdown").encode(),
+        "stats" => envelope(Json::obj().with("type", "stats"), opts),
+        "health" => envelope(Json::obj().with("type", "health"), opts),
+        "shutdown" => envelope(Json::obj().with("type", "shutdown"), opts),
         "raw" => opts.raw.clone().unwrap_or_else(|| fail("raw needs a JSON argument")),
         other => fail(&format!("unknown command `{other}`")),
     }
+}
+
+/// One request/response exchange. `Err` is a retryable transport
+/// failure: connect refused, send failed, or the response frame never
+/// arrived whole (connection dropped mid-write).
+fn exchange(addr: &str, request: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    writeln!(stream, "{request}").map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
+    if response.is_empty() {
+        return Err("server closed the connection without responding".to_string());
+    }
+    if !response.ends_with('\n') {
+        // EOF before the newline: the frame was truncated mid-write and
+        // must not be trusted (or printed) — retry for a whole one.
+        return Err("response frame truncated".to_string());
+    }
+    Ok(response)
+}
+
+/// Deterministic-enough jitter without a PRNG dependency: hash the
+/// clock's nanoseconds through a splitmix64 round.
+fn jitter_ms(cap: u64) -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| u64::from(d.subsec_nanos()));
+    let mut z = nanos.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) % cap.max(1)
+}
+
+fn backoff(attempt: u32, base_ms: u64) -> Duration {
+    let exp = base_ms.saturating_mul(1 << attempt.min(6)).min(5_000);
+    Duration::from_millis(exp + jitter_ms(exp.max(1)))
+}
+
+fn is_busy(response: &str) -> bool {
+    sempe_core::json::parse(response.trim_end())
+        .ok()
+        .and_then(|v| v.get("code").and_then(|c| c.as_str().map(String::from)))
+        .is_some_and(|code| code == "E_BUSY")
 }
 
 fn main() -> ExitCode {
     let opts = parse_args();
     let request = build_request(&opts);
 
-    let mut stream = TcpStream::connect(&opts.addr)
-        .unwrap_or_else(|e| fail(&format!("connect {}: {e}", opts.addr)));
-    writeln!(stream, "{request}").unwrap_or_else(|e| fail(&format!("send: {e}")));
-    let mut response = String::new();
-    BufReader::new(stream).read_line(&mut response).unwrap_or_else(|e| fail(&format!("recv: {e}")));
-    if response.is_empty() {
-        fail("server closed the connection without responding");
-    }
+    let mut attempt = 0u32;
+    let response = loop {
+        let outcome = exchange(&opts.addr, &request);
+        match outcome {
+            Ok(response) if is_busy(&response) && attempt < opts.retries => {
+                eprintln!("sempe-client: server busy, retrying ({}/{})", attempt + 1, opts.retries);
+            }
+            Ok(response) => break response,
+            Err(why) => {
+                if attempt >= opts.retries {
+                    fail(&why);
+                }
+                eprintln!("sempe-client: {why}; retrying ({}/{})", attempt + 1, opts.retries);
+            }
+        }
+        std::thread::sleep(backoff(attempt, opts.retry_base_ms));
+        attempt += 1;
+    };
     print!("{response}");
     match sempe_core::json::parse(response.trim_end()) {
         Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => ExitCode::SUCCESS,

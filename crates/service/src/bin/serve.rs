@@ -3,22 +3,79 @@
 //! ```text
 //! sempe-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!             [--cache-cap N] [--addr-file PATH]
+//!             [--idle-timeout-ms N] [--frame-timeout-ms N]
+//!             [--drain-timeout-ms N] [--restart-budget N]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints the resolved address,
 //! optionally writes it to `--addr-file` (how scripts and CI discover an
-//! ephemeral port), then serves until a `shutdown` request arrives.
+//! ephemeral port), then serves until a `shutdown` request or a
+//! `SIGTERM`/`SIGINT` arrives — both trigger the same graceful drain
+//! (stop accepting, finish in-flight jobs, flush responses, then exit).
+//!
+//! There is also a hidden `--fault-plan SPEC` flag that arms the
+//! deterministic fault injector for chaos testing; see
+//! `docs/robustness.md` for the spec vocabulary. It is deliberately
+//! absent from `--help`: it exists for the test harness, not operators.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | clean exit — `shutdown` request or signal-driven drain |
+//! | 1 | runtime failure: bind failed, `--addr-file` unwritable |
+//! | 2 | usage error: unknown flag or malformed value |
 
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 
-use sempe_service::{Server, ServiceConfig};
+use sempe_service::{FaultPlan, Server, ServiceConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: sempe-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--cache-cap N] [--addr-file PATH]"
+         [--cache-cap N] [--addr-file PATH] [--idle-timeout-ms N] \
+         [--frame-timeout-ms N] [--drain-timeout-ms N] [--restart-budget N]"
     );
-    std::process::exit(1);
+    std::process::exit(2);
+}
+
+/// Minimal std-only Unix signal hookup: the libc `signal(2)` entry point
+/// is declared directly (std already links libc) and the handler only
+/// flips an atomic — the drain itself runs on a watcher thread, never in
+/// signal context.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
 }
 
 fn main() -> ExitCode {
@@ -46,6 +103,29 @@ fn main() -> ExitCode {
                 Ok(n) => config.cache_capacity = n,
                 Err(_) => usage(),
             },
+            "--idle-timeout-ms" => match value("--idle-timeout-ms").parse() {
+                Ok(n) => config.idle_timeout_ms = n,
+                Err(_) => usage(),
+            },
+            "--frame-timeout-ms" => match value("--frame-timeout-ms").parse() {
+                Ok(n) => config.frame_timeout_ms = n,
+                Err(_) => usage(),
+            },
+            "--drain-timeout-ms" => match value("--drain-timeout-ms").parse() {
+                Ok(n) => config.drain_timeout_ms = n,
+                Err(_) => usage(),
+            },
+            "--restart-budget" => match value("--restart-budget").parse() {
+                Ok(n) => config.restart_budget = n,
+                Err(_) => usage(),
+            },
+            "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
+                Ok(plan) => config.fault_plan = Some(plan),
+                Err(e) => {
+                    eprintln!("--fault-plan: {e}");
+                    std::process::exit(2);
+                }
+            },
             "--addr-file" => addr_file = Some(value("--addr-file")),
             "--help" | "-h" => usage(),
             other => {
@@ -64,6 +144,9 @@ fn main() -> ExitCode {
     };
     let addr = server.local_addr();
     println!("sempe-service listening on {addr}");
+    if config.fault_plan.is_some() {
+        eprintln!("sempe-serve: FAULT INJECTION ARMED (chaos testing mode)");
+    }
     if let Some(path) = addr_file {
         if let Err(e) = std::fs::write(&path, addr.to_string()) {
             eprintln!("sempe-serve: writing {path} failed: {e}");
@@ -72,6 +155,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // Signal watcher: translate SIGTERM/SIGINT into the same graceful
+    // drain a `shutdown` request performs. The thread exits with the
+    // process; there is nothing to join.
+    sig::install();
+    let handle = server.handle();
+    std::thread::spawn(move || loop {
+        if sig::REQUESTED.load(Ordering::SeqCst) {
+            eprintln!("sempe-serve: signal received, draining");
+            handle.shutdown();
+            break;
+        }
+        if handle.is_shutting_down() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+
     server.join();
     println!("sempe-service stopped");
     ExitCode::SUCCESS

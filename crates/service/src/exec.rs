@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use sempe_compile::{analyze_taint, compile, parse_wir, ParsedProgram, WirProgram};
 use sempe_core::attack::{BranchProfileAttacker, TimingAttacker};
@@ -28,7 +29,7 @@ use sempe_core::json::Json;
 use sempe_core::trace::ObservationTrace;
 use sempe_core::{first_divergence, Strictness};
 use sempe_isa::{disasm, Addr, DecodeMode, Program};
-use sempe_sim::{Checkpoint, SecurityMode, SimConfig, SimResult, Simulator};
+use sempe_sim::{Checkpoint, SecurityMode, SimConfig, SimError, SimResult, Simulator};
 
 use crate::cache::CacheKey;
 use crate::protocol::{BackendSel, ErrorCode, Request, ServiceError};
@@ -61,10 +62,11 @@ impl Arena {
         prog: &Program,
         config: SimConfig,
         fuel: u64,
+        deadline: Option<Instant>,
     ) -> Result<SimResult, ServiceError> {
         let sim = Simulator::rebuild_or_new(&mut self.sim, prog, config)
             .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
-        sim.run(fuel).map_err(|e| ServiceError::new(ErrorCode::Sim, e.to_string()))
+        sim.run_with_deadline(fuel, deadline).map_err(sim_err)
     }
 
     /// The simulator after the last [`Arena::simulate`] (memory, trace).
@@ -170,6 +172,33 @@ impl ForkCache {
     }
 }
 
+/// Map a simulator error to the wire: a tripped host deadline becomes
+/// `E_DEADLINE` carrying the partial progress, everything else `E_SIM`.
+fn sim_err(e: SimError) -> ServiceError {
+    let message = e.to_string();
+    match e {
+        SimError::HostDeadline { cycle, committed } => {
+            ServiceError::new(ErrorCode::Deadline, message)
+                .with_partial(Json::obj().with("cycles", cycle).with("committed", committed))
+        }
+        _ => ServiceError::new(ErrorCode::Sim, message),
+    }
+}
+
+/// `E_DEADLINE` for a budget that expired between simulations (batch
+/// items, attack calibration runs).
+fn deadline_between(done: usize, total: usize, what: &str) -> ServiceError {
+    ServiceError::new(
+        ErrorCode::Deadline,
+        format!("deadline expired after {done} of {total} {what}"),
+    )
+    .with_partial(Json::obj().with("items_done", done))
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 const fn backend_disc(sel: BackendSel) -> u8 {
     match sel {
         BackendSel::Baseline => 0,
@@ -271,7 +300,7 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
                 params_digest: params.finish(),
             })
         }
-        Request::Stats | Request::Shutdown => None,
+        Request::Stats | Request::Health | Request::Shutdown => None,
     }
 }
 
@@ -280,20 +309,39 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
 ///
 /// # Errors
 ///
-/// [`ServiceError`] describing the failure; `stats`/`shutdown` requests
-/// are rejected here because they are served inline by the connection
-/// handler, never by a worker.
+/// [`ServiceError`] describing the failure; `stats`/`health`/`shutdown`
+/// requests are rejected here because they are served inline by the
+/// connection handler, never by a worker.
 pub fn execute(
     req: &Request,
     arena: &mut Arena,
     forks: &ForkCache,
 ) -> Result<String, ServiceError> {
+    execute_with_deadline(req, arena, forks, None)
+}
+
+/// [`execute`] under an optional host wall-clock deadline: the running
+/// simulation polls it and bails with [`ErrorCode::Deadline`] (carrying
+/// partial stats) instead of pinning the worker until the cycle budget
+/// runs dry.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_with_deadline(
+    req: &Request,
+    arena: &mut Arena,
+    forks: &ForkCache,
+    deadline: Option<Instant>,
+) -> Result<String, ServiceError> {
     let body = match req {
         Request::Compile { source, backend } => do_compile(source, *backend)?,
         Request::Run { source, backend, max_cycles } => {
-            do_run(source, *backend, *max_cycles, arena)?
+            do_run(source, *backend, *max_cycles, arena, deadline)?
         }
-        Request::Sweep { source, max_cycles } => do_sweep(source, *max_cycles, arena, forks)?,
+        Request::Sweep { source, max_cycles } => {
+            do_sweep(source, *max_cycles, arena, forks, deadline)?
+        }
         Request::Attack { source, mode, secret, secret_value, candidates, max_cycles } => {
             do_attack(
                 source,
@@ -304,12 +352,13 @@ pub fn execute(
                 *max_cycles,
                 arena,
                 forks,
+                deadline,
             )?
         }
         Request::Batch { source, backend, inputs, leak_check, max_cycles } => {
-            do_batch(source, *backend, inputs, *leak_check, *max_cycles, arena, forks)?
+            do_batch(source, *backend, inputs, *leak_check, *max_cycles, arena, forks, deadline)?
         }
-        Request::Stats | Request::Shutdown => {
+        Request::Stats | Request::Health | Request::Shutdown => {
             return Err(ServiceError::new(ErrorCode::Internal, "control request reached a worker"))
         }
     };
@@ -389,9 +438,10 @@ fn arena_run(
     sel: BackendSel,
     fuel: u64,
     arena: &mut Arena,
+    deadline: Option<Instant>,
 ) -> Result<RunData, ServiceError> {
     let cw = compile_sel(prog, sel)?;
-    let res = arena.simulate(cw.program(), sel.sim_config(), fuel)?;
+    let res = arena.simulate(cw.program(), sel.sim_config(), fuel, deadline)?;
     let stats = res.stats;
     Ok(RunData {
         cycles: res.cycles(),
@@ -414,12 +464,13 @@ fn forked_run(
     cw: &sempe_compile::CompiledWorkload,
     patches: &[(Addr, u64)],
     fuel: u64,
+    deadline: Option<Instant>,
 ) -> Result<RunData, ServiceError> {
     let sim = Simulator::restore_or_new(slot, cp);
     for &(addr, value) in patches {
         sim.mem_mut().write_u64(addr, value);
     }
-    let res = sim.run(fuel).map_err(|e| ServiceError::new(ErrorCode::Sim, e.to_string()))?;
+    let res = sim.run_with_deadline(fuel, deadline).map_err(sim_err)?;
     let stats = res.stats;
     Ok(RunData {
         cycles: res.cycles(),
@@ -437,9 +488,10 @@ fn do_run(
     sel: BackendSel,
     fuel: u64,
     arena: &mut Arena,
+    deadline: Option<Instant>,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
-    let data = arena_run(&parsed.program, sel, fuel, arena)?;
+    let data = arena_run(&parsed.program, sel, fuel, arena, deadline)?;
     let mut body = Json::obj().with("ok", true).with("type", "run").with("backend", sel.name());
     if let Json::Obj(run_members) = data.to_json() {
         if let Json::Obj(members) = &mut body {
@@ -457,6 +509,7 @@ fn do_sweep(
     fuel: u64,
     arena: &mut Arena,
     forks: &ForkCache,
+    deadline: Option<Instant>,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let prog = &parsed.program;
@@ -481,9 +534,9 @@ fn do_sweep(
     let Arena { sim, side } = arena;
     let [side_a, side_b] = side;
     let (baseline, sempe, cte) = std::thread::scope(|s| {
-        let sempe = s.spawn(|| forked_run(side_a, &sempe_cp, &sempe_cw, &[], fuel));
-        let cte = s.spawn(|| forked_run(side_b, &cte_cp, &cte_cw, &[], fuel));
-        let baseline = forked_run(sim, &base_cp, &base_cw, &[], fuel);
+        let sempe = s.spawn(|| forked_run(side_a, &sempe_cp, &sempe_cw, &[], fuel, deadline));
+        let cte = s.spawn(|| forked_run(side_b, &cte_cp, &cte_cw, &[], fuel, deadline));
+        let baseline = forked_run(sim, &base_cp, &base_cw, &[], fuel, deadline);
         (baseline, join(sempe), join(cte))
     });
     let (baseline, sempe, cte) = (baseline?, sempe?, cte?);
@@ -516,6 +569,7 @@ fn do_attack(
     fuel: u64,
     arena: &mut Arena,
     forks: &ForkCache,
+    deadline: Option<Instant>,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let vid = match secret {
@@ -544,13 +598,17 @@ fn do_attack(
     let cw = compile_sel(&parsed.program, sel)?;
     let secret_addr = cw.var_addr(vid);
     let cp = forks.get_or_build(cw.program(), config)?;
-    let run_with =
-        |value: u64, arena: &mut Arena| -> Result<(u64, ObservationTrace), ServiceError> {
-            let data = forked_run(&mut arena.sim, &cp, &cw, &[(secret_addr, value)], fuel)?;
-            Ok((data.cycles, arena.sim()?.trace().clone()))
-        };
+    let run_with = |value: u64,
+                    arena: &mut Arena|
+     -> Result<(u64, ObservationTrace), ServiceError> {
+        let data = forked_run(&mut arena.sim, &cp, &cw, &[(secret_addr, value)], fuel, deadline)?;
+        Ok((data.cycles, arena.sim()?.trace().clone()))
+    };
     let mut calib: Vec<(u64, u64, ObservationTrace)> = Vec::with_capacity(candidates.len());
-    for &c in candidates {
+    for (done, &c) in candidates.iter().enumerate() {
+        if expired(deadline) {
+            return Err(deadline_between(done, candidates.len(), "calibration runs"));
+        }
         let (cycles, trace) = run_with(c, arena)?;
         calib.push((c, cycles, trace));
     }
@@ -641,6 +699,7 @@ fn do_attack(
 /// Items run in request order; the response carries one result object
 /// per item (a stream in arrival order) plus, under `leak_check`, the
 /// per-pair leak verdicts.
+#[allow(clippy::too_many_arguments)] // request-field plumbing
 fn do_batch(
     source: &str,
     sel: BackendSel,
@@ -649,6 +708,7 @@ fn do_batch(
     fuel: u64,
     arena: &mut Arena,
     forks: &ForkCache,
+    deadline: Option<Instant>,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let cw = compile_sel(&parsed.program, sel)?;
@@ -676,7 +736,10 @@ fn do_batch(
     let mut all_clear = true;
     let mut pending_trace: Option<ObservationTrace> = None;
     for (idx, patches) in patched_inputs.iter().enumerate() {
-        let data = forked_run(&mut arena.sim, &cp, &cw, patches, fuel)?;
+        if expired(deadline) {
+            return Err(deadline_between(idx, inputs.len(), "batch items"));
+        }
+        let data = forked_run(&mut arena.sim, &cp, &cw, patches, fuel, deadline)?;
         if leak_check {
             let trace = arena.sim()?.trace().clone();
             match pending_trace.take() {
@@ -854,6 +917,56 @@ mod tests {
         let a = cache_key(&req((1 << 53) + 1)).unwrap();
         let b = cache_key(&req(1 << 53)).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expired_deadline_yields_e_deadline_with_partial_stats() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        // Long-running loop: the run-loop's deadline poll must trip long
+        // before the cycle budget is spent.
+        let source = r"
+            var i = 0;
+            while (i < 1000000) bound 1000001 { i = i + 1; }
+            output i;
+        ";
+        let req = Request::Run {
+            source: source.to_string(),
+            backend: BackendSel::Baseline,
+            max_cycles: 100_000_000,
+        };
+        let start = Instant::now();
+        let err =
+            execute_with_deadline(&req, &mut arena, &forks, Some(Instant::now())).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Deadline);
+        assert!(start.elapsed() < std::time::Duration::from_secs(30), "deadline must cut the run");
+        let partial = err.partial.expect("deadline errors carry partial progress");
+        assert!(partial.get("cycles").and_then(Json::as_u64).is_some());
+
+        // A batch whose budget is already gone fails between items, with
+        // the item count it managed.
+        let req = batch_req(BackendSel::Baseline, &[1, 2], false);
+        let err =
+            execute_with_deadline(&req, &mut arena, &forks, Some(Instant::now())).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Deadline);
+        assert_eq!(
+            err.partial.unwrap().get("items_done").and_then(Json::as_u64),
+            Some(0),
+            "nothing ran before the expired budget was noticed"
+        );
+
+        // A generous deadline changes nothing: byte-identical to no
+        // deadline at all (the cache invariant).
+        let req = Request::Run {
+            source: MODEXP.to_string(),
+            backend: BackendSel::Baseline,
+            max_cycles: 50_000_000,
+        };
+        let relaxed = Instant::now() + std::time::Duration::from_secs(600);
+        assert_eq!(
+            execute_with_deadline(&req, &mut arena, &forks, Some(relaxed)).unwrap(),
+            execute(&req, &mut arena, &forks).unwrap()
+        );
     }
 
     #[test]

@@ -45,11 +45,13 @@
 
 pub mod cache;
 pub mod exec;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod sync;
 
 pub use cache::{CacheKey, ResultCache};
-pub use exec::{cache_key, execute, Arena, ForkCache};
-pub use protocol::{BackendSel, ErrorCode, Request, ServiceError};
-pub use server::{Server, ServiceConfig};
+pub use exec::{cache_key, execute, execute_with_deadline, Arena, ForkCache};
+pub use fault::{FaultInjector, FaultPlan, FaultSite};
+pub use protocol::{BackendSel, Envelope, ErrorCode, Request, ServiceError};
+pub use server::{Server, ServerHandle, ServiceConfig};

@@ -25,6 +25,10 @@ pub const MAX_BATCH_ITEMS: usize = 128;
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
 /// Hard cap on requested simulation fuel.
 pub const MAX_MAX_CYCLES: u64 = 2_000_000_000;
+/// Hard cap on a request's `deadline_ms` (10 minutes).
+pub const MAX_DEADLINE_MS: u64 = 600_000;
+/// Hard cap on a request's client-chosen `id` (encoded bytes).
+pub const MAX_ID_BYTES: usize = 128;
 
 /// Machine-readable error codes (the `"code"` member of error responses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +43,8 @@ pub enum ErrorCode {
     Compile,
     /// Simulation failed (fault, watchdog, fuel exhausted).
     Sim,
+    /// The request's `deadline_ms` expired before the job finished.
+    Deadline,
     /// The job queue is full — retry later (backpressure).
     Busy,
     /// The server is shutting down.
@@ -57,6 +63,7 @@ impl ErrorCode {
             ErrorCode::Wir => "E_WIR",
             ErrorCode::Compile => "E_COMPILE",
             ErrorCode::Sim => "E_SIM",
+            ErrorCode::Deadline => "E_DEADLINE",
             ErrorCode::Busy => "E_BUSY",
             ErrorCode::Shutdown => "E_SHUTDOWN",
             ErrorCode::Internal => "E_INTERNAL",
@@ -65,28 +72,42 @@ impl ErrorCode {
 }
 
 /// A request-level failure, rendered as an `{"ok":false,...}` line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Deadline errors carry the partial progress made before the budget
+/// expired under `"partial"`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceError {
     /// Machine-readable code.
     pub code: ErrorCode,
     /// Human-readable message.
     pub message: String,
+    /// Partial progress at the point of failure (`E_DEADLINE` only).
+    pub partial: Option<Json>,
 }
 
 impl ServiceError {
     /// Build an error.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        ServiceError { code, message: message.into() }
+        ServiceError { code, message: message.into(), partial: None }
+    }
+
+    /// Attach partial progress (rendered as the `"partial"` member).
+    #[must_use]
+    pub fn with_partial(mut self, partial: Json) -> Self {
+        self.partial = Some(partial);
+        self
     }
 
     /// Serialize as a response line (without trailing newline).
     #[must_use]
     pub fn to_json(&self) -> String {
-        Json::obj()
+        let mut j = Json::obj()
             .with("ok", false)
             .with("code", self.code.as_str())
-            .with("error", self.message.as_str())
-            .encode()
+            .with("error", self.message.as_str());
+        if let Some(p) = &self.partial {
+            j.set("partial", p.clone());
+        }
+        j.encode()
     }
 }
 
@@ -225,6 +246,9 @@ pub enum Request {
     },
     /// Server health: queue depth, cache hit rate, worker utilization.
     Stats,
+    /// Readiness/liveness probe: queue pressure, worker pool state,
+    /// restart and fault-injection counters. Served inline, never queued.
+    Health,
     /// Stop accepting connections and exit cleanly.
     Shutdown,
 }
@@ -233,7 +257,14 @@ impl Request {
     /// Does this request go through the job queue (and the result cache)?
     #[must_use]
     pub fn is_compute(&self) -> bool {
-        !matches!(self, Request::Stats | Request::Shutdown)
+        !matches!(self, Request::Stats | Request::Health | Request::Shutdown)
+    }
+
+    /// Is this a heavy fan-out request (`batch`/`sweep`) — the first to
+    /// be shed under queue pressure?
+    #[must_use]
+    pub fn is_heavy(&self) -> bool {
+        matches!(self, Request::Batch { .. } | Request::Sweep { .. })
     }
 
     /// Parse one request line.
@@ -248,20 +279,29 @@ impl Request {
         if !matches!(v, Json::Obj(_)) {
             return Err(ServiceError::new(ErrorCode::Parse, "request must be a JSON object"));
         }
-        let ty = require_str(&v, "type")?;
+        Request::from_json(&v)
+    }
+
+    /// Parse an already-decoded request object (sans envelope members).
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::parse`].
+    pub fn from_json(v: &Json) -> Result<Request, ServiceError> {
+        let ty = require_str(v, "type")?;
         match ty {
             "compile" => Ok(Request::Compile {
-                source: take_source(&v)?,
-                backend: opt_backend(&v)?.unwrap_or(BackendSel::Sempe),
+                source: take_source(v)?,
+                backend: opt_backend(v)?.unwrap_or(BackendSel::Sempe),
             }),
             "run" => Ok(Request::Run {
-                source: take_source(&v)?,
-                backend: opt_backend(&v)?.unwrap_or(BackendSel::Sempe),
-                max_cycles: opt_fuel(&v)?,
+                source: take_source(v)?,
+                backend: opt_backend(v)?.unwrap_or(BackendSel::Sempe),
+                max_cycles: opt_fuel(v)?,
             }),
-            "sweep" => Ok(Request::Sweep { source: take_source(&v)?, max_cycles: opt_fuel(&v)? }),
+            "sweep" => Ok(Request::Sweep { source: take_source(v)?, max_cycles: opt_fuel(v)? }),
             "attack" => {
-                let mode = match opt_str(&v, "mode")? {
+                let mode = match opt_str(v, "mode")? {
                     None | Some("baseline") => SecurityMode::Baseline,
                     Some("sempe") => SecurityMode::Sempe,
                     Some(other) => {
@@ -276,12 +316,12 @@ impl Request {
                     Some(c) => parse_candidates(c)?,
                 };
                 Ok(Request::Attack {
-                    source: take_source(&v)?,
+                    source: take_source(v)?,
                     mode,
-                    secret: opt_str(&v, "secret")?.map(str::to_string),
-                    secret_value: opt_u64(&v, "secret_value")?,
+                    secret: opt_str(v, "secret")?.map(str::to_string),
+                    secret_value: opt_u64(v, "secret_value")?,
                     candidates,
-                    max_cycles: opt_fuel(&v)?,
+                    max_cycles: opt_fuel(v)?,
                 })
             }
             "batch" => {
@@ -311,22 +351,116 @@ impl Request {
                     ));
                 }
                 Ok(Request::Batch {
-                    source: take_source(&v)?,
-                    backend: opt_backend(&v)?.unwrap_or(BackendSel::Sempe),
+                    source: take_source(v)?,
+                    backend: opt_backend(v)?.unwrap_or(BackendSel::Sempe),
                     inputs,
                     leak_check,
-                    max_cycles: opt_fuel(&v)?,
+                    max_cycles: opt_fuel(v)?,
                 })
             }
             "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::new(
                 ErrorCode::BadRequest,
                 format!(
                     "unknown request type `{other}` \
-                     (expected compile|run|sweep|attack|batch|stats|shutdown)"
+                     (expected compile|run|sweep|attack|batch|stats|health|shutdown)"
                 ),
             )),
+        }
+    }
+}
+
+/// One request line with its envelope members peeled off: the optional
+/// client-chosen `id` (echoed back verbatim as the first member of the
+/// response) and the optional `deadline_ms` budget.
+///
+/// `req` is itself a `Result` so that a semantically invalid body still
+/// yields the envelope — the error response must echo the `id` the
+/// client sent, and a bad `deadline_ms` must not hide a known id.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// The client's request id, already encoded as a JSON scalar
+    /// (`"abc"` or `42`), ready for splicing into the response line.
+    pub id: Option<String>,
+    /// Wall-clock budget for the whole request, milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The request body, or the structured error to answer with.
+    pub req: Result<Request, ServiceError>,
+}
+
+impl Envelope {
+    /// Parse one request line, separating envelope members from the
+    /// request body.
+    ///
+    /// # Errors
+    ///
+    /// Only for failures that leave no trustworthy envelope: malformed
+    /// JSON ([`ErrorCode::Parse`]) or an invalid `id` member. Every
+    /// later problem (bad `deadline_ms`, bad body) is reported through
+    /// `req` so the caller can still echo the id.
+    pub fn parse(line: &str) -> Result<Envelope, ServiceError> {
+        let v = json::parse(line)
+            .map_err(|e| ServiceError::new(ErrorCode::Parse, format!("invalid JSON: {e}")))?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(ServiceError::new(ErrorCode::Parse, "request must be a JSON object"));
+        }
+        let id = parse_id(&v)?;
+        let deadline_ms = match parse_deadline(&v) {
+            Ok(d) => d,
+            Err(e) => return Ok(Envelope { id, deadline_ms: None, req: Err(e) }),
+        };
+        let req = Request::from_json(&v);
+        Ok(Envelope { id, deadline_ms, req })
+    }
+}
+
+/// Extract and re-encode the optional `id` member (string or
+/// non-negative integer).
+fn parse_id(v: &Json) -> Result<Option<String>, ServiceError> {
+    match v.get("id") {
+        None | Some(Json::Null) => Ok(None),
+        Some(id @ (Json::Str(_) | Json::U64(_))) => {
+            let encoded = id.encode();
+            if encoded.len() > MAX_ID_BYTES {
+                return Err(ServiceError::new(
+                    ErrorCode::BadRequest,
+                    format!("`id` exceeds {MAX_ID_BYTES} encoded bytes"),
+                ));
+            }
+            Ok(Some(encoded))
+        }
+        Some(_) => Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            "member `id` must be a string or a non-negative integer",
+        )),
+    }
+}
+
+fn parse_deadline(v: &Json) -> Result<Option<u64>, ServiceError> {
+    match opt_u64(v, "deadline_ms")? {
+        None => Ok(None),
+        Some(ms) if (1..=MAX_DEADLINE_MS).contains(&ms) => Ok(Some(ms)),
+        Some(ms) => Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("deadline_ms {ms} outside 1..={MAX_DEADLINE_MS}"),
+        )),
+    }
+}
+
+/// Splice an encoded envelope id into a finished response line:
+/// `{"ok":...}` becomes `{"id":<id>,"ok":...}`. Cached response bodies
+/// stay id-free (byte-identical across clients); the id is attached at
+/// write time per request.
+#[must_use]
+pub fn with_id(body: &str, id: Option<&str>) -> String {
+    match id {
+        None => body.to_string(),
+        Some(id) => {
+            debug_assert!(body.starts_with('{'), "response lines are JSON objects");
+            let rest = body.strip_prefix('{').unwrap_or(body);
+            format!("{{\"id\":{id},{rest}")
         }
     }
 }
@@ -469,7 +603,65 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         assert_eq!(Request::parse(r#"{"type":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(Request::parse(r#"{"type":"health"}"#), Ok(Request::Health));
         assert_eq!(Request::parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn envelope_peels_id_and_deadline() {
+        let e = Envelope::parse(r#"{"type":"stats","id":"req-1","deadline_ms":250}"#).unwrap();
+        assert_eq!(e.id.as_deref(), Some("\"req-1\""));
+        assert_eq!(e.deadline_ms, Some(250));
+        assert_eq!(e.req, Ok(Request::Stats));
+
+        let e = Envelope::parse(r#"{"type":"stats","id":42}"#).unwrap();
+        assert_eq!(e.id.as_deref(), Some("42"), "integer ids re-encode as digits");
+
+        let e = Envelope::parse(r#"{"type":"stats"}"#).unwrap();
+        assert_eq!(e.id, None);
+        assert_eq!(e.deadline_ms, None);
+    }
+
+    #[test]
+    fn envelope_reports_body_errors_with_the_id_intact() {
+        // Unknown op with deadline_ms set: the satellite case — must be
+        // a structured error that still knows the envelope.
+        let e = Envelope::parse(r#"{"type":"warp","id":"x","deadline_ms":5}"#).unwrap();
+        assert_eq!(e.id.as_deref(), Some("\"x\""));
+        assert_eq!(e.req.unwrap_err().code, ErrorCode::BadRequest);
+
+        // Bad deadline: id survives, error lands in the body slot.
+        let e = Envelope::parse(r#"{"type":"stats","id":"y","deadline_ms":0}"#).unwrap();
+        assert_eq!(e.id.as_deref(), Some("\"y\""));
+        assert_eq!(e.req.unwrap_err().code, ErrorCode::BadRequest);
+        let e = Envelope::parse(r#"{"type":"stats","deadline_ms":999999999}"#).unwrap();
+        assert_eq!(e.req.unwrap_err().code, ErrorCode::BadRequest);
+
+        // Unusable envelopes are hard errors.
+        assert_eq!(Envelope::parse("junk").unwrap_err().code, ErrorCode::Parse);
+        assert_eq!(
+            Envelope::parse(r#"{"type":"stats","id":[1]}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        let long = format!(r#"{{"type":"stats","id":"{}"}}"#, "a".repeat(MAX_ID_BYTES + 1));
+        assert_eq!(Envelope::parse(&long).unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn with_id_splices_the_first_member() {
+        assert_eq!(with_id(r#"{"ok":true}"#, None), r#"{"ok":true}"#);
+        assert_eq!(with_id(r#"{"ok":true}"#, Some("\"r1\"")), r#"{"id":"r1","ok":true}"#);
+        assert_eq!(with_id(r#"{"ok":true}"#, Some("7")), r#"{"id":7,"ok":true}"#);
+    }
+
+    #[test]
+    fn deadline_errors_carry_partial_progress() {
+        let e = ServiceError::new(ErrorCode::Deadline, "deadline expired")
+            .with_partial(Json::obj().with("cycles", 123_u64).with("committed", 45_u64));
+        assert_eq!(
+            e.to_json(),
+            r#"{"ok":false,"code":"E_DEADLINE","error":"deadline expired","partial":{"cycles":123,"committed":45}}"#
+        );
     }
 
     #[test]

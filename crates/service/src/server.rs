@@ -1,33 +1,67 @@
 //! The evaluation daemon: TCP accept loop, bounded job queue with
-//! explicit backpressure, and a worker pool of simulation arenas.
+//! explicit backpressure, and a supervised worker pool of simulation
+//! arenas.
 //!
 //! ```text
 //!            conn threads (1/connection)          worker threads (N)
 //! accept ──► read line ─► parse ──► bounded ───► cache lookup ─► Arena
 //!            ▲                      job queue        │  hit        │
-//!            │        stats/shutdown served          ▼             ▼
-//!            └── TCP   inline (never queued)     reply channel ◄───┘
+//!            │   stats/health/shutdown served        ▼             ▼
+//!            └── TCP  inline (never queued)      reply channel ◄───┘
+//!                                                     ▲
+//!                                     supervisor ─────┘ (respawns
+//!                                      crashed workers, backoff)
 //! ```
 //!
-//! Backpressure is explicit: when the queue is full the client gets an
-//! immediate `E_BUSY` error instead of unbounded buffering. Shutdown is
-//! cooperative and clean: in-flight and queued jobs finish, workers and
-//! connection threads are joined, and `Server::join` returns.
+//! Robustness posture (see `docs/robustness.md`):
+//!
+//! * **Backpressure** is explicit: a full queue answers `E_BUSY`
+//!   immediately, and `batch`/`sweep` are shed first once the queue
+//!   crosses its high-water mark.
+//! * **Deadlines**: a request's `deadline_ms` rides into the simulator
+//!   run loop; a wedged simulation answers `E_DEADLINE` with partial
+//!   stats instead of pinning a worker.
+//! * **Supervision**: worker threads that die (panic escaping the
+//!   per-job guard) are respawned with exponential backoff under a
+//!   bounded restart budget; their poisoned arenas are quarantined.
+//! * **Slow-loris defense**: connection reads poll with a timeout so
+//!   idle connections reap themselves and half-written frames expire.
+//! * **Graceful drain**: shutdown stops accepting, lets queued and
+//!   in-flight jobs finish, gives connection handlers a drain window to
+//!   flush their final responses, and only then force-closes stragglers.
+//! * **Fault injection**: every failure path above is exercisable
+//!   deterministically through [`FaultPlan`] (`sempe-serve
+//!   --fault-plan`), so the chaos suite tests the real code paths.
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use sempe_core::json::Json;
 
 use crate::cache::ResultCache;
 use crate::exec::{self, Arena, ForkCache};
-use crate::protocol::{ErrorCode, Request, ServiceError, MAX_REQUEST_BYTES};
+use crate::fault::{FaultInjector, FaultPlan, FaultSite};
+use crate::protocol::{with_id, Envelope, ErrorCode, Request, ServiceError, MAX_REQUEST_BYTES};
 use crate::sync;
+
+/// How often blocked connection reads wake up to check timeouts and the
+/// drain flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How often a connection waiting on a worker reply re-checks its
+/// deadline and the worker pool's pulse.
+const REPLY_POLL: Duration = Duration::from_millis(50);
+/// Grace allowed past a request's deadline for a job still sitting in
+/// the queue before the connection answers `E_DEADLINE` itself.
+const QUEUED_DEADLINE_GRACE: Duration = Duration::from_millis(100);
+/// Ceiling on one supervisor backoff pause.
+const MAX_BACKOFF_MS: u64 = 2_000;
+/// Per-connection window of remembered request ids (reuse detection).
+const ID_WINDOW: usize = 1024;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -43,6 +77,25 @@ pub struct ServiceConfig {
     /// Fork-server checkpoint store capacity, in checkpoints shared
     /// across the worker pool (one per program × machine configuration).
     pub fork_capacity: usize,
+    /// Close a connection that sends nothing for this long (idle reaper;
+    /// 0 disables).
+    pub idle_timeout_ms: u64,
+    /// Abort a request frame (and the write of a response) stalled
+    /// mid-transfer for this long (0 disables).
+    pub frame_timeout_ms: u64,
+    /// On shutdown, how long connection handlers get to flush their
+    /// final responses before their sockets are force-closed.
+    pub drain_timeout_ms: u64,
+    /// Queue depth at which `batch`/`sweep` requests are shed with
+    /// `E_BUSY`; 0 means ¾ of `queue_capacity`.
+    pub shed_highwater: usize,
+    /// Total worker respawns the supervisor will perform before letting
+    /// the pool shrink for good.
+    pub restart_budget: u64,
+    /// Base of the supervisor's exponential respawn backoff.
+    pub backoff_base_ms: u64,
+    /// Deterministic fault injection (`None` in production).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -53,14 +106,22 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             fork_capacity: 32,
+            idle_timeout_ms: 30_000,
+            frame_timeout_ms: 10_000,
+            drain_timeout_ms: 5_000,
+            shed_highwater: 0,
+            restart_budget: 32,
+            backoff_base_ms: 25,
+            fault_plan: None,
         }
     }
 }
 
-/// One queued compute job: the parsed request plus the channel its
-/// response (or error) travels back on.
+/// One queued compute job: the parsed request, its deadline, and the
+/// channel its response (or error) travels back on.
 struct Job {
     request: Request,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Arc<str>, ServiceError>>,
 }
 
@@ -118,25 +179,48 @@ impl JobQueue {
         self.ready.notify_all();
     }
 
+    fn is_closed(&self) -> bool {
+        sync::lock(&self.inner).1
+    }
+
     fn depth(&self) -> usize {
         sync::lock(&self.inner).0.len()
     }
 }
 
-/// State shared by the accept loop, connection threads, and workers.
+/// State shared by the accept loop, connection threads, workers, and
+/// the supervisor.
 struct Shared {
     queue: JobQueue,
     cache: ResultCache,
     /// Fork-server checkpoints, shared by every worker.
     forks: ForkCache,
+    injector: FaultInjector,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     workers: usize,
+    shed_highwater: usize,
+    idle_timeout: Duration,
+    frame_timeout: Duration,
+    drain_timeout: Duration,
+    restart_budget: u64,
+    backoff_base_ms: u64,
+    alive_workers: AtomicUsize,
     busy_workers: AtomicUsize,
+    restarts: AtomicU64,
+    /// The supervisor declined a respawn (budget spent or spawn failed):
+    /// the pool will never grow again.
+    pool_exhausted: AtomicBool,
+    arenas_quarantined: AtomicU64,
+    deadlines_expired: AtomicU64,
+    shed: AtomicU64,
     jobs_served: AtomicU64,
     rejected: AtomicU64,
     connections: AtomicU64,
     started: Instant,
+    /// Worker join handles — the initial pool plus every supervisor
+    /// respawn; drained by [`Server::join`].
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
     /// Write halves of the *live* connections, keyed by connection id;
     /// each handler removes its own entry on exit so the registry stays
     /// bounded by the number of open connections, not total served.
@@ -178,12 +262,57 @@ impl Shared {
             .encode()
     }
 
+    /// The `health` op: readiness/liveness, queue pressure, worker-pool
+    /// state (including supervisor restarts), and fault counters.
+    fn health_line(&self) -> String {
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        Json::obj()
+            .with("ok", true)
+            .with("type", "health")
+            .with("ready", !draining && !self.pool_dead())
+            .with("live", true)
+            .with("draining", draining)
+            .with(
+                "queue",
+                Json::obj()
+                    .with("depth", self.queue.depth())
+                    .with("capacity", self.queue.capacity)
+                    .with("highwater", self.shed_highwater)
+                    .with("shed", self.shed.load(Ordering::Relaxed)),
+            )
+            .with(
+                "workers",
+                Json::obj()
+                    .with("configured", self.workers)
+                    .with("alive", self.alive_workers.load(Ordering::SeqCst))
+                    .with("busy", self.busy_workers.load(Ordering::Relaxed))
+                    .with("restarts", self.restarts.load(Ordering::SeqCst))
+                    .with("restart_budget", self.restart_budget)
+                    .with("quarantined_arenas", self.arenas_quarantined.load(Ordering::Relaxed)),
+            )
+            .with("deadlines_expired", self.deadlines_expired.load(Ordering::Relaxed))
+            .with("faults", self.injector.to_json())
+            .encode()
+    }
+
+    /// No worker is alive and the supervisor will not bring one back —
+    /// queued jobs would wait forever, so connections must fail them.
+    fn pool_dead(&self) -> bool {
+        self.alive_workers.load(Ordering::SeqCst) == 0 && self.pool_exhausted.load(Ordering::SeqCst)
+    }
+
     /// Flip the shutdown flag and nudge the accept loop awake with a
     /// throwaway connection.
     fn initiate_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
             let _ = TcpStream::connect(self.local_addr);
         }
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("local_addr", &self.local_addr).finish_non_exhaustive()
     }
 }
 
@@ -196,18 +325,33 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    supervisor_handle: Option<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
-impl std::fmt::Debug for Shared {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").field("local_addr", &self.local_addr).finish_non_exhaustive()
+/// A cloneable shutdown handle — what a signal-watcher thread holds,
+/// since [`Server::join`] consumes the server itself.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Initiate a clean shutdown (idempotent; does not block).
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Has a drain been initiated?
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 }
 
 impl Server {
-    /// Bind, spawn the worker pool and accept loop, and return.
+    /// Bind, spawn the worker pool, its supervisor, and the accept
+    /// loop, and return.
     ///
     /// # Errors
     ///
@@ -220,18 +364,45 @@ impl Server {
         } else {
             config.workers
         };
+        let queue_capacity = config.queue_capacity.max(1);
+        let shed_highwater = if config.shed_highwater == 0 {
+            (queue_capacity * 3 / 4).max(1)
+        } else {
+            config.shed_highwater.min(queue_capacity)
+        };
+        let duration_or_forever = |ms: u64| {
+            if ms == 0 {
+                Duration::from_secs(u64::from(u32::MAX))
+            } else {
+                Duration::from_millis(ms)
+            }
+        };
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(config.queue_capacity.max(1)),
+            queue: JobQueue::new(queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
             forks: ForkCache::new(config.fork_capacity),
+            injector: FaultInjector::new(config.fault_plan.clone().unwrap_or_default()),
             shutdown: AtomicBool::new(false),
             local_addr,
             workers,
+            shed_highwater,
+            idle_timeout: duration_or_forever(config.idle_timeout_ms),
+            frame_timeout: duration_or_forever(config.frame_timeout_ms),
+            drain_timeout: Duration::from_millis(config.drain_timeout_ms),
+            restart_budget: config.restart_budget,
+            backoff_base_ms: config.backoff_base_ms.max(1),
+            alive_workers: AtomicUsize::new(0),
             busy_workers: AtomicUsize::new(0),
+            restarts: AtomicU64::new(0),
+            pool_exhausted: AtomicBool::new(false),
+            arenas_quarantined: AtomicU64::new(0),
+            deadlines_expired: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             jobs_served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             started: Instant::now(),
+            worker_handles: Mutex::new(Vec::with_capacity(workers)),
             conn_streams: Mutex::new(HashMap::new()),
         });
 
@@ -241,24 +412,31 @@ impl Server {
         // and joined, or every failed `start` attempt would leak parked
         // threads (plus the Shared state pinning them) for the process
         // lifetime.
-        let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
-        let abort = |e: std::io::Error, handles: Vec<JoinHandle<()>>| {
+        let abort = |e: std::io::Error, shared: &Arc<Shared>| {
             shared.queue.close();
-            for h in handles {
+            for h in sync::lock(&shared.worker_handles).drain(..) {
                 let _ = h.join();
             }
             e
         };
+        let (panic_tx, panic_rx) = mpsc::channel::<usize>();
         for i in 0..workers {
-            let shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
-                .name(format!("sempe-worker-{i}"))
-                .spawn(move || worker_loop(&shared));
-            match spawned {
-                Ok(h) => worker_handles.push(h),
-                Err(e) => return Err(abort(e, worker_handles)),
+            match spawn_worker(&shared, i, &panic_tx) {
+                Ok(h) => sync::lock(&shared.worker_handles).push(h),
+                Err(e) => return Err(abort(e, &shared)),
             }
         }
+
+        let supervisor_handle = {
+            let shared_sup = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name("sempe-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shared_sup, &panic_rx, &panic_tx));
+            match spawned {
+                Ok(h) => h,
+                Err(e) => return Err(abort(e, &shared)),
+            }
+        };
 
         let conn_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
@@ -269,11 +447,20 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared_accept, &conn_handles));
             match spawned {
                 Ok(h) => h,
-                Err(e) => return Err(abort(e, worker_handles)),
+                Err(e) => {
+                    let e = abort(e, &shared);
+                    let _ = supervisor_handle.join();
+                    return Err(e);
+                }
             }
         };
 
-        Ok(Server { shared, accept_handle: Some(accept_handle), worker_handles, conn_handles })
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            supervisor_handle: Some(supervisor_handle),
+            conn_handles,
+        })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -282,24 +469,62 @@ impl Server {
         self.shared.local_addr
     }
 
+    /// A cloneable shutdown handle (for signal watchers).
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
     /// Initiate a clean shutdown (idempotent; does not block).
     pub fn shutdown(&self) {
         self.shared.initiate_shutdown();
     }
 
-    /// Block until the daemon has fully stopped: accept loop exited,
-    /// every accepted job served, workers and connection threads joined.
-    pub fn join(mut self) {
-        if let Some(h) = self.accept_handle.take() {
+    /// Block until the daemon has fully stopped — the two-phase drain:
+    ///
+    /// 1. The accept loop exits (no new connections), the queue closes
+    ///    (no new jobs), workers finish every accepted job and exit, the
+    ///    supervisor stands down.
+    /// 2. Connection handlers — whose blocked reads poll the drain flag
+    ///    — flush their final responses and exit on their own. Only
+    ///    handlers still alive after `drain_timeout_ms` get their
+    ///    sockets force-closed; a handler mid-write is never cut off
+    ///    before the window expires, so finished responses are not
+    ///    truncated on the wire.
+    pub fn join(self) {
+        if let Some(h) = self.accept_handle {
             let _ = h.join();
         }
         // No new jobs can arrive from new connections now; close the
         // queue so workers drain what was accepted and exit.
         self.shared.queue.close();
-        for h in self.worker_handles.drain(..) {
+        // Workers may still be respawned mid-drain bookkeeping; keep
+        // draining the handle list until it stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                sync::lock(&self.shared.worker_handles).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.supervisor_handle {
             let _ = h.join();
         }
-        // Unblock connection threads parked in read_line, then join them.
+        // Phase 2: the drain window. Handlers notice the flag at their
+        // next read poll, write any response they still owe, deregister
+        // their stream, and exit.
+        let drain_deadline = Instant::now() + self.shared.drain_timeout;
+        loop {
+            sync::lock(&self.conn_handles).retain(|h| !h.is_finished());
+            if sync::lock(&self.conn_handles).is_empty() || Instant::now() >= drain_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Stragglers only: unblock whatever is left, then join everyone.
         for (_, stream) in sync::lock(&self.shared.conn_streams).drain() {
             let _ = stream.shutdown(Shutdown::Both);
         }
@@ -330,10 +555,17 @@ fn accept_loop(
                 // Typically EMFILE/ENFILE under fd pressure: back off
                 // instead of spinning, and let closing connections
                 // release descriptors.
-                std::thread::sleep(std::time::Duration::from_millis(20));
+                std::thread::sleep(Duration::from_millis(20));
                 continue;
             }
         };
+        if shared.injector.fire(FaultSite::AcceptDrop) {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        // Blocked reads poll so handlers can notice timeouts and drain.
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(shared.frame_timeout));
         let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
             sync::lock(&shared.conn_streams).insert(conn_id, clone);
@@ -358,18 +590,94 @@ fn accept_loop(
     }
 }
 
+/// Spawn one worker thread. The thread keeps `alive_workers` honest and
+/// reports its own death (a panic escaping [`worker_loop`]) to the
+/// supervisor.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    idx: usize,
+    panic_tx: &mpsc::Sender<usize>,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let panic_tx = panic_tx.clone();
+    std::thread::Builder::new().name(format!("sempe-worker-{idx}")).spawn(move || {
+        shared.alive_workers.fetch_add(1, Ordering::SeqCst);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(&shared)));
+        shared.alive_workers.fetch_sub(1, Ordering::SeqCst);
+        if caught.is_err() {
+            // The supervisor decides whether to respawn; if it is
+            // already gone (drain), the send just fails.
+            let _ = panic_tx.send(idx);
+        }
+    })
+}
+
+/// The supervisor: respawns crashed workers with exponential backoff,
+/// bounded by the restart budget. Stands down once the queue is closed
+/// and the pool has fully exited.
+fn supervisor_loop(
+    shared: &Arc<Shared>,
+    panic_rx: &mpsc::Receiver<usize>,
+    panic_tx: &mpsc::Sender<usize>,
+) {
+    loop {
+        match panic_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(idx) => {
+                if shared.queue.is_closed() {
+                    continue; // draining: the pool is winding down anyway
+                }
+                let nth = shared.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+                if nth > shared.restart_budget {
+                    shared.restarts.fetch_sub(1, Ordering::SeqCst);
+                    shared.pool_exhausted.store(true, Ordering::SeqCst);
+                    continue;
+                }
+                // Exponential backoff, capped, interruptible by drain.
+                #[allow(clippy::cast_possible_truncation)] // min() bounds the shift
+                let backoff = shared
+                    .backoff_base_ms
+                    .saturating_mul(1 << (nth - 1).min(6) as u32)
+                    .min(MAX_BACKOFF_MS);
+                let until = Instant::now() + Duration::from_millis(backoff);
+                while Instant::now() < until && !shared.queue.is_closed() {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if shared.queue.is_closed() {
+                    continue;
+                }
+                match spawn_worker(shared, idx, panic_tx) {
+                    Ok(h) => sync::lock(&shared.worker_handles).push(h),
+                    Err(_) => shared.pool_exhausted.store(true, Ordering::SeqCst),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.queue.is_closed() && shared.alive_workers.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
 /// Execute one job, converting a panic anywhere in the compile/simulate
 /// stack into an `E_INTERNAL` error instead of killing the worker
 /// thread: a single poisoned request must not shrink the pool until the
 /// daemon wedges. The arena is rebuilt after a panic — it may have been
 /// left mid-update.
+///
+/// Injected checkpoint panics deliberately fire *outside* this guard
+/// (in [`worker_loop`]) — they model worker-thread death and must reach
+/// the supervisor.
 fn execute_guarded(
     request: &Request,
     arena: &mut Arena,
     forks: &ForkCache,
+    deadline: Option<Instant>,
 ) -> Result<String, ServiceError> {
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        exec::execute(request, arena, forks)
+        exec::execute_with_deadline(request, arena, forks, deadline)
     }));
     match caught {
         Ok(result) => result,
@@ -388,143 +696,393 @@ fn execute_guarded(
 fn worker_loop(shared: &Arc<Shared>) {
     let mut arena = Arena::new();
     while let Some(job) = shared.queue.pop() {
+        // A job whose budget died in the queue is answered, not run.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+            shared.jobs_served.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServiceError::new(
+                ErrorCode::Deadline,
+                "deadline expired while the job was queued",
+            )));
+            continue;
+        }
+        // Fault checkpoints: both panics escape into `spawn_worker`'s
+        // top-level guard, killing this thread — the job's reply sender
+        // drops, the connection answers with a retryable error, and the
+        // supervisor respawns the worker.
+        shared.injector.checkpoint_panic(FaultSite::PanicPre);
+        if shared.injector.wedge(job.deadline) {
+            shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+            shared.jobs_served.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServiceError::new(
+                ErrorCode::Deadline,
+                "deadline expired in a wedged simulation",
+            )));
+            continue;
+        }
         shared.busy_workers.fetch_add(1, Ordering::Relaxed);
         let result = match exec::cache_key(&job.request) {
             Some(key) => match shared.cache.get(&key) {
                 Some(hit) => Ok(hit),
-                None => execute_guarded(&job.request, &mut arena, &shared.forks).map(|body| {
-                    let body: Arc<str> = Arc::from(body.as_str());
-                    shared.cache.insert(key, Arc::clone(&body));
-                    body
-                }),
+                None => execute_guarded(&job.request, &mut arena, &shared.forks, job.deadline).map(
+                    |body| {
+                        let body: Arc<str> = Arc::from(body.as_str());
+                        // An injected insert failure must only lose the
+                        // caching, never the response.
+                        if !shared.injector.fire(FaultSite::CacheFail) {
+                            shared.cache.insert(key, Arc::clone(&body));
+                        }
+                        body
+                    },
+                ),
             },
-            None => execute_guarded(&job.request, &mut arena, &shared.forks)
+            None => execute_guarded(&job.request, &mut arena, &shared.forks, job.deadline)
                 .map(|b| Arc::from(b.as_str())),
         };
-        shared.jobs_served.fetch_add(1, Ordering::Relaxed);
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        shared.jobs_served.fetch_add(1, Ordering::Relaxed);
+        if matches!(&result, Err(e) if e.code == ErrorCode::Deadline) {
+            shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.injector.checkpoint_panic(FaultSite::PanicPost);
+        if shared.injector.fire(FaultSite::ArenaCorrupt) {
+            // Simulated arena corruption: quarantine (drop) the arena and
+            // start the next job from a fresh one.
+            arena = Arena::new();
+            shared.arenas_quarantined.fetch_add(1, Ordering::Relaxed);
+        }
         // A vanished client is not a worker error.
         let _ = job.reply.send(result);
     }
 }
 
-/// Discard the unread remainder of an over-long request line so the
-/// connection can keep serving subsequent requests. Returns `false`
-/// when the line never ends within the drain budget (or the peer hung
-/// up) — the caller should drop the connection then.
-fn drain_oversized_line(reader: &mut BufReader<std::io::Take<TcpStream>>) -> bool {
-    /// How much garbage we are willing to discard for one bad request
-    /// before concluding the peer is hostile and hanging up.
-    const DRAIN_BUDGET: u64 = 16 * 1024 * 1024;
-    const CHUNK: u64 = 64 * 1024;
-    let mut discard = Vec::new();
-    let mut drained = 0u64;
-    while drained <= DRAIN_BUDGET {
-        discard.clear();
-        reader.get_mut().set_limit(CHUNK);
-        match reader.read_until(b'\n', &mut discard) {
-            Ok(0) | Err(_) => return false,
-            Ok(n) => {
-                if discard.last() == Some(&b'\n') {
-                    return true;
+/// What one attempt to read a request line produced.
+enum NextLine {
+    /// A complete line (newline stripped, may be empty).
+    Line(String),
+    /// The line broke the size cap. `recovered` means its tail was
+    /// discarded and the connection can keep serving.
+    TooLong { recovered: bool },
+    /// Nothing arrived for `idle_timeout` with no partial frame pending.
+    Idle,
+    /// A partial frame stalled past `frame_timeout` (slow-loris).
+    Stalled,
+    /// EOF or a hard I/O error.
+    Closed,
+    /// The server started draining while the connection sat idle.
+    Draining,
+}
+
+/// A line reader over a polling (read-timeout) socket. `BufReader`'s
+/// `read_line` cannot be trusted across `ErrorKind::TimedOut` — whether
+/// buffered partial data survives is implementation detail — so this
+/// reader owns its buffer explicitly.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader { stream, buf: Vec::new() }
+    }
+
+    fn next_line(&mut self, shared: &Shared) -> NextLine {
+        let idle_since = Instant::now();
+        let mut frame_since = if self.buf.is_empty() { None } else { Some(Instant::now()) };
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                if nl > MAX_REQUEST_BYTES {
+                    self.buf.drain(..=nl);
+                    return NextLine::TooLong { recovered: true };
                 }
-                drained += n as u64;
+                let line = String::from_utf8_lossy(&self.buf[..nl]).into_owned();
+                self.buf.drain(..=nl);
+                return NextLine::Line(line);
+            }
+            if self.buf.len() > MAX_REQUEST_BYTES {
+                return self.drain_overflow(shared);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return NextLine::Closed,
+                Ok(n) => {
+                    frame_since.get_or_insert_with(Instant::now);
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    match frame_since {
+                        Some(started) => {
+                            if started.elapsed() >= shared.frame_timeout {
+                                return NextLine::Stalled;
+                            }
+                        }
+                        None => {
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                return NextLine::Draining;
+                            }
+                            if idle_since.elapsed() >= shared.idle_timeout {
+                                return NextLine::Idle;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return NextLine::Closed,
             }
         }
     }
-    false
+
+    /// The buffered line already exceeds the cap with no newline in
+    /// sight: discard until the line ends so the connection can keep
+    /// serving, within a byte and time budget.
+    fn drain_overflow(&mut self, shared: &Shared) -> NextLine {
+        /// How much garbage we are willing to discard for one bad
+        /// request before concluding the peer is hostile.
+        const DRAIN_BUDGET: usize = 16 * 1024 * 1024;
+        let mut drained = self.buf.len();
+        self.buf.clear();
+        let gave_up = Instant::now() + shared.frame_timeout;
+        let mut chunk = [0u8; 64 * 1024];
+        while drained <= DRAIN_BUDGET {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return NextLine::TooLong { recovered: false },
+                Ok(n) => {
+                    drained += n;
+                    if let Some(nl) = chunk[..n].iter().position(|&b| b == b'\n') {
+                        self.buf.extend_from_slice(&chunk[nl + 1..n]);
+                        return NextLine::TooLong { recovered: true };
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= gave_up {
+                        return NextLine::TooLong { recovered: false };
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return NextLine::TooLong { recovered: false },
+            }
+        }
+        NextLine::TooLong { recovered: false }
+    }
+}
+
+/// Write one response line, with injected write faults: a mid-frame
+/// stall (the frame completes, late) or a truncation (the frame is cut
+/// and the socket closed — the client must treat it as retryable).
+fn write_response(writer: &mut TcpStream, line: &str, shared: &Shared) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(line.len() + 1);
+    bytes.extend_from_slice(line.as_bytes());
+    bytes.push(b'\n');
+    if shared.injector.fire(FaultSite::WriteTrunc) {
+        let half = bytes.len() / 2;
+        let _ = writer.write_all(&bytes[..half]);
+        let _ = writer.flush();
+        let _ = writer.shutdown(Shutdown::Both);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "fault-injected response truncation",
+        ));
+    }
+    if let Some(stall) = shared.injector.stall(FaultSite::WriteStall) {
+        let half = bytes.len() / 2;
+        writer.write_all(&bytes[..half])?;
+        writer.flush()?;
+        std::thread::sleep(stall);
+        writer.write_all(&bytes[half..])?;
+    } else {
+        writer.write_all(&bytes)?;
+    }
+    writer.flush()
+}
+
+/// Remembered request ids of one connection — a bounded FIFO window for
+/// reuse detection.
+struct IdWindow {
+    seen: HashSet<String>,
+    order: VecDeque<String>,
+}
+
+impl IdWindow {
+    fn new() -> Self {
+        IdWindow { seen: HashSet::new(), order: VecDeque::new() }
+    }
+
+    /// Record `id`; `false` when it was already in the window.
+    fn insert(&mut self, id: &str) -> bool {
+        if !self.seen.insert(id.to_string()) {
+            return false;
+        }
+        self.order.push_back(id.to_string());
+        if self.order.len() > ID_WINDOW {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
 }
 
 fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else { return };
-    // `Take` bounds how much a single read_line can pull off the socket,
-    // so a newline-less flood caps out at MAX_REQUEST_BYTES (+ buffer)
-    // of memory instead of growing `line` until the daemon OOMs. The
-    // limit is re-armed per request line.
-    let mut reader = BufReader::new(read_half.take(0));
+    let mut reader = LineReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut ids = IdWindow::new();
     loop {
-        line.clear();
-        reader.get_mut().set_limit(MAX_REQUEST_BYTES as u64 + 1);
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(n)
-                if n > MAX_REQUEST_BYTES
-                    || (!line.ends_with('\n') && reader.get_ref().limit() == 0) =>
-            {
-                // Either an over-long line, or the Take limit cut a line
-                // short (limit exhausted without a newline). A newline-less
-                // final line before a genuine EOF keeps limit budget and
-                // is served normally. Answer with a structured protocol
-                // error and — when the line's tail can be discarded —
-                // keep the connection alive for the next request rather
-                // than hanging up on the client.
+        match reader.next_line(shared) {
+            NextLine::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let (response, stop) = handle_line(trimmed, shared, &mut ids);
+                if write_response(&mut writer, &response, shared).is_err() {
+                    break;
+                }
+                if stop {
+                    shared.initiate_shutdown();
+                    break;
+                }
+            }
+            NextLine::TooLong { recovered } => {
                 let e = ServiceError::new(
                     ErrorCode::BadRequest,
                     format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
                 );
-                if writeln!(writer, "{}", e.to_json()).and_then(|()| writer.flush()).is_err() {
+                if write_response(&mut writer, &e.to_json(), shared).is_err() || !recovered {
                     break;
                 }
-                let line_complete = line.ends_with('\n');
-                if line_complete || drain_oversized_line(&mut reader) {
-                    continue;
-                }
+            }
+            NextLine::Stalled => {
+                let e =
+                    ServiceError::new(ErrorCode::BadRequest, "request frame stalled mid-transfer");
+                let _ = write_response(&mut writer, &e.to_json(), shared);
                 break;
             }
-            Ok(_) => {}
+            NextLine::Idle | NextLine::Closed | NextLine::Draining => break,
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+    }
+}
+
+/// Serve one request line: parse the envelope, run the request (inline
+/// or through the queue), and render the response with the id spliced
+/// back in. Returns the response line and whether the connection should
+/// initiate a shutdown after writing it.
+fn handle_line(line: &str, shared: &Arc<Shared>, ids: &mut IdWindow) -> (String, bool) {
+    if let Some(stall) = shared.injector.stall(FaultSite::ReadStall) {
+        std::thread::sleep(stall);
+    }
+    let envelope = match Envelope::parse(line) {
+        Ok(e) => e,
+        Err(e) => return (e.to_json(), false),
+    };
+    let id = envelope.id.as_deref();
+    if let Some(id_str) = id {
+        if !ids.insert(id_str) {
+            let e = ServiceError::new(
+                ErrorCode::BadRequest,
+                format!("request id {id_str} was already used on this connection"),
+            );
+            return (with_id(&e.to_json(), id), false);
         }
-        let mut stop = false;
-        let response: String = match Request::parse(trimmed) {
-            Err(e) => e.to_json(),
-            Ok(Request::Stats) => shared.stats_line(),
-            Ok(Request::Shutdown) => {
-                stop = true;
-                Json::obj().with("ok", true).with("type", "shutdown").encode()
-            }
-            Ok(request) => {
-                let (tx, rx) = mpsc::channel();
-                match shared.queue.push(Job { request, reply: tx }) {
-                    Err(PushError::Full) => {
-                        shared.rejected.fetch_add(1, Ordering::Relaxed);
-                        ServiceError::new(
-                            ErrorCode::Busy,
-                            format!("job queue full (capacity {})", shared.queue.capacity),
+    }
+    let request = match envelope.req {
+        Ok(r) => r,
+        Err(e) => return (with_id(&e.to_json(), id), false),
+    };
+    let deadline = envelope.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let (body, stop) = match request {
+        Request::Stats => (shared.stats_line(), false),
+        Request::Health => (shared.health_line(), false),
+        Request::Shutdown => (Json::obj().with("ok", true).with("type", "shutdown").encode(), true),
+        request => (dispatch_compute(request, deadline, shared), false),
+    };
+    (with_id(&body, id), stop)
+}
+
+/// Queue a compute request and wait for its response, enforcing load
+/// shedding on submit and the deadline (plus worker-pool liveness)
+/// while waiting.
+fn dispatch_compute(request: Request, deadline: Option<Instant>, shared: &Arc<Shared>) -> String {
+    if request.is_heavy() && shared.queue.depth() >= shared.shed_highwater {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return ServiceError::new(
+            ErrorCode::Busy,
+            format!(
+                "shedding load: queue depth at high-water mark ({}); retry later",
+                shared.shed_highwater
+            ),
+        )
+        .to_json();
+    }
+    let (tx, rx) = mpsc::channel();
+    match shared.queue.push(Job { request, deadline, reply: tx }) {
+        Err(PushError::Full) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            ServiceError::new(
+                ErrorCode::Busy,
+                format!("job queue full (capacity {})", shared.queue.capacity),
+            )
+            .to_json()
+        }
+        Err(PushError::Closed) => {
+            ServiceError::new(ErrorCode::Shutdown, "server is shutting down").to_json()
+        }
+        Ok(()) => loop {
+            match rx.recv_timeout(REPLY_POLL) {
+                Ok(Ok(body)) => return body.to_string(),
+                Ok(Err(e)) => return e.to_json(),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // The job may still be queued behind slower work: a
+                    // dead budget or a dead pool must not hang the client.
+                    if deadline.is_some_and(|d| Instant::now() >= d + QUEUED_DEADLINE_GRACE) {
+                        shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+                        return ServiceError::new(
+                            ErrorCode::Deadline,
+                            "deadline expired before a worker picked the job up",
                         )
-                        .to_json()
+                        .to_json();
                     }
-                    Err(PushError::Closed) => {
-                        ServiceError::new(ErrorCode::Shutdown, "server is shutting down").to_json()
-                    }
-                    Ok(()) => match rx.recv() {
-                        Ok(Ok(body)) => body.to_string(),
-                        Ok(Err(e)) => e.to_json(),
-                        Err(_) => ServiceError::new(
+                    if shared.pool_dead() {
+                        return ServiceError::new(
                             ErrorCode::Internal,
-                            "worker dropped the job (shutdown race)",
+                            "worker pool exhausted its restart budget",
                         )
-                        .to_json(),
-                    },
+                        .to_json();
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // The worker died with the job in hand (its reply
+                    // sender dropped). The job never produced a result,
+                    // so a retry is safe — and the content-addressed
+                    // cache makes it idempotent.
+                    return if shared.shutdown.load(Ordering::SeqCst) {
+                        ServiceError::new(ErrorCode::Shutdown, "server is shutting down").to_json()
+                    } else {
+                        ServiceError::new(ErrorCode::Busy, "worker crashed mid-job; safe to retry")
+                            .to_json()
+                    };
                 }
             }
-        };
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            break;
-        }
-        if stop {
-            shared.initiate_shutdown();
-            break;
-        }
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::io::{BufRead, BufReader};
+
     use super::*;
 
     fn roundtrip(addr: SocketAddr, line: &str) -> String {
@@ -547,6 +1105,24 @@ mod tests {
         assert_eq!(v.get("workers").and_then(Json::as_u64), Some(2));
         let resp = roundtrip(addr, r#"{"type":"shutdown"}"#);
         assert!(resp.contains("\"ok\":true"));
+        server.join();
+    }
+
+    #[test]
+    fn health_reports_a_ready_pool() {
+        let server = Server::start(&ServiceConfig { workers: 2, ..ServiceConfig::default() })
+            .expect("starts");
+        let resp = roundtrip(server.local_addr(), r#"{"type":"health","id":"h1"}"#);
+        assert!(resp.starts_with(r#"{"id":"h1","#), "id leads the response: {resp}");
+        let v = sempe_core::json::parse(&resp).expect("health parse");
+        assert_eq!(v.get("ready").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("draining").and_then(Json::as_bool), Some(false));
+        let workers = v.get("workers").expect("workers");
+        assert_eq!(workers.get("configured").and_then(Json::as_u64), Some(2));
+        assert_eq!(workers.get("restarts").and_then(Json::as_u64), Some(0));
+        let faults = v.get("faults").expect("faults");
+        assert_eq!(faults.get("active").and_then(Json::as_bool), Some(false));
+        server.shutdown();
         server.join();
     }
 
@@ -580,6 +1156,73 @@ mod tests {
         let addr = server.local_addr();
         assert!(roundtrip(addr, "garbage").contains("E_PARSE"));
         assert!(roundtrip(addr, r#"{"type":"fly"}"#).contains("E_BAD_REQUEST"));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn request_id_reuse_is_rejected_per_connection() {
+        let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
+            .expect("starts");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut resp = String::new();
+        for expect_ok in [true, false] {
+            writeln!(stream, r#"{{"type":"stats","id":"dup"}}"#).expect("send");
+            resp.clear();
+            reader.read_line(&mut resp).expect("recv");
+            assert!(resp.starts_with(r#"{"id":"dup","#), "id echoes: {resp}");
+            assert_eq!(resp.contains("\"ok\":true"), expect_ok, "got: {resp}");
+            if !expect_ok {
+                assert!(resp.contains("E_BAD_REQUEST"), "got: {resp}");
+                assert!(resp.contains("already used"), "got: {resp}");
+            }
+        }
+        // A different connection may reuse the id freely.
+        let resp = roundtrip(server.local_addr(), r#"{"type":"stats","id":"dup"}"#);
+        assert!(resp.contains("\"ok\":true"), "ids are per-connection: {resp}");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn idle_connections_reap_themselves() {
+        let server = Server::start(&ServiceConfig {
+            workers: 1,
+            idle_timeout_ms: 150,
+            ..ServiceConfig::default()
+        })
+        .expect("starts");
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        // The server closes the idle connection: read returns EOF well
+        // before our own 10s guard.
+        let n = reader.read_line(&mut resp).expect("EOF, not hang");
+        assert_eq!(n, 0, "idle connection must be closed, got: {resp}");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn stalled_frames_get_a_structured_error() {
+        let server = Server::start(&ServiceConfig {
+            workers: 1,
+            frame_timeout_ms: 150,
+            ..ServiceConfig::default()
+        })
+        .expect("starts");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Half a frame, then silence: the slow-loris case.
+        stream.write_all(b"{\"type\":\"sta").expect("send partial");
+        stream.flush().expect("flush");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("error line");
+        assert!(resp.contains("E_BAD_REQUEST"), "structured stall error, got: {resp}");
+        assert!(resp.contains("stalled"), "got: {resp}");
         server.shutdown();
         server.join();
     }

@@ -9,7 +9,7 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 
 use sempe_core::json::{self, Json};
-use sempe_service::{Server, ServiceConfig};
+use sempe_service::{FaultPlan, Server, ServiceConfig};
 
 const MODEXP: &str = r"
     secret key = 0b1011;
@@ -272,6 +272,145 @@ fn compile_and_error_paths_over_the_wire() {
     assert!(bad.contains("\"E_WIR\""), "{bad}");
     assert!(bad.contains("parse error"), "WIR position info survives: {bad}");
 
+    server.shutdown();
+    server.join();
+}
+
+/// Regression for the shutdown truncation bug: `Server::join` used to
+/// force-close every connection stream right after joining the workers,
+/// cutting off handlers mid-write. The drain window must let an
+/// in-flight response reach the client whole.
+#[test]
+fn shutdown_drains_in_flight_responses_without_truncation() {
+    // Every response write stalls 300 ms mid-frame, so a shutdown
+    // initiated while the write is in flight would truncate it without
+    // the drain phase.
+    let plan = FaultPlan::parse("seed=3,write_stall=1000,write_stall_ms=300").expect("plan");
+    let server = Server::start(&ServiceConfig {
+        workers: 1,
+        drain_timeout_ms: 5_000,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let line = format!(
+        r#"{{"type":"run","source":{},"backend":"sempe","max_cycles":80000000}}"#,
+        json::escape(LEAKY_IF)
+    );
+    let client = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        writeln!(stream, "{line}").expect("send");
+        let mut resp = String::new();
+        BufReader::new(stream).read_line(&mut resp).expect("recv");
+        resp
+    });
+    // Let the job get accepted and (most likely) into its stalled write,
+    // then pull the rug: initiate shutdown and join the server.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    server.shutdown();
+    server.join();
+
+    let resp = client.join().expect("client thread");
+    assert!(resp.ends_with('\n'), "response truncated by shutdown: {resp:?}");
+    let v = json::parse(resp.trim_end()).expect("response parses whole");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+}
+
+#[test]
+fn garbage_after_a_valid_request_keeps_the_connection_alive() {
+    let server = start(1);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream
+        .write_all(b"{\"type\":\"stats\"}\n\x01\x02 not json \x7f\n{\"type\":\"stats\"}\n")
+        .expect("send");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("first");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    resp.clear();
+    reader.read_line(&mut resp).expect("second");
+    assert!(resp.contains("\"E_PARSE\""), "garbage gets a structured error: {resp}");
+    resp.clear();
+    reader.read_line(&mut resp).expect("third");
+    assert!(resp.contains("\"ok\":true"), "connection survives the garbage: {resp}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_frame_mid_stream_gets_an_error_and_the_stream_recovers() {
+    let server = start(1);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    // Valid request first: the connection is mid-stream, not fresh.
+    writeln!(stream, r#"{{"type":"stats"}}"#).expect("send");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("stats");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    // Now an oversized frame...
+    let big = format!("{{\"type\":\"run\",\"source\":\"{}\"}}", "x".repeat(2 * 1024 * 1024));
+    writeln!(stream, "{big}").expect("send oversized");
+    resp.clear();
+    reader.read_line(&mut resp).expect("error line");
+    assert!(resp.contains("\"E_BAD_REQUEST\""), "{resp}");
+    assert!(resp.contains("exceeds"), "{resp}");
+    // ...and the very same connection keeps serving.
+    writeln!(stream, r#"{{"type":"stats"}}"#).expect("send follow-up");
+    resp.clear();
+    reader.read_line(&mut resp).expect("follow-up");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_op_with_deadline_and_id_gets_a_structured_error() {
+    let server = start(1);
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    writeln!(stream, r#"{{"type":"explode","id":"x1","deadline_ms":1000}}"#).expect("send");
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("error line");
+    assert!(resp.starts_with(r#"{"id":"x1","#), "id echoes back: {resp}");
+    assert!(resp.contains("\"E_BAD_REQUEST\""), "{resp}");
+    assert!(resp.contains("unknown request type"), "{resp}");
+    // The connection stays alive.
+    writeln!(stream, r#"{{"type":"stats","id":"x2"}}"#).expect("send follow-up");
+    resp.clear();
+    reader.read_line(&mut resp).expect("follow-up");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn expired_deadline_returns_e_deadline_with_partial_stats_over_the_wire() {
+    let server = start(2);
+    // A program long enough that a 1 ms budget expires mid-simulation.
+    let long_loop = r"
+        var i = 0;
+        while (i < 1000000) bound 1000001 { i = i + 1; }
+        output i;
+    ";
+    let line = format!(
+        r#"{{"type":"run","source":{},"max_cycles":400000000,"deadline_ms":1,"id":7}}"#,
+        json::escape(long_loop)
+    );
+    let started = std::time::Instant::now();
+    let resp = roundtrip(&server, &line);
+    let elapsed = started.elapsed();
+    assert!(resp.starts_with(r#"{"id":7,"#), "numeric id echoes: {resp}");
+    assert!(resp.contains("\"E_DEADLINE\""), "{resp}");
+    assert!(resp.contains("\"partial\""), "partial progress reported: {resp}");
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "deadline must cut the run short, took {elapsed:?}"
+    );
+    // The worker survives the expired request and keeps serving.
+    let resp = roundtrip(&server, r#"{"type":"health"}"#);
+    assert!(resp.contains("\"ready\":true"), "{resp}");
     server.shutdown();
     server.join();
 }

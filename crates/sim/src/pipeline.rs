@@ -43,6 +43,13 @@ use crate::rob::{Rob, RobEntry, RobSlot};
 use crate::skip::Wake;
 use crate::stats::{SimResult, SimStats};
 
+/// How many run-loop iterations pass between host-deadline polls in
+/// [`Simulator::run_with_deadline`]. Each iteration is one tick or one
+/// multi-cycle skip, so a quantum is microseconds of host time — the
+/// deadline overshoot is bounded well below any protocol-visible
+/// latency budget while keeping `Instant::now` off the hot path.
+pub const DEADLINE_QUANTUM: u32 = 4096;
+
 /// Errors a simulation can raise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -74,6 +81,17 @@ pub enum SimError {
         /// Cycle at which the checkpoint was attempted.
         cycle: u64,
     },
+    /// A host-side wall-clock deadline expired before `HALT` (see
+    /// [`Simulator::run_with_deadline`]). Unlike the cycle budget this is
+    /// a property of the *hosting service*, not of the simulated
+    /// machine; the error carries the partial progress so callers can
+    /// report it.
+    HostDeadline {
+        /// Simulated cycle at which the deadline was noticed.
+        cycle: u64,
+        /// Instructions committed up to that point.
+        committed: u64,
+    },
 }
 
 impl core::fmt::Display for SimError {
@@ -91,6 +109,9 @@ impl core::fmt::Display for SimError {
             }
             SimError::NotQuiesced { cycle } => {
                 write!(f, "checkpoint at cycle {cycle} with µops in flight")
+            }
+            SimError::HostDeadline { cycle, committed } => {
+                write!(f, "host deadline expired at cycle {cycle} ({committed} committed)")
             }
         }
     }
@@ -720,6 +741,28 @@ impl Simulator {
     ///
     /// Any [`SimError`]; see the variants.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimResult, SimError> {
+        self.run_with_deadline(max_cycles, None)
+    }
+
+    /// [`Simulator::run`] with an additional host-side wall-clock bound.
+    ///
+    /// The deadline is polled every [`DEADLINE_QUANTUM`] loop iterations
+    /// (a "watchdog quantum"), so the run returns at most one quantum of
+    /// simulation past the deadline. The clock never influences the
+    /// simulated machine — two runs of the same binary are bit-for-bit
+    /// identical whether or not a deadline is armed, unless the deadline
+    /// actually fires (in which case [`SimError::HostDeadline`] carries
+    /// the partial progress).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; see the variants.
+    pub fn run_with_deadline(
+        &mut self,
+        max_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<SimResult, SimError> {
+        let mut quantum = 0u32;
         while !self.halted {
             if self.cycle >= max_cycles {
                 return Err(SimError::CyclesExhausted { max_cycles });
@@ -730,6 +773,18 @@ impl Simulator {
                     fetch_pc: self.fetch_pc,
                     rob_head_pc: self.rob.head().map(|e| e.pc),
                 });
+            }
+            if let Some(d) = deadline {
+                quantum += 1;
+                if quantum >= DEADLINE_QUANTUM {
+                    quantum = 0;
+                    if std::time::Instant::now() >= d {
+                        return Err(SimError::HostDeadline {
+                            cycle: self.cycle,
+                            committed: self.stats.committed,
+                        });
+                    }
+                }
             }
             // A skip moves `cycle` without ticking; loop back around so
             // the budget and watchdog bounds are re-checked at the new
