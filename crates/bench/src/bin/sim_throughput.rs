@@ -37,7 +37,7 @@ use sempe_bench::BackendRun;
 use sempe_compile::compile;
 use sempe_compile::wir::WirProgram;
 use sempe_core::json::Json;
-use sempe_sim::Simulator;
+use sempe_sim::{HostProfile, Simulator};
 use sempe_workloads::membound::{pointer_chase_program, ChaseParams};
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 use sempe_workloads::rsa::{modexp_program, table_modexp_program, ModexpParams, TableModexpParams};
@@ -52,9 +52,10 @@ struct Row {
     setup_secs: f64,
     /// Per-rep simulation time.
     steady_secs: f64,
-    /// Cycles fast-forwarded by the next-event skip (0 under classic
-    /// stepping).
-    skipped_cycles: u64,
+    /// The simulator's own host-time attribution over the timed reps —
+    /// the same ledger the service folds into its `sim_host_us`
+    /// histograms, so bench and service numbers share one source.
+    host: HostProfile,
 }
 
 impl Row {
@@ -115,7 +116,7 @@ fn measure(
             let mut committed = 0u64;
             let mut setup_secs = 0f64;
             let mut steady_secs = 0f64;
-            let mut skipped_cycles = 0u64;
+            let mut host = HostProfile::default();
             for _ in 0..reps {
                 let t0 = Instant::now();
                 let sim = Simulator::rebuild_or_new(&mut slot, cw.program(), config)
@@ -126,10 +127,13 @@ fn measure(
                 steady_secs += t1.elapsed().as_secs_f64();
                 sim_cycles += out.stats.cycles;
                 committed += out.stats.committed;
-                skipped_cycles += sim.skip_counters().0;
+                // Drain the per-rep ledger (rebuild resets it anyway);
+                // `absorb` keeps the totals across reps.
+                host.absorb(&sim.take_host_profile());
             }
             assert_eq!(warm.stats.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
-            assert!(!classic || skipped_cycles == 0, "classic stepping must not skip");
+            assert!(!classic || host.skipped_cycles == 0, "classic stepping must not skip");
+            assert_eq!(u64::from(reps), host.runs, "one instrumented run per rep");
             Row {
                 workload,
                 group,
@@ -138,7 +142,7 @@ fn measure(
                 committed,
                 setup_secs,
                 steady_secs,
-                skipped_cycles,
+                host,
             }
         })
         .collect()
@@ -179,7 +183,8 @@ fn report_json(rows: &[Row], stepping: &str, extra: Json) -> String {
                 .with("host_secs", (r.host_secs() * 1e6).round() / 1e6)
                 .with("setup_secs", (r.setup_secs * 1e6).round() / 1e6)
                 .with("steady_secs", (r.steady_secs * 1e6).round() / 1e6)
-                .with("skipped_cycles", r.skipped_cycles)
+                .with("skipped_cycles", r.host.skipped_cycles)
+                .with("host_profile", r.host.to_json())
                 .with("cycles_per_sec", r.cycles_per_sec().round())
                 .with("mips", (r.mips() * 1e3).round() / 1e3)
         })

@@ -53,6 +53,7 @@ pub mod jbtable;
 pub mod json;
 pub mod snapshot;
 pub mod spm;
+pub mod telemetry;
 pub mod trace;
 pub mod unit;
 
@@ -63,5 +64,6 @@ pub use jbtable::{EosAction, JbEntry, JumpBackTable};
 pub use json::Json;
 pub use snapshot::{ArchSnapshot, ModifiedSet, RegState};
 pub use spm::{Spm, SpmConfig};
+pub use telemetry::{Counter, Gauge, Histogram, Registry, Span, TraceLog};
 pub use trace::{CacheLevel, ObservationTrace, TraceEvent};
 pub use unit::{SempeConfig, SempeStats, SempeUnit, UnitEffect};

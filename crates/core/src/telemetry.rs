@@ -1,0 +1,723 @@
+//! std-only telemetry: counters, gauges, log2 latency histograms, span
+//! tracing, and a JSONL trace sink.
+//!
+//! The service daemon, the simulator, and the bench harnesses all need
+//! to answer "how fast / where does time go" without dragging in an
+//! external metrics stack. This module provides the whole spine:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomic scalars;
+//! * [`Histogram`] — 64 log2-bucketed counters for latency
+//!   distributions (bucket `i` holds values `v` with
+//!   `2^(i-1) < v <= 2^i`; bucket 0 holds `v <= 1`);
+//! * [`Registry`] — a named, `Arc`-shareable get-or-create store of the
+//!   above, renderable as a JSON snapshot or Prometheus-style text;
+//! * [`Span`] — a per-request phase timer (queue_wait, compile,
+//!   simulate, …) that accumulates wall time between marks;
+//! * [`TraceLog`] — a sampled JSONL event stream drained by a
+//!   dedicated writer thread, so emission never blocks the hot path.
+//!
+//! Everything here is deliberately decoupled from the simulator's
+//! architectural statistics (`SimStats`): telemetry measures *host*
+//! behaviour, which must never perturb the bit-for-bit deterministic
+//! simulated results.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Number of log2 buckets in a [`Histogram`] (covers the full `u64`
+/// range: bucket 63 is the overflow/`+Inf` bucket).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub const fn new() -> Counter {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Add one; returns the post-increment value.
+    pub fn inc(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one only while the current value is below `cap`. Returns the
+    /// post-increment value, or `None` if the cap was already reached
+    /// (the counter is left untouched, preserving monotonicity). This
+    /// is the budget-claim primitive the worker supervisor uses.
+    pub fn inc_capped(&self, cap: u64) -> Option<u64> {
+        let mut cur = self.value.load(Ordering::SeqCst);
+        loop {
+            if cur >= cap {
+                return None;
+            }
+            match self.value.compare_exchange_weak(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return Some(cur + 1),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+/// An atomic gauge: a value that can move in both directions
+/// (queue depth, busy workers, live connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    #[must_use]
+    pub const fn new() -> Gauge {
+        Gauge { value: AtomicU64::new(0) }
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::SeqCst);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Subtract `n`, saturating at zero (a crashed thread that never
+    /// decremented must not wrap the gauge to `u64::MAX`).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.value.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (typically microseconds).
+///
+/// Bucket `i` counts samples `v` with `2^(i-1) < v <= 2^i`; bucket 0
+/// counts `v <= 1`; bucket 63 additionally absorbs everything above
+/// `2^62` (it renders as `+Inf`). Observation is three relaxed atomic
+/// adds — no locks, safe on any path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Sum of all observed values (for mean computation).
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+
+    /// The bucket index a value lands in.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// The inclusive upper bound of bucket `i`, or `None` for the
+    /// overflow (`+Inf`) bucket.
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            None
+        } else {
+            Some(1u64 << i)
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in whole microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the distribution.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let sum = self.sum.load(Ordering::SeqCst);
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::SeqCst));
+        HistogramSnapshot { buckets, sum }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (non-cumulative).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 <= q <= 1.0`), or 0 for an empty histogram. Log2 buckets
+    /// make this a factor-of-two estimate — good enough for dashboards.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_bound(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// JSON form: `{"count":N,"sum":S,"buckets":[{"le":bound,"count":cum},…]}`.
+    ///
+    /// Buckets are cumulative (Prometheus convention) and sparse: only
+    /// boundaries where the cumulative count changes are emitted, plus
+    /// a final `+Inf` entry carrying the total.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let count = self.count();
+        let mut arr = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            let le = match Histogram::bucket_bound(i) {
+                Some(b) => Json::from(b),
+                None => Json::from("+Inf"),
+            };
+            arr.push(Json::obj().with("le", le).with("count", cum));
+        }
+        if arr.last().is_none_or(|b| b.get("le").and_then(Json::as_str) != Some("+Inf")) {
+            arr.push(Json::obj().with("le", "+Inf").with("count", count));
+        }
+        Json::obj().with("count", count).with("sum", self.sum).with("buckets", Json::Arr(arr))
+    }
+}
+
+/// A named, shareable store of counters, gauges, and histograms.
+///
+/// Accessors are get-or-create and hand back `Arc`s, so hot paths keep
+/// a handle and never touch the registry lock again. Names follow a
+/// Prometheus-ish convention and may carry labels inline:
+/// `requests_total{op="run"}`. `BTreeMap` keeps every rendering
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges).entry(name.to_string()).or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// JSON snapshot of every metric:
+    /// `{"counters":{…},"gauges":{…},"histograms":{…}}`.
+    #[must_use]
+    pub fn snapshot(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, c) in lock(&self.counters).iter() {
+            counters.set(name, c.get());
+        }
+        let mut gauges = Json::obj();
+        for (name, g) in lock(&self.gauges).iter() {
+            gauges.set(name, g.get());
+        }
+        let mut histograms = Json::obj();
+        for (name, h) in lock(&self.histograms).iter() {
+            histograms.set(name, h.snapshot().to_json());
+        }
+        Json::obj().with("counters", counters).with("gauges", gauges).with("histograms", histograms)
+    }
+
+    /// Prometheus-style text exposition. Histograms render cumulative
+    /// `_bucket{le="…"}` series (sparse: only boundaries that hold
+    /// samples, plus `+Inf`), with `_sum` and `_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in lock(&self.counters).iter() {
+            render_type_line(&mut out, name, "counter");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&c.get().to_string());
+            out.push('\n');
+        }
+        for (name, g) in lock(&self.gauges).iter() {
+            render_type_line(&mut out, name, "gauge");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&g.get().to_string());
+            out.push('\n');
+        }
+        for (name, h) in lock(&self.histograms).iter() {
+            render_type_line(&mut out, name, "histogram");
+            let snap = h.snapshot();
+            let (base, labels) = split_labels(name);
+            let mut cum = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                let le = match Histogram::bucket_bound(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                render_labeled(&mut out, base, "_bucket", labels, Some(&le), cum);
+            }
+            render_labeled(&mut out, base, "_bucket", labels, Some("+Inf"), snap.count());
+            render_labeled(&mut out, base, "_sum", labels, None, snap.sum);
+            render_labeled(&mut out, base, "_count", labels, None, snap.count());
+        }
+        out
+    }
+}
+
+/// Split `base{k="v"}` into `("base", Some("k=\"v\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match (name.find('{'), name.rfind('}')) {
+        (Some(open), Some(close)) if close > open => (&name[..open], Some(&name[open + 1..close])),
+        _ => (name, None),
+    }
+}
+
+fn render_type_line(out: &mut String, name: &str, kind: &str) {
+    let (base, _) = split_labels(name);
+    // One TYPE line per base name; labeled series of the same base
+    // sort adjacently in the BTreeMap, so checking the tail suffices.
+    let line = format!("# TYPE {base} {kind}\n");
+    if !out.ends_with(&line) && !out.contains(&line) {
+        out.push_str(&line);
+    }
+}
+
+fn render_labeled(
+    out: &mut String,
+    base: &str,
+    suffix: &str,
+    labels: Option<&str>,
+    le: Option<&str>,
+    value: u64,
+) {
+    out.push_str(base);
+    out.push_str(suffix);
+    match (labels, le) {
+        (Some(l), Some(le)) => {
+            out.push('{');
+            out.push_str(l);
+            out.push_str(",le=\"");
+            out.push_str(le);
+            out.push_str("\"}");
+        }
+        (Some(l), None) => {
+            out.push('{');
+            out.push_str(l);
+            out.push('}');
+        }
+        (None, Some(le)) => {
+            out.push_str("{le=\"");
+            out.push_str(le);
+            out.push_str("\"}");
+        }
+        (None, None) => {}
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// A per-request phase timer.
+///
+/// `mark(phase)` attributes the wall time since the previous mark (or
+/// since `begin`) to `phase`; `add` folds in an externally measured
+/// duration. Repeated phases accumulate, so a batch op marking
+/// `simulate` once per item yields one total. The span never allocates
+/// beyond its small phase vector and takes two `Instant::now()` calls
+/// per mark — cheap enough for every request.
+#[derive(Debug, Clone)]
+pub struct Span {
+    started: Instant,
+    last: Instant,
+    phases: Vec<(&'static str, Duration)>,
+}
+
+impl Span {
+    /// Start a span now.
+    #[must_use]
+    pub fn begin() -> Span {
+        let now = Instant::now();
+        Span { started: now, last: now, phases: Vec::with_capacity(8) }
+    }
+
+    /// Attribute the time since the last mark to `phase`.
+    pub fn mark(&mut self, phase: &'static str) {
+        let now = Instant::now();
+        self.add(phase, now.duration_since(self.last));
+        self.last = now;
+    }
+
+    /// Fold an externally measured duration into `phase` (does not
+    /// move the internal mark cursor).
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        for (name, total) in &mut self.phases {
+            if *name == phase {
+                *total += d;
+                return;
+            }
+        }
+        self.phases.push((phase, d));
+    }
+
+    /// Reset the mark cursor to now without attributing the elapsed
+    /// time to any phase (use to skip untracked gaps).
+    pub fn skip(&mut self) {
+        self.last = Instant::now();
+    }
+
+    /// Wall time since `begin`.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Recorded phases, in first-marked order.
+    #[must_use]
+    pub fn phases(&self) -> &[(&'static str, Duration)] {
+        &self.phases
+    }
+
+    /// Phases as a JSON object of whole microseconds.
+    #[must_use]
+    pub fn phases_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, d) in &self.phases {
+            obj.set(name, d.as_micros().min(u64::MAX as u128) as u64);
+        }
+        obj
+    }
+}
+
+/// A sampled JSONL event sink with an off-thread writer.
+///
+/// `emit` encodes the event and hands the line to an unbounded channel;
+/// a dedicated thread drains it through a `BufWriter`, so the request
+/// path never performs file I/O. Sampling is a single relaxed
+/// `fetch_add` — request `n` is sampled when `n % every == 0`. Dropping
+/// the last handle closes the channel, joins the writer, and flushes.
+#[derive(Debug)]
+pub struct TraceLog {
+    tx: Option<mpsc::Sender<String>>,
+    every: u64,
+    seq: AtomicU64,
+    epoch: Instant,
+    writer: Option<thread::JoinHandle<()>>,
+}
+
+impl TraceLog {
+    /// Create (truncate) `path` and start the writer thread. `every`
+    /// is the sampling period: 1 logs everything, `n` logs every n-th
+    /// `sample()` call (0 is clamped to 1).
+    pub fn create(path: &Path, every: u64) -> io::Result<TraceLog> {
+        let file = File::create(path)?;
+        let (tx, rx) = mpsc::channel::<String>();
+        let writer = thread::Builder::new().name("sempe-trace".into()).spawn(move || {
+            let mut out = BufWriter::new(file);
+            for line in rx {
+                let _ = out.write_all(line.as_bytes());
+                let _ = out.write_all(b"\n");
+            }
+            let _ = out.flush();
+        })?;
+        Ok(TraceLog {
+            tx: Some(tx),
+            every: every.max(1),
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+            writer: Some(writer),
+        })
+    }
+
+    /// Should the next event be logged? Advances the sampling sequence.
+    pub fn sample(&self) -> bool {
+        self.seq.fetch_add(1, Ordering::Relaxed).is_multiple_of(self.every)
+    }
+
+    /// Microseconds since the log was opened (events are stamped
+    /// relative to this epoch — the host wall clock never reaches the
+    /// deterministic paths).
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Queue one event line (non-blocking; drops silently if the
+    /// writer thread has died).
+    pub fn emit(&self, event: &Json) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(event.encode());
+        }
+    }
+}
+
+impl Drop for TraceLog {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.writer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_inc_add_get() {
+        let c = Counter::new();
+        assert_eq!(c.inc(), 1);
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn counter_inc_capped_stops_at_cap() {
+        let c = Counter::new();
+        assert_eq!(c.inc_capped(2), Some(1));
+        assert_eq!(c.inc_capped(2), Some(2));
+        assert_eq!(c.inc_capped(2), None);
+        assert_eq!(c.get(), 2, "a refused claim must not move the counter");
+    }
+
+    #[test]
+    fn gauge_saturates_at_zero() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(5);
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bound(0), Some(1));
+        assert_eq!(Histogram::bucket_bound(10), Some(1024));
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_snapshot_is_consistent() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 100, 5000, 5000, 1 << 40] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 7);
+        assert_eq!(snap.sum, 3 + 100 + 10_000 + (1u64 << 40));
+        // Cumulative bucket counts in the JSON form are monotone and
+        // end at the total.
+        let json = snap.to_json();
+        let buckets = json.get("buckets").and_then(Json::as_array).unwrap();
+        let mut prev = 0;
+        for b in buckets {
+            let c = b.get("count").and_then(Json::as_u64).unwrap();
+            assert!(c >= prev, "cumulative counts must not decrease");
+            prev = c;
+        }
+        assert_eq!(prev, 7);
+        assert_eq!(buckets.last().unwrap().get("le").and_then(Json::as_str), Some("+Inf"));
+    }
+
+    #[test]
+    fn histogram_quantile_estimates() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10); // bucket 4, bound 16
+        }
+        h.observe(100_000); // bucket 17, bound 131072
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 16);
+        assert_eq!(snap.quantile(1.0), 131_072);
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("counters").and_then(|c| c.get("x_total")).and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let reg = Registry::new();
+        reg.counter("requests_total{op=\"run\"}").add(3);
+        reg.gauge("queue_depth").set(2);
+        reg.histogram("latency_us{op=\"run\"}").observe(100);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter\n"), "{text}");
+        assert!(text.contains("requests_total{op=\"run\"} 3\n"), "{text}");
+        assert!(text.contains("# TYPE queue_depth gauge\n"), "{text}");
+        assert!(text.contains("queue_depth 2\n"), "{text}");
+        assert!(text.contains("latency_us_bucket{op=\"run\",le=\"128\"} 1\n"), "{text}");
+        assert!(text.contains("latency_us_bucket{op=\"run\",le=\"+Inf\"} 1\n"), "{text}");
+        assert!(text.contains("latency_us_sum{op=\"run\"} 100\n"), "{text}");
+        assert!(text.contains("latency_us_count{op=\"run\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    fn span_accumulates_phases() {
+        let mut span = Span::begin();
+        span.mark("compile");
+        span.add("simulate", Duration::from_micros(500));
+        span.add("simulate", Duration::from_micros(250));
+        let phases = span.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[1], ("simulate", Duration::from_micros(750)));
+        let json = span.phases_json();
+        assert_eq!(json.get("simulate").and_then(Json::as_u64), Some(750));
+        assert!(json.get("compile").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn trace_log_samples_and_flushes() {
+        let path =
+            std::env::temp_dir().join(format!("sempe-trace-test-{}.jsonl", std::process::id()));
+        {
+            let log = TraceLog::create(&path, 2).expect("create trace log");
+            for i in 0u64..6 {
+                if log.sample() {
+                    log.emit(&Json::obj().with("i", i).with("t_us", log.elapsed_us()));
+                }
+            }
+        } // drop joins the writer and flushes
+        let text = std::fs::read_to_string(&path).expect("read trace log");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "every 2nd of 6 events: {text}");
+        for line in &lines {
+            let v = crate::json::parse(line).expect("valid JSONL");
+            assert!(v.get("t_us").and_then(Json::as_u64).is_some());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -13,9 +13,15 @@
 //!            [--leak-check] [--max-cycles N]
 //!   stats
 //!   health
+//!   metrics  [--prometheus]
 //!   shutdown
 //!   raw      '<json request line>'
 //! ```
+//!
+//! `metrics` fetches one self-consistent telemetry snapshot. By default
+//! the JSON response line is printed verbatim; `--prometheus` asks the
+//! server for the text rendering and prints the exposition text itself
+//! (ready to pipe into a scrape file).
 //!
 //! `--source -` reads WIR from stdin. The response line is printed to
 //! stdout verbatim; the exit code is 0 for `"ok":true`, 2 for a server
@@ -58,6 +64,7 @@ struct Options {
     inputs: Option<String>,
     leak_check: bool,
     raw: Option<String>,
+    prometheus: bool,
     deadline_ms: Option<u64>,
     id: Option<String>,
     retries: u32,
@@ -67,10 +74,10 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: sempe-client [--addr HOST:PORT] \
-         <compile|run|sweep|attack|batch|stats|health|shutdown|raw> \
+         <compile|run|sweep|attack|batch|stats|health|metrics|shutdown|raw> \
          [--source FILE|-] [--backend B] [--mode M] [--secret NAME] [--secret-value N] \
          [--candidates A,B,...] [--inputs JSON] [--leak-check] [--max-cycles N] \
-         [--deadline-ms N] [--id TOKEN] [--retries N] [--retry-base-ms N] ['<json>']"
+         [--prometheus] [--deadline-ms N] [--id TOKEN] [--retries N] [--retry-base-ms N] ['<json>']"
     );
     std::process::exit(1);
 }
@@ -94,6 +101,7 @@ fn parse_args() -> Options {
         inputs: None,
         leak_check: false,
         raw: None,
+        prometheus: false,
         deadline_ms: None,
         id: None,
         retries: DEFAULT_RETRIES,
@@ -133,6 +141,7 @@ fn parse_args() -> Options {
             }
             "--inputs" => opts.inputs = Some(value("--inputs")),
             "--leak-check" => opts.leak_check = true,
+            "--prometheus" => opts.prometheus = true,
             "--deadline-ms" => {
                 opts.deadline_ms = Some(
                     value("--deadline-ms")
@@ -254,6 +263,13 @@ fn build_request(opts: &Options) -> String {
         }
         "stats" => envelope(Json::obj().with("type", "stats"), opts),
         "health" => envelope(Json::obj().with("type", "health"), opts),
+        "metrics" => {
+            let mut req = Json::obj().with("type", "metrics");
+            if opts.prometheus {
+                req.set("format", "prometheus");
+            }
+            envelope(req, opts)
+        }
         "shutdown" => envelope(Json::obj().with("type", "shutdown"), opts),
         "raw" => opts.raw.clone().unwrap_or_else(|| fail("raw needs a JSON argument")),
         other => fail(&format!("unknown command `{other}`")),
@@ -325,6 +341,18 @@ fn main() -> ExitCode {
         std::thread::sleep(backoff(attempt, opts.retry_base_ms));
         attempt += 1;
     };
+    // `metrics --prometheus`: unwrap the exposition text out of the
+    // response envelope so the output pipes straight into a scrape file.
+    if opts.command == "metrics" && opts.prometheus {
+        if let Ok(v) = sempe_core::json::parse(response.trim_end()) {
+            if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                if let Some(text) = v.get("text").and_then(|t| t.as_str()) {
+                    print!("{text}");
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+    }
     print!("{response}");
     match sempe_core::json::parse(response.trim_end()) {
         Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => ExitCode::SUCCESS,

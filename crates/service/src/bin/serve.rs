@@ -5,6 +5,7 @@
 //!             [--cache-cap N] [--addr-file PATH]
 //!             [--idle-timeout-ms N] [--frame-timeout-ms N]
 //!             [--drain-timeout-ms N] [--restart-budget N]
+//!             [--trace-log PATH] [--trace-sample N]
 //! ```
 //!
 //! Binds (port 0 picks an ephemeral port), prints the resolved address,
@@ -35,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sempe-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
          [--cache-cap N] [--addr-file PATH] [--idle-timeout-ms N] \
-         [--frame-timeout-ms N] [--drain-timeout-ms N] [--restart-budget N]"
+         [--frame-timeout-ms N] [--drain-timeout-ms N] [--restart-budget N] \
+         [--trace-log PATH] [--trace-sample N]"
     );
     std::process::exit(2);
 }
@@ -126,6 +128,11 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 }
             },
+            "--trace-log" => config.trace_log_path = Some(value("--trace-log").into()),
+            "--trace-sample" => match value("--trace-sample").parse() {
+                Ok(n) => config.trace_sample = n,
+                Err(_) => usage(),
+            },
             "--addr-file" => addr_file = Some(value("--addr-file")),
             "--help" | "-h" => usage(),
             other => {
@@ -138,7 +145,7 @@ fn main() -> ExitCode {
     let server = match Server::start(&config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("sempe-serve: bind {} failed: {e}", config.addr);
+            eprintln!("sempe-serve: starting on {} failed: {e}", config.addr);
             return ExitCode::FAILURE;
         }
     };

@@ -8,11 +8,15 @@
 //! responses by construction.
 //!
 //! The cache is a bounded FIFO: at capacity, the oldest entry is evicted.
-//! Hit/miss counters feed the `stats` endpoint.
+//! Hit/miss counters feed the `stats` and `metrics` endpoints: the cache
+//! can be handed registry-owned [`Counter`] handles
+//! ([`ResultCache::with_counters`]) so both endpoints read the *same*
+//! atomics — one source of truth, no drift.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use sempe_core::telemetry::Counter;
 
 use crate::sync;
 
@@ -47,20 +51,24 @@ struct CacheInner {
 pub struct ResultCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl ResultCache {
-    /// An empty cache holding at most `capacity` responses.
+    /// An empty cache holding at most `capacity` responses, with
+    /// private (unregistered) counters.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        ResultCache {
-            capacity,
-            inner: Mutex::new(CacheInner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        ResultCache::with_counters(capacity, Arc::new(Counter::new()), Arc::new(Counter::new()))
+    }
+
+    /// An empty cache whose hit/miss accounting lands in the given
+    /// counters — typically `registry.counter("cache_hits_total")` /
+    /// `…misses_total`, so `stats` and `metrics` render one ledger.
+    #[must_use]
+    pub fn with_counters(capacity: usize, hits: Arc<Counter>, misses: Arc<Counter>) -> Self {
+        ResultCache { capacity, inner: Mutex::new(CacheInner::default()), hits, misses }
     }
 
     /// Look up a response, counting the hit or miss.
@@ -70,9 +78,9 @@ impl ResultCache {
         let hit = inner.map.get(key).cloned();
         drop(inner);
         if hit.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
         }
         hit
     }
@@ -119,13 +127,13 @@ impl ResultCache {
     /// Lookups served from memory.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that had to compute.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// `hits / (hits + misses)`, or 0 before any lookup.
@@ -196,6 +204,23 @@ mod tests {
         c.insert(key(1), Arc::from("a"));
         assert!(c.is_empty());
         assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn registry_backed_counters_share_one_ledger() {
+        let reg = sempe_core::Registry::new();
+        let c = ResultCache::with_counters(
+            4,
+            reg.counter("cache_hits_total"),
+            reg.counter("cache_misses_total"),
+        );
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), Arc::from("body"));
+        assert!(c.get(&key(1)).is_some());
+        // The cache's own accessors and the registry read the same atomics.
+        assert_eq!(reg.counter("cache_hits_total").get(), c.hits());
+        assert_eq!(reg.counter("cache_misses_total").get(), c.misses());
+        assert_eq!((c.hits(), c.misses()), (1, 1));
     }
 
     #[test]

@@ -18,7 +18,6 @@
 //! oracle, so the determinism invariant above is preserved.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -26,10 +25,11 @@ use sempe_compile::{analyze_taint, compile, parse_wir, ParsedProgram, WirProgram
 use sempe_core::attack::{BranchProfileAttacker, TimingAttacker};
 use sempe_core::hash::{fnv1a, Fnv1a};
 use sempe_core::json::Json;
+use sempe_core::telemetry::{Counter, Span};
 use sempe_core::trace::ObservationTrace;
 use sempe_core::{first_divergence, Strictness};
 use sempe_isa::{disasm, Addr, DecodeMode, Program};
-use sempe_sim::{Checkpoint, SecurityMode, SimConfig, SimError, SimResult, Simulator};
+use sempe_sim::{Checkpoint, HostProfile, SecurityMode, SimConfig, SimError, SimResult, Simulator};
 
 use crate::cache::CacheKey;
 use crate::protocol::{BackendSel, ErrorCode, Request, ServiceError};
@@ -57,16 +57,22 @@ impl Arena {
     }
 
     /// Simulate `prog` under `config`, reusing the arena's simulator.
+    /// The rebuild (decode + image load) is attributed to the span's
+    /// `compile` phase, the run to `simulate`.
     fn simulate(
         &mut self,
         prog: &Program,
         config: SimConfig,
         fuel: u64,
         deadline: Option<Instant>,
+        span: &mut Span,
     ) -> Result<SimResult, ServiceError> {
         let sim = Simulator::rebuild_or_new(&mut self.sim, prog, config)
             .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
-        sim.run_with_deadline(fuel, deadline).map_err(sim_err)
+        span.mark("compile");
+        let res = sim.run_with_deadline(fuel, deadline).map_err(sim_err);
+        span.mark("simulate");
+        res
     }
 
     /// The simulator after the last [`Arena::simulate`] (memory, trace).
@@ -76,6 +82,18 @@ impl Arena {
         self.sim.as_ref().ok_or_else(|| {
             ServiceError::new(ErrorCode::Internal, "no simulation ran in this arena")
         })
+    }
+
+    /// Drain and sum the host-time ledgers of every arena slot — the
+    /// per-request attribution the worker folds into the
+    /// `sim_host_us{phase=…}` histograms. Resets all slots, so the next
+    /// request on this arena starts a clean ledger.
+    pub fn take_host_profile(&mut self) -> HostProfile {
+        let mut total = HostProfile::default();
+        for sim in std::iter::once(&mut self.sim).chain(self.side.iter_mut()).flatten() {
+            total.absorb(&sim.take_host_profile());
+        }
+        total
     }
 }
 
@@ -94,20 +112,24 @@ type ForkStore = (HashMap<ForkKey, Arc<Checkpoint>>, VecDeque<ForkKey>);
 pub struct ForkCache {
     capacity: usize,
     inner: Mutex<ForkStore>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl ForkCache {
-    /// An empty store holding at most `capacity` checkpoints.
+    /// An empty store holding at most `capacity` checkpoints, with
+    /// private (unregistered) counters.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        ForkCache {
-            capacity,
-            inner: Mutex::new((HashMap::new(), VecDeque::new())),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        ForkCache::with_counters(capacity, Arc::new(Counter::new()), Arc::new(Counter::new()))
+    }
+
+    /// An empty store whose hit/miss accounting lands in the given
+    /// counters — typically `registry.counter("fork_hits_total")` /
+    /// `…misses_total`, so `stats` and `metrics` render one ledger.
+    #[must_use]
+    pub fn with_counters(capacity: usize, hits: Arc<Counter>, misses: Arc<Counter>) -> Self {
+        ForkCache { capacity, inner: Mutex::new((HashMap::new(), VecDeque::new())), hits, misses }
     }
 
     /// Fetch the checkpoint for `(prog, config)`, building (and caching)
@@ -125,10 +147,10 @@ impl ForkCache {
     ) -> Result<Arc<Checkpoint>, ServiceError> {
         let key = (prog.digest(), config.digest());
         if let Some(hit) = sync::lock(&self.inner).0.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(Arc::clone(hit));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let mut sim = Simulator::new(prog, config)
             .map_err(|e| ServiceError::new(ErrorCode::Compile, e.to_string()))?;
         let cp = Arc::new(
@@ -162,13 +184,13 @@ impl ForkCache {
     /// Lookups served from the store.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that had to build a checkpoint.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 }
 
@@ -300,7 +322,7 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
                 params_digest: params.finish(),
             })
         }
-        Request::Stats | Request::Health | Request::Shutdown => None,
+        Request::Stats | Request::Health | Request::Metrics { .. } | Request::Shutdown => None,
     }
 }
 
@@ -334,13 +356,37 @@ pub fn execute_with_deadline(
     forks: &ForkCache,
     deadline: Option<Instant>,
 ) -> Result<String, ServiceError> {
+    execute_traced(req, arena, forks, deadline, &mut Span::begin())
+}
+
+/// [`execute_with_deadline`] with per-phase host-time attribution: the
+/// compile, checkpoint-restore, simulate, and encode portions of the
+/// request land in `span`, keyed by the phase names documented in
+/// `docs/observability.md`. The span only observes — the response bytes
+/// are identical with or without it.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_traced(
+    req: &Request,
+    arena: &mut Arena,
+    forks: &ForkCache,
+    deadline: Option<Instant>,
+    span: &mut Span,
+) -> Result<String, ServiceError> {
+    span.skip();
     let body = match req {
-        Request::Compile { source, backend } => do_compile(source, *backend)?,
+        Request::Compile { source, backend } => {
+            let body = do_compile(source, *backend)?;
+            span.mark("compile");
+            body
+        }
         Request::Run { source, backend, max_cycles } => {
-            do_run(source, *backend, *max_cycles, arena, deadline)?
+            do_run(source, *backend, *max_cycles, arena, deadline, span)?
         }
         Request::Sweep { source, max_cycles } => {
-            do_sweep(source, *max_cycles, arena, forks, deadline)?
+            do_sweep(source, *max_cycles, arena, forks, deadline, span)?
         }
         Request::Attack { source, mode, secret, secret_value, candidates, max_cycles } => {
             do_attack(
@@ -353,16 +399,28 @@ pub fn execute_with_deadline(
                 arena,
                 forks,
                 deadline,
+                span,
             )?
         }
-        Request::Batch { source, backend, inputs, leak_check, max_cycles } => {
-            do_batch(source, *backend, inputs, *leak_check, *max_cycles, arena, forks, deadline)?
-        }
-        Request::Stats | Request::Health | Request::Shutdown => {
+        Request::Batch { source, backend, inputs, leak_check, max_cycles } => do_batch(
+            source,
+            *backend,
+            inputs,
+            *leak_check,
+            *max_cycles,
+            arena,
+            forks,
+            deadline,
+            span,
+        )?,
+        Request::Stats | Request::Health | Request::Metrics { .. } | Request::Shutdown => {
             return Err(ServiceError::new(ErrorCode::Internal, "control request reached a worker"))
         }
     };
-    Ok(body.encode())
+    span.skip();
+    let line = body.encode();
+    span.mark("encode");
+    Ok(line)
 }
 
 fn parse_source(source: &str) -> Result<ParsedProgram, ServiceError> {
@@ -439,9 +497,12 @@ fn arena_run(
     fuel: u64,
     arena: &mut Arena,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<RunData, ServiceError> {
+    span.skip();
     let cw = compile_sel(prog, sel)?;
-    let res = arena.simulate(cw.program(), sel.sim_config(), fuel, deadline)?;
+    span.mark("compile");
+    let res = arena.simulate(cw.program(), sel.sim_config(), fuel, deadline, span)?;
     let stats = res.stats;
     Ok(RunData {
         cycles: res.cycles(),
@@ -465,12 +526,18 @@ fn forked_run(
     patches: &[(Addr, u64)],
     fuel: u64,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<RunData, ServiceError> {
+    let restore_start = Instant::now();
     let sim = Simulator::restore_or_new(slot, cp);
     for &(addr, value) in patches {
         sim.mem_mut().write_u64(addr, value);
     }
-    let res = sim.run_with_deadline(fuel, deadline).map_err(sim_err)?;
+    span.add("checkpoint_restore", restore_start.elapsed());
+    let run_start = Instant::now();
+    let res = sim.run_with_deadline(fuel, deadline).map_err(sim_err);
+    span.add("simulate", run_start.elapsed());
+    let res = res?;
     let stats = res.stats;
     Ok(RunData {
         cycles: res.cycles(),
@@ -489,9 +556,10 @@ fn do_run(
     fuel: u64,
     arena: &mut Arena,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
-    let data = arena_run(&parsed.program, sel, fuel, arena, deadline)?;
+    let data = arena_run(&parsed.program, sel, fuel, arena, deadline, span)?;
     let mut body = Json::obj().with("ok", true).with("type", "run").with("backend", sel.name());
     if let Json::Obj(run_members) = data.to_json() {
         if let Json::Obj(members) = &mut body {
@@ -510,15 +578,19 @@ fn do_sweep(
     arena: &mut Arena,
     forks: &ForkCache,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let prog = &parsed.program;
     // Compile all three combinations and fetch (or build) their shared
     // checkpoints up front; the concurrent lanes then only restore+run.
+    span.skip();
     let mut lanes = Vec::with_capacity(BackendSel::ALL.len());
     for sel in BackendSel::ALL {
         let cw = compile_sel(prog, sel)?;
+        span.mark("compile");
         let cp = forks.get_or_build(cw.program(), sel.sim_config())?;
+        span.mark("checkpoint_restore");
         lanes.push((cw, cp));
     }
     let [(base_cw, base_cp), (sempe_cw, sempe_cp), (cte_cw, cte_cp)]: [_; 3] =
@@ -531,14 +603,23 @@ fn do_sweep(
     // All three combinations run concurrently: SeMPE and CTE (the long
     // poles) on this worker's persistent side slots, the baseline on the
     // main arena slot — no throwaway simulators.
+    // The side lanes run on their own threads, so each gets a throwaway
+    // span (a `&mut Span` cannot cross the scope); the whole concurrent
+    // section is attributed to `simulate` as main-thread wall time,
+    // which keeps the span's phase sum ≤ the request's wall time.
     let Arena { sim, side } = arena;
     let [side_a, side_b] = side;
     let (baseline, sempe, cte) = std::thread::scope(|s| {
-        let sempe = s.spawn(|| forked_run(side_a, &sempe_cp, &sempe_cw, &[], fuel, deadline));
-        let cte = s.spawn(|| forked_run(side_b, &cte_cp, &cte_cw, &[], fuel, deadline));
-        let baseline = forked_run(sim, &base_cp, &base_cw, &[], fuel, deadline);
+        let sempe = s.spawn(|| {
+            forked_run(side_a, &sempe_cp, &sempe_cw, &[], fuel, deadline, &mut Span::begin())
+        });
+        let cte = s.spawn(|| {
+            forked_run(side_b, &cte_cp, &cte_cw, &[], fuel, deadline, &mut Span::begin())
+        });
+        let baseline = forked_run(sim, &base_cp, &base_cw, &[], fuel, deadline, &mut Span::begin());
         (baseline, join(sempe), join(cte))
     });
+    span.mark("simulate");
     let (baseline, sempe, cte) = (baseline?, sempe?, cte?);
     let outputs_match = baseline.outputs == sempe.outputs && baseline.outputs == cte.outputs;
     let ratio = |r: &RunData| (r.cycles as f64 / baseline.cycles.max(1) as f64 * 1e6).round() / 1e6;
@@ -570,6 +651,7 @@ fn do_attack(
     arena: &mut Arena,
     forks: &ForkCache,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let vid = match secret {
@@ -595,13 +677,18 @@ fn do_attack(
     // checkpoint; per candidate the fork server restores the checkpoint
     // and patches the secret's data slot — identical, bit for bit, to a
     // cold build with that initializer, without the per-trial setup.
+    span.skip();
     let cw = compile_sel(&parsed.program, sel)?;
+    span.mark("compile");
     let secret_addr = cw.var_addr(vid);
     let cp = forks.get_or_build(cw.program(), config)?;
+    span.mark("checkpoint_restore");
     let run_with = |value: u64,
-                    arena: &mut Arena|
+                    arena: &mut Arena,
+                    span: &mut Span|
      -> Result<(u64, ObservationTrace), ServiceError> {
-        let data = forked_run(&mut arena.sim, &cp, &cw, &[(secret_addr, value)], fuel, deadline)?;
+        let data =
+            forked_run(&mut arena.sim, &cp, &cw, &[(secret_addr, value)], fuel, deadline, span)?;
         Ok((data.cycles, arena.sim()?.trace().clone()))
     };
     let mut calib: Vec<(u64, u64, ObservationTrace)> = Vec::with_capacity(candidates.len());
@@ -609,13 +696,13 @@ fn do_attack(
         if expired(deadline) {
             return Err(deadline_between(done, candidates.len(), "calibration runs"));
         }
-        let (cycles, trace) = run_with(c, arena)?;
+        let (cycles, trace) = run_with(c, arena, span)?;
         calib.push((c, cycles, trace));
     }
     // The victim's run (reused when the true secret is also a candidate).
     let victim_trace = match calib.iter().find(|(c, _, _)| *c == victim_secret) {
         Some((_, _, t)) => t.clone(),
-        None => run_with(victim_secret, arena)?.1,
+        None => run_with(victim_secret, arena, span)?.1,
     };
 
     // Timing attacker (Brumley–Boneh style).
@@ -709,11 +796,15 @@ fn do_batch(
     arena: &mut Arena,
     forks: &ForkCache,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
+    span.skip();
     let cw = compile_sel(&parsed.program, sel)?;
+    span.mark("compile");
     let config = if leak_check { sel.sim_config().with_trace() } else { sel.sim_config() };
     let cp = forks.get_or_build(cw.program(), config)?;
+    span.mark("checkpoint_restore");
 
     // Resolve every named variable once, before any simulation runs.
     let mut patched_inputs: Vec<Vec<(Addr, u64)>> = Vec::with_capacity(inputs.len());
@@ -739,7 +830,7 @@ fn do_batch(
         if expired(deadline) {
             return Err(deadline_between(idx, inputs.len(), "batch items"));
         }
-        let data = forked_run(&mut arena.sim, &cp, &cw, patches, fuel, deadline)?;
+        let data = forked_run(&mut arena.sim, &cp, &cw, patches, fuel, deadline, span)?;
         if leak_check {
             let trace = arena.sim()?.trace().clone();
             match pending_trace.take() {

@@ -32,9 +32,11 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sempe_core::json::Json;
+use sempe_core::telemetry::{Counter, Registry};
 
 /// Labelled fault sites, in counter/report order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,17 +207,38 @@ fn mix(mut z: u64) -> u64 {
 pub struct FaultInjector {
     plan: FaultPlan,
     visits: [AtomicU64; 9],
-    injected: [AtomicU64; 9],
+    /// Per-site injection ledger. With [`FaultInjector::with_registry`]
+    /// these are the registry's `faults_injected_total{site="…"}`
+    /// counters, so the `health` fault report and the `metrics` op read
+    /// the same atomics.
+    injected: [Arc<Counter>; 9],
 }
 
 impl FaultInjector {
-    /// Wrap a plan for runtime use.
+    /// Wrap a plan for runtime use with private (unregistered) counters.
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             plan,
             visits: std::array::from_fn(|_| AtomicU64::new(0)),
-            injected: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|_| Arc::new(Counter::new())),
+        }
+    }
+
+    /// Wrap a plan whose injection ledger lives in `registry` as
+    /// `faults_injected_total{site="<name>"}` — the single source of
+    /// truth behind both the `health` fault report and the `metrics` op.
+    #[must_use]
+    pub fn with_registry(plan: FaultPlan, registry: &Registry) -> Self {
+        FaultInjector {
+            plan,
+            visits: std::array::from_fn(|_| AtomicU64::new(0)),
+            injected: std::array::from_fn(|i| {
+                registry.counter(&format!(
+                    "faults_injected_total{{site=\"{}\"}}",
+                    FaultSite::ALL[i].name()
+                ))
+            }),
         }
     }
 
@@ -244,7 +267,7 @@ impl FaultInjector {
         let roll = mix(self.plan.seed ^ ((i as u64) << 56) ^ n) % 1000;
         let hit = roll < u64::from(rate);
         if hit {
-            self.injected[i].fetch_add(1, Ordering::Relaxed);
+            self.injected[i].inc();
         }
         hit
     }
@@ -297,13 +320,13 @@ impl FaultInjector {
     /// Times each site actually fired, in [`FaultSite::ALL`] order.
     #[must_use]
     pub fn injected(&self) -> [(FaultSite, u64); 9] {
-        std::array::from_fn(|i| (FaultSite::ALL[i], self.injected[i].load(Ordering::Relaxed)))
+        std::array::from_fn(|i| (FaultSite::ALL[i], self.injected[i].get()))
     }
 
     /// Total injections across all sites.
     #[must_use]
     pub fn total_injected(&self) -> u64 {
-        self.injected.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.injected.iter().map(|c| c.get()).sum()
     }
 
     /// The health-report fragment: activity flag, seed, per-site counts.
@@ -387,6 +410,22 @@ mod tests {
         let expired = inj.wedge(Some(Instant::now() + Duration::from_millis(30)));
         assert!(expired, "deadline must cut the wedge short");
         assert!(start.elapsed() < Duration::from_millis(2_000), "wedge must not run to 5s");
+    }
+
+    #[test]
+    fn registry_backed_ledger_is_shared() {
+        let reg = Registry::new();
+        let inj = FaultInjector::with_registry(
+            FaultPlan::default().with_rate(FaultSite::CacheFail, 1000),
+            &reg,
+        );
+        assert!(inj.fire(FaultSite::CacheFail));
+        assert_eq!(
+            reg.counter("faults_injected_total{site=\"cache_fail\"}").get(),
+            1,
+            "health ledger and registry counter are the same atomic"
+        );
+        assert_eq!(inj.total_injected(), 1);
     }
 
     #[test]

@@ -249,15 +249,50 @@ pub enum Request {
     /// Readiness/liveness probe: queue pressure, worker pool state,
     /// restart and fault-injection counters. Served inline, never queued.
     Health,
+    /// Full telemetry snapshot: every counter, gauge, and latency
+    /// histogram in the registry. Served inline, never queued.
+    Metrics {
+        /// Rendering of the snapshot.
+        format: MetricsFormat,
+    },
     /// Stop accepting connections and exit cleanly.
     Shutdown,
+}
+
+/// How a [`Request::Metrics`] response renders the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Structured JSON snapshot (the default).
+    #[default]
+    Json,
+    /// Prometheus-style text exposition, carried as a `"text"` member.
+    Prometheus,
 }
 
 impl Request {
     /// Does this request go through the job queue (and the result cache)?
     #[must_use]
     pub fn is_compute(&self) -> bool {
-        !matches!(self, Request::Stats | Request::Health | Request::Shutdown)
+        !matches!(
+            self,
+            Request::Stats | Request::Health | Request::Metrics { .. } | Request::Shutdown
+        )
+    }
+
+    /// The wire name of this request's `type`, for telemetry labels.
+    #[must_use]
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Compile { .. } => "compile",
+            Request::Run { .. } => "run",
+            Request::Sweep { .. } => "sweep",
+            Request::Attack { .. } => "attack",
+            Request::Batch { .. } => "batch",
+            Request::Stats => "stats",
+            Request::Health => "health",
+            Request::Metrics { .. } => "metrics",
+            Request::Shutdown => "shutdown",
+        }
     }
 
     /// Is this a heavy fan-out request (`batch`/`sweep`) — the first to
@@ -360,12 +395,25 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "health" => Ok(Request::Health),
+            "metrics" => {
+                let format = match opt_str(v, "format")? {
+                    None | Some("json") => MetricsFormat::Json,
+                    Some("prometheus") => MetricsFormat::Prometheus,
+                    Some(other) => {
+                        return Err(ServiceError::new(
+                            ErrorCode::BadRequest,
+                            format!("unknown format `{other}` (expected json|prometheus)"),
+                        ))
+                    }
+                };
+                Ok(Request::Metrics { format })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServiceError::new(
                 ErrorCode::BadRequest,
                 format!(
                     "unknown request type `{other}` \
-                     (expected compile|run|sweep|attack|batch|stats|health|shutdown)"
+                     (expected compile|run|sweep|attack|batch|stats|health|metrics|shutdown)"
                 ),
             )),
         }
@@ -605,6 +653,29 @@ mod tests {
         assert_eq!(Request::parse(r#"{"type":"stats"}"#), Ok(Request::Stats));
         assert_eq!(Request::parse(r#"{"type":"health"}"#), Ok(Request::Health));
         assert_eq!(Request::parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn parses_metrics_requests() {
+        assert_eq!(
+            Request::parse(r#"{"type":"metrics"}"#),
+            Ok(Request::Metrics { format: MetricsFormat::Json })
+        );
+        assert_eq!(
+            Request::parse(r#"{"type":"metrics","format":"json"}"#),
+            Ok(Request::Metrics { format: MetricsFormat::Json })
+        );
+        assert_eq!(
+            Request::parse(r#"{"type":"metrics","format":"prometheus"}"#),
+            Ok(Request::Metrics { format: MetricsFormat::Prometheus })
+        );
+        assert_eq!(
+            Request::parse(r#"{"type":"metrics","format":"xml"}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        let m = Request::Metrics { format: MetricsFormat::Json };
+        assert!(!m.is_compute(), "metrics is served inline, never queued");
+        assert_eq!(m.op_name(), "metrics");
     }
 
     #[test]

@@ -36,17 +36,22 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sempe_core::json::Json;
+use sempe_core::json::{self, Json};
+use sempe_core::telemetry::{Counter, Gauge, Registry, Span, TraceLog};
+use sempe_sim::HostProfile;
 
 use crate::cache::ResultCache;
 use crate::exec::{self, Arena, ForkCache};
 use crate::fault::{FaultInjector, FaultPlan, FaultSite};
-use crate::protocol::{with_id, Envelope, ErrorCode, Request, ServiceError, MAX_REQUEST_BYTES};
+use crate::protocol::{
+    with_id, Envelope, ErrorCode, MetricsFormat, Request, ServiceError, MAX_REQUEST_BYTES,
+};
 use crate::sync;
 
 /// How often blocked connection reads wake up to check timeouts and the
@@ -96,6 +101,13 @@ pub struct ServiceConfig {
     pub backoff_base_ms: u64,
     /// Deterministic fault injection (`None` in production).
     pub fault_plan: Option<FaultPlan>,
+    /// Structured trace-log path (JSONL, one event per sampled request);
+    /// `None` disables tracing entirely.
+    pub trace_log_path: Option<PathBuf>,
+    /// Trace sampling: log every Nth completed request (1 = all; 0 is
+    /// treated as 1). Sampling happens before any encoding, and the
+    /// write itself runs on a dedicated thread — never the job path.
+    pub trace_sample: u64,
 }
 
 impl Default for ServiceConfig {
@@ -113,6 +125,8 @@ impl Default for ServiceConfig {
             restart_budget: 32,
             backoff_base_ms: 25,
             fault_plan: None,
+            trace_log_path: None,
+            trace_sample: 1,
         }
     }
 }
@@ -122,6 +136,10 @@ impl Default for ServiceConfig {
 struct Job {
     request: Request,
     deadline: Option<Instant>,
+    /// The envelope's request id, carried into trace events.
+    id: Option<String>,
+    /// When the connection handler queued the job (queue-wait basis).
+    submitted: Instant,
     reply: mpsc::Sender<Result<Arc<str>, ServiceError>>,
 }
 
@@ -196,6 +214,15 @@ struct Shared {
     /// Fork-server checkpoints, shared by every worker.
     forks: ForkCache,
     injector: FaultInjector,
+    /// The telemetry spine: every counter, gauge, and histogram below
+    /// (plus the cache/fork/fault ledgers) lives here, so `stats`,
+    /// `health`, and `metrics` all render the same atomics.
+    registry: Arc<Registry>,
+    /// Sampled structured event stream (`--trace-log`); `None` when off.
+    /// Behind a mutex so [`Server::join`] can take and drop it once the
+    /// workers are joined — the flush must not depend on when the last
+    /// `Arc<Shared>` clone (e.g. a signal watcher's handle) dies.
+    trace: Mutex<Option<TraceLog>>,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     workers: usize,
@@ -205,18 +232,18 @@ struct Shared {
     drain_timeout: Duration,
     restart_budget: u64,
     backoff_base_ms: u64,
-    alive_workers: AtomicUsize,
-    busy_workers: AtomicUsize,
-    restarts: AtomicU64,
+    alive_workers: Arc<Gauge>,
+    busy_workers: Arc<Gauge>,
+    restarts: Arc<Counter>,
     /// The supervisor declined a respawn (budget spent or spawn failed):
     /// the pool will never grow again.
     pool_exhausted: AtomicBool,
-    arenas_quarantined: AtomicU64,
-    deadlines_expired: AtomicU64,
-    shed: AtomicU64,
-    jobs_served: AtomicU64,
-    rejected: AtomicU64,
-    connections: AtomicU64,
+    arenas_quarantined: Arc<Counter>,
+    deadlines_expired: Arc<Counter>,
+    shed: Arc<Counter>,
+    jobs_served: Arc<Counter>,
+    rejected: Arc<Counter>,
+    connections: Arc<Counter>,
     started: Instant,
     /// Worker join handles — the initial pool plus every supervisor
     /// respawn; drained by [`Server::join`].
@@ -235,10 +262,10 @@ impl Shared {
             .with("queue_depth", self.queue.depth())
             .with("queue_capacity", self.queue.capacity)
             .with("workers", self.workers)
-            .with("busy_workers", self.busy_workers.load(Ordering::Relaxed))
-            .with("jobs_served", self.jobs_served.load(Ordering::Relaxed))
-            .with("rejected", self.rejected.load(Ordering::Relaxed))
-            .with("connections", self.connections.load(Ordering::Relaxed))
+            .with("busy_workers", self.busy_workers.get())
+            .with("jobs_served", self.jobs_served.get())
+            .with("rejected", self.rejected.get())
+            .with("connections", self.connections.get())
             .with(
                 "cache",
                 Json::obj()
@@ -278,27 +305,51 @@ impl Shared {
                     .with("depth", self.queue.depth())
                     .with("capacity", self.queue.capacity)
                     .with("highwater", self.shed_highwater)
-                    .with("shed", self.shed.load(Ordering::Relaxed)),
+                    .with("shed", self.shed.get()),
             )
             .with(
                 "workers",
                 Json::obj()
                     .with("configured", self.workers)
-                    .with("alive", self.alive_workers.load(Ordering::SeqCst))
-                    .with("busy", self.busy_workers.load(Ordering::Relaxed))
-                    .with("restarts", self.restarts.load(Ordering::SeqCst))
+                    .with("alive", self.alive_workers.get())
+                    .with("busy", self.busy_workers.get())
+                    .with("restarts", self.restarts.get())
                     .with("restart_budget", self.restart_budget)
-                    .with("quarantined_arenas", self.arenas_quarantined.load(Ordering::Relaxed)),
+                    .with("quarantined_arenas", self.arenas_quarantined.get()),
             )
-            .with("deadlines_expired", self.deadlines_expired.load(Ordering::Relaxed))
+            .with("deadlines_expired", self.deadlines_expired.get())
             .with("faults", self.injector.to_json())
             .encode()
+    }
+
+    /// The `metrics` op: one self-consistent snapshot of the whole
+    /// registry. Point-in-time values (queue depth, cache/fork entry
+    /// counts, uptime) are refreshed into gauges at scrape time; every
+    /// monotonic series is read live from the shared atomics.
+    fn metrics_line(&self, format: MetricsFormat) -> String {
+        self.registry.gauge("queue_depth").set(self.queue.depth() as u64);
+        self.registry.gauge("queue_capacity").set(self.queue.capacity as u64);
+        self.registry.gauge("cache_entries").set(self.cache.len() as u64);
+        self.registry.gauge("fork_checkpoints").set(self.forks.len() as u64);
+        self.registry
+            .gauge("uptime_ms")
+            .set(u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX));
+        let base = Json::obj().with("ok", true).with("type", "metrics");
+        match format {
+            MetricsFormat::Json => {
+                base.with("format", "json").with("metrics", self.registry.snapshot()).encode()
+            }
+            MetricsFormat::Prometheus => base
+                .with("format", "prometheus")
+                .with("text", self.registry.render_prometheus())
+                .encode(),
+        }
     }
 
     /// No worker is alive and the supervisor will not bring one back —
     /// queued jobs would wait forever, so connections must fail them.
     fn pool_dead(&self) -> bool {
-        self.alive_workers.load(Ordering::SeqCst) == 0 && self.pool_exhausted.load(Ordering::SeqCst)
+        self.alive_workers.get() == 0 && self.pool_exhausted.load(Ordering::SeqCst)
     }
 
     /// Flip the shutdown flag and nudge the accept loop awake with a
@@ -377,11 +428,28 @@ impl Server {
                 Duration::from_millis(ms)
             }
         };
+        let registry = Arc::new(Registry::new());
+        let trace = match &config.trace_log_path {
+            Some(path) => Some(TraceLog::create(path, config.trace_sample.max(1))?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue: JobQueue::new(queue_capacity),
-            cache: ResultCache::new(config.cache_capacity),
-            forks: ForkCache::new(config.fork_capacity),
-            injector: FaultInjector::new(config.fault_plan.clone().unwrap_or_default()),
+            cache: ResultCache::with_counters(
+                config.cache_capacity,
+                registry.counter("cache_hits_total"),
+                registry.counter("cache_misses_total"),
+            ),
+            forks: ForkCache::with_counters(
+                config.fork_capacity,
+                registry.counter("fork_hits_total"),
+                registry.counter("fork_misses_total"),
+            ),
+            injector: FaultInjector::with_registry(
+                config.fault_plan.clone().unwrap_or_default(),
+                &registry,
+            ),
+            trace: Mutex::new(trace),
             shutdown: AtomicBool::new(false),
             local_addr,
             workers,
@@ -391,19 +459,20 @@ impl Server {
             drain_timeout: Duration::from_millis(config.drain_timeout_ms),
             restart_budget: config.restart_budget,
             backoff_base_ms: config.backoff_base_ms.max(1),
-            alive_workers: AtomicUsize::new(0),
-            busy_workers: AtomicUsize::new(0),
-            restarts: AtomicU64::new(0),
+            alive_workers: registry.gauge("workers_alive"),
+            busy_workers: registry.gauge("workers_busy"),
+            restarts: registry.counter("worker_restarts_total"),
             pool_exhausted: AtomicBool::new(false),
-            arenas_quarantined: AtomicU64::new(0),
-            deadlines_expired: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            jobs_served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
+            arenas_quarantined: registry.counter("arenas_quarantined_total"),
+            deadlines_expired: registry.counter("deadlines_expired_total"),
+            shed: registry.counter("requests_shed_total"),
+            jobs_served: registry.counter("jobs_served_total"),
+            rejected: registry.counter("requests_rejected_total"),
+            connections: registry.counter("connections_total"),
             started: Instant::now(),
             worker_handles: Mutex::new(Vec::with_capacity(workers)),
             conn_streams: Mutex::new(HashMap::new()),
+            registry,
         });
 
         // Thread-spawn failures at startup (fd/thread limits) are real
@@ -513,6 +582,10 @@ impl Server {
         if let Some(h) = self.supervisor_handle {
             let _ = h.join();
         }
+        // Every emitter (the workers) is joined: retire the trace log
+        // now, which joins its writer thread and flushes the file —
+        // deterministic even if other `Arc<Shared>` clones outlive us.
+        drop(sync::lock(&self.shared.trace).take());
         // Phase 2: the drain window. Handlers notice the flag at their
         // next read poll, write any response they still owe, deregister
         // their stream, and exit.
@@ -566,7 +639,7 @@ fn accept_loop(
         // Blocked reads poll so handlers can notice timeouts and drain.
         let _ = stream.set_read_timeout(Some(READ_POLL));
         let _ = stream.set_write_timeout(Some(shared.frame_timeout));
-        let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_id = shared.connections.inc() - 1;
         if let Ok(clone) = stream.try_clone() {
             sync::lock(&shared.conn_streams).insert(conn_id, clone);
         }
@@ -601,10 +674,10 @@ fn spawn_worker(
     let shared = Arc::clone(shared);
     let panic_tx = panic_tx.clone();
     std::thread::Builder::new().name(format!("sempe-worker-{idx}")).spawn(move || {
-        shared.alive_workers.fetch_add(1, Ordering::SeqCst);
+        shared.alive_workers.add(1);
         let caught =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(&shared)));
-        shared.alive_workers.fetch_sub(1, Ordering::SeqCst);
+        shared.alive_workers.sub(1);
         if caught.is_err() {
             // The supervisor decides whether to respawn; if it is
             // already gone (drain), the send just fails.
@@ -627,12 +700,13 @@ fn supervisor_loop(
                 if shared.queue.is_closed() {
                     continue; // draining: the pool is winding down anyway
                 }
-                let nth = shared.restarts.fetch_add(1, Ordering::SeqCst) + 1;
-                if nth > shared.restart_budget {
-                    shared.restarts.fetch_sub(1, Ordering::SeqCst);
+                // Claim one unit of the restart budget; the capped
+                // increment never overshoots, so the restart counter
+                // stays monotone and never exceeds the budget.
+                let Some(nth) = shared.restarts.inc_capped(shared.restart_budget) else {
                     shared.pool_exhausted.store(true, Ordering::SeqCst);
                     continue;
-                }
+                };
                 // Exponential backoff, capped, interruptible by drain.
                 #[allow(clippy::cast_possible_truncation)] // min() bounds the shift
                 let backoff = shared
@@ -652,7 +726,7 @@ fn supervisor_loop(
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.queue.is_closed() && shared.alive_workers.load(Ordering::SeqCst) == 0 {
+                if shared.queue.is_closed() && shared.alive_workers.get() == 0 {
                     break;
                 }
             }
@@ -675,9 +749,10 @@ fn execute_guarded(
     arena: &mut Arena,
     forks: &ForkCache,
     deadline: Option<Instant>,
+    span: &mut Span,
 ) -> Result<String, ServiceError> {
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        exec::execute_with_deadline(request, arena, forks, deadline)
+        exec::execute_traced(request, arena, forks, deadline, span)
     }));
     match caught {
         Ok(result) => result,
@@ -693,17 +768,80 @@ fn execute_guarded(
     }
 }
 
+/// Fold one finished job into the registry (latency histograms, phase
+/// breakdown, host attribution, error counts) and, when sampled, the
+/// trace log. Runs after the response body exists; nothing here can
+/// change the bytes on the wire.
+fn observe_job(
+    shared: &Shared,
+    job: &Job,
+    queue_wait: Duration,
+    span: &Span,
+    cached: bool,
+    host: Option<HostProfile>,
+    result: &Result<Arc<str>, ServiceError>,
+) {
+    let op = job.request.op_name();
+    let total = job.submitted.elapsed();
+    let reg = &shared.registry;
+    reg.histogram(&format!("request_latency_us{{op=\"{op}\"}}")).observe_duration(total);
+    reg.histogram("phase_latency_us{phase=\"queue_wait\"}").observe_duration(queue_wait);
+    for (phase, d) in span.phases() {
+        reg.histogram(&format!("phase_latency_us{{phase=\"{phase}\"}}")).observe_duration(*d);
+    }
+    if let Some(hp) = host {
+        reg.histogram("sim_host_us{phase=\"decode\"}")
+            .observe_duration(Duration::from_nanos(hp.decode_ns));
+        reg.histogram("sim_host_us{phase=\"restore\"}")
+            .observe_duration(Duration::from_nanos(hp.restore_ns));
+        reg.histogram("sim_host_us{phase=\"run\"}")
+            .observe_duration(Duration::from_nanos(hp.run_ns));
+        reg.counter("sim_runs_total").add(hp.runs);
+        reg.counter("sim_restores_total").add(hp.restores);
+        reg.counter("sim_skipped_cycles_total").add(hp.skipped_cycles);
+        reg.counter("sim_skips_total").add(hp.skips);
+    }
+    if let Err(e) = result {
+        reg.counter(&format!("errors_total{{code=\"{}\"}}", e.code.as_str())).inc();
+    }
+    if let Some(trace) = sync::lock(&shared.trace).as_ref() {
+        if trace.sample() {
+            let mut event = Json::obj()
+                .with("t_us", trace.elapsed_us())
+                .with("op", op)
+                .with("ok", result.is_ok())
+                .with("cached", cached)
+                .with("queue_us", u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX))
+                .with("total_us", u64::try_from(total.as_micros()).unwrap_or(u64::MAX))
+                .with("phases", span.phases_json());
+            if let Some(id) = &job.id {
+                // The envelope keeps the id pre-encoded for response
+                // splicing; decode it back into a value for the event.
+                match json::parse(id) {
+                    Ok(v) => event.set("id", v),
+                    Err(_) => event.set("id", id.as_str()),
+                }
+            }
+            if let Err(e) = result {
+                event.set("code", e.code.as_str());
+            }
+            trace.emit(&event);
+        }
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let mut arena = Arena::new();
     while let Some(job) = shared.queue.pop() {
+        let queue_wait = job.submitted.elapsed();
+        let refuse = |what: &str| ServiceError::new(ErrorCode::Deadline, what.to_string());
         // A job whose budget died in the queue is answered, not run.
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
-            shared.jobs_served.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(ServiceError::new(
-                ErrorCode::Deadline,
-                "deadline expired while the job was queued",
-            )));
+            shared.deadlines_expired.inc();
+            shared.jobs_served.inc();
+            let err = refuse("deadline expired while the job was queued");
+            observe_job(shared, &job, queue_wait, &Span::begin(), false, None, &Err(err.clone()));
+            let _ = job.reply.send(Err(err));
             continue;
         }
         // Fault checkpoints: both panics escape into `spawn_worker`'s
@@ -712,20 +850,31 @@ fn worker_loop(shared: &Arc<Shared>) {
         // supervisor respawns the worker.
         shared.injector.checkpoint_panic(FaultSite::PanicPre);
         if shared.injector.wedge(job.deadline) {
-            shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
-            shared.jobs_served.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(ServiceError::new(
-                ErrorCode::Deadline,
-                "deadline expired in a wedged simulation",
-            )));
+            shared.deadlines_expired.inc();
+            shared.jobs_served.inc();
+            let err = refuse("deadline expired in a wedged simulation");
+            observe_job(shared, &job, queue_wait, &Span::begin(), false, None, &Err(err.clone()));
+            let _ = job.reply.send(Err(err));
             continue;
         }
-        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
+        shared.busy_workers.add(1);
+        let mut span = Span::begin();
+        let mut cached = false;
         let result = match exec::cache_key(&job.request) {
             Some(key) => match shared.cache.get(&key) {
-                Some(hit) => Ok(hit),
-                None => execute_guarded(&job.request, &mut arena, &shared.forks, job.deadline).map(
-                    |body| {
+                Some(hit) => {
+                    cached = true;
+                    Ok(hit)
+                }
+                None => {
+                    execute_guarded(
+                        &job.request,
+                        &mut arena,
+                        &shared.forks,
+                        job.deadline,
+                        &mut span,
+                    )
+                    .map(|body| {
                         let body: Arc<str> = Arc::from(body.as_str());
                         // An injected insert failure must only lose the
                         // caching, never the response.
@@ -733,23 +882,30 @@ fn worker_loop(shared: &Arc<Shared>) {
                             shared.cache.insert(key, Arc::clone(&body));
                         }
                         body
-                    },
-                ),
+                    })
+                }
             },
-            None => execute_guarded(&job.request, &mut arena, &shared.forks, job.deadline)
-                .map(|b| Arc::from(b.as_str())),
+            None => {
+                execute_guarded(&job.request, &mut arena, &shared.forks, job.deadline, &mut span)
+                    .map(|b| Arc::from(b.as_str()))
+            }
         };
-        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
-        shared.jobs_served.fetch_add(1, Ordering::Relaxed);
+        shared.busy_workers.sub(1);
+        shared.jobs_served.inc();
         if matches!(&result, Err(e) if e.code == ErrorCode::Deadline) {
-            shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+            shared.deadlines_expired.inc();
         }
+        // Drain the arena's host-time ledger whether the job succeeded
+        // or not — failed runs still spent real decode/restore/run time.
+        let host = arena.take_host_profile();
+        let host = (host != HostProfile::default()).then_some(host);
+        observe_job(shared, &job, queue_wait, &span, cached, host, &result);
         shared.injector.checkpoint_panic(FaultSite::PanicPost);
         if shared.injector.fire(FaultSite::ArenaCorrupt) {
             // Simulated arena corruption: quarantine (drop) the arena and
             // start the next job from a fresh one.
             arena = Arena::new();
-            shared.arenas_quarantined.fetch_add(1, Ordering::Relaxed);
+            shared.arenas_quarantined.inc();
         }
         // A vanished client is not a worker error.
         let _ = job.reply.send(result);
@@ -946,7 +1102,13 @@ fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
                     continue;
                 }
                 let (response, stop) = handle_line(trimmed, shared, &mut ids);
-                if write_response(&mut writer, &response, shared).is_err() {
+                let write_start = Instant::now();
+                let wrote = write_response(&mut writer, &response, shared);
+                shared
+                    .registry
+                    .histogram("phase_latency_us{phase=\"write\"}")
+                    .observe_duration(write_start.elapsed());
+                if wrote.is_err() {
                     break;
                 }
                 if stop {
@@ -1002,10 +1164,23 @@ fn handle_line(line: &str, shared: &Arc<Shared>, ids: &mut IdWindow) -> (String,
     };
     let deadline = envelope.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
     let (body, stop) = match request {
-        Request::Stats => (shared.stats_line(), false),
-        Request::Health => (shared.health_line(), false),
-        Request::Shutdown => (Json::obj().with("ok", true).with("type", "shutdown").encode(), true),
-        request => (dispatch_compute(request, deadline, shared), false),
+        Request::Stats => {
+            shared.registry.counter("requests_total{op=\"stats\"}").inc();
+            (shared.stats_line(), false)
+        }
+        Request::Health => {
+            shared.registry.counter("requests_total{op=\"health\"}").inc();
+            (shared.health_line(), false)
+        }
+        Request::Metrics { format } => {
+            shared.registry.counter("requests_total{op=\"metrics\"}").inc();
+            (shared.metrics_line(format), false)
+        }
+        Request::Shutdown => {
+            shared.registry.counter("requests_total{op=\"shutdown\"}").inc();
+            (Json::obj().with("ok", true).with("type", "shutdown").encode(), true)
+        }
+        request => (dispatch_compute(request, id, deadline, shared), false),
     };
     (with_id(&body, id), stop)
 }
@@ -1013,10 +1188,16 @@ fn handle_line(line: &str, shared: &Arc<Shared>, ids: &mut IdWindow) -> (String,
 /// Queue a compute request and wait for its response, enforcing load
 /// shedding on submit and the deadline (plus worker-pool liveness)
 /// while waiting.
-fn dispatch_compute(request: Request, deadline: Option<Instant>, shared: &Arc<Shared>) -> String {
+fn dispatch_compute(
+    request: Request,
+    id: Option<&str>,
+    deadline: Option<Instant>,
+    shared: &Arc<Shared>,
+) -> String {
+    shared.registry.counter(&format!("requests_total{{op=\"{}\"}}", request.op_name())).inc();
     if request.is_heavy() && shared.queue.depth() >= shared.shed_highwater {
-        shared.shed.fetch_add(1, Ordering::Relaxed);
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.shed.inc();
+        shared.rejected.inc();
         return ServiceError::new(
             ErrorCode::Busy,
             format!(
@@ -1027,9 +1208,11 @@ fn dispatch_compute(request: Request, deadline: Option<Instant>, shared: &Arc<Sh
         .to_json();
     }
     let (tx, rx) = mpsc::channel();
-    match shared.queue.push(Job { request, deadline, reply: tx }) {
+    let job =
+        Job { request, deadline, id: id.map(str::to_string), submitted: Instant::now(), reply: tx };
+    match shared.queue.push(job) {
         Err(PushError::Full) => {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.rejected.inc();
             ServiceError::new(
                 ErrorCode::Busy,
                 format!("job queue full (capacity {})", shared.queue.capacity),
@@ -1047,7 +1230,7 @@ fn dispatch_compute(request: Request, deadline: Option<Instant>, shared: &Arc<Sh
                     // The job may still be queued behind slower work: a
                     // dead budget or a dead pool must not hang the client.
                     if deadline.is_some_and(|d| Instant::now() >= d + QUEUED_DEADLINE_GRACE) {
-                        shared.deadlines_expired.fetch_add(1, Ordering::Relaxed);
+                        shared.deadlines_expired.inc();
                         return ServiceError::new(
                             ErrorCode::Deadline,
                             "deadline expired before a worker picked the job up",

@@ -1,0 +1,272 @@
+//! The `metrics` op under concurrency: N clients hammering mixed ops
+//! while a scraper polls, histogram bucket monotonicity, snapshot
+//! self-consistency (aggregate phase time ≤ aggregate wall time),
+//! cache hits staying byte-identical *and* counted, and the `--trace-log`
+//! JSONL stream end to end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use sempe_core::json::{self, Json};
+use sempe_service::{Server, ServiceConfig};
+
+const MODEXP: &str = r"
+    secret key = 0b1011;
+    var r = 1;
+    var base = 7;
+    var i = 0;
+    var bit = 0;
+    while (i < 4) bound 5 {
+        bit = (key >> i) & 1;
+        if secret (bit) { r = (r * base) % 1000003; }
+        base = (base * base) % 1000003;
+        i = i + 1;
+    }
+    output r;
+";
+
+fn roundtrip(server: &Server, line: &str) -> String {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    writeln!(stream, "{line}").expect("send");
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp).expect("recv");
+    assert!(resp.ends_with('\n'), "responses are newline-terminated");
+    resp.trim_end().to_string()
+}
+
+fn run_line(max_cycles: u64) -> String {
+    format!(
+        r#"{{"type":"run","source":{},"backend":"sempe","max_cycles":{max_cycles}}}"#,
+        json::escape(MODEXP)
+    )
+}
+
+fn scrape(server: &Server) -> Json {
+    let resp = roundtrip(server, r#"{"type":"metrics"}"#);
+    let v = json::parse(&resp).expect("metrics response parses");
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    assert_eq!(v.get("type").and_then(Json::as_str), Some("metrics"));
+    v.get("metrics").expect("metrics member").clone()
+}
+
+/// Every histogram in a snapshot must have strictly increasing bucket
+/// bounds, non-decreasing cumulative counts, and a final `+Inf` bucket
+/// that equals the histogram's total count.
+fn assert_histograms_consistent(snapshot: &Json) {
+    let Some(Json::Obj(hists)) = snapshot.get("histograms") else {
+        panic!("snapshot has a histograms section")
+    };
+    for (name, h) in hists {
+        let count = h.get("count").and_then(Json::as_u64).expect("count");
+        let sum = h.get("sum").and_then(Json::as_u64);
+        assert!(sum.is_some(), "{name}: sum present");
+        let buckets = h.get("buckets").and_then(Json::as_array).expect("buckets");
+        assert!(!buckets.is_empty(), "{name}: at least the +Inf bucket");
+        let mut last_le = None;
+        let mut last_cum = 0u64;
+        for b in buckets {
+            let cum = b.get("count").and_then(Json::as_u64).expect("cumulative count");
+            assert!(cum >= last_cum, "{name}: cumulative counts are monotone");
+            last_cum = cum;
+            match b.get("le").and_then(Json::as_u64) {
+                Some(le) => {
+                    if let Some(prev) = last_le {
+                        assert!(le > prev, "{name}: bucket bounds increase");
+                    }
+                    last_le = Some(le);
+                }
+                None => {
+                    assert_eq!(
+                        b.get("le").and_then(Json::as_str),
+                        Some("+Inf"),
+                        "{name}: non-numeric bound must be +Inf"
+                    );
+                }
+            }
+        }
+        assert_eq!(last_cum, count, "{name}: the final cumulative bucket is the total");
+    }
+}
+
+fn counter(snapshot: &Json, name: &str) -> u64 {
+    snapshot.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn hist_field(snapshot: &Json, name: &str, field: &str) -> u64 {
+    snapshot
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .and_then(|h| h.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn concurrent_hammer_with_a_polling_scraper() {
+    let server = Server::start(&ServiceConfig { workers: 4, ..ServiceConfig::default() })
+        .expect("server starts");
+
+    const CLIENTS: usize = 6;
+    const SHARED_FUEL: u64 = 50_000_000;
+    std::thread::scope(|s| {
+        // A scraper polling `metrics` while the clients hammer: every
+        // snapshot it sees must already be internally consistent.
+        let scraper = s.spawn(|| {
+            for _ in 0..20 {
+                let snap = scrape(&server);
+                assert_histograms_consistent(&snap);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        for t in 0..CLIENTS {
+            let server = &server;
+            s.spawn(move || {
+                // Two distinct-keyed runs (misses), two shared runs
+                // (first wins the miss, the rest are hits), plus
+                // control-plane ops mixed in.
+                for i in 0..2u64 {
+                    let fuel = SHARED_FUEL + 1 + (t as u64) * 16 + i;
+                    let resp = roundtrip(server, &run_line(fuel));
+                    assert!(resp.contains("\"ok\":true"), "{resp}");
+                }
+                for _ in 0..2 {
+                    let resp = roundtrip(server, &run_line(SHARED_FUEL));
+                    assert!(resp.contains("\"ok\":true"), "{resp}");
+                }
+                let _ = roundtrip(server, r#"{"type":"stats"}"#);
+                let _ = roundtrip(server, r#"{"type":"health"}"#);
+            });
+        }
+        scraper.join().expect("scraper lives");
+    });
+
+    let snap = scrape(&server);
+    assert_histograms_consistent(&snap);
+
+    // Request accounting: every compute submission and the control ops.
+    let runs = CLIENTS as u64 * 4;
+    assert_eq!(counter(&snap, "requests_total{op=\"run\"}"), runs);
+    assert!(counter(&snap, "requests_total{op=\"stats\"}") >= CLIENTS as u64);
+    assert!(counter(&snap, "requests_total{op=\"metrics\"}") >= 20);
+    assert_eq!(counter(&snap, "jobs_served_total"), runs);
+    assert_eq!(hist_field(&snap, "request_latency_us{op=\"run\"}", "count"), runs);
+
+    // The shared request: concurrent first attempts may race each other
+    // to the miss, but every thread's *second* shared run is a
+    // guaranteed hit (its own first insert completed).
+    let hits = counter(&snap, "cache_hits_total");
+    let misses = counter(&snap, "cache_misses_total");
+    assert_eq!(hits + misses, runs, "every run consulted the cache");
+    assert!(hits >= CLIENTS as u64, "second shared runs always hit: {hits}");
+
+    // Host attribution flowed in from the simulator: at least every
+    // cache miss ran the pipeline once.
+    assert!(counter(&snap, "sim_runs_total") >= misses);
+
+    // Self-consistency: aggregate in-job phase time can never exceed
+    // aggregate request wall time. Each request truncates each of its
+    // ≤6 phases and its total to whole µs, so allow one µs per sample.
+    let phases = ["queue_wait", "compile", "checkpoint_restore", "simulate", "encode"];
+    let mut phase_sum = 0u64;
+    let mut phase_count = 0u64;
+    for p in &phases {
+        let name = format!("phase_latency_us{{phase=\"{p}\"}}");
+        phase_sum += hist_field(&snap, &name, "sum");
+        phase_count += hist_field(&snap, &name, "count");
+    }
+    let mut wall_sum = 0u64;
+    for op in ["run", "stats", "health", "metrics"] {
+        wall_sum += hist_field(&snap, &format!("request_latency_us{{op=\"{op}\"}}"), "sum");
+    }
+    assert!(
+        phase_sum <= wall_sum + phase_count,
+        "phase time ({phase_sum}µs over {phase_count} samples) must fit in wall time ({wall_sum}µs)"
+    );
+
+    // The Prometheus rendering carries the same series.
+    let resp = roundtrip(&server, r#"{"type":"metrics","format":"prometheus"}"#);
+    let v = json::parse(&resp).expect("prometheus response parses");
+    let text = v.get("text").and_then(Json::as_str).expect("text member");
+    assert!(text.contains("jobs_served_total"), "{text}");
+    assert!(text.contains("# TYPE"), "{text}");
+    assert!(text.contains("_bucket{"), "{text}");
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn byte_identical_cache_hits_still_count_as_hits() {
+    let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
+        .expect("server starts");
+    let line = run_line(60_000_000);
+    let cold = roundtrip(&server, &line);
+    let before = scrape(&server);
+    let warm = roundtrip(&server, &line);
+    let after = scrape(&server);
+    assert_eq!(cold, warm, "cache hits are byte-identical to cold responses");
+    assert_eq!(
+        counter(&after, "cache_hits_total"),
+        counter(&before, "cache_hits_total") + 1,
+        "the identical response was still counted as a hit"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn trace_log_streams_structured_jsonl_events() {
+    let path: PathBuf = std::env::temp_dir().join(format!(
+        "sempe-trace-test-{}-{:?}.jsonl",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let server = Server::start(&ServiceConfig {
+        workers: 2,
+        trace_log_path: Some(path.clone()),
+        trace_sample: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+
+    let line = run_line(70_000_000);
+    let cold = roundtrip(&server, &line);
+    assert!(cold.contains("\"ok\":true"), "{cold}");
+    let warm = roundtrip(&server, &line);
+    assert_eq!(cold, warm);
+    let bad = roundtrip(
+        &server,
+        r#"{"type":"run","source":"var x = @;","backend":"sempe","id":"trace-me"}"#,
+    );
+    assert!(bad.contains("E_WIR"), "{bad}");
+
+    // Dropping the server flushes and joins the trace writer thread.
+    server.shutdown();
+    server.join();
+
+    let body = std::fs::read_to_string(&path).expect("trace log exists");
+    let events: Vec<Json> =
+        body.lines().map(|l| json::parse(l).expect("every trace line is valid JSON")).collect();
+    assert_eq!(events.len(), 3, "sample=1 logs every completed job:\n{body}");
+    for e in &events {
+        assert_eq!(e.get("op").and_then(Json::as_str), Some("run"));
+        assert!(e.get("t_us").and_then(Json::as_u64).is_some());
+        assert!(e.get("total_us").and_then(Json::as_u64).is_some());
+        assert!(e.get("queue_us").and_then(Json::as_u64).is_some());
+        assert!(e.get("phases").is_some());
+    }
+    assert!(
+        events.iter().any(|e| e.get("cached").and_then(Json::as_bool) == Some(true)),
+        "the warm run is marked cached:\n{body}"
+    );
+    assert!(
+        events.iter().any(|e| e.get("ok").and_then(Json::as_bool) == Some(false)
+            && e.get("code").and_then(Json::as_str) == Some("E_WIR")
+            && e.get("id").and_then(Json::as_str) == Some("trace-me")),
+        "the failed run carries its error code and request id:\n{body}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -60,5 +60,5 @@ pub mod skip;
 pub mod stats;
 
 pub use config::{SecurityMode, SimConfig};
-pub use pipeline::{Checkpoint, SimError, Simulator, DEADLINE_QUANTUM};
+pub use pipeline::{Checkpoint, HostProfile, SimError, Simulator, DEADLINE_QUANTUM};
 pub use stats::{SimResult, SimStats};

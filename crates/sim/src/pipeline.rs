@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use sempe_core::trace::{CacheLevel, ObservationTrace, TraceEvent};
 use sempe_core::unit::SempeUnit;
-use sempe_core::SempeFault;
+use sempe_core::{Json, SempeFault};
 use sempe_isa::decode::DecodeMode;
 use sempe_isa::insn::Inst;
 use sempe_isa::mem::{MemSnapshot, Memory};
@@ -248,6 +248,83 @@ enum CompletionKind {
     Nothing,
 }
 
+/// Host-time attribution of one simulator's work: where the *host's*
+/// wall clock went, as opposed to where the *simulated* cycles went
+/// ([`SimStats`]).
+///
+/// Lifetime contract (pinned by `tests/host_profile.rs`):
+///
+/// * **Reset** by [`Simulator::new`] / [`Simulator::rebuild`] (a fresh
+///   machine starts a fresh ledger) and by
+///   [`Simulator::take_host_profile`].
+/// * **Accumulates** across [`Simulator::restore_from`]: a fork-server
+///   worker restoring N trials sees the sum of all N restores and runs,
+///   so a service request maps to exactly one `take_host_profile()`.
+///   This is deliberately *different* from [`Simulator::skip_counters`],
+///   which resets per restore (a per-trial diagnostic).
+///
+/// Like the skip counters, none of this feeds [`SimStats`]: simulated
+/// results stay bit-for-bit identical whether or not anyone reads the
+/// profile, and the cost is two `Instant::now()` calls per run/restore
+/// — nothing per simulated cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostProfile {
+    /// Nanoseconds spent decoding + loading the program image
+    /// ([`Simulator::new`] / [`Simulator::rebuild`]).
+    pub decode_ns: u64,
+    /// Nanoseconds spent in [`Simulator::restore_from`] rollbacks.
+    pub restore_ns: u64,
+    /// Nanoseconds spent inside the run loop.
+    pub run_ns: u64,
+    /// Number of run calls folded into `run_ns`.
+    pub runs: u64,
+    /// Number of checkpoint restores folded into `restore_ns`.
+    pub restores: u64,
+    /// Cycles fast-forwarded by the next-event skip (accumulating
+    /// twin of [`Simulator::skip_counters`]).
+    pub skipped_cycles: u64,
+    /// Skip jumps taken.
+    pub skips: u64,
+}
+
+impl HostProfile {
+    /// Fold another ledger into this one, field-wise (e.g. summing the
+    /// main and side arena slots of a service worker).
+    pub fn absorb(&mut self, other: &HostProfile) {
+        self.decode_ns += other.decode_ns;
+        self.restore_ns += other.restore_ns;
+        self.run_ns += other.run_ns;
+        self.runs += other.runs;
+        self.restores += other.restores;
+        self.skipped_cycles += other.skipped_cycles;
+        self.skips += other.skips;
+    }
+
+    /// Total attributed host nanoseconds (decode + restore + run).
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.decode_ns.saturating_add(self.restore_ns).saturating_add(self.run_ns)
+    }
+
+    /// JSON form (durations in whole microseconds), as embedded in
+    /// bench reports and service trace events.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("decode_us", self.decode_ns / 1_000)
+            .with("restore_us", self.restore_ns / 1_000)
+            .with("run_us", self.run_ns / 1_000)
+            .with("runs", self.runs)
+            .with("restores", self.restores)
+            .with("skipped_cycles", self.skipped_cycles)
+            .with("skips", self.skips)
+    }
+}
+
+fn elapsed_ns(since: std::time::Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// The cycle-level simulator.
 ///
 /// # Examples
@@ -344,6 +421,8 @@ pub struct Simulator {
     skipped_cycles: u64,
     /// Number of skip jumps taken.
     skips: u64,
+    /// Host-time ledger (see [`HostProfile`] for the lifetime contract).
+    host: HostProfile,
 
     // Reusable scratch buffers: the per-cycle stages must not allocate.
     due_scratch: Vec<Completion>,
@@ -360,6 +439,7 @@ impl Simulator {
     /// [`SimError::Decode`] when the image does not decode under the
     /// configured front end.
     pub fn new(prog: &Program, config: SimConfig) -> Result<Self, SimError> {
+        let build_start = std::time::Instant::now();
         let decode_mode = match config.mode {
             SecurityMode::Baseline => DecodeMode::Legacy,
             SecurityMode::Sempe => DecodeMode::Sempe,
@@ -369,7 +449,7 @@ impl Simulator {
         prog.load_into(&mut mem);
         let mut arch_regs = [0u64; NUM_ARCH_REGS];
         arch_regs[Reg::SP.index()] = layout::STACK_TOP;
-        Ok(Simulator {
+        let mut sim = Simulator {
             fetch_pc: decoded.entry(),
             prog: Arc::new(decoded),
             mem,
@@ -410,11 +490,14 @@ impl Simulator {
             last_commit_cycle: 0,
             skipped_cycles: 0,
             skips: 0,
+            host: HostProfile::default(),
             due_scratch: Vec::new(),
             issue_candidates: Vec::new(),
             replay_scratch: Vec::new(),
             config,
-        })
+        };
+        sim.host.decode_ns = elapsed_ns(build_start);
+        Ok(sim)
     }
 
     /// Rebuild this simulator in place for a new program and
@@ -560,6 +643,7 @@ impl Simulator {
     /// with the same program image (asserted by the golden tests in
     /// `tests/checkpoint.rs` and the fuzzer's fork oracle).
     pub fn restore_from(&mut self, cp: &Checkpoint) {
+        let restore_start = std::time::Instant::now();
         // Persistent state.
         self.config = cp.config;
         self.prog = Arc::clone(&cp.prog);
@@ -608,6 +692,10 @@ impl Simulator {
         self.due_scratch.clear();
         self.issue_candidates.clear();
         self.replay_scratch.clear();
+        // The host ledger accumulates across restores (one request =
+        // many trials); only rebuild/take reset it.
+        self.host.restore_ns += elapsed_ns(restore_start);
+        self.host.restores += 1;
     }
 
     /// Build a simulator directly from a checkpoint — no program decode,
@@ -655,6 +743,7 @@ impl Simulator {
             last_commit_cycle: 0,
             skipped_cycles: 0,
             skips: 0,
+            host: HostProfile::default(),
             due_scratch: Vec::new(),
             issue_candidates: Vec::new(),
             replay_scratch: Vec::new(),
@@ -728,6 +817,21 @@ impl Simulator {
         (self.skipped_cycles, self.skips)
     }
 
+    /// The host-time ledger since construction, rebuild, or the last
+    /// [`Simulator::take_host_profile`]. See [`HostProfile`] for the
+    /// exact reset/accumulate contract.
+    #[must_use]
+    pub fn host_profile(&self) -> HostProfile {
+        self.host
+    }
+
+    /// Read and reset the host-time ledger — the per-request idiom: a
+    /// service worker takes the profile after finishing a job so the
+    /// next job on the same arena starts from zero.
+    pub fn take_host_profile(&mut self) -> HostProfile {
+        core::mem::take(&mut self.host)
+    }
+
     /// Run until `HALT` or `max_cycles`.
     ///
     /// Unless [`SimConfig::classic_stepping`] is set, quiescent spans —
@@ -758,6 +862,18 @@ impl Simulator {
     ///
     /// Any [`SimError`]; see the variants.
     pub fn run_with_deadline(
+        &mut self,
+        max_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<SimResult, SimError> {
+        let run_start = std::time::Instant::now();
+        let result = self.run_loop(max_cycles, deadline);
+        self.host.run_ns += elapsed_ns(run_start);
+        self.host.runs += 1;
+        result
+    }
+
+    fn run_loop(
         &mut self,
         max_cycles: u64,
         deadline: Option<std::time::Instant>,
@@ -863,6 +979,8 @@ impl Simulator {
         }
         self.skipped_cycles += span;
         self.skips += 1;
+        self.host.skipped_cycles += span;
+        self.host.skips += 1;
         self.cycle = target;
         true
     }

@@ -1,0 +1,141 @@
+//! Counter-lifetime contract across arena reuse (`Simulator::rebuild`)
+//! and fork-server restores (`Simulator::restore_from`).
+//!
+//! The service keeps one simulator arena per worker thread and reuses
+//! it across jobs, so any counter that silently survives a rebuild or
+//! restore leaks one job's diagnostics into the next. This suite pins
+//! the intended lifetimes:
+//!
+//! * `SimStats` — reset by `rebuild` (fresh machine), rolled back to
+//!   the checkpoint-time baseline by `restore_from`;
+//! * `skip_counters()` — per-trial: reset by both `rebuild` and
+//!   `restore_from`;
+//! * `HostProfile` — per-request: reset by `rebuild` and
+//!   `take_host_profile()`, but *accumulating* across `restore_from`
+//!   so one ledger covers a whole restore-patch-run batch.
+
+use sempe_compile::wir::{Expr, WirBuilder};
+use sempe_compile::{compile, Backend};
+use sempe_sim::{SimConfig, Simulator};
+
+/// A secret-branching loop with enough memory traffic to commit real
+/// cycles and trigger next-event skips.
+fn workload(key: u64) -> sempe_compile::CompiledWorkload {
+    let mut b = WirBuilder::new();
+    let k = b.var("key", key);
+    let r = b.var("r", 1);
+    let base = b.var("base", 7);
+    let bit = b.var("bit", 0);
+    let mut body = Vec::new();
+    for i in 0..6 {
+        body.push(b.assign(
+            bit,
+            Expr::bin(
+                sempe_compile::BinOp::And,
+                Expr::bin(sempe_compile::BinOp::Shr, Expr::Var(k), Expr::Const(i)),
+                Expr::Const(1),
+            ),
+        ));
+        body.push(sempe_compile::Stmt::If {
+            cond: Expr::Var(bit),
+            secret: true,
+            then_: vec![b.assign(
+                r,
+                Expr::bin(
+                    sempe_compile::BinOp::Rem,
+                    Expr::bin(sempe_compile::BinOp::Mul, Expr::Var(r), Expr::Var(base)),
+                    Expr::Const(1_000_003),
+                ),
+            )],
+            else_: Vec::new(),
+        });
+        body.push(b.assign(
+            base,
+            Expr::bin(
+                sempe_compile::BinOp::Rem,
+                Expr::bin(sempe_compile::BinOp::Mul, Expr::Var(base), Expr::Var(base)),
+                Expr::Const(1_000_003),
+            ),
+        ));
+    }
+    for s in body {
+        b.push(s);
+    }
+    b.output(r);
+    compile(&b.build(), Backend::Sempe).unwrap()
+}
+
+const FUEL: u64 = 1_000_000;
+
+#[test]
+fn rebuild_resets_stats_skip_counters_and_host_profile() {
+    let cw = workload(0b101101);
+    let prog = cw.program();
+    let mut sim = Simulator::new(prog, SimConfig::paper()).unwrap();
+    sim.run(FUEL).unwrap();
+    let first_stats = sim.stats();
+    assert!(first_stats.cycles > 0, "the workload must commit cycles");
+    let profile = sim.host_profile();
+    assert!(profile.runs == 1, "one run recorded: {profile:?}");
+    assert!(profile.run_ns > 0, "a multi-thousand-cycle run takes host time");
+    assert!(profile.decode_ns > 0, "construction decodes the image");
+
+    // Rebuild for the next job: every ledger restarts from zero.
+    sim.rebuild(prog, SimConfig::paper()).unwrap();
+    assert_eq!(sim.stats().cycles, 0, "stats reset on rebuild");
+    assert_eq!(sim.skip_counters(), (0, 0), "skip counters reset on rebuild");
+    let fresh = sim.host_profile();
+    assert_eq!((fresh.runs, fresh.restores, fresh.run_ns), (0, 0, 0));
+    assert_eq!((fresh.skipped_cycles, fresh.skips), (0, 0));
+    assert!(fresh.decode_ns > 0, "rebuild re-decodes, starting the new ledger");
+
+    // And a rerun reproduces the first run exactly — no carried state.
+    let rerun = sim.run(FUEL).unwrap();
+    assert_eq!(rerun.stats, first_stats, "rebuild must not leak state into stats");
+}
+
+#[test]
+fn restore_rolls_stats_back_and_accumulates_host_profile() {
+    let cw = workload(0b110011);
+    let mut sim = Simulator::new(cw.program(), SimConfig::paper()).unwrap();
+    let baseline = sim.stats();
+    let cp = sim.checkpoint().unwrap();
+
+    let mut last_stats = None;
+    for trial in 1..=3u64 {
+        sim.restore_from(&cp);
+        // Per-trial ledgers rewound to the fork point…
+        assert_eq!(sim.stats().cycles, baseline.cycles, "stats roll back to the checkpoint");
+        assert_eq!(sim.skip_counters(), (0, 0), "skip counters reset per restore");
+        // …while the per-request ledger keeps counting.
+        assert_eq!(sim.host_profile().restores, trial, "restores accumulate");
+        assert_eq!(sim.host_profile().runs, trial - 1);
+
+        let result = sim.run(FUEL).unwrap();
+        if let Some(prev) = last_stats {
+            assert_eq!(result.stats, prev, "every trial replays identically");
+        }
+        last_stats = Some(result.stats);
+    }
+
+    let profile = sim.take_host_profile();
+    assert_eq!(profile.runs, 3, "three runs in the request ledger: {profile:?}");
+    assert_eq!(profile.restores, 3);
+    assert!(profile.run_ns > 0);
+    // `take` hands the ledger off and zeroes it for the next request.
+    assert_eq!(sim.host_profile(), sempe_sim::HostProfile::default());
+}
+
+#[test]
+fn host_profile_skip_twin_matches_per_trial_counters_after_one_run() {
+    let cw = workload(0b111111);
+    let mut sim = Simulator::new(cw.program(), SimConfig::paper()).unwrap();
+    sim.run(FUEL).unwrap();
+    let (skipped, skips) = sim.skip_counters();
+    let profile = sim.host_profile();
+    assert_eq!(
+        (profile.skipped_cycles, profile.skips),
+        (skipped, skips),
+        "after a single run since rebuild the accumulating twin agrees"
+    );
+}
