@@ -1,0 +1,305 @@
+//! `service_throughput` — legacy vs multiplexed request throughput of
+//! the event-loop service core.
+//!
+//! Drives an in-process daemon with a cheap cached `run` request (the
+//! simulation cost is paid once, then every response is a cache hit),
+//! so the numbers measure the serving machinery itself: event loop,
+//! framing, queue handoff, completion routing, socket writes. Two
+//! modes per connection count:
+//!
+//! * **legacy** — protocol v1, one request in flight per connection
+//!   (the strict request/response lockstep a v1 client is limited to);
+//! * **multiplexed** — protocol v2 (`hello` upgrade), pipeline depth
+//!   8 per connection, responses matched by id.
+//!
+//! The claim being gated: one multiplexed connection pool must move at
+//! least as many requests per second as the same number of legacy
+//! connections at 64 connections — pipelining must beat lockstep, or
+//! the event loop is serializing something it shouldn't.
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin service_throughput
+//! [--quick] [--out <path>] [--min-ratio <X>]`. Writes
+//! `BENCH_service_throughput.json`; exits 1 when the multiplexed/legacy
+//! ratio at 64 connections falls below the floor (default 1.0).
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sempe_core::json::{self, Json};
+use sempe_service::{Server, ServiceConfig};
+
+/// The cheap request body: a few hundred simulated cycles, cached
+/// after the first execution.
+const MODEXP_SMALL: &str = r"
+    secret key = 0b1011;
+    var r = 1;
+    var base = 7;
+    var i = 0;
+    var bit = 0;
+    while (i < 4) bound 5 {
+        bit = (key >> i) & 1;
+        if secret (bit) { r = (r * base) % 1000003; }
+        base = (base * base) % 1000003;
+        i = i + 1;
+    }
+    output r;
+";
+
+const CONN_COUNTS: [usize; 4] = [1, 8, 64, 256];
+const PIPELINE_DEPTH: usize = 8;
+const GATED_CONNS: usize = 64;
+
+struct Cell {
+    conns: usize,
+    mode: &'static str,
+    depth: usize,
+    requests: u64,
+    elapsed_secs: f64,
+    p99_us: u64,
+}
+
+impl Cell {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed_secs.max(1e-9)
+    }
+}
+
+/// Minimal line framing over a blocking socket — a read can return any
+/// byte split, and responses must be reassembled exactly.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn read_line(&mut self) -> String {
+        loop {
+            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let line = String::from_utf8_lossy(&self.buf[..nl]).into_owned();
+                self.buf.drain(..=nl);
+                return line;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed the connection mid-bench");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// One connection's worth of load: keep `depth` requests in flight
+/// until the window closes, then drain. Returns (completed, latencies
+/// in µs).
+fn drive_conn(
+    addr: std::net::SocketAddr,
+    conn: usize,
+    depth: usize,
+    v2: bool,
+    body: &str,
+    end: Instant,
+) -> (u64, Vec<u64>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).expect("timeout");
+    let mut reader = LineReader { stream: stream.try_clone().expect("clone"), buf: Vec::new() };
+    if v2 {
+        writeln!(stream, r#"{{"id":"hello","type":"hello","proto":2}}"#).expect("hello");
+        let resp = reader.read_line();
+        assert!(resp.contains(r#""ok":true"#), "hello failed: {resp}");
+    }
+
+    let mut sent = 0u64;
+    let mut inflight: HashMap<String, Instant> = HashMap::new();
+    let mut latencies = Vec::new();
+    let send_one =
+        |stream: &mut TcpStream, inflight: &mut HashMap<String, Instant>, sent: &mut u64| {
+            let id = format!("c{conn}-{sent}");
+            let line = format!(r#"{{"id":"{id}",{body}}}"#);
+            inflight.insert(id, Instant::now());
+            *sent += 1;
+            writeln!(stream, "{line}").expect("send");
+        };
+    for _ in 0..depth {
+        send_one(&mut stream, &mut inflight, &mut sent);
+    }
+    let mut completed = 0u64;
+    while !inflight.is_empty() {
+        let resp = reader.read_line();
+        let id = json::parse(&resp)
+            .ok()
+            .and_then(|v| v.get("id").and_then(|i| i.as_str().map(String::from)))
+            .expect("id-tagged response");
+        let t0 = inflight.remove(&id).expect("known id");
+        latencies.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        completed += 1;
+        if Instant::now() < end {
+            send_one(&mut stream, &mut inflight, &mut sent);
+        }
+    }
+    (completed, latencies)
+}
+
+fn run_cell(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    depth: usize,
+    v2: bool,
+    body: &str,
+    window: Duration,
+) -> Cell {
+    let started = Instant::now();
+    let end = started + window;
+    let mut total = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|conn| s.spawn(move || drive_conn(addr, conn, depth, v2, body, end)))
+            .collect();
+        for h in handles {
+            let (completed, lat) = h.join().expect("conn thread");
+            total += completed;
+            latencies.extend(lat);
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let p99_us = if latencies.is_empty() {
+        0
+    } else {
+        latencies[(latencies.len() - 1).min(latencies.len() * 99 / 100)]
+    };
+    Cell {
+        conns,
+        mode: if v2 { "multiplexed" } else { "legacy" },
+        depth: if v2 { depth } else { 1 },
+        requests: total,
+        elapsed_secs,
+        p99_us,
+    }
+}
+
+fn report_json(cells: &[Cell]) -> String {
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            Json::obj()
+                .with("conns", c.conns)
+                .with("mode", c.mode)
+                .with("depth", c.depth)
+                .with("requests", c.requests)
+                .with("elapsed_secs", (c.elapsed_secs * 1e6).round() / 1e6)
+                .with("rps", c.rps().round())
+                .with("p99_us", c.p99_us)
+        })
+        .collect();
+    let mut out = Json::obj()
+        .with("bench", "service_throughput")
+        .with("unit", "requests_per_host_second")
+        .with("pipeline_depth", PIPELINE_DEPTH)
+        .with("rows", Json::Arr(rows))
+        .encode();
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_service_throughput.json");
+    let mut min_ratio = 1.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(1);
+                }
+            },
+            "--min-ratio" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_ratio = x,
+                None => {
+                    eprintln!("--min-ratio needs a number");
+                    std::process::exit(1);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (usage: service_throughput [--quick] \
+                     [--out <path>] [--min-ratio <X>])"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    let window = if quick { Duration::from_millis(1_200) } else { Duration::from_secs(4) };
+
+    // Queue sized above the deepest cell's total in-flight (256 × 8) so
+    // the bench measures serving throughput, not E_BUSY retry policy.
+    let server = Server::start(&ServiceConfig {
+        workers: 0,
+        queue_capacity: 4096,
+        ..ServiceConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let body = format!(
+        r#""type":"run","source":{},"backend":"sempe","max_cycles":80000000"#,
+        json::escape(MODEXP_SMALL)
+    );
+
+    // Warm the cache (and the fork/compile paths) once, off the clock.
+    let _ = run_cell(addr, 1, 1, false, &body, Duration::from_millis(50));
+
+    let mut cells = Vec::new();
+    println!(
+        "{:>6} {:>12} {:>6} {:>10} {:>12} {:>9}",
+        "conns", "mode", "depth", "requests", "req/s", "p99 µs"
+    );
+    for conns in CONN_COUNTS {
+        for v2 in [false, true] {
+            let cell = run_cell(addr, conns, PIPELINE_DEPTH, v2, &body, window);
+            println!(
+                "{:>6} {:>12} {:>6} {:>10} {:>12.0} {:>9}",
+                cell.conns,
+                cell.mode,
+                cell.depth,
+                cell.requests,
+                cell.rps(),
+                cell.p99_us
+            );
+            cells.push(cell);
+        }
+    }
+
+    server.shutdown();
+    server.join();
+
+    std::fs::write(&out_path, report_json(&cells))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+
+    let rps_at = |mode: &str| {
+        cells
+            .iter()
+            .find(|c| c.conns == GATED_CONNS && c.mode == mode)
+            .map(Cell::rps)
+            .expect("gated cell present")
+    };
+    let (legacy, multiplexed) = (rps_at("legacy"), rps_at("multiplexed"));
+    let ratio = multiplexed / legacy.max(1e-9);
+    if ratio < min_ratio {
+        eprintln!(
+            "FAIL: multiplexed/legacy throughput ratio {ratio:.3} at {GATED_CONNS} connections \
+             is below the {min_ratio:.2} floor ({multiplexed:.0} vs {legacy:.0} req/s)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "throughput floor met at {GATED_CONNS} connections: multiplexed {multiplexed:.0} req/s \
+         ≥ {min_ratio:.2}× legacy {legacy:.0} req/s"
+    );
+}

@@ -23,10 +23,23 @@
 //! server for the text rendering and prints the exposition text itself
 //! (ready to pipe into a scrape file).
 //!
-//! `--source -` reads WIR from stdin. The response line is printed to
-//! stdout verbatim; the exit code is 0 for `"ok":true`, 2 for a server
-//! error response, 1 for usage/transport problems. `--addr` defaults to
-//! `$SEMPE_ADDR` or `127.0.0.1:4870`.
+//! `--source -` reads WIR from stdin. Response lines are printed to
+//! stdout verbatim; the exit code is 0 when every response carries
+//! `"ok":true`, 2 when any is a server error, 1 for usage/transport
+//! problems. `--addr` defaults to `$SEMPE_ADDR` or `127.0.0.1:4870`.
+//!
+//! ## Repetition and pipelining
+//!
+//! `--repeat N` sends the request N times over **one persistent
+//! connection** (reconnecting transparently if it drops). With an
+//! explicit `--id X` each repetition is tagged `X-0`, `X-1`, … so the
+//! per-connection replay window doesn't reject the reuse.
+//!
+//! `--pipeline N` upgrades the connection to protocol v2 (`hello`) and
+//! keeps up to N requests in flight at once; responses — including
+//! streamed `"partial":true` frames for `batch`/`sweep` — are printed
+//! in **arrival order** and matched back to their request by id. Every
+//! pipelined request gets an id (`req-{k}`, or `{--id}-{k}`).
 //!
 //! ## Resilience
 //!
@@ -35,21 +48,28 @@
 //! dropped/truncated response frame, or an `E_BUSY` backpressure
 //! rejection — are retried up to `--retries` times (default 3) with
 //! jittered exponential backoff starting at `--retry-base-ms` (default
-//! 50). `--retries 0` restores strict one-shot behavior. Structured
-//! errors other than `E_BUSY` are never retried. `--deadline-ms N`
-//! attaches a compute budget the server enforces (`E_DEADLINE`), and
-//! `--id TOKEN` tags the request so the response can be correlated.
+//! 50). Retries back off **per request**: in pipelined mode a busy
+//! rejection parks only that request until its due time while the rest
+//! of the window keeps moving. A dropped connection is re-dialed,
+//! re-upgraded, and every unanswered request is reissued. `--retries 0`
+//! restores strict one-shot behavior. Structured errors other than
+//! `E_BUSY` are never retried. `--deadline-ms N` attaches a compute
+//! budget the server enforces (`E_DEADLINE`), and `--id TOKEN` tags
+//! requests so responses can be correlated.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use sempe_core::json::Json;
 
 const DEFAULT_ADDR: &str = "127.0.0.1:4870";
 const DEFAULT_RETRIES: u32 = 3;
 const DEFAULT_RETRY_BASE_MS: u64 = 50;
+/// Poll granularity while waiting for pipelined responses.
+const POLL_MS: u64 = 50;
 
 struct Options {
     addr: String,
@@ -69,6 +89,8 @@ struct Options {
     id: Option<String>,
     retries: u32,
     retry_base_ms: u64,
+    repeat: u64,
+    pipeline: usize,
 }
 
 fn usage() -> ! {
@@ -77,7 +99,8 @@ fn usage() -> ! {
          <compile|run|sweep|attack|batch|stats|health|metrics|shutdown|raw> \
          [--source FILE|-] [--backend B] [--mode M] [--secret NAME] [--secret-value N] \
          [--candidates A,B,...] [--inputs JSON] [--leak-check] [--max-cycles N] \
-         [--prometheus] [--deadline-ms N] [--id TOKEN] [--retries N] [--retry-base-ms N] ['<json>']"
+         [--prometheus] [--deadline-ms N] [--id TOKEN] [--retries N] [--retry-base-ms N] \
+         [--repeat N] [--pipeline N] ['<json>']"
     );
     std::process::exit(1);
 }
@@ -106,6 +129,8 @@ fn parse_args() -> Options {
         id: None,
         retries: DEFAULT_RETRIES,
         retry_base_ms: DEFAULT_RETRY_BASE_MS,
+        repeat: 1,
+        pipeline: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -160,6 +185,22 @@ fn parse_args() -> Options {
                     .parse()
                     .unwrap_or_else(|_| fail("--retry-base-ms must be an integer"));
             }
+            "--repeat" => {
+                opts.repeat = value("--repeat")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--repeat must be a positive integer"));
+                if opts.repeat == 0 {
+                    fail("--repeat must be at least 1");
+                }
+            }
+            "--pipeline" => {
+                opts.pipeline = value("--pipeline")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--pipeline must be a positive integer"));
+                if opts.pipeline == 0 {
+                    fail("--pipeline must be at least 1");
+                }
+            }
             "--help" | "-h" => usage(),
             other if opts.command.is_empty() && !other.starts_with('-') => {
                 opts.command = other.to_string();
@@ -189,15 +230,15 @@ fn read_source(opts: &Options) -> String {
     }
 }
 
-fn build_request(opts: &Options) -> String {
-    let envelope = |mut req: Json, opts: &Options| -> String {
+/// The request body as JSON — **without** an id, which the send path
+/// splices per repetition/attempt so the server's per-connection replay
+/// window never rejects a legitimate resend.
+fn build_body(opts: &Options) -> Json {
+    let with_deadline = |mut req: Json, opts: &Options| -> Json {
         if let Some(ms) = opts.deadline_ms {
             req.set("deadline_ms", ms);
         }
-        if let Some(id) = &opts.id {
-            req.set("id", id.as_str());
-        }
-        req.encode()
+        req
     };
     match opts.command.as_str() {
         "compile" | "run" => {
@@ -211,14 +252,14 @@ fn build_request(opts: &Options) -> String {
                     req.set("max_cycles", n);
                 }
             }
-            envelope(req, opts)
+            with_deadline(req, opts)
         }
         "sweep" => {
             let mut req = Json::obj().with("type", "sweep").with("source", read_source(opts));
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);
             }
-            envelope(req, opts)
+            with_deadline(req, opts)
         }
         "attack" => {
             let mut req = Json::obj().with("type", "attack").with("source", read_source(opts));
@@ -237,7 +278,7 @@ fn build_request(opts: &Options) -> String {
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);
             }
-            envelope(req, opts)
+            with_deadline(req, opts)
         }
         "batch" => {
             let raw = opts
@@ -259,40 +300,36 @@ fn build_request(opts: &Options) -> String {
             if let Some(n) = opts.max_cycles {
                 req.set("max_cycles", n);
             }
-            envelope(req, opts)
+            with_deadline(req, opts)
         }
-        "stats" => envelope(Json::obj().with("type", "stats"), opts),
-        "health" => envelope(Json::obj().with("type", "health"), opts),
+        "stats" => with_deadline(Json::obj().with("type", "stats"), opts),
+        "health" => with_deadline(Json::obj().with("type", "health"), opts),
         "metrics" => {
             let mut req = Json::obj().with("type", "metrics");
             if opts.prometheus {
                 req.set("format", "prometheus");
             }
-            envelope(req, opts)
+            with_deadline(req, opts)
         }
-        "shutdown" => envelope(Json::obj().with("type", "shutdown"), opts),
-        "raw" => opts.raw.clone().unwrap_or_else(|| fail("raw needs a JSON argument")),
+        "shutdown" => with_deadline(Json::obj().with("type", "shutdown"), opts),
+        "raw" => {
+            let raw = opts.raw.as_deref().unwrap_or_else(|| fail("raw needs a JSON argument"));
+            sempe_core::json::parse(raw)
+                .unwrap_or_else(|e| fail(&format!("raw request is not valid JSON: {e}")))
+        }
         other => fail(&format!("unknown command `{other}`")),
     }
 }
 
-/// One request/response exchange. `Err` is a retryable transport
-/// failure: connect refused, send failed, or the response frame never
-/// arrived whole (connection dropped mid-write).
-fn exchange(addr: &str, request: &str) -> Result<String, String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    writeln!(stream, "{request}").map_err(|e| format!("send: {e}"))?;
-    let mut response = String::new();
-    BufReader::new(stream).read_line(&mut response).map_err(|e| format!("recv: {e}"))?;
-    if response.is_empty() {
-        return Err("server closed the connection without responding".to_string());
+fn render(body: &Json, id: Option<&str>) -> String {
+    match id {
+        Some(id) => {
+            let mut req = body.clone();
+            req.set("id", id);
+            req.encode()
+        }
+        None => body.encode(),
     }
-    if !response.ends_with('\n') {
-        // EOF before the newline: the frame was truncated mid-write and
-        // must not be trusted (or printed) — retry for a whole one.
-        return Err("response frame truncated".to_string());
-    }
-    Ok(response)
 }
 
 /// Deterministic-enough jitter without a PRNG dependency: hash the
@@ -312,54 +349,330 @@ fn backoff(attempt: u32, base_ms: u64) -> Duration {
     Duration::from_millis(exp + jitter_ms(exp.max(1)))
 }
 
-fn is_busy(response: &str) -> bool {
-    sempe_core::json::parse(response.trim_end())
-        .ok()
-        .and_then(|v| v.get("code").and_then(|c| c.as_str().map(String::from)))
-        .is_some_and(|code| code == "E_BUSY")
+/// A persistent connection with incremental line framing, so a read
+/// timeout mid-response never loses the bytes already received.
+struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
 }
 
-fn main() -> ExitCode {
-    let opts = parse_args();
-    let request = build_request(&opts);
+impl Conn {
+    fn dial(addr: &str) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn { stream, buf: Vec::new() })
+    }
 
-    let mut attempt = 0u32;
-    let response = loop {
-        let outcome = exchange(&opts.addr, &request);
-        match outcome {
-            Ok(response) if is_busy(&response) && attempt < opts.retries => {
-                eprintln!("sempe-client: server busy, retrying ({}/{})", attempt + 1, opts.retries);
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.stream, "{line}").map_err(|e| format!("send: {e}"))
+    }
+
+    fn buffered_line(&mut self) -> Option<String> {
+        let nl = self.buf.iter().position(|&b| b == b'\n')?;
+        let line = String::from_utf8_lossy(&self.buf[..nl]).into_owned();
+        self.buf.drain(..=nl);
+        Some(line)
+    }
+
+    /// Next complete response line. `timeout: None` blocks until a line
+    /// or a transport error; with a timeout, `Ok(None)` means "nothing
+    /// whole yet". EOF with a partial line buffered is reported as a
+    /// truncation (the fragment must not be trusted or printed).
+    fn read_line(&mut self, timeout: Option<Duration>) -> Result<Option<String>, String> {
+        loop {
+            if let Some(line) = self.buffered_line() {
+                return Ok(Some(line));
             }
-            Ok(response) => break response,
-            Err(why) => {
-                if attempt >= opts.retries {
-                    fail(&why);
+            self.stream.set_read_timeout(timeout).map_err(|e| format!("recv: {e}"))?;
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        "server closed the connection".to_string()
+                    } else {
+                        "response frame truncated".to_string()
+                    });
                 }
-                eprintln!("sempe-client: {why}; retrying ({}/{})", attempt + 1, opts.retries);
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("recv: {e}")),
             }
         }
-        std::thread::sleep(backoff(attempt, opts.retry_base_ms));
-        attempt += 1;
+    }
+}
+
+fn error_code(response: &str) -> Option<String> {
+    sempe_core::json::parse(response.trim_end())
+        .ok()
+        .filter(|v| v.get("ok").and_then(Json::as_bool) != Some(true))
+        .and_then(|v| v.get("code").and_then(|c| c.as_str().map(String::from)))
+}
+
+fn is_partial(response: &str) -> bool {
+    sempe_core::json::parse(response.trim_end())
+        .ok()
+        .and_then(|v| v.get("partial").and_then(Json::as_bool))
+        == Some(true)
+}
+
+/// Sequential mode: one request at a time over a persistent connection,
+/// `--repeat` times. Returns true when every response was `"ok":true`.
+fn run_sequential(opts: &Options, body: &Json) -> bool {
+    let mut conn: Option<Conn> = None;
+    let mut all_ok = true;
+    for rep in 0..opts.repeat {
+        let base_id =
+            opts.id.as_ref().map(
+                |id| {
+                    if opts.repeat > 1 {
+                        format!("{id}-{rep}")
+                    } else {
+                        id.clone()
+                    }
+                },
+            );
+        let mut attempt = 0u32;
+        let response = loop {
+            // A resend on the same connection needs a fresh id: the
+            // original was already admitted into the replay window.
+            let id = match (&base_id, attempt) {
+                (Some(id), 0) => Some(id.clone()),
+                (Some(id), a) => Some(format!("{id}-r{a}")),
+                (None, _) => None,
+            };
+            let line = render(body, id.as_deref());
+            let outcome = (|| -> Result<String, String> {
+                if conn.is_none() {
+                    conn = Some(Conn::dial(&opts.addr)?);
+                }
+                let c = conn.as_mut().expect("just dialed");
+                c.send(&line)?;
+                loop {
+                    match c.read_line(None)? {
+                        Some(resp) if is_partial(&resp) => println!("{resp}"),
+                        Some(resp) => return Ok(resp),
+                        None => {}
+                    }
+                }
+            })();
+            match outcome {
+                Ok(resp)
+                    if error_code(&resp).as_deref() == Some("E_BUSY") && attempt < opts.retries =>
+                {
+                    eprintln!(
+                        "sempe-client: server busy, retrying ({}/{})",
+                        attempt + 1,
+                        opts.retries
+                    );
+                }
+                Ok(resp) => break resp,
+                Err(why) => {
+                    conn = None;
+                    if attempt >= opts.retries {
+                        fail(&why);
+                    }
+                    eprintln!("sempe-client: {why}; retrying ({}/{})", attempt + 1, opts.retries);
+                }
+            }
+            std::thread::sleep(backoff(attempt, opts.retry_base_ms));
+            attempt += 1;
+        };
+        // `metrics --prometheus`: unwrap the exposition text out of the
+        // response envelope so the output pipes into a scrape file.
+        if opts.command == "metrics" && opts.prometheus {
+            if let Ok(v) = sempe_core::json::parse(response.trim_end()) {
+                if v.get("ok").and_then(Json::as_bool) == Some(true) {
+                    if let Some(text) = v.get("text").and_then(|t| t.as_str()) {
+                        print!("{text}");
+                        continue;
+                    }
+                }
+            }
+        }
+        println!("{}", response.trim_end());
+        match sempe_core::json::parse(response.trim_end()) {
+            Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {}
+            Ok(_) => all_ok = false,
+            Err(e) => fail(&format!("unparseable response: {e}")),
+        }
+    }
+    all_ok
+}
+
+/// One pipelined request: its stable index, current wire id, and how
+/// many times it has been retried.
+struct Slot {
+    index: u64,
+    attempt: u32,
+}
+
+/// Pipelined mode: upgrade to v2, keep up to `--pipeline` requests in
+/// flight, print responses in arrival order. Returns true when every
+/// terminal response was `"ok":true`.
+fn run_pipelined(opts: &Options, body: &Json) -> bool {
+    let base = opts.id.clone().unwrap_or_else(|| "req".to_string());
+    let wire_id = |index: u64, attempt: u32| {
+        if attempt == 0 {
+            format!("{base}-{index}")
+        } else {
+            format!("{base}-{index}-r{attempt}")
+        }
     };
-    // `metrics --prometheus`: unwrap the exposition text out of the
-    // response envelope so the output pipes straight into a scrape file.
-    if opts.command == "metrics" && opts.prometheus {
-        if let Ok(v) = sempe_core::json::parse(response.trim_end()) {
-            if v.get("ok").and_then(Json::as_bool) == Some(true) {
-                if let Some(text) = v.get("text").and_then(|t| t.as_str()) {
-                    print!("{text}");
-                    return ExitCode::SUCCESS;
+
+    let mut conn: Option<Conn> = None;
+    let mut inflight: HashMap<String, Slot> = HashMap::new();
+    let mut issue: Vec<Slot> =
+        (0..opts.repeat).rev().map(|index| Slot { index, attempt: 0 }).collect();
+    let mut parked: Vec<(Instant, Slot)> = Vec::new();
+    let mut done = 0u64;
+    let mut all_ok = true;
+    let mut transport_failures = 0u32;
+
+    while done < opts.repeat {
+        // (Re)connect and upgrade; unanswered requests go back to the
+        // issue stack — a fresh connection has a fresh replay window, so
+        // their current ids remain valid.
+        if conn.is_none() {
+            issue.extend(inflight.drain().map(|(_, slot)| slot));
+            match (|| -> Result<Conn, String> {
+                let mut c = Conn::dial(&opts.addr)?;
+                c.send(&render(
+                    &Json::obj().with("type", "hello").with("proto", 2u64),
+                    Some("hello"),
+                ))?;
+                let resp = c
+                    .read_line(Some(Duration::from_secs(10)))?
+                    .ok_or_else(|| "hello timed out".to_string())?;
+                let v = sempe_core::json::parse(resp.trim_end())
+                    .map_err(|e| format!("hello response unparseable: {e}"))?;
+                if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err(format!("hello rejected: {}", resp.trim_end()));
+                }
+                Ok(c)
+            })() {
+                Ok(c) => {
+                    conn = Some(c);
+                    transport_failures = 0;
+                }
+                Err(why) => {
+                    if transport_failures >= opts.retries {
+                        fail(&why);
+                    }
+                    eprintln!(
+                        "sempe-client: {why}; reconnecting ({}/{})",
+                        transport_failures + 1,
+                        opts.retries
+                    );
+                    std::thread::sleep(backoff(transport_failures, opts.retry_base_ms));
+                    transport_failures += 1;
+                    continue;
+                }
+            }
+        }
+
+        let now = Instant::now();
+        // Busy-parked requests whose backoff has elapsed rejoin the line.
+        let mut i = 0;
+        while i < parked.len() {
+            if parked[i].0 <= now {
+                issue.push(parked.swap_remove(i).1);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Fill the window.
+        let outcome = (|| -> Result<(), String> {
+            let c = conn.as_mut().expect("connected above");
+            while inflight.len() < opts.pipeline {
+                let Some(slot) = issue.pop() else { break };
+                let id = wire_id(slot.index, slot.attempt);
+                c.send(&render(body, Some(&id)))?;
+                inflight.insert(id, slot);
+            }
+            if inflight.is_empty() {
+                return Ok(());
+            }
+            // Wake early enough to reissue the next parked request.
+            let timeout = parked
+                .iter()
+                .map(|(due, _)| due.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(POLL_MS))
+                .min(Duration::from_millis(POLL_MS))
+                .max(Duration::from_millis(1));
+            let Some(resp) = c.read_line(Some(timeout))? else { return Ok(()) };
+            println!("{}", resp.trim_end());
+            if is_partial(&resp) {
+                return Ok(());
+            }
+            let rid = sempe_core::json::parse(resp.trim_end()).ok().and_then(|v| {
+                v.get("id").map(|id| match id.as_str() {
+                    Some(s) => s.to_string(),
+                    None => id.encode(),
+                })
+            });
+            let Some(rid) = rid else { return Ok(()) };
+            let Some(slot) = inflight.remove(&rid) else { return Ok(()) };
+            if error_code(&resp).as_deref() == Some("E_BUSY") && slot.attempt < opts.retries {
+                let due = Instant::now() + backoff(slot.attempt, opts.retry_base_ms);
+                eprintln!(
+                    "sempe-client: {rid} busy, retrying ({}/{})",
+                    slot.attempt + 1,
+                    opts.retries
+                );
+                parked.push((due, Slot { index: slot.index, attempt: slot.attempt + 1 }));
+                return Ok(());
+            }
+            done += 1;
+            if error_code(&resp).is_some()
+                || sempe_core::json::parse(resp.trim_end())
+                    .ok()
+                    .and_then(|v| v.get("ok").and_then(Json::as_bool))
+                    != Some(true)
+            {
+                all_ok = false;
+            }
+            Ok(())
+        })();
+        if let Err(why) = outcome {
+            conn = None;
+            if transport_failures >= opts.retries {
+                fail(&why);
+            }
+            eprintln!(
+                "sempe-client: {why}; reconnecting ({}/{})",
+                transport_failures + 1,
+                opts.retries
+            );
+            std::thread::sleep(backoff(transport_failures, opts.retry_base_ms));
+            transport_failures += 1;
+        }
+        // Nothing in flight and nothing issuable: everything is parked —
+        // sleep until the earliest due time instead of spinning.
+        if conn.is_some() && inflight.is_empty() && issue.is_empty() && done < opts.repeat {
+            if let Some(due) = parked.iter().map(|(due, _)| *due).min() {
+                let wait = due.saturating_duration_since(Instant::now());
+                if !wait.is_zero() {
+                    std::thread::sleep(wait.min(Duration::from_millis(500)));
                 }
             }
         }
     }
-    print!("{response}");
-    match sempe_core::json::parse(response.trim_end()) {
-        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => ExitCode::SUCCESS,
-        Ok(_) => ExitCode::from(2),
-        Err(e) => {
-            eprintln!("sempe-client: unparseable response: {e}");
-            ExitCode::FAILURE
-        }
+    all_ok
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let body = build_body(&opts);
+    let all_ok =
+        if opts.pipeline > 1 { run_pipelined(&opts, &body) } else { run_sequential(&opts, &body) };
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     }
 }

@@ -1,0 +1,399 @@
+//! Per-connection state machines for the event loop: incremental line
+//! framing on the read side, a flush buffer with fault-injection hooks on
+//! the write side, and the request-id replay window.
+//!
+//! Everything in this module is pure byte/state manipulation — no sockets,
+//! no clocks it didn't receive as arguments — so the framing rules the wire
+//! protocol depends on (oversized-line recovery, partial-frame timing,
+//! corked writes) are unit-testable without a live server.
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use crate::protocol::MAX_REQUEST_BYTES;
+
+/// How many oversized-line bytes we are willing to discard while looking
+/// for the terminating newline before giving up on the connection.
+const DRAIN_BUDGET: usize = 16 * 1024 * 1024;
+
+/// Events produced by feeding bytes to the [`Framer`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FrameEvent {
+    /// A complete newline-terminated line (terminator stripped).
+    Line(String),
+    /// A line exceeded `MAX_REQUEST_BYTES`. `recovered` is true when the
+    /// offending line was fully discarded and framing resynchronised at the
+    /// next newline; false when the drain budget ran out and the connection
+    /// should be closed after reporting the error.
+    TooLong { recovered: bool },
+}
+
+/// State of an in-progress oversized-line drain.
+struct Overflow {
+    /// Bytes discarded so far (including what was buffered when we tipped
+    /// over the limit).
+    drained: usize,
+}
+
+/// Incremental newline framer with oversized-line recovery.
+///
+/// Mirrors the blocking `LineReader` the thread-per-connection server used:
+/// lines longer than `MAX_REQUEST_BYTES` are discarded up to a fixed budget
+/// and the stream resynchronises at the next newline, so one abusive frame
+/// doesn't take down an otherwise healthy connection.
+pub(crate) struct Framer {
+    buf: Vec<u8>,
+    overflow: Option<Overflow>,
+    /// When the currently-buffered partial frame started arriving; `None`
+    /// whenever the buffer is empty. The event loop uses this for the
+    /// slow-loris frame timeout.
+    frame_started: Option<Instant>,
+}
+
+impl Framer {
+    pub(crate) fn new() -> Framer {
+        Framer { buf: Vec::new(), overflow: None, frame_started: None }
+    }
+
+    /// True while a partial frame (or an overflow drain) is pending — i.e.
+    /// the frame timeout clock should be running.
+    pub(crate) fn mid_frame(&self) -> bool {
+        self.frame_started.is_some()
+    }
+
+    /// Instant at which the pending partial frame began, if any.
+    pub(crate) fn frame_started(&self) -> Option<Instant> {
+        self.frame_started
+    }
+
+    /// Feed freshly-read bytes, appending decoded events to `out`.
+    pub(crate) fn feed(&mut self, mut bytes: &[u8], now: Instant, out: &mut Vec<FrameEvent>) {
+        // Overflow mode: discard until a newline resynchronises us or the
+        // budget runs out.
+        if let Some(ref mut ov) = self.overflow {
+            if let Some(nl) = bytes.iter().position(|&b| b == b'\n') {
+                self.overflow = None;
+                out.push(FrameEvent::TooLong { recovered: true });
+                bytes = &bytes[nl + 1..];
+                self.frame_started = None;
+            } else {
+                ov.drained += bytes.len();
+                if ov.drained > DRAIN_BUDGET {
+                    self.overflow = None;
+                    self.frame_started = None;
+                    out.push(FrameEvent::TooLong { recovered: false });
+                }
+                return;
+            }
+        }
+
+        if bytes.is_empty() {
+            return;
+        }
+        if self.buf.is_empty() && !bytes.is_empty() {
+            self.frame_started = Some(now);
+        }
+        self.buf.extend_from_slice(bytes);
+
+        let mut start = 0usize;
+        while let Some(rel) = self.buf[start..].iter().position(|&b| b == b'\n') {
+            let end = start + rel;
+            if end - start > MAX_REQUEST_BYTES {
+                out.push(FrameEvent::TooLong { recovered: true });
+            } else {
+                let line = String::from_utf8_lossy(&self.buf[start..end]).into_owned();
+                out.push(FrameEvent::Line(line));
+            }
+            start = end + 1;
+        }
+        if start > 0 {
+            self.buf.drain(..start);
+        }
+
+        if self.buf.len() > MAX_REQUEST_BYTES {
+            // No newline in sight and the line is already over the limit:
+            // switch to drain mode and drop what we buffered.
+            self.overflow = Some(Overflow { drained: self.buf.len() });
+            self.buf.clear();
+            // frame_started stays set: the overflow drain is still subject
+            // to the frame timeout.
+            return;
+        }
+
+        if self.buf.is_empty() {
+            self.frame_started = None;
+        } else if self.frame_started.is_none() {
+            self.frame_started = Some(now);
+        }
+    }
+}
+
+/// Outbound byte buffer with the two write-side fault hooks the chaos
+/// suite exercises: `write_stall` (a mid-line cork that delays the tail of
+/// a response) and `write_trunc` (enqueue only half a response, then the
+/// owner shuts the socket down after flushing).
+pub(crate) struct WriteBuf {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket (compacted lazily).
+    pos: usize,
+    /// `(absolute_offset, release_time)`: no bytes at or past the offset
+    /// may be written before the release time. At most one cork at a time —
+    /// later stalls on an already-corked buffer are ignored, matching the
+    /// one-stall-per-write behavior of the blocking server.
+    cork: Option<(usize, Instant)>,
+}
+
+impl WriteBuf {
+    pub(crate) fn new() -> WriteBuf {
+        WriteBuf { buf: Vec::new(), pos: 0, cork: None }
+    }
+
+    /// Queue a response line (newline appended).
+    pub(crate) fn enqueue(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// Queue a response line but cork the second half for `stall`: the
+    /// fault-injected slow write. If a cork is already pending the line is
+    /// queued whole behind it.
+    pub(crate) fn enqueue_stalled(&mut self, line: &str, stall: Duration, now: Instant) {
+        if self.cork.is_none() {
+            let half = self.buf.len() + line.len().div_ceil(2);
+            self.cork = Some((half, now + stall));
+        }
+        self.enqueue(line);
+    }
+
+    /// Queue only the first half of a response line and no terminator: the
+    /// fault-injected truncation. The caller is responsible for shutting
+    /// the connection down once the fragment has flushed.
+    pub(crate) fn enqueue_truncated(&mut self, line: &str) {
+        let half = line.len() / 2;
+        self.buf.extend_from_slice(&line.as_bytes()[..half]);
+    }
+
+    /// The slice that may be written right now (respects a pending cork).
+    pub(crate) fn writable_slice(&self, now: Instant) -> &[u8] {
+        let mut end = self.buf.len();
+        if let Some((corked_at, until)) = self.cork {
+            if now < until {
+                end = end.min(corked_at);
+            }
+        }
+        &self.buf[self.pos..end.max(self.pos)]
+    }
+
+    /// Record `n` bytes as written; clears an expired/passed cork and
+    /// compacts the buffer once everything queued has gone out.
+    pub(crate) fn advance(&mut self, n: usize, now: Instant) {
+        self.pos += n;
+        if let Some((corked_at, until)) = self.cork {
+            if now >= until || self.pos < corked_at {
+                // Cork expired, or we haven't reached it yet and it will be
+                // re-checked by writable_slice; only drop it once released.
+                if now >= until {
+                    self.cork = None;
+                }
+            }
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 64 * 1024 {
+            self.buf.drain(..self.pos);
+            if let Some((corked_at, until)) = self.cork {
+                self.cork = Some((corked_at.saturating_sub(self.pos), until));
+            }
+            self.pos = 0;
+        }
+    }
+
+    /// True when every queued byte has been flushed.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Sliding window of recently-seen request ids, used to reject accidental
+/// client-side retries of an already-answered request on the same
+/// connection.
+pub(crate) struct IdWindow {
+    seen: HashSet<String>,
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+impl IdWindow {
+    pub(crate) fn new(capacity: usize) -> IdWindow {
+        IdWindow { seen: HashSet::new(), order: VecDeque::new(), capacity }
+    }
+
+    /// Record `id`; returns false when the id was already in the window.
+    pub(crate) fn admit(&mut self, id: &str) -> bool {
+        if self.seen.contains(id) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.seen.insert(id.to_string());
+        self.order.push_back(id.to_string());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_all(framer: &mut Framer, bytes: &[u8]) -> Vec<FrameEvent> {
+        let mut out = Vec::new();
+        framer.feed(bytes, Instant::now(), &mut out);
+        out
+    }
+
+    #[test]
+    fn splits_lines_at_every_byte_boundary() {
+        // The v2 framer must produce identical lines no matter how the
+        // kernel fragments the stream: feed the same payload split at every
+        // possible boundary and compare against the one-shot parse.
+        let payload = b"{\"id\":1,\"type\":\"stats\"}\n{\"id\":2,\"type\":\"health\"}\n";
+        let mut whole = Framer::new();
+        let expect = feed_all(&mut whole, payload);
+        assert_eq!(expect.len(), 2, "one-shot parse should yield two lines: {expect:?}");
+
+        for split in 0..=payload.len() {
+            let mut framer = Framer::new();
+            let now = Instant::now();
+            let mut out = Vec::new();
+            framer.feed(&payload[..split], now, &mut out);
+            framer.feed(&payload[split..], now, &mut out);
+            assert_eq!(out, expect, "split at byte {split} changed the frames");
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_matches_one_shot() {
+        let payload = b"{\"type\":\"hello\",\"proto\":2}\nnot json but still a line\n";
+        let mut whole = Framer::new();
+        let expect = feed_all(&mut whole, payload);
+
+        let mut framer = Framer::new();
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for b in payload {
+            framer.feed(std::slice::from_ref(b), now, &mut out);
+        }
+        assert_eq!(out, expect);
+        assert!(!framer.mid_frame(), "buffer should be empty at the end");
+    }
+
+    #[test]
+    fn oversized_line_recovers_at_next_newline() {
+        let mut framer = Framer::new();
+        let now = Instant::now();
+        let mut out = Vec::new();
+        let big = vec![b'x'; MAX_REQUEST_BYTES + 2];
+        framer.feed(&big, now, &mut out);
+        assert!(out.is_empty(), "no event until resync: {out:?}");
+        framer.feed(b"tail\n{\"ok\":1}\n", now, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                FrameEvent::TooLong { recovered: true },
+                FrameEvent::Line("{\"ok\":1}".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_with_inline_newline_is_rejected_but_framing_survives() {
+        let mut framer = Framer::new();
+        let now = Instant::now();
+        let mut out = Vec::new();
+        let mut payload = vec![b'y'; MAX_REQUEST_BYTES / 2];
+        payload.push(b'\n');
+        // Two oversized halves that DO carry newlines within one feed call.
+        let mut big = vec![b'z'; MAX_REQUEST_BYTES + 1];
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        framer.feed(&payload, now, &mut out);
+        framer.feed(&big, now, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(matches!(out[0], FrameEvent::Line(_)));
+        assert_eq!(out[1], FrameEvent::TooLong { recovered: true });
+        assert_eq!(out[2], FrameEvent::Line("after".to_string()));
+    }
+
+    #[test]
+    fn drain_budget_exhaustion_gives_up() {
+        let mut framer = Framer::new();
+        let now = Instant::now();
+        let mut out = Vec::new();
+        framer.feed(&vec![b'x'; MAX_REQUEST_BYTES + 1], now, &mut out);
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..(DRAIN_BUDGET / chunk.len() + 2) {
+            framer.feed(&chunk, now, &mut out);
+            if !out.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(out, vec![FrameEvent::TooLong { recovered: false }]);
+    }
+
+    #[test]
+    fn frame_timer_tracks_partial_lines() {
+        let mut framer = Framer::new();
+        let t0 = Instant::now();
+        let mut out = Vec::new();
+        assert!(!framer.mid_frame());
+        framer.feed(b"{\"par", t0, &mut out);
+        assert!(framer.mid_frame());
+        assert_eq!(framer.frame_started(), Some(t0));
+        framer.feed(b"tial\"}\n", t0, &mut out);
+        assert!(!framer.mid_frame(), "complete line clears the frame timer");
+        assert_eq!(out, vec![FrameEvent::Line("{\"partial\"}".to_string())]);
+    }
+
+    #[test]
+    fn write_buf_corks_then_releases() {
+        let mut wb = WriteBuf::new();
+        let t0 = Instant::now();
+        wb.enqueue_stalled("0123456789", Duration::from_millis(50), t0);
+        // Half the line (incl. newline => 5 bytes) is writable immediately.
+        let first = wb.writable_slice(t0).to_vec();
+        assert_eq!(first, b"01234");
+        wb.advance(first.len(), t0);
+        assert!(wb.writable_slice(t0).is_empty(), "corked tail held back");
+        assert!(!wb.is_empty());
+        let later = t0 + Duration::from_millis(60);
+        let rest = wb.writable_slice(later).to_vec();
+        assert_eq!(rest, b"56789\n");
+        wb.advance(rest.len(), later);
+        assert!(wb.is_empty());
+    }
+
+    #[test]
+    fn write_buf_truncation_drops_the_tail() {
+        let mut wb = WriteBuf::new();
+        let t0 = Instant::now();
+        wb.enqueue_truncated("0123456789");
+        assert_eq!(wb.writable_slice(t0), b"01234");
+        wb.advance(5, t0);
+        assert!(wb.is_empty(), "nothing beyond the fragment is ever queued");
+    }
+
+    #[test]
+    fn id_window_rejects_replays_and_evicts_fifo() {
+        let mut ids = IdWindow::new(2);
+        assert!(ids.admit("a"));
+        assert!(!ids.admit("a"));
+        assert!(ids.admit("b"));
+        assert!(ids.admit("c")); // evicts "a"
+        assert!(ids.admit("a"));
+        assert!(!ids.admit("c"));
+    }
+}

@@ -194,6 +194,35 @@ impl ForkCache {
     }
 }
 
+/// Where per-trial/per-lane streaming frames go on a v2 connection.
+///
+/// The worker owns frame transport (sequence numbering, id splicing,
+/// completion-queue push); execution code only decides *what* a frame
+/// says. Emission must never change the terminal response bytes — the
+/// sink observes progress, it does not participate in the result.
+pub struct StreamSink<'a> {
+    emit: &'a mut dyn FnMut(Json),
+}
+
+impl std::fmt::Debug for StreamSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StreamSink")
+    }
+}
+
+impl<'a> StreamSink<'a> {
+    /// Wrap a frame-transport callback.
+    pub fn new(emit: &'a mut dyn FnMut(Json)) -> StreamSink<'a> {
+        StreamSink { emit }
+    }
+
+    /// Emit one progress frame body (payload members only — the
+    /// transport adds `id`/`seq`/`partial`).
+    pub fn frame(&mut self, body: Json) {
+        (self.emit)(body);
+    }
+}
+
 /// Map a simulator error to the wire: a tripped host deadline becomes
 /// `E_DEADLINE` carrying the partial progress, everything else `E_SIM`.
 fn sim_err(e: SimError) -> ServiceError {
@@ -322,7 +351,11 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
                 params_digest: params.finish(),
             })
         }
-        Request::Stats | Request::Health | Request::Metrics { .. } | Request::Shutdown => None,
+        Request::Stats
+        | Request::Health
+        | Request::Metrics { .. }
+        | Request::Shutdown
+        | Request::Hello { .. } => None,
     }
 }
 
@@ -375,6 +408,26 @@ pub fn execute_traced(
     deadline: Option<Instant>,
     span: &mut Span,
 ) -> Result<String, ServiceError> {
+    execute_streamed(req, arena, forks, deadline, span, None)
+}
+
+/// [`execute_traced`] with an optional progress-frame sink: on a v2
+/// connection, `batch` emits one frame per trial and `sweep` one per
+/// lane while the request is still running. With `sink == None` (every
+/// legacy/v1 path) execution is byte-identical to before streaming
+/// existed.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn execute_streamed(
+    req: &Request,
+    arena: &mut Arena,
+    forks: &ForkCache,
+    deadline: Option<Instant>,
+    span: &mut Span,
+    mut sink: Option<&mut StreamSink<'_>>,
+) -> Result<String, ServiceError> {
     span.skip();
     let body = match req {
         Request::Compile { source, backend } => {
@@ -386,7 +439,7 @@ pub fn execute_traced(
             do_run(source, *backend, *max_cycles, arena, deadline, span)?
         }
         Request::Sweep { source, max_cycles } => {
-            do_sweep(source, *max_cycles, arena, forks, deadline, span)?
+            do_sweep(source, *max_cycles, arena, forks, deadline, span, sink.as_deref_mut())?
         }
         Request::Attack { source, mode, secret, secret_value, candidates, max_cycles } => {
             do_attack(
@@ -412,8 +465,13 @@ pub fn execute_traced(
             forks,
             deadline,
             span,
+            sink,
         )?,
-        Request::Stats | Request::Health | Request::Metrics { .. } | Request::Shutdown => {
+        Request::Stats
+        | Request::Health
+        | Request::Metrics { .. }
+        | Request::Shutdown
+        | Request::Hello { .. } => {
             return Err(ServiceError::new(ErrorCode::Internal, "control request reached a worker"))
         }
     };
@@ -571,6 +629,18 @@ fn do_run(
         .with("config_digest", hex(sel.sim_config().digest())))
 }
 
+/// A streaming frame payload: the lane/item tag followed by the run
+/// facts, same member order as the terminal response's result objects.
+fn progress_frame(tag: &str, value: Json, data: &RunData) -> Json {
+    let mut frame = Json::obj().with(tag, value);
+    if let Json::Obj(members) = &mut frame {
+        if let Json::Obj(src) = data.to_json() {
+            members.extend(src);
+        }
+    }
+    frame
+}
+
 #[allow(clippy::cast_precision_loss)]
 fn do_sweep(
     source: &str,
@@ -579,6 +649,7 @@ fn do_sweep(
     forks: &ForkCache,
     deadline: Option<Instant>,
     span: &mut Span,
+    mut sink: Option<&mut StreamSink<'_>>,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     let prog = &parsed.program;
@@ -617,7 +688,21 @@ fn do_sweep(
             forked_run(side_b, &cte_cp, &cte_cw, &[], fuel, deadline, &mut Span::begin())
         });
         let baseline = forked_run(sim, &base_cp, &base_cw, &[], fuel, deadline, &mut Span::begin());
-        (baseline, join(sempe), join(cte))
+        // Per-lane streaming: each lane's frame goes out as soon as its
+        // result exists, from this (the worker) thread — the baseline
+        // before the side lanes are joined.
+        if let (Some(sink), Ok(data)) = (sink.as_deref_mut(), &baseline) {
+            sink.frame(progress_frame("lane", Json::from("baseline"), data));
+        }
+        let sempe = join(sempe);
+        if let (Some(sink), Ok(data)) = (sink.as_deref_mut(), &sempe) {
+            sink.frame(progress_frame("lane", Json::from("sempe"), data));
+        }
+        let cte = join(cte);
+        if let (Some(sink), Ok(data)) = (sink, &cte) {
+            sink.frame(progress_frame("lane", Json::from("cte"), data));
+        }
+        (baseline, sempe, cte)
     });
     span.mark("simulate");
     let (baseline, sempe, cte) = (baseline?, sempe?, cte?);
@@ -797,6 +882,7 @@ fn do_batch(
     forks: &ForkCache,
     deadline: Option<Instant>,
     span: &mut Span,
+    mut sink: Option<&mut StreamSink<'_>>,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
     span.skip();
@@ -831,6 +917,11 @@ fn do_batch(
             return Err(deadline_between(idx, inputs.len(), "batch items"));
         }
         let data = forked_run(&mut arena.sim, &cp, &cw, patches, fuel, deadline, span)?;
+        // Per-trial streaming: the frame flows while later items are
+        // still queued behind this one.
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.frame(progress_frame("item", Json::U64(idx as u64), &data));
+        }
         if leak_check {
             let trace = arena.sim()?.trace().clone();
             match pending_trace.take() {
@@ -1148,6 +1239,52 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].get("cycles_equal").and_then(Json::as_bool), Some(true));
         assert_eq!(pairs[0].get("trace_identical").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn batch_streams_one_frame_per_item_without_changing_the_response() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        let req = batch_req(BackendSel::Baseline, &[1, 2, 3], false);
+        let plain = execute(&req, &mut arena, &forks).unwrap();
+        let mut frames: Vec<String> = Vec::new();
+        let mut emit = |j: Json| frames.push(j.encode());
+        let mut sink = StreamSink::new(&mut emit);
+        let streamed =
+            execute_streamed(&req, &mut arena, &forks, None, &mut Span::begin(), Some(&mut sink))
+                .unwrap();
+        assert_eq!(plain, streamed, "the sink must not perturb the terminal response");
+        assert_eq!(frames.len(), 3, "one frame per batch item: {frames:?}");
+        assert!(frames[0].starts_with(r#"{"item":0,"cycles":"#), "{}", frames[0]);
+        assert!(frames[2].starts_with(r#"{"item":2,"cycles":"#), "{}", frames[2]);
+    }
+
+    #[test]
+    fn sweep_streams_one_frame_per_lane() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        let req = Request::Sweep { source: MODEXP.to_string(), max_cycles: 50_000_000 };
+        let plain = execute(&req, &mut arena, &forks).unwrap();
+        let mut frames: Vec<String> = Vec::new();
+        let mut emit = |j: Json| frames.push(j.encode());
+        let mut sink = StreamSink::new(&mut emit);
+        let streamed =
+            execute_streamed(&req, &mut arena, &forks, None, &mut Span::begin(), Some(&mut sink))
+                .unwrap();
+        assert_eq!(plain, streamed);
+        let lanes: Vec<&str> = frames
+            .iter()
+            .map(|f| {
+                if f.starts_with(r#"{"lane":"baseline""#) {
+                    "baseline"
+                } else if f.starts_with(r#"{"lane":"sempe""#) {
+                    "sempe"
+                } else {
+                    "cte"
+                }
+            })
+            .collect();
+        assert_eq!(lanes, vec!["baseline", "sempe", "cte"]);
     }
 
     #[test]

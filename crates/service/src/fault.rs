@@ -59,11 +59,22 @@ pub enum FaultSite {
     CacheFail,
     /// Quarantine the worker's arena after the job.
     ArenaCorrupt,
+    /// Drop every connection in the current accept burst.
+    AcceptStorm,
+    /// Fail poller registration of a fresh connection (crashes the event
+    /// loop thread; exercises loop supervision/restart).
+    RegisterFail,
+    /// Lose a worker completion wake-up (the event loop's bounded-timeout
+    /// fallback tick must still deliver the response).
+    WakeLost,
 }
 
 impl FaultSite {
+    /// How many sites exist (array dimension of rates and ledgers).
+    pub const COUNT: usize = 12;
+
     /// Every site, in report order.
-    pub const ALL: [FaultSite; 9] = [
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
         FaultSite::AcceptDrop,
         FaultSite::ReadStall,
         FaultSite::WriteStall,
@@ -73,6 +84,9 @@ impl FaultSite {
         FaultSite::Wedge,
         FaultSite::CacheFail,
         FaultSite::ArenaCorrupt,
+        FaultSite::AcceptStorm,
+        FaultSite::RegisterFail,
+        FaultSite::WakeLost,
     ];
 
     /// Stable name (spec keys and health report members).
@@ -88,6 +102,9 @@ impl FaultSite {
             FaultSite::Wedge => "wedge",
             FaultSite::CacheFail => "cache_fail",
             FaultSite::ArenaCorrupt => "arena_corrupt",
+            FaultSite::AcceptStorm => "accept_storm",
+            FaultSite::RegisterFail => "register_fail",
+            FaultSite::WakeLost => "wake_lost",
         }
     }
 
@@ -102,6 +119,9 @@ impl FaultSite {
             FaultSite::Wedge => 6,
             FaultSite::CacheFail => 7,
             FaultSite::ArenaCorrupt => 8,
+            FaultSite::AcceptStorm => 9,
+            FaultSite::RegisterFail => 10,
+            FaultSite::WakeLost => 11,
         }
     }
 }
@@ -113,7 +133,7 @@ pub struct FaultPlan {
     /// Seed of the per-site decision sequences.
     pub seed: u64,
     /// Per-mille firing rate per site (indexed by [`FaultSite::index`]).
-    pub rates: [u16; 9],
+    pub rates: [u16; FaultSite::COUNT],
     /// Stall duration for `read_stall`, milliseconds.
     pub read_stall_ms: u64,
     /// Stall duration for `write_stall`, milliseconds.
@@ -125,7 +145,13 @@ pub struct FaultPlan {
 
 impl Default for FaultPlan {
     fn default() -> Self {
-        FaultPlan { seed: 1, rates: [0; 9], read_stall_ms: 5, write_stall_ms: 5, wedge_ms: 50 }
+        FaultPlan {
+            seed: 1,
+            rates: [0; FaultSite::COUNT],
+            read_stall_ms: 5,
+            write_stall_ms: 5,
+            wedge_ms: 50,
+        }
     }
 }
 
@@ -206,12 +232,12 @@ fn mix(mut z: u64) -> u64 {
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    visits: [AtomicU64; 9],
+    visits: [AtomicU64; FaultSite::COUNT],
     /// Per-site injection ledger. With [`FaultInjector::with_registry`]
     /// these are the registry's `faults_injected_total{site="…"}`
     /// counters, so the `health` fault report and the `metrics` op read
     /// the same atomics.
-    injected: [Arc<Counter>; 9],
+    injected: [Arc<Counter>; FaultSite::COUNT],
 }
 
 impl FaultInjector {
@@ -319,7 +345,7 @@ impl FaultInjector {
 
     /// Times each site actually fired, in [`FaultSite::ALL`] order.
     #[must_use]
-    pub fn injected(&self) -> [(FaultSite, u64); 9] {
+    pub fn injected(&self) -> [(FaultSite, u64); FaultSite::COUNT] {
         std::array::from_fn(|i| (FaultSite::ALL[i], self.injected[i].get()))
     }
 

@@ -2,9 +2,14 @@
 //!
 //! The reproduction's evaluation stack (WIR front end, three code
 //! generators, cycle-level simulator, attack models) packaged as a
-//! concurrent daemon: line-delimited JSON over TCP, a bounded job queue
-//! with explicit backpressure, a worker pool of reusable simulator
-//! arenas, and a content-addressed result cache.
+//! concurrent daemon: line-delimited JSON over TCP served by a
+//! readiness-driven event loop (std-only epoll wrapper, no
+//! per-connection threads), a bounded job queue with explicit
+//! backpressure, a worker pool of reusable simulator arenas, and a
+//! content-addressed result cache. Connections speak the in-order v1
+//! protocol by default; a `hello` upgrade unlocks v2 — pipelined
+//! requests, out-of-order responses matched by id, and streamed
+//! per-trial/per-lane frames for `batch`/`sweep` (see `docs/scaling.md`).
 //!
 //! The question SeMPE answers — *is this program leaking, and what does
 //! closing the leak cost on which backend?* — is inherently
@@ -44,8 +49,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+mod conn;
+mod event_loop;
 pub mod exec;
 pub mod fault;
+pub mod net;
+mod pool;
 pub mod protocol;
 pub mod server;
 pub mod sync;

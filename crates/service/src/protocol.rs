@@ -1,11 +1,23 @@
 //! The wire protocol: newline-delimited JSON, one request per line, one
-//! response per line, in order. `docs/protocol.md` is the normative
-//! human-readable spec; this module is its implementation.
+//! response per line. `docs/protocol.md` is the normative human-readable
+//! spec; this module is its implementation.
 //!
 //! Every request is a JSON object with a `"type"` member selecting the
 //! operation; every response is a JSON object whose first member is
-//! `"ok"`. Failures carry a stable machine-readable `"code"` (see
-//! [`ErrorCode`]) plus a human-readable `"error"` message.
+//! `"ok"` (after the echoed `"id"`, when present). Failures carry a
+//! stable machine-readable `"code"` (see [`ErrorCode`]) plus a
+//! human-readable `"error"` message.
+//!
+//! Two protocol generations share the framing:
+//!
+//! - **v1 (legacy, default)**: strictly in-order — one response per
+//!   request, written in request order.
+//! - **v2 (negotiated)**: a connection that sends `{"type":"hello",
+//!   "proto":2}` switches to multiplexed mode: every subsequent request
+//!   must carry an `id`, responses may arrive **out of order** (matched
+//!   by id), and `batch`/`sweep` stream per-trial/per-lane
+//!   `{"id":..,"seq":N,"partial":true,...}` frames before the terminal
+//!   response.
 
 use core::fmt;
 
@@ -19,8 +31,10 @@ pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 pub const MAX_SOURCE_BYTES: usize = 64 * 1024;
 /// Hard cap on attack candidate count.
 pub const MAX_CANDIDATES: usize = 32;
-/// Hard cap on `batch` input vectors per request.
-pub const MAX_BATCH_ITEMS: usize = 128;
+/// Hard cap on `batch` input vectors per request. Raised from 128 when
+/// streaming landed: a v2 batch flows per-trial frames instead of one
+/// giant reply, so large trial counts no longer buffer a huge response.
+pub const MAX_BATCH_ITEMS: usize = 4096;
 /// Default simulation fuel per run.
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
 /// Hard cap on requested simulation fuel.
@@ -29,6 +43,8 @@ pub const MAX_MAX_CYCLES: u64 = 2_000_000_000;
 pub const MAX_DEADLINE_MS: u64 = 600_000;
 /// Hard cap on a request's client-chosen `id` (encoded bytes).
 pub const MAX_ID_BYTES: usize = 128;
+/// The protocol generation a v2 `hello` negotiates.
+pub const PROTO_VERSION: u64 = 2;
 
 /// Machine-readable error codes (the `"code"` member of error responses).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,6 +273,13 @@ pub enum Request {
     },
     /// Stop accepting connections and exit cleanly.
     Shutdown,
+    /// Protocol negotiation: switches the connection to the multiplexed
+    /// v2 mode (pipelined ids, out-of-order responses, streaming frames).
+    /// Served inline, never queued.
+    Hello {
+        /// Requested protocol generation (must be [`PROTO_VERSION`]).
+        proto: u64,
+    },
 }
 
 /// How a [`Request::Metrics`] response renders the registry.
@@ -275,7 +298,11 @@ impl Request {
     pub fn is_compute(&self) -> bool {
         !matches!(
             self,
-            Request::Stats | Request::Health | Request::Metrics { .. } | Request::Shutdown
+            Request::Stats
+                | Request::Health
+                | Request::Metrics { .. }
+                | Request::Shutdown
+                | Request::Hello { .. }
         )
     }
 
@@ -292,6 +319,7 @@ impl Request {
             Request::Health => "health",
             Request::Metrics { .. } => "metrics",
             Request::Shutdown => "shutdown",
+            Request::Hello { .. } => "hello",
         }
     }
 
@@ -409,11 +437,12 @@ impl Request {
                 Ok(Request::Metrics { format })
             }
             "shutdown" => Ok(Request::Shutdown),
+            "hello" => Ok(Request::Hello { proto: opt_u64(v, "proto")?.unwrap_or(PROTO_VERSION) }),
             other => Err(ServiceError::new(
                 ErrorCode::BadRequest,
                 format!(
                     "unknown request type `{other}` \
-                     (expected compile|run|sweep|attack|batch|stats|health|metrics|shutdown)"
+                     (expected hello|compile|run|sweep|attack|batch|stats|health|metrics|shutdown)"
                 ),
             )),
         }
@@ -653,6 +682,23 @@ mod tests {
         assert_eq!(Request::parse(r#"{"type":"stats"}"#), Ok(Request::Stats));
         assert_eq!(Request::parse(r#"{"type":"health"}"#), Ok(Request::Health));
         assert_eq!(Request::parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn parses_hello_requests() {
+        assert_eq!(
+            Request::parse(r#"{"type":"hello","proto":2}"#),
+            Ok(Request::Hello { proto: 2 })
+        );
+        // `proto` defaults to the current generation; validation of the
+        // value is the server's job (it must echo a structured error).
+        assert_eq!(
+            Request::parse(r#"{"type":"hello"}"#),
+            Ok(Request::Hello { proto: PROTO_VERSION })
+        );
+        let h = Request::Hello { proto: 2 };
+        assert!(!h.is_compute(), "hello is served inline, never queued");
+        assert_eq!(h.op_name(), "hello");
     }
 
     #[test]

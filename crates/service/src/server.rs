@@ -1,17 +1,22 @@
-//! The evaluation daemon: TCP accept loop, bounded job queue with
-//! explicit backpressure, and a supervised worker pool of simulation
-//! arenas.
+//! The evaluation daemon: an event-loop front end over a supervised
+//! worker pool of simulation arenas.
 //!
 //! ```text
-//!            conn threads (1/connection)          worker threads (N)
-//! accept ──► read line ─► parse ──► bounded ───► cache lookup ─► Arena
-//!            ▲                      job queue        │  hit        │
-//!            │   stats/health/shutdown served        ▼             ▼
-//!            └── TCP  inline (never queued)      reply channel ◄───┘
-//!                                                     ▲
-//!                                     supervisor ─────┘ (respawns
-//!                                      crashed workers, backoff)
+//!        event-loop thread (owns every socket)     worker threads (N)
+//! accept ─► epoll ─► frame ─► parse ──► bounded ──► cache lookup ─► Arena
+//!             ▲                         job queue       │  hit        │
+//!             │  stats/health/metrics       ▼           ▼             ▼
+//!             │  served inline        completion queue ◄─── frames + results
+//!             │                             │
+//!             └──── wake pipe ◄─────────────┘   supervisor respawns
+//!                                               crashed workers (backoff)
 //! ```
+//!
+//! The socket side lives in `event_loop` (readiness loop,
+//! per-connection state machines, v1/v2 protocol modes), the compute
+//! side in `pool` (job queue, workers, supervisor, completion
+//! routing). This module owns configuration, the shared state both
+//! sides hang off, and the start/shutdown/join lifecycle.
 //!
 //! Robustness posture (see `docs/robustness.md`):
 //!
@@ -21,52 +26,50 @@
 //! * **Deadlines**: a request's `deadline_ms` rides into the simulator
 //!   run loop; a wedged simulation answers `E_DEADLINE` with partial
 //!   stats instead of pinning a worker.
-//! * **Supervision**: worker threads that die (panic escaping the
-//!   per-job guard) are respawned with exponential backoff under a
-//!   bounded restart budget; their poisoned arenas are quarantined.
-//! * **Slow-loris defense**: connection reads poll with a timeout so
-//!   idle connections reap themselves and half-written frames expire.
+//! * **Supervision**: worker threads that die are respawned with
+//!   exponential backoff under a bounded restart budget; the event loop
+//!   itself is supervised the same way (a loop crash drops its
+//!   connections but the daemon survives).
+//! * **Slow-loris defense**: the loop's timer sweep expires idle
+//!   connections, half-written request frames, and peers that stop
+//!   draining their responses.
 //! * **Graceful drain**: shutdown stops accepting, lets queued and
-//!   in-flight jobs finish, gives connection handlers a drain window to
-//!   flush their final responses, and only then force-closes stragglers.
+//!   in-flight jobs finish, keeps the loop flushing final responses for
+//!   a drain window, and only then force-closes stragglers.
 //! * **Fault injection**: every failure path above is exercisable
 //!   deterministically through [`FaultPlan`] (`sempe-serve
 //!   --fault-plan`), so the chaos suite tests the real code paths.
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use sempe_core::json::{self, Json};
-use sempe_core::telemetry::{Counter, Gauge, Registry, Span, TraceLog};
-use sempe_sim::HostProfile;
+use sempe_core::json::Json;
+use sempe_core::telemetry::{Counter, Gauge, Registry, TraceLog};
 
 use crate::cache::ResultCache;
-use crate::exec::{self, Arena, ForkCache};
-use crate::fault::{FaultInjector, FaultPlan, FaultSite};
-use crate::protocol::{
-    with_id, Envelope, ErrorCode, MetricsFormat, Request, ServiceError, MAX_REQUEST_BYTES,
-};
+use crate::event_loop::run_event_loop;
+use crate::exec::ForkCache;
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::net::Poller;
+use crate::pool::{spawn_worker, supervisor_loop, CompletionQueue, JobQueue};
+use crate::protocol::MetricsFormat;
 use crate::sync;
 
-/// How often blocked connection reads wake up to check timeouts and the
-/// drain flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// How often a connection waiting on a worker reply re-checks its
-/// deadline and the worker pool's pulse.
-const REPLY_POLL: Duration = Duration::from_millis(50);
+/// The event loop's fallback tick: the longest completions can sit
+/// undelivered when a wake is lost, and the granularity of every
+/// loop-side timer (deadlines, idle/frame timeouts, fault corks).
+pub(crate) const LOOP_TICK_MS: i32 = 25;
 /// Grace allowed past a request's deadline for a job still sitting in
-/// the queue before the connection answers `E_DEADLINE` itself.
-const QUEUED_DEADLINE_GRACE: Duration = Duration::from_millis(100);
+/// the queue before the event loop answers `E_DEADLINE` itself.
+pub(crate) const QUEUED_DEADLINE_GRACE: Duration = Duration::from_millis(100);
 /// Ceiling on one supervisor backoff pause.
-const MAX_BACKOFF_MS: u64 = 2_000;
+pub(crate) const MAX_BACKOFF_MS: u64 = 2_000;
 /// Per-connection window of remembered request ids (reuse detection).
-const ID_WINDOW: usize = 1024;
+pub(crate) const ID_WINDOW: usize = 1024;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -85,17 +88,17 @@ pub struct ServiceConfig {
     /// Close a connection that sends nothing for this long (idle reaper;
     /// 0 disables).
     pub idle_timeout_ms: u64,
-    /// Abort a request frame (and the write of a response) stalled
-    /// mid-transfer for this long (0 disables).
+    /// Abort a request frame stalled mid-transfer for this long, and
+    /// give up on a peer that stops draining its responses (0 disables).
     pub frame_timeout_ms: u64,
-    /// On shutdown, how long connection handlers get to flush their
-    /// final responses before their sockets are force-closed.
+    /// On shutdown, how long the event loop keeps flushing final
+    /// responses before remaining sockets are force-closed.
     pub drain_timeout_ms: u64,
     /// Queue depth at which `batch`/`sweep` requests are shed with
     /// `E_BUSY`; 0 means ¾ of `queue_capacity`.
     pub shed_highwater: usize,
     /// Total worker respawns the supervisor will perform before letting
-    /// the pool shrink for good.
+    /// the pool shrink for good (also bounds event-loop respawns).
     pub restart_budget: u64,
     /// Base of the supervisor's exponential respawn backoff.
     pub backoff_base_ms: u64,
@@ -131,131 +134,75 @@ impl Default for ServiceConfig {
     }
 }
 
-/// One queued compute job: the parsed request, its deadline, and the
-/// channel its response (or error) travels back on.
-struct Job {
-    request: Request,
-    deadline: Option<Instant>,
-    /// The envelope's request id, carried into trace events.
-    id: Option<String>,
-    /// When the connection handler queued the job (queue-wait basis).
-    submitted: Instant,
-    reply: mpsc::Sender<Result<Arc<str>, ServiceError>>,
-}
-
-enum PushError {
-    Full,
-    Closed,
-}
-
-/// Bounded MPMC job queue (mutex + condvar; std has no bounded channel
-/// with try-push semantics).
-struct JobQueue {
-    capacity: usize,
-    inner: Mutex<(VecDeque<Job>, bool)>,
-    ready: Condvar,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        JobQueue { capacity, inner: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() }
-    }
-
-    /// Non-blocking submit: full or closed queues reject immediately —
-    /// that rejection *is* the backpressure signal.
-    fn push(&self, job: Job) -> Result<(), PushError> {
-        let mut inner = sync::lock(&self.inner);
-        if inner.1 {
-            return Err(PushError::Closed);
-        }
-        if inner.0.len() >= self.capacity {
-            return Err(PushError::Full);
-        }
-        inner.0.push_back(job);
-        drop(inner);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Blocking take; `None` once the queue is closed *and* drained, so
-    /// no accepted job is ever dropped on shutdown.
-    fn pop(&self) -> Option<Job> {
-        let mut inner = sync::lock(&self.inner);
-        loop {
-            if let Some(job) = inner.0.pop_front() {
-                return Some(job);
-            }
-            if inner.1 {
-                return None;
-            }
-            inner = sync::wait(&self.ready, inner);
-        }
-    }
-
-    fn close(&self) {
-        sync::lock(&self.inner).1 = true;
-        self.ready.notify_all();
-    }
-
-    fn is_closed(&self) -> bool {
-        sync::lock(&self.inner).1
-    }
-
-    fn depth(&self) -> usize {
-        sync::lock(&self.inner).0.len()
-    }
-}
-
-/// State shared by the accept loop, connection threads, workers, and
-/// the supervisor.
-struct Shared {
-    queue: JobQueue,
-    cache: ResultCache,
+/// State shared by the event loop, the workers, and the supervisor.
+pub(crate) struct Shared {
+    pub(crate) queue: JobQueue,
+    pub(crate) cache: ResultCache,
     /// Fork-server checkpoints, shared by every worker.
-    forks: ForkCache,
-    injector: FaultInjector,
+    pub(crate) forks: ForkCache,
+    pub(crate) injector: FaultInjector,
     /// The telemetry spine: every counter, gauge, and histogram below
     /// (plus the cache/fork/fault ledgers) lives here, so `stats`,
     /// `health`, and `metrics` all render the same atomics.
-    registry: Arc<Registry>,
+    pub(crate) registry: Arc<Registry>,
     /// Sampled structured event stream (`--trace-log`); `None` when off.
     /// Behind a mutex so [`Server::join`] can take and drop it once the
     /// workers are joined — the flush must not depend on when the last
     /// `Arc<Shared>` clone (e.g. a signal watcher's handle) dies.
-    trace: Mutex<Option<TraceLog>>,
-    shutdown: AtomicBool,
-    local_addr: SocketAddr,
-    workers: usize,
-    shed_highwater: usize,
-    idle_timeout: Duration,
-    frame_timeout: Duration,
-    drain_timeout: Duration,
-    restart_budget: u64,
-    backoff_base_ms: u64,
-    alive_workers: Arc<Gauge>,
-    busy_workers: Arc<Gauge>,
-    restarts: Arc<Counter>,
+    pub(crate) trace: Mutex<Option<TraceLog>>,
+    /// In an `Arc` so job completers can report "shutting down" vs
+    /// "worker crashed" without keeping the whole shared state alive
+    /// from inside the queue.
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Set by [`Server::join`] once every worker is joined: the event
+    /// loop may enter its final flush-and-close window.
+    pub(crate) workers_done: AtomicBool,
+    /// The nonblocking listener, owned here so a respawned event loop
+    /// can re-register it with a fresh poller.
+    pub(crate) listener: TcpListener,
+    /// Worker→loop completion mailbox (owns the wake pipe).
+    pub(crate) completions: Arc<CompletionQueue>,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) workers: usize,
+    pub(crate) shed_highwater: usize,
+    pub(crate) idle_timeout: Duration,
+    pub(crate) frame_timeout: Duration,
+    pub(crate) drain_timeout: Duration,
+    pub(crate) restart_budget: u64,
+    pub(crate) backoff_base_ms: u64,
+    pub(crate) alive_workers: Arc<Gauge>,
+    pub(crate) busy_workers: Arc<Gauge>,
+    pub(crate) restarts: Arc<Counter>,
+    /// Event-loop respawns performed by its supervision wrapper.
+    pub(crate) loop_restarts: Arc<Counter>,
     /// The supervisor declined a respawn (budget spent or spawn failed):
     /// the pool will never grow again.
-    pool_exhausted: AtomicBool,
-    arenas_quarantined: Arc<Counter>,
-    deadlines_expired: Arc<Counter>,
-    shed: Arc<Counter>,
-    jobs_served: Arc<Counter>,
-    rejected: Arc<Counter>,
-    connections: Arc<Counter>,
-    started: Instant,
+    pub(crate) pool_exhausted: AtomicBool,
+    pub(crate) arenas_quarantined: Arc<Counter>,
+    pub(crate) deadlines_expired: Arc<Counter>,
+    pub(crate) shed: Arc<Counter>,
+    pub(crate) jobs_served: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) connections: Arc<Counter>,
+    /// Currently-open connections (event-loop owned).
+    pub(crate) connections_open: Arc<Gauge>,
+    /// Compute requests dispatched but not yet answered.
+    pub(crate) inflight_requests: Arc<Gauge>,
+    /// Streamed v2 progress frames emitted by workers.
+    pub(crate) stream_frames: Arc<Counter>,
+    /// Connection tokens, unique across event-loop respawns so stale
+    /// completions can never be misrouted to a new connection.
+    pub(crate) next_token: AtomicU64,
+    /// Job serials, unique for the daemon's lifetime.
+    pub(crate) next_serial: AtomicU64,
+    pub(crate) started: Instant,
     /// Worker join handles — the initial pool plus every supervisor
     /// respawn; drained by [`Server::join`].
-    worker_handles: Mutex<Vec<JoinHandle<()>>>,
-    /// Write halves of the *live* connections, keyed by connection id;
-    /// each handler removes its own entry on exit so the registry stays
-    /// bounded by the number of open connections, not total served.
-    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    pub(crate) worker_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
-    fn stats_line(&self) -> String {
+    pub(crate) fn stats_line(&self) -> String {
         Json::obj()
             .with("ok", true)
             .with("type", "stats")
@@ -291,7 +238,7 @@ impl Shared {
 
     /// The `health` op: readiness/liveness, queue pressure, worker-pool
     /// state (including supervisor restarts), and fault counters.
-    fn health_line(&self) -> String {
+    pub(crate) fn health_line(&self) -> String {
         let draining = self.shutdown.load(Ordering::SeqCst);
         Json::obj()
             .with("ok", true)
@@ -326,7 +273,7 @@ impl Shared {
     /// registry. Point-in-time values (queue depth, cache/fork entry
     /// counts, uptime) are refreshed into gauges at scrape time; every
     /// monotonic series is read live from the shared atomics.
-    fn metrics_line(&self, format: MetricsFormat) -> String {
+    pub(crate) fn metrics_line(&self, format: MetricsFormat) -> String {
         self.registry.gauge("queue_depth").set(self.queue.depth() as u64);
         self.registry.gauge("queue_capacity").set(self.queue.capacity as u64);
         self.registry.gauge("cache_entries").set(self.cache.len() as u64);
@@ -347,16 +294,16 @@ impl Shared {
     }
 
     /// No worker is alive and the supervisor will not bring one back —
-    /// queued jobs would wait forever, so connections must fail them.
-    fn pool_dead(&self) -> bool {
+    /// queued jobs would wait forever, so the loop must fail them.
+    pub(crate) fn pool_dead(&self) -> bool {
         self.alive_workers.get() == 0 && self.pool_exhausted.load(Ordering::SeqCst)
     }
 
-    /// Flip the shutdown flag and nudge the accept loop awake with a
-    /// throwaway connection.
-    fn initiate_shutdown(&self) {
+    /// Flip the shutdown flag and nudge the event loop awake through
+    /// the wake pipe.
+    pub(crate) fn initiate_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect(self.local_addr);
+            self.completions.waker.wake();
         }
     }
 }
@@ -375,9 +322,8 @@ impl std::fmt::Debug for Shared {
 #[derive(Debug)]
 pub struct Server {
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
+    loop_handle: Option<JoinHandle<()>>,
     supervisor_handle: Option<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 /// A cloneable shutdown handle — what a signal-watcher thread holds,
@@ -401,15 +347,21 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Bind, spawn the worker pool, its supervisor, and the accept
-    /// loop, and return.
+    /// Bind, spawn the worker pool, its supervisor, and the event-loop
+    /// thread, and return.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, a platform with no poller backend,
+    /// or a thread-spawn failure.
     pub fn start(config: &ServiceConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        // Fail fast on platforms without an event-loop backend, before
+        // any thread exists.
+        let poller = Poller::new()?;
+        let completions = Arc::new(CompletionQueue::new()?);
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
         } else {
@@ -450,7 +402,10 @@ impl Server {
                 &registry,
             ),
             trace: Mutex::new(trace),
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            workers_done: AtomicBool::new(false),
+            listener,
+            completions,
             local_addr,
             workers,
             shed_highwater,
@@ -462,6 +417,7 @@ impl Server {
             alive_workers: registry.gauge("workers_alive"),
             busy_workers: registry.gauge("workers_busy"),
             restarts: registry.counter("worker_restarts_total"),
+            loop_restarts: registry.counter("loop_restarts_total"),
             pool_exhausted: AtomicBool::new(false),
             arenas_quarantined: registry.counter("arenas_quarantined_total"),
             deadlines_expired: registry.counter("deadlines_expired_total"),
@@ -469,9 +425,13 @@ impl Server {
             jobs_served: registry.counter("jobs_served_total"),
             rejected: registry.counter("requests_rejected_total"),
             connections: registry.counter("connections_total"),
+            connections_open: registry.gauge("connections_open"),
+            inflight_requests: registry.gauge("inflight_requests"),
+            stream_frames: registry.counter("stream_frames_total"),
+            next_token: AtomicU64::new(2),
+            next_serial: AtomicU64::new(0),
             started: Instant::now(),
             worker_handles: Mutex::new(Vec::with_capacity(workers)),
-            conn_streams: Mutex::new(HashMap::new()),
             registry,
         });
 
@@ -507,13 +467,11 @@ impl Server {
             }
         };
 
-        let conn_handles = Arc::new(Mutex::new(Vec::new()));
-        let accept_handle = {
-            let shared_accept = Arc::clone(&shared);
-            let conn_handles = Arc::clone(&conn_handles);
+        let loop_handle = {
+            let shared_loop = Arc::clone(&shared);
             let spawned = std::thread::Builder::new()
-                .name("sempe-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared_accept, &conn_handles));
+                .name("sempe-loop".to_string())
+                .spawn(move || loop_supervisor(&shared_loop, poller));
             match spawned {
                 Ok(h) => h,
                 Err(e) => {
@@ -526,9 +484,8 @@ impl Server {
 
         Ok(Server {
             shared,
-            accept_handle: Some(accept_handle),
+            loop_handle: Some(loop_handle),
             supervisor_handle: Some(supervisor_handle),
-            conn_handles,
         })
     }
 
@@ -551,21 +508,23 @@ impl Server {
 
     /// Block until the daemon has fully stopped — the two-phase drain:
     ///
-    /// 1. The accept loop exits (no new connections), the queue closes
-    ///    (no new jobs), workers finish every accepted job and exit, the
-    ///    supervisor stands down.
-    /// 2. Connection handlers — whose blocked reads poll the drain flag
-    ///    — flush their final responses and exit on their own. Only
-    ///    handlers still alive after `drain_timeout_ms` get their
-    ///    sockets force-closed; a handler mid-write is never cut off
-    ///    before the window expires, so finished responses are not
-    ///    truncated on the wire.
+    /// 1. Once a shutdown has been initiated, the event loop stops
+    ///    accepting. The queue closes (no new jobs), workers finish
+    ///    every accepted job and exit, the supervisor stands down.
+    /// 2. The event loop — told the workers are done — keeps delivering
+    ///    and flushing final responses for up to `drain_timeout_ms`,
+    ///    closes connections as they go quiescent, then force-closes
+    ///    whatever is left and exits. A connection mid-write is never
+    ///    cut off before the window expires, so finished responses are
+    ///    not truncated on the wire.
     pub fn join(self) {
-        if let Some(h) = self.accept_handle {
-            let _ = h.join();
+        // Block until a drain is initiated (signal watcher, `shutdown`
+        // request, or Server::shutdown).
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
         }
-        // No new jobs can arrive from new connections now; close the
-        // queue so workers drain what was accepted and exit.
+        // No new jobs can be dispatched into a closed queue; workers
+        // drain what was accepted and exit.
         self.shared.queue.close();
         // Workers may still be respawned mid-drain bookkeeping; keep
         // draining the handle list until it stays empty.
@@ -586,687 +545,64 @@ impl Server {
         // now, which joins its writer thread and flushes the file —
         // deterministic even if other `Arc<Shared>` clones outlive us.
         drop(sync::lock(&self.shared.trace).take());
-        // Phase 2: the drain window. Handlers notice the flag at their
-        // next read poll, write any response they still owe, deregister
-        // their stream, and exit.
-        let drain_deadline = Instant::now() + self.shared.drain_timeout;
-        loop {
-            sync::lock(&self.conn_handles).retain(|h| !h.is_finished());
-            if sync::lock(&self.conn_handles).is_empty() || Instant::now() >= drain_deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        // Stragglers only: unblock whatever is left, then join everyone.
-        for (_, stream) in sync::lock(&self.shared.conn_streams).drain() {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        let handles: Vec<JoinHandle<()>> = sync::lock(&self.conn_handles).drain(..).collect();
-        for h in handles {
+        // Phase 2: tell the loop the completion stream is complete and
+        // let it flush the final responses within the drain window.
+        self.shared.workers_done.store(true, Ordering::SeqCst);
+        self.shared.completions.waker.wake();
+        if let Some(h) = self.loop_handle {
             let _ = h.join();
         }
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conn_handles: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        // Reap handles of connections that already finished — dropping a
-        // finished JoinHandle is free, and without this sweep the vector
-        // (and each handler's thread bookkeeping) grows for the daemon's
-        // whole lifetime.
-        sync::lock(conn_handles).retain(|h| !h.is_finished());
-        let stream = match stream {
-            Ok(s) => s,
-            Err(_) => {
-                // Typically EMFILE/ENFILE under fd pressure: back off
-                // instead of spinning, and let closing connections
-                // release descriptors.
-                std::thread::sleep(Duration::from_millis(20));
-                continue;
-            }
-        };
-        if shared.injector.fire(FaultSite::AcceptDrop) {
-            let _ = stream.shutdown(Shutdown::Both);
-            continue;
-        }
-        // Blocked reads poll so handlers can notice timeouts and drain.
-        let _ = stream.set_read_timeout(Some(READ_POLL));
-        let _ = stream.set_write_timeout(Some(shared.frame_timeout));
-        let conn_id = shared.connections.inc() - 1;
-        if let Ok(clone) = stream.try_clone() {
-            sync::lock(&shared.conn_streams).insert(conn_id, clone);
-        }
-        let shared_conn = Arc::clone(shared);
-        let spawned = std::thread::Builder::new().name("sempe-conn".to_string()).spawn(move || {
-            serve_conn(stream, &shared_conn);
-            sync::lock(&shared_conn.conn_streams).remove(&conn_id);
-        });
-        match spawned {
-            Ok(handle) => sync::lock(conn_handles).push(handle),
-            Err(_) => {
-                // Out of threads: tell this client to retry instead of
-                // killing the accept loop (and with it the daemon).
-                if let Some(mut stream) = sync::lock(&shared.conn_streams).remove(&conn_id) {
-                    let e = ServiceError::new(ErrorCode::Busy, "out of connection threads");
-                    let _ = writeln!(stream, "{}", e.to_json());
-                    let _ = stream.shutdown(Shutdown::Both);
-                }
-            }
-        }
-    }
-}
-
-/// Spawn one worker thread. The thread keeps `alive_workers` honest and
-/// reports its own death (a panic escaping [`worker_loop`]) to the
-/// supervisor.
-fn spawn_worker(
-    shared: &Arc<Shared>,
-    idx: usize,
-    panic_tx: &mpsc::Sender<usize>,
-) -> std::io::Result<JoinHandle<()>> {
-    let shared = Arc::clone(shared);
-    let panic_tx = panic_tx.clone();
-    std::thread::Builder::new().name(format!("sempe-worker-{idx}")).spawn(move || {
-        shared.alive_workers.add(1);
-        let caught =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(&shared)));
-        shared.alive_workers.sub(1);
-        if caught.is_err() {
-            // The supervisor decides whether to respawn; if it is
-            // already gone (drain), the send just fails.
-            let _ = panic_tx.send(idx);
-        }
-    })
-}
-
-/// The supervisor: respawns crashed workers with exponential backoff,
-/// bounded by the restart budget. Stands down once the queue is closed
-/// and the pool has fully exited.
-fn supervisor_loop(
-    shared: &Arc<Shared>,
-    panic_rx: &mpsc::Receiver<usize>,
-    panic_tx: &mpsc::Sender<usize>,
-) {
+/// Supervision wrapper around the event loop: a panic (e.g. the
+/// `register_fail` fault site) or a poller-level error drops every
+/// connection but not the daemon — the loop is respawned with a fresh
+/// poller under the same restart budget the worker pool uses. Clients
+/// see a closed socket and retry; jobs already queued complete into the
+/// new incarnation's completion stream and are dropped as stale, since
+/// their connections died.
+fn loop_supervisor(shared: &Arc<Shared>, poller: Poller) {
+    let mut poller = Some(poller);
     loop {
-        match panic_rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(idx) => {
-                if shared.queue.is_closed() {
-                    continue; // draining: the pool is winding down anyway
-                }
-                // Claim one unit of the restart budget; the capped
-                // increment never overshoots, so the restart counter
-                // stays monotone and never exceeds the budget.
-                let Some(nth) = shared.restarts.inc_capped(shared.restart_budget) else {
-                    shared.pool_exhausted.store(true, Ordering::SeqCst);
-                    continue;
-                };
-                // Exponential backoff, capped, interruptible by drain.
-                #[allow(clippy::cast_possible_truncation)] // min() bounds the shift
-                let backoff = shared
-                    .backoff_base_ms
-                    .saturating_mul(1 << (nth - 1).min(6) as u32)
-                    .min(MAX_BACKOFF_MS);
-                let until = Instant::now() + Duration::from_millis(backoff);
-                while Instant::now() < until && !shared.queue.is_closed() {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                if shared.queue.is_closed() {
-                    continue;
-                }
-                match spawn_worker(shared, idx, panic_tx) {
-                    Ok(h) => sync::lock(&shared.worker_handles).push(h),
-                    Err(_) => shared.pool_exhausted.store(true, Ordering::SeqCst),
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.queue.is_closed() && shared.alive_workers.get() == 0 {
+        let p = match poller.take() {
+            Some(p) => p,
+            None => match Poller::new() {
+                Ok(p) => p,
+                Err(_) => {
+                    shared.initiate_shutdown();
                     break;
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-}
-
-/// Execute one job, converting a panic anywhere in the compile/simulate
-/// stack into an `E_INTERNAL` error instead of killing the worker
-/// thread: a single poisoned request must not shrink the pool until the
-/// daemon wedges. The arena is rebuilt after a panic — it may have been
-/// left mid-update.
-///
-/// Injected checkpoint panics deliberately fire *outside* this guard
-/// (in [`worker_loop`]) — they model worker-thread death and must reach
-/// the supervisor.
-fn execute_guarded(
-    request: &Request,
-    arena: &mut Arena,
-    forks: &ForkCache,
-    deadline: Option<Instant>,
-    span: &mut Span,
-) -> Result<String, ServiceError> {
-    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        exec::execute_traced(request, arena, forks, deadline, span)
-    }));
-    match caught {
-        Ok(result) => result,
-        Err(payload) => {
-            *arena = Arena::new();
-            let what = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string());
-            Err(ServiceError::new(ErrorCode::Internal, format!("worker panicked: {what}")))
-        }
-    }
-}
-
-/// Fold one finished job into the registry (latency histograms, phase
-/// breakdown, host attribution, error counts) and, when sampled, the
-/// trace log. Runs after the response body exists; nothing here can
-/// change the bytes on the wire.
-fn observe_job(
-    shared: &Shared,
-    job: &Job,
-    queue_wait: Duration,
-    span: &Span,
-    cached: bool,
-    host: Option<HostProfile>,
-    result: &Result<Arc<str>, ServiceError>,
-) {
-    let op = job.request.op_name();
-    let total = job.submitted.elapsed();
-    let reg = &shared.registry;
-    reg.histogram(&format!("request_latency_us{{op=\"{op}\"}}")).observe_duration(total);
-    reg.histogram("phase_latency_us{phase=\"queue_wait\"}").observe_duration(queue_wait);
-    for (phase, d) in span.phases() {
-        reg.histogram(&format!("phase_latency_us{{phase=\"{phase}\"}}")).observe_duration(*d);
-    }
-    if let Some(hp) = host {
-        reg.histogram("sim_host_us{phase=\"decode\"}")
-            .observe_duration(Duration::from_nanos(hp.decode_ns));
-        reg.histogram("sim_host_us{phase=\"restore\"}")
-            .observe_duration(Duration::from_nanos(hp.restore_ns));
-        reg.histogram("sim_host_us{phase=\"run\"}")
-            .observe_duration(Duration::from_nanos(hp.run_ns));
-        reg.counter("sim_runs_total").add(hp.runs);
-        reg.counter("sim_restores_total").add(hp.restores);
-        reg.counter("sim_skipped_cycles_total").add(hp.skipped_cycles);
-        reg.counter("sim_skips_total").add(hp.skips);
-    }
-    if let Err(e) = result {
-        reg.counter(&format!("errors_total{{code=\"{}\"}}", e.code.as_str())).inc();
-    }
-    if let Some(trace) = sync::lock(&shared.trace).as_ref() {
-        if trace.sample() {
-            let mut event = Json::obj()
-                .with("t_us", trace.elapsed_us())
-                .with("op", op)
-                .with("ok", result.is_ok())
-                .with("cached", cached)
-                .with("queue_us", u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX))
-                .with("total_us", u64::try_from(total.as_micros()).unwrap_or(u64::MAX))
-                .with("phases", span.phases_json());
-            if let Some(id) = &job.id {
-                // The envelope keeps the id pre-encoded for response
-                // splicing; decode it back into a value for the event.
-                match json::parse(id) {
-                    Ok(v) => event.set("id", v),
-                    Err(_) => event.set("id", id.as_str()),
-                }
-            }
-            if let Err(e) = result {
-                event.set("code", e.code.as_str());
-            }
-            trace.emit(&event);
-        }
-    }
-}
-
-fn worker_loop(shared: &Arc<Shared>) {
-    let mut arena = Arena::new();
-    while let Some(job) = shared.queue.pop() {
-        let queue_wait = job.submitted.elapsed();
-        let refuse = |what: &str| ServiceError::new(ErrorCode::Deadline, what.to_string());
-        // A job whose budget died in the queue is answered, not run.
-        if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            shared.deadlines_expired.inc();
-            shared.jobs_served.inc();
-            let err = refuse("deadline expired while the job was queued");
-            observe_job(shared, &job, queue_wait, &Span::begin(), false, None, &Err(err.clone()));
-            let _ = job.reply.send(Err(err));
-            continue;
-        }
-        // Fault checkpoints: both panics escape into `spawn_worker`'s
-        // top-level guard, killing this thread — the job's reply sender
-        // drops, the connection answers with a retryable error, and the
-        // supervisor respawns the worker.
-        shared.injector.checkpoint_panic(FaultSite::PanicPre);
-        if shared.injector.wedge(job.deadline) {
-            shared.deadlines_expired.inc();
-            shared.jobs_served.inc();
-            let err = refuse("deadline expired in a wedged simulation");
-            observe_job(shared, &job, queue_wait, &Span::begin(), false, None, &Err(err.clone()));
-            let _ = job.reply.send(Err(err));
-            continue;
-        }
-        shared.busy_workers.add(1);
-        let mut span = Span::begin();
-        let mut cached = false;
-        let result = match exec::cache_key(&job.request) {
-            Some(key) => match shared.cache.get(&key) {
-                Some(hit) => {
-                    cached = true;
-                    Ok(hit)
-                }
-                None => {
-                    execute_guarded(
-                        &job.request,
-                        &mut arena,
-                        &shared.forks,
-                        job.deadline,
-                        &mut span,
-                    )
-                    .map(|body| {
-                        let body: Arc<str> = Arc::from(body.as_str());
-                        // An injected insert failure must only lose the
-                        // caching, never the response.
-                        if !shared.injector.fire(FaultSite::CacheFail) {
-                            shared.cache.insert(key, Arc::clone(&body));
-                        }
-                        body
-                    })
                 }
             },
-            None => {
-                execute_guarded(&job.request, &mut arena, &shared.forks, job.deadline, &mut span)
-                    .map(|b| Arc::from(b.as_str()))
-            }
         };
-        shared.busy_workers.sub(1);
-        shared.jobs_served.inc();
-        if matches!(&result, Err(e) if e.code == ErrorCode::Deadline) {
-            shared.deadlines_expired.inc();
-        }
-        // Drain the arena's host-time ledger whether the job succeeded
-        // or not — failed runs still spent real decode/restore/run time.
-        let host = arena.take_host_profile();
-        let host = (host != HostProfile::default()).then_some(host);
-        observe_job(shared, &job, queue_wait, &span, cached, host, &result);
-        shared.injector.checkpoint_panic(FaultSite::PanicPost);
-        if shared.injector.fire(FaultSite::ArenaCorrupt) {
-            // Simulated arena corruption: quarantine (drop) the arena and
-            // start the next job from a fresh one.
-            arena = Arena::new();
-            shared.arenas_quarantined.inc();
-        }
-        // A vanished client is not a worker error.
-        let _ = job.reply.send(result);
-    }
-}
-
-/// What one attempt to read a request line produced.
-enum NextLine {
-    /// A complete line (newline stripped, may be empty).
-    Line(String),
-    /// The line broke the size cap. `recovered` means its tail was
-    /// discarded and the connection can keep serving.
-    TooLong { recovered: bool },
-    /// Nothing arrived for `idle_timeout` with no partial frame pending.
-    Idle,
-    /// A partial frame stalled past `frame_timeout` (slow-loris).
-    Stalled,
-    /// EOF or a hard I/O error.
-    Closed,
-    /// The server started draining while the connection sat idle.
-    Draining,
-}
-
-/// A line reader over a polling (read-timeout) socket. `BufReader`'s
-/// `read_line` cannot be trusted across `ErrorKind::TimedOut` — whether
-/// buffered partial data survives is implementation detail — so this
-/// reader owns its buffer explicitly.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> Self {
-        LineReader { stream, buf: Vec::new() }
-    }
-
-    fn next_line(&mut self, shared: &Shared) -> NextLine {
-        let idle_since = Instant::now();
-        let mut frame_since = if self.buf.is_empty() { None } else { Some(Instant::now()) };
-        let mut chunk = [0u8; 16 * 1024];
-        loop {
-            if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
-                if nl > MAX_REQUEST_BYTES {
-                    self.buf.drain(..=nl);
-                    return NextLine::TooLong { recovered: true };
-                }
-                let line = String::from_utf8_lossy(&self.buf[..nl]).into_owned();
-                self.buf.drain(..=nl);
-                return NextLine::Line(line);
-            }
-            if self.buf.len() > MAX_REQUEST_BYTES {
-                return self.drain_overflow(shared);
-            }
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return NextLine::Closed,
-                Ok(n) => {
-                    frame_since.get_or_insert_with(Instant::now);
-                    self.buf.extend_from_slice(&chunk[..n]);
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_event_loop(shared, &p)));
+        match caught {
+            Ok(Ok(())) => break,
+            Ok(Err(_)) | Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || shared.workers_done.load(Ordering::SeqCst)
                 {
-                    match frame_since {
-                        Some(started) => {
-                            if started.elapsed() >= shared.frame_timeout {
-                                return NextLine::Stalled;
-                            }
-                        }
-                        None => {
-                            if shared.shutdown.load(Ordering::SeqCst) {
-                                return NextLine::Draining;
-                            }
-                            if idle_since.elapsed() >= shared.idle_timeout {
-                                return NextLine::Idle;
-                            }
-                        }
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return NextLine::Closed,
-            }
-        }
-    }
-
-    /// The buffered line already exceeds the cap with no newline in
-    /// sight: discard until the line ends so the connection can keep
-    /// serving, within a byte and time budget.
-    fn drain_overflow(&mut self, shared: &Shared) -> NextLine {
-        /// How much garbage we are willing to discard for one bad
-        /// request before concluding the peer is hostile.
-        const DRAIN_BUDGET: usize = 16 * 1024 * 1024;
-        let mut drained = self.buf.len();
-        self.buf.clear();
-        let gave_up = Instant::now() + shared.frame_timeout;
-        let mut chunk = [0u8; 64 * 1024];
-        while drained <= DRAIN_BUDGET {
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return NextLine::TooLong { recovered: false },
-                Ok(n) => {
-                    drained += n;
-                    if let Some(nl) = chunk[..n].iter().position(|&b| b == b'\n') {
-                        self.buf.extend_from_slice(&chunk[nl + 1..n]);
-                        return NextLine::TooLong { recovered: true };
-                    }
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if Instant::now() >= gave_up {
-                        return NextLine::TooLong { recovered: false };
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return NextLine::TooLong { recovered: false },
-            }
-        }
-        NextLine::TooLong { recovered: false }
-    }
-}
-
-/// Write one response line, with injected write faults: a mid-frame
-/// stall (the frame completes, late) or a truncation (the frame is cut
-/// and the socket closed — the client must treat it as retryable).
-fn write_response(writer: &mut TcpStream, line: &str, shared: &Shared) -> std::io::Result<()> {
-    let mut bytes = Vec::with_capacity(line.len() + 1);
-    bytes.extend_from_slice(line.as_bytes());
-    bytes.push(b'\n');
-    if shared.injector.fire(FaultSite::WriteTrunc) {
-        let half = bytes.len() / 2;
-        let _ = writer.write_all(&bytes[..half]);
-        let _ = writer.flush();
-        let _ = writer.shutdown(Shutdown::Both);
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::ConnectionAborted,
-            "fault-injected response truncation",
-        ));
-    }
-    if let Some(stall) = shared.injector.stall(FaultSite::WriteStall) {
-        let half = bytes.len() / 2;
-        writer.write_all(&bytes[..half])?;
-        writer.flush()?;
-        std::thread::sleep(stall);
-        writer.write_all(&bytes[half..])?;
-    } else {
-        writer.write_all(&bytes)?;
-    }
-    writer.flush()
-}
-
-/// Remembered request ids of one connection — a bounded FIFO window for
-/// reuse detection.
-struct IdWindow {
-    seen: HashSet<String>,
-    order: VecDeque<String>,
-}
-
-impl IdWindow {
-    fn new() -> Self {
-        IdWindow { seen: HashSet::new(), order: VecDeque::new() }
-    }
-
-    /// Record `id`; `false` when it was already in the window.
-    fn insert(&mut self, id: &str) -> bool {
-        if !self.seen.insert(id.to_string()) {
-            return false;
-        }
-        self.order.push_back(id.to_string());
-        if self.order.len() > ID_WINDOW {
-            if let Some(evicted) = self.order.pop_front() {
-                self.seen.remove(&evicted);
-            }
-        }
-        true
-    }
-}
-
-fn serve_conn(stream: TcpStream, shared: &Arc<Shared>) {
-    let Ok(read_half) = stream.try_clone() else { return };
-    let mut reader = LineReader::new(read_half);
-    let mut writer = stream;
-    let mut ids = IdWindow::new();
-    loop {
-        match reader.next_line(shared) {
-            NextLine::Line(line) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                let (response, stop) = handle_line(trimmed, shared, &mut ids);
-                let write_start = Instant::now();
-                let wrote = write_response(&mut writer, &response, shared);
-                shared
-                    .registry
-                    .histogram("phase_latency_us{phase=\"write\"}")
-                    .observe_duration(write_start.elapsed());
-                if wrote.is_err() {
                     break;
                 }
-                if stop {
+                if shared.loop_restarts.inc_capped(shared.restart_budget).is_none() {
+                    // Budget spent: the daemon cannot serve without its
+                    // loop — drain what the workers still hold.
                     shared.initiate_shutdown();
                     break;
                 }
             }
-            NextLine::TooLong { recovered } => {
-                let e = ServiceError::new(
-                    ErrorCode::BadRequest,
-                    format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
-                );
-                if write_response(&mut writer, &e.to_json(), shared).is_err() || !recovered {
-                    break;
-                }
-            }
-            NextLine::Stalled => {
-                let e =
-                    ServiceError::new(ErrorCode::BadRequest, "request frame stalled mid-transfer");
-                let _ = write_response(&mut writer, &e.to_json(), shared);
-                break;
-            }
-            NextLine::Idle | NextLine::Closed | NextLine::Draining => break,
         }
-    }
-}
-
-/// Serve one request line: parse the envelope, run the request (inline
-/// or through the queue), and render the response with the id spliced
-/// back in. Returns the response line and whether the connection should
-/// initiate a shutdown after writing it.
-fn handle_line(line: &str, shared: &Arc<Shared>, ids: &mut IdWindow) -> (String, bool) {
-    if let Some(stall) = shared.injector.stall(FaultSite::ReadStall) {
-        std::thread::sleep(stall);
-    }
-    let envelope = match Envelope::parse(line) {
-        Ok(e) => e,
-        Err(e) => return (e.to_json(), false),
-    };
-    let id = envelope.id.as_deref();
-    if let Some(id_str) = id {
-        if !ids.insert(id_str) {
-            let e = ServiceError::new(
-                ErrorCode::BadRequest,
-                format!("request id {id_str} was already used on this connection"),
-            );
-            return (with_id(&e.to_json(), id), false);
-        }
-    }
-    let request = match envelope.req {
-        Ok(r) => r,
-        Err(e) => return (with_id(&e.to_json(), id), false),
-    };
-    let deadline = envelope.deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
-    let (body, stop) = match request {
-        Request::Stats => {
-            shared.registry.counter("requests_total{op=\"stats\"}").inc();
-            (shared.stats_line(), false)
-        }
-        Request::Health => {
-            shared.registry.counter("requests_total{op=\"health\"}").inc();
-            (shared.health_line(), false)
-        }
-        Request::Metrics { format } => {
-            shared.registry.counter("requests_total{op=\"metrics\"}").inc();
-            (shared.metrics_line(format), false)
-        }
-        Request::Shutdown => {
-            shared.registry.counter("requests_total{op=\"shutdown\"}").inc();
-            (Json::obj().with("ok", true).with("type", "shutdown").encode(), true)
-        }
-        request => (dispatch_compute(request, id, deadline, shared), false),
-    };
-    (with_id(&body, id), stop)
-}
-
-/// Queue a compute request and wait for its response, enforcing load
-/// shedding on submit and the deadline (plus worker-pool liveness)
-/// while waiting.
-fn dispatch_compute(
-    request: Request,
-    id: Option<&str>,
-    deadline: Option<Instant>,
-    shared: &Arc<Shared>,
-) -> String {
-    shared.registry.counter(&format!("requests_total{{op=\"{}\"}}", request.op_name())).inc();
-    if request.is_heavy() && shared.queue.depth() >= shared.shed_highwater {
-        shared.shed.inc();
-        shared.rejected.inc();
-        return ServiceError::new(
-            ErrorCode::Busy,
-            format!(
-                "shedding load: queue depth at high-water mark ({}); retry later",
-                shared.shed_highwater
-            ),
-        )
-        .to_json();
-    }
-    let (tx, rx) = mpsc::channel();
-    let job =
-        Job { request, deadline, id: id.map(str::to_string), submitted: Instant::now(), reply: tx };
-    match shared.queue.push(job) {
-        Err(PushError::Full) => {
-            shared.rejected.inc();
-            ServiceError::new(
-                ErrorCode::Busy,
-                format!("job queue full (capacity {})", shared.queue.capacity),
-            )
-            .to_json()
-        }
-        Err(PushError::Closed) => {
-            ServiceError::new(ErrorCode::Shutdown, "server is shutting down").to_json()
-        }
-        Ok(()) => loop {
-            match rx.recv_timeout(REPLY_POLL) {
-                Ok(Ok(body)) => return body.to_string(),
-                Ok(Err(e)) => return e.to_json(),
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // The job may still be queued behind slower work: a
-                    // dead budget or a dead pool must not hang the client.
-                    if deadline.is_some_and(|d| Instant::now() >= d + QUEUED_DEADLINE_GRACE) {
-                        shared.deadlines_expired.inc();
-                        return ServiceError::new(
-                            ErrorCode::Deadline,
-                            "deadline expired before a worker picked the job up",
-                        )
-                        .to_json();
-                    }
-                    if shared.pool_dead() {
-                        return ServiceError::new(
-                            ErrorCode::Internal,
-                            "worker pool exhausted its restart budget",
-                        )
-                        .to_json();
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    // The worker died with the job in hand (its reply
-                    // sender dropped). The job never produced a result,
-                    // so a retry is safe — and the content-addressed
-                    // cache makes it idempotent.
-                    return if shared.shutdown.load(Ordering::SeqCst) {
-                        ServiceError::new(ErrorCode::Shutdown, "server is shutting down").to_json()
-                    } else {
-                        ServiceError::new(ErrorCode::Busy, "worker crashed mid-job; safe to retry")
-                            .to_json()
-                    };
-                }
-            }
-        },
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use std::io::{BufRead, BufReader};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     use super::*;
+    use crate::protocol::MAX_REQUEST_BYTES;
 
     fn roundtrip(addr: SocketAddr, line: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");

@@ -94,13 +94,13 @@ fn profile_plan(profile: &str, seed: u64) -> FaultPlan {
             format!("seed={seed},panic_pre=250,panic_post=150,arena_corrupt=150,cache_fail=100")
         }
         "io" => format!(
-            "seed={seed},accept_drop=200,read_stall=250,write_stall=250,write_trunc=200,\
-             read_stall_ms=5,write_stall_ms=5"
+            "seed={seed},accept_drop=200,accept_storm=60,read_stall=250,write_stall=250,\
+             write_trunc=200,wake_lost=150,read_stall_ms=5,write_stall_ms=5"
         ),
         "mixed" => format!(
-            "seed={seed},accept_drop=100,read_stall=100,write_stall=100,write_trunc=100,\
-             panic_pre=100,panic_post=80,wedge=80,cache_fail=100,arena_corrupt=80,\
-             read_stall_ms=3,write_stall_ms=3,wedge_ms=20"
+            "seed={seed},accept_drop=100,accept_storm=40,read_stall=100,write_stall=100,\
+             write_trunc=100,wake_lost=100,panic_pre=100,panic_post=80,wedge=80,cache_fail=100,\
+             arena_corrupt=80,read_stall_ms=3,write_stall_ms=3,wedge_ms=20"
         ),
         other => panic!("unknown SEMPE_CHAOS_PROFILE `{other}` (panic|io|mixed)"),
     };
@@ -247,9 +247,11 @@ fn chaos_soak_converges_to_fault_free_bytes() {
     let injected = faults.get("injected").expect("injected counts");
     let total: u64 = [
         "accept_drop",
+        "accept_storm",
         "read_stall",
         "write_stall",
         "write_trunc",
+        "wake_lost",
         "panic_pre",
         "panic_post",
         "wedge",
@@ -343,6 +345,109 @@ fn crashed_workers_are_respawned_and_jobs_converge() {
     assert!(restarts >= 1, "panic_pre at 400‰ over 20+ jobs must crash a worker: {health}");
     assert!(workers.get("alive").and_then(Json::as_u64).unwrap() >= 1, "{health}");
     assert_eq!(v.get("ready").and_then(Json::as_bool), Some(true), "{health}");
+
+    server.shutdown();
+    server.join();
+}
+
+/// The multiplexed (v2) path under its own fault sites: `register_fail`
+/// panics the event loop at connection registration (its supervision
+/// wrapper respawns it with a fresh poller), `accept_storm` drops whole
+/// accept bursts, and `wake_lost` swallows worker→loop wakeups (the
+/// loop's fallback tick must recover them). Pipelined batches of v2
+/// requests must still all converge, byte-identical modulo ids.
+#[test]
+fn multiplexed_pipeline_survives_loop_crashes() {
+    const ROUNDS: usize = 30;
+    const WINDOW: usize = 4;
+    const RETRY_BUDGET: u32 = 60;
+
+    let plan =
+        FaultPlan::parse("seed=5,register_fail=120,accept_storm=80,wake_lost=250").expect("plan");
+    let server = Server::start(&ServiceConfig {
+        workers: 2,
+        restart_budget: 100_000,
+        backoff_base_ms: 1,
+        fault_plan: Some(plan),
+        ..ServiceConfig::default()
+    })
+    .expect("server");
+    let addr = server.local_addr();
+
+    // One pipelined round: fresh connection, hello upgrade, WINDOW
+    // stats requests in flight at once, read until every id has its
+    // terminal response. Any transport failure retries the whole round
+    // on a new connection — ids stay valid there (fresh replay window).
+    let run_round = |round: usize| -> Result<(), String> {
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        stream.set_write_timeout(Some(Duration::from_secs(10))).expect("write timeout");
+        writeln!(stream, r#"{{"id":"hello","type":"hello","proto":2}}"#)
+            .map_err(|e| format!("send hello: {e}"))?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("hello recv: {e}"))?;
+        if !line.contains(r#""ok":true"#) || !line.contains(r#""proto":2"#) {
+            return Err(format!("hello rejected: {line}"));
+        }
+        let mut awaiting: Vec<String> = (0..WINDOW).map(|k| format!("r{round}-{k}")).collect();
+        for id in &awaiting {
+            writeln!(stream, r#"{{"id":"{id}","type":"stats"}}"#)
+                .map_err(|e| format!("send: {e}"))?;
+        }
+        while !awaiting.is_empty() {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("connection dropped mid-round".to_string());
+            }
+            if !line.ends_with('\n') {
+                return Err("truncated frame".to_string());
+            }
+            let v = json::parse(line.trim_end()).map_err(|e| format!("bad frame: {e}"))?;
+            if v.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(format!("structured error: {}", line.trim_end()));
+            }
+            let id = v.get("id").and_then(Json::as_str).unwrap_or_default().to_string();
+            awaiting.retain(|a| a != &id);
+        }
+        Ok(())
+    };
+
+    for round in 0..ROUNDS {
+        let mut last = String::new();
+        let mut converged = false;
+        for attempt in 1..=RETRY_BUDGET {
+            match run_round(round) {
+                Ok(()) => {
+                    converged = true;
+                    break;
+                }
+                Err(why) => last = why,
+            }
+            std::thread::sleep(Duration::from_millis(u64::from(attempt.min(20))));
+        }
+        assert!(converged, "round {round} never converged; last outcome: {last}");
+    }
+
+    // The new sites must actually have fired, and the loop must have
+    // been respawned at least once — scraped from the same registry the
+    // `metrics` op serves.
+    let (resp, _) = converge(addr, r#"{"type":"metrics"}"#, 50).expect("metrics converges");
+    let v = json::parse(&resp).expect("metrics parses");
+    let snap = v.get("metrics").expect("snapshot");
+    let counter = |name: &str| {
+        snap.get("counters").and_then(|c| c.get(name)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    let injected: u64 = ["accept_storm", "register_fail", "wake_lost"]
+        .iter()
+        .map(|site| counter(&format!("faults_injected_total{{site=\"{site}\"}}")))
+        .sum();
+    assert!(injected > 0, "multiplexed-path fault sites never fired: {resp}");
+    assert!(
+        counter("loop_restarts_total") >= 1,
+        "register_fail at 120‰ over {ROUNDS}+ connections must crash the loop: {resp}"
+    );
 
     server.shutdown();
     server.join();
