@@ -22,14 +22,20 @@
 //!
 //! Usage: `cargo run --release -p sempe-bench --bin sim_throughput
 //! [--quick] [--out <path>] [--classic-out <path>]
-//! [--gate-skip-speedup <X>]` — `--out` redirects the JSON report (CI
-//! smoke tests write to a temp location instead of clobbering the
-//! tracked snapshot). `--classic-out` additionally re-measures the
-//! micro and membound groups under forced classic 1-cycle stepping
-//! ([`sempe_sim::SimConfig::classic_stepping`]) and writes that report
-//! too; `--gate-skip-speedup X` then exits 1 unless cycle skipping
-//! delivers a ≥X steady-state speedup on the membound group without
-//! regressing the micro group (CI runs with X = 3).
+//! [--gate-skip-speedup <X>] [--tiered-out <path>]` — `--out` redirects
+//! the JSON report (CI smoke tests write to a temp location instead of
+//! clobbering the tracked snapshot). `--classic-out` additionally
+//! re-measures the micro and membound groups under forced classic
+//! 1-cycle stepping ([`sempe_sim::Stepping::Classic`]) and writes that
+//! report too; `--gate-skip-speedup X` then exits 1 unless cycle
+//! skipping delivers a ≥X steady-state speedup on the membound group
+//! without regressing the micro group (CI runs with X = 3).
+//! `--tiered-out` adds a third A/B column: the same workloads under
+//! [`sempe_sim::Stepping::Tiered`], reported as host MIPS of committed
+//! instructions (simulated-cycle rates are not comparable — a tiered
+//! run only spends cycles inside regions of interest). The dedicated
+//! ≥5x tiered gate on fast-forward-dominated workloads lives in the
+//! `tiered_throughput` bin.
 
 use std::time::Instant;
 
@@ -37,7 +43,7 @@ use sempe_bench::BackendRun;
 use sempe_compile::compile;
 use sempe_compile::wir::WirProgram;
 use sempe_core::json::Json;
-use sempe_sim::{HostProfile, Simulator};
+use sempe_sim::{HostProfile, Simulator, Stepping};
 use sempe_workloads::membound::{pointer_chase_program, ChaseParams};
 use sempe_workloads::micro::{fig7_program, MicroParams, WorkloadKind};
 use sempe_workloads::rsa::{modexp_program, table_modexp_program, ModexpParams, TableModexpParams};
@@ -92,13 +98,13 @@ fn measure(
     group: &'static str,
     prog: &WirProgram,
     reps: u32,
-    classic: bool,
+    stepping: Stepping,
 ) -> Vec<Row> {
     BackendRun::ALL
         .iter()
         .map(|&which| {
             let (backend, mut config) = which.pair();
-            config.classic_stepping = classic;
+            config.stepping = stepping;
             if group == "membound" {
                 config.mem.mem_latency = FAR_MEM_LATENCY;
             }
@@ -132,7 +138,10 @@ fn measure(
                 host.absorb(&sim.take_host_profile());
             }
             assert_eq!(warm.stats.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
-            assert!(!classic || host.skipped_cycles == 0, "classic stepping must not skip");
+            assert!(
+                stepping != Stepping::Classic || host.skipped_cycles == 0,
+                "classic stepping must not skip"
+            );
             assert_eq!(u64::from(reps), host.runs, "one instrumented run per rep");
             Row {
                 workload,
@@ -236,6 +245,7 @@ fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_sim_throughput.json");
     let mut classic_out: Option<String> = None;
+    let mut tiered_out: Option<String> = None;
     let mut gate: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -249,6 +259,7 @@ fn main() {
             "--quick" => quick = true,
             "--out" => out_path = need(&mut args, "--out"),
             "--classic-out" => classic_out = Some(need(&mut args, "--classic-out")),
+            "--tiered-out" => tiered_out = Some(need(&mut args, "--tiered-out")),
             "--gate-skip-speedup" => {
                 let v = need(&mut args, "--gate-skip-speedup");
                 match v.parse::<f64>() {
@@ -262,7 +273,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}` (usage: sim_throughput [--quick] [--out <path>] \
-                     [--classic-out <path>] [--gate-skip-speedup <X>])"
+                     [--classic-out <path>] [--gate-skip-speedup <X>] [--tiered-out <path>])"
                 );
                 std::process::exit(1);
             }
@@ -298,7 +309,7 @@ fn main() {
 
     let rows: Vec<Row> = workloads
         .iter()
-        .flat_map(|(name, group, prog)| measure(name, group, prog, reps, false))
+        .flat_map(|(name, group, prog)| measure(name, group, prog, reps, Stepping::Skip))
         .collect();
     print_rows(&rows);
 
@@ -319,7 +330,7 @@ fn main() {
         let classic_rows: Vec<Row> = workloads
             .iter()
             .filter(|(_, group, _)| *group != "rsa")
-            .flat_map(|(name, group, prog)| measure(name, group, prog, reps, true))
+            .flat_map(|(name, group, prog)| measure(name, group, prog, reps, Stepping::Classic))
             .collect();
         for cr in &classic_rows {
             let sr = rows
@@ -363,6 +374,49 @@ fn main() {
                 ));
             }
         }
+    }
+
+    if let Some(path) = &tiered_out {
+        // Third A/B column: the same workloads under tiered stepping.
+        // A tiered run's `cycles` counter only covers the detailed
+        // regions of interest, so the cross-mode comparable rate is
+        // host MIPS of committed instructions — a counter tiered
+        // execution preserves exactly (asserted below).
+        let tiered_rows: Vec<Row> = workloads
+            .iter()
+            .flat_map(|(name, group, prog)| measure(name, group, prog, reps, Stepping::Tiered))
+            .collect();
+        for tr in &tiered_rows {
+            let sr = rows
+                .iter()
+                .find(|r| r.workload == tr.workload && r.backend == tr.backend)
+                .expect("tiered rows mirror the skip rows");
+            assert_eq!(
+                tr.committed, sr.committed,
+                "{}/{}: tiered and skip stepping disagree on committed instructions",
+                tr.workload, tr.backend
+            );
+        }
+        println!("\ntiered stepping (all groups):");
+        print_rows(&tiered_rows);
+        let mips = |rs: &[Row], group: &str| {
+            let (i, t) = rs
+                .iter()
+                .filter(|r| r.group == group)
+                .fold((0u64, 0f64), |(i, t), r| (i + r.committed, t + r.steady_secs));
+            i as f64 / t.max(1e-9) / 1e6
+        };
+        let mut tiered_extra = Json::obj();
+        println!();
+        for group in ["micro", "rsa", "membound"] {
+            let speedup = mips(&tiered_rows, group) / mips(&rows, group).max(1e-12);
+            println!("{group} steady-state tiered MIPS speedup: {speedup:.2}x");
+            tiered_extra = tiered_extra
+                .with(&format!("{group}_tiered_mips_speedup"), (speedup * 100.0).round() / 100.0);
+        }
+        std::fs::write(path, report_json(&tiered_rows, "tiered", tiered_extra))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
     }
 
     std::fs::write(&out_path, report_json(&rows, "skip", skip_extra))

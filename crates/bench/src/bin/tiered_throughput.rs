@@ -1,0 +1,286 @@
+//! `tiered_throughput` — host-side performance of tiered execution on
+//! the workloads it exists for.
+//!
+//! The `longrun` group (see `sempe_workloads::longrun`) spends ≥95% of
+//! its committed instructions in public phases outside any region of
+//! interest. Next-event cycle skipping cannot help there — the public
+//! loops are compute-dense, so almost every cycle has architectural
+//! work — but tiered execution fast-forwards them functionally and
+//! simulates cycles only inside the secure regions. This harness
+//! measures that: each (workload × backend) runs under default skip
+//! stepping and under tiered stepping through the same reused arena,
+//! and the report records host MIPS of committed instructions for both
+//! (the cross-mode comparable rate; a tiered run's simulated-cycle
+//! counter only covers its detailed spans).
+//!
+//! Invariants asserted on every run: committed-instruction totals match
+//! between the modes, outputs match, runs are deterministic across
+//! reps, and the group stays ≥95% outside the ROI on the SeMPE backend
+//! (the property that makes the speedup honest).
+//!
+//! Usage: `cargo run --release -p sempe-bench --bin tiered_throughput
+//! [--quick] [--out <path>] [--min-speedup <X>]` — `--min-speedup X`
+//! exits 1 unless tiered stepping delivers a ≥X steady-state MIPS
+//! speedup over skip stepping on the SeMPE-backend rows (CI runs with
+//! X = 5; the SeMPE rows are the hard case, since their secure regions
+//! still run detailed).
+
+use std::time::Instant;
+
+use sempe_bench::BackendRun;
+use sempe_compile::compile;
+use sempe_compile::wir::WirProgram;
+use sempe_core::json::Json;
+use sempe_sim::{HostProfile, Simulator, Stepping};
+use sempe_workloads::longrun::{
+    longrun_djpeg_program, longrun_modexp_program, LongrunDjpegParams, LongrunModexpParams,
+};
+
+struct Row {
+    workload: &'static str,
+    backend: &'static str,
+    stepping: &'static str,
+    sim_cycles: u64,
+    committed: u64,
+    ff_committed: u64,
+    roi_cycles: u64,
+    secure_committed: u64,
+    steady_secs: f64,
+    host: HostProfile,
+    outputs: Vec<u64>,
+}
+
+impl Row {
+    fn mips(&self) -> f64 {
+        self.committed as f64 / self.steady_secs.max(1e-9) / 1e6
+    }
+}
+
+fn backend_name(which: BackendRun) -> &'static str {
+    match which {
+        BackendRun::Baseline => "baseline",
+        BackendRun::Sempe => "sempe",
+        BackendRun::Cte => "cte",
+    }
+}
+
+fn measure(
+    workload: &'static str,
+    prog: &WirProgram,
+    which: BackendRun,
+    reps: u32,
+    stepping: Stepping,
+) -> Row {
+    let (backend, config) = which.pair();
+    let config = config.with_stepping(stepping);
+    let cw = compile(prog, backend).expect("workload compiles");
+    let mut slot: Option<Simulator> = None;
+    let warm = Simulator::rebuild_or_new(&mut slot, cw.program(), config)
+        .expect("simulator builds")
+        .run(u64::MAX)
+        .expect("workload halts");
+    let outputs = cw.read_outputs(slot.as_ref().expect("slot filled").mem());
+    let mut sim_cycles = 0u64;
+    let mut committed = 0u64;
+    let mut steady_secs = 0f64;
+    let mut host = HostProfile::default();
+    let mut ff_committed = 0u64;
+    let mut roi_cycles = 0u64;
+    let mut secure_committed = 0u64;
+    for _ in 0..reps {
+        let sim =
+            Simulator::rebuild_or_new(&mut slot, cw.program(), config).expect("simulator rebuilds");
+        let t0 = Instant::now();
+        let out = sim.run(u64::MAX).expect("workload halts");
+        steady_secs += t0.elapsed().as_secs_f64();
+        sim_cycles += out.stats.cycles;
+        committed += out.stats.committed;
+        ff_committed += out.stats.ff_committed;
+        roi_cycles += out.stats.roi_cycles;
+        secure_committed += out.stats.secure_committed;
+        host.absorb(&sim.take_host_profile());
+    }
+    assert_eq!(warm.stats.cycles * u64::from(reps), sim_cycles, "nondeterministic run");
+    Row {
+        workload,
+        backend: backend_name(which),
+        stepping: stepping.name(),
+        sim_cycles,
+        committed,
+        ff_committed,
+        roi_cycles,
+        secure_committed,
+        steady_secs,
+        host,
+        outputs,
+    }
+}
+
+fn report_json(rows: &[Row], extra: Json) -> String {
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .with("workload", r.workload)
+                .with("backend", r.backend)
+                .with("stepping", r.stepping)
+                .with("sim_cycles", r.sim_cycles)
+                .with("committed", r.committed)
+                .with("ff_committed", r.ff_committed)
+                .with("roi_cycles", r.roi_cycles)
+                .with("secure_committed", r.secure_committed)
+                .with("steady_secs", (r.steady_secs * 1e6).round() / 1e6)
+                .with("host_profile", r.host.to_json())
+                .with("mips", (r.mips() * 1e3).round() / 1e3)
+        })
+        .collect();
+    let mut obj = Json::obj()
+        .with("bench", "tiered_throughput")
+        .with("unit", "host_mips_of_committed_instructions")
+        .with("group", "longrun")
+        .with("rows", Json::Arr(rows_json));
+    if let Json::Obj(extra_fields) = extra {
+        for (k, v) in extra_fields {
+            obj = obj.with(&k, v);
+        }
+    }
+    let mut out = obj.encode();
+    out.push('\n');
+    out
+}
+
+fn print_rows(rows: &[Row]) {
+    println!(
+        "{:18} {:9} {:8} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "workload", "backend", "stepping", "committed", "ff insts", "roi cycles", "host ms", "MIPS"
+    );
+    for r in rows {
+        println!(
+            "{:18} {:9} {:8} {:>12} {:>12} {:>12} {:>10.2} {:>9.3}",
+            r.workload,
+            r.backend,
+            r.stepping,
+            r.committed,
+            r.ff_committed,
+            r.roi_cycles,
+            r.steady_secs * 1e3,
+            r.mips()
+        );
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_tiered_throughput.json");
+    let mut min_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(1);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = need(&mut args, "--out"),
+            "--min-speedup" => {
+                let v = need(&mut args, "--min-speedup");
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => min_speedup = Some(x),
+                    _ => {
+                        eprintln!("--min-speedup needs a positive number, got `{v}`");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` (usage: tiered_throughput [--quick] \
+                     [--out <path>] [--min-speedup <X>])"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    let reps = if quick { 2 } else { 5 };
+
+    let modexp = LongrunModexpParams {
+        table_words: if quick { 1 << 12 } else { 1 << 14 },
+        ..LongrunModexpParams::default()
+    };
+    let djpeg = LongrunDjpegParams {
+        blocks: if quick { 24 } else { 48 },
+        public_iters: if quick { 5000 } else { 12000 },
+        ..LongrunDjpegParams::default()
+    };
+    let workloads: Vec<(&'static str, WirProgram)> = vec![
+        ("longrun-modexp", longrun_modexp_program(&modexp).0),
+        ("longrun-djpeg", longrun_djpeg_program(&djpeg)),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, prog) in &workloads {
+        for which in BackendRun::ALL {
+            let skip = measure(name, prog, which, reps, Stepping::Skip);
+            let tiered = measure(name, prog, which, reps, Stepping::Tiered);
+            assert_eq!(
+                skip.committed, tiered.committed,
+                "{name}/{which:?}: tiered and skip disagree on committed instructions"
+            );
+            assert_eq!(
+                skip.outputs, tiered.outputs,
+                "{name}/{which:?}: tiered and skip disagree on outputs"
+            );
+            if which == BackendRun::Sempe {
+                // The group's defining property: ≥95% of committed
+                // instructions outside the secure regions.
+                assert!(
+                    skip.secure_committed * 20 <= skip.committed,
+                    "{name}: longrun group must stay ≥95% outside the ROI \
+                     ({} of {} committed instructions are secure)",
+                    skip.secure_committed / u64::from(reps),
+                    skip.committed / u64::from(reps),
+                );
+            }
+            rows.push(skip);
+            rows.push(tiered);
+        }
+    }
+    print_rows(&rows);
+
+    // The gated number: aggregate steady-state MIPS speedup on the
+    // SeMPE-backend rows (the hard case — their secure regions still
+    // run the detailed pipeline).
+    let agg_mips = |rows: &[Row], stepping: &str, backend: Option<&str>| {
+        let (i, t) = rows
+            .iter()
+            .filter(|r| r.stepping == stepping && backend.is_none_or(|b| r.backend == b))
+            .fold((0u64, 0f64), |(i, t), r| (i + r.committed, t + r.steady_secs));
+        i as f64 / t.max(1e-9) / 1e6
+    };
+    let sempe_speedup = agg_mips(&rows, "tiered", Some("sempe"))
+        / agg_mips(&rows, "skip", Some("sempe")).max(1e-12);
+    let overall_speedup =
+        agg_mips(&rows, "tiered", None) / agg_mips(&rows, "skip", None).max(1e-12);
+    println!();
+    println!("sempe longrun tiered speedup:   {sempe_speedup:.2}x (steady-state MIPS)");
+    println!("overall longrun tiered speedup: {overall_speedup:.2}x (steady-state MIPS)");
+
+    let extra = Json::obj()
+        .with("sempe_tiered_speedup", (sempe_speedup * 100.0).round() / 100.0)
+        .with("overall_tiered_speedup", (overall_speedup * 100.0).round() / 100.0);
+    std::fs::write(&out_path, report_json(&rows, extra))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if let Some(floor) = min_speedup {
+        if sempe_speedup < floor {
+            eprintln!(
+                "GATE FAILED: sempe longrun tiered speedup {sempe_speedup:.2}x \
+                 below the {floor}x floor"
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -119,6 +119,26 @@ impl ObservationTrace {
         self.events.iter().map(|(_, e)| e)
     }
 
+    /// The sub-trace observed in the cycle window `[start, end]`, with
+    /// cycles rebased to `start` and `total_cycles = end - start`.
+    ///
+    /// This is how region-of-interest traces are compared across
+    /// stepping modes: a tiered run records no events in fast-forwarded
+    /// gaps and its absolute cycle numbers differ from a full detailed
+    /// run's, but inside an ROI span (see `Simulator::roi_spans`) the
+    /// rebased windows must match bit for bit wherever tiered warmup is
+    /// exact.
+    #[must_use]
+    pub fn window(&self, start: u64, end: u64) -> ObservationTrace {
+        let events = self
+            .events
+            .iter()
+            .filter(|(c, _)| *c >= start && *c <= end)
+            .map(|(c, e)| (c - start, *e))
+            .collect();
+        ObservationTrace { events, total_cycles: end.saturating_sub(start) }
+    }
+
     /// An order-sensitive 64-bit digest (FNV-1a over the event stream,
     /// including timestamps), for cheap comparison of very long traces.
     #[must_use]

@@ -28,13 +28,22 @@
 //! supposed to be semantically invisible, so cycles, committed counts,
 //! outputs, and `Strictness::Full` traces must agree exactly; every
 //! generated program proves it.
+//!
+//! Finally, every (backend × machine) pair runs the **tiered
+//! differential**: the same binary under tiered stepping (functional
+//! fast-forward between the regions of interest, detailed pipeline
+//! inside them). Fast-forwarding must be architecturally invisible —
+//! committed counts, outputs, final array state, and the detailed-span
+//! count must match the full-detailed run exactly, and ROI cycle
+//! counts must stay within the warmup exactness budget documented in
+//! `sempe_sim::tier`.
 
 use core::fmt;
 
 use sempe_compile::{compile, run_wir, Backend, CompiledWorkload, WirProgram, WirResult};
 use sempe_core::{first_divergence, Strictness};
 use sempe_isa::interp::{Interp, InterpMode};
-use sempe_sim::{SimConfig, Simulator};
+use sempe_sim::{SimConfig, Simulator, Stepping};
 
 use crate::gen::{FuzzCase, Profile};
 
@@ -121,6 +130,10 @@ pub enum DivergenceKind {
     /// A cycle-skipping run diverged from classic 1-cycle stepping
     /// (cycles, committed count, outputs, or observation trace).
     Skip,
+    /// A tiered (fast-forward + detailed-ROI) run diverged from full
+    /// detailed execution: committed count, outputs, final arrays, or
+    /// ROI cycles outside the documented warmup budget.
+    Tiered,
     /// The service stack (wire protocol, job queue, worker pool, result
     /// cache — under fault injection) disagreed with a direct simulator
     /// run, or failed to converge to a response at all.
@@ -145,6 +158,7 @@ impl DivergenceKind {
             DivergenceKind::Opt => "opt",
             DivergenceKind::Fork => "fork",
             DivergenceKind::Skip => "skip",
+            DivergenceKind::Tiered => "tiered",
             DivergenceKind::Service => "service",
         }
     }
@@ -340,6 +354,74 @@ impl SimArena {
         }
         if let Some(d) = first_divergence(&skip_trace, sim.trace(), Strictness::Full) {
             return Err(fail(format!("skip/classic traces diverge: {d:?}")));
+        }
+        Ok(())
+    }
+
+    /// The tiered differential: run the binary under tiered stepping
+    /// (functional fast-forward outside the regions of interest,
+    /// detailed pipeline inside) and compare against the cold full-
+    /// detailed run. Fast-forwarding must be architecturally invisible —
+    /// committed count, outputs, final (non-scratch) array state, and
+    /// the number of detailed ROI spans must match exactly. ROI cycle
+    /// counts are usually bit-identical too, but warmup is approximate
+    /// by design (see `sempe_sim::tier`'s exactness budget: a full run's
+    /// front end can run ahead into region code during pre-region
+    /// stalls), so they are held to the documented budget instead:
+    /// within ±(50% + 64 cycles) of the full-detailed count. A real
+    /// accounting bug — FF gaps billed to the ROI, spans never closed —
+    /// blows far past that band; warmup noise does not.
+    #[allow(clippy::too_many_arguments)]
+    fn tiered_check(
+        &mut self,
+        prog: &WirProgram,
+        cw: &CompiledWorkload,
+        config: SimConfig,
+        engine: &str,
+        want: &WirResult,
+        want_committed: u64,
+        want_roi: u64,
+        want_spans: usize,
+    ) -> Result<(), Divergence> {
+        let fail = |detail: String| Divergence {
+            kind: DivergenceKind::Tiered,
+            engine: engine.to_string(),
+            detail,
+        };
+        let tiered = config.with_stepping(Stepping::Tiered);
+        let sim = Simulator::rebuild_or_new(&mut self.fork, cw.program(), tiered)
+            .map_err(|e| fail(format!("tiered machine build failed: {e}")))?;
+        let res = sim.run(SIM_FUEL).map_err(|e| fail(format!("tiered run fault: {e}")))?;
+        if !res.halted {
+            return Err(fail(format!("did not halt within {SIM_FUEL} cycles of fuel")));
+        }
+        if res.stats.committed != want_committed {
+            return Err(fail(format!(
+                "tiered run committed {} instructions, full detailed run {want_committed}",
+                res.stats.committed
+            )));
+        }
+        compare_state(prog, cw, sim.mem(), want, engine)
+            .map_err(|d| fail(format!("architectural state diverges: {d}")))?;
+        if res.stats.ff_committed > res.stats.committed {
+            return Err(fail(format!(
+                "fast-forward accounting overflows the commit count: {} of {}",
+                res.stats.ff_committed, res.stats.committed
+            )));
+        }
+        if sim.roi_spans().len() != want_spans {
+            return Err(fail(format!(
+                "tiered run opened {} detailed spans, full detailed run {want_spans}",
+                sim.roi_spans().len()
+            )));
+        }
+        let roi = res.stats.roi_cycles;
+        let budget = want_roi / 2 + 64;
+        if roi.abs_diff(want_roi) > budget {
+            return Err(fail(format!(
+                "ROI cycle count {roi} outside the warmup budget: full detailed run \
+                 {want_roi} ± {budget}"
+            )));
         }
         Ok(())
     }
@@ -558,6 +640,8 @@ pub fn check_program(
             stats.engine_runs += 1;
             let sim_committed = sim.stats().committed;
             let sim_cycles = sim.stats().cycles;
+            let sim_roi = sim.stats().roi_cycles;
+            let sim_spans = sim.roi_spans().len();
             let sim_mem_ok = compare_state(p0, &cw, sim.mem(), &want, &sim_name);
             sim_mem_ok?;
             if sim_committed != committed {
@@ -574,6 +658,17 @@ pub fn check_program(
             stats.engine_runs += 2;
             arena.skip_check(&cw, *config, &sim_name, sim_cycles, sim_committed)?;
             stats.engine_runs += 2;
+            arena.tiered_check(
+                p0,
+                &cw,
+                *config,
+                &sim_name,
+                &want,
+                sim_committed,
+                sim_roi,
+                sim_spans,
+            )?;
+            stats.engine_runs += 1;
         }
     }
 

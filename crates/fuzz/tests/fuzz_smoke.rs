@@ -30,9 +30,10 @@ fn backend_pair_selection_restricts_the_matrix() {
     let case = generate(99, &GenConfig::new(Profile::Correctness));
     let stats = check_case(&case, &engines, &mut arena).expect("clean");
     // CTE alone: one interpreter + one pipeline run, plus the fork
-    // differential's checkpointed + restored runs and the cycle-skip
-    // differential's skipping + classic runs.
-    assert_eq!(stats.engine_runs, 6);
+    // differential's checkpointed + restored runs, the cycle-skip
+    // differential's skipping + classic runs, and the tiered
+    // differential's fast-forwarding run.
+    assert_eq!(stats.engine_runs, 7);
     assert!(EngineSet::parse("quantum").is_none());
     assert!(EngineSet::parse("all").is_some());
 }

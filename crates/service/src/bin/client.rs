@@ -5,12 +5,13 @@
 //!
 //! commands:
 //!   compile  --source FILE|-  [--backend baseline|sempe|cte]
-//!   run      --source FILE|-  [--backend B] [--max-cycles N]
+//!   run      --source FILE|-  [--backend B] [--mode detailed|tiered]
+//!            [--max-cycles N]
 //!   sweep    --source FILE|-  [--max-cycles N]
 //!   attack   --source FILE|-  [--mode baseline|sempe] [--secret NAME]
 //!            [--secret-value N] [--candidates A,B,...] [--max-cycles N]
 //!   batch    --source FILE|-  --inputs '[{"var":N,...},...]' [--backend B]
-//!            [--leak-check] [--max-cycles N]
+//!            [--mode detailed|tiered] [--leak-check] [--max-cycles N]
 //!   stats
 //!   health
 //!   metrics  [--prometheus]
@@ -248,6 +249,9 @@ fn build_body(opts: &Options) -> Json {
                 req.set("backend", b.as_str());
             }
             if opts.command == "run" {
+                if let Some(m) = &opts.mode {
+                    req.set("mode", m.as_str());
+                }
                 if let Some(n) = opts.max_cycles {
                     req.set("max_cycles", n);
                 }
@@ -293,6 +297,9 @@ fn build_body(opts: &Options) -> Json {
                 .with("inputs", inputs);
             if let Some(b) = &opts.backend {
                 req.set("backend", b.as_str());
+            }
+            if let Some(m) = &opts.mode {
+                req.set("mode", m.as_str());
             }
             if opts.leak_check {
                 req.set("leak_check", true);

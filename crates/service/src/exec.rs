@@ -32,7 +32,7 @@ use sempe_isa::{disasm, Addr, DecodeMode, Program};
 use sempe_sim::{Checkpoint, HostProfile, SecurityMode, SimConfig, SimError, SimResult, Simulator};
 
 use crate::cache::CacheKey;
-use crate::protocol::{BackendSel, ErrorCode, Request, ServiceError};
+use crate::protocol::{BackendSel, ErrorCode, ExecMode, Request, ServiceError};
 use crate::sync;
 
 /// A worker's reusable simulation arena.
@@ -285,12 +285,14 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
             config_digest: 0,
             params_digest: 0,
         }),
-        Request::Run { source, backend, max_cycles } => Some(CacheKey {
+        Request::Run { source, backend, mode, max_cycles } => Some(CacheKey {
             op: "run",
             source_hash: fnv1a(source.as_bytes()),
             backend: backend_disc(*backend),
             mode: mode_disc(backend.mode()),
-            config_digest: backend.sim_config().digest(),
+            // The stepping (detailed vs tiered) is a digest component,
+            // so the two tiers never alias in the result cache.
+            config_digest: mode.sim_config(*backend).digest(),
             params_digest: *max_cycles,
         }),
         Request::Sweep { source, max_cycles } => Some(CacheKey {
@@ -327,7 +329,7 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
                 params_digest: params.finish(),
             })
         }
-        Request::Batch { source, backend, inputs, leak_check, max_cycles } => {
+        Request::Batch { source, backend, mode, inputs, leak_check, max_cycles } => {
             let mut params = Fnv1a::new();
             params.write_u64(*max_cycles);
             params.write_u64(u64::from(*leak_check));
@@ -340,8 +342,8 @@ pub fn cache_key(req: &Request) -> Option<CacheKey> {
                     params.write_u64(*value);
                 }
             }
-            let config =
-                if *leak_check { backend.sim_config().with_trace() } else { backend.sim_config() };
+            let base = mode.sim_config(*backend);
+            let config = if *leak_check { base.with_trace() } else { base };
             Some(CacheKey {
                 op: "batch",
                 source_hash: fnv1a(source.as_bytes()),
@@ -435,8 +437,8 @@ pub fn execute_streamed(
             span.mark("compile");
             body
         }
-        Request::Run { source, backend, max_cycles } => {
-            do_run(source, *backend, *max_cycles, arena, deadline, span)?
+        Request::Run { source, backend, mode, max_cycles } => {
+            do_run(source, *backend, *mode, *max_cycles, arena, deadline, span)?
         }
         Request::Sweep { source, max_cycles } => {
             do_sweep(source, *max_cycles, arena, forks, deadline, span, sink.as_deref_mut())?
@@ -455,9 +457,10 @@ pub fn execute_streamed(
                 span,
             )?
         }
-        Request::Batch { source, backend, inputs, leak_check, max_cycles } => do_batch(
+        Request::Batch { source, backend, mode, inputs, leak_check, max_cycles } => do_batch(
             source,
             *backend,
+            *mode,
             inputs,
             *leak_check,
             *max_cycles,
@@ -529,6 +532,7 @@ fn do_compile(source: &str, sel: BackendSel) -> Result<Json, ServiceError> {
 struct RunData {
     cycles: u64,
     committed: u64,
+    ff_committed: u64,
     secure_committed: u64,
     squashes: u64,
     drain_stall_cycles: u64,
@@ -541,6 +545,7 @@ impl RunData {
         Json::obj()
             .with("cycles", self.cycles)
             .with("committed", self.committed)
+            .with("ff_committed", self.ff_committed)
             .with("ipc", self.ipc)
             .with("secure_committed", self.secure_committed)
             .with("squashes", self.squashes)
@@ -552,6 +557,7 @@ impl RunData {
 fn arena_run(
     prog: &WirProgram,
     sel: BackendSel,
+    mode: ExecMode,
     fuel: u64,
     arena: &mut Arena,
     deadline: Option<Instant>,
@@ -560,11 +566,12 @@ fn arena_run(
     span.skip();
     let cw = compile_sel(prog, sel)?;
     span.mark("compile");
-    let res = arena.simulate(cw.program(), sel.sim_config(), fuel, deadline, span)?;
+    let res = arena.simulate(cw.program(), mode.sim_config(sel), fuel, deadline, span)?;
     let stats = res.stats;
     Ok(RunData {
         cycles: res.cycles(),
         committed: res.committed(),
+        ff_committed: stats.ff_committed,
         secure_committed: stats.secure_committed,
         squashes: stats.squashes,
         drain_stall_cycles: stats.drain_stall_cycles,
@@ -600,6 +607,7 @@ fn forked_run(
     Ok(RunData {
         cycles: res.cycles(),
         committed: res.committed(),
+        ff_committed: stats.ff_committed,
         secure_committed: stats.secure_committed,
         squashes: stats.squashes,
         drain_stall_cycles: stats.drain_stall_cycles,
@@ -611,14 +619,19 @@ fn forked_run(
 fn do_run(
     source: &str,
     sel: BackendSel,
+    mode: ExecMode,
     fuel: u64,
     arena: &mut Arena,
     deadline: Option<Instant>,
     span: &mut Span,
 ) -> Result<Json, ServiceError> {
     let parsed = parse_source(source)?;
-    let data = arena_run(&parsed.program, sel, fuel, arena, deadline, span)?;
-    let mut body = Json::obj().with("ok", true).with("type", "run").with("backend", sel.name());
+    let data = arena_run(&parsed.program, sel, mode, fuel, arena, deadline, span)?;
+    let mut body = Json::obj()
+        .with("ok", true)
+        .with("type", "run")
+        .with("backend", sel.name())
+        .with("mode", mode.name());
     if let Json::Obj(run_members) = data.to_json() {
         if let Json::Obj(members) = &mut body {
             members.extend(run_members);
@@ -626,7 +639,7 @@ fn do_run(
     }
     Ok(body
         .with("source_hash", hex(fnv1a(source.as_bytes())))
-        .with("config_digest", hex(sel.sim_config().digest())))
+        .with("config_digest", hex(mode.sim_config(sel).digest())))
 }
 
 /// A streaming frame payload: the lane/item tag followed by the run
@@ -875,6 +888,7 @@ fn do_attack(
 fn do_batch(
     source: &str,
     sel: BackendSel,
+    mode: ExecMode,
     inputs: &[Vec<(String, u64)>],
     leak_check: bool,
     fuel: u64,
@@ -888,7 +902,11 @@ fn do_batch(
     span.skip();
     let cw = compile_sel(&parsed.program, sel)?;
     span.mark("compile");
-    let config = if leak_check { sel.sim_config().with_trace() } else { sel.sim_config() };
+    // The stepping rides in the config, so tiered trials share one
+    // checkpoint keyed apart from the detailed one; each restored trial
+    // then fast-forwards functionally to the first region of interest.
+    let base = mode.sim_config(sel);
+    let config = if leak_check { base.with_trace() } else { base };
     let cp = forks.get_or_build(cw.program(), config)?;
     span.mark("checkpoint_restore");
 
@@ -952,6 +970,7 @@ fn do_batch(
         .with("ok", true)
         .with("type", "batch")
         .with("backend", sel.name())
+        .with("mode", mode.name())
         .with("items", inputs.len())
         .with("results", Json::Arr(results.iter().map(RunData::to_json).collect()));
     if leak_check {
@@ -1010,6 +1029,7 @@ mod tests {
         let run = Request::Run {
             source: MODEXP.to_string(),
             backend: BackendSel::Baseline,
+            mode: ExecMode::Detailed,
             max_cycles: 50_000_000,
         };
         let run_v = sempe_core::json::parse(&execute(&run, &mut arena, &forks).unwrap()).unwrap();
@@ -1059,6 +1079,7 @@ mod tests {
         let req = Request::Run {
             source: MODEXP.to_string(),
             backend: BackendSel::Sempe,
+            mode: ExecMode::Detailed,
             max_cycles: 50_000_000,
         };
         let mut a = Arena::new();
@@ -1069,9 +1090,96 @@ mod tests {
         assert_eq!(execute(&req, &mut a, &forks).unwrap(), execute(&req, &mut b, &forks).unwrap());
     }
 
+    fn run_req(backend: BackendSel, mode: ExecMode) -> Request {
+        Request::Run { source: MODEXP.to_string(), backend, mode, max_cycles: 50_000_000 }
+    }
+
+    #[test]
+    fn tiered_run_matches_detailed_architecturally_and_keys_apart() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        let detailed = sempe_core::json::parse(
+            &execute(&run_req(BackendSel::Sempe, ExecMode::Detailed), &mut arena, &forks).unwrap(),
+        )
+        .unwrap();
+        let tiered = sempe_core::json::parse(
+            &execute(&run_req(BackendSel::Sempe, ExecMode::Tiered), &mut arena, &forks).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(tiered.get("mode").and_then(Json::as_str), Some("tiered"));
+        assert_eq!(detailed.get("mode").and_then(Json::as_str), Some("detailed"));
+        // Fast-forwarding is architecturally invisible…
+        assert_eq!(tiered.get("outputs"), detailed.get("outputs"));
+        assert_eq!(tiered.get("committed"), detailed.get("committed"));
+        // …but attributed: the public modexp loop fast-forwards.
+        assert!(tiered.get("ff_committed").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(detailed.get("ff_committed").and_then(Json::as_u64), Some(0));
+        // And the two tiers can never alias in the result cache.
+        assert_ne!(
+            cache_key(&run_req(BackendSel::Sempe, ExecMode::Tiered)).unwrap(),
+            cache_key(&run_req(BackendSel::Sempe, ExecMode::Detailed)).unwrap()
+        );
+    }
+
+    #[test]
+    fn tiered_then_detailed_in_one_arena_matches_a_cold_run() {
+        // The arena-reuse regression: a tiered run leaves warm caches,
+        // predictors, and FF bookkeeping in the worker's simulator; the
+        // next request's rebuild must reset all of it, or a recycled
+        // arena answers differently than a fresh worker (breaking the
+        // byte-identical determinism the result cache rests on).
+        let forks = ForkCache::new(8);
+        for (first, then) in
+            [(ExecMode::Tiered, ExecMode::Detailed), (ExecMode::Detailed, ExecMode::Tiered)]
+        {
+            let mut recycled = Arena::new();
+            let _ = execute(&run_req(BackendSel::Sempe, first), &mut recycled, &forks).unwrap();
+            let warm = execute(&run_req(BackendSel::Sempe, then), &mut recycled, &forks).unwrap();
+            let cold =
+                execute(&run_req(BackendSel::Sempe, then), &mut Arena::new(), &forks).unwrap();
+            assert_eq!(warm, cold, "{first:?} then {then:?}: recycled arena must answer cold");
+        }
+    }
+
+    #[test]
+    fn tiered_batch_keys_its_own_checkpoint_and_matches_detailed_outputs() {
+        let mut arena = Arena::new();
+        let forks = ForkCache::new(8);
+        let keys = [0u64, 15];
+        let req = |mode| Request::Batch {
+            source: MODEXP.to_string(),
+            backend: BackendSel::Sempe,
+            mode,
+            inputs: keys.iter().map(|k| vec![("key".to_string(), *k)]).collect(),
+            leak_check: false,
+            max_cycles: 50_000_000,
+        };
+        let detailed = sempe_core::json::parse(
+            &execute(&req(ExecMode::Detailed), &mut arena, &forks).unwrap(),
+        )
+        .unwrap();
+        let tiered =
+            sempe_core::json::parse(&execute(&req(ExecMode::Tiered), &mut arena, &forks).unwrap())
+                .unwrap();
+        let items = |v: &Json| v.get("results").and_then(Json::as_array).unwrap().to_vec();
+        for (d, t) in items(&detailed).iter().zip(items(&tiered).iter()) {
+            assert_eq!(d.get("outputs"), t.get("outputs"));
+            assert_eq!(d.get("committed"), t.get("committed"));
+            assert!(t.get("ff_committed").and_then(Json::as_u64).unwrap() > 0);
+        }
+        // One checkpoint per (program, config) — the stepping is part of
+        // the config digest, so the two modes built separate ones.
+        assert_eq!(forks.len(), 2);
+    }
+
     #[test]
     fn cache_keys_separate_requests() {
-        let run = |backend| Request::Run { source: MODEXP.to_string(), backend, max_cycles: 1000 };
+        let run = |backend| Request::Run {
+            source: MODEXP.to_string(),
+            backend,
+            mode: ExecMode::Detailed,
+            max_cycles: 1000,
+        };
         let k1 = cache_key(&run(BackendSel::Sempe)).unwrap();
         let k2 = cache_key(&run(BackendSel::Baseline)).unwrap();
         let k3 = cache_key(&run(BackendSel::Cte)).unwrap();
@@ -1115,6 +1223,7 @@ mod tests {
         let req = Request::Run {
             source: source.to_string(),
             backend: BackendSel::Baseline,
+            mode: ExecMode::Detailed,
             max_cycles: 100_000_000,
         };
         let start = Instant::now();
@@ -1142,6 +1251,7 @@ mod tests {
         let req = Request::Run {
             source: MODEXP.to_string(),
             backend: BackendSel::Baseline,
+            mode: ExecMode::Detailed,
             max_cycles: 50_000_000,
         };
         let relaxed = Instant::now() + std::time::Duration::from_secs(600);
@@ -1173,6 +1283,7 @@ mod tests {
         Request::Batch {
             source: MODEXP.to_string(),
             backend,
+            mode: ExecMode::Detailed,
             inputs: keys.iter().map(|k| vec![("key".to_string(), *k)]).collect(),
             leak_check,
             max_cycles: 50_000_000,
@@ -1197,6 +1308,7 @@ mod tests {
             let run = Request::Run {
                 source: patched,
                 backend: BackendSel::Baseline,
+                mode: ExecMode::Detailed,
                 max_cycles: 50_000_000,
             };
             let run_v =
@@ -1294,6 +1406,7 @@ mod tests {
         let req = Request::Batch {
             source: MODEXP.to_string(),
             backend: BackendSel::Baseline,
+            mode: ExecMode::Detailed,
             inputs: vec![vec![("nope".to_string(), 1)]],
             leak_check: false,
             max_cycles: 1000,

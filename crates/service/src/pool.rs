@@ -362,6 +362,16 @@ fn observe_job(
         reg.counter("sim_restores_total").add(hp.restores);
         reg.counter("sim_skipped_cycles_total").add(hp.skipped_cycles);
         reg.counter("sim_skips_total").add(hp.skips);
+        reg.counter("ff_instructions_total").add(hp.ff_instructions);
+        if hp.ff_instructions > 0 {
+            // Tiered-run attribution: only observed when the request
+            // actually fast-forwarded, so detailed-only traffic does not
+            // flood the histograms with zeros.
+            reg.histogram("sim_host_us{phase=\"ff\"}")
+                .observe_duration(Duration::from_nanos(hp.ff_ns));
+            reg.histogram("sim_host_us{phase=\"warm\"}")
+                .observe_duration(Duration::from_nanos(hp.warm_ns));
+        }
     }
     if let Err(e) = result {
         reg.counter(&format!("errors_total{{code=\"{}\"}}", e.code.as_str())).inc();

@@ -23,7 +23,7 @@ use core::fmt;
 
 use sempe_compile::Backend;
 use sempe_core::json::{self, Json};
-use sempe_sim::{SecurityMode, SimConfig};
+use sempe_sim::{SecurityMode, SimConfig, Stepping};
 
 /// Hard cap on one request line (bytes, newline included).
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
@@ -198,6 +198,43 @@ impl BackendSel {
     }
 }
 
+/// Which execution tier a `run`/`batch` request simulates under (the
+/// request's optional `"mode"` member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Full cycle-accurate simulation (the default).
+    #[default]
+    Detailed,
+    /// Tiered execution: functional fast-forward outside the regions of
+    /// interest, detailed pipeline inside them (`docs/performance.md`,
+    /// layer 4). Architecturally identical to detailed; cycle counters
+    /// only cover the detailed spans.
+    Tiered,
+}
+
+impl ExecMode {
+    /// Stable wire name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ExecMode::Detailed => "detailed",
+            ExecMode::Tiered => "tiered",
+        }
+    }
+
+    /// The machine configuration for `sel` under this tier. The
+    /// stepping is part of [`SimConfig::digest`], so tiered and
+    /// detailed requests can never alias in the result cache or share a
+    /// fork-server checkpoint.
+    #[must_use]
+    pub fn sim_config(self, sel: BackendSel) -> SimConfig {
+        match self {
+            ExecMode::Detailed => sel.sim_config(),
+            ExecMode::Tiered => sel.sim_config().with_stepping(Stepping::Tiered),
+        }
+    }
+}
+
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -215,6 +252,8 @@ pub enum Request {
         source: String,
         /// Target (backend, machine) pair.
         backend: BackendSel,
+        /// Execution tier (detailed or tiered).
+        mode: ExecMode,
         /// Simulation fuel.
         max_cycles: u64,
     },
@@ -250,6 +289,8 @@ pub enum Request {
         source: String,
         /// Target (backend, machine) pair.
         backend: BackendSel,
+        /// Execution tier (detailed or tiered).
+        mode: ExecMode,
         /// One entry per trial: `(variable name, value)` assignments
         /// applied in order on top of the declared initializers.
         inputs: Vec<Vec<(String, u64)>>,
@@ -360,6 +401,7 @@ impl Request {
             "run" => Ok(Request::Run {
                 source: take_source(v)?,
                 backend: opt_backend(v)?.unwrap_or(BackendSel::Sempe),
+                mode: opt_exec_mode(v)?,
                 max_cycles: opt_fuel(v)?,
             }),
             "sweep" => Ok(Request::Sweep { source: take_source(v)?, max_cycles: opt_fuel(v)? }),
@@ -416,6 +458,7 @@ impl Request {
                 Ok(Request::Batch {
                     source: take_source(v)?,
                     backend: opt_backend(v)?.unwrap_or(BackendSel::Sempe),
+                    mode: opt_exec_mode(v)?,
                     inputs,
                     leak_check,
                     max_cycles: opt_fuel(v)?,
@@ -592,6 +635,17 @@ fn opt_backend(v: &Json) -> Result<Option<BackendSel>, ServiceError> {
     }
 }
 
+fn opt_exec_mode(v: &Json) -> Result<ExecMode, ServiceError> {
+    match opt_str(v, "mode")? {
+        None | Some("detailed") => Ok(ExecMode::Detailed),
+        Some("tiered") => Ok(ExecMode::Tiered),
+        Some(other) => Err(ServiceError::new(
+            ErrorCode::BadRequest,
+            format!("unknown mode `{other}` (expected detailed|tiered)"),
+        )),
+    }
+}
+
 fn opt_fuel(v: &Json) -> Result<u64, ServiceError> {
     let fuel = opt_u64(v, "max_cycles")?.unwrap_or(DEFAULT_MAX_CYCLES);
     if fuel == 0 || fuel > MAX_MAX_CYCLES {
@@ -682,6 +736,31 @@ mod tests {
         assert_eq!(Request::parse(r#"{"type":"stats"}"#), Ok(Request::Stats));
         assert_eq!(Request::parse(r#"{"type":"health"}"#), Ok(Request::Health));
         assert_eq!(Request::parse(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn parses_execution_mode() {
+        let r = Request::parse(r#"{"type":"run","source":"s","mode":"tiered"}"#).unwrap();
+        assert!(matches!(r, Request::Run { mode: ExecMode::Tiered, .. }));
+        let r = Request::parse(r#"{"type":"run","source":"s","mode":"detailed"}"#).unwrap();
+        assert!(matches!(r, Request::Run { mode: ExecMode::Detailed, .. }));
+        let r = Request::parse(r#"{"type":"run","source":"s"}"#).unwrap();
+        assert!(matches!(r, Request::Run { mode: ExecMode::Detailed, .. }), "detailed by default");
+        let r = Request::parse(r#"{"type":"batch","source":"s","inputs":[{}],"mode":"tiered"}"#)
+            .unwrap();
+        assert!(matches!(r, Request::Batch { mode: ExecMode::Tiered, .. }));
+        assert_eq!(
+            Request::parse(r#"{"type":"run","source":"s","mode":"warp"}"#).unwrap_err().code,
+            ErrorCode::BadRequest
+        );
+        // The stepping is a digest component: tiered and detailed
+        // machines must never alias in caches keyed by it.
+        for sel in BackendSel::ALL {
+            assert_ne!(
+                ExecMode::Tiered.sim_config(sel).digest(),
+                ExecMode::Detailed.sim_config(sel).digest()
+            );
+        }
     }
 
     #[test]

@@ -217,6 +217,35 @@ fn byte_identical_cache_hits_still_count_as_hits() {
 }
 
 #[test]
+fn tiered_runs_export_fast_forward_attribution() {
+    let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
+        .expect("server starts");
+    // Detailed traffic first: no fast-forward attribution may leak in.
+    let resp = roundtrip(&server, &run_line(80_000_000));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let before = scrape(&server);
+    assert_eq!(counter(&before, "ff_instructions_total"), 0);
+    assert_eq!(hist_field(&before, "sim_host_us{phase=\"ff\"}", "count"), 0);
+    // A tiered run of the same program fast-forwards the public modexp
+    // loop; the instructions it retires functionally and the host time
+    // spent fast-forwarding / warming must land in the registry.
+    let tiered = format!(
+        r#"{{"type":"run","source":{},"backend":"sempe","mode":"tiered","max_cycles":80000000}}"#,
+        json::escape(MODEXP)
+    );
+    let resp = roundtrip(&server, &tiered);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"mode\":\"tiered\""), "{resp}");
+    let after = scrape(&server);
+    assert!(counter(&after, "ff_instructions_total") > 0, "tiered run billed no ff instructions");
+    assert_eq!(hist_field(&after, "sim_host_us{phase=\"ff\"}", "count"), 1);
+    assert_eq!(hist_field(&after, "sim_host_us{phase=\"warm\"}", "count"), 1);
+    assert_histograms_consistent(&after);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn trace_log_streams_structured_jsonl_events() {
     let path: PathBuf = std::env::temp_dir().join(format!(
         "sempe-trace-test-{}-{:?}.jsonl",

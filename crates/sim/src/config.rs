@@ -3,6 +3,69 @@
 
 use sempe_core::unit::SempeConfig;
 
+/// How the run loop advances simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Stepping {
+    /// Cycle-accurate with next-event fast-forward ("cycle skip"): stall
+    /// spans in which no stage can act are jumped instead of ticked.
+    /// Semantically invisible — cycles, statistics, outputs and
+    /// observation traces are bit-for-bit identical to classic stepping
+    /// (enforced by the golden cycle tables and the fuzzer's skip
+    /// differential).
+    #[default]
+    Skip,
+    /// Force classic 1-cycle stepping (disable the next-event skip).
+    /// Exists for A/B throughput measurement and as an escape hatch,
+    /// not for correctness.
+    Classic,
+    /// Tiered execution: instructions outside the region of interest
+    /// (see [`Roi`]) execute functionally on the shared ISA semantics
+    /// while *warming* the timed structures (caches, TAGE/ITTAGE/RAS,
+    /// prefetchers); only the ROI runs on the detailed pipeline, with
+    /// cycle skipping still applied there. [`crate::stats::SimStats::cycles`]
+    /// then counts detailed cycles only; `roi_cycles` and `committed`
+    /// remain comparable to a full detailed run (see `crate::tier` for
+    /// the exactness contract and its documented divergence budget).
+    Tiered,
+}
+
+impl Stepping {
+    /// Stable lower-case name (used in wire protocols and reports).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stepping::Skip => "skip",
+            Stepping::Classic => "classic",
+            Stepping::Tiered => "tiered",
+        }
+    }
+}
+
+/// What counts as the region of interest for `roi_cycles` accounting and
+/// for [`Stepping::Tiered`]'s detailed/fast-forward boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Roi {
+    /// Secure regions: the span from each outermost sJMP commit to the
+    /// eosJMP commit that closes it. The natural choice under
+    /// [`SecurityMode::Sempe`], where region boundaries are also the
+    /// pipeline's drain points — which is what makes tiered ROI timing
+    /// exact (the machine is architecturally quiesced at both ends).
+    #[default]
+    Regions,
+    /// An explicit measurement window in committed instructions: the span
+    /// from the commit of instruction `skip + 1` to the commit of
+    /// instruction `skip + insts`. The only way to attribute ROI time
+    /// under [`SecurityMode::Baseline`] (where no secure regions exist);
+    /// under tiered stepping the window boundaries are not drain points,
+    /// so window timing is a sampled-simulation estimate, not exact.
+    Window {
+        /// Committed instructions before the window opens.
+        skip: u64,
+        /// Committed instructions inside the window.
+        insts: u64,
+    },
+}
+
 /// Whether secure instructions are honoured or ignored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SecurityMode {
@@ -228,14 +291,13 @@ pub struct SimConfig {
     /// Abort if no instruction commits for this many cycles (deadlock
     /// watchdog).
     pub watchdog_cycles: u64,
-    /// Force classic 1-cycle stepping: disable the next-event
-    /// fast-forward ("cycle skip") in `Simulator::run`. Skipping is
-    /// semantically invisible — cycles, statistics, outputs and
-    /// observation traces are bit-for-bit identical either way (enforced
-    /// by the golden cycle tables and the fuzzer's skip differential) —
-    /// so this knob exists for A/B throughput measurement and as an
-    /// escape hatch, not for correctness.
-    pub classic_stepping: bool,
+    /// How the run loop advances time: cycle-skip (default), classic
+    /// 1-cycle stepping, or tiered fast-forward (see [`Stepping`]).
+    pub stepping: Stepping,
+    /// What counts as the region of interest (see [`Roi`]). Drives
+    /// `roi_cycles` accounting in every stepping mode and the
+    /// detailed/fast-forward boundary under [`Stepping::Tiered`].
+    pub roi: Roi,
 }
 
 impl SimConfig {
@@ -251,7 +313,8 @@ impl SimConfig {
             sempe: SempeConfig::paper(),
             record_trace: false,
             watchdog_cycles: 100_000,
-            classic_stepping: false,
+            stepping: Stepping::Skip,
+            roi: Roi::Regions,
         }
     }
 
@@ -268,10 +331,29 @@ impl SimConfig {
         self
     }
 
+    /// Select a stepping mode (classic / skip / tiered).
+    #[must_use]
+    pub fn with_stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
+        self
+    }
+
     /// Force classic 1-cycle stepping (disable cycle skipping).
     #[must_use]
-    pub fn with_classic_stepping(mut self) -> Self {
-        self.classic_stepping = true;
+    pub fn with_classic_stepping(self) -> Self {
+        self.with_stepping(Stepping::Classic)
+    }
+
+    /// Enable tiered execution (functional fast-forward outside the ROI).
+    #[must_use]
+    pub fn with_tiered(self) -> Self {
+        self.with_stepping(Stepping::Tiered)
+    }
+
+    /// Select a region-of-interest policy.
+    #[must_use]
+    pub fn with_roi(mut self, roi: Roi) -> Self {
+        self.roi = roi;
         self
     }
 
@@ -339,6 +421,22 @@ mod tests {
             SimConfig::paper().with_classic_stepping().digest(),
             SimConfig::paper().digest()
         );
+        assert_ne!(SimConfig::paper().with_tiered().digest(), SimConfig::paper().digest());
+        assert_ne!(
+            SimConfig::paper().with_roi(Roi::Window { skip: 100, insts: 50 }).digest(),
+            SimConfig::paper().digest()
+        );
+        assert_ne!(
+            SimConfig::paper().with_roi(Roi::Window { skip: 100, insts: 50 }).digest(),
+            SimConfig::paper().with_roi(Roi::Window { skip: 100, insts: 51 }).digest()
+        );
+    }
+
+    #[test]
+    fn stepping_names_are_stable() {
+        assert_eq!(Stepping::Skip.name(), "skip");
+        assert_eq!(Stepping::Classic.name(), "classic");
+        assert_eq!(Stepping::Tiered.name(), "tiered");
     }
 
     #[test]

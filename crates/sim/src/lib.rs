@@ -58,7 +58,8 @@ pub mod rename;
 pub mod rob;
 pub mod skip;
 pub mod stats;
+pub mod tier;
 
-pub use config::{SecurityMode, SimConfig};
+pub use config::{Roi, SecurityMode, SimConfig, Stepping};
 pub use pipeline::{Checkpoint, HostProfile, SimError, Simulator, DEADLINE_QUANTUM};
 pub use stats::{SimResult, SimStats};

@@ -36,7 +36,7 @@ use sempe_isa::{Addr, DecodeError, ExecError};
 
 use crate::bpred::{BranchPredictor, RasSnapshot};
 use crate::cache::MemHierarchy;
-use crate::config::{SecurityMode, SimConfig};
+use crate::config::{Roi, SecurityMode, SimConfig, Stepping};
 use crate::lsq::{LoadCheck, Lsq};
 use crate::rename::{PhysReg, RenameState};
 use crate::rob::{Rob, RobEntry, RobSlot};
@@ -285,6 +285,17 @@ pub struct HostProfile {
     pub skipped_cycles: u64,
     /// Skip jumps taken.
     pub skips: u64,
+    /// Instructions executed by the tiered functional fast-forward
+    /// engine (see [`crate::tier`]).
+    pub ff_instructions: u64,
+    /// Nanoseconds spent inside fast-forward segments. Attribution
+    /// *within* `run_ns` (segments run inside the run loop), so it is
+    /// deliberately not added to [`HostProfile::total_ns`].
+    pub ff_ns: u64,
+    /// Nanoseconds of `ff_ns` spent warming timed structures (caches,
+    /// predictors, prefetchers). A sampled estimate — see
+    /// [`crate::tier::FullWarmup`].
+    pub warm_ns: u64,
 }
 
 impl HostProfile {
@@ -298,6 +309,9 @@ impl HostProfile {
         self.restores += other.restores;
         self.skipped_cycles += other.skipped_cycles;
         self.skips += other.skips;
+        self.ff_instructions += other.ff_instructions;
+        self.ff_ns += other.ff_ns;
+        self.warm_ns += other.warm_ns;
     }
 
     /// Total attributed host nanoseconds (decode + restore + run).
@@ -318,6 +332,9 @@ impl HostProfile {
             .with("restores", self.restores)
             .with("skipped_cycles", self.skipped_cycles)
             .with("skips", self.skips)
+            .with("ff_instructions", self.ff_instructions)
+            .with("ff_us", self.ff_ns / 1_000)
+            .with("warm_us", self.warm_ns / 1_000)
     }
 }
 
@@ -411,6 +428,23 @@ pub struct Simulator {
     // SeMPE.
     unit: SempeUnit,
 
+    // Tiered execution (see `crate::tier`).
+    /// Under [`Stepping::Tiered`]: `true` while the detailed pipeline
+    /// must run (inside the ROI, or executing toward its close); `false`
+    /// while the next quiesced point may hand off to fast-forward. The
+    /// fetch stage is gated on it so the machine drains naturally after
+    /// an ROI closes. Meaningless (and ignored) in other stepping modes.
+    tier_detailed: bool,
+    /// Cycle at which the currently open ROI span started (an outermost
+    /// sJMP commit under [`Roi::Regions`], the `skip+1`-th commit under
+    /// [`Roi::Window`]); `None` while outside the ROI. Commit-anchored,
+    /// so identical across stepping modes.
+    roi_open_cycle: Option<u64>,
+    /// Completed ROI spans as `(open_cycle, close_cycle)` pairs, in
+    /// commit order. The substrate for ROI-window trace comparison and
+    /// bench reporting.
+    roi_spans: Vec<(u64, u64)>,
+
     // Observability.
     trace: ObservationTrace,
     stats: SimStats,
@@ -485,6 +519,9 @@ impl Simulator {
             hier: MemHierarchy::new(config.mem),
             arch_regs,
             unit: SempeUnit::new(config.sempe),
+            tier_detailed: false,
+            roi_open_cycle: None,
+            roi_spans: Vec::new(),
             trace: ObservationTrace::new(),
             stats: SimStats::default(),
             last_commit_cycle: 0,
@@ -530,6 +567,8 @@ impl Simulator {
         core::mem::swap(&mut fresh.frontend, &mut self.frontend);
         self.replay.clear();
         core::mem::swap(&mut fresh.replay, &mut self.replay);
+        self.roi_spans.clear();
+        core::mem::swap(&mut fresh.roi_spans, &mut self.roi_spans);
         self.due_scratch.clear();
         core::mem::swap(&mut fresh.due_scratch, &mut self.due_scratch);
         self.issue_candidates.clear();
@@ -594,13 +633,7 @@ impl Simulator {
     /// intended fork point — or after a completed run), because in-flight
     /// state is deliberately not captured.
     pub fn checkpoint(&mut self) -> Result<Checkpoint, SimError> {
-        let quiesced = self.frontend.is_empty()
-            && self.rob.is_empty()
-            && self.events.is_empty()
-            && self.replay.is_empty()
-            && self.lsq.is_idle()
-            && self.rename_blocked_on.is_none();
-        if !quiesced {
+        if !self.is_quiesced() {
             return Err(SimError::NotQuiesced { cycle: self.cycle });
         }
         Ok(Checkpoint {
@@ -623,10 +656,25 @@ impl Simulator {
             hier: self.hier.clone(),
             arch_regs: self.arch_regs,
             unit: self.unit.clone(),
+            tier_detailed: self.tier_detailed,
+            roi_open_cycle: self.roi_open_cycle,
+            roi_spans: self.roi_spans.clone(),
             trace: self.trace.clone(),
             stats: self.stats,
             last_commit_cycle: self.last_commit_cycle,
         })
+    }
+
+    /// Is the machine at a drained point — no µops in flight anywhere?
+    /// The gate for [`Simulator::checkpoint`] and for a tiered
+    /// detailed→fast-forward handoff.
+    fn is_quiesced(&self) -> bool {
+        self.frontend.is_empty()
+            && self.rob.is_empty()
+            && self.events.is_empty()
+            && self.replay.is_empty()
+            && self.lsq.is_idle()
+            && self.rename_blocked_on.is_none()
     }
 
     /// Become the checkpointed machine, bit for bit.
@@ -663,6 +711,10 @@ impl Simulator {
         self.hier.clone_from(&cp.hier);
         self.arch_regs = cp.arch_regs;
         self.unit.clone_from(&cp.unit);
+        self.tier_detailed = cp.tier_detailed;
+        self.roi_open_cycle = cp.roi_open_cycle;
+        self.roi_spans.clear();
+        self.roi_spans.extend_from_slice(&cp.roi_spans);
         self.trace.clone_from(&cp.trace);
         self.stats = cp.stats;
         self.last_commit_cycle = cp.last_commit_cycle;
@@ -738,6 +790,9 @@ impl Simulator {
             hier: cp.hier.clone(),
             arch_regs: cp.arch_regs,
             unit: cp.unit.clone(),
+            tier_detailed: cp.tier_detailed,
+            roi_open_cycle: cp.roi_open_cycle,
+            roi_spans: cp.roi_spans.clone(),
             trace: cp.trace.clone(),
             stats: cp.stats,
             last_commit_cycle: 0,
@@ -808,6 +863,17 @@ impl Simulator {
         s
     }
 
+    /// Completed ROI spans as `(open_cycle, close_cycle)` pairs in
+    /// commit order — one per outermost secure region under
+    /// [`Roi::Regions`], at most one under [`Roi::Window`]. Identical
+    /// across stepping modes wherever tiered warmup is exact; the
+    /// substrate for ROI-window trace comparison
+    /// ([`ObservationTrace::window`]).
+    #[must_use]
+    pub fn roi_spans(&self) -> &[(u64, u64)] {
+        &self.roi_spans
+    }
+
     /// Host-side cycle-skip diagnostics: `(cycles fast-forwarded, skip
     /// jumps taken)` since construction, rebuild, or restore. Kept out
     /// of [`SimStats`] so identical-run comparisons (skip vs classic,
@@ -834,12 +900,19 @@ impl Simulator {
 
     /// Run until `HALT` or `max_cycles`.
     ///
-    /// Unless [`SimConfig::classic_stepping`] is set, quiescent spans —
+    /// Unless [`Stepping::Classic`] is configured, quiescent spans —
     /// runs of cycles in which no stage can make forward progress — are
     /// fast-forwarded to the next event instead of ticked one by one.
     /// This is purely a host-speed optimization: cycles, statistics,
     /// outputs, observation traces, and error cycles are bit-for-bit
     /// identical to classic stepping (see [`crate::skip`]).
+    ///
+    /// Under [`Stepping::Tiered`], instructions outside the region of
+    /// interest additionally execute on the functional fast-forward
+    /// engine (see [`crate::tier`]): `stats.cycles` then counts detailed
+    /// cycles only, while `committed`, `roi_cycles`, architectural
+    /// results, and ROI-window traces remain comparable to a full
+    /// detailed run.
     ///
     /// # Errors
     ///
@@ -902,10 +975,20 @@ impl Simulator {
                     }
                 }
             }
+            // Tiered handoff: outside the ROI, at a quiesced point, the
+            // functional fast-forward engine executes the gap. It moves
+            // `stats.committed` (never `cycle`); the `continue` re-enters
+            // with `tier_detailed` set so detailed execution resumes at
+            // the boundary.
+            if self.config.stepping == Stepping::Tiered && !self.tier_detailed && self.is_quiesced()
+            {
+                self.fast_forward_segment(max_cycles, deadline)?;
+                continue;
+            }
             // A skip moves `cycle` without ticking; loop back around so
             // the budget and watchdog bounds are re-checked at the new
             // cycle exactly as classic stepping would have checked them.
-            if !self.config.classic_stepping && self.try_skip(max_cycles) {
+            if self.config.stepping != Stepping::Classic && self.try_skip(max_cycles) {
                 continue;
             }
             self.tick()?;
@@ -983,6 +1066,81 @@ impl Simulator {
         self.host.skips += 1;
         self.cycle = target;
         true
+    }
+
+    /// May a fast-forward segment run right now (ignoring quiescence)?
+    /// Never inside a secure region — SeMPE's both-path semantics belong
+    /// to the pipeline — and never inside an explicit measurement
+    /// window.
+    fn ff_permitted(&self) -> bool {
+        !self.unit.in_secure_region()
+            && crate::tier::ff_window_allows(self.config.roi, self.stats.committed)
+    }
+
+    /// Execute one functional fast-forward segment: from the current
+    /// fetch PC to the next ROI boundary (or fault/budget/deadline),
+    /// warming the timed structures along the committed path. The
+    /// machine must be quiesced (it stays architecturally consistent —
+    /// fast-forward has no in-flight state). On a boundary the detailed
+    /// pipeline resumes at the boundary PC with `tier_detailed` set.
+    fn fast_forward_segment(
+        &mut self,
+        max_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), SimError> {
+        use crate::tier::{FastForward, FfStop, FullWarmup};
+        let ff_start = std::time::Instant::now();
+        // In any detailed run `committed <= retire_width * cycles`, so
+        // this bound only fires where classic stepping would also have
+        // run out of its cycle budget.
+        let budget = max_cycles.saturating_mul(self.config.core.retire_width as u64);
+        let mut warm = FullWarmup::default();
+        let mut ff = FastForward {
+            prog: &self.prog,
+            mem: &mut self.mem,
+            regs: &mut self.arch_regs,
+            hier: &mut self.hier,
+            bp: &mut self.bp,
+            last_fetch_line: &mut self.last_fetch_line,
+            pc: self.fetch_pc,
+            committed: self.stats.committed,
+            executed: 0,
+        };
+        let stop =
+            ff.run(&mut warm, self.config.roi, self.config.core.sq_entries, budget, deadline);
+        let (pc, committed, executed) = (ff.pc, ff.committed, ff.executed);
+        self.fetch_pc = pc;
+        self.stats.committed = committed;
+        self.stats.ff_committed += executed;
+        if executed > 0 {
+            // Fast-forwarded instructions are forward progress as far as
+            // the wedge watchdog is concerned.
+            self.last_commit_cycle = self.cycle;
+        }
+        self.host.ff_instructions += executed;
+        self.host.ff_ns += elapsed_ns(ff_start);
+        self.host.warm_ns += warm.warm_ns();
+        match stop {
+            FfStop::Boundary => {
+                // Resynchronize the physical file with the fast-forwarded
+                // architectural registers (the machine is quiesced, so
+                // this is the same RAT rebuild the eosJMP restore does).
+                for r in Reg::all() {
+                    self.rename.poke_arch(r, self.arch_regs[r.index()]);
+                }
+                // Detailed execution resumes cleanly at the boundary PC;
+                // mid-gap fetch stalls belong to the fast-forwarded past.
+                self.fetch_block = FetchBlock::None;
+                self.fetch_stall_until = self.cycle;
+                self.tier_detailed = true;
+                Ok(())
+            }
+            FfStop::Fault(e) => Err(SimError::Exec(e)),
+            FfStop::Budget => Err(SimError::CyclesExhausted { max_cycles }),
+            FfStop::Deadline => {
+                Err(SimError::HostDeadline { cycle: self.cycle, committed: self.stats.committed })
+            }
+        }
     }
 
     /// Next-event report of the completion min-heap.
@@ -1095,6 +1253,13 @@ impl Simulator {
     // ------------------------------------------------------------ fetch
 
     fn fetch_stage(&mut self) {
+        // Tiered: once the ROI closes, fetch stops so the machine drains
+        // to a quiesced point and hands off to fast-forward; in-flight
+        // work (including squash redirects) still settles `fetch_pc` on
+        // the correct committed path first.
+        if self.config.stepping == Stepping::Tiered && !self.tier_detailed {
+            return;
+        }
         if self.fetch_block != FetchBlock::None || self.cycle < self.fetch_stall_until {
             return;
         }
@@ -1889,6 +2054,23 @@ impl Simulator {
             if self.unit.in_secure_region() {
                 self.stats.secure_committed += 1;
             }
+            // Explicit measurement window: ROI opens at the commit of
+            // instruction `skip + 1` and closes at `skip + insts`.
+            // Commit-anchored, so the accounting is identical across
+            // stepping modes (skip never moves commit cycles).
+            if let Roi::Window { skip, insts } = self.config.roi {
+                if insts > 0 {
+                    if self.stats.committed == skip.saturating_add(1) {
+                        self.roi_open_cycle = Some(self.cycle);
+                    }
+                    if self.stats.committed == skip.saturating_add(insts) {
+                        self.close_roi_span();
+                        if self.config.stepping == Stepping::Tiered {
+                            self.tier_detailed = !self.ff_permitted();
+                        }
+                    }
+                }
+            }
             self.trace_event(TraceEvent::Commit { pc: entry.pc });
 
             // Register state.
@@ -1925,12 +2107,17 @@ impl Simulator {
             match entry.inst.op {
                 op if op.is_cond_branch() => {
                     if entry.is_sjmp {
+                        let was_outside = !self.unit.in_secure_region();
                         // Secure branch: no predictor interaction at all.
                         let eff = self.unit.on_sjmp_commit(
                             entry.actual_target,
                             entry.actual_taken,
                             &self.arch_regs,
                         )?;
+                        // An outermost sJMP commit opens an ROI span.
+                        if was_outside && self.config.roi == Roi::Regions {
+                            self.roi_open_cycle = Some(self.cycle);
+                        }
                         // Drain #1 + initial snapshot spill: rename resumes
                         // after the scratchpad transfer. The drainless
                         // ablation overlaps the spill with execution.
@@ -1970,17 +2157,43 @@ impl Simulator {
                     self.fetch_stall_until =
                         self.cycle + self.config.core.eos_redirect_penalty + eff.spm_cycles;
                     self.trace_event(TraceEvent::Redirect { target });
+                    // The eosJMP that returns to depth zero closes the
+                    // region's ROI span, and (tiered) re-opens the
+                    // fast-forward gate unless an explicit window says
+                    // otherwise. The machine is quiesced right after
+                    // this commit — the natural handoff point.
+                    if !self.unit.in_secure_region() {
+                        if self.config.roi == Roi::Regions {
+                            self.close_roi_span();
+                        }
+                        if self.config.stepping == Stepping::Tiered {
+                            self.tier_detailed = !self.ff_permitted();
+                        }
+                    }
                     break; // drain boundary
                 }
                 Opcode::Halt => {
                     self.halted = true;
                     self.trace.total_cycles = self.cycle;
+                    // A HALT inside an open ROI (window never closed, or
+                    // a region left unterminated) closes the span here
+                    // so partial ROIs are still accounted.
+                    self.close_roi_span();
                     break;
                 }
                 _ => {}
             }
         }
         Ok(())
+    }
+
+    /// Close the currently open ROI span (if any) at the current cycle:
+    /// account `roi_cycles` and record the span.
+    fn close_roi_span(&mut self) {
+        if let Some(open) = self.roi_open_cycle.take() {
+            self.stats.roi_cycles += self.cycle - open;
+            self.roi_spans.push((open, self.cycle));
+        }
     }
 }
 
@@ -2017,6 +2230,9 @@ pub struct Checkpoint {
     hier: MemHierarchy,
     arch_regs: [u64; NUM_ARCH_REGS],
     unit: SempeUnit,
+    tier_detailed: bool,
+    roi_open_cycle: Option<u64>,
+    roi_spans: Vec<(u64, u64)>,
     trace: ObservationTrace,
     stats: SimStats,
     last_commit_cycle: u64,

@@ -32,10 +32,13 @@
 //!
 //! Skipping is semantically invisible: cycles, statistics, outputs and
 //! `Strictness::Full` observation traces are bit-for-bit identical to
-//! classic 1-cycle stepping (set
-//! [`SimConfig::classic_stepping`](crate::config::SimConfig::classic_stepping)
-//! to force the latter). The equivalence is enforced by the golden cycle
-//! tables, `tests/skip.rs`, and the fuzzer's skip differential.
+//! classic 1-cycle stepping (select
+//! [`Stepping::Classic`](crate::config::Stepping::Classic) to force the
+//! latter). The equivalence is enforced by the golden cycle tables,
+//! `tests/skip.rs`, and the fuzzer's skip differential. Skipping also
+//! stays on inside the detailed portions of
+//! [`Stepping::Tiered`](crate::config::Stepping::Tiered) runs — the two
+//! fast-forwards compose (see [`crate::tier`]).
 
 /// When a timed structure can next affect the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

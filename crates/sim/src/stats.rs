@@ -11,10 +11,23 @@ use crate::cache::CacheStats;
 /// differentials compare whole statistics blocks bit for bit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
-    /// Cycles simulated.
+    /// Cycles simulated on the detailed pipeline. Under tiered stepping
+    /// this excludes fast-forwarded gaps (which have no cycle cost);
+    /// `roi_cycles` is the cross-mode comparable timing figure.
     pub cycles: u64,
-    /// Instructions committed.
+    /// Instructions committed (architecturally retired). Under tiered
+    /// stepping this includes fast-forwarded instructions, so it matches
+    /// a full detailed run.
     pub committed: u64,
+    /// Cycles spent inside the region of interest (see
+    /// [`crate::config::Roi`]): outermost-secure-region spans by default,
+    /// or an explicit committed-instruction window. Accounted identically
+    /// in every stepping mode; the tiered exactness contract is stated in
+    /// terms of this counter.
+    pub roi_cycles: u64,
+    /// Instructions executed by the functional fast-forward engine
+    /// (a subset of `committed`; zero outside tiered stepping).
+    pub ff_committed: u64,
     /// Instructions committed while a secure region was active.
     pub secure_committed: u64,
     /// Instructions fetched (including wrong-path).
@@ -85,6 +98,8 @@ impl SimStats {
         };
         row("sim.cycles", self.cycles.to_string());
         row("sim.committed_insts", self.committed.to_string());
+        row("sim.roi_cycles", self.roi_cycles.to_string());
+        row("sim.ff_committed", self.ff_committed.to_string());
         row("sim.ipc", format!("{:.3}", self.ipc()));
         row("sim.secure_fraction", format!("{:.3}", self.secure_fraction()));
         row("frontend.fetched", self.fetched.to_string());

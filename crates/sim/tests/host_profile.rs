@@ -16,7 +16,7 @@
 
 use sempe_compile::wir::{Expr, WirBuilder};
 use sempe_compile::{compile, Backend};
-use sempe_sim::{SimConfig, Simulator};
+use sempe_sim::{SimConfig, Simulator, Stepping};
 
 /// A secret-branching loop with enough memory traffic to commit real
 /// cycles and trigger next-event skips.
@@ -123,6 +123,84 @@ fn restore_rolls_stats_back_and_accumulates_host_profile() {
     assert_eq!(profile.restores, 3);
     assert!(profile.run_ns > 0);
     // `take` hands the ledger off and zeroes it for the next request.
+    assert_eq!(sim.host_profile(), sempe_sim::HostProfile::default());
+}
+
+/// A tiered-execution workload: a long public loop with memory traffic
+/// (fast-forwarded, with enough warm calls to cross the sampled
+/// `warm_ns` timing threshold) feeding a secret region (detailed).
+fn tiered_workload(key: u64) -> sempe_compile::CompiledWorkload {
+    use sempe_compile::BinOp;
+    let mut b = WirBuilder::new();
+    let k = b.var("key", key);
+    let acc = b.var("acc", 1);
+    let i = b.var("i", 0);
+    let tab = b.array("tab", 8, vec![0; 8]);
+    let body = vec![
+        b.store(tab, Expr::bin(BinOp::And, Expr::Var(i), Expr::Const(7)), Expr::Var(acc)),
+        b.assign(
+            acc,
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Mul, Expr::Var(acc), Expr::Const(3)),
+                    Expr::Var(i),
+                ),
+                Expr::Const(0xF_FFFF),
+            ),
+        ),
+        b.assign(i, Expr::bin(BinOp::Add, Expr::Var(i), Expr::Const(1))),
+    ];
+    b.while_loop(Expr::bin(BinOp::Ltu, Expr::Var(i), Expr::Const(500)), 501, body);
+    let bump = b.assign(acc, Expr::bin(BinOp::Add, Expr::Var(acc), Expr::Const(13)));
+    b.if_secret(Expr::bin(BinOp::And, Expr::Var(k), Expr::Const(1)), vec![bump], Vec::new());
+    b.output(acc);
+    compile(&b.build(), Backend::Sempe).unwrap()
+}
+
+#[test]
+fn fast_forward_attribution_resets_on_rebuild_and_accumulates_across_restores() {
+    let cw = tiered_workload(0b101011);
+    let prog = cw.program();
+    let tiered = SimConfig::paper().with_stepping(Stepping::Tiered);
+    let mut sim = Simulator::new(prog, tiered).unwrap();
+    let first = sim.run(FUEL).unwrap();
+    assert!(first.stats.ff_committed > 0, "the public squaring chain fast-forwards");
+    let profile = sim.host_profile();
+    assert_eq!(
+        profile.ff_instructions, first.stats.ff_committed,
+        "the profile twin bills exactly the instructions the engine retired functionally"
+    );
+    assert!(profile.ff_ns > 0, "fast-forwarding takes host time: {profile:?}");
+    assert!(profile.warm_ns > 0, "warming the timed structures takes host time: {profile:?}");
+
+    // Rebuild for the next job: fast-forward attribution restarts with
+    // the rest of the ledger.
+    sim.rebuild(prog, tiered).unwrap();
+    let fresh = sim.host_profile();
+    assert_eq!((fresh.ff_instructions, fresh.ff_ns, fresh.warm_ns), (0, 0, 0));
+
+    // Across a restore-run batch the per-request ledger accumulates,
+    // while per-trial `SimStats::ff_committed` rolls back each restore.
+    let cp = sim.checkpoint().unwrap();
+    let mut total = 0;
+    for trial in 1..=3u64 {
+        sim.restore_from(&cp);
+        assert_eq!(sim.stats().ff_committed, 0, "per-trial stats roll back to the fork point");
+        let res = sim.run(FUEL).unwrap();
+        assert_eq!(res.stats.ff_committed, first.stats.ff_committed, "trials replay identically");
+        total += res.stats.ff_committed;
+        assert_eq!(
+            sim.host_profile().ff_instructions,
+            total,
+            "trial {trial}: the request ledger keeps counting"
+        );
+    }
+
+    // `take` drains fast-forward attribution like every other field.
+    let taken = sim.take_host_profile();
+    assert_eq!(taken.ff_instructions, total);
     assert_eq!(sim.host_profile(), sempe_sim::HostProfile::default());
 }
 

@@ -3,7 +3,7 @@
 //! count, full statistics, architectural state, `Strictness::Full`
 //! observation traces, and error values including the cycle they fire
 //! at — to runs under forced classic 1-cycle stepping
-//! ([`SimConfig::classic_stepping`]).
+//! ([`SimConfig::with_classic_stepping`]).
 //!
 //! The golden cycle tables in `crates/bench/tests/golden_cycles.rs`
 //! (whose numbers predate skipping) and the fuzzer's skip differential

@@ -14,7 +14,11 @@
 //!   key-dependent branch, plus the windowed (512 KiB-table) variant the
 //!   fork-engine and cycle-skip benchmarks calibrate against;
 //! * [`membound`] — memory-bound stress shapes (dependent pointer chase)
-//!   whose cycles are dominated by quiescent cache-miss windows.
+//!   whose cycles are dominated by quiescent cache-miss windows;
+//! * [`longrun`] — long public phases around tiny secure kernels
+//!   (≥95% of committed instructions outside the regions of interest):
+//!   the calibration group for tiered execution's functional
+//!   fast-forward.
 //!
 //! ```
 //! use sempe_compile::{compile, Backend};
@@ -36,12 +40,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod djpeg;
+pub mod longrun;
 pub mod membound;
 pub mod micro;
 pub mod rng;
 pub mod rsa;
 
 pub use djpeg::{djpeg_program, synth_image, DjpegParams, OutputFormat};
+pub use longrun::{
+    longrun_djpeg_program, longrun_modexp_program, LongrunDjpegParams, LongrunModexpParams,
+};
 pub use membound::{pointer_chase_program, pointer_chase_reference, ChaseParams};
 pub use micro::{emit_workload, fig7_program, MicroParams, WorkloadKind};
 pub use rsa::{

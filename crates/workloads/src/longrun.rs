@@ -1,0 +1,343 @@
+//! Long-running workloads with tiny regions of interest — the
+//! tiered-execution calibration group.
+//!
+//! Real victims spend almost all of their committed instructions in
+//! *public* phases — scanning inputs, preparing tables, formatting
+//! output — around short secret-dependent kernels. Cycle-accurate
+//! simulation of those public phases buys nothing security-wise; they
+//! exist only to put the machine in a realistic warm state when the
+//! region of interest arrives. That is exactly the shape
+//! [`Stepping::Tiered`](../../sim) fast-forwards, so this group is
+//! sized so that **at least 95% of committed instructions fall outside
+//! the secure regions** (pinned by `crates/bench/tests/tiered.rs`),
+//! making it the honest denominator for the tiered speedup gate in the
+//! `tiered_throughput` benchmark.
+//!
+//! Two shapes, mirroring the repo's main victims:
+//!
+//! * [`longrun_modexp_program`] — a scaled windowed-modexp: a long
+//!   public table-preparation loop, a short secret square-and-multiply
+//!   over few key bits, and a public checksum sweep over the table.
+//! * [`longrun_djpeg_program`] — a scaled djpeg: a public prescan of
+//!   the whole image (histogram/checksum), a secret decode of only the
+//!   leading blocks, and heavy public output formatting.
+
+use sempe_compile::wir::{BinOp, Expr, Stmt, VarId, WirBuilder, WirProgram};
+
+use crate::djpeg::synth_image;
+
+fn c(x: u64) -> Expr {
+    Expr::Const(x)
+}
+
+fn v(id: VarId) -> Expr {
+    Expr::Var(id)
+}
+
+fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+    Expr::bin(op, a, b)
+}
+
+/// Parameters for the long-running windowed-modexp victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongrunModexpParams {
+    /// Power-table size in words; the public preparation loop writes
+    /// every entry and the public checksum loop reads every entry, so
+    /// this is the main public-instruction dial.
+    pub table_words: usize,
+    /// Secret key bits to process (the tiny region-of-interest dial).
+    pub bits: u32,
+    /// The secret key.
+    pub key: u64,
+}
+
+impl Default for LongrunModexpParams {
+    fn default() -> Self {
+        LongrunModexpParams { table_words: 1 << 12, bits: 8, key: 0xB6 }
+    }
+}
+
+/// Build the long-running modexp program. Returns the program and the
+/// key's [`VarId`] so fork-style trials can patch the secret in place.
+///
+/// # Panics
+///
+/// Panics when `table_words` is not a power of two.
+#[must_use]
+pub fn longrun_modexp_program(p: &LongrunModexpParams) -> (WirProgram, sempe_compile::VarId) {
+    assert!(p.table_words.is_power_of_two(), "table size must be a power of two");
+    let words = p.table_words as u64;
+    let mask = words - 1;
+    let mut b = WirBuilder::new();
+    let key = b.var("key", p.key);
+    let r = b.var("r", 1);
+    let i = b.var("i", 0);
+    let bit = b.var("bit", 0);
+    let acc = b.var("acc", 0);
+    let tab = b.array("tab", p.table_words, vec![]);
+
+    // Public phase 1: prepare the power table (a store per entry; this
+    // is the windowed-RSA precomputation, secret-independent).
+    b.while_loop(
+        bin(BinOp::Ltu, v(i), c(words)),
+        p.table_words as u32 + 1,
+        vec![
+            Stmt::Store(
+                tab,
+                v(i),
+                bin(
+                    BinOp::Rem,
+                    bin(BinOp::Add, bin(BinOp::Mul, v(i), c(2_654_435_761)), c(12_345)),
+                    c(1_000_003),
+                ),
+            ),
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    );
+
+    // Secret phase: the short square-and-multiply over the table — the
+    // region of interest.
+    b.push(Stmt::Assign(i, c(0)));
+    b.while_loop(
+        bin(BinOp::Ltu, v(i), c(u64::from(p.bits))),
+        p.bits + 1,
+        vec![
+            Stmt::Assign(bit, bin(BinOp::And, bin(BinOp::Shr, v(key), v(i)), c(1))),
+            Stmt::If {
+                cond: v(bit),
+                secret: true,
+                then_: vec![Stmt::Assign(
+                    r,
+                    bin(
+                        BinOp::Rem,
+                        bin(
+                            BinOp::Mul,
+                            v(r),
+                            Expr::Load(
+                                tab,
+                                Box::new(bin(BinOp::And, bin(BinOp::Add, v(r), v(i)), c(mask))),
+                            ),
+                        ),
+                        c(1_000_003),
+                    ),
+                )],
+                else_: vec![],
+            },
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    );
+
+    // Public phase 2: checksum sweep over the table (output hygiene —
+    // real code reads its tables after the kernel too).
+    b.push(Stmt::Assign(i, c(0)));
+    b.while_loop(
+        bin(BinOp::Ltu, v(i), c(words)),
+        p.table_words as u32 + 1,
+        vec![
+            Stmt::Assign(
+                acc,
+                bin(BinOp::Add, bin(BinOp::Mul, v(acc), c(33)), Expr::Load(tab, Box::new(v(i)))),
+            ),
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    );
+    b.output(r);
+    b.output(acc);
+    (b.build(), key)
+}
+
+/// Parameters for the long-running djpeg victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LongrunDjpegParams {
+    /// Total 8×8 blocks in the (mostly public) image scan.
+    pub blocks: usize,
+    /// Leading blocks whose decode runs under secret branches (the
+    /// region-of-interest dial; must be ≤ `blocks`).
+    pub secure_blocks: usize,
+    /// Public output-formatting iterations after the decode.
+    pub public_iters: u32,
+    /// Seed for the synthetic image.
+    pub seed: u64,
+}
+
+impl Default for LongrunDjpegParams {
+    fn default() -> Self {
+        LongrunDjpegParams { blocks: 24, secure_blocks: 1, public_iters: 4000, seed: 0xDEC0DE }
+    }
+}
+
+/// Build the long-running djpeg program: public prescan of every
+/// coefficient, secret decode of the leading `secure_blocks` blocks
+/// (row-granular secret branches, as in [`crate::djpeg`]), then public
+/// output formatting.
+///
+/// # Panics
+///
+/// Panics when `secure_blocks > blocks`.
+#[must_use]
+pub fn longrun_djpeg_program(p: &LongrunDjpegParams) -> WirProgram {
+    assert!(p.secure_blocks <= p.blocks, "secure_blocks must not exceed blocks");
+    let img_data = synth_image(p.blocks, p.seed);
+    let img_len = img_data.len().next_power_of_two();
+    let img_mask = (img_len - 1) as u64;
+    let coeffs = (p.blocks * 64) as u64;
+
+    let mut b = WirBuilder::new();
+    let img = b.array("image", img_len, img_data);
+    let i = b.var("i", 0);
+    let acc = b.var("acc", 0);
+    let coeff = b.var("coeff", 0);
+    let row = b.var("row", 0);
+    let j = b.var("j", 0);
+    let rbase = b.var("rbase", 0);
+    let out_sink = b.var("out", 0);
+
+    let ld_img = |e: Expr| Expr::Load(img, Box::new(bin(BinOp::And, e, c(img_mask))));
+
+    // Public phase 1: prescan every coefficient (range histogram-ish
+    // checksum — djpeg's marker scan and quant-table setup are likewise
+    // proportional to the whole image and secret-independent here).
+    b.while_loop(
+        bin(BinOp::Ltu, v(i), c(coeffs)),
+        p.blocks as u32 * 64 + 1,
+        vec![
+            Stmt::Assign(coeff, ld_img(v(i))),
+            Stmt::Assign(
+                acc,
+                bin(BinOp::Add, bin(BinOp::Mul, v(acc), c(31)), bin(BinOp::Xor, v(coeff), v(i))),
+            ),
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    );
+
+    // Secret phase: row-granular secret decode of the leading blocks.
+    let idx = bin(BinOp::Add, v(rbase), v(j));
+    let heavy_row = vec![
+        Stmt::Assign(j, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(j), c(8)),
+            bound: 9,
+            body: vec![
+                Stmt::Assign(coeff, ld_img(idx.clone())),
+                Stmt::Assign(
+                    out_sink,
+                    bin(
+                        BinOp::Add,
+                        v(out_sink),
+                        bin(BinOp::And, bin(BinOp::Mul, v(coeff), c(3)), c(0xFF)),
+                    ),
+                ),
+                Stmt::Assign(j, bin(BinOp::Add, v(j), c(1))),
+            ],
+        },
+    ];
+    let cheap_row = vec![
+        Stmt::Assign(j, c(0)),
+        Stmt::While {
+            cond: bin(BinOp::Ltu, v(j), c(8)),
+            bound: 9,
+            body: vec![
+                Stmt::Assign(coeff, ld_img(idx)),
+                Stmt::Assign(out_sink, bin(BinOp::Xor, v(out_sink), v(coeff))),
+                Stmt::Assign(j, bin(BinOp::Add, v(j), c(1))),
+            ],
+        },
+    ];
+    b.push(Stmt::Assign(row, c(0)));
+    b.while_loop(
+        bin(BinOp::Ltu, v(row), c(p.secure_blocks as u64 * 8)),
+        p.secure_blocks as u32 * 8 + 1,
+        vec![
+            Stmt::Assign(rbase, bin(BinOp::Mul, v(row), c(8))),
+            Stmt::If {
+                cond: bin(BinOp::Ltu, c(31), ld_img(v(rbase))),
+                secret: true,
+                then_: heavy_row,
+                else_: cheap_row,
+            },
+            Stmt::Assign(row, bin(BinOp::Add, v(row), c(1))),
+        ],
+    );
+
+    // Public phase 2: output formatting.
+    b.push(Stmt::Assign(i, c(0)));
+    b.while_loop(
+        bin(BinOp::Ltu, v(i), c(u64::from(p.public_iters))),
+        p.public_iters + 1,
+        vec![
+            Stmt::Assign(
+                acc,
+                bin(BinOp::Add, bin(BinOp::Mul, v(acc), c(33)), bin(BinOp::Xor, v(i), v(out_sink))),
+            ),
+            Stmt::Assign(i, bin(BinOp::Add, v(i), c(1))),
+        ],
+    );
+    b.output(out_sink);
+    b.output(acc);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempe_compile::{compile, run_wir, Backend};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn longrun_modexp_runs_and_depends_on_the_key() {
+        let p = LongrunModexpParams { table_words: 1 << 8, bits: 6, key: 0b10_1101 };
+        let (prog, key) = longrun_modexp_program(&p);
+        let r0 = run_wir(&prog, &BTreeMap::new()).expect("runs");
+        let mut other = prog.clone();
+        other.set_var_init(key, 0b01_0110);
+        let r1 = run_wir(&other, &BTreeMap::new()).expect("runs");
+        assert_ne!(r0.outputs[0], r1.outputs[0], "modexp result must depend on the key");
+        assert_eq!(r0.outputs[1], r1.outputs[1], "table checksum is secret-independent");
+        for backend in [Backend::Baseline, Backend::Sempe, Backend::Cte] {
+            compile(&prog, backend).unwrap_or_else(|e| panic!("{backend}: {e}"));
+        }
+    }
+
+    #[test]
+    fn longrun_djpeg_runs_on_all_backends() {
+        let p = LongrunDjpegParams { blocks: 4, secure_blocks: 1, public_iters: 64, seed: 9 };
+        let prog = longrun_djpeg_program(&p);
+        let r = run_wir(&prog, &BTreeMap::new()).expect("runs");
+        assert_ne!(r.outputs[1], 0);
+        let other = longrun_djpeg_program(&LongrunDjpegParams { seed: 10, ..p });
+        let r2 = run_wir(&other, &BTreeMap::new()).expect("runs");
+        assert_ne!(r.outputs, r2.outputs, "different images must decode differently");
+        for backend in [Backend::Baseline, Backend::Sempe, Backend::Cte] {
+            compile(&prog, backend).unwrap_or_else(|e| panic!("{backend}: {e}"));
+        }
+    }
+
+    #[test]
+    fn public_phases_dominate_the_step_count() {
+        // The group's defining property, measured functionally: halving
+        // the ROI dial barely moves total steps, halving the public dial
+        // roughly halves them.
+        let p = LongrunModexpParams { table_words: 1 << 10, bits: 8, key: 0xB6 };
+        let base = run_wir(&longrun_modexp_program(&p).0, &BTreeMap::new()).unwrap().steps;
+        let small_roi = LongrunModexpParams { bits: 4, ..p };
+        let roi = run_wir(&longrun_modexp_program(&small_roi).0, &BTreeMap::new()).unwrap().steps;
+        let small_pub = LongrunModexpParams { table_words: 1 << 9, ..p };
+        let publ = run_wir(&longrun_modexp_program(&small_pub).0, &BTreeMap::new()).unwrap().steps;
+        assert!(
+            (base - roi) * 20 < base,
+            "ROI must be <5% of steps (base {base}, without half the ROI {roi})"
+        );
+        assert!(publ * 10 < base * 6, "public phases must dominate (base {base}, half {publ})");
+    }
+
+    #[test]
+    #[should_panic(expected = "secure_blocks must not exceed blocks")]
+    fn oversized_secure_block_count_is_rejected() {
+        let _ = longrun_djpeg_program(&LongrunDjpegParams {
+            blocks: 2,
+            secure_blocks: 3,
+            public_iters: 1,
+            seed: 0,
+        });
+    }
+}
