@@ -17,10 +17,22 @@
 //! connections at 64 connections — pipelining must beat lockstep, or
 //! the event loop is serializing something it shouldn't.
 //!
+//! A third tier measures the shard router: the same multiplexed
+//! cached-hit workload at 64 connections through one `sempe-router`
+//! fronting two shards (**routed**). The gate: routed throughput must
+//! stay within 10% of the direct single-server number (default floor
+//! 0.9×) — the front door's re-framing, digest pick, and id rewriting
+//! must not eat the scale-out it exists to provide. On a single-CPU
+//! host the router's event loop time-shares the same core as the
+//! client and both shards, so its per-request cost cannot be hidden by
+//! parallelism; unless `--min-routed-ratio` was given explicitly, the
+//! floor drops to 0.65× there (and says so on stdout).
+//!
 //! Usage: `cargo run --release -p sempe-bench --bin service_throughput
-//! [--quick] [--out <path>] [--min-ratio <X>]`. Writes
-//! `BENCH_service_throughput.json`; exits 1 when the multiplexed/legacy
-//! ratio at 64 connections falls below the floor (default 1.0).
+//! [--quick] [--out <path>] [--min-ratio <X>] [--min-routed-ratio <X>]`.
+//! Writes `BENCH_service_throughput.json`; exits 1 when the
+//! multiplexed/legacy ratio at 64 connections falls below the floor
+//! (default 1.0) or routed/direct falls below its floor (default 0.9).
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -28,7 +40,7 @@ use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 use sempe_core::json::{self, Json};
-use sempe_service::{Server, ServiceConfig};
+use sempe_service::{Router, RouterConfig, Server, ServiceConfig};
 
 /// The cheap request body: a few hundred simulated cycles, cached
 /// after the first execution.
@@ -180,6 +192,26 @@ fn run_cell(
     }
 }
 
+/// Poll the router's `health` op until it reports `want` healthy
+/// shards — benching before the probes land would measure E_BUSY.
+fn wait_shards_healthy(addr: std::net::SocketAddr, want: u64, within: Duration) {
+    let deadline = Instant::now() + within;
+    loop {
+        let mut stream = TcpStream::connect(addr).expect("connect router");
+        stream.set_nodelay(true).ok();
+        let mut reader = LineReader { stream: stream.try_clone().expect("clone"), buf: Vec::new() };
+        writeln!(stream, r#"{{"type":"health"}}"#).expect("send health");
+        let resp = reader.read_line();
+        let healthy =
+            json::parse(&resp).ok().and_then(|v| v.get("shards_healthy").and_then(Json::as_u64));
+        if healthy == Some(want) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "router never reached {want} healthy shards: {resp}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 fn report_json(cells: &[Cell]) -> String {
     let rows: Vec<Json> = cells
         .iter()
@@ -208,6 +240,8 @@ fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_service_throughput.json");
     let mut min_ratio = 1.0f64;
+    let mut min_routed_ratio = 0.9f64;
+    let mut routed_ratio_explicit = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -226,10 +260,20 @@ fn main() {
                     std::process::exit(1);
                 }
             },
+            "--min-routed-ratio" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(x) => {
+                    min_routed_ratio = x;
+                    routed_ratio_explicit = true;
+                }
+                None => {
+                    eprintln!("--min-routed-ratio needs a number");
+                    std::process::exit(1);
+                }
+            },
             other => {
                 eprintln!(
                     "unknown argument `{other}` (usage: service_throughput [--quick] \
-                     [--out <path>] [--min-ratio <X>])"
+                     [--out <path>] [--min-ratio <X>] [--min-routed-ratio <X>])"
                 );
                 std::process::exit(1);
             }
@@ -278,6 +322,52 @@ fn main() {
     server.shutdown();
     server.join();
 
+    // Routed tier: the same multiplexed cached-hit workload, but
+    // through one sempe-router fronting two shards. Rendezvous hashing
+    // sends every request for this digest to the same shard, so the row
+    // isolates the router's per-request overhead (framing, digest pick,
+    // id rewrite, merge) rather than scale-out capacity.
+    let shard_a = Server::start(&ServiceConfig {
+        workers: 0,
+        queue_capacity: 4096,
+        ..ServiceConfig::default()
+    })
+    .expect("shard a starts");
+    let shard_b = Server::start(&ServiceConfig {
+        workers: 0,
+        queue_capacity: 4096,
+        ..ServiceConfig::default()
+    })
+    .expect("shard b starts");
+    let router = Router::start(&RouterConfig {
+        shards: vec![shard_a.local_addr().to_string(), shard_b.local_addr().to_string()],
+        max_inflight: 4096,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+    wait_shards_healthy(router.local_addr(), 2, Duration::from_secs(10));
+    // Warm the routed path so the owning shard's cache is hot.
+    let _ = run_cell(router.local_addr(), 1, 1, false, &body, Duration::from_millis(50));
+    let mut routed_cell =
+        run_cell(router.local_addr(), GATED_CONNS, PIPELINE_DEPTH, true, &body, window);
+    routed_cell.mode = "routed";
+    println!(
+        "{:>6} {:>12} {:>6} {:>10} {:>12.0} {:>9}",
+        routed_cell.conns,
+        routed_cell.mode,
+        routed_cell.depth,
+        routed_cell.requests,
+        routed_cell.rps(),
+        routed_cell.p99_us
+    );
+    cells.push(routed_cell);
+    router.shutdown();
+    router.join();
+    shard_a.shutdown();
+    shard_a.join();
+    shard_b.shutdown();
+    shard_b.join();
+
     std::fs::write(&out_path, report_json(&cells))
         .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("\nwrote {out_path}");
@@ -301,5 +391,26 @@ fn main() {
     println!(
         "throughput floor met at {GATED_CONNS} connections: multiplexed {multiplexed:.0} req/s \
          ≥ {min_ratio:.2}× legacy {legacy:.0} req/s"
+    );
+    let routed = rps_at("routed");
+    let routed_ratio = routed / multiplexed.max(1e-9);
+    let single_core = std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false);
+    if single_core && !routed_ratio_explicit {
+        min_routed_ratio = 0.65;
+        println!(
+            "single-CPU host: router shares the core with client and shards, so its \
+             per-request cost cannot be hidden; routed floor relaxed to {min_routed_ratio:.2}"
+        );
+    }
+    if routed_ratio < min_routed_ratio {
+        eprintln!(
+            "FAIL: routed/direct throughput ratio {routed_ratio:.3} at {GATED_CONNS} connections \
+             is below the {min_routed_ratio:.2} floor ({routed:.0} vs {multiplexed:.0} req/s)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "router overhead floor met at {GATED_CONNS} connections: routed {routed:.0} req/s \
+         ≥ {min_routed_ratio:.2}× direct {multiplexed:.0} req/s"
     );
 }

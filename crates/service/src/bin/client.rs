@@ -56,7 +56,11 @@
 //! restores strict one-shot behavior. Structured errors other than
 //! `E_BUSY` are never retried. `--deadline-ms N` attaches a compute
 //! budget the server enforces (`E_DEADLINE`), and `--id TOKEN` tags
-//! requests so responses can be correlated.
+//! requests so responses can be correlated. `--connect-timeout-ms N`
+//! bounds each dial (nonblocking connect + poll) so a blackholed or
+//! unroutable server fails fast instead of hanging on the OS default —
+//! combine with `--retries` to fail over quickly when a router or
+//! server is being restarted.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -92,6 +96,7 @@ struct Options {
     retry_base_ms: u64,
     repeat: u64,
     pipeline: usize,
+    connect_timeout_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -101,7 +106,7 @@ fn usage() -> ! {
          [--source FILE|-] [--backend B] [--mode M] [--secret NAME] [--secret-value N] \
          [--candidates A,B,...] [--inputs JSON] [--leak-check] [--max-cycles N] \
          [--prometheus] [--deadline-ms N] [--id TOKEN] [--retries N] [--retry-base-ms N] \
-         [--repeat N] [--pipeline N] ['<json>']"
+         [--repeat N] [--pipeline N] [--connect-timeout-ms N] ['<json>']"
     );
     std::process::exit(1);
 }
@@ -132,6 +137,7 @@ fn parse_args() -> Options {
         retry_base_ms: DEFAULT_RETRY_BASE_MS,
         repeat: 1,
         pipeline: 1,
+        connect_timeout_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -201,6 +207,15 @@ fn parse_args() -> Options {
                 if opts.pipeline == 0 {
                     fail("--pipeline must be at least 1");
                 }
+            }
+            "--connect-timeout-ms" => {
+                let ms: u64 = value("--connect-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--connect-timeout-ms must be a positive integer"));
+                if ms == 0 {
+                    fail("--connect-timeout-ms must be at least 1");
+                }
+                opts.connect_timeout_ms = Some(ms);
             }
             "--help" | "-h" => usage(),
             other if opts.command.is_empty() && !other.starts_with('-') => {
@@ -364,8 +379,29 @@ struct Conn {
 }
 
 impl Conn {
-    fn dial(addr: &str) -> Result<Conn, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    /// Dial `addr`; with a timeout each resolved address gets a bounded
+    /// nonblocking connect + poll, so a blackholed server fails fast
+    /// instead of hanging on the OS default (minutes).
+    fn dial(addr: &str, connect_timeout: Option<Duration>) -> Result<Conn, String> {
+        let stream = match connect_timeout {
+            None => TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?,
+            Some(timeout) => {
+                use std::net::ToSocketAddrs;
+                let addrs = addr.to_socket_addrs().map_err(|e| format!("resolve {addr}: {e}"))?;
+                let mut last = format!("connect {addr}: no addresses resolved");
+                let mut connected = None;
+                for a in addrs {
+                    match TcpStream::connect_timeout(&a, timeout) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = format!("connect {a}: {e}"),
+                    }
+                }
+                connected.ok_or(last)?
+            }
+        };
         stream.set_nodelay(true).ok();
         Ok(Conn { stream, buf: Vec::new() })
     }
@@ -453,7 +489,10 @@ fn run_sequential(opts: &Options, body: &Json) -> bool {
             let line = render(body, id.as_deref());
             let outcome = (|| -> Result<String, String> {
                 if conn.is_none() {
-                    conn = Some(Conn::dial(&opts.addr)?);
+                    conn = Some(Conn::dial(
+                        &opts.addr,
+                        opts.connect_timeout_ms.map(Duration::from_millis),
+                    )?);
                 }
                 let c = conn.as_mut().expect("just dialed");
                 c.send(&line)?;
@@ -545,7 +584,8 @@ fn run_pipelined(opts: &Options, body: &Json) -> bool {
         if conn.is_none() {
             issue.extend(inflight.drain().map(|(_, slot)| slot));
             match (|| -> Result<Conn, String> {
-                let mut c = Conn::dial(&opts.addr)?;
+                let mut c =
+                    Conn::dial(&opts.addr, opts.connect_timeout_ms.map(Duration::from_millis))?;
                 c.send(&render(
                     &Json::obj().with("type", "hello").with("proto", 2u64),
                     Some("hello"),

@@ -1,0 +1,201 @@
+//! `sempe-router` — the fault-tolerant shard front door.
+//!
+//! ```text
+//! sempe-router --shard HOST:PORT [--shard HOST:PORT ...]
+//!              [--addr HOST:PORT] [--addr-file PATH]
+//!              [--probe-interval-ms N] [--probe-timeout-ms N]
+//!              [--connect-timeout-ms N] [--request-timeout-ms N]
+//!              [--hedge-after-ms N] [--retry-base-ms N]
+//!              [--max-attempts N] [--breaker-threshold N]
+//!              [--breaker-cooloff-ms N] [--max-inflight N]
+//!              [--batch-fanout-min N] [--idle-timeout-ms N]
+//!              [--frame-timeout-ms N] [--drain-timeout-ms N] [--seed N]
+//! ```
+//!
+//! A drop-in replacement for `sempe-serve` at the front: clients speak
+//! v1 or v2 to the router exactly as they would to a single server,
+//! and the router partitions work across the configured shards by
+//! program digest (see `docs/scaling.md`). Shards can die and respawn
+//! freely; the router redials, rebalances, and resubmits in-flight work.
+//!
+//! Binds (port 0 picks an ephemeral port), prints the resolved address,
+//! optionally writes it to `--addr-file`, then routes until a `shutdown`
+//! request or `SIGTERM`/`SIGINT` arrives — all trigger a graceful drain
+//! of the router only (the shards are left running).
+//!
+//! Like `sempe-serve`, a hidden `--fault-plan SPEC` flag arms the
+//! deterministic fault injector — on the router this covers upstream
+//! accepts/reads/writes *and* the router→shard writes, so chaos testing
+//! exercises the retry/rebalance machinery.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | clean exit — `shutdown` request or signal-driven drain |
+//! | 1 | runtime failure: bind failed, `--addr-file` unwritable |
+//! | 2 | usage error: unknown flag, malformed value, or no `--shard` |
+
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+
+use sempe_service::{FaultPlan, Router, RouterConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sempe-router --shard HOST:PORT [--shard HOST:PORT ...] \
+         [--addr HOST:PORT] [--addr-file PATH] [--probe-interval-ms N] \
+         [--probe-timeout-ms N] [--connect-timeout-ms N] \
+         [--request-timeout-ms N] [--hedge-after-ms N] [--retry-base-ms N] \
+         [--max-attempts N] [--breaker-threshold N] [--breaker-cooloff-ms N] \
+         [--max-inflight N] [--batch-fanout-min N] [--idle-timeout-ms N] \
+         [--frame-timeout-ms N] [--drain-timeout-ms N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// Same minimal signal hookup as `sempe-serve`: the handler flips an
+/// atomic, a watcher thread performs the drain.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
+
+fn main() -> ExitCode {
+    let mut config = RouterConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        let mut ms = |name: &str| -> u64 {
+            match value(name).parse() {
+                Ok(n) => n,
+                Err(_) => usage(),
+            }
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--shard" => config.shards.push(value("--shard")),
+            "--addr-file" => addr_file = Some(value("--addr-file")),
+            "--probe-interval-ms" => config.probe_interval_ms = ms("--probe-interval-ms"),
+            "--probe-timeout-ms" => config.probe_timeout_ms = ms("--probe-timeout-ms"),
+            "--connect-timeout-ms" => config.connect_timeout_ms = ms("--connect-timeout-ms"),
+            "--request-timeout-ms" => config.request_timeout_ms = ms("--request-timeout-ms"),
+            "--hedge-after-ms" => config.hedge_after_ms = ms("--hedge-after-ms"),
+            "--retry-base-ms" => config.retry_base_ms = ms("--retry-base-ms"),
+            "--max-attempts" => match value("--max-attempts").parse() {
+                Ok(n) => config.max_attempts = n,
+                Err(_) => usage(),
+            },
+            "--breaker-threshold" => match value("--breaker-threshold").parse() {
+                Ok(n) => config.breaker_threshold = n,
+                Err(_) => usage(),
+            },
+            "--breaker-cooloff-ms" => config.breaker_cooloff_ms = ms("--breaker-cooloff-ms"),
+            "--max-inflight" => match value("--max-inflight").parse() {
+                Ok(n) => config.max_inflight = n,
+                Err(_) => usage(),
+            },
+            "--batch-fanout-min" => match value("--batch-fanout-min").parse() {
+                Ok(n) => config.batch_fanout_min = n,
+                Err(_) => usage(),
+            },
+            "--idle-timeout-ms" => config.idle_timeout_ms = ms("--idle-timeout-ms"),
+            "--frame-timeout-ms" => config.frame_timeout_ms = ms("--frame-timeout-ms"),
+            "--drain-timeout-ms" => config.drain_timeout_ms = ms("--drain-timeout-ms"),
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => config.seed = n,
+                Err(_) => usage(),
+            },
+            "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
+                Ok(plan) => config.fault_plan = Some(plan),
+                Err(e) => {
+                    eprintln!("--fault-plan: {e}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if config.shards.is_empty() {
+        eprintln!("at least one --shard is required");
+        usage();
+    }
+
+    let router = match Router::start(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sempe-router: starting on {} failed: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = router.local_addr();
+    println!("sempe-router listening on {addr} ({} shards)", config.shards.len());
+    if config.fault_plan.is_some() {
+        eprintln!("sempe-router: FAULT INJECTION ARMED (chaos testing mode)");
+    }
+    if let Some(path) = addr_file {
+        if let Err(e) = std::fs::write(&path, addr.to_string()) {
+            eprintln!("sempe-router: writing {path} failed: {e}");
+            router.shutdown();
+            router.join();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    sig::install();
+    let handle = router.handle();
+    std::thread::spawn(move || loop {
+        if sig::REQUESTED.load(Ordering::SeqCst) {
+            eprintln!("sempe-router: signal received, draining");
+            handle.shutdown();
+            break;
+        }
+        if handle.is_shutting_down() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+
+    router.join();
+    println!("sempe-router stopped");
+    ExitCode::SUCCESS
+}

@@ -56,6 +56,7 @@ pub mod fault;
 pub mod net;
 mod pool;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod sync;
 
@@ -63,4 +64,5 @@ pub use cache::{CacheKey, ResultCache};
 pub use exec::{cache_key, execute, execute_with_deadline, Arena, ForkCache};
 pub use fault::{FaultInjector, FaultPlan, FaultSite};
 pub use protocol::{BackendSel, Envelope, ErrorCode, Request, ServiceError};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerHandle, ServiceConfig};

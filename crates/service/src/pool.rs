@@ -222,6 +222,16 @@ impl JobQueue {
     pub(crate) fn depth(&self) -> usize {
         sync::lock(&self.inner).0.len()
     }
+
+    /// Age of the oldest queued job in milliseconds (0 when empty) — the
+    /// staleness signal `health` exports: a deep queue of fresh jobs is
+    /// load, an old front job is a stall.
+    pub(crate) fn oldest_ms(&self) -> u64 {
+        sync::lock(&self.inner)
+            .0
+            .front()
+            .map_or(0, |j| u64::try_from(j.submitted.elapsed().as_millis()).unwrap_or(u64::MAX))
+    }
 }
 
 /// Spawn one worker thread. The thread keeps `alive_workers` honest and

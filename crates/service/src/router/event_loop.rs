@@ -1,0 +1,1751 @@
+//! The router's event loop: one thread owns the upstream listener,
+//! every upstream connection, and one multiplexed v2 link per shard.
+//!
+//! ```text
+//!  clients ──► accept ─► frame ─► parse ──► digest ─► chunk(s) ─► shard link(s)
+//!                 ▲                             │                      │
+//!                 │   frames: re-id, re-seq, +shard provenance ◄───────┤
+//!                 │   terminals: merge chunks byte-identically ◄───────┤
+//!                 │                                                    │
+//!              health probes · circuit breakers · jittered retry · hedges
+//! ```
+//!
+//! Failure policy in one paragraph: every downstream send is tracked by
+//! a router-minted id (`r<job>c<chunk>-<attempt>`); a link death, probe
+//! timeout, or retryable error (`E_BUSY`/`E_SHUTDOWN`/`E_INTERNAL`/
+//! `E_PARSE`) requeues the chunk with jittered exponential backoff,
+//! excluding the failed shard from the rendezvous pick. Frame delivery
+//! is deduplicated by per-chunk index (`forward iff index ≥ delivered`)
+//! — sound because shard execution is deterministic, so a retried chunk
+//! replays byte-identical frames. When every chunk lands, single-chunk
+//! terminals are re-id'd in place and fanned-out `batch` terminals are
+//! stitched back together byte-identically to a single-shard run.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sempe_core::json::{self, Json};
+use sempe_core::telemetry::{Counter, Gauge, Histogram, Registry};
+
+use super::merge::{self, ChunkTerminal};
+use super::ring;
+use super::scan;
+use super::shard::Breaker;
+use super::{DialResult, RouterConfig, RouterShared};
+use crate::conn::{FrameEvent, Framer, IdWindow, WriteBuf};
+use crate::fault::FaultSite;
+use crate::net::Poller;
+use crate::protocol::{
+    with_id, Envelope, ErrorCode, MetricsFormat, Request, ServiceError, MAX_ID_BYTES,
+    MAX_REQUEST_BYTES, PROTO_VERSION,
+};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const LOOP_TICK_MS: i32 = 25;
+const ID_WINDOW: usize = 1024;
+
+/// Which protocol generation an upstream connection speaks.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Legacy,
+    V2,
+}
+
+/// A framed upstream input item, in arrival order (same shape as the
+/// server's, including `read_stall` parking).
+enum PendingItem {
+    Line { line: String, release: Option<Instant>, rolled: bool },
+    TooLong { recovered: bool },
+}
+
+/// Loop-owned state of one upstream connection — the server's `Conn`
+/// with the job-queue plumbing swapped for router job ids.
+struct Upstream {
+    stream: TcpStream,
+    framer: Framer,
+    wbuf: WriteBuf,
+    ids: IdWindow,
+    mode: Mode,
+    legacy_busy: bool,
+    pending: VecDeque<PendingItem>,
+    jobs: HashSet<u64>,
+    peer_closed: bool,
+    close_after_flush: bool,
+    stop_reading: bool,
+    dead: bool,
+    writable: bool,
+    write_stuck_since: Option<Instant>,
+    last_activity: Instant,
+}
+
+impl Upstream {
+    fn new(stream: TcpStream, now: Instant) -> Upstream {
+        Upstream {
+            stream,
+            framer: Framer::new(),
+            wbuf: WriteBuf::new(),
+            ids: IdWindow::new(ID_WINDOW),
+            mode: Mode::Legacy,
+            legacy_busy: false,
+            pending: VecDeque::new(),
+            jobs: HashSet::new(),
+            peer_closed: false,
+            close_after_flush: false,
+            stop_reading: false,
+            dead: false,
+            writable: true,
+            write_stuck_since: None,
+            last_activity: now,
+        }
+    }
+
+    fn quiescent(&self) -> bool {
+        self.jobs.is_empty() && self.pending.is_empty() && self.wbuf.is_empty()
+    }
+}
+
+/// Downstream link lifecycle.
+#[derive(Clone, Copy)]
+enum SState {
+    /// Not connected; redial at `retry_at`.
+    Down { retry_at: Instant },
+    /// A dialer thread is connecting; give up at `deadline`.
+    Dialing { deadline: Instant },
+    /// Connected, waiting for the hello ack; give up at `deadline`.
+    Handshaking { deadline: Instant },
+    /// Speaking v2; dispatchable when also healthy and breaker-admitted.
+    Ready,
+}
+
+impl SState {
+    fn name(&self) -> &'static str {
+        match self {
+            SState::Down { .. } => "down",
+            SState::Dialing { .. } => "dialing",
+            SState::Handshaking { .. } => "handshaking",
+            SState::Ready => "ready",
+        }
+    }
+}
+
+/// One downstream shard link.
+struct ShardConn {
+    addr: String,
+    state: SState,
+    /// Bumped per dial attempt; stale dialer results are discarded.
+    generation: u64,
+    token: Option<u64>,
+    stream: Option<TcpStream>,
+    framer: Framer,
+    wbuf: WriteBuf,
+    writable: bool,
+    close_after_flush: bool,
+    write_stuck_since: Option<Instant>,
+    breaker: Breaker,
+    /// Router-minted send id → (job, chunk index).
+    inflight: HashMap<String, (u64, usize)>,
+    /// Outstanding health probe: (send id, reply deadline).
+    probe: Option<(String, Instant)>,
+    next_probe_at: Instant,
+    /// Last probe said `ready:true` (false while draining or unprobed).
+    healthy: bool,
+    queue_depth: u64,
+}
+
+/// One active send of a chunk to a shard (a retry or hedge makes a new
+/// one; `seen` counts the frames received on *this* send).
+struct SendRec {
+    shard: usize,
+    sid: String,
+    sent_at: Instant,
+    last_progress: Instant,
+    seen: u64,
+}
+
+/// One dispatchable unit of upstream work: a whole request, or one
+/// slice of a fanned-out `batch`.
+struct Chunk {
+    /// Request line with the upstream id stripped (inputs sliced for a
+    /// fan-out chunk); a send prepends the router-minted id.
+    body: String,
+    offset: u64,
+    attempt: u32,
+    /// Frames forwarded upstream so far — the dedup high-water mark.
+    delivered: u64,
+    hedged: bool,
+    /// Excluded from the next rendezvous pick after a failure.
+    last_shard: Option<usize>,
+    queued_since: Instant,
+    not_before: Instant,
+    sends: Vec<SendRec>,
+    terminal: Option<String>,
+}
+
+impl Chunk {
+    fn new(body: String, offset: u64, now: Instant) -> Chunk {
+        Chunk {
+            body,
+            offset,
+            attempt: 0,
+            delivered: 0,
+            hedged: false,
+            last_shard: None,
+            queued_since: now,
+            not_before: now,
+            sends: Vec::new(),
+            terminal: None,
+        }
+    }
+}
+
+/// One upstream request in flight through the shard tier.
+struct RJob {
+    upstream: u64,
+    /// Pre-encoded upstream id (`None` on a v1 connection).
+    id: Option<String>,
+    op: &'static str,
+    /// Forward streamed frames upstream (v2 client, `batch`/`sweep`)?
+    stream_frames: bool,
+    /// Hedgeable: light, non-streaming work (`compile`/`run`/`attack`).
+    hedgeable: bool,
+    digest: u64,
+    /// Next upstream frame `seq` for the merged stream.
+    seq: u64,
+    started: Instant,
+    chunks: Vec<Chunk>,
+    remaining: usize,
+    total_items: u64,
+}
+
+/// Pre-resolved metric handles: the hot path must not pay a
+/// `format!` + name-table lookup per request.
+struct Metrics {
+    req: [Arc<Counter>; 5],
+    lat: [Arc<Histogram>; 5],
+    shard_latency: Vec<Arc<Histogram>>,
+    retries: Arc<Counter>,
+    hedges: Arc<Counter>,
+    frames_merged: Arc<Counter>,
+    shed: Arc<Counter>,
+    connections_total: Arc<Counter>,
+    connections_open: Arc<Gauge>,
+    shards_healthy: Arc<Gauge>,
+    phase_write: Arc<Histogram>,
+}
+
+/// Index of a compute op into the `req`/`lat` handle arrays.
+const OPS: [&str; 5] = ["compile", "run", "sweep", "attack", "batch"];
+
+fn op_slot(op: &str) -> Option<usize> {
+    OPS.iter().position(|&o| o == op)
+}
+
+impl Metrics {
+    fn new(registry: &Registry, shards: usize) -> Metrics {
+        Metrics {
+            req: OPS.map(|op| registry.counter(&format!("router_requests_total{{op=\"{op}\"}}"))),
+            lat: OPS
+                .map(|op| registry.histogram(&format!("router_request_latency_us{{op=\"{op}\"}}"))),
+            shard_latency: (0..shards)
+                .map(|i| registry.histogram(&format!("router_shard_latency_us{{shard=\"{i}\"}}")))
+                .collect(),
+            retries: registry.counter("router_retries_total"),
+            hedges: registry.counter("router_hedges_total"),
+            frames_merged: registry.counter("router_frames_merged_total"),
+            shed: registry.counter("router_shed_total"),
+            connections_total: registry.counter("router_connections_total"),
+            connections_open: registry.gauge("router_connections_open"),
+            shards_healthy: registry.gauge("router_shards_healthy"),
+            phase_write: registry.histogram("phase_latency_us{phase=\"write\"}"),
+        }
+    }
+}
+
+struct RouterLoop {
+    shared: Arc<RouterShared>,
+    cfg: RouterConfig,
+    salts: Vec<u64>,
+    ups: HashMap<u64, Upstream>,
+    shards: Vec<ShardConn>,
+    jobs: HashMap<u64, RJob>,
+    /// Chunks awaiting dispatch now — the loop never scans the whole
+    /// job table per pass.
+    ready: VecDeque<(u64, usize)>,
+    /// Chunks waiting out a backoff or a shard recovery; promoted back
+    /// to `ready` on the sweep tick.
+    delayed: Vec<(u64, usize)>,
+    next_sweep_at: Instant,
+    metrics: Metrics,
+    next_token: u64,
+    next_job: u64,
+    probe_seq: u64,
+    /// Counter-based jitter state (never the wall clock, so chaos runs
+    /// replay deterministically).
+    rng: u64,
+    started: Instant,
+}
+
+/// Run the router event loop until clean shutdown.
+pub(crate) fn run(
+    shared: &Arc<RouterShared>,
+    poller: &Poller,
+    config: &RouterConfig,
+) -> io::Result<()> {
+    poller.add_readable(shared.listener.as_raw_fd(), TOKEN_LISTENER)?;
+    poller.add_readable(shared.waker.read_half().as_raw_fd(), TOKEN_WAKER)?;
+    let now = Instant::now();
+    let shards: Vec<ShardConn> = config
+        .shards
+        .iter()
+        .map(|addr| ShardConn {
+            addr: addr.clone(),
+            state: SState::Down { retry_at: now },
+            generation: 0,
+            token: None,
+            stream: None,
+            framer: Framer::new(),
+            wbuf: WriteBuf::new(),
+            writable: true,
+            close_after_flush: false,
+            write_stuck_since: None,
+            breaker: Breaker::new(
+                config.breaker_threshold,
+                Duration::from_millis(config.breaker_cooloff_ms),
+                Duration::from_millis(config.breaker_max_cooloff_ms),
+            ),
+            inflight: HashMap::new(),
+            probe: None,
+            next_probe_at: now,
+            healthy: false,
+            queue_depth: 0,
+        })
+        .collect();
+    let mut lp = RouterLoop {
+        metrics: Metrics::new(&shared.registry, config.shards.len()),
+        shared: Arc::clone(shared),
+        cfg: config.clone(),
+        salts: config.shards.iter().map(|a| ring::shard_salt(a)).collect(),
+        ups: HashMap::new(),
+        shards,
+        jobs: HashMap::new(),
+        ready: VecDeque::new(),
+        delayed: Vec::new(),
+        next_sweep_at: now,
+        next_token: 2,
+        next_job: 0,
+        probe_seq: 0,
+        rng: config.seed,
+        started: now,
+    };
+    lp.run(poller)
+}
+
+impl RouterLoop {
+    fn run(&mut self, poller: &Poller) -> io::Result<()> {
+        let mut events = Vec::new();
+        let mut force_close_at: Option<Instant> = None;
+        loop {
+            events.clear();
+            poller.wait(&mut events, LOOP_TICK_MS)?;
+            let now = Instant::now();
+            let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            let mut shard_lines: Vec<(usize, String)> = Vec::new();
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        if !draining {
+                            self.accept_burst(poller, now);
+                        }
+                    }
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    token => {
+                        if let Some(idx) = self.shards.iter().position(|s| s.token == Some(token)) {
+                            let s = &mut self.shards[idx];
+                            if ev.writable {
+                                s.writable = true;
+                                s.write_stuck_since = None;
+                            }
+                            if ev.readable || ev.hangup {
+                                read_shard(s, idx, now, &mut shard_lines);
+                            }
+                        } else if let Some(u) = self.ups.get_mut(&token) {
+                            if ev.writable {
+                                u.writable = true;
+                                u.write_stuck_since = None;
+                            }
+                            if ev.readable || ev.hangup {
+                                read_upstream(u, now);
+                            }
+                        }
+                    }
+                }
+            }
+            self.drain_dials(poller, now);
+            for (idx, line) in shard_lines {
+                self.handle_shard_line(idx, &line, now);
+            }
+            // Shard links that hit EOF/read errors are torn down after
+            // their buffered lines were handled — a dying shard's last
+            // terminals still count.
+            for idx in 0..self.shards.len() {
+                if matches!(self.shards[idx].state, SState::Ready | SState::Handshaking { .. })
+                    && self.shards[idx].stream.is_none()
+                {
+                    self.shard_failed(poller, idx, now);
+                }
+            }
+            let tokens: Vec<u64> = self.ups.keys().copied().collect();
+            for token in tokens {
+                self.process_pending(token, now);
+            }
+            // Timer work (probes, stalls, hedges, backoff promotion) has
+            // ≥ tens-of-ms granularity; running it on a tick instead of
+            // every pass keeps the per-request path free of full-table
+            // scans.
+            if now >= self.next_sweep_at {
+                self.next_sweep_at = now + Duration::from_millis(20);
+                self.promote_delayed(now);
+                self.sweep(poller, now);
+                let healthy = self.available(now).len();
+                self.metrics.shards_healthy.set(healthy as u64);
+            }
+            self.dispatch(now);
+            for u in self.ups.values_mut() {
+                flush_upstream(&self.metrics, u, now);
+            }
+            self.flush_shards(poller, now);
+            self.reap_upstreams(poller);
+            // Drain endgame: no new connections, inflight work finishes,
+            // then force-close stragglers. Shards are left running.
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                let force = *force_close_at.get_or_insert(now + self.cfg.drain_timeout());
+                if (self.ups.is_empty() && self.jobs.is_empty()) || now >= force {
+                    break;
+                }
+            }
+        }
+        for s in &mut self.shards {
+            if let Some(stream) = s.stream.take() {
+                let _ = poller.delete(stream.as_raw_fd());
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        Ok(())
+    }
+
+    /// Counter-based jitter in `[base, 2*base)`.
+    fn jitter(&mut self, base: Duration) -> Duration {
+        self.rng = self.rng.wrapping_add(1);
+        let roll = ring::mix(self.rng);
+        let ms = base.as_millis() as u64;
+        base + Duration::from_millis(if ms == 0 { 0 } else { roll % ms })
+    }
+
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.cfg.retry_base_ms << attempt.min(4);
+        self.jitter(Duration::from_millis(base))
+    }
+
+    /// Shards eligible for new work right now.
+    fn available(&mut self, now: Instant) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&i| {
+                let s = &mut self.shards[i];
+                matches!(s.state, SState::Ready) && s.healthy && s.breaker.admits(now)
+            })
+            .collect()
+    }
+
+    /// How long an upstream should wait before retrying when every
+    /// shard is unavailable — the `retry_after_ms` hint. The soonest
+    /// shard-recovery ETA (redial or breaker reopening), clamped.
+    fn retry_hint_ms(&self, now: Instant) -> u64 {
+        let eta_ms = self
+            .shards
+            .iter()
+            .filter_map(|s| match s.state {
+                SState::Down { retry_at } => Some(retry_at),
+                _ => s.breaker.open_until(),
+            })
+            .map(|at| at.saturating_duration_since(now).as_millis() as u64)
+            .min();
+        eta_ms
+            .unwrap_or(self.cfg.retry_base_ms.saturating_mul(4))
+            .clamp(self.cfg.retry_base_ms, 10_000)
+    }
+
+    // ---------------------------------------------------------------- upstream
+
+    fn accept_burst(&mut self, poller: &Poller, now: Instant) {
+        let storm = self.shared.injector.fire(FaultSite::AcceptStorm);
+        loop {
+            match self.shared.listener.accept() {
+                Ok((stream, _)) => {
+                    if storm || self.shared.injector.fire(FaultSite::AcceptDrop) {
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    self.metrics.connections_total.inc();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    if self.shared.injector.fire(FaultSite::RegisterFail) {
+                        // The server panics here to exercise supervision;
+                        // the router sheds the connection instead — its
+                        // loop has no respawn wrapper to catch a panic.
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if poller.add(stream.as_raw_fd(), token).is_err() {
+                        continue;
+                    }
+                    self.metrics.connections_open.add(1);
+                    self.ups.insert(token, Upstream::new(stream, now));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn process_pending(&mut self, token: u64, now: Instant) {
+        loop {
+            let Some(u) = self.ups.get_mut(&token) else { return };
+            if u.close_after_flush || u.dead {
+                return;
+            }
+            if u.mode == Mode::Legacy && u.legacy_busy {
+                return;
+            }
+            let Some(front) = u.pending.front_mut() else { return };
+            match front {
+                PendingItem::TooLong { recovered } => {
+                    let recovered = *recovered;
+                    u.pending.pop_front();
+                    let e = ServiceError::new(
+                        ErrorCode::BadRequest,
+                        format!("request exceeds {MAX_REQUEST_BYTES} bytes"),
+                    );
+                    enqueue_upstream(&self.shared, u, &e.to_json(), now);
+                    if !recovered {
+                        u.close_after_flush = true;
+                        u.stop_reading = true;
+                    }
+                }
+                PendingItem::Line { release, rolled, .. } => {
+                    if !*rolled {
+                        *rolled = true;
+                        if let Some(stall) = self.shared.injector.stall(FaultSite::ReadStall) {
+                            *release = Some(now + stall);
+                        }
+                    }
+                    if release.is_some_and(|r| now < r) {
+                        return;
+                    }
+                    let Some(PendingItem::Line { line, .. }) = u.pending.pop_front() else {
+                        return;
+                    };
+                    self.handle_upstream_line(token, &line, now);
+                }
+            }
+        }
+    }
+
+    /// Queue a line on one upstream connection, if it is still around.
+    fn reply(&mut self, token: u64, line: &str, now: Instant) {
+        if let Some(u) = self.ups.get_mut(&token) {
+            enqueue_upstream(&self.shared, u, line, now);
+        }
+    }
+
+    /// The hot path: structurally scan a compute request and forward it
+    /// without ever building a `Json` tree. Returns false — with no
+    /// side effects — when the line needs the full-parse slow path:
+    /// inline ops, `batch` fan-out, structural surprises, or anything
+    /// that must produce a local validation error.
+    fn try_fast_path(&mut self, token: u64, line: &str, now: Instant) -> bool {
+        let Some(scanned) = scan::TopLevel::parse(line) else { return false };
+        let Some(slot) = scanned.value("type").and_then(scan::str_inner).and_then(op_slot) else {
+            return false;
+        };
+        let op = OPS[slot];
+        // The raw id span doubles as the pre-encoded id. Escaped or
+        // exotic ids take the slow path, which also produces the proper
+        // error for the invalid ones.
+        let id: Option<String> = match scanned.value("id") {
+            None => None,
+            Some(raw) => {
+                let valid = match scan::str_inner(raw) {
+                    Some(inner) => !inner.contains('\\'),
+                    None => !raw.is_empty() && raw.bytes().all(|b| b.is_ascii_digit()),
+                };
+                if !valid || raw.len() > MAX_ID_BYTES {
+                    return false;
+                }
+                Some(raw.to_string())
+            }
+        };
+        let mode = match self.ups.get(&token) {
+            Some(u) => u.mode,
+            None => return true, // connection reaped mid-line: drop it
+        };
+        if mode == Mode::V2 && id.is_none() {
+            return false; // slow path builds the mandatory-id error
+        }
+        // Digest streamed over the escaped span — identical to fnv1a of
+        // the decoded source, so fast- and slow-path requests for the
+        // same program always land on the same shard.
+        let Some(digest) =
+            scanned.value("source").and_then(scan::str_inner).and_then(scan::fnv1a_unescaped)
+        else {
+            return false;
+        };
+        let mut total_items = 0u64;
+        if op == "batch" {
+            let Some(count) = scanned.value("inputs").and_then(scan::array_len) else {
+                return false;
+            };
+            total_items = count;
+            if count as usize >= self.cfg.batch_fanout_min && self.available(now).len() >= 2 {
+                return false; // fan-out slices inputs, which needs the tree
+            }
+        }
+        if let Some(id_str) = id.as_deref() {
+            if self.ups.get_mut(&token).is_some_and(|u| !u.ids.admit(id_str)) {
+                let e = ServiceError::new(
+                    ErrorCode::BadRequest,
+                    format!("request id {id_str} was already used on this connection"),
+                );
+                self.reply(token, &with_id(&e.to_json(), id.as_deref()), now);
+                return true;
+            }
+        }
+        self.metrics.req[slot].inc();
+        if self.jobs.len() >= self.cfg.max_inflight {
+            self.metrics.shed.inc();
+            let hint = self.retry_hint_ms(now);
+            let body = busy_line(
+                &format!("router at max inflight ({}); retry later", self.cfg.max_inflight),
+                hint,
+            );
+            let reply = with_id(&body, id.as_deref());
+            self.reply(token, &reply, now);
+            return true;
+        }
+        let body = scanned.without("id");
+        let job_id = self.next_job;
+        self.next_job += 1;
+        let job = RJob {
+            upstream: token,
+            id,
+            op,
+            stream_frames: mode == Mode::V2 && matches!(op, "batch" | "sweep"),
+            hedgeable: matches!(op, "compile" | "run" | "attack"),
+            digest,
+            seq: 0,
+            started: now,
+            remaining: 1,
+            chunks: vec![Chunk::new(body, 0, now)],
+            total_items,
+        };
+        self.jobs.insert(job_id, job);
+        self.ready.push_back((job_id, 0));
+        if let Some(u) = self.ups.get_mut(&token) {
+            u.jobs.insert(job_id);
+            if u.mode == Mode::Legacy {
+                u.legacy_busy = true;
+            }
+        }
+        true
+    }
+
+    fn handle_upstream_line(&mut self, token: u64, line: &str, now: Instant) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        if self.try_fast_path(token, trimmed, now) {
+            return;
+        }
+        let envelope = match Envelope::parse(trimmed) {
+            Ok(e) => e,
+            Err(e) => {
+                self.reply(token, &e.to_json(), now);
+                return;
+            }
+        };
+        let mode = match self.ups.get(&token) {
+            Some(u) => u.mode,
+            None => return,
+        };
+        if mode == Mode::V2 && envelope.id.is_none() {
+            let e = ServiceError::new(
+                ErrorCode::BadRequest,
+                "v2 requests must carry an id (responses are matched by it)",
+            );
+            self.reply(token, &e.to_json(), now);
+            return;
+        }
+        let id = envelope.id;
+        if let Some(id_str) = id.as_deref() {
+            let replay = self.ups.get_mut(&token).is_some_and(|u| !u.ids.admit(id_str));
+            if replay {
+                let e = ServiceError::new(
+                    ErrorCode::BadRequest,
+                    format!("request id {id_str} was already used on this connection"),
+                );
+                self.reply(token, &with_id(&e.to_json(), id.as_deref()), now);
+                return;
+            }
+        }
+        let request = match envelope.req {
+            Ok(r) => r,
+            Err(e) => {
+                self.reply(token, &with_id(&e.to_json(), id.as_deref()), now);
+                return;
+            }
+        };
+        self.shared
+            .registry
+            .counter(&format!("router_requests_total{{op=\"{}\"}}", request.op_name()))
+            .inc();
+        let body = match request {
+            Request::Hello { proto } => {
+                let Some(u) = self.ups.get_mut(&token) else { return };
+                if u.mode == Mode::V2 {
+                    ServiceError::new(
+                        ErrorCode::BadRequest,
+                        "duplicate hello: this connection already speaks v2",
+                    )
+                    .to_json()
+                } else if proto != PROTO_VERSION {
+                    ServiceError::new(
+                        ErrorCode::BadRequest,
+                        format!("unsupported protocol version {proto} (this server speaks 2)"),
+                    )
+                    .to_json()
+                } else {
+                    u.mode = Mode::V2;
+                    Json::obj()
+                        .with("ok", true)
+                        .with("type", "hello")
+                        .with("proto", PROTO_VERSION)
+                        .with("streaming", true)
+                        .encode()
+                }
+            }
+            Request::Stats => self.stats_line(now),
+            Request::Health => self.health_line(now),
+            Request::Metrics { format } => {
+                self.shared.registry.gauge("router_jobs_inflight").set(self.jobs.len() as u64);
+                self.shared
+                    .registry
+                    .gauge("uptime_ms")
+                    .set(u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX));
+                let base = Json::obj().with("ok", true).with("type", "metrics");
+                match format {
+                    MetricsFormat::Json => base
+                        .with("format", "json")
+                        .with("metrics", self.shared.registry.snapshot())
+                        .encode(),
+                    MetricsFormat::Prometheus => base
+                        .with("format", "prometheus")
+                        .with("text", self.shared.registry.render_prometheus())
+                        .encode(),
+                }
+            }
+            Request::Shutdown => {
+                let body = Json::obj().with("ok", true).with("type", "shutdown").encode();
+                self.reply(token, &with_id(&body, id.as_deref()), now);
+                if let Some(u) = self.ups.get_mut(&token) {
+                    u.close_after_flush = true;
+                }
+                self.shared.initiate_shutdown();
+                return;
+            }
+            request => {
+                self.admit_job(token, request, trimmed, id, now);
+                return;
+            }
+        };
+        self.reply(token, &with_id(&body, id.as_deref()), now);
+    }
+
+    /// Turn a validated compute request into a router job: digest it,
+    /// fan a large `batch` across the currently-available shards, and
+    /// queue the chunk(s) for dispatch.
+    fn admit_job(
+        &mut self,
+        token: u64,
+        request: Request,
+        line: &str,
+        id: Option<String>,
+        now: Instant,
+    ) {
+        if self.jobs.len() >= self.cfg.max_inflight {
+            self.metrics.shed.inc();
+            let hint = self.retry_hint_ms(now);
+            let Some(u) = self.ups.get_mut(&token) else { return };
+            let body = busy_line(
+                &format!("router at max inflight ({}); retry later", self.cfg.max_inflight),
+                hint,
+            );
+            enqueue_upstream(&self.shared, u, &with_id(&body, id.as_deref()), now);
+            return;
+        }
+        let source = match &request {
+            Request::Compile { source, .. }
+            | Request::Run { source, .. }
+            | Request::Sweep { source, .. }
+            | Request::Attack { source, .. }
+            | Request::Batch { source, .. } => source.as_str(),
+            // Inline ops were handled by the caller.
+            _ => return,
+        };
+        let digest = sempe_core::hash::fnv1a(source.as_bytes());
+        let Ok(mut parsed) = json::parse(line) else { return };
+        if let Json::Obj(members) = &mut parsed {
+            members.retain(|(k, _)| k != "id");
+        }
+        let mode = self.ups.get(&token).map_or(Mode::Legacy, |u| u.mode);
+        let available = self.available(now).len();
+        let mut total_items = 0u64;
+        let mut chunks: Option<Vec<Chunk>> = None;
+        if let Request::Batch { inputs, leak_check, .. } = &request {
+            total_items = inputs.len() as u64;
+            if inputs.len() >= self.cfg.batch_fanout_min && available >= 2 {
+                chunks = merge::split_batch(&parsed, available, *leak_check).map(|parts| {
+                    parts
+                        .into_iter()
+                        .map(|(body, offset, _)| Chunk::new(body, offset, now))
+                        .collect()
+                });
+            }
+        }
+        let chunks = chunks.unwrap_or_else(|| vec![Chunk::new(parsed.encode(), 0, now)]);
+        let job_id = self.next_job;
+        self.next_job += 1;
+        let op = request.op_name();
+        let stream_frames = mode == Mode::V2 && request.is_heavy();
+        let job = RJob {
+            upstream: token,
+            id,
+            op,
+            stream_frames,
+            hedgeable: matches!(op, "compile" | "run" | "attack"),
+            digest,
+            seq: 0,
+            started: now,
+            remaining: chunks.len(),
+            chunks,
+            total_items,
+        };
+        let n_chunks = job.chunks.len();
+        self.jobs.insert(job_id, job);
+        self.ready.extend((0..n_chunks).map(|ci| (job_id, ci)));
+        if let Some(u) = self.ups.get_mut(&token) {
+            u.jobs.insert(job_id);
+            if u.mode == Mode::Legacy {
+                u.legacy_busy = true;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- dispatch
+
+    /// Move delayed chunks whose backoff has elapsed back into the
+    /// ready queue (sweep-tick cadence).
+    fn promote_delayed(&mut self, now: Instant) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            let (job_id, ci) = self.delayed[i];
+            let due = match self.jobs.get(&job_id) {
+                // Jobs that finished or failed leave stale entries;
+                // drop them by "promoting" into the skip path below.
+                None => true,
+                Some(job) => job.chunks.get(ci).is_none_or(|c| now >= c.not_before),
+            };
+            if due {
+                self.delayed.swap_remove(i);
+                self.ready.push_back((job_id, ci));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Send every due queued chunk to the best eligible shard. Fan-out
+    /// chunks rotate through the rendezvous ranking so a fanned `batch`
+    /// actually spreads; single chunks take the pure rendezvous winner.
+    fn dispatch(&mut self, now: Instant) {
+        if self.ready.is_empty() {
+            return;
+        }
+        let available = self.available(now);
+        if available.is_empty() {
+            // Nothing can take work; park everything for the sweep tick.
+            self.delayed.extend(self.ready.drain(..));
+            return;
+        }
+        while let Some((job_id, ci)) = self.ready.pop_front() {
+            let target = {
+                let Some(job) = self.jobs.get(&job_id) else { continue };
+                let Some(chunk) = job.chunks.get(ci) else { continue };
+                if chunk.terminal.is_some() || !chunk.sends.is_empty() {
+                    continue;
+                }
+                if now < chunk.not_before {
+                    self.delayed.push((job_id, ci));
+                    continue;
+                }
+                if job.chunks.len() > 1 {
+                    let ranked = ring::rank(job.digest, &self.salts, &available);
+                    let n = ranked.len();
+                    (0..n)
+                        .map(|k| ranked[(ci + k) % n])
+                        .find(|&s| Some(s) != chunk.last_shard)
+                        .or_else(|| ranked.first().copied())
+                } else {
+                    ring::pick(job.digest, &self.salts, &available, chunk.last_shard)
+                }
+            };
+            match target {
+                Some(shard) => self.send_chunk(job_id, ci, shard, now),
+                None => self.delayed.push((job_id, ci)),
+            }
+        }
+    }
+
+    fn send_chunk(&mut self, job_id: u64, ci: usize, shard: usize, now: Instant) {
+        let Some(job) = self.jobs.get_mut(&job_id) else { return };
+        let chunk = &mut job.chunks[ci];
+        let sid = format!("r{job_id}c{ci}-{}", chunk.attempt);
+        let line = with_id(&chunk.body, Some(&json::escape(&sid)));
+        chunk.sends.push(SendRec {
+            shard,
+            sid: sid.clone(),
+            sent_at: now,
+            last_progress: now,
+            seen: 0,
+        });
+        self.shards[shard].inflight.insert(sid, (job_id, ci));
+        enqueue_shard(&self.shared, &mut self.shards[shard], &line, now);
+    }
+
+    /// A chunk's active send failed: clear its sends and requeue it with
+    /// backoff, or fail the whole job once attempts are exhausted.
+    fn retry_chunk(&mut self, job_id: u64, ci: usize, failed_shard: usize, now: Instant) {
+        let Some(job) = self.jobs.get_mut(&job_id) else { return };
+        let chunk = &mut job.chunks[ci];
+        if chunk.terminal.is_some() {
+            return;
+        }
+        let stale: Vec<(usize, String)> = chunk.sends.drain(..).map(|s| (s.shard, s.sid)).collect();
+        chunk.attempt += 1;
+        chunk.last_shard = Some(failed_shard);
+        let attempt = chunk.attempt;
+        let exhausted = attempt >= self.cfg.max_attempts;
+        for (shard, sid) in stale {
+            self.shards[shard].inflight.remove(&sid);
+        }
+        if exhausted {
+            let hint = self.retry_hint_ms(now);
+            self.fail_job(job_id, &busy_line("shard retries exhausted; retry later", hint), now);
+            return;
+        }
+        self.metrics.retries.inc();
+        let delay = self.backoff(attempt);
+        if let Some(job) = self.jobs.get_mut(&job_id) {
+            job.chunks[ci].not_before = now + delay;
+            self.delayed.push((job_id, ci));
+        }
+    }
+
+    /// Answer the upstream with `body` and drop the job (all of its
+    /// outstanding sends become stale and are cleaned lazily).
+    fn fail_job(&mut self, job_id: u64, body: &str, now: Instant) {
+        let Some(job) = self.jobs.remove(&job_id) else { return };
+        for chunk in &job.chunks {
+            for s in &chunk.sends {
+                self.shards[s.shard].inflight.remove(&s.sid);
+            }
+        }
+        if let Some(u) = self.ups.get_mut(&job.upstream) {
+            u.jobs.remove(&job_id);
+            if u.mode == Mode::Legacy {
+                u.legacy_busy = false;
+            }
+            enqueue_upstream(&self.shared, u, &with_id(body, job.id.as_deref()), now);
+        }
+    }
+
+    /// Every chunk has its terminal: stitch and deliver.
+    fn finalize_job(&mut self, job_id: u64, now: Instant) {
+        let Some(job) = self.jobs.remove(&job_id) else { return };
+        let out = if job.chunks.len() == 1 {
+            let line = job.chunks[0].terminal.as_deref().unwrap_or("");
+            merge::rewrite_terminal(line, job.id.as_deref())
+        } else if let Some(err) =
+            job.chunks.iter().filter_map(|c| c.terminal.as_deref()).find(|t| {
+                json::parse(t).ok().and_then(|v| v.get("ok").and_then(Json::as_bool)) != Some(true)
+            })
+        {
+            // One chunk failed non-retryably (bad program, sim error):
+            // every chunk of the same program fails identically, so the
+            // first error terminal is the whole batch's answer.
+            merge::rewrite_terminal(err, job.id.as_deref())
+        } else {
+            let mut terms: Vec<ChunkTerminal<'_>> = job
+                .chunks
+                .iter()
+                .filter_map(|c| {
+                    c.terminal.as_deref().map(|line| ChunkTerminal { line, offset: c.offset })
+                })
+                .collect();
+            terms.sort_by_key(|t| t.offset);
+            merge::merge_batch_terminals(&terms, job.total_items, job.id.as_deref())
+        };
+        let body = out.unwrap_or_else(|| {
+            let e = ServiceError::new(ErrorCode::Internal, "router failed to merge shard replies");
+            with_id(&e.to_json(), job.id.as_deref())
+        });
+        if let Some(slot) = op_slot(job.op) {
+            self.metrics.lat[slot].observe_duration(now.duration_since(job.started));
+        }
+        if let Some(u) = self.ups.get_mut(&job.upstream) {
+            u.jobs.remove(&job_id);
+            if u.mode == Mode::Legacy {
+                u.legacy_busy = false;
+            }
+            enqueue_upstream(&self.shared, u, &body, now);
+        }
+    }
+
+    // ---------------------------------------------------------------- shard replies
+
+    fn handle_shard_line(&mut self, idx: usize, line: &str, now: Instant) {
+        match self.shards[idx].state {
+            SState::Handshaking { .. } => {
+                let ok = json::parse(line).ok().is_some_and(|v| {
+                    v.get("ok").and_then(Json::as_bool) == Some(true)
+                        && v.get("type").and_then(Json::as_str) == Some("hello")
+                });
+                let s = &mut self.shards[idx];
+                if ok {
+                    s.state = SState::Ready;
+                    s.healthy = false;
+                    s.next_probe_at = now; // probe immediately to go healthy
+                } else {
+                    // Wrong protocol or an error ack: drop the link; the
+                    // sweep tears it down and schedules a redial.
+                    s.stream = None;
+                }
+            }
+            SState::Ready => {
+                // Fast path: raw-scan the reply for the envelope members
+                // the router acts on. Anything surprising re-parses.
+                if let Some(scanned) = scan::TopLevel::parse(line) {
+                    let Some(sid) = scanned.value("id").and_then(scan::str_inner) else { return };
+                    if self.shards[idx].probe.as_ref().is_some_and(|(pid, _)| pid == sid) {
+                        let Ok(v) = json::parse(line) else { return };
+                        self.handle_probe_reply(idx, &v, now);
+                        return;
+                    }
+                    let Some(&key) = self.shards[idx].inflight.get(sid) else { return };
+                    if scanned.value("partial") == Some("true") {
+                        self.handle_frame(idx, sid, key, line, now);
+                    } else {
+                        let ok = scanned.value("ok") == Some("true");
+                        let code = scanned.value("code").and_then(scan::str_inner).unwrap_or("");
+                        self.shards[idx].inflight.remove(sid);
+                        self.handle_terminal(idx, sid, key, line, ok, code, now);
+                    }
+                    return;
+                }
+                let Ok(v) = json::parse(line) else { return };
+                let Some(sid) = v.get("id").and_then(Json::as_str).map(str::to_string) else {
+                    return;
+                };
+                if self.shards[idx].probe.as_ref().is_some_and(|(pid, _)| *pid == sid) {
+                    self.handle_probe_reply(idx, &v, now);
+                    return;
+                }
+                let Some(&key) = self.shards[idx].inflight.get(&sid) else { return };
+                if v.get("partial").and_then(Json::as_bool) == Some(true) {
+                    self.handle_frame(idx, &sid, key, line, now);
+                } else {
+                    let ok = v.get("ok").and_then(Json::as_bool) == Some(true);
+                    let code = v.get("code").and_then(Json::as_str).unwrap_or("").to_string();
+                    self.shards[idx].inflight.remove(&sid);
+                    self.handle_terminal(idx, &sid, key, line, ok, &code, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_probe_reply(&mut self, idx: usize, v: &Json, now: Instant) {
+        let ok = v.get("ok").and_then(Json::as_bool) == Some(true);
+        let ready = v.get("ready").and_then(Json::as_bool) == Some(true);
+        let depth = v.get("queue").and_then(|q| q.get("depth")).and_then(Json::as_u64).unwrap_or(0);
+        let s = &mut self.shards[idx];
+        s.probe = None;
+        s.next_probe_at = now + self.cfg.probe_interval();
+        s.queue_depth = depth;
+        // `ready:false` means the shard is draining or its pool died —
+        // the link is fine (no breaker event) but no new work goes there,
+        // which is exactly the two-phase-drain rebalance.
+        s.healthy = ok && ready;
+        if ok {
+            s.breaker.on_success();
+        } else {
+            s.breaker.on_failure(now);
+        }
+    }
+
+    fn handle_frame(&mut self, idx: usize, sid: &str, key: (u64, usize), line: &str, now: Instant) {
+        let (job_id, ci) = key;
+        let Some(job) = self.jobs.get_mut(&job_id) else {
+            self.shards[idx].inflight.remove(sid);
+            return;
+        };
+        let upstream = job.upstream;
+        let stream_frames = job.stream_frames;
+        let jid = job.id.clone();
+        let seq = job.seq;
+        let chunk = &mut job.chunks[ci];
+        if chunk.terminal.is_some() {
+            return;
+        }
+        let Some(send) = chunk.sends.iter_mut().find(|s| s.sid == sid) else { return };
+        send.last_progress = now;
+        let index = send.seen;
+        send.seen += 1;
+        // Dedup across retries/hedges: every send of this deterministic
+        // chunk replays the same frames, so only the first delivery of
+        // each index goes upstream.
+        if index < chunk.delivered {
+            return;
+        }
+        chunk.delivered = index + 1;
+        if !stream_frames {
+            return;
+        }
+        let offset = chunk.offset;
+        let Some(out) = merge::rewrite_frame(line, jid.as_deref(), seq, offset, idx) else {
+            return;
+        };
+        job.seq += 1;
+        self.metrics.frames_merged.inc();
+        if let Some(u) = self.ups.get_mut(&upstream) {
+            enqueue_upstream(&self.shared, u, &out, now);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_terminal(
+        &mut self,
+        idx: usize,
+        sid: &str,
+        key: (u64, usize),
+        line: &str,
+        ok: bool,
+        code: &str,
+        now: Instant,
+    ) {
+        let (job_id, ci) = key;
+        // E_BUSY is backpressure, E_SHUTDOWN a drain, E_INTERNAL/E_PARSE
+        // shard-side faults: all four mean "another shard can serve
+        // this". Deterministic request-level errors (bad program, sim
+        // failure, deadline) are the real answer and are forwarded.
+        let retryable = !ok && matches!(code, "E_BUSY" | "E_SHUTDOWN" | "E_INTERNAL" | "E_PARSE");
+        enum Verdict {
+            Ignore,
+            Retry,
+            Accept { sent_at: Instant, stale: Vec<(usize, String)>, done: bool },
+        }
+        let verdict = {
+            let Some(job) = self.jobs.get_mut(&job_id) else { return };
+            let chunk = &mut job.chunks[ci];
+            let Some(pos) = chunk.sends.iter().position(|s| s.sid == sid) else { return };
+            if chunk.terminal.is_some() {
+                // Hedge loser: the other send already answered.
+                chunk.sends.remove(pos);
+                Verdict::Ignore
+            } else if retryable {
+                Verdict::Retry
+            } else {
+                let sent_at = chunk.sends[pos].sent_at;
+                let stale: Vec<(usize, String)> =
+                    chunk.sends.drain(..).map(|s| (s.shard, s.sid)).collect();
+                chunk.terminal = Some(line.to_string());
+                job.remaining -= 1;
+                Verdict::Accept { sent_at, stale, done: job.remaining == 0 }
+            }
+        };
+        match verdict {
+            Verdict::Ignore => {}
+            Verdict::Retry => {
+                // Only shard-side faults count against the breaker.
+                if matches!(code, "E_INTERNAL" | "E_PARSE") {
+                    self.shards[idx].breaker.on_failure(now);
+                }
+                if code == "E_SHUTDOWN" {
+                    self.shards[idx].healthy = false;
+                }
+                self.retry_chunk(job_id, ci, idx, now);
+            }
+            Verdict::Accept { sent_at, stale, done } => {
+                self.shards[idx].breaker.on_success();
+                self.metrics.shard_latency[idx].observe_duration(now.duration_since(sent_at));
+                for (shard, other) in stale {
+                    if other != sid {
+                        self.shards[shard].inflight.remove(&other);
+                    }
+                }
+                if done {
+                    self.finalize_job(job_id, now);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- links
+
+    fn drain_dials(&mut self, poller: &Poller, now: Instant) {
+        let mut done = Vec::new();
+        {
+            let mut mailbox =
+                self.shared.dials.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::swap(&mut done, &mut *mailbox);
+        }
+        for DialResult { shard: idx, generation, result } in done {
+            let stale = {
+                let s = &self.shards[idx];
+                generation != s.generation || !matches!(s.state, SState::Dialing { .. })
+            };
+            if stale {
+                continue; // a newer attempt owns the link now
+            }
+            match result {
+                Ok(stream) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        self.shard_failed(poller, idx, now);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if poller.add(stream.as_raw_fd(), token).is_err() {
+                        self.shard_failed(poller, idx, now);
+                        continue;
+                    }
+                    let deadline = now + self.cfg.probe_timeout();
+                    let s = &mut self.shards[idx];
+                    s.token = Some(token);
+                    s.stream = Some(stream);
+                    s.state = SState::Handshaking { deadline };
+                    s.framer = Framer::new();
+                    s.wbuf = WriteBuf::new();
+                    s.writable = true;
+                    s.close_after_flush = false;
+                    s.write_stuck_since = None;
+                    enqueue_shard(
+                        &self.shared,
+                        &mut self.shards[idx],
+                        "{\"id\":\"h0\",\"type\":\"hello\",\"proto\":2}",
+                        now,
+                    );
+                }
+                Err(_) => self.shard_failed(poller, idx, now),
+            }
+        }
+    }
+
+    fn start_dial(&mut self, idx: usize, now: Instant) {
+        let timeout = self.cfg.connect_timeout();
+        let s = &mut self.shards[idx];
+        s.generation += 1;
+        s.state = SState::Dialing { deadline: now + timeout + Duration::from_millis(250) };
+        let generation = s.generation;
+        let addr = s.addr.clone();
+        let shared = Arc::clone(&self.shared);
+        let spawned = std::thread::Builder::new()
+            .name(format!("router-dial-{idx}"))
+            .spawn(move || {
+                let result = dial(&addr, timeout);
+                {
+                    let mut mailbox =
+                        shared.dials.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    mailbox.push(DialResult { shard: idx, generation, result });
+                }
+                shared.waker.wake();
+            })
+            .is_ok();
+        if !spawned {
+            let retry_at = now + self.jitter(Duration::from_millis(self.cfg.retry_base_ms * 4));
+            self.shards[idx].state = SState::Down { retry_at };
+        }
+    }
+
+    /// A shard link died (dial failure, EOF, probe timeout, truncated
+    /// write): count it against the breaker, requeue everything it was
+    /// serving, and schedule a redial.
+    fn shard_failed(&mut self, poller: &Poller, idx: usize, now: Instant) {
+        let retry_at = now + self.jitter(Duration::from_millis(self.cfg.retry_base_ms));
+        let orphans: Vec<(u64, usize, String)> = {
+            let s = &mut self.shards[idx];
+            s.breaker.on_failure(now);
+            s.generation += 1; // invalidate any in-flight dial
+            if let Some(stream) = s.stream.take() {
+                let _ = poller.delete(stream.as_raw_fd());
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            s.token = None;
+            s.framer = Framer::new();
+            s.wbuf = WriteBuf::new();
+            s.writable = true;
+            s.close_after_flush = false;
+            s.write_stuck_since = None;
+            s.probe = None;
+            s.healthy = false;
+            s.state = SState::Down { retry_at };
+            s.inflight.drain().map(|(sid, (job, ci))| (job, ci, sid)).collect()
+        };
+        for (job_id, ci, sid) in orphans {
+            let still_wanted = self.jobs.get_mut(&job_id).is_some_and(|job| {
+                let chunk = &mut job.chunks[ci];
+                chunk.sends.retain(|s| s.sid != sid);
+                chunk.terminal.is_none() && chunk.sends.is_empty()
+            });
+            if still_wanted {
+                self.retry_chunk(job_id, ci, idx, now);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- timers
+
+    fn sweep(&mut self, poller: &Poller, now: Instant) {
+        // Shard link lifecycle: redial downed links, time out dials,
+        // handshakes, probes, and stuck writes.
+        for idx in 0..self.shards.len() {
+            let action = match self.shards[idx].state {
+                SState::Down { retry_at } if now >= retry_at => 1,
+                SState::Dialing { deadline } if now >= deadline => 2,
+                SState::Handshaking { deadline } if now >= deadline => 2,
+                SState::Ready => {
+                    let s = &self.shards[idx];
+                    // Wedged: no probe reply inside the window, or a
+                    // write stuck past the frame timeout.
+                    if s.probe.as_ref().is_some_and(|(_, deadline)| now >= *deadline)
+                        || s.write_stuck_since.is_some_and(|since| {
+                            now.duration_since(since) >= self.cfg.frame_timeout()
+                        })
+                    {
+                        2
+                    } else if s.probe.is_none() && now >= s.next_probe_at {
+                        3
+                    } else {
+                        0
+                    }
+                }
+                _ => 0,
+            };
+            match action {
+                1 => self.start_dial(idx, now),
+                2 => self.shard_failed(poller, idx, now),
+                3 => {
+                    self.probe_seq += 1;
+                    let sid = format!("hp{}", self.probe_seq);
+                    let line = format!("{{\"id\":{},\"type\":\"health\"}}", json::escape(&sid));
+                    let deadline = now + self.cfg.probe_timeout();
+                    self.shards[idx].probe = Some((sid, deadline));
+                    enqueue_shard(&self.shared, &mut self.shards[idx], &line, now);
+                }
+                _ => {}
+            }
+        }
+        // Inflight sends with no progress inside the request window get
+        // retried elsewhere; hedgeable work that is merely slow gets a
+        // second send to the next-best shard (first terminal wins).
+        let mut stalled: Vec<(u64, usize, usize)> = Vec::new();
+        let mut hedges: Vec<(u64, usize, usize)> = Vec::new();
+        let available = self.available(now);
+        for (&job_id, job) in &self.jobs {
+            for (ci, chunk) in job.chunks.iter().enumerate() {
+                if chunk.terminal.is_some() {
+                    continue;
+                }
+                if chunk.sends.is_empty() {
+                    // Queued: fail upstream once no shard has taken it
+                    // for the whole request window.
+                    if now.duration_since(chunk.queued_since) >= self.cfg.request_timeout() {
+                        stalled.push((job_id, ci, usize::MAX));
+                    }
+                    continue;
+                }
+                let freshest = chunk.sends.iter().map(|s| s.last_progress).max().unwrap_or(now);
+                if now.duration_since(freshest) >= self.cfg.request_timeout() {
+                    stalled.push((job_id, ci, chunk.sends[0].shard));
+                    continue;
+                }
+                if job.hedgeable && !chunk.hedged && chunk.sends.len() == 1 {
+                    let oldest = chunk.sends[0].sent_at;
+                    if now.duration_since(oldest) >= self.cfg.hedge_after() {
+                        let current = chunk.sends[0].shard;
+                        let next = ring::rank(job.digest, &self.salts, &available)
+                            .into_iter()
+                            .find(|&s| s != current);
+                        if let Some(target) = next {
+                            hedges.push((job_id, ci, target));
+                        }
+                    }
+                }
+            }
+        }
+        for (job_id, ci, shard) in stalled {
+            if shard == usize::MAX {
+                let hint = self.retry_hint_ms(now);
+                self.fail_job(
+                    job_id,
+                    &busy_line("no shard available within the request window", hint),
+                    now,
+                );
+            } else {
+                self.retry_chunk(job_id, ci, shard, now);
+            }
+        }
+        for (job_id, ci, target) in hedges {
+            let Some(job) = self.jobs.get_mut(&job_id) else { continue };
+            let chunk = &mut job.chunks[ci];
+            chunk.hedged = true;
+            chunk.attempt += 1;
+            self.metrics.hedges.inc();
+            self.send_chunk(job_id, ci, target, now);
+        }
+        // Upstream timers: frame stalls, stuck writes, idle reaping.
+        for u in self.ups.values_mut() {
+            if u.dead {
+                continue;
+            }
+            if !u.close_after_flush {
+                if let Some(started) = u.framer.frame_started() {
+                    if now.duration_since(started) >= self.cfg.frame_timeout() {
+                        let e = ServiceError::new(
+                            ErrorCode::BadRequest,
+                            "request frame stalled mid-transfer",
+                        );
+                        enqueue_upstream(&self.shared, u, &e.to_json(), now);
+                        u.close_after_flush = true;
+                        u.stop_reading = true;
+                    }
+                }
+            }
+            if u.write_stuck_since
+                .is_some_and(|since| now.duration_since(since) >= self.cfg.frame_timeout())
+            {
+                u.dead = true;
+                continue;
+            }
+            if u.quiescent()
+                && !u.framer.mid_frame()
+                && now.duration_since(u.last_activity) >= self.cfg.idle_timeout()
+            {
+                u.dead = true;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- flush / reap
+
+    fn flush_shards(&mut self, poller: &Poller, now: Instant) {
+        for idx in 0..self.shards.len() {
+            let s = &mut self.shards[idx];
+            let Some(stream) = &s.stream else { continue };
+            if !s.writable {
+                continue;
+            }
+            let mut died = false;
+            loop {
+                let slice = s.wbuf.writable_slice(now);
+                if slice.is_empty() {
+                    break;
+                }
+                match (&*stream).write(slice) {
+                    Ok(n) => s.wbuf.advance(n, now),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        s.writable = false;
+                        s.write_stuck_since.get_or_insert(now);
+                        break;
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        died = true;
+                        break;
+                    }
+                }
+            }
+            if died || (s.close_after_flush && s.wbuf.is_empty()) {
+                // A truncated fault-injected write killed the link's
+                // framing: same recovery as a real link death.
+                self.shard_failed(poller, idx, now);
+            }
+        }
+    }
+
+    fn reap_upstreams(&mut self, poller: &Poller) {
+        let draining = self.shared.shutdown.load(Ordering::SeqCst);
+        let closing: Vec<u64> = self
+            .ups
+            .iter()
+            .filter(|(_, u)| {
+                u.dead
+                    || (u.peer_closed && u.quiescent())
+                    || (draining && u.quiescent() && !u.framer.mid_frame())
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in closing {
+            let Some(u) = self.ups.remove(&token) else { continue };
+            let _ = poller.delete(u.stream.as_raw_fd());
+            let _ = u.stream.shutdown(Shutdown::Both);
+            self.shared.registry.gauge("router_connections_open").sub(1);
+            for job_id in u.jobs {
+                if let Some(job) = self.jobs.remove(&job_id) {
+                    for chunk in &job.chunks {
+                        for s in &chunk.sends {
+                            self.shards[s.shard].inflight.remove(&s.sid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- inline ops
+
+    fn shard_table(&mut self, now: Instant) -> Json {
+        let mut rows = Vec::with_capacity(self.shards.len());
+        for idx in 0..self.shards.len() {
+            let admits = self.shards[idx].breaker.admits(now);
+            let s = &mut self.shards[idx];
+            let breaker = s.breaker.state(now).as_str();
+            rows.push(
+                Json::obj()
+                    .with("addr", s.addr.as_str())
+                    .with("state", s.state.name())
+                    .with("healthy", s.healthy)
+                    .with("available", matches!(s.state, SState::Ready) && s.healthy && admits)
+                    .with("breaker", breaker)
+                    .with("trips", s.breaker.trips())
+                    .with("inflight", s.inflight.len())
+                    .with("queue_depth", s.queue_depth),
+            );
+        }
+        Json::Arr(rows)
+    }
+
+    fn stats_line(&mut self, now: Instant) -> String {
+        let shards = self.shard_table(now);
+        Json::obj()
+            .with("ok", true)
+            .with("type", "stats")
+            .with("router", true)
+            .with("shards", shards)
+            .with("jobs_inflight", self.jobs.len())
+            .with("connections", self.ups.len())
+            .with(
+                "uptime_ms",
+                u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+            )
+            .encode()
+    }
+
+    fn health_line(&mut self, now: Instant) -> String {
+        let draining = self.shared.shutdown.load(Ordering::SeqCst);
+        let healthy = self.available(now).len();
+        self.shared.registry.gauge("router_shards_healthy").set(healthy as u64);
+        let shards = self.shard_table(now);
+        Json::obj()
+            .with("ok", true)
+            .with("type", "health")
+            .with("ready", healthy > 0 && !draining)
+            .with("live", true)
+            .with("draining", draining)
+            .with("router", true)
+            .with("shards_healthy", healthy)
+            .with("shards", shards)
+            .with("faults", self.shared.injector.to_json())
+            .encode()
+    }
+}
+
+/// A router-built `E_BUSY` reply with the `Retry-After`-style hint.
+fn busy_line(message: &str, retry_after_ms: u64) -> String {
+    Json::obj()
+        .with("ok", false)
+        .with("code", "E_BUSY")
+        .with("error", message)
+        .with("retry_after_ms", retry_after_ms)
+        .encode()
+}
+
+/// Resolve and connect with a bounded timeout (std's nonblocking
+/// connect + poll under the hood). Runs on a dialer thread.
+fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let addrs = addr.to_socket_addrs()?;
+    let mut last = io::Error::new(ErrorKind::NotFound, format!("no addresses for {addr}"));
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+fn read_upstream(u: &mut Upstream, now: Instant) {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut frames = Vec::new();
+    loop {
+        match (&u.stream).read(&mut chunk) {
+            Ok(0) => {
+                u.peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                u.last_activity = now;
+                if !u.stop_reading {
+                    u.framer.feed(&chunk[..n], now, &mut frames);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                u.peer_closed = true;
+                break;
+            }
+        }
+    }
+    for ev in frames {
+        match ev {
+            FrameEvent::Line(line) => {
+                u.pending.push_back(PendingItem::Line { line, release: None, rolled: false });
+            }
+            FrameEvent::TooLong { recovered } => {
+                u.pending.push_back(PendingItem::TooLong { recovered });
+            }
+        }
+    }
+}
+
+/// Drain a shard socket; complete lines are collected for handling
+/// after the event sweep. EOF / a read error drops the stream, which
+/// the main loop turns into a `shard_failed` teardown — after the
+/// buffered lines (a dying shard's final terminals) were processed.
+fn read_shard(s: &mut ShardConn, idx: usize, now: Instant, out: &mut Vec<(usize, String)>) {
+    let Some(stream) = &s.stream else { return };
+    let mut chunk = [0u8; 16 * 1024];
+    let mut frames = Vec::new();
+    let mut died = false;
+    loop {
+        match (&*stream).read(&mut chunk) {
+            Ok(0) => {
+                died = true;
+                break;
+            }
+            Ok(n) => s.framer.feed(&chunk[..n], now, &mut frames),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                died = true;
+                break;
+            }
+        }
+    }
+    for ev in frames {
+        if let FrameEvent::Line(line) = ev {
+            out.push((idx, line));
+        }
+    }
+    if died {
+        if let Some(stream) = s.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Queue an upstream response line, applying the write-side fault sites.
+fn enqueue_upstream(shared: &Arc<RouterShared>, u: &mut Upstream, line: &str, now: Instant) {
+    u.last_activity = now;
+    if shared.injector.fire(FaultSite::WriteTrunc) {
+        u.wbuf.enqueue_truncated(line);
+        u.close_after_flush = true;
+        u.stop_reading = true;
+    } else if let Some(stall) = shared.injector.stall(FaultSite::WriteStall) {
+        u.wbuf.enqueue_stalled(line, stall, now);
+    } else {
+        u.wbuf.enqueue(line);
+    }
+}
+
+/// Queue a downstream request line. The same write faults apply — a
+/// truncated router→shard frame kills the link and exercises the retry
+/// path, which is the point of running chaos on this hop.
+fn enqueue_shard(shared: &Arc<RouterShared>, s: &mut ShardConn, line: &str, now: Instant) {
+    if shared.injector.fire(FaultSite::WriteTrunc) {
+        s.wbuf.enqueue_truncated(line);
+        s.close_after_flush = true;
+    } else if let Some(stall) = shared.injector.stall(FaultSite::WriteStall) {
+        s.wbuf.enqueue_stalled(line, stall, now);
+    } else {
+        s.wbuf.enqueue(line);
+    }
+}
+
+fn flush_upstream(metrics: &Metrics, u: &mut Upstream, now: Instant) {
+    if u.dead || !u.writable {
+        return;
+    }
+    let start = Instant::now();
+    let mut wrote_any = false;
+    loop {
+        let slice = u.wbuf.writable_slice(now);
+        if slice.is_empty() {
+            break;
+        }
+        match (&u.stream).write(slice) {
+            Ok(n) => {
+                wrote_any = true;
+                u.wbuf.advance(n, now);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                u.writable = false;
+                u.write_stuck_since.get_or_insert(now);
+                break;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                u.dead = true;
+                return;
+            }
+        }
+    }
+    if wrote_any {
+        u.write_stuck_since = None;
+        metrics.phase_write.observe_duration(start.elapsed());
+    }
+    if u.close_after_flush && u.wbuf.is_empty() {
+        let _ = u.stream.shutdown(Shutdown::Both);
+        u.dead = true;
+    }
+}

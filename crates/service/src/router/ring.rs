@@ -1,0 +1,125 @@
+//! Rendezvous (highest-random-weight) hashing for shard placement.
+//!
+//! Every shard contributes a salt (the hash of its address); a request
+//! digest is scored against every *available* shard and the maximum
+//! wins. The property the router's failure handling leans on: removing
+//! a shard from the candidate set only remaps the keys that shard
+//! owned — every other key keeps its placement, so a `kill -9` never
+//! invalidates the surviving shards' fork/result caches.
+
+use sempe_core::hash::fnv1a;
+
+/// SplitMix64 finalizer — the same mixer the fault injector rolls with,
+/// reused as the rendezvous score hash (and the retry jitter).
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A shard's placement salt, derived from its address string.
+pub(crate) fn shard_salt(addr: &str) -> u64 {
+    fnv1a(addr.as_bytes())
+}
+
+/// The rendezvous score of `digest` on the shard with `salt`.
+fn score(digest: u64, salt: u64) -> u64 {
+    mix(digest ^ salt.rotate_left(17))
+}
+
+/// Pick the highest-scoring shard for `digest` among `candidates`
+/// (indices into `salts`), skipping `exclude` when more than one
+/// candidate remains. Returns `None` when no candidate is usable.
+pub(crate) fn pick(
+    digest: u64,
+    salts: &[u64],
+    candidates: &[usize],
+    exclude: Option<usize>,
+) -> Option<usize> {
+    let usable =
+        |&&i: &&usize| exclude != Some(i) || candidates.iter().all(|&c| exclude == Some(c));
+    candidates
+        .iter()
+        .filter(usable)
+        .copied()
+        .max_by_key(|&i| (score(digest, salts[i]), std::cmp::Reverse(i)))
+}
+
+/// Rank every candidate for `digest`, best first — the hedge path wants
+/// "the next-best shard", not just the winner.
+pub(crate) fn rank(digest: u64, salts: &[u64], candidates: &[usize]) -> Vec<usize> {
+    let mut ranked: Vec<usize> = candidates.to_vec();
+    ranked.sort_by_key(|&i| (std::cmp::Reverse(score(digest, salts[i])), i));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn salts(n: usize) -> Vec<u64> {
+        (0..n).map(|i| shard_salt(&format!("127.0.0.1:{}", 9000 + i))).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spread() {
+        let salts = salts(4);
+        let all: Vec<usize> = (0..salts.len()).collect();
+        let mut per_shard = [0usize; 4];
+        for key in 0..4000u64 {
+            let digest = mix(key);
+            let a = pick(digest, &salts, &all, None).expect("candidate");
+            let b = pick(digest, &salts, &all, None).expect("candidate");
+            assert_eq!(a, b, "same digest, same shard");
+            per_shard[a] += 1;
+        }
+        for (i, &n) in per_shard.iter().enumerate() {
+            assert!((500..1600).contains(&n), "shard {i} got {n}/4000 keys: {per_shard:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_only_remaps_its_own_keys() {
+        let salts = salts(4);
+        let all: Vec<usize> = (0..salts.len()).collect();
+        let without_2: Vec<usize> = all.iter().copied().filter(|&i| i != 2).collect();
+        for key in 0..2000u64 {
+            let digest = mix(key ^ 0xdead_beef);
+            let before = pick(digest, &salts, &all, None).expect("candidate");
+            let after = pick(digest, &salts, &without_2, None).expect("candidate");
+            if before != 2 {
+                assert_eq!(before, after, "survivors keep their keys (digest {digest:#x})");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn exclusion_skips_unless_it_is_the_last_candidate() {
+        let salts = salts(3);
+        let all: Vec<usize> = (0..salts.len()).collect();
+        let digest = mix(42);
+        let first = pick(digest, &salts, &all, None).expect("candidate");
+        let second = pick(digest, &salts, &all, Some(first)).expect("candidate");
+        assert_ne!(first, second, "exclusion moves the pick");
+        assert_eq!(pick(digest, &salts, &[1], Some(1)), Some(1), "sole survivor still serves");
+        assert_eq!(pick(digest, &salts, &[], None), None);
+    }
+
+    #[test]
+    fn rank_orders_every_candidate_with_the_winner_first() {
+        let salts = salts(4);
+        let all: Vec<usize> = (0..salts.len()).collect();
+        for key in 0..100u64 {
+            let digest = mix(key ^ 0x5eed);
+            let ranked = rank(digest, &salts, &all);
+            assert_eq!(ranked.len(), all.len());
+            assert_eq!(ranked[0], pick(digest, &salts, &all, None).expect("winner"));
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, all, "rank is a permutation of the candidates");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-shard circuit breaker: a pure state machine (the caller supplies
+//! every timestamp, so tests never sleep and chaos runs stay
+//! deterministic).
+//!
+//! `Closed` counts consecutive failures; at the threshold the breaker
+//! trips `Open` and the shard stops receiving work for a cool-off
+//! window. When the window expires the next dispatch attempt is
+//! admitted as a single `HalfOpen` probe: success closes the breaker,
+//! failure re-opens it with the cool-off doubled (capped), so a shard
+//! that keeps failing is probed geometrically less often.
+
+use std::time::{Duration, Instant};
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BreakerState {
+    /// Traffic flows; consecutive failures are being counted.
+    Closed,
+    /// Tripped: no traffic until the cool-off expires.
+    Open,
+    /// Cool-off expired; exactly one probe is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Wire name used in `health`/`stats` shard tables.
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A per-shard circuit breaker.
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    threshold: u32,
+    base_cooloff: Duration,
+    max_cooloff: Duration,
+    state: BreakerState,
+    failures: u32,
+    cooloff: Duration,
+    open_until: Option<Instant>,
+    /// Lifetime trip count (exported in the shard table).
+    trips: u64,
+}
+
+impl Breaker {
+    pub(crate) fn new(threshold: u32, base_cooloff: Duration, max_cooloff: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            base_cooloff,
+            max_cooloff: max_cooloff.max(base_cooloff),
+            state: BreakerState::Closed,
+            failures: 0,
+            cooloff: base_cooloff,
+            open_until: None,
+            trips: 0,
+        }
+    }
+
+    /// Current state, advancing `Open → HalfOpen` when the cool-off has
+    /// expired at `now`.
+    pub(crate) fn state(&mut self, now: Instant) -> BreakerState {
+        if self.state == BreakerState::Open {
+            if let Some(until) = self.open_until {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    self.open_until = None;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// May the shard receive a request at `now`? In `HalfOpen` this is
+    /// true — the caller's next dispatch *is* the probe.
+    pub(crate) fn admits(&mut self, now: Instant) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Record a successful reply. Closes the breaker and resets the
+    /// cool-off schedule.
+    pub(crate) fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.failures = 0;
+        self.cooloff = self.base_cooloff;
+        self.open_until = None;
+    }
+
+    /// Record a failure (timeout, connection death, retryable error) at
+    /// `now`. Returns `true` when this failure tripped the breaker open.
+    pub(crate) fn on_failure(&mut self, now: Instant) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => {
+                self.failures += 1;
+                if self.failures >= self.threshold {
+                    self.trip(now);
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back off harder before the next one.
+                self.cooloff = (self.cooloff * 2).min(self.max_cooloff);
+                self.trip(now);
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.failures = 0;
+        self.open_until = Some(now + self.cooloff);
+        self.trips += 1;
+    }
+
+    /// Lifetime number of times the breaker has tripped open.
+    pub(crate) fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// The earliest instant the breaker could admit traffic again, when
+    /// open — lets the event loop size its poll timeout instead of
+    /// spinning.
+    pub(crate) fn open_until(&self) -> Option<Instant> {
+        self.open_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(3, Duration::from_millis(100), Duration::from_millis(400))
+    }
+
+    #[test]
+    fn trips_only_at_the_consecutive_failure_threshold() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        b.on_success(); // success resets the streak
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.state(t0), BreakerState::Closed);
+        assert!(b.on_failure(t0), "third consecutive failure trips");
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert!(!b.admits(t0));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let after = t0 + Duration::from_millis(101);
+        assert_eq!(b.state(after), BreakerState::HalfOpen);
+        assert!(b.admits(after), "half-open admits exactly the probe");
+        b.on_success();
+        assert_eq!(b.state(after), BreakerState::Closed);
+        // And the cool-off schedule reset: the next trip waits 100ms, not 200.
+        for _ in 0..3 {
+            b.on_failure(after);
+        }
+        assert_eq!(b.state(after + Duration::from_millis(99)), BreakerState::Open);
+        assert_eq!(b.state(after + Duration::from_millis(101)), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_cooloff_capped() {
+        let mut b = breaker();
+        let mut now = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(now);
+        }
+        // Cool-offs double 100 → 200 → 400 and then cap at 400.
+        for expected_ms in [200u64, 400, 400] {
+            now += Duration::from_millis(1000);
+            assert_eq!(b.state(now), BreakerState::HalfOpen);
+            assert!(b.on_failure(now), "failed probe re-trips");
+            assert_eq!(b.state(now), BreakerState::Open);
+            let until = b.open_until().expect("open deadline");
+            assert_eq!(until.duration_since(now), Duration::from_millis(expected_ms));
+        }
+        assert_eq!(b.trips(), 4);
+    }
+
+    #[test]
+    fn failures_while_open_do_not_extend_the_window() {
+        let mut b = breaker();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let until = b.open_until().expect("open deadline");
+        assert!(!b.on_failure(t0 + Duration::from_millis(50)), "late failure is a no-op");
+        assert_eq!(b.open_until(), Some(until));
+        assert_eq!(b.trips(), 1);
+    }
+}

@@ -252,7 +252,12 @@ impl Shared {
                     .with("depth", self.queue.depth())
                     .with("capacity", self.queue.capacity)
                     .with("highwater", self.shed_highwater)
-                    .with("shed", self.shed.get()),
+                    .with("shed", self.shed.get())
+                    .with("oldest_ms", self.queue.oldest_ms())
+                    .with(
+                        "depth_per_worker",
+                        (self.queue.depth() as u64).div_ceil(self.alive_workers.get().max(1)),
+                    ),
             )
             .with(
                 "workers",

@@ -198,6 +198,64 @@ fn concurrent_hammer_with_a_polling_scraper() {
 }
 
 #[test]
+fn health_reports_queue_age_and_per_worker_depth() {
+    let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
+        .expect("server starts");
+
+    // One slow run occupies the only worker; two more sit in the queue.
+    let slow = r"
+        secret k = 1;
+        var n = 20000;
+        var acc = 0;
+        var i = 0;
+        while (i < n) bound 2000001 { acc = acc + 1; i = i + 1; }
+        output acc;
+    ";
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    writeln!(stream, r#"{{"id":"hello","type":"hello","proto":2}}"#).expect("hello");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("hello ack");
+    for i in 0..3 {
+        writeln!(
+            stream,
+            r#"{{"id":"q{i}","type":"run","source":{},"backend":"sempe","max_cycles":{}}}"#,
+            json::escape(slow),
+            80_000_000 + i, // distinct fuel: three distinct jobs, no cache hit
+        )
+        .expect("send run");
+    }
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let resp = roundtrip(&server, r#"{"type":"health"}"#);
+    let v = json::parse(&resp).expect("health parses");
+    let queue = v.get("queue").expect("queue section");
+    assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(2), "{resp}");
+    assert_eq!(queue.get("depth_per_worker").and_then(Json::as_u64), Some(2), "{resp}");
+    let oldest = queue.get("oldest_ms").and_then(Json::as_u64).expect("oldest_ms member");
+    assert!(
+        (100..60_000).contains(&oldest),
+        "front job queued ~150ms ago must show its age: {resp}"
+    );
+
+    // Drain, then the pressure signals must return to zero.
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("run completes");
+        assert!(line.contains(r#""ok":true"#), "{line}");
+    }
+    let resp = roundtrip(&server, r#"{"type":"health"}"#);
+    let v = json::parse(&resp).expect("health parses");
+    let queue = v.get("queue").expect("queue section");
+    assert_eq!(queue.get("depth").and_then(Json::as_u64), Some(0), "{resp}");
+    assert_eq!(queue.get("oldest_ms").and_then(Json::as_u64), Some(0), "{resp}");
+    assert_eq!(queue.get("depth_per_worker").and_then(Json::as_u64), Some(0), "{resp}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn byte_identical_cache_hits_still_count_as_hits() {
     let server = Server::start(&ServiceConfig { workers: 1, ..ServiceConfig::default() })
         .expect("server starts");
